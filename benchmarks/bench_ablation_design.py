@@ -1,0 +1,77 @@
+"""Ablations of this implementation's own design choices.
+
+Not a paper figure — these benches justify the engineering decisions
+DESIGN.md calls out, on the query where each matters most:
+
+* **intermediate coalescing** (Section 5.1 set semantics as a physical
+  stage): Q7 routes a derived relation (RL) into a second stateful PATH;
+  without coalescing, every witness of an RL pair is traversed again.
+* **path materialization**: Q1 produces many long paths; materializing
+  the hop sequence on every emission has a measurable cost, which is why
+  the engine lets path-indifferent consumers opt out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.reporting import format_rows
+from repro.engine import StreamingGraphQueryProcessor
+from repro.workloads import QUERIES, labels_for
+
+_rows: list[dict] = []
+
+
+def _run(plan, stream, **options):
+    processor = StreamingGraphQueryProcessor(plan, "negative", **options)
+    stats = processor.run(stream)
+    return stats
+
+
+@pytest.mark.parametrize("coalesce", [True, False])
+def test_intermediate_coalescing_q7(benchmark, so_stream, coalesce):
+    window = BENCH_SCALE.sliding_window()
+    plan = QUERIES["Q7"].plan(labels_for("Q7", "so"), window)
+    stats = benchmark.pedantic(
+        _run,
+        args=(plan, so_stream),
+        kwargs={"materialize_paths": False, "coalesce_intermediate": coalesce},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(
+        {
+            "ablation": "intermediate coalescing",
+            "setting": "on" if coalesce else "off",
+            "throughput (edges/s)": round(stats.throughput, 1),
+            "p99 latency (s)": round(stats.tail_latency(), 5),
+        }
+    )
+
+
+@pytest.mark.parametrize("materialize", [True, False])
+def test_path_materialization_q1(benchmark, so_stream, materialize):
+    window = BENCH_SCALE.sliding_window()
+    plan = QUERIES["Q1"].plan(labels_for("Q1", "so"), window)
+    stats = benchmark.pedantic(
+        _run,
+        args=(plan, so_stream),
+        kwargs={"materialize_paths": materialize},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(
+        {
+            "ablation": "path materialization",
+            "setting": "on" if materialize else "off",
+            "throughput (edges/s)": round(stats.throughput, 1),
+            "p99 latency (s)": round(stats.tail_latency(), 5),
+        }
+    )
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    register_section("== Design ablations ==", _rows)

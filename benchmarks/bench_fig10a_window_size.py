@@ -1,0 +1,46 @@
+"""Figure 10a: SGA sensitivity to the window size on SO.
+
+Paper shape: throughput decreases and tail latency increases as the
+window grows (more sgts per window ⇒ more operator state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.core.windows import SlidingWindow
+from repro.workloads import QUERIES, labels_for
+
+#: Window multipliers with the paper's 1:5 span (10d..50d).
+MULTIPLIERS = (1, 2, 3, 4, 5)
+#: A representative query mix (running all seven per window would take
+#: minutes; Q1 recursive, Q5 non-recursive pattern, Q7 combined).
+QUERY_MIX = ("Q1", "Q5", "Q7")
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("multiplier", MULTIPLIERS)
+@pytest.mark.parametrize("query_name", QUERY_MIX)
+def test_window_size(benchmark, so_stream, multiplier, query_name):
+    window = SlidingWindow(BENCH_SCALE.window * multiplier, BENCH_SCALE.slide)
+    plan = QUERIES[query_name].plan(labels_for(query_name, "so"), window)
+    result = benchmark.pedantic(
+        run_sga_bench,
+        args=(plan, so_stream),
+        kwargs={"path_impl": "negative"},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(
+        result.row(query=query_name, window_ticks=window.size)
+    )
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["query"], r["window_ticks"]))
+    register_section("== Figure 10a: window-size sweep (SO, SGA) ==", ordered)

@@ -1,0 +1,43 @@
+"""Figure 10b: SGA sensitivity to the slide interval on SO.
+
+Paper shape: throughput and latency stay roughly flat across slide
+intervals — SGA's operators are tuple-at-a-time and do not batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.core.windows import HOUR, SlidingWindow
+from repro.workloads import QUERIES, labels_for
+
+# Keep beta well below the window (8h here): larger slides shrink the
+# average effective window (Definition 16) and change the workload.
+SLIDES = (HOUR // 4, HOUR // 2, HOUR)
+QUERY_MIX = ("Q1", "Q5", "Q7")
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("slide", SLIDES)
+@pytest.mark.parametrize("query_name", QUERY_MIX)
+def test_slide(benchmark, so_stream, slide, query_name):
+    window = SlidingWindow(BENCH_SCALE.window, slide)
+    plan = QUERIES[query_name].plan(labels_for(query_name, "so"), window)
+    result = benchmark.pedantic(
+        run_sga_bench,
+        args=(plan, so_stream),
+        kwargs={"path_impl": "negative"},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(result.row(query=query_name, slide_ticks=slide))
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["query"], r["slide_ticks"]))
+    register_section("== Figure 10b: slide sweep (SO, SGA) ==", ordered)

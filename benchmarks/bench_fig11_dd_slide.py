@@ -1,0 +1,42 @@
+"""Figure 11: DD baseline sensitivity to the slide interval on SO.
+
+Paper shape: unlike SGA (Figure 10b), DD's throughput *increases* with
+the slide interval — one epoch per slide amortizes fixed per-epoch costs
+over larger batches — while the per-epoch tail latency grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_dd_bench
+from repro.bench.reporting import format_rows
+from repro.core.windows import HOUR, SlidingWindow
+from repro.query.parser import parse_rq
+from repro.workloads import QUERIES, labels_for
+
+# Keep beta well below the window (8h here): larger slides shrink the
+# average effective window (Definition 16) and change the workload.
+SLIDES = (HOUR // 4, HOUR // 2, HOUR)
+QUERY_MIX = ("Q1", "Q5", "Q7")
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("slide", SLIDES)
+@pytest.mark.parametrize("query_name", QUERY_MIX)
+def test_dd_slide(benchmark, so_stream, slide, query_name):
+    window = SlidingWindow(BENCH_SCALE.window, slide)
+    labels = labels_for(query_name, "so")
+    program = parse_rq(QUERIES[query_name].datalog(labels))
+    result = benchmark.pedantic(
+        run_dd_bench, args=(program, so_stream, window), iterations=1, rounds=1
+    )
+    _rows.append(result.row(query=query_name, slide_ticks=slide))
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["query"], r["slide_ticks"]))
+    register_section("== Figure 11: slide sweep (SO, DD) ==", ordered)

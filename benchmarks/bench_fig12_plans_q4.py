@@ -1,0 +1,49 @@
+"""Figure 12: the Q4 plan space — canonical SGA vs P1/P2/P3.
+
+The four equivalent plans of Section 7.4 for ``(a.b.c)+``:
+
+* SGA — loop-caching canonical plan ``P[d+](PATTERN(a, b, c))``,
+* P1  — ``P[(a.b.c)+]`` (the whole expression inside one PATH),
+* P2  — ``P[(a.d)+](a, PATTERN(b, c))``,
+* P3  — ``P[(d.c)+](PATTERN(a, b), c)``.
+
+Paper shape: rewritten plans differ from the canonical one by tens of
+percent (up to ~60%), with different winners per dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.workloads import labels_for, q4_plan_space
+
+_rows: list[dict] = []
+
+
+def _plans(dataset):
+    window = BENCH_SCALE.sliding_window()
+    return q4_plan_space(labels_for("Q4", dataset), window)
+
+
+@pytest.mark.parametrize("dataset", ["so", "snb"])
+@pytest.mark.parametrize("plan_name", ["SGA", "P1", "P2", "P3"])
+def test_q4_plan(benchmark, streams, dataset, plan_name):
+    plan = _plans(dataset)[plan_name]
+    result = benchmark.pedantic(
+        run_sga_bench,
+        args=(plan, streams[dataset]),
+        kwargs={"path_impl": "negative"},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(result.row(dataset=dataset, plan=plan_name, query="Q4"))
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["dataset"], r["plan"]))
+    register_section("== Figure 12: Q4 plan space ==", ordered)

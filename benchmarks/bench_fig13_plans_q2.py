@@ -1,0 +1,48 @@
+"""Figure 13: the Q2 plan space — canonical SGA vs the direct PATH plan.
+
+Canonical (from Algorithm SGQParser): ``a UNION PATTERN(a, P[b+])``.
+P1 (via the PATH transformation rules): one PATH evaluating ``a b*``.
+
+Paper shape: up to ~50% throughput difference between the two.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.workloads import QUERIES, labels_for, rpq_direct_plan
+
+_rows: list[dict] = []
+
+
+def _plans(dataset):
+    window = BENCH_SCALE.sliding_window()
+    labels = labels_for("Q2", dataset)
+    return {
+        "SGA": QUERIES["Q2"].plan(labels, window),
+        "P1": rpq_direct_plan("Q2", labels, window),
+    }
+
+
+@pytest.mark.parametrize("dataset", ["so", "snb"])
+@pytest.mark.parametrize("plan_name", ["SGA", "P1"])
+def test_q2_plan(benchmark, streams, dataset, plan_name):
+    plan = _plans(dataset)[plan_name]
+    result = benchmark.pedantic(
+        run_sga_bench,
+        args=(plan, streams[dataset]),
+        kwargs={"path_impl": "negative"},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(result.row(dataset=dataset, plan=plan_name, query="Q2"))
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["dataset"], r["plan"]))
+    register_section("== Figure 13: Q2 plan space ==", ordered)

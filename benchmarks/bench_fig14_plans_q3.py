@@ -1,0 +1,49 @@
+"""Figure 14: the Q3 plan space — canonical SGA vs the direct PATH plan.
+
+Canonical (from Algorithm SGQParser): unions of PATTERNs over ``P[b+]``
+and ``P[c+]``.  P1: one PATH evaluating ``a b* c*``.
+
+Paper shape: like Figure 13, a substantial gap between equivalent plans,
+demonstrating the value of plan-space exploration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.workloads import QUERIES, labels_for, rpq_direct_plan
+
+_rows: list[dict] = []
+
+
+def _plans(dataset):
+    window = BENCH_SCALE.sliding_window()
+    labels = labels_for("Q3", dataset)
+    return {
+        "SGA": QUERIES["Q3"].plan(labels, window),
+        "P1": rpq_direct_plan("Q3", labels, window),
+    }
+
+
+@pytest.mark.parametrize("dataset", ["so", "snb"])
+@pytest.mark.parametrize("plan_name", ["SGA", "P1"])
+def test_q3_plan(benchmark, streams, dataset, plan_name):
+    plan = _plans(dataset)[plan_name]
+    result = benchmark.pedantic(
+        run_sga_bench,
+        args=(plan, streams[dataset]),
+        kwargs={"path_impl": "negative"},
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(result.row(dataset=dataset, plan=plan_name, query="Q3"))
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["dataset"], r["plan"]))
+    register_section("== Figure 14: Q3 plan space ==", ordered)

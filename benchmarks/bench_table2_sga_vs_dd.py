@@ -1,0 +1,52 @@
+"""Table 2: throughput and p99 tail latency of SGA vs DD, Q1-Q7, SO & SNB.
+
+Paper shape: SGA ahead on the dense cyclic SO graph (clearly on the
+recursive Q1 and on the pattern query Q5); DD competitive-to-better on
+linear path queries over SNB's tree-shaped replyOf edges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_dd_bench, run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.query.parser import parse_rq
+from repro.workloads import QUERIES, labels_for
+
+ALL = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset", ["so", "snb"])
+@pytest.mark.parametrize("query_name", ALL)
+def test_sga(benchmark, streams, dataset, query_name):
+    stream = streams[dataset]
+    window = BENCH_SCALE.sliding_window()
+    plan = QUERIES[query_name].plan(labels_for(query_name, dataset), window)
+    result = benchmark.pedantic(
+        run_sga_bench, args=(plan, stream), kwargs={"path_impl": "negative"},
+        iterations=1, rounds=1,
+    )
+    _rows.append(result.row(dataset=dataset, query=query_name))
+
+
+@pytest.mark.parametrize("dataset", ["so", "snb"])
+@pytest.mark.parametrize("query_name", ALL)
+def test_dd(benchmark, streams, dataset, query_name):
+    stream = streams[dataset]
+    window = BENCH_SCALE.sliding_window()
+    labels = labels_for(query_name, dataset)
+    program = parse_rq(QUERIES[query_name].datalog(labels))
+    result = benchmark.pedantic(
+        run_dd_bench, args=(program, stream, window), iterations=1, rounds=1
+    )
+    _rows.append(result.row(dataset=dataset, query=query_name))
+
+
+def teardown_module(module):
+    from benchmarks.conftest import register_section
+
+    ordered = sorted(_rows, key=lambda r: (r["dataset"], r["query"]))
+    register_section("== Table 2: SGA vs DD ==", ordered)

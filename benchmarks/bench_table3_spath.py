@@ -1,0 +1,69 @@
+"""Table 3: impact of S-PATH vs the default ([57]) PATH implementation.
+
+Paper shape: S-PATH helps most on the cyclic SO graph (many alternative
+paths, so the direct approach's skipped re-derivations matter); effects
+on SNB are small because replyOf is a forest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.harness import run_sga_bench
+from repro.bench.reporting import format_rows
+from repro.workloads import QUERIES, labels_for
+
+ALL = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset", ["so", "snb"])
+@pytest.mark.parametrize("query_name", ALL)
+@pytest.mark.parametrize("impl", ["negative", "spath"])
+def test_path_impl(benchmark, streams, dataset, query_name, impl):
+    stream = streams[dataset]
+    window = BENCH_SCALE.sliding_window()
+    plan = QUERIES[query_name].plan(labels_for(query_name, dataset), window)
+    result = benchmark.pedantic(
+        run_sga_bench, args=(plan, stream), kwargs={"path_impl": impl},
+        iterations=1, rounds=1,
+    )
+    _rows.append(result.row(dataset=dataset, query=query_name))
+
+
+def teardown_module(module):
+    if not _rows:
+        return
+    # Pair up the two implementations per (dataset, query) and compute the
+    # throughput improvement the paper reports.
+    by_key: dict[tuple, dict[str, dict]] = {}
+    for row in _rows:
+        key = (row["dataset"], row["query"])
+        by_key.setdefault(key, {})[row["system"]] = row
+    table = []
+    for (dataset, query), pair in sorted(by_key.items()):
+        default = pair.get("SGA[negative]")
+        spath = pair.get("SGA[spath]")
+        if not default or not spath:
+            continue
+        baseline = default["throughput (edges/s)"]
+        improvement = (
+            (spath["throughput (edges/s)"] - baseline) / baseline * 100.0
+            if baseline
+            else 0.0
+        )
+        table.append(
+            {
+                "dataset": dataset,
+                "query": query,
+                "default tput": baseline,
+                "S-PATH tput": spath["throughput (edges/s)"],
+                "improvement %": round(improvement, 1),
+                "default p99": default["p99 latency (s)"],
+                "S-PATH p99": spath["p99 latency (s)"],
+            }
+        )
+    from benchmarks.conftest import register_section
+
+    register_section("== Table 3: S-PATH vs default PATH ==", table)

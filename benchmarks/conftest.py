@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (Section 7).  Streams are generated once per session and
+shared across modules; scales keep the full suite in the minutes range.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import Scale, _stream
+from repro.bench.reporting import format_rows
+from repro.core.windows import HOUR
+
+#: Paper-style tables registered by the bench modules, printed in the
+#: terminal summary (teardown prints are swallowed by pytest capture).
+REPORT_SECTIONS: list[tuple[str, list[dict]]] = []
+
+
+def register_section(title: str, rows: list[dict]) -> None:
+    if rows:
+        REPORT_SECTIONS.append((title, list(rows)))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORT_SECTIONS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "paper-style result tables")
+    for title, rows in REPORT_SECTIONS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(format_rows(rows, title=title))
+
+#: The scale used by every benchmark module (kept small so that the whole
+#: suite — 8 modules × many query/system combinations — stays fast).
+BENCH_SCALE = Scale(n_edges=2000, n_vertices=150, window=8 * HOUR, slide=HOUR)
+
+
+@pytest.fixture(scope="session")
+def so_stream():
+    return _stream("so", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def snb_stream():
+    return _stream("snb", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def streams(so_stream, snb_stream):
+    return {"so": so_stream, "snb": snb_stream}

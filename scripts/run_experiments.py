@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs Table 2, Table 3, Figures 10a/10b/11, and Figures 12-14 at the given
+scale and prints the paper-style tables (the same rows the
+``benchmarks/`` pytest modules produce, as one standalone report).
+
+Usage::
+
+    python scripts/run_experiments.py            # default scale (~2-4 min)
+    python scripts/run_experiments.py --small    # quick smoke run
+    python scripts/run_experiments.py --edges 8000 --vertices 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (
+    DEFAULT_SCALE,
+    SMALL_SCALE,
+    Scale,
+    fig10a_window_size,
+    fig10b_slide,
+    fig11_dd_slide,
+    plan_space,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.reporting import format_rows
+from repro.core.windows import HOUR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="quick smoke run")
+    parser.add_argument("--edges", type=int, help="stream length")
+    parser.add_argument("--vertices", type=int, help="vertex count")
+    parser.add_argument("--window", type=int, help="window size in ticks")
+    parser.add_argument("--slide", type=int, help="slide interval in ticks")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    base = SMALL_SCALE if args.small else DEFAULT_SCALE
+    scale = Scale(
+        n_edges=args.edges or base.n_edges,
+        n_vertices=args.vertices or base.n_vertices,
+        window=args.window or base.window,
+        slide=args.slide or base.slide,
+        seed=args.seed,
+    )
+    print(f"scale: {scale}")
+
+    experiments = [
+        ("Table 2: SGA vs DD (Q1-Q7, SO & SNB)", lambda: table2_rows(scale)),
+        ("Table 3: S-PATH vs default PATH", lambda: table3_rows(scale)),
+        (
+            "Figure 10a: window-size sweep (SO, SGA)",
+            lambda: fig10a_window_size(scale, queries=("Q1", "Q5", "Q7")),
+        ),
+        (
+            "Figure 10b: slide sweep (SO, SGA)",
+            lambda: fig10b_slide(scale, queries=("Q1", "Q5", "Q7")),
+        ),
+        (
+            "Figure 11: slide sweep (SO, DD)",
+            lambda: fig11_dd_slide(scale, queries=("Q1", "Q5", "Q7")),
+        ),
+        ("Figure 12: Q4 plan space", lambda: plan_space("Q4", scale)),
+        ("Figure 13: Q2 plan space", lambda: plan_space("Q2", scale)),
+        ("Figure 14: Q3 plan space", lambda: plan_space("Q3", scale)),
+    ]
+
+    for title, runner in experiments:
+        started = time.perf_counter()
+        rows = runner()
+        elapsed = time.perf_counter() - started
+        print()
+        print(format_rows(rows, title=f"== {title} =="))
+        print(f"({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Metadata lives here (rather than in a ``[project]`` table) so that
+``pip install -e .`` works in fully offline environments: without a
+``[build-system]`` table pip falls back to the legacy ``setup.py develop``
+code path, which needs neither network access nor the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Evaluating Complex Queries on Streaming Graphs' "
+        "(Pacaci, Bonifati, Ozsu - ICDE 2022)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,52 @@
+"""repro — a streaming graph query processor.
+
+Reproduction of "Evaluating Complex Queries on Streaming Graphs"
+(Pacaci, Bonifati, Özsu — ICDE 2022).
+
+The top-level namespace re-exports the pieces a downstream user needs:
+
+* the data model (:class:`SGE`, :class:`SGT`, :class:`Interval`,
+  :class:`SlidingWindow`),
+* query formulation (:func:`parse_rq`, :func:`parse_gcore`, :class:`SGQ`),
+* the end-to-end processor (:class:`StreamingGraphQueryProcessor`).
+
+See ``examples/quickstart.py`` for a five-minute tour.
+"""
+
+from repro.core import SGE, SGT, Interval, SlidingWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SGE",
+    "SGT",
+    "Interval",
+    "SlidingWindow",
+    "StreamingGraphQueryProcessor",
+    "parse_rq",
+    "parse_gcore",
+    "SGQ",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # still exposing the full public API at the top level.
+    if name == "StreamingGraphQueryProcessor":
+        from repro.engine import StreamingGraphQueryProcessor
+
+        return StreamingGraphQueryProcessor
+    if name == "parse_rq":
+        from repro.query import parse_rq
+
+        return parse_rq
+    if name == "parse_gcore":
+        from repro.gcore import parse_gcore
+
+        return parse_gcore
+    if name == "SGQ":
+        from repro.query import SGQ
+
+        return SGQ
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

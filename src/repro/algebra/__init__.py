@@ -1,0 +1,57 @@
+"""Streaming Graph Algebra (Section 5).
+
+Logical SGA operator trees (:mod:`repro.algebra.operators`), the
+``SGQParser`` translation from SGQ to canonical SGA expressions
+(:mod:`repro.algebra.translate`, Algorithm 1 / Theorem 1), the one-time
+*reference* evaluator over snapshot graphs used to check snapshot
+reducibility (:mod:`repro.algebra.reference`), and the Section 5.4
+transformation rules with plan enumeration (:mod:`repro.algebra.rewrite`).
+"""
+
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    PatternInput,
+    Plan,
+    Predicate,
+    Relabel,
+    Union,
+    WScan,
+)
+from repro.algebra.reference import evaluate_plan_at, evaluate_rq
+from repro.algebra.rewrite import (
+    concat_to_pattern,
+    enumerate_plans,
+    fuse_pattern_into_path,
+    push_filter_into_wscan,
+    split_alternation,
+)
+from repro.algebra.join_order import reorder_joins
+from repro.algebra.optimizer import choose_plan, static_cost
+from repro.algebra.translate import sgq_to_sga
+from repro.algebra.explain import explain
+
+__all__ = [
+    "Plan",
+    "WScan",
+    "Filter",
+    "Union",
+    "Pattern",
+    "PatternInput",
+    "Path",
+    "Predicate",
+    "Relabel",
+    "sgq_to_sga",
+    "evaluate_plan_at",
+    "evaluate_rq",
+    "enumerate_plans",
+    "split_alternation",
+    "concat_to_pattern",
+    "fuse_pattern_into_path",
+    "push_filter_into_wscan",
+    "explain",
+    "choose_plan",
+    "static_cost",
+    "reorder_joins",
+]

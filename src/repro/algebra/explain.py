@@ -1,0 +1,58 @@
+"""Human-readable rendering of logical plans."""
+
+from __future__ import annotations
+
+from repro.algebra.operators import Filter, Path, Pattern, Plan, Relabel, Union, WScan
+from repro.errors import PlanError
+
+
+def explain(plan: Plan) -> str:
+    """Render a plan as an indented operator tree.
+
+    >>> from repro.core import SlidingWindow
+    >>> from repro.algebra.operators import WScan
+    >>> print(explain(WScan("likes", SlidingWindow(24))))
+    WSCAN likes W(T=24, beta=1)
+    """
+    lines: list[str] = []
+    _render(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(plan: Plan, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    if isinstance(plan, WScan):
+        suffix = f" WHERE {plan.prefilter}" if plan.prefilter else ""
+        lines.append(f"{pad}WSCAN {plan.label} {plan.window}{suffix}")
+        return
+    if isinstance(plan, Filter):
+        lines.append(f"{pad}FILTER {plan.predicate}")
+        _render(plan.child, depth + 1, lines)
+        return
+    if isinstance(plan, Relabel):
+        lines.append(f"{pad}RELABEL -> {plan.label}")
+        _render(plan.child, depth + 1, lines)
+        return
+    if isinstance(plan, Union):
+        tag = f" -> {plan.label}" if plan.label else ""
+        lines.append(f"{pad}UNION{tag}")
+        _render(plan.left, depth + 1, lines)
+        _render(plan.right, depth + 1, lines)
+        return
+    if isinstance(plan, Pattern):
+        vars_ = ", ".join(
+            f"({c.src_var},{c.trg_var})" for c in plan.inputs
+        )
+        lines.append(
+            f"{pad}PATTERN ({plan.src_var},{plan.trg_var}) -> {plan.label} "
+            f"over {vars_}"
+        )
+        for conjunct in plan.inputs:
+            _render(conjunct.plan, depth + 1, lines)
+        return
+    if isinstance(plan, Path):
+        lines.append(f"{pad}PATH {plan.regex} -> {plan.label}")
+        for _, child in plan.inputs:
+            _render(child, depth + 1, lines)
+        return
+    raise PlanError(f"cannot explain plan node {plan!r}")

@@ -1,0 +1,294 @@
+"""Logical SGA operators (Section 5.1, Definitions 16-20).
+
+Plans are immutable trees of frozen dataclasses, so structural equality
+and hashing come for free — the rewriter and its tests rely on both.
+Every operator consumes and produces *streaming graphs*; closedness of the
+algebra is closedness of this type.
+
+The five operators:
+
+* :class:`WScan` — windowing; assigns validity intervals (Definition 16).
+* :class:`Filter` — predicate over distinguished attributes (Definition 17).
+* :class:`Union` — merge with optional relabeling (Definition 18).
+* :class:`Pattern` — streaming subgraph pattern; a conjunctive query whose
+  equality constraints are expressed by repeated variables (Definition 19).
+* :class:`Path` — streaming path navigation under a label regex
+  (Definition 20); results carry materialized paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.tuples import Label
+from repro.core.windows import SlidingWindow
+from repro.errors import PlanError
+from repro.regex.ast import RegexNode
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A conjunction of equality/inequality conditions on sgt attributes.
+
+    Each condition is ``(attribute, op, value)`` with attribute in
+    ``{"src", "trg", "label"}`` and op in ``{"==", "!="}``.  Keeping
+    predicates first-order (rather than opaque callables) keeps plans
+    hashable and lets the rewriter reason about them.
+    """
+
+    conditions: tuple[tuple[str, str, object], ...]
+
+    def __post_init__(self) -> None:
+        for attribute, op, _ in self.conditions:
+            if attribute not in ("src", "trg", "label"):
+                raise PlanError(f"unknown predicate attribute {attribute!r}")
+            if op not in ("==", "!="):
+                raise PlanError(f"unknown predicate operator {op!r}")
+
+    def evaluate(self, src: object, trg: object, label: Label) -> bool:
+        values = {"src": src, "trg": trg, "label": label}
+        for attribute, op, expected in self.conditions:
+            actual = values[attribute]
+            if op == "==" and actual != expected:
+                return False
+            if op == "!=" and actual == expected:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return " AND ".join(f"{a} {op} {v!r}" for a, op, v in self.conditions)
+
+
+class Plan:
+    """Base class for logical plan nodes."""
+
+    #: label of the sgts this operator emits
+    out_label: Label
+
+    def children(self) -> tuple["Plan", ...]:
+        raise NotImplementedError
+
+    def input_labels(self) -> frozenset[Label]:
+        """All EDB labels scanned anywhere below this node."""
+        labels: set[Label] = set()
+        for node in walk(self):
+            if isinstance(node, WScan):
+                labels.add(node.label)
+        return frozenset(labels)
+
+
+@dataclass(frozen=True, slots=True)
+class WScan(Plan):
+    """Windowing scan over the input stream of ``label`` (Definition 16).
+
+    The optional ``prefilter`` models the Section 5.4 rule that pushes a
+    FILTER below the window: the predicate is applied to raw sges before
+    validity intervals are assigned, reducing windowing state.
+    """
+
+    label: Label
+    window: SlidingWindow
+    prefilter: Predicate | None = None
+
+    @property
+    def out_label(self) -> Label:  # type: ignore[override]
+        return self.label
+
+    def children(self) -> tuple[Plan, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        suffix = f" | {self.prefilter}" if self.prefilter else ""
+        return f"WSCAN[{self.window}]({self.label}{suffix})"
+
+
+@dataclass(frozen=True, slots=True)
+class Filter(Plan):
+    """FILTER: keep sgts satisfying a predicate (Definition 17)."""
+
+    child: Plan
+    predicate: Predicate
+
+    @property
+    def out_label(self) -> Label:  # type: ignore[override]
+        return self.child.out_label
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"FILTER[{self.predicate}]({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Plan):
+    """UNION with optional output relabeling (Definition 18)."""
+
+    left: Plan
+    right: Plan
+    label: Label | None = None
+
+    @property
+    def out_label(self) -> Label:  # type: ignore[override]
+        if self.label is not None:
+            return self.label
+        if self.left.out_label == self.right.out_label:
+            return self.left.out_label
+        raise PlanError(
+            "UNION of differently-labeled inputs "
+            f"({self.left.out_label!r}, {self.right.out_label!r}) "
+            "requires an explicit output label"
+        )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        tag = f"[{self.label}]" if self.label else ""
+        return f"UNION{tag}({self.left}, {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Relabel(Plan):
+    """Relabel a stream while preserving payloads.
+
+    Not one of the paper's five operators but the degenerate single-input
+    UNION of Definition 18 (whose optional output label performs the
+    relabeling).  Pure rename rules such as ``Answer(x, y) <- K(x, y)``
+    compile to Relabel so that materialized paths survive to the output —
+    a PATTERN would replace the payload with a derived edge.
+    """
+
+    child: Plan
+    label: Label
+
+    @property
+    def out_label(self) -> Label:  # type: ignore[override]
+        return self.label
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"RELABEL[{self.label}]({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternInput:
+    """One conjunct of a PATTERN: a child plan bound to two variables."""
+
+    plan: Plan
+    src_var: str
+    trg_var: str
+
+    def __str__(self) -> str:
+        return f"{self.plan}:({self.src_var},{self.trg_var})"
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern(Plan):
+    """PATTERN: streaming subgraph pattern matching (Definition 19).
+
+    The equality constraints Phi of Definition 19 are encoded by repeated
+    variables across :class:`PatternInput` conjuncts, exactly as in the
+    Datalog formulation of SGQ.  The result's endpoints are the values of
+    ``src_var`` and ``trg_var``; its validity interval is the intersection
+    of the participating tuples' intervals.
+    """
+
+    inputs: tuple[PatternInput, ...]
+    src_var: str
+    trg_var: str
+    label: Label
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise PlanError("PATTERN requires at least one input")
+        bound = self.variables
+        for var in (self.src_var, self.trg_var):
+            if var not in bound:
+                raise PlanError(f"PATTERN output variable {var!r} not bound")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        names: set[str] = set()
+        for conjunct in self.inputs:
+            names.add(conjunct.src_var)
+            names.add(conjunct.trg_var)
+        return frozenset(names)
+
+    @property
+    def out_label(self) -> Label:  # type: ignore[override]
+        return self.label
+
+    def children(self) -> tuple[Plan, ...]:
+        return tuple(conjunct.plan for conjunct in self.inputs)
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(c) for c in self.inputs)
+        return f"PATTERN[{self.src_var},{self.trg_var},{self.label}]({ins})"
+
+
+@dataclass(frozen=True, slots=True)
+class Path(Plan):
+    """PATH: streaming path navigation (Definition 20).
+
+    ``inputs`` maps each alphabet label of ``regex`` to the child plan
+    producing that label's streaming graph (stored as a sorted tuple of
+    pairs to stay hashable).  Results are materialized paths labeled
+    ``label`` whose label sequences belong to ``L(regex)``.
+    """
+
+    inputs: tuple[tuple[Label, Plan], ...]
+    regex: RegexNode
+    label: Label
+
+    def __post_init__(self) -> None:
+        if isinstance(self.regex, str):
+            from repro.regex.parser import parse_regex
+
+            object.__setattr__(self, "regex", parse_regex(self.regex))
+        provided = {l for l, _ in self.inputs}
+        needed = set(self.regex.alphabet())
+        if not needed:
+            raise PlanError("PATH regex has an empty alphabet")
+        missing = needed - provided
+        if missing:
+            raise PlanError(f"PATH regex labels without inputs: {sorted(missing)}")
+        extra = provided - needed
+        if extra:
+            raise PlanError(f"PATH inputs not used by regex: {sorted(extra)}")
+        if self.regex.nullable():
+            raise PlanError(
+                "PATH regex accepts the empty word; zero-length paths have "
+                "no endpoints (use the closure form l+ / R R*)"
+            )
+
+    @staticmethod
+    def over(inputs: dict[Label, Plan], regex: RegexNode, label: Label) -> "Path":
+        """Convenience constructor taking a plain dict of inputs."""
+        ordered = tuple(sorted(inputs.items(), key=lambda kv: kv[0]))
+        return Path(ordered, regex, label)
+
+    @property
+    def input_map(self) -> dict[Label, Plan]:
+        return dict(self.inputs)
+
+    @property
+    def out_label(self) -> Label:  # type: ignore[override]
+        return self.label
+
+    def children(self) -> tuple[Plan, ...]:
+        return tuple(plan for _, plan in self.inputs)
+
+    def __str__(self) -> str:
+        ins = ", ".join(f"{l}={p}" for l, p in self.inputs)
+        return f"PATH[{self.regex},{self.label}]({ins})"
+
+
+def walk(plan: Plan) -> Iterator[Plan]:
+    """Pre-order traversal of a plan tree."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)

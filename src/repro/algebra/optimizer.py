@@ -1,0 +1,124 @@
+"""A sampling-based plan optimizer (the paper's "ongoing research").
+
+Section 7.4 shows that the transformation rules of Section 5.4 span a
+plan space whose members differ by tens of percent in throughput, and
+names an SGA-based optimizer as ongoing work.  This module provides a
+first, honest cut at one:
+
+1. enumerate equivalent plans with the transformation rules
+   (:func:`repro.algebra.rewrite.enumerate_plans`);
+2. score each candidate either with a *calibration run* over a sample
+   prefix of the stream (ground truth, costs sample × plans work), or
+   with a cheap static cost model;
+3. return the winner.
+
+The static model is deliberately simple — it captures the two first-order
+effects visible in Figures 12-14: every stateful operator pays for its
+retained state, and PATH state grows with (automaton states × closure
+depth), while PATTERN joins pay per conjunct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algebra.operators import Path, Pattern, Plan, Union, WScan, walk
+from repro.algebra.rewrite import enumerate_plans
+from repro.core.tuples import SGE
+from repro.regex.ast import Plus, RegexNode, Star
+from repro.regex.dfa import dfa_from_regex
+
+
+# ----------------------------------------------------------------------
+# Static cost model
+# ----------------------------------------------------------------------
+def static_cost(plan: Plan) -> float:
+    """A unitless cost estimate; lower is better.
+
+    Counts operator state drivers: PATH pays per automaton state and per
+    input label (each extends the product space the Δ-PATH index spans),
+    doubled under unbounded recursion; PATTERN pays per join conjunct;
+    UNION and WSCAN are nearly free.
+    """
+    cost = 0.0
+    for node in walk(plan):
+        if isinstance(node, Path):
+            dfa = dfa_from_regex(node.regex)
+            states = max(1, len(dfa.states) - 1)
+            recursion = 2.0 if _recursive(node.regex) else 1.0
+            cost += 3.0 * states * recursion + len(node.inputs)
+        elif isinstance(node, Pattern):
+            cost += 2.0 * len(node.inputs)
+        elif isinstance(node, Union):
+            cost += 0.5
+        elif isinstance(node, WScan):
+            cost += 0.1
+    return cost
+
+
+def _recursive(regex: RegexNode) -> bool:
+    if isinstance(regex, (Plus, Star)):
+        return True
+    return any(_recursive(child) for child in _regex_children(regex))
+
+
+def _regex_children(regex: RegexNode):
+    for attr in ("left", "right", "inner"):
+        child = getattr(regex, attr, None)
+        if child is not None:
+            yield child
+
+
+# ----------------------------------------------------------------------
+# Calibration (measured) costs
+# ----------------------------------------------------------------------
+def measured_cost(plan: Plan, sample: list[SGE], path_impl: str = "negative") -> float:
+    """Seconds to run ``plan`` over the sample stream (lower is better)."""
+    import time
+
+    from repro.engine import StreamingGraphQueryProcessor
+
+    processor = StreamingGraphQueryProcessor(
+        plan, path_impl, materialize_paths=False
+    )
+    start = time.perf_counter()
+    processor.run(sample)
+    return time.perf_counter() - start
+
+
+@dataclass
+class OptimizerReport:
+    """The chosen plan plus per-candidate scores for inspection."""
+
+    best: Plan
+    scores: list[tuple[Plan, float]]
+
+    @property
+    def candidates(self) -> int:
+        return len(self.scores)
+
+
+def choose_plan(
+    plan: Plan,
+    sample: Iterable[SGE] | None = None,
+    limit: int = 16,
+    path_impl: str = "negative",
+) -> OptimizerReport:
+    """Pick the cheapest equivalent plan.
+
+    With a ``sample`` stream, candidates are scored by calibration runs
+    (accurate, costs one sample pass per candidate); without one, the
+    static model decides.
+    """
+    candidates = enumerate_plans(plan, limit=limit)
+    sample_list = list(sample) if sample is not None else None
+    scores: list[tuple[Plan, float]] = []
+    for candidate in candidates:
+        if sample_list:
+            score = measured_cost(candidate, sample_list, path_impl)
+        else:
+            score = static_cost(candidate)
+        scores.append((candidate, score))
+    scores.sort(key=lambda pair: pair[1])
+    return OptimizerReport(best=scores[0][0], scores=scores)

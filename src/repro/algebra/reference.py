@@ -1,0 +1,210 @@
+"""One-time reference evaluation over snapshots (snapshot reducibility).
+
+Definition 14 defines the semantics of every streaming operator through
+its non-streaming counterpart: the snapshot at time *t* of a streaming
+operator's output must equal the non-streaming operator applied to the
+input snapshots at *t*.  This module implements those non-streaming
+counterparts directly (set-based joins, BFS over product automata) and is
+the ground truth the physical operators are tested against.
+
+It is deliberately simple and obviously correct rather than fast.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Iterable
+
+from repro.algebra.operators import Filter, Path, Pattern, Plan, Relabel, Union, WScan
+from repro.core.tuples import SGE, Label, Vertex
+from repro.errors import PlanError
+from repro.query.datalog import ANSWER, Atom, ClosureAtom, RQProgram, Rule
+from repro.query.validation import topological_order
+from repro.regex.ast import RegexNode
+from repro.regex.dfa import dfa_from_regex
+
+Pair = tuple[Vertex, Vertex]
+Triples = dict[Label, set[Pair]]
+
+
+# ----------------------------------------------------------------------
+# Plan evaluation
+# ----------------------------------------------------------------------
+def evaluate_plan_at(
+    plan: Plan,
+    streams: dict[Label, Iterable[SGE]],
+    t: int,
+) -> set[Pair]:
+    """Evaluate a logical plan over input-stream snapshots at instant t.
+
+    ``streams`` maps each input label to its raw sge sequence; the WSCAN
+    leaves apply their window definitions to decide which edges are live
+    at ``t``.
+    """
+    return _eval(plan, streams, t)
+
+
+def _eval(plan: Plan, streams: dict[Label, Iterable[SGE]], t: int) -> set[Pair]:
+    if isinstance(plan, WScan):
+        live: set[Pair] = set()
+        for edge in streams.get(plan.label, ()):
+            if edge.label != plan.label:
+                continue
+            if plan.prefilter is not None and not plan.prefilter.evaluate(
+                edge.src, edge.trg, edge.label
+            ):
+                continue
+            if plan.window.interval_for(edge.t).contains(t):
+                live.add((edge.src, edge.trg))
+        return live
+    if isinstance(plan, Filter):
+        label = plan.child.out_label
+        return {
+            (u, v)
+            for u, v in _eval(plan.child, streams, t)
+            if plan.predicate.evaluate(u, v, label)
+        }
+    if isinstance(plan, Relabel):
+        return _eval(plan.child, streams, t)
+    if isinstance(plan, Union):
+        return _eval(plan.left, streams, t) | _eval(plan.right, streams, t)
+    if isinstance(plan, Pattern):
+        relations = [
+            (_eval(conjunct.plan, streams, t), conjunct.src_var, conjunct.trg_var)
+            for conjunct in plan.inputs
+        ]
+        return _join_pattern(relations, plan.src_var, plan.trg_var)
+    if isinstance(plan, Path):
+        facts = {label: _eval(child, streams, t) for label, child in plan.inputs}
+        return regex_reachability(facts, plan.regex)
+    raise PlanError(f"cannot evaluate plan node {plan!r}")
+
+
+def _join_pattern(
+    relations: list[tuple[set[Pair], str, str]],
+    out_src: str,
+    out_trg: str,
+) -> set[Pair]:
+    """Natural join of binary relations via backtracking over bindings."""
+    results: set[Pair] = set()
+
+    def extend(index: int, binding: dict[str, Vertex]) -> None:
+        if index == len(relations):
+            results.add((binding[out_src], binding[out_trg]))
+            return
+        facts, src_var, trg_var = relations[index]
+        bound_src = binding.get(src_var)
+        bound_trg = binding.get(trg_var)
+        for u, v in facts:
+            if bound_src is not None and u != bound_src:
+                continue
+            if bound_trg is not None and v != bound_trg:
+                continue
+            if src_var == trg_var and u != v:
+                continue
+            added = []
+            if src_var not in binding:
+                binding[src_var] = u
+                added.append(src_var)
+            if trg_var not in binding:
+                binding[trg_var] = v
+                added.append(trg_var)
+            extend(index + 1, binding)
+            for var in added:
+                del binding[var]
+
+    extend(0, {})
+    return results
+
+
+def regex_reachability(
+    facts: dict[Label, set[Pair]],
+    regex: RegexNode | str,
+) -> set[Pair]:
+    """All vertex pairs connected by a path spelling a word in L(regex).
+
+    BFS over the product of the graph with the regex DFA (the classical
+    one-time RPQ evaluation under arbitrary path semantics).
+    """
+    dfa = dfa_from_regex(regex)
+    adjacency: dict[Vertex, list[tuple[Label, Vertex]]] = defaultdict(list)
+    sources: set[Vertex] = set()
+    for label, pairs in facts.items():
+        for u, v in pairs:
+            adjacency[u].append((label, v))
+            sources.add(u)
+
+    results: set[Pair] = set()
+    # Only labels with a transition out of the DFA start state can begin
+    # a path, so only their sources are useful BFS roots.
+    start_labels = set(dfa.transitions.get(dfa.start, {}))
+    for root in sources:
+        if not any(label in start_labels for label, _ in adjacency[root]):
+            continue
+        seen = {(root, dfa.start)}
+        queue = deque([(root, dfa.start)])
+        while queue:
+            vertex, state = queue.popleft()
+            for label, nxt in adjacency.get(vertex, ()):
+                target = dfa.delta(state, label)
+                if target is None or (nxt, target) in seen:
+                    continue
+                seen.add((nxt, target))
+                if dfa.is_accepting(target):
+                    results.add((root, nxt))
+                queue.append((nxt, target))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Direct Datalog (RQ) evaluation over a static graph
+# ----------------------------------------------------------------------
+def evaluate_rq(program: RQProgram, edb: Triples) -> set[Pair]:
+    """Evaluate a Regular Query over a static edge relation.
+
+    ``edb`` maps input labels to their (src, trg) pairs.  Used as ground
+    truth for the DD baseline engine and for plan-translation tests.
+    """
+    facts: Triples = {label: set(pairs) for label, pairs in edb.items()}
+    closures = {atom.name: atom for atom in program.closure_atoms()}
+
+    for label in topological_order(program):
+        if label in facts:
+            continue
+        if label in closures:
+            atom = closures[label]
+            facts[label] = transitive_closure(facts.get(atom.label, set()))
+        else:
+            derived: set[Pair] = set()
+            for rule in program.rules_for(label):
+                derived |= _eval_rule(rule, facts)
+            facts[label] = derived
+    return facts.get(ANSWER, set())
+
+
+def _eval_rule(rule: Rule, facts: Triples) -> set[Pair]:
+    relations = []
+    for atom in rule.body:
+        label = atom.name if isinstance(atom, ClosureAtom) else atom.label
+        relations.append((facts.get(label, set()), atom.src, atom.trg))
+    return _join_pattern(relations, rule.head_src, rule.head_trg)
+
+
+def transitive_closure(pairs: set[Pair]) -> set[Pair]:
+    """One-or-more-step transitive closure via per-source BFS."""
+    adjacency: dict[Vertex, set[Vertex]] = defaultdict(set)
+    for u, v in pairs:
+        adjacency[u].add(v)
+
+    closure: set[Pair] = set()
+    for root in list(adjacency):
+        seen: set[Vertex] = set()
+        queue = deque(adjacency[root])
+        while queue:
+            vertex = queue.popleft()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            closure.add((root, vertex))
+            queue.extend(adjacency.get(vertex, ()))
+    return closure

@@ -1,0 +1,332 @@
+"""SGA transformation rules and plan-space enumeration (Section 5.4).
+
+The rules implemented here are exactly the ones the paper highlights:
+
+* **WSCAN commutation** — ``W(sigma(S)) = sigma(W(S))``: push a FILTER
+  below the window (:func:`push_filter_into_wscan`), shrinking windowing
+  state.
+* **PATH alternation** — ``P[a|b](Sa, Sb) = P[a] U P[b]``
+  (:func:`split_alternation`).
+* **PATH concatenation** — ``P[a.b](Sa, Sb) = PATTERN[trg1=src2](Sa, Sb)``
+  (:func:`concat_to_pattern`) and its inverse
+  (:func:`fuse_pattern_into_path`), which inlines a linear join chain into
+  the regex.  Composing these produces the paper's plans P1–P3 for Q4
+  (Section 7.4): the canonical plan evaluates ``P[d+](PATTERN(a, b, c))``
+  while P1 evaluates ``P[(a.b.c)+]`` directly, and P2/P3 inline only a
+  2-symbol prefix/suffix.
+
+:func:`enumerate_plans` applies the rules exhaustively (bounded) to
+explore the space of equivalent plans.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    PatternInput,
+    Plan,
+    Relabel,
+    Union,
+    WScan,
+    walk,
+)
+from repro.core.tuples import Label
+from repro.errors import PlanError
+from repro.regex.ast import Alternation, Concat, Plus, RegexNode, Symbol
+
+# ----------------------------------------------------------------------
+# Rule 1: WSCAN / FILTER commutation
+# ----------------------------------------------------------------------
+def push_filter_into_wscan(plan: Plan) -> Plan | None:
+    """``FILTER[phi](WSCAN(S))`` → ``WSCAN(sigma_phi(S))``.
+
+    Returns the rewritten plan, or None when the rule does not apply at
+    the root of ``plan``.
+    """
+    if not isinstance(plan, Filter) or not isinstance(plan.child, WScan):
+        return None
+    scan = plan.child
+    if scan.prefilter is not None:
+        merged = scan.prefilter.conditions + plan.predicate.conditions
+        predicate = type(plan.predicate)(merged)
+    else:
+        predicate = plan.predicate
+    return WScan(scan.label, scan.window, predicate)
+
+
+# ----------------------------------------------------------------------
+# Rule 2: PATH alternation split
+# ----------------------------------------------------------------------
+def split_alternation(plan: Plan) -> Plan | None:
+    """``P[R1|R2]`` → ``P[R1] UNION P[R2]``.
+
+    Applies when the PATH regex is a top-level alternation.  Both branches
+    are non-nullable because the whole regex is (PATH forbids nullable
+    regexes), so the rewrite is exact.
+    """
+    if not isinstance(plan, Path) or not isinstance(plan.regex, Alternation):
+        return None
+    regex = plan.regex
+    inputs = plan.input_map
+    left = _path_for(regex.left, inputs, plan.label)
+    right = _path_for(regex.right, inputs, plan.label)
+    return Union(left, right, plan.label)
+
+
+def _path_for(regex: RegexNode, inputs: dict[Label, Plan], label: Label) -> Plan:
+    """A plan evaluating ``regex``; collapses single symbols to the child.
+
+    ``P[a](Sa)`` is the identity modulo relabeling, so a single-symbol
+    branch reuses the child plan wrapped in a renaming PATTERN only when
+    the output label differs.
+    """
+    alphabet = regex.alphabet()
+    if isinstance(regex, Symbol):
+        child = inputs[regex.label]
+        if child.out_label == label:
+            return child
+        return Relabel(child, label)
+    return Path.over({l: inputs[l] for l in alphabet}, regex, label)
+
+
+# ----------------------------------------------------------------------
+# Rule 3: PATH concatenation → PATTERN join
+# ----------------------------------------------------------------------
+def concat_to_pattern(plan: Plan) -> Plan | None:
+    """``P[R1.R2]`` → ``PATTERN[trg1=src2](P[R1], P[R2])``.
+
+    Applies when the PATH regex is a top-level concatenation.  Exact
+    because PATTERN's interval intersection mirrors PATH's simultaneous
+    validity requirement (Definitions 19/20).
+    """
+    if not isinstance(plan, Path) or not isinstance(plan.regex, Concat):
+        return None
+    regex = plan.regex
+    inputs = plan.input_map
+    left = _path_for(regex.left, inputs, f"{plan.label}.l")
+    right = _path_for(regex.right, inputs, f"{plan.label}.r")
+    return Pattern(
+        (
+            PatternInput(left, "x", "z"),
+            PatternInput(right, "z", "y"),
+        ),
+        "x",
+        "y",
+        plan.label,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule 4 (inverse of 3, through a closure): inline a linear join chain
+# ----------------------------------------------------------------------
+def fuse_pattern_into_path(plan: Plan) -> Plan | None:
+    """``P[d+](PATTERN-chain(l1, ..., ln))`` → ``P[(l1...ln)+]``.
+
+    The canonical Q4 plan computes the base pattern ``a.b.c`` with joins
+    and applies ``d+`` on the derived edges; this rewrite produces the
+    paper's P1, which runs the whole expression inside a single PATH.
+    Applies when the PATH regex is ``d+`` (or ``d``), its only input is a
+    PATTERN forming a linear variable chain, and the chain's child plans
+    emit pairwise-distinct labels.
+    """
+    if not isinstance(plan, Path):
+        return None
+    regex = plan.regex
+    if isinstance(regex, Plus) and isinstance(regex.inner, Symbol):
+        derived = regex.inner.label
+        wrap_plus = True
+    elif isinstance(regex, Symbol):
+        derived = regex.label
+        wrap_plus = False
+    else:
+        return None
+
+    inputs = plan.input_map
+    if set(inputs) != {derived}:
+        return None
+    child = inputs[derived]
+    if not isinstance(child, Pattern):
+        return None
+    chain = _linear_chain(child)
+    if chain is None:
+        return None
+
+    labels = [conjunct.plan.out_label for conjunct in chain]
+    if len(set(labels)) != len(labels):
+        return None
+
+    fused: RegexNode = Symbol(labels[0])
+    for label in labels[1:]:
+        fused = Concat(fused, Symbol(label))
+    if wrap_plus:
+        fused = Plus(fused)
+    new_inputs = {
+        conjunct.plan.out_label: conjunct.plan for conjunct in chain
+    }
+    return Path.over(new_inputs, fused, plan.label)
+
+
+def _linear_chain(pattern: Pattern) -> tuple[PatternInput, ...] | None:
+    """Order the conjuncts into a chain x0 -> x1 -> ... -> xn, or None.
+
+    The chain must start at ``pattern.src_var``, end at ``pattern.trg_var``
+    and use each intermediate variable exactly twice (once as a target,
+    once as a source) — i.e. the PATTERN is a pure concatenation join.
+    """
+    by_src = {c.src_var: c for c in pattern.inputs}
+    if len(by_src) != len(pattern.inputs):
+        return None
+    ordered: list[PatternInput] = []
+    var = pattern.src_var
+    seen_vars = {var}
+    for _ in range(len(pattern.inputs)):
+        conjunct = by_src.get(var)
+        if conjunct is None or conjunct.trg_var in seen_vars:
+            return None
+        ordered.append(conjunct)
+        var = conjunct.trg_var
+        seen_vars.add(var)
+    if var != pattern.trg_var or len(ordered) != len(pattern.inputs):
+        return None
+    return tuple(ordered)
+
+
+# ----------------------------------------------------------------------
+# Composite rewrites used by the Section 7.4 micro-benchmarks
+# ----------------------------------------------------------------------
+def group_concat_prefix(plan: Path, size: int, new_label: Label) -> Path:
+    """Replace the first ``size`` symbols of a ``(l1...ln)+`` PATH by a
+    PATTERN-derived label, yielding e.g. P3 = ``P[(d.c)+](Z(a, b), c)``.
+
+    ``plan`` must have regex ``(l1. ... .ln)+`` with distinct symbols.
+    """
+    return _group_concat(plan, 0, size, new_label)
+
+
+def group_concat_suffix(plan: Path, size: int, new_label: Label) -> Path:
+    """Replace the last ``size`` symbols, yielding e.g.
+    P2 = ``P[(a.d)+](a, Z(b, c))``."""
+    symbols = _plus_chain_symbols(plan)
+    return _group_concat(plan, len(symbols) - size, size, new_label)
+
+
+def _plus_chain_symbols(plan: Path) -> list[str]:
+    regex = plan.regex
+    if not isinstance(regex, Plus):
+        raise PlanError("expected a regex of the form (l1 ... ln)+")
+    symbols: list[str] = []
+
+    def collect(node: RegexNode) -> None:
+        if isinstance(node, Concat):
+            collect(node.left)
+            collect(node.right)
+        elif isinstance(node, Symbol):
+            symbols.append(node.label)
+        else:
+            raise PlanError("expected a pure concatenation of symbols under +")
+
+    collect(regex.inner)
+    if len(set(symbols)) != len(symbols):
+        raise PlanError("grouping requires pairwise distinct symbols")
+    return symbols
+
+
+def _group_concat(plan: Path, start: int, size: int, new_label: Label) -> Path:
+    symbols = _plus_chain_symbols(plan)
+    if size < 2 or start < 0 or start + size > len(symbols):
+        raise PlanError(
+            f"cannot group {size} symbols at offset {start} of {symbols}"
+        )
+    inputs = plan.input_map
+    grouped = symbols[start : start + size]
+
+    conjuncts = []
+    for index, label in enumerate(grouped):
+        conjuncts.append(PatternInput(inputs[label], f"v{index}", f"v{index + 1}"))
+    pattern = Pattern(tuple(conjuncts), "v0", f"v{len(grouped)}", new_label)
+
+    remaining = symbols[:start] + [new_label] + symbols[start + size :]
+    fused: RegexNode = Symbol(remaining[0])
+    for label in remaining[1:]:
+        fused = Concat(fused, Symbol(label))
+    new_inputs: dict[Label, Plan] = {new_label: pattern}
+    for label in remaining:
+        if label != new_label:
+            new_inputs[label] = inputs[label]
+    return Path.over(new_inputs, Plus(fused), plan.label)
+
+
+# ----------------------------------------------------------------------
+# Enumeration
+# ----------------------------------------------------------------------
+_ROOT_RULES = (
+    push_filter_into_wscan,
+    split_alternation,
+    concat_to_pattern,
+    fuse_pattern_into_path,
+)
+
+
+def rewrite_once(plan: Plan) -> list[Plan]:
+    """All plans obtained by applying one rule at one node of ``plan``."""
+    results: list[Plan] = []
+    for rule in _ROOT_RULES:
+        rewritten = rule(plan)
+        if rewritten is not None:
+            results.append(rewritten)
+    for index, child in enumerate(plan.children()):
+        for new_child in rewrite_once(child):
+            results.append(_replace_child(plan, index, new_child))
+    return results
+
+
+def _replace_child(plan: Plan, index: int, new_child: Plan) -> Plan:
+    if isinstance(plan, Filter):
+        return Filter(new_child, plan.predicate)
+    if isinstance(plan, Relabel):
+        return Relabel(new_child, plan.label)
+    if isinstance(plan, Union):
+        if index == 0:
+            return Union(new_child, plan.right, plan.label)
+        return Union(plan.left, new_child, plan.label)
+    if isinstance(plan, Pattern):
+        conjuncts = list(plan.inputs)
+        old = conjuncts[index]
+        conjuncts[index] = PatternInput(new_child, old.src_var, old.trg_var)
+        return Pattern(tuple(conjuncts), plan.src_var, plan.trg_var, plan.label)
+    if isinstance(plan, Path):
+        pairs = list(plan.inputs)
+        label, _ = pairs[index]
+        pairs[index] = (label, new_child)
+        return Path(tuple(pairs), plan.regex, plan.label)
+    raise PlanError(f"cannot replace child of {plan!r}")
+
+
+def enumerate_plans(plan: Plan, limit: int = 64) -> list[Plan]:
+    """Explore the plan space reachable through the transformation rules.
+
+    Breadth-first closure over :func:`rewrite_once`, bounded by ``limit``
+    distinct plans.  The input plan is always first in the result.
+    """
+    seen: dict[Plan, None] = {plan: None}
+    frontier = [plan]
+    while frontier and len(seen) < limit:
+        next_frontier: list[Plan] = []
+        for current in frontier:
+            for rewritten in rewrite_once(current):
+                if rewritten not in seen:
+                    seen[rewritten] = None
+                    next_frontier.append(rewritten)
+                    if len(seen) >= limit:
+                        break
+            if len(seen) >= limit:
+                break
+        frontier = next_frontier
+    return list(seen)
+
+
+def plan_size(plan: Plan) -> int:
+    """Number of operator nodes (used to rank enumerated plans)."""
+    return sum(1 for _ in walk(plan))

@@ -1,0 +1,105 @@
+"""SGQ → canonical SGA translation (Algorithm SGQParser, Theorem 1).
+
+The translation walks the predicates of the Regular Query in dependency
+order and builds one SGA sub-plan per predicate:
+
+* each EDB label becomes a ``WSCAN`` over its input stream,
+* each transitive-closure atom ``l+(x, y) as d`` becomes a ``PATH`` with
+  regex ``l+``,
+* each rule becomes a ``PATTERN`` over the plans of its body atoms,
+* multiple rules with the same head are merged with ``UNION``.
+
+The result is the *canonical* plan; :mod:`repro.algebra.rewrite` explores
+equivalent alternatives.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Path,
+    Pattern,
+    PatternInput,
+    Plan,
+    Relabel,
+    Union,
+    WScan,
+)
+from repro.core.tuples import Label
+from repro.errors import PlanError
+from repro.query.datalog import ANSWER, Atom, ClosureAtom, RQProgram, Rule
+from repro.query.sgq import SGQ
+from repro.query.validation import topological_order
+from repro.regex.ast import Plus, Symbol
+
+
+def sgq_to_sga(query: SGQ) -> Plan:
+    """Translate a streaming graph query into its canonical SGA plan."""
+    return _translate(query.program, query)
+
+
+def rq_to_sga(program: RQProgram, query: SGQ) -> Plan:
+    """Translate an RQ with the window specification of ``query``."""
+    return _translate(program, query)
+
+
+def _translate(program: RQProgram, query: SGQ) -> Plan:
+    exp: dict[Label, Plan] = {}
+    edb = program.edb_labels
+
+    # Closure atoms are keyed by their exported name; collect one each.
+    closures = {atom.name: atom for atom in program.closure_atoms()}
+
+    for label in topological_order(program):
+        if label in edb:
+            exp[label] = WScan(label, query.window_for(label))
+        elif label in closures:
+            atom = closures[label]
+            exp[label] = Path.over(
+                {atom.label: exp[atom.label]},
+                Plus(Symbol(atom.label)),
+                label,
+            )
+        else:
+            plan: Plan | None = None
+            for rule in program.rules_for(label):
+                rule_plan = _translate_rule(rule, exp)
+                plan = rule_plan if plan is None else Union(plan, rule_plan, label)
+            if plan is None:
+                raise PlanError(f"predicate {label!r} has no defining rule")
+            exp[label] = plan
+
+    if ANSWER not in exp:
+        raise PlanError(f"program does not define {ANSWER}")
+    return exp[ANSWER]
+
+
+def _translate_rule(rule: Rule, exp: dict[Label, Plan]) -> Plan:
+    if single_atom_is_rename(rule):
+        atom = rule.body[0]
+        label = atom.name if isinstance(atom, ClosureAtom) else atom.label
+        if label not in exp:
+            raise PlanError(f"no plan for body predicate {label!r}")
+        # Payload-preserving rename: materialized paths flow through.
+        return Relabel(exp[label], rule.head_label)
+    inputs = []
+    for atom in rule.body:
+        label = atom.name if isinstance(atom, ClosureAtom) else atom.label
+        if label not in exp:
+            raise PlanError(f"no plan for body predicate {label!r}")
+        inputs.append(PatternInput(exp[label], atom.src, atom.trg))
+    return Pattern(tuple(inputs), rule.head_src, rule.head_trg, rule.head_label)
+
+
+def single_atom_is_rename(rule: Rule) -> bool:
+    """True when a rule merely renames its single body atom.
+
+    ``Answer(x, y) <- Notify(x, y)`` is a rename: the physical planner
+    compiles such PATTERNs to a zero-state relabeling map instead of a
+    join tree.
+    """
+    if len(rule.body) != 1:
+        return False
+    atom = rule.body[0]
+    if isinstance(atom, (Atom, ClosureAtom)):
+        return atom.variables == rule.head_variables and atom.src != atom.trg
+    return False

@@ -1,0 +1,37 @@
+"""Benchmark harness reproducing the Section 7 experiments.
+
+* :mod:`repro.bench.harness` — timed runs of the SGA engine and the DD
+  baseline, reporting the paper's two metrics: aggregate throughput
+  (edges/s) and p99 window-slide tail latency.
+* :mod:`repro.bench.experiments` — one function per table/figure
+  (Table 2, Table 3, Figures 10-14), each returning printable rows.
+* :mod:`repro.bench.reporting` — ASCII rendering of result tables.
+"""
+
+from repro.bench.harness import BenchResult, run_dd_bench, run_sga_bench
+from repro.bench.experiments import (
+    SMALL_SCALE,
+    Scale,
+    fig10a_window_size,
+    fig10b_slide,
+    fig11_dd_slide,
+    plan_space,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.reporting import format_rows
+
+__all__ = [
+    "BenchResult",
+    "run_sga_bench",
+    "run_dd_bench",
+    "Scale",
+    "SMALL_SCALE",
+    "table2_rows",
+    "table3_rows",
+    "fig10a_window_size",
+    "fig10b_slide",
+    "fig11_dd_slide",
+    "plan_space",
+    "format_rows",
+]

@@ -1,0 +1,82 @@
+"""Timed executions of the two engines over prepared streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import Plan
+from repro.core.tuples import SGE, Label
+from repro.core.windows import SlidingWindow
+from repro.dd import DDEngine
+from repro.engine import StreamingGraphQueryProcessor
+from repro.query.datalog import RQProgram
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement (one system × query × configuration)."""
+
+    system: str
+    throughput: float
+    tail_latency: float
+    edges: int
+    slides: int
+    results: int
+
+    def row(self, **extra: object) -> dict[str, object]:
+        data = {
+            "system": self.system,
+            "throughput (edges/s)": round(self.throughput, 1),
+            "p99 latency (s)": round(self.tail_latency, 5),
+            "edges": self.edges,
+            "slides": self.slides,
+            "results": self.results,
+        }
+        data.update(extra)
+        return data
+
+
+def run_sga_bench(
+    plan: Plan,
+    stream: list[SGE],
+    path_impl: str = "negative",
+) -> BenchResult:
+    """Run the SGA engine over a stream and collect metrics.
+
+    ``path_impl`` defaults to the negative-tuple RPQ operator — the
+    prototype's default PATH implementation (Section 6.2.3); Table 3
+    passes ``"spath"`` to measure the S-PATH alternative.
+    """
+    # Paths are not materialized: the DD baseline cannot return paths,
+    # so the comparison is over result-pair production (as in the paper).
+    processor = StreamingGraphQueryProcessor(
+        plan, path_impl, materialize_paths=False
+    )
+    stats = processor.run(stream)
+    return BenchResult(
+        system=f"SGA[{path_impl}]",
+        throughput=stats.throughput,
+        tail_latency=stats.tail_latency(),
+        edges=stats.total_edges,
+        slides=len(stats.slides),
+        results=processor.result_count(),
+    )
+
+
+def run_dd_bench(
+    program: RQProgram,
+    stream: list[SGE],
+    window: SlidingWindow,
+    label_windows: dict[Label, SlidingWindow] | None = None,
+) -> BenchResult:
+    """Run the DD baseline engine over a stream and collect metrics."""
+    engine = DDEngine(program, window, label_windows)
+    stats = engine.run(stream)
+    return BenchResult(
+        system="DD",
+        throughput=stats.throughput,
+        tail_latency=stats.tail_latency(),
+        edges=stats.total_edges,
+        slides=len(stats.epochs),
+        results=len(engine.answer()),
+    )

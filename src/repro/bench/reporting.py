@@ -1,0 +1,56 @@
+"""ASCII table rendering for benchmark rows."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_rows(
+    rows: list[dict[str, object]],
+    columns: Iterable[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render row dicts as a fixed-width ASCII table.
+
+    Columns default to the union of keys in first-seen order, with the
+    identifying columns (dataset/query/plan/system) pulled to the front.
+    """
+    if not rows:
+        return "(no rows)"
+
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        front = [
+            k
+            for k in ("dataset", "query", "plan", "system")
+            if k in seen
+        ]
+        rest = [k for k in seen if k not in front]
+        columns = front + rest
+    columns = list(columns)
+
+    widths = {c: len(c) for c in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            text = f"{value}"
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for cells in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Core streaming graph data model (Section 3 of the paper).
+
+This package defines the vocabulary the rest of the library is written in:
+
+* :class:`~repro.core.intervals.Interval` — half-open validity intervals
+  ``[ts, exp)`` (Definition 5).
+* :class:`~repro.core.tuples.SGE` — streaming graph edges carrying an event
+  timestamp (Definition 3).
+* :class:`~repro.core.tuples.SGT` — streaming graph tuples carrying a
+  validity interval and a payload (Definition 7).
+* :class:`~repro.core.streams.InputGraphStream` and
+  :class:`~repro.core.streams.StreamingGraph` — ordered sequences of sges
+  and sgts (Definitions 4 and 8).
+* :func:`~repro.core.coalesce.coalesce` — the coalesce primitive
+  (Definition 11).
+* :class:`~repro.core.graph.MaterializedPathGraph` — graphs with paths as
+  first-class citizens (Definition 6) and snapshot extraction
+  (Definition 12).
+* :class:`~repro.core.windows.SlidingWindow` — time-based sliding window
+  specifications used by the WSCAN operator (Definition 16).
+"""
+
+from repro.core.coalesce import coalesce, coalesce_stream, keep_longest_payload
+from repro.core.graph import MaterializedPathGraph, snapshot
+from repro.core.intervals import Interval
+from repro.core.streams import InputGraphStream, StreamingGraph, partition_by_label
+from repro.core.tuples import SGE, SGT, EdgePayload, PathPayload
+from repro.core.windows import SlidingWindow
+
+__all__ = [
+    "Interval",
+    "SGE",
+    "SGT",
+    "EdgePayload",
+    "PathPayload",
+    "InputGraphStream",
+    "StreamingGraph",
+    "partition_by_label",
+    "coalesce",
+    "coalesce_stream",
+    "keep_longest_payload",
+    "MaterializedPathGraph",
+    "snapshot",
+    "SlidingWindow",
+]

@@ -1,0 +1,102 @@
+"""The coalesce primitive (Definition 11).
+
+SGA operators may produce several value-equivalent sgts whose validity
+intervals overlap or are adjacent.  Coalescing merges such sgts into one,
+taking the smallest start and the largest expiry, and combining payloads
+with an operator-specific aggregation function ``f_agg``.  Coalescing is
+what gives snapshot graphs their *set* semantics: at any instant, an edge
+or path exists at most once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Sequence
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, Payload
+from repro.errors import InvalidIntervalError
+
+#: Aggregation function combining the payloads of merged sgts.  Receives
+#: the payloads ordered consistently with the merged intervals.
+PayloadAgg = Callable[[Sequence[Payload]], Payload]
+
+
+def keep_first_payload(payloads: Sequence[Payload]) -> Payload:
+    """Default ``f_agg``: keep the payload of the first tuple."""
+    return payloads[0]
+
+
+def keep_longest_payload(payloads: Sequence[Payload]) -> Payload:
+    """``f_agg`` used by S-PATH: keep the payload of the tuple that expires
+    furthest in the future (the caller orders payloads by expiry)."""
+    return payloads[-1]
+
+
+def coalesce(
+    tuples: Sequence[SGT],
+    f_agg: PayloadAgg = keep_first_payload,
+) -> SGT:
+    """Merge value-equivalent sgts with mergeable intervals into one sgt.
+
+    Raises
+    ------
+    InvalidIntervalError
+        If the tuples are not value-equivalent or their intervals do not
+        form one contiguous block (coalescing disjoint intervals would
+        fabricate validity).
+    """
+    if not tuples:
+        raise InvalidIntervalError("coalesce requires at least one tuple")
+    head = tuples[0]
+    if any(t.key() != head.key() for t in tuples):
+        raise InvalidIntervalError("coalesce requires value-equivalent tuples")
+
+    ordered = sorted(tuples, key=lambda t: (t.ts, t.exp))
+    merged = ordered[0].interval
+    for t in ordered[1:]:
+        if not merged.mergeable(t.interval):
+            raise InvalidIntervalError(
+                f"intervals {merged} and {t.interval} are disjoint; "
+                "coalesce applies only to overlapping or adjacent intervals"
+            )
+        merged = merged.union(t.interval)
+
+    by_exp = sorted(ordered, key=lambda t: t.exp)
+    payload = f_agg([t.payload for t in by_exp])
+    return SGT(head.src, head.trg, head.label, merged, payload)
+
+
+def coalesce_stream(
+    tuples: Iterable[SGT],
+    f_agg: PayloadAgg = keep_first_payload,
+) -> list[SGT]:
+    """Coalesce an arbitrary collection of sgts.
+
+    Tuples are grouped by their value-equivalence key; within each group,
+    runs of mergeable intervals are collapsed.  Disjoint runs stay separate
+    tuples (an edge that existed twice with a gap is two facts).  The result
+    is sorted by (key, ts) and satisfies the set semantics of Definition 12:
+    for each key, intervals are pairwise disjoint and non-adjacent.
+    """
+    groups: dict[tuple, list[SGT]] = defaultdict(list)
+    for t in tuples:
+        groups[t.key()].append(t)
+
+    out: list[SGT] = []
+    for key in sorted(groups, key=repr):
+        run: list[SGT] = []
+        run_interval: Interval | None = None
+        for t in sorted(groups[key], key=lambda t: (t.ts, t.exp)):
+            if run_interval is None or run_interval.mergeable(t.interval):
+                run.append(t)
+                run_interval = (
+                    t.interval if run_interval is None else run_interval.union(t.interval)
+                )
+            else:
+                out.append(coalesce(run, f_agg))
+                run = [t]
+                run_interval = t.interval
+        if run:
+            out.append(coalesce(run, f_agg))
+    return out

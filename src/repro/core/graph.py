@@ -1,0 +1,138 @@
+"""Materialized path graphs and snapshot extraction (Definitions 6, 12).
+
+A :class:`MaterializedPathGraph` generalizes a directed labeled graph with
+a set of first-class paths.  Snapshot graphs — the instantaneous state of a
+streaming graph at a time instant — are materialized path graphs and are
+the objects the *reference* (one-time) evaluator operates on; snapshot
+reducibility ties the streaming operators back to them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.core.tuples import SGT, EdgePayload, Label, PathPayload, Vertex
+
+
+class MaterializedPathGraph:
+    """A directed labeled graph whose paths are first-class citizens.
+
+    Edges and paths are stored as `(src, trg, label)` triples plus, for
+    paths, the ordered hop sequence assigned by the incidence function
+    ``rho``.  Per Definition 6 the label images of edges and paths are
+    disjoint; this class does not enforce the disjointness globally (the
+    query layer reserves derived labels) but keeps edges and paths in
+    separate collections.
+    """
+
+    def __init__(self) -> None:
+        self._edges: set[tuple[Vertex, Vertex, Label]] = set()
+        self._paths: dict[tuple[Vertex, Vertex, Label], PathPayload] = {}
+        self._out: dict[tuple[Vertex, Label], set[Vertex]] = defaultdict(set)
+        self._in: dict[tuple[Vertex, Label], set[Vertex]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, src: Vertex, trg: Vertex, label: Label) -> None:
+        triple = (src, trg, label)
+        if triple in self._edges:
+            return
+        self._edges.add(triple)
+        self._out[(src, label)].add(trg)
+        self._in[(trg, label)].add(src)
+
+    def add_path(self, src: Vertex, trg: Vertex, label: Label, path: PathPayload) -> None:
+        key = (src, trg, label)
+        if key in self._paths:
+            return
+        self._paths[key] = path
+        self._out[(src, label)].add(trg)
+        self._in[(trg, label)].add(src)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> set[Vertex]:
+        verts: set[Vertex] = set()
+        for src, trg, _ in self._edges:
+            verts.add(src)
+            verts.add(trg)
+        for src, trg, _ in self._paths:
+            verts.add(src)
+            verts.add(trg)
+        return verts
+
+    @property
+    def edges(self) -> set[tuple[Vertex, Vertex, Label]]:
+        return set(self._edges)
+
+    @property
+    def paths(self) -> dict[tuple[Vertex, Vertex, Label], PathPayload]:
+        return dict(self._paths)
+
+    @property
+    def labels(self) -> set[Label]:
+        labels = {l for _, _, l in self._edges}
+        labels.update(l for _, _, l in self._paths)
+        return labels
+
+    def triples(self) -> Iterator[tuple[Vertex, Vertex, Label]]:
+        """All (src, trg, label) facts: edges and paths uniformly."""
+        yield from self._edges
+        yield from self._paths
+
+    def has(self, src: Vertex, trg: Vertex, label: Label) -> bool:
+        key = (src, trg, label)
+        return key in self._edges or key in self._paths
+
+    def successors(self, src: Vertex, label: Label) -> set[Vertex]:
+        """Targets reachable from ``src`` over a single ``label`` fact."""
+        return set(self._out.get((src, label), ()))
+
+    def predecessors(self, trg: Vertex, label: Label) -> set[Vertex]:
+        return set(self._in.get((trg, label), ()))
+
+    def triples_with_label(self, label: Label) -> list[tuple[Vertex, Vertex]]:
+        pairs = [(s, t) for s, t, l in self._edges if l == label]
+        pairs.extend((s, t) for s, t, l in self._paths if l == label)
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self._edges) + len(self._paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaterializedPathGraph({len(self._edges)} edges, "
+            f"{len(self._paths)} paths)"
+        )
+
+
+def snapshot(tuples: Iterable[SGT], t: int) -> MaterializedPathGraph:
+    """Snapshot graph ``G_t`` of a streaming graph at instant ``t``.
+
+    Definition 12: the graph formed by all sgts whose validity interval
+    contains ``t``.  Edge-payload sgts become edges, path-payload sgts
+    become materialized paths.
+    """
+    graph = MaterializedPathGraph()
+    for sgt in tuples:
+        if not sgt.valid_at(t):
+            continue
+        if isinstance(sgt.payload, PathPayload):
+            graph.add_path(sgt.src, sgt.trg, sgt.label, sgt.payload)
+        else:
+            graph.add_edge(sgt.src, sgt.trg, sgt.label)
+    return graph
+
+
+def graph_from_triples(
+    triples: Iterable[tuple[Vertex, Vertex, Label]],
+) -> MaterializedPathGraph:
+    """Build a path-free materialized path graph from raw triples."""
+    graph = MaterializedPathGraph()
+    for src, trg, label in triples:
+        graph.add_edge(src, trg, label)
+    return graph

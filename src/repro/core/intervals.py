@@ -1,0 +1,206 @@
+"""Half-open validity intervals (Definition 5).
+
+A validity interval ``[ts, exp)`` contains every time instant ``t`` with
+``ts <= t < exp``.  Timestamps are non-negative integers drawn from a
+discrete, totally ordered time domain; the paper (and this library) uses
+integers without loss of generality.
+
+Intervals are immutable value objects.  All set-style operations
+(:meth:`Interval.intersect`, :meth:`Interval.union`, overlap tests) are
+defined here so that operator implementations never manipulate raw
+``(ts, exp)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidIntervalError
+
+#: Sentinel expiry for tuples that never expire (e.g. unwindowed streams).
+FOREVER = 2**62
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A half-open time interval ``[ts, exp)``.
+
+    Parameters
+    ----------
+    ts:
+        Inclusive start instant.
+    exp:
+        Exclusive end instant; must be strictly greater than ``ts``.
+    """
+
+    ts: int
+    exp: int
+
+    def __post_init__(self) -> None:
+        if self.exp <= self.ts:
+            raise InvalidIntervalError(
+                f"empty or inverted interval [{self.ts}, {self.exp})"
+            )
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def contains(self, t: int) -> bool:
+        """Return True iff instant ``t`` lies inside the interval."""
+        return self.ts <= t < self.exp
+
+    def is_expired_at(self, t: int) -> bool:
+        """Return True iff the interval ends at or before instant ``t``."""
+        return self.exp <= t
+
+    @property
+    def duration(self) -> int:
+        """Number of instants covered by the interval."""
+        return self.exp - self.ts
+
+    # ------------------------------------------------------------------
+    # Binary relations
+    # ------------------------------------------------------------------
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True iff the two intervals share at least one instant."""
+        return self.ts < other.exp and other.ts < self.exp
+
+    def adjacent(self, other: "Interval") -> bool:
+        """Return True iff the intervals abut without overlapping."""
+        return self.exp == other.ts or other.exp == self.ts
+
+    def mergeable(self, other: "Interval") -> bool:
+        """Return True iff the intervals overlap or are adjacent.
+
+        Mergeable intervals can be coalesced into a single interval without
+        covering instants that belong to neither input (Definition 11
+        applies only to such intervals).
+        """
+        return self.overlaps(other) or self.adjacent(other)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the common sub-interval, or None when disjoint.
+
+        PATTERN and PATH use intersection to compute the validity of derived
+        tuples: a join result is valid exactly when all of its participating
+        tuples are simultaneously valid (Definitions 19 and 20).
+        """
+        ts = max(self.ts, other.ts)
+        exp = min(self.exp, other.exp)
+        if ts >= exp:
+            return None
+        return Interval(ts, exp)
+
+    def union(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both inputs.
+
+        Only meaningful for mergeable intervals; raises otherwise because a
+        union of disjoint intervals would fabricate validity.
+        """
+        if not self.mergeable(other):
+            raise InvalidIntervalError(
+                f"cannot union disjoint intervals {self} and {other}"
+            )
+        return Interval(min(self.ts, other.ts), max(self.exp, other.exp))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.ts}, {self.exp})"
+
+
+def intersect_all(intervals: "list[Interval]") -> "Interval | None":
+    """Intersect a non-empty list of intervals; None when empty overall."""
+    if not intervals:
+        raise InvalidIntervalError("intersect_all requires at least one interval")
+    ts = max(iv.ts for iv in intervals)
+    exp = min(iv.exp for iv in intervals)
+    if ts >= exp:
+        return None
+    return Interval(ts, exp)
+
+
+def net_cover(
+    plus: "list[Interval]", minus: "list[Interval]"
+) -> "list[Interval]":
+    """Multiset difference of instant covers.
+
+    Each interval in ``plus`` contributes +1 support to its instants and
+    each in ``minus`` contributes -1; the result covers exactly the
+    instants with positive net support, coalesced.  This is how sinks fold
+    insertion and retraction events: retracting one of two overlapping
+    derivations must keep the shared instants covered (counting
+    semantics), which plain set subtraction would lose.
+    """
+    boundaries: dict[int, int] = {}
+    for iv in plus:
+        boundaries[iv.ts] = boundaries.get(iv.ts, 0) + 1
+        boundaries[iv.exp] = boundaries.get(iv.exp, 0) - 1
+    for iv in minus:
+        boundaries[iv.ts] = boundaries.get(iv.ts, 0) - 1
+        boundaries[iv.exp] = boundaries.get(iv.exp, 0) + 1
+
+    result: list[Interval] = []
+    support = 0
+    start: int | None = None
+    for point in sorted(boundaries):
+        support += boundaries[point]
+        if support > 0 and start is None:
+            start = point
+        elif support <= 0 and start is not None:
+            if point > start:
+                result.append(Interval(start, point))
+            start = None
+    return cover(result)
+
+
+def subtract_cover(
+    plus: "list[Interval]", minus: "list[Interval]"
+) -> "list[Interval]":
+    """Set difference of instant covers: instants in ``plus`` not in ``minus``.
+
+    Both inputs may be arbitrary (overlapping, unsorted) interval lists;
+    the result is disjoint, sorted, coalesced.  Sinks use this to apply
+    retraction (negative-tuple) events to accumulated results.
+    """
+    kept = cover(plus)
+    removed = cover(minus)
+    result: list[Interval] = []
+    index = 0
+    for iv in kept:
+        start = iv.ts
+        while index < len(removed) and removed[index].exp <= start:
+            index += 1
+        cursor = index
+        while cursor < len(removed) and removed[cursor].ts < iv.exp:
+            cut = removed[cursor]
+            if cut.ts > start:
+                result.append(Interval(start, cut.ts))
+            start = max(start, cut.exp)
+            if start >= iv.exp:
+                break
+            cursor += 1
+        if start < iv.exp:
+            result.append(Interval(start, iv.exp))
+    return result
+
+
+def cover(intervals: "list[Interval]") -> "list[Interval]":
+    """Normalize a list of intervals into disjoint, sorted, coalesced form.
+
+    The result covers exactly the same set of instants as the input.  Used
+    by tests to compare the *validity sets* produced by different physical
+    operators irrespective of how they chop results into tuples.
+    """
+    if not intervals:
+        return []
+    ordered = sorted(intervals, key=lambda iv: (iv.ts, iv.exp))
+    merged = [ordered[0]]
+    for iv in ordered[1:]:
+        last = merged[-1]
+        if last.mergeable(iv):
+            merged[-1] = last.union(iv)
+        else:
+            merged.append(iv)
+    return merged

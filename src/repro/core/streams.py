@@ -1,0 +1,117 @@
+"""Input graph streams and streaming graphs (Definitions 4, 8, 9).
+
+An :class:`InputGraphStream` is an ordered sequence of sges as delivered by
+an external source.  A :class:`StreamingGraph` is an ordered sequence of
+sgts — the format used for operator inputs, intermediate results, and
+query outputs.  Both enforce non-decreasing timestamp order on append,
+matching the paper's in-order arrival assumption.
+
+:func:`partition_by_label` implements logical partitioning (Definition 9):
+splitting a streaming graph into disjoint per-label streams, the shape SGA
+operators consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.core.tuples import SGE, SGT, Label
+from repro.errors import StreamOrderError
+
+
+class InputGraphStream:
+    """A continuously growing, timestamp-ordered sequence of sges."""
+
+    def __init__(self, edges: Iterable[SGE] = ()):
+        self._edges: list[SGE] = []
+        for edge in edges:
+            self.append(edge)
+
+    def append(self, edge: SGE) -> None:
+        """Append an sge; timestamps must be non-decreasing."""
+        if self._edges and edge.t < self._edges[-1].t:
+            raise StreamOrderError(
+                f"out-of-order sge at t={edge.t}, last t={self._edges[-1].t}"
+            )
+        self._edges.append(edge)
+
+    def extend(self, edges: Iterable[SGE]) -> None:
+        for edge in edges:
+            self.append(edge)
+
+    def __iter__(self) -> Iterator[SGE]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __getitem__(self, index: int) -> SGE:
+        return self._edges[index]
+
+    @property
+    def labels(self) -> set[Label]:
+        return {e.label for e in self._edges}
+
+    @property
+    def last_timestamp(self) -> int | None:
+        return self._edges[-1].t if self._edges else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InputGraphStream({len(self._edges)} edges)"
+
+
+class StreamingGraph:
+    """A continuously growing, arrival-ordered sequence of sgts.
+
+    Arrival order follows tuple start timestamps (``sgt.ts``), mirroring
+    Definition 8 where tuple *i* arrives before tuple *j* for ``i < j``.
+    """
+
+    def __init__(self, tuples: Iterable[SGT] = ()):
+        self._tuples: list[SGT] = []
+        for t in tuples:
+            self.append(t)
+
+    def append(self, sgt: SGT) -> None:
+        if self._tuples and sgt.ts < self._tuples[-1].ts:
+            raise StreamOrderError(
+                f"out-of-order sgt at ts={sgt.ts}, last ts={self._tuples[-1].ts}"
+            )
+        self._tuples.append(sgt)
+
+    def extend(self, tuples: Iterable[SGT]) -> None:
+        for t in tuples:
+            self.append(t)
+
+    def __iter__(self) -> Iterator[SGT]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __getitem__(self, index: int) -> SGT:
+        return self._tuples[index]
+
+    @property
+    def labels(self) -> set[Label]:
+        return {t.label for t in self._tuples}
+
+    def valid_at(self, t: int) -> list[SGT]:
+        """All sgts whose validity interval contains instant ``t``."""
+        return [sgt for sgt in self._tuples if sgt.valid_at(t)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingGraph({len(self._tuples)} tuples)"
+
+
+def partition_by_label(stream: Iterable[SGT]) -> dict[Label, StreamingGraph]:
+    """Logical partitioning of a streaming graph by tuple label.
+
+    Definition 9: produces disjoint streaming graphs, one per label, whose
+    union is the input.  At the logical level this is a FILTER per label.
+    """
+    buckets: dict[Label, list[SGT]] = defaultdict(list)
+    for sgt in stream:
+        buckets[sgt.label].append(sgt)
+    return {label: StreamingGraph(ts) for label, ts in buckets.items()}

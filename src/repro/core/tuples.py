@@ -1,0 +1,173 @@
+"""Streaming graph edges and tuples (Definitions 3 and 7).
+
+Two tuple shapes flow through the system:
+
+* :class:`SGE` — a *streaming graph edge* ``(src, trg, label, t)`` as it
+  arrives from an external source.  Sges carry a single event timestamp.
+* :class:`SGT` — a *streaming graph tuple*
+  ``(src, trg, label, [ts, exp), D)``.  Sgts generalize sges: they carry a
+  validity interval assigned by the windowing operator and a payload ``D``
+  recording the input edges that produced the tuple.  An sgt represents an
+  input edge, a *derived* edge (an operator result), or a *materialized
+  path* (a sequence of edges).
+
+Vertices and labels are plain hashable Python values (typically ``str`` or
+``int``); the library never interprets them beyond equality and hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.intervals import Interval
+
+Vertex = Hashable
+Label = str
+
+
+@dataclass(frozen=True, slots=True)
+class SGE:
+    """A streaming graph edge: one element of an input graph stream.
+
+    Attributes
+    ----------
+    src, trg:
+        Endpoints of the edge.
+    label:
+        Edge label drawn from the input alphabet ``phi(E_I)``.
+    t:
+        Event (application) timestamp assigned by the source.
+    """
+
+    src: Vertex
+    trg: Vertex
+    label: Label
+    t: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.src}-[{self.label}@{self.t}]->{self.trg}"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgePayload:
+    """Payload of an sgt that represents a single (input or derived) edge."""
+
+    src: Vertex
+    trg: Vertex
+    label: Label
+
+    def edges(self) -> "tuple[EdgePayload, ...]":
+        return (self,)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.src},{self.label},{self.trg})"
+
+
+@dataclass(frozen=True, slots=True)
+class PathPayload:
+    """Payload of an sgt that represents a materialized path.
+
+    The payload stores the ordered sequence of hops that form the path;
+    each hop is itself an :class:`EdgePayload`.  Treating paths as data is
+    requirement R3 of the paper: queries can return and manipulate them.
+    """
+
+    hops: tuple[EdgePayload, ...]
+
+    def edges(self) -> "tuple[EdgePayload, ...]":
+        return self.hops
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+    @property
+    def vertices(self) -> tuple[Vertex, ...]:
+        """Ordered vertex sequence visited by the path."""
+        if not self.hops:
+            return ()
+        verts = [self.hops[0].src]
+        verts.extend(hop.trg for hop in self.hops)
+        return tuple(verts)
+
+    def label_sequence(self) -> tuple[Label, ...]:
+        """The word phi_p(p): concatenation of the hop labels."""
+        return tuple(hop.label for hop in self.hops)
+
+    def concat(self, other: "PathPayload") -> "PathPayload":
+        """Concatenate two paths; the endpoints must chain."""
+        if self.hops and other.hops and self.hops[-1].trg != other.hops[0].src:
+            raise ValueError(
+                f"paths do not chain: {self.hops[-1].trg} != {other.hops[0].src}"
+            )
+        return PathPayload(self.hops + other.hops)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "<" + ", ".join(str(h) for h in self.hops) + ">"
+
+
+Payload = EdgePayload | PathPayload
+
+
+@dataclass(frozen=True, slots=True)
+class SGT:
+    """A streaming graph tuple (Definition 7).
+
+    The *distinguished* attributes are ``src``, ``trg`` and ``label``; two
+    sgts are value-equivalent (Definition 10) iff these agree.  The
+    *non-distinguished* attributes are the validity ``interval`` and the
+    ``payload`` D.
+    """
+
+    src: Vertex
+    trg: Vertex
+    label: Label
+    interval: Interval
+    payload: Payload = field(compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.payload is None:
+            object.__setattr__(self, "payload", EdgePayload(self.src, self.trg, self.label))
+
+    # ------------------------------------------------------------------
+    # Convenience accessors mirroring the paper's notation
+    # ------------------------------------------------------------------
+    @property
+    def ts(self) -> int:
+        return self.interval.ts
+
+    @property
+    def exp(self) -> int:
+        return self.interval.exp
+
+    def key(self) -> tuple[Vertex, Vertex, Label]:
+        """The value-equivalence key (Definition 10)."""
+        return (self.src, self.trg, self.label)
+
+    def value_equivalent(self, other: "SGT") -> bool:
+        """True iff the two sgts represent the same edge or path."""
+        return self.key() == other.key()
+
+    def is_path(self) -> bool:
+        return isinstance(self.payload, PathPayload)
+
+    def valid_at(self, t: int) -> bool:
+        return self.interval.contains(t)
+
+    def with_interval(self, interval: Interval) -> "SGT":
+        return SGT(self.src, self.trg, self.label, interval, self.payload)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.src}-[{self.label} {self.interval}]->{self.trg}"
+
+
+def sgt_from_sge(edge: SGE, interval: Interval) -> SGT:
+    """Wrap an input edge into an sgt with the given validity interval."""
+    return SGT(
+        edge.src,
+        edge.trg,
+        edge.label,
+        interval,
+        EdgePayload(edge.src, edge.trg, edge.label),
+    )

@@ -1,0 +1,22 @@
+"""Push-based dataflow substrate (Section 6.1).
+
+A miniature Timely-Dataflow-style execution layer: physical operators are
+vertices of a directed graph; :class:`~repro.dataflow.executor.Executor`
+pushes streaming graph events through the graph in event-time order and
+advances a watermark at window-slide boundaries so stateful operators can
+purge expired state (the *direct* approach) or synthesize expirations
+(the *negative-tuple* approach).
+"""
+
+from repro.dataflow.graph import DataflowGraph, Event, PhysicalOperator, SinkOp, SourceOp
+from repro.dataflow.executor import Executor, SlideStats
+
+__all__ = [
+    "Event",
+    "PhysicalOperator",
+    "DataflowGraph",
+    "SourceOp",
+    "SinkOp",
+    "Executor",
+    "SlideStats",
+]

@@ -1,0 +1,116 @@
+"""Bounded out-of-order arrival handling.
+
+The paper assumes in-order arrival and leaves out-of-order streams as
+future work (footnote 2).  This module provides the standard solution
+from the stream-processing literature: a *bounded disorder buffer* that
+holds arriving edges for a configurable lateness bound and releases them
+in timestamp order.  Edges later than the bound are either dropped or
+raised, per policy.
+
+The buffer composes with everything downstream — the engine continues to
+see a perfectly ordered stream, so no operator changes are needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator
+
+from repro.core.tuples import SGE
+from repro.errors import StreamOrderError
+
+#: What to do with an edge that arrives later than the lateness bound.
+DROP = "drop"
+RAISE = "raise"
+
+
+class DisorderBuffer:
+    """Reorders a stream with bounded lateness.
+
+    Parameters
+    ----------
+    lateness:
+        Maximum allowed disorder: an edge with timestamp ``t`` may arrive
+        any time before the watermark passes ``t + lateness``.
+    late_policy:
+        ``"drop"`` (count and discard) or ``"raise"``.
+    on_late:
+        Optional callback invoked with each late edge (e.g. for a
+        dead-letter stream).
+    """
+
+    def __init__(
+        self,
+        lateness: int,
+        late_policy: str = DROP,
+        on_late: Callable[[SGE], None] | None = None,
+    ):
+        if lateness < 0:
+            raise ValueError(f"lateness must be non-negative, got {lateness}")
+        if late_policy not in (DROP, RAISE):
+            raise ValueError(f"unknown late policy {late_policy!r}")
+        self.lateness = lateness
+        self.late_policy = late_policy
+        self._on_late = on_late
+        self._heap: list[tuple[int, int, SGE]] = []
+        self._seq = 0
+        self._watermark = -1
+        self.late_count = 0
+
+    def push(self, edge: SGE) -> list[SGE]:
+        """Offer one (possibly out-of-order) edge.
+
+        Returns the edges *released* by this arrival, in timestamp order:
+        the watermark advances to ``edge.t - lateness`` and everything at
+        or below it is final.
+        """
+        if edge.t <= self._watermark:
+            self.late_count += 1
+            if self._on_late is not None:
+                self._on_late(edge)
+            if self.late_policy == RAISE:
+                raise StreamOrderError(
+                    f"edge at t={edge.t} arrived after watermark "
+                    f"{self._watermark} (lateness bound {self.lateness})"
+                )
+            return []
+
+        self._seq += 1
+        heapq.heappush(self._heap, (edge.t, self._seq, edge))
+        new_watermark = edge.t - self.lateness
+        if new_watermark > self._watermark:
+            self._watermark = new_watermark
+        return self._drain(self._watermark)
+
+    def flush(self) -> list[SGE]:
+        """Release everything still buffered (end of stream)."""
+        released = self._drain(None)
+        return released
+
+    def _drain(self, up_to: int | None) -> list[SGE]:
+        released: list[SGE] = []
+        while self._heap and (up_to is None or self._heap[0][0] <= up_to):
+            _, _, edge = heapq.heappop(self._heap)
+            released.append(edge)
+        return released
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def reorder(
+    stream: Iterable[SGE],
+    lateness: int,
+    late_policy: str = DROP,
+) -> Iterator[SGE]:
+    """Wrap an out-of-order stream into an in-order one.
+
+    >>> from repro.core.tuples import SGE
+    >>> edges = [SGE(1, 2, "l", 5), SGE(1, 3, "l", 2), SGE(1, 4, "l", 9)]
+    >>> [e.t for e in reorder(edges, lateness=5)]
+    [2, 5, 9]
+    """
+    buffer = DisorderBuffer(lateness, late_policy)
+    for edge in stream:
+        yield from buffer.push(edge)
+    yield from buffer.flush()

@@ -1,0 +1,243 @@
+"""Dataflow graph: operators, channels, events, watermarks.
+
+Events carry an sgt and a sign: ``+1`` for insertions, ``-1`` for explicit
+deletions (negative tuples, Section 6.2.5).  Expirations due to window
+movement are *not* events — they are handled by each stateful operator
+when the watermark advances (the direct approach), or synthesized into
+deletions internally by negative-tuple operators.
+
+Watermark propagation follows Timely's frontier rule: an operator acts on
+the minimum watermark across its input ports, so diamonds in the graph
+never observe time moving backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.coalesce import coalesce_stream
+from repro.core.intervals import Interval, cover, net_cover
+from repro.core.tuples import SGT, Label, Vertex
+from repro.errors import ExecutionError
+
+INSERT = 1
+DELETE = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """An insertion (+1) or explicit deletion (-1) of an sgt."""
+
+    sgt: SGT
+    sign: int = INSERT
+
+    def __post_init__(self) -> None:
+        if self.sign not in (INSERT, DELETE):
+            raise ExecutionError(f"invalid event sign {self.sign}")
+
+
+class PhysicalOperator:
+    """Base class for physical operators.
+
+    Subclasses implement :meth:`on_event` (per-tuple processing; push
+    outputs with :meth:`emit`) and optionally :meth:`on_advance` (state
+    purge when the watermark moves).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._downstream: list[tuple["PhysicalOperator", int]] = []
+        self._input_watermarks: dict[int, int] = {}
+        self._watermark = -1
+        #: number of input ports; maintained by DataflowGraph.connect
+        self.arity = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (used by DataflowGraph)
+    # ------------------------------------------------------------------
+    def _subscribe(self, consumer: "PhysicalOperator", port: int) -> None:
+        self._downstream.append((consumer, port))
+
+    def _register_input(self, port: int) -> None:
+        self._input_watermarks[port] = -1
+        self.arity = max(self.arity, port + 1)
+
+    # ------------------------------------------------------------------
+    # Event flow
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        for consumer, port in self._downstream:
+            consumer.on_event(port, event)
+
+    def on_event(self, port: int, event: Event) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Progress (watermarks)
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        return self._watermark
+
+    def receive_watermark(self, port: int, t: int) -> None:
+        """Record an upstream watermark; advance when the frontier moves."""
+        current = self._input_watermarks.get(port, -1)
+        if t < current:
+            raise ExecutionError(
+                f"{self.name}: watermark regression on port {port}: {t} < {current}"
+            )
+        self._input_watermarks[port] = t
+        frontier = min(self._input_watermarks.values()) if self._input_watermarks else t
+        if frontier > self._watermark:
+            self._watermark = frontier
+            self.on_advance(frontier)
+            for consumer, consumer_port in self._downstream:
+                consumer.receive_watermark(consumer_port, frontier)
+
+    def on_advance(self, t: int) -> None:
+        """Hook: the window has advanced to instant ``t``.
+
+        Stateful operators purge state with ``exp <= t`` here; the default
+        is a no-op.  Emissions from this hook are allowed (negative-tuple
+        operators emit retractions and re-derivations).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SourceOp(PhysicalOperator):
+    """Entry point of a dataflow: forwards externally pushed events.
+
+    One source exists per input label; the executor routes each incoming
+    sge to the source of its label.
+    """
+
+    def __init__(self, label: Label):
+        super().__init__(f"source[{label}]")
+        self.label = label
+
+    def push(self, event: Event) -> None:
+        self.emit(event)
+
+    def push_watermark(self, t: int) -> None:
+        # Sources have a single implicit input port 0 driven by the
+        # executor.
+        self.receive_watermark(0, t)
+
+    def on_event(self, port: int, event: Event) -> None:  # pragma: no cover
+        raise ExecutionError("sources do not consume events")
+
+
+class SinkOp(PhysicalOperator):
+    """Terminal operator collecting result events.
+
+    Keeps every event in arrival order; :meth:`coverage` folds insertions
+    and retractions into per-key disjoint validity covers, and
+    :meth:`results` returns the coalesced sgts (set semantics).
+    """
+
+    def __init__(self, name: str = "sink", callback: Callable[[Event], None] | None = None):
+        super().__init__(name)
+        self.events: list[Event] = []
+        self._callback = callback
+
+    def on_event(self, port: int, event: Event) -> None:
+        self.events.append(event)
+        if self._callback is not None:
+            self._callback(event)
+
+    @property
+    def insert_count(self) -> int:
+        return sum(1 for e in self.events if e.sign == INSERT)
+
+    def coverage(self) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
+        """Net validity cover per (src, trg, label) after applying signs.
+
+        Counting semantics: retracting one of several overlapping
+        derivations keeps the instants the others still support.
+        """
+        plus: dict[tuple, list[Interval]] = {}
+        minus: dict[tuple, list[Interval]] = {}
+        for event in self.events:
+            bucket = plus if event.sign == INSERT else minus
+            bucket.setdefault(event.sgt.key(), []).append(event.sgt.interval)
+        out: dict[tuple, list[Interval]] = {}
+        for key, intervals in plus.items():
+            remaining = net_cover(intervals, minus.get(key, []))
+            if remaining:
+                out[key] = remaining
+        return out
+
+    def results(self) -> list[SGT]:
+        """Coalesced insert-side sgts (ignores retractions); see
+        :meth:`coverage` for sign-aware folding."""
+        return coalesce_stream(e.sgt for e in self.events if e.sign == INSERT)
+
+    def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        """Keys whose net validity cover contains instant ``t``."""
+        return {
+            key
+            for key, intervals in self.coverage().items()
+            if any(iv.contains(t) for iv in intervals)
+        }
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class DataflowGraph:
+    """A small DAG of physical operators with explicit wiring."""
+
+    def __init__(self) -> None:
+        self.operators: list[PhysicalOperator] = []
+        self.sources: dict[Label, SourceOp] = {}
+        self.sinks: list[SinkOp] = []
+
+    def add(self, op: PhysicalOperator) -> PhysicalOperator:
+        self.operators.append(op)
+        if isinstance(op, SourceOp):
+            if op.label in self.sources:
+                raise ExecutionError(f"duplicate source for label {op.label!r}")
+            self.sources[op.label] = op
+        if isinstance(op, SinkOp):
+            self.sinks.append(op)
+        return op
+
+    def add_source(self, label: Label) -> SourceOp:
+        existing = self.sources.get(label)
+        if existing is not None:
+            return existing
+        source = SourceOp(label)
+        return self.add(source)  # type: ignore[return-value]
+
+    def connect(
+        self, producer: PhysicalOperator, consumer: PhysicalOperator, port: int = 0
+    ) -> None:
+        if producer not in self.operators or consumer not in self.operators:
+            raise ExecutionError("connect() requires operators added to the graph")
+        consumer._register_input(port)
+        producer._subscribe(consumer, port)
+
+    def source_labels(self) -> set[Label]:
+        return set(self.sources)
+
+    def push(self, label: Label, event: Event) -> None:
+        source = self.sources.get(label)
+        if source is None:
+            return  # edges with labels not used by the query are discarded
+        source.push(event)
+
+    def push_watermark(self, t: int) -> None:
+        for source in self.sources.values():
+            source.push_watermark(t)
+
+    def state_size(self) -> int:
+        """Total retained state across operators (for memory diagnostics)."""
+        total = 0
+        for op in self.operators:
+            size = getattr(op, "state_size", None)
+            if callable(size):
+                total += size()
+        return total

@@ -1,0 +1,35 @@
+"""Synthetic streaming graph datasets (Section 7.1.2 substitutes).
+
+The paper evaluates on the SNAP StackOverflow temporal graph (63M edges)
+and the LDBC SNB scale-factor-10 update stream (40M edges).  Neither is
+redistributable here, so this package provides generators that reproduce
+the *structural properties the experiments depend on*:
+
+* :mod:`repro.datasets.stackoverflow` — a single vertex type, three edge
+  labels (``a2q``, ``c2q``, ``c2a``), preferential attachment and
+  reciprocity ⇒ dense, highly cyclic, many alternative paths (the paper's
+  hardest case for PATH state).
+* :mod:`repro.datasets.snb` — persons and messages with ``knows``,
+  ``likes``, ``hasCreator`` and strictly tree-shaped ``replyOf`` edges
+  (single path between any vertex pair ⇒ PATH-specific optimizations do
+  not help, the paper's explanation for DD's strength there).
+* :mod:`repro.datasets.generators` — generic uniform/Zipf random streams
+  for tests and micro-benchmarks.
+* :mod:`repro.datasets.io` — TSV (de)serialization of edge streams.
+"""
+
+from repro.datasets.generators import uniform_stream, zipf_stream
+from repro.datasets.io import read_stream, write_stream
+from repro.datasets.snb import SNB_LABELS, snb_stream
+from repro.datasets.stackoverflow import SO_LABELS, stackoverflow_stream
+
+__all__ = [
+    "uniform_stream",
+    "zipf_stream",
+    "stackoverflow_stream",
+    "SO_LABELS",
+    "snb_stream",
+    "SNB_LABELS",
+    "read_stream",
+    "write_stream",
+]

@@ -1,0 +1,81 @@
+"""Generic random stream generators for tests and micro-benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.tuples import SGE
+
+
+def uniform_stream(
+    n_edges: int,
+    n_vertices: int,
+    labels: Sequence[str],
+    seed: int = 0,
+    max_gap: int = 1,
+) -> list[SGE]:
+    """Uniformly random edges with non-decreasing timestamps.
+
+    ``max_gap`` bounds the timestamp increment between consecutive edges;
+    with ``max_gap=1`` roughly half the edges share a timestamp with
+    their predecessor, exercising simultaneous arrivals.
+    """
+    rng = random.Random(seed)
+    t = 0
+    edges: list[SGE] = []
+    for _ in range(n_edges):
+        t += rng.randint(0, max_gap)
+        edges.append(
+            SGE(
+                rng.randrange(n_vertices),
+                rng.randrange(n_vertices),
+                rng.choice(list(labels)),
+                t,
+            )
+        )
+    return edges
+
+
+def zipf_stream(
+    n_edges: int,
+    n_vertices: int,
+    labels: Sequence[str],
+    seed: int = 0,
+    skew: float = 1.1,
+    max_gap: int = 1,
+) -> list[SGE]:
+    """Random edges with Zipf-distributed endpoint popularity.
+
+    Heavy-tailed degree distributions are what make real graph workloads
+    hard: hub vertices blow up join fan-out and Δ-PATH tree sizes.  The
+    gMark benchmark generator [Bagan et al., TKDE 2016] uses the same
+    knob; ``skew`` is the Zipf exponent.
+    """
+    rng = random.Random(seed)
+    # Precompute a Zipf CDF over vertex ranks.
+    weights = [1.0 / (rank**skew) for rank in range(1, n_vertices + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+
+    def pick() -> int:
+        x = rng.random()
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    t = 0
+    edges: list[SGE] = []
+    for _ in range(n_edges):
+        t += rng.randint(0, max_gap)
+        edges.append(SGE(pick(), pick(), rng.choice(list(labels)), t))
+    return edges

@@ -1,0 +1,140 @@
+"""Weighted relations with per-epoch diffs.
+
+A :class:`WeightedRelation` stores binary facts with multiplicities
+(derivation counts) and exposes the *distinct* view downstream operators
+consume: a fact exists when its weight is positive; the distinct delta of
+an epoch is the set of facts whose existence toggled.
+
+During an epoch the relation keeps both versions visible — ``old`` (the
+state at epoch start) and ``new`` (after the epoch's diff) — because the
+delta-join rules of counting IVM join each delta against mixed old/new
+versions of the other atoms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.core.tuples import Vertex
+
+Pair = tuple[Vertex, Vertex]
+
+
+class WeightedRelation:
+    """A binary relation with derivation counts and epoch bookkeeping."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._weights: dict[Pair, int] = {}
+        self._facts: set[Pair] = set()
+        self._by_src: dict[Vertex, set[Pair]] = defaultdict(set)
+        self._by_trg: dict[Vertex, set[Pair]] = defaultdict(set)
+        # Distinct facts added/removed in the current epoch.
+        self._epoch_plus: set[Pair] = set()
+        self._epoch_minus: set[Pair] = set()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, fact: Pair, weight: int) -> int:
+        """Add ``weight`` derivations of ``fact``.
+
+        Returns the distinct-level change: +1 if the fact came into
+        existence, -1 if it ceased to exist, 0 otherwise.
+        """
+        if weight == 0:
+            return 0
+        old = self._weights.get(fact, 0)
+        new = old + weight
+        if new == 0:
+            self._weights.pop(fact, None)
+        else:
+            self._weights[fact] = new
+
+        if old <= 0 < new:
+            self._insert_distinct(fact)
+            return 1
+        if new <= 0 < old:
+            self._remove_distinct(fact)
+            return -1
+        return 0
+
+    def _insert_distinct(self, fact: Pair) -> None:
+        self._facts.add(fact)
+        self._by_src[fact[0]].add(fact)
+        self._by_trg[fact[1]].add(fact)
+        if fact in self._epoch_minus:
+            self._epoch_minus.discard(fact)
+        else:
+            self._epoch_plus.add(fact)
+
+    def _remove_distinct(self, fact: Pair) -> None:
+        self._facts.discard(fact)
+        self._by_src[fact[0]].discard(fact)
+        self._by_trg[fact[1]].discard(fact)
+        if fact in self._epoch_plus:
+            self._epoch_plus.discard(fact)
+        else:
+            self._epoch_minus.add(fact)
+
+    def epoch_delta(self) -> list[tuple[Pair, int]]:
+        """The distinct delta accumulated so far this epoch (not cleared).
+
+        The old/new views stay live: downstream delta-joins must keep
+        seeing both versions until the whole epoch has been propagated.
+        """
+        delta = [(fact, 1) for fact in self._epoch_plus]
+        delta.extend((fact, -1) for fact in self._epoch_minus)
+        return delta
+
+    def end_epoch(self) -> list[tuple[Pair, int]]:
+        """Close the epoch, returning the distinct delta as (fact, ±1)."""
+        delta = self.epoch_delta()
+        self._epoch_plus = set()
+        self._epoch_minus = set()
+        return delta
+
+    # ------------------------------------------------------------------
+    # Distinct views
+    # ------------------------------------------------------------------
+    def __contains__(self, fact: Pair) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def facts(self) -> Iterator[Pair]:
+        return iter(self._facts)
+
+    def weight(self, fact: Pair) -> int:
+        return self._weights.get(fact, 0)
+
+    def new_match(self, src: Vertex | None = None, trg: Vertex | None = None) -> Iterable[Pair]:
+        """Current (post-diff) facts matching the bound endpoints."""
+        if src is not None and trg is not None:
+            fact = (src, trg)
+            return (fact,) if fact in self._facts else ()
+        if src is not None:
+            return tuple(self._by_src.get(src, ()))
+        if trg is not None:
+            return tuple(self._by_trg.get(trg, ()))
+        return tuple(self._facts)
+
+    def old_match(self, src: Vertex | None = None, trg: Vertex | None = None) -> Iterable[Pair]:
+        """Epoch-start facts matching the bound endpoints.
+
+        old = (new - epoch_plus) + epoch_minus, filtered by the binding.
+        """
+        result = [
+            fact
+            for fact in self.new_match(src, trg)
+            if fact not in self._epoch_plus
+        ]
+        for fact in self._epoch_minus:
+            if (src is None or fact[0] == src) and (trg is None or fact[1] == trg):
+                result.append(fact)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedRelation({self.name}, {len(self._facts)} facts)"

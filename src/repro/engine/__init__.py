@@ -1,0 +1,12 @@
+"""End-to-end streaming graph query processor (Section 6)."""
+
+from repro.engine.multi import MultiQueryProcessor
+from repro.engine.processor import StreamingGraphQueryProcessor
+from repro.engine.results import ResultPath, result_paths
+
+__all__ = [
+    "StreamingGraphQueryProcessor",
+    "MultiQueryProcessor",
+    "ResultPath",
+    "result_paths",
+]

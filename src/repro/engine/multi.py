@@ -1,0 +1,163 @@
+"""Multi-query processing with cross-query operator sharing.
+
+Several persistent queries often scan the same input streams, apply the
+same windows, and even share whole sub-patterns (every query of a
+recommendation service starts from the same follows-closure).  Because
+logical plans are immutable value objects, compiling all queries into
+one dataflow with a shared compilation cache deduplicates every common
+sub-expression automatically: one WSCAN per (label, window), one Δ-PATH
+index per shared closure, one join tree per shared pattern.
+
+This is the spirit of multi-view sharing systems (Graphsurge's shared
+arrangements, discussed in the paper's Section 2.2) realized at the
+logical-plan level of the SGA framework.
+
+Example::
+
+    multi = MultiQueryProcessor(path_impl="spath")
+    multi.register("reach", SGQ.from_text("Answer(x,y) <- knows+(x,y) as K.", w))
+    multi.register("pairs", SGQ.from_text(
+        "Answer(x,z) <- knows+(x,y) as K, likes(y,z).", w))
+    multi.run(stream)
+    multi.valid_at("reach", t), multi.valid_at("pairs", t)
+
+Both queries above share the ``knows+`` Δ-PATH operator: the closure is
+maintained once, its results fan out to both consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.operators import Plan, WScan, walk
+from repro.algebra.translate import sgq_to_sga
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE, SGT, Label, Vertex
+from repro.dataflow.executor import Executor, RunStats
+from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
+from repro.errors import ExecutionError, PlanError
+from repro.physical.planner import compile_into
+from repro.query.sgq import SGQ
+
+
+class MultiQueryProcessor:
+    """Evaluates several persistent queries over shared input streams."""
+
+    def __init__(
+        self,
+        path_impl: str = "spath",
+        materialize_paths: bool = True,
+        coalesce_intermediate: bool = True,
+    ):
+        self._path_impl = path_impl
+        self._materialize_paths = materialize_paths
+        self._coalesce_intermediate = coalesce_intermediate
+        self._graph = DataflowGraph()
+        self._cache: dict[Plan, PhysicalOperator] = {}
+        self._sinks: dict[str, SinkOp] = {}
+        self._plans: dict[str, Plan] = {}
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, query: SGQ | Plan) -> None:
+        """Register a query under ``name``; shares operators with every
+        previously registered query.  Registration must precede pushing."""
+        if self._executor is not None:
+            raise ExecutionError(
+                "cannot register queries after streaming has started"
+            )
+        if name in self._sinks:
+            raise PlanError(f"query name {name!r} already registered")
+        plan = sgq_to_sga(query) if isinstance(query, SGQ) else query
+        self._plans[name] = plan
+        self._sinks[name] = compile_into(
+            plan,
+            self._graph,
+            self._cache,
+            self._path_impl,
+            self._materialize_paths,
+            self._coalesce_intermediate,
+        )
+
+    @property
+    def query_names(self) -> tuple[str, ...]:
+        return tuple(self._plans)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if not self._plans:
+                raise ExecutionError("no queries registered")
+            slide = min(
+                node.window.slide
+                for plan in self._plans.values()
+                for node in walk(plan)
+                if isinstance(node, WScan)
+            )
+            self._executor = Executor(self._graph, slide)
+        return self._executor
+
+    def push(self, edge: SGE) -> None:
+        self._ensure_executor().push_edge(edge)
+
+    def delete(self, edge: SGE) -> None:
+        self._ensure_executor().delete_edge(edge)
+
+    def advance_to(self, t: int) -> None:
+        self._ensure_executor().advance_to(t)
+
+    def run(self, stream: Iterable[SGE]) -> RunStats:
+        return self._ensure_executor().run(stream)
+
+    # ------------------------------------------------------------------
+    # Results (per query)
+    # ------------------------------------------------------------------
+    def _sink(self, name: str) -> SinkOp:
+        try:
+            return self._sinks[name]
+        except KeyError as exc:
+            raise PlanError(f"unknown query {name!r}") from exc
+
+    def results(self, name: str) -> list[SGT]:
+        return self._sink(name).results()
+
+    def coverage(self, name: str) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
+        return self._sink(name).coverage()
+
+    def valid_at(self, name: str, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        return self._sink(name).valid_at(t)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def operator_count(self) -> int:
+        """Operators in the shared dataflow (excluding sinks)."""
+        return sum(
+            1 for op in self._graph.operators if not isinstance(op, SinkOp)
+        )
+
+    def sharing_savings(self) -> int:
+        """Operators saved by sharing, vs compiling each query alone."""
+        from repro.physical.planner import compile_plan
+
+        isolated = 0
+        for plan in self._plans.values():
+            physical = compile_plan(
+                plan,
+                self._path_impl,
+                self._materialize_paths,
+                self._coalesce_intermediate,
+            )
+            isolated += sum(
+                1
+                for op in physical.graph.operators
+                if not isinstance(op, SinkOp)
+            )
+        return isolated - self.operator_count()
+
+    def state_size(self) -> int:
+        return self._graph.state_size()

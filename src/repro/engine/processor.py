@@ -1,0 +1,162 @@
+"""The streaming graph query processor facade.
+
+Ties the whole stack together:
+
+1. accept a query — an :class:`~repro.query.sgq.SGQ` (Datalog text plus a
+   window), a G-CORE statement, or a hand-built logical plan;
+2. translate to the canonical SGA expression (Algorithm SGQParser) unless
+   a plan was given;
+3. compile to a physical dataflow (:mod:`repro.physical.planner`);
+4. execute persistently: push sges (and deletions), pull result sgts.
+
+Typical use::
+
+    from repro import SGE, SlidingWindow, StreamingGraphQueryProcessor
+
+    processor = StreamingGraphQueryProcessor.from_datalog(
+        "Answer(x, y) <- knows+(x, y) as K.",
+        window=SlidingWindow(size=100, slide=10),
+    )
+    for edge in edges:
+        processor.push(edge)
+    for result in processor.results():
+        print(result, result.payload)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.operators import Plan
+from repro.algebra.translate import sgq_to_sga
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE, SGT, Label, Vertex
+from repro.core.windows import SlidingWindow
+from repro.dataflow.executor import Executor, RunStats
+from repro.physical.planner import PhysicalPlan, compile_plan
+from repro.query.sgq import SGQ
+
+
+class StreamingGraphQueryProcessor:
+    """Registers one persistent query and evaluates it incrementally."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        path_impl: str = "spath",
+        materialize_paths: bool = True,
+        coalesce_intermediate: bool = True,
+    ):
+        self.plan = plan
+        self.path_impl = path_impl
+        self._physical: PhysicalPlan = compile_plan(
+            plan, path_impl, materialize_paths, coalesce_intermediate
+        )
+        self._executor = Executor(self._physical.graph, self._physical.slide)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sgq(cls, query: SGQ, path_impl: str = "spath") -> "StreamingGraphQueryProcessor":
+        return cls(sgq_to_sga(query), path_impl)
+
+    @classmethod
+    def from_datalog(
+        cls,
+        text: str,
+        window: SlidingWindow,
+        label_windows: dict[Label, SlidingWindow] | None = None,
+        path_impl: str = "spath",
+    ) -> "StreamingGraphQueryProcessor":
+        return cls.from_sgq(SGQ.from_text(text, window, label_windows), path_impl)
+
+    @classmethod
+    def from_gcore(
+        cls, text: str, path_impl: str = "spath"
+    ) -> "StreamingGraphQueryProcessor":
+        from repro.gcore import parse_gcore
+
+        return cls.from_sgq(parse_gcore(text), path_impl)
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def push(self, edge: SGE) -> None:
+        """Insert one streaming graph edge (advances the window first)."""
+        self._executor.push_edge(edge)
+
+    def delete(self, edge: SGE) -> None:
+        """Explicitly delete a previously inserted edge (negative tuple)."""
+        self._executor.delete_edge(edge)
+
+    def advance_to(self, t: int) -> None:
+        """Advance the window without inserting (e.g. on stream silence)."""
+        self._executor.advance_to(t)
+
+    def run(self, stream: Iterable[SGE]) -> RunStats:
+        """Process a whole stream, returning throughput/latency statistics."""
+        return self._executor.run(stream)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self) -> list[SGT]:
+        """Coalesced result sgts emitted so far (insertions only)."""
+        return self._physical.sink.results()
+
+    def coverage(self) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
+        """Net validity cover per result key, honouring retractions."""
+        return self._physical.sink.coverage()
+
+    def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        """Result keys valid at instant ``t`` (the snapshot of the output)."""
+        return self._physical.sink.valid_at(t)
+
+    def result_count(self) -> int:
+        """Number of raw (pre-coalescing) result insertions emitted."""
+        return self._physical.sink.insert_count
+
+    def clear_results(self) -> None:
+        """Drop accumulated results (state is kept; streaming continues)."""
+        self._physical.sink.clear()
+
+    def tap(self, label: Label):
+        """Attach a sink to the intermediate stream of a derived label.
+
+        SGA is closed — every operator's output is a streaming graph — so
+        intermediate results (say, the ``RL`` recentLiker edges or the
+        ``RLP`` paths of Example 1) are first-class streams too.  The
+        returned :class:`~repro.dataflow.graph.SinkOp` collects the
+        label's sgts from the moment of the call on.
+
+        Raises
+        ------
+        PlanError
+            If no operator in the compiled dataflow produces ``label``.
+        """
+        from repro.dataflow.graph import SinkOp
+        from repro.errors import PlanError
+
+        graph = self._physical.graph
+        for op in graph.operators:
+            produced = getattr(op, "out_label", None)
+            if produced is None:
+                produced = getattr(op, "label", None)
+            if produced == label and not isinstance(op, SinkOp):
+                sink = SinkOp(name=f"tap[{label}]")
+                graph.add(sink)
+                graph.connect(op, sink, 0)
+                return sink
+        raise PlanError(f"no operator produces label {label!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_size(self) -> int:
+        """Total tuples retained across stateful operators."""
+        return self._physical.graph.state_size()
+
+    @property
+    def slide(self) -> int:
+        return self._physical.slide

@@ -1,0 +1,62 @@
+"""Helpers for consuming query results that carry materialized paths.
+
+PATH results are sgts whose payload is a :class:`~repro.core.tuples.PathPayload`
+— the actual hop sequence, not just the endpoints (requirement R3).  These
+helpers unpack them into a friendlier shape for applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, Label, PathPayload, Vertex
+
+
+@dataclass(frozen=True)
+class ResultPath:
+    """A materialized path result with its validity interval."""
+
+    src: Vertex
+    trg: Vertex
+    label: Label
+    interval: Interval
+    vertices: tuple[Vertex, ...]
+    labels: tuple[Label, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.labels)
+
+    def __str__(self) -> str:
+        hops = " -> ".join(str(v) for v in self.vertices)
+        return f"{self.label} {self.interval}: {hops}"
+
+
+def result_paths(results: Iterable[SGT]) -> list[ResultPath]:
+    """Extract the path-carrying results from a result stream."""
+    paths: list[ResultPath] = []
+    for sgt in results:
+        if not isinstance(sgt.payload, PathPayload):
+            continue
+        payload = sgt.payload
+        paths.append(
+            ResultPath(
+                src=sgt.src,
+                trg=sgt.trg,
+                label=sgt.label,
+                interval=sgt.interval,
+                vertices=payload.vertices,
+                labels=payload.label_sequence(),
+            )
+        )
+    return paths
+
+
+def longest_result_path(results: Iterable[SGT]) -> ResultPath | None:
+    """The longest materialized path in a result stream, if any."""
+    paths = result_paths(results)
+    if not paths:
+        return None
+    return max(paths, key=lambda p: p.length)

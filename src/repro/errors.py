@@ -1,0 +1,45 @@
+"""Exception hierarchy for the streaming graph query processor.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidIntervalError(ReproError):
+    """Raised when a validity interval would be empty or inverted."""
+
+
+class StreamOrderError(ReproError):
+    """Raised when tuples are pushed into a stream out of timestamp order."""
+
+
+class QueryValidationError(ReproError):
+    """Raised when a Datalog program is not a valid Regular Query."""
+
+
+class ParseError(ReproError):
+    """Raised by the Datalog, regex, and G-CORE parsers on malformed input.
+
+    Carries the position of the offending token when available.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """Raised when a logical plan cannot be translated or compiled."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the dataflow executor encounters an inconsistent state."""

@@ -1,0 +1,31 @@
+"""The paper's G-CORE dialect (Section 4.2, Figures 6-7).
+
+G-CORE [Angles et al., SIGMOD 2018] is the user-level language the paper
+adopts, extended with ``WINDOW``/``SLIDE`` clauses on stream references.
+This package implements the subset the paper exercises:
+
+* ``PATH name = pattern, ...`` — named path-pattern definitions,
+* ``CONSTRUCT (x)-[:label]->(y)`` — graph-returning output,
+* ``MATCH pattern, ... ON stream WINDOW(24h) SLIDE(1h)`` — windowed
+  pattern matching over (possibly several) streaming graphs,
+* ``OPTIONAL pattern`` — alternative patterns (translated to unions, as
+  in the paper's Example 4),
+* ``WHERE (x) = (y)`` — join conditions across MATCH blocks,
+* ASCII-art edges ``(x)-[:l]->(y)``, ``(x)<-[:l]-(y)`` and reachability
+  ``(x)-/<:l*>/->(y)`` / ``(x)-/p<~RL*>/->(y)`` (the latter binds the
+  materialized path to ``p``).
+
+``parse_gcore`` returns an :class:`~repro.query.sgq.SGQ`, so G-CORE
+queries run on the same engine as Datalog-formulated ones.
+"""
+
+from repro.gcore.parser import parse_gcore_query
+from repro.gcore.translate import gcore_to_sgq
+
+
+def parse_gcore(text: str):
+    """Parse a G-CORE statement into an SGQ (parse + translate)."""
+    return gcore_to_sgq(parse_gcore_query(text))
+
+
+__all__ = ["parse_gcore", "parse_gcore_query", "gcore_to_sgq"]

@@ -1,0 +1,87 @@
+"""AST for the G-CORE dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """A node pattern ``(x)``; anonymous nodes get generated names."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class EdgeHop:
+    """One hop of a chain pattern.
+
+    ``direction`` is ``"fwd"`` for ``-[:l]->`` and ``"bwd"`` for
+    ``<-[:l]-``; ``reach`` marks reachability hops (``-/<:l*>/->`` or
+    ``-/p<~RL*>/->``), in which case ``path_var`` carries the binding
+    name when one was written.
+    """
+
+    label: str
+    direction: str
+    reach: bool = False
+    path_var: str | None = None
+
+
+@dataclass(frozen=True)
+class ChainPattern:
+    """A node-edge-node-... chain: ``(x)-[:a]->(y)<-[:b]-(z)``."""
+
+    nodes: tuple[NodeRef, ...]
+    hops: tuple[EdgeHop, ...]
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        return (self.nodes[0].var, self.nodes[-1].var)
+
+
+@dataclass(frozen=True)
+class PathDef:
+    """``PATH name = pattern, ...``: the first chain's endpoints are the
+    defined binary relation's endpoints."""
+
+    name: str
+    patterns: tuple[ChainPattern, ...]
+
+
+@dataclass(frozen=True)
+class Construct:
+    """``CONSTRUCT (x)-[:label]->(y)``."""
+
+    label: str
+    src_var: str
+    trg_var: str
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """``WINDOW (24h) SLIDE (1h)`` in ticks (60 ticks per hour)."""
+
+    size: int
+    slide: int = 1
+
+
+@dataclass(frozen=True)
+class MatchBlock:
+    """``MATCH patterns [OPTIONAL pattern]* ON stream WINDOW(...)``."""
+
+    patterns: tuple[ChainPattern, ...]
+    optionals: tuple[ChainPattern, ...]
+    stream: str
+    window: WindowSpec
+
+
+@dataclass(frozen=True)
+class GCoreQuery:
+    """A parsed G-CORE statement."""
+
+    construct: Construct
+    matches: tuple[MatchBlock, ...]
+    paths: tuple[PathDef, ...] = ()
+    where: tuple[tuple[str, str], ...] = ()
+    view_name: str | None = None

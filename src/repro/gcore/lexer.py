@@ -1,0 +1,114 @@
+"""Tokenizer for the G-CORE dialect.
+
+The published G-CORE examples put arbitrary whitespace inside ASCII-art
+edges (``- / <: follows ^* > / - >``), so lexing runs in two steps:
+whitespace between punctuation characters is collapsed first, then a
+single regex splits the normalized text into tokens.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+
+_PUNCT = r"\-/<>\[\]:~*+^=(),"
+
+# Whitespace adjacent to punctuation carries no meaning in the ASCII art.
+_COLLAPSE_BEFORE = re.compile(rf"\s+(?=[{_PUNCT}])")
+_COLLAPSE_AFTER = re.compile(rf"(?<=[{_PUNCT}])\s+")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<edge_fwd>-\[:(?P<fwd_label>\w+)\]->)
+  | (?P<edge_bwd><-\[:(?P<bwd_label>\w+)\]-)
+  | (?P<reach>-/(?P<reach_var>\w+)?<(?P<reach_kind>[:~])(?P<reach_label>\w+)
+        (?P<reach_star>\^?\*|\+)?>/->)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<eq>=)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+    """,
+    re.VERBOSE,
+)
+
+#: Keywords are case-insensitive; everything else is an identifier.
+KEYWORDS = {
+    "PATH",
+    "CONSTRUCT",
+    "MATCH",
+    "OPTIONAL",
+    "ON",
+    "WINDOW",
+    "SLIDE",
+    "WHERE",
+    "AND",
+    "GRAPH",
+    "VIEW",
+    "AS",
+}
+
+
+class Token:
+    __slots__ = ("kind", "value", "extra", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int, extra: dict | None = None):
+        self.kind = kind
+        self.value = value
+        self.extra = extra or {}
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    normalized = _COLLAPSE_BEFORE.sub("", text)
+    normalized = _COLLAPSE_AFTER.sub("", normalized)
+
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(normalized):
+        if normalized[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(normalized, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {normalized[pos]!r} in G-CORE input", pos
+            )
+        kind = match.lastgroup
+        # lastgroup reports the innermost named group that matched last;
+        # recover the outer token kind explicitly.
+        for outer in (
+            "edge_fwd",
+            "edge_bwd",
+            "reach",
+            "lparen",
+            "rparen",
+            "comma",
+            "eq",
+            "number",
+            "ident",
+        ):
+            if match.group(outer) is not None:
+                kind = outer
+                break
+        value = match.group(kind)
+        extra: dict = {}
+        if kind == "edge_fwd":
+            extra["label"] = match.group("fwd_label")
+        elif kind == "edge_bwd":
+            extra["label"] = match.group("bwd_label")
+        elif kind == "reach":
+            extra["label"] = match.group("reach_label")
+            extra["kind"] = match.group("reach_kind")
+            extra["path_var"] = match.group("reach_var")
+            extra["star"] = match.group("reach_star")
+        elif kind == "ident" and value.upper() in KEYWORDS:
+            kind = value.upper()
+        tokens.append(Token(kind, value, match.start(), extra))
+        pos = match.end()
+    return tokens

@@ -1,0 +1,249 @@
+"""Recursive-descent parser for the G-CORE dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query     := view? path* construct match+ where?
+    view      := 'GRAPH' 'VIEW' IDENT 'AS' '(' query-body ')'
+    path      := 'PATH' IDENT '=' chain (',' chain)*
+    construct := 'CONSTRUCT' '(' IDENT ')' EDGE '(' IDENT ')'
+    match     := 'MATCH' chain (',' chain)* optional* on
+    optional  := 'OPTIONAL' chain
+    on        := 'ON' IDENT 'WINDOW' '(' duration ')'
+                 ('SLIDE' '(' duration ')')?
+    where     := 'WHERE' '(' IDENT ')' '=' '(' IDENT ')'
+                 ('AND' '(' IDENT ')' '=' '(' IDENT ')')*
+    chain     := node (edge node)*
+    node      := '(' IDENT? ')'
+    edge      := '-[:label]->' | '<-[:label]-'
+               | '-/<:label*>/->' | '-/var<~Name*>/->'
+    duration  := NUMBER unit?      # unit: h/hour(s), d/day(s), tick(s)
+
+Durations translate to ticks via the dataset convention of 60 ticks per
+hour (:mod:`repro.core.windows`).
+"""
+
+from __future__ import annotations
+
+from repro.core.windows import DAY, HOUR
+from repro.errors import ParseError
+from repro.gcore.ast import (
+    ChainPattern,
+    Construct,
+    EdgeHop,
+    GCoreQuery,
+    MatchBlock,
+    NodeRef,
+    PathDef,
+    WindowSpec,
+)
+from repro.gcore.lexer import Token, tokenize
+
+_UNITS = {
+    "h": HOUR,
+    "hour": HOUR,
+    "hours": HOUR,
+    "d": DAY,
+    "day": DAY,
+    "days": DAY,
+    "tick": 1,
+    "ticks": 1,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+        self._anon = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.kind if token else "end of input"
+            pos = token.pos if token else None
+            raise ParseError(f"expected {kind}, found {found}", pos)
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def parse(self) -> GCoreQuery:
+        view_name: str | None = None
+        wrapped = False
+        if self._at("GRAPH"):
+            self._advance()
+            self._expect("VIEW")
+            view_name = self._expect("ident").value
+            self._expect("AS")
+            self._expect("lparen")
+            wrapped = True
+
+        paths: list[PathDef] = []
+        while self._at("PATH"):
+            paths.append(self._path_def())
+
+        construct = self._construct()
+
+        matches: list[MatchBlock] = []
+        while self._at("MATCH"):
+            matches.append(self._match_block())
+        if not matches:
+            raise ParseError("query requires at least one MATCH block")
+
+        where: list[tuple[str, str]] = []
+        if self._at("WHERE"):
+            self._advance()
+            where.append(self._equality())
+            while self._at("AND"):
+                self._advance()
+                where.append(self._equality())
+
+        if wrapped:
+            self._expect("rparen")
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(f"unexpected trailing token {leftover.value!r}", leftover.pos)
+
+        return GCoreQuery(
+            construct=construct,
+            matches=tuple(matches),
+            paths=tuple(paths),
+            where=tuple(where),
+            view_name=view_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def _path_def(self) -> PathDef:
+        self._expect("PATH")
+        name = self._expect("ident").value
+        self._expect("eq")
+        patterns = [self._chain()]
+        while self._at("comma"):
+            self._advance()
+            patterns.append(self._chain())
+        return PathDef(name, tuple(patterns))
+
+    def _construct(self) -> Construct:
+        self._expect("CONSTRUCT")
+        chain = self._chain()
+        if len(chain.hops) != 1 or chain.hops[0].reach:
+            raise ParseError("CONSTRUCT expects a single edge pattern")
+        hop = chain.hops[0]
+        src, trg = chain.endpoints
+        if hop.direction == "bwd":
+            src, trg = trg, src
+        return Construct(label=hop.label, src_var=src, trg_var=trg)
+
+    def _match_block(self) -> MatchBlock:
+        self._expect("MATCH")
+        patterns = [self._chain()]
+        while self._at("comma"):
+            self._advance()
+            patterns.append(self._chain())
+        optionals: list[ChainPattern] = []
+        while self._at("OPTIONAL"):
+            self._advance()
+            optionals.append(self._chain())
+        self._expect("ON")
+        stream = self._expect("ident").value
+        self._expect("WINDOW")
+        self._expect("lparen")
+        size = self._duration()
+        self._expect("rparen")
+        slide = 1
+        if self._at("SLIDE"):
+            self._advance()
+            self._expect("lparen")
+            slide = self._duration()
+            self._expect("rparen")
+        return MatchBlock(
+            patterns=tuple(patterns),
+            optionals=tuple(optionals),
+            stream=stream,
+            window=WindowSpec(size=size, slide=slide),
+        )
+
+    def _equality(self) -> tuple[str, str]:
+        self._expect("lparen")
+        left = self._expect("ident").value
+        self._expect("rparen")
+        self._expect("eq")
+        self._expect("lparen")
+        right = self._expect("ident").value
+        self._expect("rparen")
+        return (left, right)
+
+    def _duration(self) -> int:
+        number = int(self._expect("number").value)
+        token = self._peek()
+        if token is not None and token.kind == "ident":
+            unit = token.value.lower()
+            if unit not in _UNITS:
+                raise ParseError(f"unknown duration unit {token.value!r}", token.pos)
+            self._advance()
+            return number * _UNITS[unit]
+        return number
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+    def _chain(self) -> ChainPattern:
+        nodes = [self._node()]
+        hops: list[EdgeHop] = []
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in ("edge_fwd", "edge_bwd", "reach"):
+                break
+            token = self._advance()
+            if token.kind == "edge_fwd":
+                hops.append(EdgeHop(token.extra["label"], "fwd"))
+            elif token.kind == "edge_bwd":
+                hops.append(EdgeHop(token.extra["label"], "bwd"))
+            else:
+                hops.append(
+                    EdgeHop(
+                        token.extra["label"],
+                        "fwd",
+                        reach=True,
+                        path_var=token.extra.get("path_var"),
+                    )
+                )
+            nodes.append(self._node())
+        return ChainPattern(tuple(nodes), tuple(hops))
+
+    def _node(self) -> NodeRef:
+        self._expect("lparen")
+        if self._at("ident"):
+            var = self._advance().value
+        else:
+            self._anon += 1
+            var = f"_anon{self._anon}"
+        self._expect("rparen")
+        return NodeRef(var)
+
+
+def parse_gcore_query(text: str) -> GCoreQuery:
+    """Parse a G-CORE statement into its AST."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty G-CORE query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,188 @@
+"""Translation from G-CORE ASTs to SGQ (the Section 4.2 mapping).
+
+The mapping follows the paper's worked examples:
+
+* each ``PATH name = patterns`` definition becomes a rule
+  ``name(x, y) <- atoms`` where ``(x, y)`` are the endpoints of the first
+  chain (Figure 6 → Example 2);
+* ``MATCH`` chains contribute body atoms; reachability hops become
+  transitive-closure atoms (``follows*`` → ``follows+(x, y) as FP``);
+* each ``OPTIONAL`` chain of a block becomes one alternative rule of an
+  auxiliary predicate — the union translation of Example 4 (Figure 7);
+* ``WHERE (x) = (y)`` unifies variables across MATCH blocks;
+* ``CONSTRUCT (x)-[:label]->(y)`` produces the rule for the output label
+  plus the final ``Answer`` rename;
+* every MATCH block's ``ON ... WINDOW ... SLIDE`` clause sets the window
+  of the input labels that block (transitively) scans, yielding the
+  per-label windows of :class:`~repro.query.sgq.SGQ`.
+"""
+
+from __future__ import annotations
+
+from repro.core.windows import SlidingWindow
+from repro.errors import ParseError
+from repro.gcore.ast import ChainPattern, GCoreQuery, MatchBlock, PathDef
+from repro.query.datalog import ANSWER, Atom, BodyAtom, ClosureAtom, Rule, RQProgram
+from repro.query.sgq import SGQ
+
+
+def gcore_to_sgq(query: GCoreQuery) -> SGQ:
+    """Translate a parsed G-CORE query into an SGQ."""
+    translator = _Translator(query)
+    return translator.build()
+
+
+class _Translator:
+    def __init__(self, query: GCoreQuery):
+        self.query = query
+        self.rules: list[Rule] = []
+        self.path_names = {p.name for p in query.paths}
+        self._closure_names: dict[str, str] = {}
+        self._aux = 0
+        # label -> set of EDB labels reachable through its definition
+        self._label_edb: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> SGQ:
+        renaming = self._renaming()
+
+        for path_def in self.query.paths:
+            self._translate_path_def(path_def)
+
+        body: list[BodyAtom] = []
+        label_windows: dict[str, SlidingWindow] = {}
+        default_window: SlidingWindow | None = None
+
+        for index, block in enumerate(self.query.matches):
+            block_atoms = self._translate_block(block, index, renaming)
+            body.extend(block_atoms)
+            window = SlidingWindow(block.window.size, block.window.slide)
+            if default_window is None:
+                default_window = window
+            for label in self._edb_labels_of(block_atoms):
+                label_windows[label] = window
+
+        if default_window is None:  # pragma: no cover - parser guarantees
+            raise ParseError("query has no MATCH block")
+        if not body:
+            raise ParseError("MATCH blocks bind no edges")
+
+        construct = self.query.construct
+        src = renaming.get(construct.src_var, construct.src_var)
+        trg = renaming.get(construct.trg_var, construct.trg_var)
+
+        if construct.label == ANSWER:
+            self.rules.append(Rule(ANSWER, src, trg, tuple(body)))
+        else:
+            self.rules.append(Rule(construct.label, src, trg, tuple(body)))
+            self.rules.append(
+                Rule(ANSWER, src, trg, (Atom(construct.label, src, trg),))
+            )
+
+        program = RQProgram(tuple(self.rules))
+        return SGQ(program, default_window, label_windows)
+
+    # ------------------------------------------------------------------
+    def _renaming(self) -> dict[str, str]:
+        """Union-find style variable unification from WHERE equalities."""
+        parent: dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for left, right in self.query.where:
+            root_l, root_r = find(left), find(right)
+            if root_l != root_r:
+                parent[root_r] = root_l
+        return {x: find(x) for x in parent}
+
+    # ------------------------------------------------------------------
+    def _translate_path_def(self, path_def: PathDef) -> None:
+        atoms: list[BodyAtom] = []
+        for chain in path_def.patterns:
+            atoms.extend(self._chain_atoms(chain, {}))
+        head_src, head_trg = path_def.patterns[0].endpoints
+        self.rules.append(Rule(path_def.name, head_src, head_trg, tuple(atoms)))
+        self._label_edb[path_def.name] = self._edb_labels_of(atoms)
+
+    def _translate_block(
+        self,
+        block: MatchBlock,
+        index: int,
+        renaming: dict[str, str],
+    ) -> list[BodyAtom]:
+        atoms: list[BodyAtom] = []
+        for chain in block.patterns:
+            atoms.extend(self._chain_atoms(chain, renaming))
+
+        if block.optionals:
+            endpoints = {
+                self._rename_pair(chain.endpoints, renaming)
+                for chain in block.optionals
+            }
+            if len(endpoints) != 1:
+                raise ParseError(
+                    "OPTIONAL patterns of one MATCH block must share their "
+                    f"endpoints; found {sorted(endpoints)}"
+                )
+            src, trg = endpoints.pop()
+            self._aux += 1
+            aux = f"Opt{self._aux}"
+            aux_edb: set[str] = set()
+            for chain in block.optionals:
+                chain_atoms = self._chain_atoms(chain, renaming)
+                self.rules.append(Rule(aux, src, trg, tuple(chain_atoms)))
+                aux_edb |= self._edb_labels_of(chain_atoms)
+            self._label_edb[aux] = aux_edb
+            atoms.append(Atom(aux, src, trg))
+        return atoms
+
+    def _rename_pair(
+        self, pair: tuple[str, str], renaming: dict[str, str]
+    ) -> tuple[str, str]:
+        return (renaming.get(pair[0], pair[0]), renaming.get(pair[1], pair[1]))
+
+    def _chain_atoms(
+        self, chain: ChainPattern, renaming: dict[str, str]
+    ) -> list[BodyAtom]:
+        atoms: list[BodyAtom] = []
+        for position, hop in enumerate(chain.hops):
+            left = chain.nodes[position].var
+            right = chain.nodes[position + 1].var
+            left = renaming.get(left, left)
+            right = renaming.get(right, right)
+            if hop.direction == "bwd":
+                left, right = right, left
+            if hop.reach:
+                name = hop.path_var or self._closure_name(hop.label)
+                atoms.append(ClosureAtom(hop.label, left, right, name))
+            else:
+                atoms.append(Atom(hop.label, left, right))
+        return atoms
+
+    def _closure_name(self, label: str) -> str:
+        name = self._closure_names.get(label)
+        if name is None:
+            name = f"{label}_path"
+            self._closure_names[label] = name
+        return name
+
+    # ------------------------------------------------------------------
+    def _edb_labels_of(self, atoms: list[BodyAtom]) -> set[str]:
+        """Input labels scanned by these atoms, expanding derived labels
+        through their definitions (so ON-clause windows reach the WSCANs
+        of PATH-definition labels)."""
+        result: set[str] = set()
+        for atom in atoms:
+            label = atom.label
+            if label in self._label_edb:
+                result |= self._label_edb[label]
+            elif isinstance(atom, ClosureAtom) and atom.label in self._label_edb:
+                result |= self._label_edb[atom.label]
+            elif label not in {r.head_label for r in self.rules}:
+                result.add(label)
+        return result

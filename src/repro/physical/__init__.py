@@ -1,0 +1,34 @@
+"""Physical (non-blocking, push-based) operator implementations (Section 6.2).
+
+* :mod:`repro.physical.wscan` — windowing as a per-tuple map.
+* :mod:`repro.physical.filter` / :mod:`repro.physical.union` — stateless.
+* :mod:`repro.physical.join` — PATTERN as a binary tree of pipelined
+  symmetric hash joins over variable bindings (Section 6.2.2).
+* :mod:`repro.physical.delta_index` — Δ-PATH spanning-forest machinery
+  shared by both PATH implementations (Definitions 21-22).
+* :mod:`repro.physical.spath` — the S-PATH operator (direct approach,
+  Section 6.2.4).
+* :mod:`repro.physical.rpq_negative` — the negative-tuple streaming RPQ
+  operator of [Pacaci et al., SIGMOD 2020] (re-derivation on expiry).
+* :mod:`repro.physical.planner` — compiles logical SGA plans into
+  dataflow graphs, selecting PATH implementations.
+"""
+
+from repro.physical.filter import FilterOp
+from repro.physical.join import PatternOp
+from repro.physical.planner import PhysicalPlan, compile_plan
+from repro.physical.rpq_negative import NegativeTupleRpqOp
+from repro.physical.spath import SPathOp
+from repro.physical.union import UnionOp
+from repro.physical.wscan import WScanOp
+
+__all__ = [
+    "WScanOp",
+    "FilterOp",
+    "UnionOp",
+    "PatternOp",
+    "SPathOp",
+    "NegativeTupleRpqOp",
+    "compile_plan",
+    "PhysicalPlan",
+]

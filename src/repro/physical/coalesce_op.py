@@ -1,0 +1,104 @@
+"""Physical output coalescing (the Section 5.1 set-semantics stage).
+
+SGA operators may produce several value-equivalent sgts with overlapping
+validity (PATTERN finds one result per witness subgraph, PATH re-emits on
+interval extension).  The paper coalesces operator outputs so streaming
+graphs keep set semantics; operationally this also protects downstream
+stateful operators from duplicate-derivation blow-up — a PATH over a
+derived relation must not re-traverse once per witness.
+
+Exactness with retractions: our operators emit *derivation-balanced*
+streams (every DELETE matches one earlier INSERT with the same interval).
+When an INSERT is dropped because its interval is already covered, the
+drop is recorded in a ledger; the matching DELETE, if it ever arrives, is
+absorbed against the ledger instead of being forwarded.  Net coverage
+downstream is therefore exactly the net coverage upstream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.intervals import Interval, cover, subtract_cover
+from repro.core.tuples import Label
+from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
+
+
+class CoalesceOp(PhysicalOperator):
+    """Suppresses already-covered duplicate results per value key."""
+
+    def __init__(self, label: Label):
+        super().__init__(f"coalesce[{label}]")
+        #: per key: net emitted validity cover (disjoint, sorted)
+        self._cover: dict[tuple, list[Interval]] = {}
+        #: per key: multiset of dropped insert intervals awaiting their
+        #: balanced retraction
+        self._dropped: dict[tuple, Counter] = {}
+
+    def on_event(self, port: int, event: Event) -> None:
+        key = event.sgt.key()
+        interval = event.sgt.interval
+        if event.sign == INSERT:
+            existing = self._cover.get(key)
+            if existing is not None and _covered(interval, existing):
+                self._dropped.setdefault(key, Counter())[interval] += 1
+                return
+            merged = cover((existing or []) + [interval])
+            self._cover[key] = merged
+            self.emit(event)
+        else:
+            ledger = self._dropped.get(key)
+            if ledger is not None and ledger.get(interval, 0) > 0:
+                ledger[interval] -= 1
+                if ledger[interval] == 0:
+                    del ledger[interval]
+                return
+            remaining = subtract_cover(self._cover.get(key, []), [interval])
+            self.emit(event)
+            # Dropped duplicates that the shrunk cover no longer contains
+            # are still supported upstream: resurrect them so net coverage
+            # downstream stays exact.
+            if ledger:
+                resurrect: list[Interval] = []
+                for dropped_interval, count in list(ledger.items()):
+                    if not _covered(dropped_interval, remaining):
+                        resurrect.extend([dropped_interval] * count)
+                        del ledger[dropped_interval]
+                for dropped_interval in resurrect:
+                    remaining = cover(remaining + [dropped_interval])
+                    self.emit(
+                        Event(
+                            event.sgt.with_interval(dropped_interval), INSERT
+                        )
+                    )
+            self._cover[key] = remaining
+
+    def on_advance(self, t: int) -> None:
+        dead_keys = []
+        for key, intervals in self._cover.items():
+            kept = [iv for iv in intervals if iv.exp > t]
+            if kept:
+                self._cover[key] = kept
+            else:
+                dead_keys.append(key)
+        for key in dead_keys:
+            del self._cover[key]
+            self._dropped.pop(key, None)
+        for key, ledger in list(self._dropped.items()):
+            for interval in [iv for iv in ledger if iv.exp <= t]:
+                del ledger[interval]
+            if not ledger:
+                del self._dropped[key]
+
+    def state_size(self) -> int:
+        return sum(len(ivs) for ivs in self._cover.values())
+
+
+def _covered(interval: Interval, intervals: list[Interval]) -> bool:
+    """True iff ``interval`` lies within one interval of a disjoint cover."""
+    for candidate in intervals:
+        if candidate.ts <= interval.ts and interval.exp <= candidate.exp:
+            return True
+        if candidate.ts > interval.ts:
+            break
+    return False

@@ -1,0 +1,386 @@
+"""Δ-PATH: spanning-forest state for streaming path navigation
+(Definitions 21-22).
+
+The index maintains, per root vertex ``x``, a spanning tree ``T_x`` over
+*(vertex, automaton-state)* pairs: ``(u, s)`` is in ``T_x`` at time ``t``
+when the snapshot graph contains a path from ``x`` to ``u`` whose label
+word drives the DFA from its start state to ``s``.  Each node stores the
+validity interval of the *best* (latest-expiring) such path; following
+parent pointers reconstructs the actual path, which is how PATH returns
+materialized paths as first-class citizens.
+
+The module also provides:
+
+* :class:`WindowAdjacency` — the windowed snapshot graph of the operator's
+  inputs (intervals included) with lazy expiry;
+* :func:`repair_nodes` — the Dijkstra-style max-expiry re-derivation used
+  for explicit deletions (Section 6.2.5) and, by the negative-tuple
+  operator, for window expirations.
+
+Both PATH physical operators build on these structures; they differ only
+in their maintenance policies (see :mod:`repro.physical.spath` and
+:mod:`repro.physical.rpq_negative`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Callable, Iterator
+
+from repro.core.intervals import FOREVER, Interval
+from repro.core.tuples import EdgePayload, Label, PathPayload, Vertex
+from repro.errors import ExecutionError
+from repro.regex.dfa import DFA
+
+NodeKey = tuple[Vertex, int]
+
+
+class TreeNode:
+    """A node of a spanning tree: the best path from the root to a
+    (vertex, state) pair."""
+
+    __slots__ = ("ts", "exp", "parent", "via_label", "children")
+
+    def __init__(
+        self,
+        ts: int,
+        exp: int,
+        parent: NodeKey | None,
+        via_label: Label | None,
+    ):
+        self.ts = ts
+        self.exp = exp
+        self.parent = parent
+        self.via_label = via_label
+        self.children: set[NodeKey] = set()
+
+
+class SpanningTree:
+    """Spanning tree ``T_x`` rooted at ``(x, start_state)`` (Definition 21)."""
+
+    def __init__(self, root_vertex: Vertex, start_state: int):
+        self.root_vertex = root_vertex
+        self.root: NodeKey = (root_vertex, start_state)
+        # The root is a zero-length path: always valid, never expiring.
+        self.nodes: dict[NodeKey, TreeNode] = {
+            self.root: TreeNode(ts=0, exp=FOREVER, parent=None, via_label=None)
+        }
+
+    def __contains__(self, key: NodeKey) -> bool:
+        return key in self.nodes
+
+    def get(self, key: NodeKey) -> TreeNode | None:
+        return self.nodes.get(key)
+
+    def add_child(
+        self,
+        parent_key: NodeKey,
+        child_key: NodeKey,
+        ts: int,
+        exp: int,
+        via_label: Label,
+    ) -> TreeNode:
+        if child_key in self.nodes:
+            raise ExecutionError(f"node {child_key} already in tree {self.root}")
+        parent = self.nodes[parent_key]
+        node = TreeNode(ts, exp, parent_key, via_label)
+        self.nodes[child_key] = node
+        parent.children.add(child_key)
+        return node
+
+    def reparent(
+        self, child_key: NodeKey, new_parent_key: NodeKey, via_label: Label
+    ) -> None:
+        node = self.nodes[child_key]
+        if node.parent is not None:
+            old_parent = self.nodes.get(node.parent)
+            if old_parent is not None:
+                old_parent.children.discard(child_key)
+        node.parent = new_parent_key
+        node.via_label = via_label
+        self.nodes[new_parent_key].children.add(child_key)
+
+    def remove_subtree(self, key: NodeKey) -> list[tuple[NodeKey, TreeNode]]:
+        """Detach and remove ``key`` and all its descendants.
+
+        Returns the removed (key, node) pairs so callers can unregister
+        them from the inverted index and emit retractions.
+        """
+        root_node = self.nodes.get(key)
+        if root_node is None:
+            return []
+        if key == self.root:
+            raise ExecutionError("cannot remove the root of a spanning tree")
+        if root_node.parent is not None:
+            parent = self.nodes.get(root_node.parent)
+            if parent is not None:
+                parent.children.discard(key)
+        removed: list[tuple[NodeKey, TreeNode]] = []
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            node = self.nodes.pop(current, None)
+            if node is None:
+                continue
+            removed.append((current, node))
+            stack.extend(node.children)
+        return removed
+
+    def path_to(self, key: NodeKey) -> PathPayload:
+        """Materialize the path from the root to ``key`` (parent walk)."""
+        hops: list[EdgePayload] = []
+        current = key
+        while True:
+            node = self.nodes[current]
+            if node.parent is None:
+                break
+            assert node.via_label is not None
+            hops.append(EdgePayload(node.parent[0], current[0], node.via_label))
+            current = node.parent
+        hops.reverse()
+        return PathPayload(tuple(hops))
+
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+class DeltaPathIndex:
+    """The forest of spanning trees plus the hash-based inverted index
+    from (vertex, state) pairs to the trees containing them
+    (Definition 22)."""
+
+    def __init__(self, start_state: int):
+        self.start_state = start_state
+        self.trees: dict[Vertex, SpanningTree] = {}
+        self._inverted: dict[NodeKey, set[Vertex]] = defaultdict(set)
+
+    def tree(self, root_vertex: Vertex) -> SpanningTree | None:
+        return self.trees.get(root_vertex)
+
+    def ensure_tree(self, root_vertex: Vertex) -> SpanningTree:
+        tree = self.trees.get(root_vertex)
+        if tree is None:
+            tree = SpanningTree(root_vertex, self.start_state)
+            self.trees[root_vertex] = tree
+            self.register(root_vertex, tree.root)
+        return tree
+
+    def register(self, root_vertex: Vertex, key: NodeKey) -> None:
+        self._inverted[key].add(root_vertex)
+
+    def unregister(self, root_vertex: Vertex, key: NodeKey) -> None:
+        roots = self._inverted.get(key)
+        if roots is not None:
+            roots.discard(root_vertex)
+            if not roots:
+                del self._inverted[key]
+
+    def roots_containing(self, key: NodeKey) -> tuple[Vertex, ...]:
+        return tuple(self._inverted.get(key, ()))
+
+    def drop_tree_if_trivial(self, root_vertex: Vertex) -> None:
+        tree = self.trees.get(root_vertex)
+        if tree is not None and tree.size() == 1:
+            self.unregister(root_vertex, tree.root)
+            del self.trees[root_vertex]
+
+    def state_size(self) -> int:
+        return sum(tree.size() for tree in self.trees.values())
+
+
+class WindowAdjacency:
+    """The windowed snapshot graph of a PATH operator's inputs.
+
+    Stores, per directed labeled edge, the multiset of validity intervals
+    currently known (parallel re-insertions of the same edge keep separate
+    intervals so explicit deletions can remove exactly one occurrence).
+    Expired intervals are purged lazily through an expiry heap.
+    """
+
+    def __init__(self) -> None:
+        self._out: dict[Vertex, dict[tuple[Label, Vertex], list[Interval]]] = (
+            defaultdict(dict)
+        )
+        self._in: dict[Vertex, dict[tuple[Label, Vertex], list[Interval]]] = (
+            defaultdict(dict)
+        )
+        self._expiry: list[tuple[int, int, Vertex, Label, Vertex]] = []
+        self._counter = 0
+        self._size = 0
+
+    def add(self, u: Vertex, v: Vertex, label: Label, interval: Interval) -> None:
+        self._out[u].setdefault((label, v), []).append(interval)
+        self._in[v].setdefault((label, u), []).append(interval)
+        self._counter += 1
+        self._size += 1
+        heapq.heappush(self._expiry, (interval.exp, self._counter, u, label, v))
+
+    def remove(self, u: Vertex, v: Vertex, label: Label, interval: Interval) -> bool:
+        """Remove one occurrence of the exact interval; False when absent."""
+        out_rows = self._out.get(u, {}).get((label, v))
+        if not out_rows or interval not in out_rows:
+            return False
+        out_rows.remove(interval)
+        if not out_rows:
+            del self._out[u][(label, v)]
+        in_rows = self._in[v][(label, u)]
+        in_rows.remove(interval)
+        if not in_rows:
+            del self._in[v][(label, u)]
+        self._size -= 1
+        return True
+
+    def out_edges(self, u: Vertex, now: int) -> Iterator[tuple[Label, Vertex, Interval]]:
+        """Edges leaving ``u`` that are valid at instant ``now``.
+
+        When parallel occurrences are simultaneously valid, the one with
+        the largest expiry is reported (the coalesce aggregation S-PATH
+        builds on).
+        """
+        for (label, v), intervals in self._out.get(u, {}).items():
+            best: Interval | None = None
+            for interval in intervals:
+                if interval.contains(now) and (best is None or interval.exp > best.exp):
+                    best = interval
+            if best is not None:
+                yield label, v, best
+
+    def in_edges(self, v: Vertex, now: int) -> Iterator[tuple[Label, Vertex, Interval]]:
+        """Edges entering ``v`` valid at ``now`` (largest expiry per edge)."""
+        for (label, u), intervals in self._in.get(v, {}).items():
+            best: Interval | None = None
+            for interval in intervals:
+                if interval.contains(now) and (best is None or interval.exp > best.exp):
+                    best = interval
+            if best is not None:
+                yield label, u, best
+
+    def purge(self, t: int) -> None:
+        """Drop every interval with ``exp <= t`` (lazy, heap-driven)."""
+        while self._expiry and self._expiry[0][0] <= t:
+            _, _, u, label, v = heapq.heappop(self._expiry)
+            out_rows = self._out.get(u, {}).get((label, v))
+            if not out_rows:
+                continue
+            kept = [iv for iv in out_rows if iv.exp > t]
+            dropped = len(out_rows) - len(kept)
+            if dropped == 0:
+                continue
+            self._size -= dropped
+            if kept:
+                self._out[u][(label, v)] = kept
+                self._in[v][(label, u)] = list(kept)
+            else:
+                del self._out[u][(label, v)]
+                del self._in[v][(label, u)]
+
+    def __len__(self) -> int:
+        return self._size
+
+
+def reverse_transitions(dfa: DFA) -> dict[tuple[Label, int], list[int]]:
+    """Map (label, target_state) → source states; used by repairs."""
+    reverse: dict[tuple[Label, int], list[int]] = defaultdict(list)
+    for source, by_label in dfa.transitions.items():
+        for label, target in by_label.items():
+            reverse[(label, target)].append(source)
+    return reverse
+
+
+def repair_nodes(
+    tree: SpanningTree,
+    marked: set[NodeKey],
+    adjacency: WindowAdjacency,
+    dfa: DFA,
+    reverse: dict[tuple[Label, int], list[int]],
+    now: int,
+    on_fix: Callable[[NodeKey, TreeNode], None],
+    on_remove: Callable[[NodeKey, TreeNode], None],
+) -> None:
+    """Re-derive marked nodes with their max-expiry alternative paths.
+
+    The classical delete–re-derive step (DRed / Section 6.2.5): every
+    marked node lost its tree derivation; a Dijkstra-style expansion over
+    the remaining snapshot graph finds, for each, the alternative path
+    with the largest expiry valid at ``now``.  Nodes that are fixed are
+    reparented in place (``on_fix``); nodes with no valid alternative are
+    removed from the tree (``on_remove`` runs before detachment).
+
+    Processing candidates in decreasing expiry order guarantees that when
+    a node is fixed, its recorded expiry is final — exactly Dijkstra's
+    argument with ``min`` along paths and ``max`` at merges.
+    """
+    if not marked:
+        return
+
+    # Max-heap of candidate derivations: (-exp, ts, child, parent, label).
+    heap: list[tuple[int, int, NodeKey, NodeKey, Label]] = []
+
+    def push_candidates(child_key: NodeKey) -> None:
+        vertex, state = child_key
+        for label, prev_vertex, interval in adjacency.in_edges(vertex, now):
+            for prev_state in reverse.get((label, state), ()):
+                parent_key = (prev_vertex, prev_state)
+                if parent_key in marked or parent_key == child_key:
+                    continue
+                parent = tree.get(parent_key)
+                if parent is None or (parent.exp <= now and parent_key != tree.root):
+                    continue
+                exp = min(parent.exp, interval.exp)
+                ts = max(parent.ts, interval.ts)
+                if exp > now:
+                    heapq.heappush(heap, (-exp, ts, child_key, parent_key, label))
+
+    for key in marked:
+        push_candidates(key)
+
+    while heap:
+        neg_exp, ts, child_key, parent_key, label = heapq.heappop(heap)
+        if child_key not in marked:
+            continue  # already fixed by a better candidate
+        parent = tree.get(parent_key)
+        if parent is None or parent_key in marked:
+            continue
+        exp = -neg_exp
+        node = tree.nodes[child_key]
+        tree.reparent(child_key, parent_key, label)
+        node.ts = ts
+        node.exp = exp
+        marked.discard(child_key)
+        on_fix(child_key, node)
+        # Relax: the fixed node may now be the best parent for marked
+        # neighbours downstream.
+        vertex, state = child_key
+        for out_label, next_vertex, interval in adjacency.out_edges(vertex, now):
+            next_state = dfa.delta(state, out_label)
+            if next_state is None:
+                continue
+            next_key = (next_vertex, next_state)
+            if next_key not in marked:
+                continue
+            next_exp = min(exp, interval.exp)
+            if next_exp > now:
+                heapq.heappush(
+                    heap,
+                    (-next_exp, max(ts, interval.ts), next_key, child_key, out_label),
+                )
+
+    for key in list(marked):
+        node = tree.nodes.get(key)
+        if node is None:
+            marked.discard(key)
+            continue
+        on_remove(key, node)
+        # Children were either fixed (reparented away) or are themselves
+        # marked; remove just this node.
+        if node.parent is not None:
+            parent = tree.nodes.get(node.parent)
+            if parent is not None:
+                parent.children.discard(key)
+        for child in list(node.children):
+            child_node = tree.nodes.get(child)
+            if child_node is not None and child_node.parent == key:
+                child_node.parent = None
+        del tree.nodes[key]
+        marked.discard(key)

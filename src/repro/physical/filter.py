@@ -1,0 +1,24 @@
+"""Physical FILTER: stateless predicate evaluation (Definition 17)."""
+
+from __future__ import annotations
+
+from repro.algebra.operators import Predicate
+from repro.dataflow.graph import Event, PhysicalOperator
+
+
+class FilterOp(PhysicalOperator):
+    """Forwards events whose sgt satisfies the predicate.
+
+    Deletions are filtered identically: a tuple that never passed the
+    filter produced no downstream effects, so its retraction must not
+    either.
+    """
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(f"filter[{predicate}]")
+        self.predicate = predicate
+
+    def on_event(self, port: int, event: Event) -> None:
+        sgt = event.sgt
+        if self.predicate.evaluate(sgt.src, sgt.trg, sgt.label):
+            self.emit(event)

@@ -1,0 +1,288 @@
+"""Physical PATTERN: a binary tree of pipelined symmetric hash joins
+(Section 6.2.2).
+
+A PATTERN over conjuncts ``(S_1: (x_1, y_1)), ..., (S_n: (x_n, y_n))`` is
+compiled into a left-deep tree of symmetric hash joins over *variable
+bindings* — partial assignments of pattern variables to vertices.  The
+construction follows the paper: leaves are the conjunct input streams,
+internal nodes are non-blocking pipelined hash joins keyed on the shared
+variables, and the join order is the textual order of the conjuncts
+(join-order optimization is future work in the paper too).
+
+State maintenance uses the *direct approach*: every stored binding keeps
+its validity interval (the intersection of the participating tuples'
+intervals), and expired bindings are purged when the watermark advances.
+Explicit deletions (negative tuples) are processed exactly like
+insertions — remove from the own-side table, probe the other side, and
+retract the joined results (Section 6.2.5).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, EdgePayload, Label, Vertex
+from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
+from repro.errors import ExecutionError, PlanError
+
+Schema = tuple[str, ...]
+Values = tuple[Vertex, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    """A partial assignment of pattern variables with a validity interval."""
+
+    values: Values
+    interval: Interval
+
+
+class _HashTable:
+    """One side of a symmetric hash join: key values → binding multiset.
+
+    Bindings with identical variable values but different intervals are
+    kept as separate entries (a multiset of intervals), so an explicit
+    deletion can remove exactly the interval its insertion added.
+    Expiration is heap-driven (the direct approach): each window slide
+    pays for the tuples that actually expired, not a scan of all state.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[Values, dict[Values, list[Interval]]] = defaultdict(dict)
+        self._count = 0
+        self._expiry: list[tuple[int, int, Values, Values, Interval]] = []
+        self._seq = 0
+
+    def insert(self, key: Values, values: Values, interval: Interval) -> None:
+        rows = self._table[key].setdefault(values, [])
+        rows.append(interval)
+        self._count += 1
+        self._seq += 1
+        heapq.heappush(
+            self._expiry, (interval.exp, self._seq, key, values, interval)
+        )
+
+    def remove(self, key: Values, values: Values, interval: Interval) -> bool:
+        """Remove one occurrence of (values, interval); False if absent."""
+        group = self._table.get(key)
+        if not group:
+            return False
+        rows = group.get(values)
+        if not rows:
+            return False
+        try:
+            rows.remove(interval)
+        except ValueError:
+            return False
+        self._count -= 1
+        if not rows:
+            del group[values]
+        if not group:
+            del self._table[key]
+        return True
+
+    def probe(self, key: Values) -> list[tuple[Values, Interval]]:
+        group = self._table.get(key)
+        if not group:
+            return []
+        return [
+            (values, interval)
+            for values, intervals in group.items()
+            for interval in intervals
+        ]
+
+    def purge(self, t: int) -> None:
+        """Drop bindings whose validity ended at or before ``t``.
+
+        Heap entries for bindings already removed by explicit deletions
+        are stale; ``remove`` tolerates them.
+        """
+        while self._expiry and self._expiry[0][0] <= t:
+            _, _, key, values, interval = heapq.heappop(self._expiry)
+            self.remove(key, values, interval)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class _Node:
+    """A node of the internal join tree; produces bindings upward."""
+
+    schema: Schema
+    parent: "_JoinNode | None"
+    parent_side: int
+
+    def output(self, binding: Binding, sign: int) -> None:
+        if self.parent is None:
+            raise ExecutionError("unrooted join node")
+        self.parent.on_binding(self.parent_side, binding, sign)
+
+
+class _LeafNode(_Node):
+    """Adapts an sgt stream to bindings over (src_var, trg_var).
+
+    A conjunct with a repeated variable, e.g. ``l(x, x)``, binds a single
+    variable and filters non-loop edges.
+    """
+
+    def __init__(self, src_var: str, trg_var: str):
+        self.src_var = src_var
+        self.trg_var = trg_var
+        self.loop = src_var == trg_var
+        self.schema = (src_var,) if self.loop else (src_var, trg_var)
+        self.parent = None
+        self.parent_side = 0
+
+    def on_sgt(self, sgt: SGT, sign: int) -> None:
+        if self.loop:
+            if sgt.src != sgt.trg:
+                return
+            self.output(Binding((sgt.src,), sgt.interval), sign)
+        else:
+            self.output(Binding((sgt.src, sgt.trg), sgt.interval), sign)
+
+
+class _JoinNode(_Node):
+    """A pipelined symmetric hash join of two child binding streams."""
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+        left.parent = self
+        left.parent_side = 0
+        right.parent = self
+        right.parent_side = 1
+
+        shared = [v for v in left.schema if v in right.schema]
+        self.key_vars = tuple(shared)
+        self.schema = left.schema + tuple(
+            v for v in right.schema if v not in left.schema
+        )
+        self._left_key = tuple(left.schema.index(v) for v in shared)
+        self._right_key = tuple(right.schema.index(v) for v in shared)
+        # positions in the right child's values that extend the output
+        self._right_extend = tuple(
+            index
+            for index, var in enumerate(right.schema)
+            if var not in left.schema
+        )
+        self._tables = (_HashTable(), _HashTable())
+        self.parent = None
+        self.parent_side = 0
+
+    def on_binding(self, side: int, binding: Binding, sign: int) -> None:
+        key = self._key_of(side, binding.values)
+        own, other = self._tables[side], self._tables[1 - side]
+        if sign == INSERT:
+            own.insert(key, binding.values, binding.interval)
+        else:
+            if not own.remove(key, binding.values, binding.interval):
+                # Retraction of a tuple this operator never stored (it may
+                # have expired already); nothing joined with it remains.
+                return
+        for other_values, other_interval in other.probe(key):
+            joined = binding.interval.intersect(other_interval)
+            if joined is None:
+                continue
+            if side == 0:
+                values = self._combine(binding.values, other_values)
+            else:
+                values = self._combine(other_values, binding.values)
+            self.output(Binding(values, joined), sign)
+
+    def _key_of(self, side: int, values: Values) -> Values:
+        positions = self._left_key if side == 0 else self._right_key
+        return tuple(values[i] for i in positions)
+
+    def _combine(self, left_values: Values, right_values: Values) -> Values:
+        return left_values + tuple(right_values[i] for i in self._right_extend)
+
+    def purge(self, t: int) -> None:
+        self._tables[0].purge(t)
+        self._tables[1].purge(t)
+
+    def state_size(self) -> int:
+        return len(self._tables[0]) + len(self._tables[1])
+
+
+class PatternOp(PhysicalOperator):
+    """PATTERN as one dataflow vertex wrapping the internal join tree.
+
+    Port ``i`` carries the stream of the ``i``-th conjunct.  The output is
+    an sgt stream labeled ``out_label`` with endpoints taken from the
+    bindings of ``src_var`` / ``trg_var`` and validity equal to the
+    intersection of the participating tuples' intervals (Definition 19).
+    """
+
+    def __init__(
+        self,
+        conjunct_vars: list[tuple[str, str]],
+        src_var: str,
+        trg_var: str,
+        out_label: Label,
+    ):
+        super().__init__(f"pattern[{out_label}]")
+        if not conjunct_vars:
+            raise PlanError("PATTERN requires at least one conjunct")
+        self.out_label = out_label
+        self._leaves = [_LeafNode(src, trg) for src, trg in conjunct_vars]
+        self._joins: list[_JoinNode] = []
+
+        root: _Node = self._leaves[0]
+        for leaf in self._leaves[1:]:
+            join = _JoinNode(root, leaf)
+            self._joins.append(join)
+            root = join
+        self._root = root
+        root.parent = _ResultAdapter(self, root.schema, src_var, trg_var, out_label)  # type: ignore[assignment]
+        root.parent_side = 0
+
+    def on_event(self, port: int, event: Event) -> None:
+        try:
+            leaf = self._leaves[port]
+        except IndexError as exc:
+            raise ExecutionError(f"{self.name}: no conjunct on port {port}") from exc
+        leaf.on_sgt(event.sgt, event.sign)
+
+    def on_advance(self, t: int) -> None:
+        for join in self._joins:
+            join.purge(t)
+
+    def state_size(self) -> int:
+        return sum(join.state_size() for join in self._joins)
+
+
+class _ResultAdapter:
+    """Projects root bindings to output sgts and emits them."""
+
+    def __init__(
+        self,
+        op: PatternOp,
+        schema: Schema,
+        src_var: str,
+        trg_var: str,
+        out_label: Label,
+    ):
+        self._op = op
+        if src_var not in schema or trg_var not in schema:
+            raise PlanError(
+                f"output variables ({src_var}, {trg_var}) not in schema {schema}"
+            )
+        self._src_index = schema.index(src_var)
+        self._trg_index = schema.index(trg_var)
+        self._label = out_label
+
+    def on_binding(self, side: int, binding: Binding, sign: int) -> None:
+        src = binding.values[self._src_index]
+        trg = binding.values[self._trg_index]
+        sgt = SGT(
+            src,
+            trg,
+            self._label,
+            binding.interval,
+            EdgePayload(src, trg, self._label),
+        )
+        self._op.emit(Event(sgt, sign))

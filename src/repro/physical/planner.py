@@ -1,0 +1,254 @@
+"""Compilation of logical SGA plans into physical dataflow graphs.
+
+Each logical operator maps to one physical operator; PATTERN expands
+internally into its binary join tree (Section 6.2.2) and PATH selects one
+of the two physical implementations (Sections 6.2.3-6.2.4).  Identical
+logical sub-plans are compiled once and shared — plans are immutable
+value objects, so structural equality identifies common sub-expressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.algebra.operators import Filter, Path, Pattern, Plan, Relabel, Union, WScan
+from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
+from repro.errors import PlanError
+from repro.physical.coalesce_op import CoalesceOp
+from repro.physical.filter import FilterOp
+from repro.physical.join import PatternOp
+from repro.physical.rpq_negative import NegativeTupleRpqOp
+from repro.physical.spath import SPathOp
+from repro.physical.union import UnionOp
+from repro.physical.wscan import WScanOp
+
+#: Available physical PATH implementations (Table 3 swaps these).
+PATH_IMPLS = ("spath", "negative")
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled dataflow with its default slide interval and sink."""
+
+    graph: DataflowGraph
+    sink: SinkOp
+    slide: int
+
+
+def compile_plan(
+    plan: Plan,
+    path_impl: str = "spath",
+    materialize_paths: bool = True,
+    coalesce_intermediate: bool = True,
+) -> PhysicalPlan:
+    """Compile a logical plan; results arrive at the returned sink.
+
+    ``materialize_paths=False`` makes PATH operators emit plain derived
+    edges instead of reconstructing hop sequences — cheaper when only
+    reachability pairs are consumed (the DD baseline cannot return paths
+    at all, so the comparative benchmarks disable materialization).
+    """
+    graph = DataflowGraph()
+    cache: dict[Plan, PhysicalOperator] = {}
+    sink = compile_into(
+        plan, graph, cache, path_impl, materialize_paths, coalesce_intermediate
+    )
+    return PhysicalPlan(graph=graph, sink=sink, slide=_plan_slide(plan))
+
+
+def compile_into(
+    plan: Plan,
+    graph: DataflowGraph,
+    cache: dict[Plan, PhysicalOperator],
+    path_impl: str = "spath",
+    materialize_paths: bool = True,
+    coalesce_intermediate: bool = True,
+) -> SinkOp:
+    """Compile a plan into an existing dataflow, sharing cached sub-plans.
+
+    Plans are immutable value objects, so compiling several queries into
+    one graph with a shared ``cache`` deduplicates every common
+    sub-expression — the multi-query sharing of
+    :class:`repro.engine.multi.MultiQueryProcessor`.  Returns the
+    query's private sink.
+    """
+    if path_impl not in PATH_IMPLS:
+        raise PlanError(
+            f"unknown PATH implementation {path_impl!r}; expected one of {PATH_IMPLS}"
+        )
+    plan = _fuse_relabels(plan, Counter(_walk(plan)))
+    options = _Options(path_impl, materialize_paths, coalesce_intermediate)
+    root = _build(plan, graph, cache, options)
+    sink = SinkOp()
+    graph.add(sink)
+    graph.connect(root, sink, 0)
+    return sink
+
+
+def _fuse_relabels(plan: Plan, refs: Counter) -> Plan:
+    """Fuse ``Relabel`` into its producer where the producer is private.
+
+    PATH, PATTERN and UNION carry their own output label, so a relabel of
+    an unshared producer is just a different label on the same operator —
+    fusing it removes one per-result tuple rewrite from the hot path.
+    Shared producers (referenced elsewhere in the plan) are left alone.
+    """
+    if isinstance(plan, Relabel):
+        child = _fuse_relabels(plan.child, refs)
+        if refs[plan.child] == 1:
+            if isinstance(child, (Path, Pattern, Union)):
+                return dataclasses.replace(child, label=plan.label)
+            if isinstance(child, Relabel):
+                return dataclasses.replace(child, label=plan.label)
+        return Relabel(child, plan.label)
+    if isinstance(plan, Filter):
+        return Filter(_fuse_relabels(plan.child, refs), plan.predicate)
+    if isinstance(plan, Union):
+        return Union(
+            _fuse_relabels(plan.left, refs),
+            _fuse_relabels(plan.right, refs),
+            plan.label,
+        )
+    if isinstance(plan, Pattern):
+        conjuncts = tuple(
+            dataclasses.replace(c, plan=_fuse_relabels(c.plan, refs))
+            for c in plan.inputs
+        )
+        return dataclasses.replace(plan, inputs=conjuncts)
+    if isinstance(plan, Path):
+        pairs = tuple(
+            (label, _fuse_relabels(child, refs)) for label, child in plan.inputs
+        )
+        return dataclasses.replace(plan, inputs=pairs)
+    return plan
+
+
+def _plan_slide(plan: Plan) -> int:
+    """The slide driving watermark advancement: the finest one in the plan."""
+    slides = [
+        node.window.slide
+        for node in _walk(plan)
+        if isinstance(node, WScan)
+    ]
+    if not slides:
+        raise PlanError("plan has no WSCAN leaves")
+    return min(slides)
+
+
+def _walk(plan: Plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)
+
+
+def _stateful_input(
+    child_plan: Plan,
+    child_op: PhysicalOperator,
+    graph: DataflowGraph,
+    cache: dict[Plan, PhysicalOperator],
+) -> PhysicalOperator:
+    """Interpose the Section 5.1 set-semantics coalescing stage.
+
+    PATTERN and PATH may emit value-equivalent results with overlapping
+    validity (one per witness subgraph / extension); feeding those
+    duplicates into another *stateful* operator multiplies its state and
+    probe work, so a coalescing stage is inserted exactly on
+    stateful→stateful edges.  Stateless consumers and the sink see the
+    raw stream (coalescing there would be pure overhead).
+    """
+    producer = _strip_relabels(child_plan)
+    if not isinstance(producer, (Pattern, Path)):
+        return child_op
+    key = ("coalesce", child_plan)
+    cached = cache.get(key)  # type: ignore[arg-type]
+    if cached is not None:
+        return cached
+    stage = CoalesceOp(child_plan.out_label)
+    graph.add(stage)
+    graph.connect(child_op, stage, 0)
+    cache[key] = stage  # type: ignore[index]
+    return stage
+
+
+def _strip_relabels(plan: Plan) -> Plan:
+    while isinstance(plan, Relabel):
+        plan = plan.child
+    return plan
+
+
+@dataclass(frozen=True)
+class _Options:
+    path_impl: str
+    materialize_paths: bool
+    coalesce_intermediate: bool
+
+
+def _build(
+    plan: Plan,
+    graph: DataflowGraph,
+    cache: dict[Plan, PhysicalOperator],
+    options: "_Options",
+) -> PhysicalOperator:
+    cached = cache.get(plan)
+    if cached is not None:
+        return cached
+
+    if isinstance(plan, WScan):
+        source = graph.add_source(plan.label)
+        op = WScanOp(plan.label, plan.window, plan.prefilter)
+        graph.add(op)
+        graph.connect(source, op, 0)
+    elif isinstance(plan, Filter):
+        child = _build(plan.child, graph, cache, options)
+        op = FilterOp(plan.predicate)
+        graph.add(op)
+        graph.connect(child, op, 0)
+    elif isinstance(plan, Relabel):
+        child = _build(plan.child, graph, cache, options)
+        # The degenerate single-input UNION: relabel, payloads preserved.
+        op = UnionOp(plan.label)
+        graph.add(op)
+        graph.connect(child, op, 0)
+    elif isinstance(plan, Union):
+        left = _build(plan.left, graph, cache, options)
+        right = _build(plan.right, graph, cache, options)
+        op = UnionOp(plan.label)
+        graph.add(op)
+        graph.connect(left, op, 0)
+        graph.connect(right, op, 1)
+    elif isinstance(plan, Pattern):
+        op = PatternOp(
+            [(c.src_var, c.trg_var) for c in plan.inputs],
+            plan.src_var,
+            plan.trg_var,
+            plan.label,
+        )
+        graph.add(op)
+        for port, conjunct in enumerate(plan.inputs):
+            child = _build(conjunct.plan, graph, cache, options)
+            if options.coalesce_intermediate:
+                child = _stateful_input(conjunct.plan, child, graph, cache)
+            graph.connect(child, op, port)
+    elif isinstance(plan, Path):
+        labels = [label for label, _ in plan.inputs]
+        if options.path_impl == "spath":
+            op = SPathOp(
+                labels, plan.regex, plan.label, options.materialize_paths
+            )
+        else:
+            op = NegativeTupleRpqOp(
+                labels, plan.regex, plan.label, options.materialize_paths
+            )
+        graph.add(op)
+        for port, (_, child_plan) in enumerate(plan.inputs):
+            child = _build(child_plan, graph, cache, options)
+            if options.coalesce_intermediate:
+                child = _stateful_input(child_plan, child, graph, cache)
+            graph.connect(child, op, port)
+    else:
+        raise PlanError(f"cannot compile plan node {plan!r}")
+
+    cache[plan] = op
+    return op

@@ -1,0 +1,309 @@
+"""Negative-tuple streaming RPQ operator ([Pacaci et al., SIGMOD 2020]).
+
+The default PATH implementation of the paper's prototype (Section 6.2.3):
+the same Δ-tree spanning forest as S-PATH, but maintained under the
+*negative tuple* discipline:
+
+* **Insertions** only *Expand*: when a (vertex, state) pair is already in
+  a tree with a still-valid derivation, the new (possibly later-expiring)
+  derivation is ignored — the tree keeps the first derivation found
+  (compare Example 10 / Figure 9d of the paper).
+* **Expirations** are processed with the same machinery as explicit
+  deletions: when the window slides, every tree node whose derivation
+  expired is marked (together with its subtree) and the snapshot graph is
+  traversed to find alternative, still-valid paths — the DRed-style
+  delete-and-re-derive step that S-PATH's direct approach avoids.
+
+This operator exists (a) as the baseline for the Table 3 comparison, and
+(b) as an independent implementation of PATH used to cross-validate
+S-PATH in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, Label
+from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
+from repro.errors import ExecutionError
+from repro.physical.delta_index import (
+    DeltaPathIndex,
+    NodeKey,
+    SpanningTree,
+    TreeNode,
+    WindowAdjacency,
+    repair_nodes,
+    reverse_transitions,
+)
+from repro.regex.ast import RegexNode
+from repro.regex.dfa import DFA, dfa_from_regex
+
+
+class NegativeTupleRpqOp(PhysicalOperator):
+    """Physical PATH operator following the negative-tuple approach."""
+
+    def __init__(
+        self,
+        labels: list[Label],
+        regex: RegexNode | str,
+        out_label: Label,
+        materialize_paths: bool = True,
+    ):
+        super().__init__(f"rpq-neg[{out_label}]")
+        self.labels = list(labels)
+        self.out_label = out_label
+        #: When False, result payloads are plain derived edges instead of
+        #: materialized paths (cheaper; used by benchmarks comparing pair
+        #: production against the path-less DD baseline).
+        self.materialize_paths = materialize_paths
+        self.dfa: DFA = dfa_from_regex(regex)
+        if self.dfa.start_is_accepting():
+            raise ExecutionError("PATH regex must not accept the empty word")
+        self._reverse = reverse_transitions(self.dfa)
+        self.index = DeltaPathIndex(self.dfa.start)
+        self.adjacency = WindowAdjacency()
+        # (exp, seq, root, key) — nodes to re-derive when the window slides.
+        self._node_expiry: list[tuple[int, int, object, NodeKey]] = []
+        self._seq = 0
+        self._now = -1
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def on_event(self, port: int, event: Event) -> None:
+        try:
+            label = self.labels[port]
+        except IndexError as exc:
+            raise ExecutionError(f"{self.name}: unexpected port {port}") from exc
+        sgt = event.sgt
+        if event.sign == INSERT:
+            self._insert(sgt.src, sgt.trg, label, sgt.interval)
+        else:
+            self._delete(sgt.src, sgt.trg, label, sgt.interval)
+
+    def _insert(self, u, v, label: Label, interval: Interval) -> None:
+        now = max(self._now, interval.ts)
+        self._now = now
+        self.adjacency.add(u, v, label, interval)
+
+        tasks: list[tuple[object, int, int]] = []
+        for s, t in self.dfa.states_with_transition_on(label):
+            if s == self.dfa.start:
+                self.index.ensure_tree(u)
+            for root in self.index.roots_containing((u, s)):
+                tasks.append((root, s, t))
+        for root, s, t in tasks:
+            tree = self.index.tree(root)
+            if tree is None:
+                continue
+            self._expand(tree, (u, s), (v, t), label, interval, now)
+
+    def _expand(
+        self,
+        tree: SpanningTree,
+        parent_key: NodeKey,
+        child_key: NodeKey,
+        label: Label,
+        edge_interval: Interval,
+        now: int,
+    ) -> None:
+        """Expand-only linking: existing valid nodes are never improved."""
+        stack = [(parent_key, child_key, label, edge_interval)]
+        while stack:
+            parent_key, child_key, label, edge_interval = stack.pop()
+            parent = tree.get(parent_key)
+            if parent is None:
+                continue
+            if parent.exp <= now and parent_key != tree.root:
+                continue
+            ts = max(edge_interval.ts, parent.ts)
+            exp = min(edge_interval.exp, parent.exp)
+            if exp <= now:
+                continue
+
+            node = tree.get(child_key)
+            if node is not None and node.exp <= now:
+                for removed_key, _ in tree.remove_subtree(child_key):
+                    self.index.unregister(tree.root_vertex, removed_key)
+                node = None
+            if node is not None:
+                continue  # first derivation wins; no Propagate
+            if child_key == tree.root:
+                continue
+
+            node = tree.add_child(parent_key, child_key, ts, exp, label)
+            self.index.register(tree.root_vertex, child_key)
+            self._schedule_expiry(tree.root_vertex, child_key, exp)
+            if self.dfa.is_accepting(child_key[1]):
+                self._emit_result(tree, child_key, node, INSERT)
+
+            vertex, state = child_key
+            for out_label, w, out_interval in self.adjacency.out_edges(vertex, now):
+                next_state = self.dfa.delta(state, out_label)
+                if next_state is None:
+                    continue
+                stack.append((child_key, (w, next_state), out_label, out_interval))
+
+    # ------------------------------------------------------------------
+    # Window maintenance: expiration via delete & re-derive
+    # ------------------------------------------------------------------
+    def on_advance(self, t: int) -> None:
+        self._now = max(self._now, t)
+        # Group expired nodes per tree, then run one repair per tree —
+        # this is the expensive re-derivation traversal of the negative
+        # tuple approach.
+        expired: dict[object, set[NodeKey]] = {}
+        while self._node_expiry and self._node_expiry[0][0] <= t:
+            _, _, root, key = heapq.heappop(self._node_expiry)
+            tree = self.index.tree(root)
+            if tree is None:
+                continue
+            node = tree.get(key)
+            if node is None or node.exp > t:
+                continue
+            expired.setdefault(root, set()).add(key)
+
+        for root, keys in expired.items():
+            tree = self.index.tree(root)
+            if tree is None:
+                continue
+            marked: set[NodeKey] = set()
+            stack = list(keys)
+            while stack:
+                current = stack.pop()
+                node = tree.get(current)
+                if node is None or current in marked:
+                    continue
+                marked.add(current)
+                stack.extend(node.children)
+            self._rederive(tree, marked, t)
+            self.index.drop_tree_if_trivial(root)
+
+        # Adjacency is purged after re-derivation: the traversal may only
+        # use edges valid strictly after t, which `in_edges(…, now=t)`
+        # already guarantees, but purging late keeps the code honest about
+        # what the negative-tuple approach must scan.
+        self.adjacency.purge(t)
+
+    def _rederive(self, tree: SpanningTree, marked: set[NodeKey], now: int) -> None:
+        def on_fix(fixed_key: NodeKey, node: TreeNode) -> None:
+            self._schedule_expiry(tree.root_vertex, fixed_key, node.exp)
+            if self.dfa.is_accepting(fixed_key[1]):
+                # Re-derived result: its validity continues past `now`.
+                self._emit_result(tree, fixed_key, node, INSERT)
+
+        def on_remove(removed_key: NodeKey, node: TreeNode) -> None:
+            self.index.unregister(tree.root_vertex, removed_key)
+            # Natural expiration: previously emitted intervals already
+            # ended at node.exp <= now, so nothing needs retracting.
+
+        repair_nodes(
+            tree,
+            marked,
+            self.adjacency,
+            self.dfa,
+            self._reverse,
+            now,
+            on_fix,
+            on_remove,
+        )
+
+    # ------------------------------------------------------------------
+    # Explicit deletions: the original negative-tuple machinery
+    # ------------------------------------------------------------------
+    def _delete(self, u, v, label: Label, interval: Interval) -> None:
+        now = max(self._now, interval.ts)
+        if not self.adjacency.remove(u, v, label, interval):
+            return
+        for s, t in self.dfa.states_with_transition_on(label):
+            child_key = (v, t)
+            for root in self.index.roots_containing(child_key):
+                tree = self.index.tree(root)
+                if tree is None:
+                    continue
+                node = tree.get(child_key)
+                if node is None or node.parent != (u, s) or node.via_label != label:
+                    continue
+                self._repair_after_delete(tree, child_key, now)
+
+    def _repair_after_delete(self, tree: SpanningTree, key: NodeKey, now: int) -> None:
+        marked: set[NodeKey] = set()
+        old_state: dict[NodeKey, tuple[int, int]] = {}
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            node = tree.get(current)
+            if node is None or current in marked:
+                continue
+            marked.add(current)
+            old_state[current] = (node.ts, node.exp)
+            stack.extend(node.children)
+
+        def on_fix(fixed_key: NodeKey, node: TreeNode) -> None:
+            self._schedule_expiry(tree.root_vertex, fixed_key, node.exp)
+            if not self.dfa.is_accepting(fixed_key[1]):
+                return
+            old_ts, old_exp = old_state[fixed_key]
+            self._emit_interval(tree, fixed_key, Interval(old_ts, old_exp), DELETE)
+            history_end = min(now, old_exp)
+            if history_end > old_ts:
+                self._emit_interval(
+                    tree, fixed_key, Interval(old_ts, history_end), INSERT
+                )
+            self._emit_result(tree, fixed_key, node, INSERT)
+
+        def on_remove(removed_key: NodeKey, node: TreeNode) -> None:
+            self.index.unregister(tree.root_vertex, removed_key)
+            if self.dfa.is_accepting(removed_key[1]):
+                old_ts, old_exp = old_state[removed_key]
+                self._emit_interval(
+                    tree, removed_key, Interval(old_ts, old_exp), DELETE
+                )
+                history_end = min(now, old_exp)
+                if history_end > old_ts:
+                    self._emit_interval(
+                        tree, removed_key, Interval(old_ts, history_end), INSERT
+                    )
+
+        repair_nodes(
+            tree,
+            marked,
+            self.adjacency,
+            self.dfa,
+            self._reverse,
+            now,
+            on_fix,
+            on_remove,
+        )
+        self.index.drop_tree_if_trivial(tree.root_vertex)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _schedule_expiry(self, root, key: NodeKey, exp: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._node_expiry, (exp, self._seq, root, key))
+
+    def _emit_result(
+        self, tree: SpanningTree, key: NodeKey, node: TreeNode, sign: int
+    ) -> None:
+        payload = tree.path_to(key) if self.materialize_paths else None
+        sgt = SGT(
+            tree.root_vertex,
+            key[0],
+            self.out_label,
+            Interval(node.ts, node.exp),
+            payload,
+        )
+        self.emit(Event(sgt, sign))
+
+    def _emit_interval(
+        self, tree: SpanningTree, key: NodeKey, interval: Interval, sign: int
+    ) -> None:
+        """Emit an insertion/retraction for an explicit result interval."""
+        sgt = SGT(tree.root_vertex, key[0], self.out_label, interval)
+        self.emit(Event(sgt, sign))
+
+    def state_size(self) -> int:
+        return self.index.state_size() + len(self.adjacency)

@@ -1,0 +1,297 @@
+"""S-PATH: the direct-approach streaming path navigation operator
+(Section 6.2.4, Algorithms S-PATH / Expand / Propagate).
+
+S-PATH maintains the Δ-PATH spanning forest (Definition 22) where each
+tree node stores the validity interval of the *latest-expiring* path from
+the tree's root — the coalesce aggregation with ``max`` over expiry
+timestamps.  Because expirations have a temporal order, an expired node
+can never be shadowing a still-valid alternative path, so window
+maintenance is *direct*: expired nodes are simply dropped when the
+watermark advances, with no re-derivation traversals.
+
+On arrival of an sgt ``(u, v, l, [ts, exp))``:
+
+* for every DFA transition ``t = delta(s, l)``: if ``s`` is the start
+  state, ensure tree ``T_u`` exists; then for every tree containing a
+  valid node ``(u, s)``, link ``(v, t)`` below it —
+  *Expand* when ``(v, t)`` is absent (or expired), *Propagate* when the
+  new derivation expires later than the recorded one;
+* both Expand and Propagate keep traversing the snapshot graph until no
+  further improvement is possible (implemented with an explicit worklist
+  so deep chains cannot overflow the Python stack);
+* whenever an accepting node is created or improved, a result sgt is
+  emitted carrying the materialized path from the root.
+
+Explicit deletions use negative tuples: deleting a tree edge disconnects
+a subtree, which is repaired with the Dijkstra-style max-expiry
+re-derivation of Section 6.2.5; results that no longer hold from the
+deletion time onward are retracted.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, Label
+from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
+from repro.errors import ExecutionError
+from repro.physical.delta_index import (
+    DeltaPathIndex,
+    NodeKey,
+    SpanningTree,
+    TreeNode,
+    WindowAdjacency,
+    repair_nodes,
+    reverse_transitions,
+)
+from repro.regex.ast import RegexNode
+from repro.regex.dfa import DFA, dfa_from_regex
+
+
+class SPathOp(PhysicalOperator):
+    """Physical PATH operator following the direct approach."""
+
+    def __init__(
+        self,
+        labels: list[Label],
+        regex: RegexNode | str,
+        out_label: Label,
+        materialize_paths: bool = True,
+    ):
+        super().__init__(f"spath[{out_label}]")
+        self.labels = list(labels)
+        self.out_label = out_label
+        #: When False, result payloads are plain derived edges instead of
+        #: materialized paths (cheaper; used by benchmarks comparing pair
+        #: production against the path-less DD baseline).
+        self.materialize_paths = materialize_paths
+        self.dfa: DFA = dfa_from_regex(regex)
+        if self.dfa.start_is_accepting():
+            raise ExecutionError("PATH regex must not accept the empty word")
+        self._reverse = reverse_transitions(self.dfa)
+        self.index = DeltaPathIndex(self.dfa.start)
+        self.adjacency = WindowAdjacency()
+        # Lazy expiry heap over tree nodes: (exp, seq, root_vertex, key).
+        self._node_expiry: list[tuple[int, int, object, NodeKey]] = []
+        self._seq = 0
+        self._now = -1
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def on_event(self, port: int, event: Event) -> None:
+        try:
+            label = self.labels[port]
+        except IndexError as exc:
+            raise ExecutionError(f"{self.name}: unexpected port {port}") from exc
+        sgt = event.sgt
+        if event.sign == INSERT:
+            self._insert(sgt.src, sgt.trg, label, sgt.interval)
+        else:
+            self._delete(sgt.src, sgt.trg, label, sgt.interval)
+
+    def _insert(self, u, v, label: Label, interval: Interval) -> None:
+        now = max(self._now, interval.ts)
+        self._now = now
+        self.adjacency.add(u, v, label, interval)
+
+        transitions = self.dfa.states_with_transition_on(label)
+        # Snapshot the candidate trees before mutating the index.
+        tasks: list[tuple[object, int, int]] = []
+        for s, t in transitions:
+            if s == self.dfa.start:
+                self.index.ensure_tree(u)
+            for root in self.index.roots_containing((u, s)):
+                tasks.append((root, s, t))
+        for root, s, t in tasks:
+            tree = self.index.tree(root)
+            if tree is None:
+                continue
+            self._link(tree, (u, s), (v, t), label, interval, now)
+
+    # ------------------------------------------------------------------
+    # Expand / Propagate (worklist form)
+    # ------------------------------------------------------------------
+    def _link(
+        self,
+        tree: SpanningTree,
+        parent_key: NodeKey,
+        child_key: NodeKey,
+        label: Label,
+        edge_interval: Interval,
+        now: int,
+    ) -> None:
+        stack = [(parent_key, child_key, label, edge_interval)]
+        while stack:
+            parent_key, child_key, label, edge_interval = stack.pop()
+            parent = tree.get(parent_key)
+            if parent is None:
+                continue
+            if parent.exp <= now and parent_key != tree.root:
+                continue
+            ts = max(edge_interval.ts, parent.ts)
+            exp = min(edge_interval.exp, parent.exp)
+            if exp <= now:
+                continue
+
+            node = tree.get(child_key)
+            if node is not None and node.exp <= now:
+                # An expired remnant: by the child.exp <= parent.exp
+                # invariant its whole subtree is expired; discard and
+                # treat as absent.
+                for removed_key, _ in tree.remove_subtree(child_key):
+                    self.index.unregister(tree.root_vertex, removed_key)
+                node = None
+
+            if node is None:
+                if child_key == tree.root:
+                    continue  # a cycle back to the root adds nothing
+                node = tree.add_child(parent_key, child_key, ts, exp, label)
+                self.index.register(tree.root_vertex, child_key)
+                self._schedule_expiry(tree.root_vertex, child_key, exp)
+                if self.dfa.is_accepting(child_key[1]):
+                    self._emit_result(tree, child_key, node, INSERT)
+            elif node.exp < exp:
+                old_interval = Interval(node.ts, node.exp)
+                tree.reparent(child_key, parent_key, label)
+                node.ts = min(node.ts, ts)
+                node.exp = max(node.exp, exp)
+                self._schedule_expiry(tree.root_vertex, child_key, node.exp)
+                if self.dfa.is_accepting(child_key[1]):
+                    # Keep the emitted derivation count at exactly one per
+                    # node: retract the previous emission, then emit the
+                    # widened interval (which always contains the old one).
+                    self._emit_interval(tree, child_key, old_interval, DELETE)
+                    self._emit_result(tree, child_key, node, INSERT)
+            else:
+                continue  # existing derivation is at least as good
+
+            vertex, state = child_key
+            for out_label, w, out_interval in self.adjacency.out_edges(vertex, now):
+                next_state = self.dfa.delta(state, out_label)
+                if next_state is None:
+                    continue
+                stack.append((child_key, (w, next_state), out_label, out_interval))
+
+    # ------------------------------------------------------------------
+    # Explicit deletions (negative tuples, Section 6.2.5)
+    # ------------------------------------------------------------------
+    def _delete(self, u, v, label: Label, interval: Interval) -> None:
+        now = max(self._now, interval.ts)
+        if not self.adjacency.remove(u, v, label, interval):
+            return  # unknown (or already expired) edge: no effect
+        for s, t in self.dfa.states_with_transition_on(label):
+            child_key = (v, t)
+            for root in self.index.roots_containing(child_key):
+                tree = self.index.tree(root)
+                if tree is None:
+                    continue
+                node = tree.get(child_key)
+                if node is None or node.parent != (u, s) or node.via_label != label:
+                    continue  # non-tree edge: spanning trees unchanged
+                self._repair_subtree(tree, child_key, now)
+
+    def _repair_subtree(self, tree: SpanningTree, key: NodeKey, now: int) -> None:
+        # Mark the disconnected subtree, remember old intervals for
+        # retraction, then re-derive (max-expiry alternatives).
+        marked: set[NodeKey] = set()
+        stack = [key]
+        old_state: dict[NodeKey, tuple[int, int]] = {}
+        while stack:
+            current = stack.pop()
+            node = tree.get(current)
+            if node is None or current in marked:
+                continue
+            marked.add(current)
+            old_state[current] = (node.ts, node.exp)
+            stack.extend(node.children)
+
+        def on_fix(fixed_key: NodeKey, node: TreeNode) -> None:
+            self._schedule_expiry(tree.root_vertex, fixed_key, node.exp)
+            if not self.dfa.is_accepting(fixed_key[1]):
+                return
+            old_ts, old_exp = old_state[fixed_key]
+            # Retract the lost derivation, restore its historical part
+            # (it was genuinely valid until the deletion time), and emit
+            # the re-derived interval.
+            self._emit_interval(tree, fixed_key, Interval(old_ts, old_exp), DELETE)
+            history_end = min(now, old_exp)
+            if history_end > old_ts:
+                self._emit_interval(
+                    tree, fixed_key, Interval(old_ts, history_end), INSERT
+                )
+            self._emit_result(tree, fixed_key, node, INSERT)
+
+        def on_remove(removed_key: NodeKey, node: TreeNode) -> None:
+            self.index.unregister(tree.root_vertex, removed_key)
+            if self.dfa.is_accepting(removed_key[1]):
+                old_ts, old_exp = old_state[removed_key]
+                self._emit_interval(
+                    tree, removed_key, Interval(old_ts, old_exp), DELETE
+                )
+                history_end = min(now, old_exp)
+                if history_end > old_ts:
+                    self._emit_interval(
+                        tree, removed_key, Interval(old_ts, history_end), INSERT
+                    )
+
+        repair_nodes(
+            tree,
+            marked,
+            self.adjacency,
+            self.dfa,
+            self._reverse,
+            now,
+            on_fix,
+            on_remove,
+        )
+        self.index.drop_tree_if_trivial(tree.root_vertex)
+
+    # ------------------------------------------------------------------
+    # Window maintenance: the direct approach
+    # ------------------------------------------------------------------
+    def on_advance(self, t: int) -> None:
+        self._now = max(self._now, t)
+        self.adjacency.purge(t)
+        while self._node_expiry and self._node_expiry[0][0] <= t:
+            _, _, root, key = heapq.heappop(self._node_expiry)
+            tree = self.index.tree(root)
+            if tree is None:
+                continue
+            node = tree.get(key)
+            if node is None or node.exp > t:
+                continue  # stale heap entry (node improved or already gone)
+            for removed_key, _ in tree.remove_subtree(key):
+                self.index.unregister(tree.root_vertex, removed_key)
+            self.index.drop_tree_if_trivial(tree.root_vertex)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _schedule_expiry(self, root, key: NodeKey, exp: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._node_expiry, (exp, self._seq, root, key))
+
+    def _emit_result(
+        self, tree: SpanningTree, key: NodeKey, node: TreeNode, sign: int
+    ) -> None:
+        payload = tree.path_to(key) if self.materialize_paths else None
+        sgt = SGT(
+            tree.root_vertex,
+            key[0],
+            self.out_label,
+            Interval(node.ts, node.exp),
+            payload,
+        )
+        self.emit(Event(sgt, sign))
+
+    def _emit_interval(
+        self, tree: SpanningTree, key: NodeKey, interval: Interval, sign: int
+    ) -> None:
+        """Emit an insertion/retraction for an explicit result interval."""
+        sgt = SGT(tree.root_vertex, key[0], self.out_label, interval)
+        self.emit(Event(sgt, sign))
+
+    def state_size(self) -> int:
+        return self.index.state_size() + len(self.adjacency)

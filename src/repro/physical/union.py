@@ -1,0 +1,26 @@
+"""Physical UNION: stateless merge with optional relabeling (Definition 18)."""
+
+from __future__ import annotations
+
+from repro.core.tuples import SGT, Label
+from repro.dataflow.graph import Event, PhysicalOperator
+
+
+class UnionOp(PhysicalOperator):
+    """Merges any number of input ports into one output stream.
+
+    When ``label`` is given, outgoing sgts are relabeled; payloads are
+    preserved so relabeled paths remain materialized paths.
+    """
+
+    def __init__(self, label: Label | None = None):
+        super().__init__(f"union[{label or ''}]")
+        self.label = label
+
+    def on_event(self, port: int, event: Event) -> None:
+        if self.label is None or event.sgt.label == self.label:
+            self.emit(event)
+            return
+        sgt = event.sgt
+        relabeled = SGT(sgt.src, sgt.trg, self.label, sgt.interval, sgt.payload)
+        self.emit(Event(relabeled, event.sign))

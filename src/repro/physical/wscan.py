@@ -1,0 +1,46 @@
+"""Physical WSCAN: per-tuple windowing map (Definition 16, Section 6.2.1).
+
+WSCAN is stateless: it rewrites the validity interval of each incoming
+sgt according to the window specification, applying the optional pushed-
+down prefilter first.  Deletions pass through the same mapping, so a
+negative tuple reaches downstream state with exactly the interval its
+insertion carried.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import Predicate
+from repro.core.tuples import SGT, EdgePayload
+from repro.core.windows import SlidingWindow
+from repro.dataflow.graph import Event, PhysicalOperator
+
+
+class WScanOp(PhysicalOperator):
+    """Assigns window validity intervals to input tuples."""
+
+    def __init__(
+        self,
+        label: str,
+        window: SlidingWindow,
+        prefilter: Predicate | None = None,
+    ):
+        super().__init__(f"wscan[{label},{window}]")
+        self.label = label
+        self.window = window
+        self.prefilter = prefilter
+
+    def on_event(self, port: int, event: Event) -> None:
+        sgt = event.sgt
+        if self.prefilter is not None and not self.prefilter.evaluate(
+            sgt.src, sgt.trg, sgt.label
+        ):
+            return
+        interval = self.window.interval_for(sgt.ts)
+        windowed = SGT(
+            sgt.src,
+            sgt.trg,
+            sgt.label,
+            interval,
+            EdgePayload(sgt.src, sgt.trg, sgt.label),
+        )
+        self.emit(Event(windowed, event.sign))

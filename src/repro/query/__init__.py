@@ -1,0 +1,30 @@
+"""Streaming Graph Queries (Section 4).
+
+SGQ is a streaming generalization of the *Regular Query* (RQ) model: the
+binary, non-recursive subset of Datalog extended with transitive closure.
+This package provides:
+
+* :mod:`repro.query.datalog` — rules, atoms, and RQ programs,
+* :mod:`repro.query.validation` — the Definition-13 well-formedness checks
+  (binary predicates, acyclic dependency graph, EDB/IDB separation),
+* :mod:`repro.query.parser` — a textual Datalog parser
+  (``Answer(x, y) <- likes(x, m), follows+(x, y) as FP, posts(y, m)``),
+* :mod:`repro.query.sgq` — SGQ = RQ + time-based sliding window
+  (Definition 15).
+"""
+
+from repro.query.datalog import Atom, ClosureAtom, RQProgram, Rule
+from repro.query.parser import parse_rq
+from repro.query.sgq import SGQ
+from repro.query.validation import dependency_graph, validate_rq
+
+__all__ = [
+    "Atom",
+    "ClosureAtom",
+    "Rule",
+    "RQProgram",
+    "parse_rq",
+    "validate_rq",
+    "dependency_graph",
+    "SGQ",
+]

@@ -1,0 +1,148 @@
+"""Regular Queries as binary Datalog with transitive closure (Definition 13).
+
+An RQ program is a finite set of rules ``head <- body_1, ..., body_n``
+where every body atom is either
+
+* a plain binary atom ``l(x, y)`` over an EDB or IDB label ``l``, or
+* a transitive-closure atom ``l+(x, y) as d``: the closure of ``l``,
+  exported under the fresh IDB label ``d``.
+
+Heads are binary atoms over IDB labels; the distinguished predicate
+``Answer`` names the query result.  Programs must be non-recursive
+(acyclic dependency graph) — see :mod:`repro.query.validation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tuples import Label
+
+#: The reserved result predicate of an RQ program.
+ANSWER = "Answer"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A plain binary atom ``label(src, trg)``.
+
+    ``src`` and ``trg`` are variable names.  Repeated variables express
+    equality constraints (e.g. ``l(x, x)`` matches self-loops).
+    """
+
+    label: Label
+    src: str
+    trg: str
+
+    @property
+    def variables(self) -> tuple[str, str]:
+        return (self.src, self.trg)
+
+    def __str__(self) -> str:
+        return f"{self.label}({self.src}, {self.trg})"
+
+
+@dataclass(frozen=True, slots=True)
+class ClosureAtom:
+    """A transitive-closure atom ``label+(src, trg) as name``.
+
+    Matches pairs connected by a path of one or more ``label`` facts; the
+    derived paths are exported as the IDB label ``name`` so downstream
+    rules (and query outputs) can refer to the materialized paths.
+    """
+
+    label: Label
+    src: str
+    trg: str
+    name: Label
+
+    @property
+    def variables(self) -> tuple[str, str]:
+        return (self.src, self.trg)
+
+    def __str__(self) -> str:
+        return f"{self.label}+({self.src}, {self.trg}) as {self.name}"
+
+
+BodyAtom = Atom | ClosureAtom
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Datalog rule ``head_label(head_src, head_trg) <- body``."""
+
+    head_label: Label
+    head_src: str
+    head_trg: str
+    body: tuple[BodyAtom, ...]
+
+    @property
+    def head_variables(self) -> tuple[str, str]:
+        return (self.head_src, self.head_trg)
+
+    @property
+    def body_variables(self) -> frozenset[str]:
+        variables: set[str] = set()
+        for atom in self.body:
+            variables.update(atom.variables)
+        return frozenset(variables)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.head_label}({self.head_src}, {self.head_trg}) <- {body}"
+
+
+@dataclass(frozen=True, slots=True)
+class RQProgram:
+    """A Regular Query: an ordered collection of rules.
+
+    The program is a value object; validation lives in
+    :func:`repro.query.validation.validate_rq` and is invoked by the
+    parser and by :class:`repro.query.sgq.SGQ`.
+    """
+
+    rules: tuple[Rule, ...]
+
+    @property
+    def head_labels(self) -> frozenset[Label]:
+        """IDB labels defined by rule heads."""
+        return frozenset(r.head_label for r in self.rules)
+
+    @property
+    def closure_labels(self) -> frozenset[Label]:
+        """IDB labels defined by closure atoms (``... as name``)."""
+        names: set[Label] = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if isinstance(atom, ClosureAtom):
+                    names.add(atom.name)
+        return frozenset(names)
+
+    @property
+    def idb_labels(self) -> frozenset[Label]:
+        return self.head_labels | self.closure_labels
+
+    @property
+    def edb_labels(self) -> frozenset[Label]:
+        """Labels that refer to input graph edges (phi(E_I))."""
+        referenced: set[Label] = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                referenced.add(atom.label)
+        return frozenset(referenced - self.idb_labels)
+
+    def rules_for(self, label: Label) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if r.head_label == label)
+
+    def closure_atoms(self) -> tuple[ClosureAtom, ...]:
+        atoms: list[ClosureAtom] = []
+        seen: set[Label] = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if isinstance(atom, ClosureAtom) and atom.name not in seen:
+                    seen.add(atom.name)
+                    atoms.append(atom)
+        return tuple(atoms)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)

@@ -1,0 +1,159 @@
+"""Textual Datalog parser for Regular Queries.
+
+Syntax (one rule per ``.``-terminated statement or per line):
+
+.. code-block:: text
+
+    RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+    Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+    Answer(u, m) <- Notify(u, m).
+
+* ``<-`` and ``:-`` are interchangeable.
+* ``label+(x, y) as Name`` is a transitive-closure atom; ``*`` is accepted
+  as a synonym for ``+`` (the paper uses both for the closure construct).
+  When ``as Name`` is omitted, the name defaults to ``<label>_tc``.
+* ``#`` and ``%`` start comments that run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.query.datalog import Atom, BodyAtom, ClosureAtom, RQProgram, Rule
+from repro.query.validation import validate_rq
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_TOKEN_RE = re.compile(
+    rf"\s*(?:(?P<ident>{_IDENT})"
+    r"|(?P<arrow><-|:-)"
+    r"|(?P<punct>[(),.+*]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    # Strip comments line by line so token positions stay meaningful.
+    lines = []
+    for line in text.splitlines():
+        for marker in ("#", "%"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        lines.append(line)
+    source = "\n".join(lines)
+
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            if source[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character {source[pos]!r}", pos)
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind), match.start(kind)))
+        pos = match.end()
+    return tokens
+
+
+class _RuleParser:
+    def __init__(self, tokens: list[tuple[str, str, int]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str, int] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> tuple[str, str, int]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        token = self._peek()
+        if token is None or token[1] != value:
+            found = token[1] if token else "end of input"
+            pos = token[2] if token else None
+            raise ParseError(f"expected {value!r}, found {found!r}", pos)
+        self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token is None or token[0] != "ident":
+            found = token[1] if token else "end of input"
+            pos = token[2] if token else None
+            raise ParseError(f"expected identifier, found {found!r}", pos)
+        return self._advance()[1]
+
+    def parse_program(self) -> list[Rule]:
+        rules: list[Rule] = []
+        while self._peek() is not None:
+            rules.append(self._rule())
+            token = self._peek()
+            if token is not None and token[1] == ".":
+                self._advance()
+        return rules
+
+    def _rule(self) -> Rule:
+        head_label = self._expect_ident()
+        self._expect("(")
+        head_src = self._expect_ident()
+        self._expect(",")
+        head_trg = self._expect_ident()
+        self._expect(")")
+        token = self._peek()
+        if token is None or token[0] != "arrow":
+            found = token[1] if token else "end of input"
+            pos = token[2] if token else None
+            raise ParseError(f"expected '<-' or ':-', found {found!r}", pos)
+        self._advance()
+
+        body: list[BodyAtom] = [self._body_atom()]
+        while True:
+            token = self._peek()
+            if token is None or token[1] != ",":
+                break
+            self._advance()
+            body.append(self._body_atom())
+        return Rule(head_label, head_src, head_trg, tuple(body))
+
+    def _body_atom(self) -> BodyAtom:
+        label = self._expect_ident()
+        closed = False
+        token = self._peek()
+        if token is not None and token[1] in ("+", "*"):
+            self._advance()
+            closed = True
+        self._expect("(")
+        src = self._expect_ident()
+        self._expect(",")
+        trg = self._expect_ident()
+        self._expect(")")
+        if not closed:
+            return Atom(label, src, trg)
+
+        name = f"{label}_tc"
+        token = self._peek()
+        if token is not None and token[0] == "ident" and token[1] == "as":
+            self._advance()
+            name = self._expect_ident()
+        return ClosureAtom(label, src, trg, name)
+
+
+def parse_rq(text: str, validate: bool = True) -> RQProgram:
+    """Parse a textual Datalog program into a validated :class:`RQProgram`.
+
+    Set ``validate=False`` to skip Definition-13 checks (used by tests that
+    construct deliberately malformed programs).
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty program")
+    rules = _RuleParser(tokens).parse_program()
+    program = RQProgram(tuple(rules))
+    if validate:
+        validate_rq(program)
+    return program

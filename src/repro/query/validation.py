@@ -1,0 +1,110 @@
+"""Well-formedness checks for Regular Queries (Definition 13).
+
+A valid RQ program must satisfy:
+
+1. every rule has a non-empty body;
+2. head variables occur in the rule body (safety);
+3. head labels never collide with EDB labels (IDB/EDB separation — derived
+   labels are drawn from ``Sigma \\ phi(E_I)``);
+4. closure names (``... as d``) are unique per closed label and never
+   collide with EDB labels or head labels;
+5. the dependency graph is acyclic (non-recursiveness) — recursion is only
+   available through the transitive-closure construct;
+6. ``Answer`` appears as a head and never in a body.
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+
+from repro.core.tuples import Label
+from repro.errors import QueryValidationError
+from repro.query.datalog import ANSWER, ClosureAtom, RQProgram
+
+
+def dependency_graph(program: RQProgram) -> dict[Label, set[Label]]:
+    """Predicate dependency graph: ``deps[p]`` = labels ``p`` depends on.
+
+    There is an edge from head predicate ``p`` to ``q`` when ``q`` appears
+    in the body of a rule with head ``p``.  Closure atoms contribute two
+    edges: the rule head depends on the closure name, and the closure name
+    depends on the closed label.
+    """
+    deps: dict[Label, set[Label]] = {}
+    for rule in program.rules:
+        deps.setdefault(rule.head_label, set())
+        for atom in rule.body:
+            if isinstance(atom, ClosureAtom):
+                deps[rule.head_label].add(atom.name)
+                deps.setdefault(atom.name, set()).add(atom.label)
+            else:
+                deps[rule.head_label].add(atom.label)
+    return deps
+
+
+def topological_order(program: RQProgram) -> list[Label]:
+    """Labels in dependency order (leaves first).
+
+    Raises :class:`QueryValidationError` when the program is recursive.
+    """
+    deps = dependency_graph(program)
+    sorter: TopologicalSorter[Label] = TopologicalSorter()
+    for label, below in deps.items():
+        sorter.add(label, *sorted(below))
+    try:
+        return list(sorter.static_order())
+    except CycleError as exc:
+        cycle = exc.args[1] if len(exc.args) > 1 else "?"
+        raise QueryValidationError(f"program is recursive: cycle {cycle}") from exc
+
+
+def validate_rq(program: RQProgram) -> None:
+    """Raise :class:`QueryValidationError` unless ``program`` is a valid RQ."""
+    if not program.rules:
+        raise QueryValidationError("program has no rules")
+
+    head_labels = program.head_labels
+    closure_labels = program.closure_labels
+    edb_labels = program.edb_labels
+
+    if ANSWER not in head_labels:
+        raise QueryValidationError(f"program must define the {ANSWER} predicate")
+
+    overlap = head_labels & closure_labels
+    if overlap:
+        raise QueryValidationError(
+            f"labels defined both by rules and closures: {sorted(overlap)}"
+        )
+
+    closure_name_for: dict[Label, Label] = {}
+    for rule in program.rules:
+        if not rule.body:
+            raise QueryValidationError(f"rule for {rule.head_label} has empty body")
+        missing = set(rule.head_variables) - set(rule.body_variables)
+        if missing:
+            raise QueryValidationError(
+                f"unsafe rule for {rule.head_label}: head variables "
+                f"{sorted(missing)} not bound in body"
+            )
+        for atom in rule.body:
+            if atom.label == ANSWER:
+                raise QueryValidationError(f"{ANSWER} cannot appear in a rule body")
+            if isinstance(atom, ClosureAtom):
+                if atom.name in edb_labels:
+                    raise QueryValidationError(
+                        f"closure name {atom.name!r} collides with an input label"
+                    )
+                if atom.name == atom.label:
+                    raise QueryValidationError(
+                        f"closure name {atom.name!r} must differ from closed label"
+                    )
+                previous = closure_name_for.get(atom.name)
+                if previous is not None and previous != atom.label:
+                    raise QueryValidationError(
+                        f"closure name {atom.name!r} closes both {previous!r} "
+                        f"and {atom.label!r}"
+                    )
+                closure_name_for[atom.name] = atom.label
+
+    # Non-recursiveness (also raises on cycles through closures).
+    topological_order(program)

@@ -1,0 +1,48 @@
+"""Regular expressions over edge-label alphabets.
+
+The PATH operator (Definition 20) constrains path label sequences to a
+regular language.  This package provides the full pipeline the physical
+PATH operators need:
+
+* a regex AST (:mod:`repro.regex.ast`) with concatenation, alternation,
+  Kleene star/plus and optional,
+* a parser for the textual syntax used by the workloads
+  (:mod:`repro.regex.parser`), e.g. ``"a (b|c)* d+"``,
+* Thompson construction to an NFA (:mod:`repro.regex.nfa`),
+* subset construction to a DFA and Hopcroft minimization
+  (:mod:`repro.regex.dfa`, :mod:`repro.regex.minimize`).
+
+Alphabet symbols are edge labels (strings), not characters.
+"""
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+)
+from repro.regex.dfa import DFA, dfa_from_regex
+from repro.regex.minimize import minimize
+from repro.regex.nfa import NFA, thompson
+from repro.regex.parser import parse_regex
+
+__all__ = [
+    "RegexNode",
+    "Symbol",
+    "Concat",
+    "Alternation",
+    "Star",
+    "Plus",
+    "Optional_",
+    "Empty",
+    "parse_regex",
+    "NFA",
+    "thompson",
+    "DFA",
+    "dfa_from_regex",
+    "minimize",
+]

@@ -1,0 +1,158 @@
+"""Regex abstract syntax trees over label alphabets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RegexNode:
+    """Base class for regex AST nodes.
+
+    Nodes are immutable and hashable so they can key caches (e.g. compiled
+    DFA caches in the physical PATH operators).
+    """
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of labels mentioned by this expression."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """True iff the empty word belongs to the language."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol(RegexNode):
+    """A single edge label."""
+
+    label: str
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset({self.label})
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(RegexNode):
+    """The empty word (epsilon)."""
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(RegexNode):
+    """Concatenation ``left . right``."""
+
+    left: RegexNode
+    right: RegexNode
+
+    def alphabet(self) -> frozenset[str]:
+        return self.left.alphabet() | self.right.alphabet()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Alternation(RegexNode):
+    """Alternation ``left | right``."""
+
+    left: RegexNode
+    right: RegexNode
+
+    def alphabet(self) -> frozenset[str]:
+        return self.left.alphabet() | self.right.alphabet()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def __str__(self) -> str:
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(RegexNode):
+    """Kleene star ``inner*``."""
+
+    inner: RegexNode
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(RegexNode):
+    """Kleene plus ``inner+`` — one or more repetitions.
+
+    Transitive closure in Regular Queries (``l+ as d``) maps to Plus; the
+    paper's PATH examples (``RL+``, ``f+``) all use plus rather than star
+    because a zero-length path has no endpoints to report.
+    """
+
+    inner: RegexNode
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def __str__(self) -> str:
+        return f"({self.inner})+"
+
+
+@dataclass(frozen=True, slots=True)
+class Optional_(RegexNode):
+    """Optional ``inner?`` — zero or one occurrence."""
+
+    inner: RegexNode
+
+    def alphabet(self) -> frozenset[str]:
+        return self.inner.alphabet()
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"({self.inner})?"
+
+
+def concat_all(parts: list[RegexNode]) -> RegexNode:
+    """Left-fold a list of nodes into a concatenation chain."""
+    if not parts:
+        return Empty()
+    node = parts[0]
+    for part in parts[1:]:
+        node = Concat(node, part)
+    return node
+
+
+def alternate_all(parts: list[RegexNode]) -> RegexNode:
+    """Left-fold a list of nodes into an alternation chain."""
+    if not parts:
+        return Empty()
+    node = parts[0]
+    for part in parts[1:]:
+        node = Alternation(node, part)
+    return node

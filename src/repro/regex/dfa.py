@@ -1,0 +1,112 @@
+"""Deterministic finite automata over label alphabets.
+
+The physical PATH operators drive graph traversals with a DFA, pairing
+graph vertices with automaton states (Section 6.2.3).  The DFA is produced
+by subset construction from the Thompson NFA and then Hopcroft-minimized,
+so Δ-PATH index sizes do not depend on regex syntax accidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.ast import RegexNode
+from repro.regex.nfa import NFA, thompson
+from repro.regex.parser import parse_regex
+
+
+@dataclass
+class DFA:
+    """A DFA with integer states; state 0 is always the start state.
+
+    ``transitions[state][label]`` is the unique successor (total on the
+    recorded keys only; missing keys mean the dead state).
+    """
+
+    start: int
+    accepting: frozenset[int]
+    transitions: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def states(self) -> set[int]:
+        found = {self.start}
+        found.update(self.accepting)
+        for src, by_label in self.transitions.items():
+            found.add(src)
+            found.update(by_label.values())
+        return found
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        labels: set[str] = set()
+        for by_label in self.transitions.values():
+            labels.update(by_label)
+        return frozenset(labels)
+
+    def delta(self, state: int, label: str) -> int | None:
+        """The transition function; None is the implicit dead state."""
+        return self.transitions.get(state, {}).get(label)
+
+    def is_accepting(self, state: int) -> bool:
+        return state in self.accepting
+
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        state: int | None = self.start
+        for label in word:
+            if state is None:
+                return False
+            state = self.delta(state, label)
+        return state is not None and state in self.accepting
+
+    def states_with_transition_on(self, label: str) -> list[tuple[int, int]]:
+        """All (s, t) pairs with ``delta(s, label) = t``.
+
+        S-PATH iterates this when a new edge with ``label`` arrives (line 6
+        of Algorithm S-PATH).
+        """
+        pairs: list[tuple[int, int]] = []
+        for src, by_label in self.transitions.items():
+            trg = by_label.get(label)
+            if trg is not None:
+                pairs.append((src, trg))
+        return pairs
+
+    def start_is_accepting(self) -> bool:
+        """True iff the language contains the empty word."""
+        return self.start in self.accepting
+
+
+def subset_construction(nfa: NFA) -> DFA:
+    """Determinize an epsilon-NFA; unreachable states are never created."""
+    alphabet = nfa.alphabet
+    start_set = nfa.epsilon_closure({nfa.start})
+    ids: dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    transitions: dict[int, dict[str, int]] = {}
+    accepting: set[int] = set()
+    if nfa.accept in start_set:
+        accepting.add(0)
+
+    while worklist:
+        current = worklist.pop()
+        current_id = ids[current]
+        for label in alphabet:
+            nxt = nfa.epsilon_closure(nfa.move(current, label))
+            if not nxt:
+                continue
+            if nxt not in ids:
+                ids[nxt] = len(ids)
+                worklist.append(nxt)
+                if nfa.accept in nxt:
+                    accepting.add(ids[nxt])
+            transitions.setdefault(current_id, {})[label] = ids[nxt]
+
+    return DFA(start=0, accepting=frozenset(accepting), transitions=transitions)
+
+
+def dfa_from_regex(regex: RegexNode | str) -> DFA:
+    """Compile a regex (AST or textual) into a minimal DFA."""
+    from repro.regex.minimize import minimize
+
+    node = parse_regex(regex) if isinstance(regex, str) else regex
+    return minimize(subset_construction(thompson(node)))

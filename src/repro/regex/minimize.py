@@ -1,0 +1,128 @@
+"""Hopcroft DFA minimization.
+
+Works on partial DFAs (missing transitions denote the dead state).  The
+output is renumbered so the start state is 0 and state ids are dense,
+which keeps Δ-PATH index keys compact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.regex.dfa import DFA
+
+_DEAD = -1
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Return an equivalent DFA with the minimum number of states."""
+    alphabet = sorted(dfa.alphabet)
+    states = sorted(dfa.states)
+    # Complete the automaton with an explicit dead state so Hopcroft's
+    # partition refinement sees a total transition function.
+    total: dict[int, dict[str, int]] = {s: dict(dfa.transitions.get(s, {})) for s in states}
+    needs_dead = any(
+        label not in total[s] for s in states for label in alphabet
+    )
+    if needs_dead:
+        total[_DEAD] = {}
+        states = [_DEAD] + states
+    for s in states:
+        for label in alphabet:
+            total[s].setdefault(label, _DEAD)
+
+    accepting = set(dfa.accepting)
+    non_accepting = set(states) - accepting
+
+    # Hopcroft's algorithm.
+    partition: list[set[int]] = [s for s in (accepting, non_accepting) if s]
+    worklist: list[set[int]] = [min(partition, key=len)] if len(partition) == 2 else list(partition)
+
+    preimage: dict[tuple[str, int], set[int]] = defaultdict(set)
+    for s in states:
+        for label in alphabet:
+            preimage[(label, total[s][label])].add(s)
+
+    while worklist:
+        splitter = worklist.pop()
+        for label in alphabet:
+            x = set()
+            for t in splitter:
+                x.update(preimage.get((label, t), ()))
+            new_partition: list[set[int]] = []
+            for block in partition:
+                inter = block & x
+                diff = block - x
+                if inter and diff:
+                    new_partition.append(inter)
+                    new_partition.append(diff)
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(inter)
+                        worklist.append(diff)
+                    else:
+                        worklist.append(min(inter, diff, key=len))
+                else:
+                    new_partition.append(block)
+            partition = new_partition
+
+    # Map each state to its block representative, dropping the dead block.
+    block_of: dict[int, int] = {}
+    for index, block in enumerate(partition):
+        for s in block:
+            block_of[s] = index
+
+    # Renumber blocks reachable from the start block, start first.
+    start_block = block_of[dfa.start]
+    renumber: dict[int, int] = {start_block: 0}
+    order = [start_block]
+    transitions: dict[int, dict[str, int]] = {}
+    accepting_blocks: set[int] = set()
+
+    index = 0
+    while index < len(order):
+        block = order[index]
+        index += 1
+        representative = next(iter(partition[block]))
+        if representative == _DEAD:
+            continue
+        if representative in accepting:
+            accepting_blocks.add(renumber[block])
+        for label in alphabet:
+            target_state = total[representative][label]
+            target_block = block_of[target_state]
+            target_repr = next(iter(partition[target_block]))
+            # A block containing the dead state is entirely dead (dead is
+            # non-accepting with self loops only) — skip such transitions.
+            if target_repr == _DEAD or _is_dead_block(
+                partition[target_block], accepting, total, alphabet, block_of
+            ):
+                continue
+            if target_block not in renumber:
+                renumber[target_block] = len(renumber)
+                order.append(target_block)
+            transitions.setdefault(renumber[block], {})[label] = renumber[target_block]
+
+    return DFA(
+        start=0,
+        accepting=frozenset(accepting_blocks),
+        transitions=transitions,
+    )
+
+
+def _is_dead_block(
+    block: set[int],
+    accepting: set[int],
+    total: dict[int, dict[str, int]],
+    alphabet: list[str],
+    block_of: dict[int, int],
+) -> bool:
+    """A block is dead iff it is non-accepting and only reaches itself."""
+    if block & accepting:
+        return False
+    block_id = block_of[next(iter(block))]
+    for s in block:
+        for label in alphabet:
+            if block_of[total[s][label]] != block_id:
+                return False
+    return True

@@ -1,0 +1,148 @@
+"""Thompson construction: regex AST to epsilon-NFA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+)
+
+EPSILON = None  # transition label for epsilon moves
+
+
+@dataclass
+class NFA:
+    """An epsilon-NFA over a label alphabet.
+
+    States are integers.  ``transitions[state][label]`` is the set of
+    successor states; ``label`` is a string or ``None`` for epsilon.
+    """
+
+    start: int
+    accept: int
+    transitions: dict[int, dict[str | None, set[int]]] = field(default_factory=dict)
+
+    def add_transition(self, src: int, label: str | None, trg: int) -> None:
+        self.transitions.setdefault(src, {}).setdefault(label, set()).add(trg)
+
+    @property
+    def states(self) -> set[int]:
+        found = {self.start, self.accept}
+        for src, by_label in self.transitions.items():
+            found.add(src)
+            for targets in by_label.values():
+                found.update(targets)
+        return found
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        labels: set[str] = set()
+        for by_label in self.transitions.values():
+            labels.update(l for l in by_label if l is not None)
+        return frozenset(labels)
+
+    def epsilon_closure(self, states: set[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self.transitions.get(state, {}).get(EPSILON, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def move(self, states: frozenset[int], label: str) -> set[int]:
+        """States reachable from ``states`` by consuming ``label``."""
+        result: set[int] = set()
+        for state in states:
+            result.update(self.transitions.get(state, {}).get(label, ()))
+        return result
+
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Simulate the NFA on a word of labels."""
+        current = self.epsilon_closure({self.start})
+        for label in word:
+            current = self.epsilon_closure(self.move(current, label))
+            if not current:
+                return False
+        return self.accept in current
+
+
+class _Builder:
+    """Allocates fresh state ids while building fragments."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.nfa = NFA(start=-1, accept=-1)
+
+    def fresh(self) -> int:
+        state = self._next
+        self._next += 1
+        return state
+
+    def build(self, node: RegexNode) -> tuple[int, int]:
+        """Return (start, accept) of the fragment for ``node``."""
+        if isinstance(node, Symbol):
+            start, accept = self.fresh(), self.fresh()
+            self.nfa.add_transition(start, node.label, accept)
+            return start, accept
+        if isinstance(node, Empty):
+            start, accept = self.fresh(), self.fresh()
+            self.nfa.add_transition(start, EPSILON, accept)
+            return start, accept
+        if isinstance(node, Concat):
+            ls, la = self.build(node.left)
+            rs, ra = self.build(node.right)
+            self.nfa.add_transition(la, EPSILON, rs)
+            return ls, ra
+        if isinstance(node, Alternation):
+            start, accept = self.fresh(), self.fresh()
+            ls, la = self.build(node.left)
+            rs, ra = self.build(node.right)
+            self.nfa.add_transition(start, EPSILON, ls)
+            self.nfa.add_transition(start, EPSILON, rs)
+            self.nfa.add_transition(la, EPSILON, accept)
+            self.nfa.add_transition(ra, EPSILON, accept)
+            return start, accept
+        if isinstance(node, Star):
+            start, accept = self.fresh(), self.fresh()
+            inner_start, inner_accept = self.build(node.inner)
+            self.nfa.add_transition(start, EPSILON, inner_start)
+            self.nfa.add_transition(start, EPSILON, accept)
+            self.nfa.add_transition(inner_accept, EPSILON, inner_start)
+            self.nfa.add_transition(inner_accept, EPSILON, accept)
+            return start, accept
+        if isinstance(node, Plus):
+            # X+ == X X*
+            inner_start, inner_accept = self.build(node.inner)
+            accept = self.fresh()
+            self.nfa.add_transition(inner_accept, EPSILON, inner_start)
+            self.nfa.add_transition(inner_accept, EPSILON, accept)
+            return inner_start, accept
+        if isinstance(node, Optional_):
+            start, accept = self.fresh(), self.fresh()
+            inner_start, inner_accept = self.build(node.inner)
+            self.nfa.add_transition(start, EPSILON, inner_start)
+            self.nfa.add_transition(start, EPSILON, accept)
+            self.nfa.add_transition(inner_accept, EPSILON, accept)
+            return start, accept
+        raise TypeError(f"unknown regex node {node!r}")
+
+
+def thompson(node: RegexNode) -> NFA:
+    """Build an epsilon-NFA for ``node`` via Thompson construction."""
+    builder = _Builder()
+    start, accept = builder.build(node)
+    builder.nfa.start = start
+    builder.nfa.accept = accept
+    return builder.nfa

@@ -1,0 +1,149 @@
+"""Parser for textual label regexes.
+
+Grammar (whitespace separates tokens; juxtaposition means concatenation):
+
+.. code-block:: text
+
+    expr     := term ('|' term)*
+    term     := factor+
+    factor   := atom ('*' | '+' | '?')*
+    atom     := LABEL | '(' expr ')'
+    LABEL    := [A-Za-z_][A-Za-z0-9_]*
+
+The workloads also accept ``.`` and ``/`` as explicit concatenation
+operators (the paper writes ``a ◦ b*`` and G-CORE writes ``-/ <:a*> /-``),
+so ``"a.b*"``, ``"a/b*"`` and ``"a b*"`` all denote the same expression.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+
+from repro.errors import ParseError
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+)
+
+_TOKEN_RE = _stdlib_re.compile(
+    r"\s*(?:(?P<label>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>[()|*+?])"
+    r"|(?P<concat>[./◦·]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        if match.lastgroup == "label":
+            tokens.append(("label", match.group("label"), match.start("label")))
+        elif match.lastgroup == "op":
+            tokens.append(("op", match.group("op"), match.start("op")))
+        # concat separators are purely cosmetic; juxtaposition already
+        # denotes concatenation
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str, int]], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str, int] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> tuple[str, str, int]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> RegexNode:
+        node = self._expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(f"unexpected token {leftover[1]!r}", leftover[2])
+        return node
+
+    def _expr(self) -> RegexNode:
+        node = self._term()
+        while True:
+            token = self._peek()
+            if token is None or token[1] != "|":
+                return node
+            self._advance()
+            node = Alternation(node, self._term())
+
+    def _term(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            token = self._peek()
+            if token is None or token[1] in ("|", ")"):
+                break
+            parts.append(self._factor())
+        if not parts:
+            token = self._peek()
+            pos = token[2] if token else len(self._text)
+            raise ParseError("expected a label or '('", pos)
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def _factor(self) -> RegexNode:
+        node = self._atom()
+        while True:
+            token = self._peek()
+            if token is None or token[1] not in ("*", "+", "?"):
+                return node
+            _, op, _ = self._advance()
+            if op == "*":
+                node = Star(node)
+            elif op == "+":
+                node = Plus(node)
+            else:
+                node = Optional_(node)
+
+    def _atom(self) -> RegexNode:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of expression", len(self._text))
+        kind, value, pos = token
+        if kind == "label":
+            self._advance()
+            return Symbol(value)
+        if value == "(":
+            self._advance()
+            node = self._expr()
+            closing = self._peek()
+            if closing is None or closing[1] != ")":
+                raise ParseError("unbalanced parenthesis", pos)
+            self._advance()
+            return node
+        raise ParseError(f"unexpected token {value!r}", pos)
+
+
+def parse_regex(text: str) -> RegexNode:
+    """Parse a textual label regex into an AST.
+
+    >>> str(parse_regex("a (b|c)* d+"))
+    '((a ((b|c))*) (d)+)'
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty regular expression")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,17 @@
+"""Query workloads of the experimental analysis (Table 1)."""
+
+from repro.workloads.queries import (
+    QUERIES,
+    WorkloadQuery,
+    labels_for,
+    q4_plan_space,
+    rpq_direct_plan,
+)
+
+__all__ = [
+    "QUERIES",
+    "WorkloadQuery",
+    "labels_for",
+    "q4_plan_space",
+    "rpq_direct_plan",
+]

@@ -1,0 +1,219 @@
+"""Q1-Q7 of Table 1, as parameterized query templates.
+
+``Q1``-``Q4`` are the common RPQs of real-world query logs
+[Bonifati et al., WWW 2019]; ``Q5``/``Q6`` encode the complex graph
+patterns of LDBC SNB queries IS7 and IC7; ``Q7`` is the paper's running
+example (Example 1) — a recursive path query *over* the complex pattern
+of Q6, expressible in neither Cypher nor SPARQL.
+
+Each template carries a Datalog (RQ) form with abstract edge predicates
+``a``/``b``/``c`` that are instantiated per dataset (Section 7.1.3), and
+exposes:
+
+* :meth:`WorkloadQuery.sgq` — the SGQ (RQ + window),
+* :meth:`WorkloadQuery.plan` — the canonical SGA plan via SGQParser,
+* :func:`rpq_direct_plan` — the single-PATH rewrites (plans "P1" of
+  Figures 13/14) for the RPQ queries,
+* :func:`q4_plan_space` — the SGA/P1/P2/P3 plans of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import Path, Plan, Relabel, WScan
+from repro.algebra.rewrite import (
+    fuse_pattern_into_path,
+    group_concat_prefix,
+    group_concat_suffix,
+)
+from repro.algebra.translate import sgq_to_sga
+from repro.core.tuples import Label
+from repro.core.windows import SlidingWindow
+from repro.errors import PlanError
+from repro.query.sgq import SGQ
+
+#: Table 1 query texts over abstract predicates a, b, c.  RPQs appear in
+#: their RQ encodings (star decomposed into union-of-rules), which is
+#: what Algorithm SGQParser consumes to build the canonical plans.
+_TEMPLATES: dict[str, tuple[str, str, str]] = {
+    "Q1": (
+        "?x, ?y <- ?x a* ?y",
+        """
+        Answer(x, y) <- {a}+(x, y) as TC_A.
+        """,
+        "transitive closure of a single label",
+    ),
+    "Q2": (
+        "?x, ?y <- ?x a . b* ?y",
+        """
+        Answer(x, y) <- {a}(x, y).
+        Answer(x, y) <- {a}(x, z), {b}+(z, y) as TC_B.
+        """,
+        "a label followed by a Kleene star",
+    ),
+    "Q3": (
+        "?x, ?y <- ?x a . b* . c* ?y",
+        """
+        AB(x, y) <- {a}(x, y).
+        AB(x, y) <- {a}(x, z), {b}+(z, y) as TC_B.
+        Answer(x, y) <- AB(x, y).
+        Answer(x, y) <- AB(x, z), {c}+(z, y) as TC_C.
+        """,
+        "a label followed by two Kleene stars",
+    ),
+    "Q4": (
+        "?x, ?y <- ?x (a . b . c)+ ?y",
+        """
+        D(x, t) <- {a}(x, y), {b}(y, z), {c}(z, t).
+        Answer(x, y) <- D+(x, y) as DP.
+        """,
+        "Kleene plus over a concatenation (loop-caching canonical plan)",
+    ),
+    "Q5": (
+        "RR(m1, m2) <- a(x, y), b(m1, x), b(m2, y), c(m2, m1)",
+        """
+        RR(m1, m2) <- {a}(x, y), {b}(m1, x), {b}(m2, y), {c}(m2, m1).
+        Answer(m1, m2) <- RR(m1, m2).
+        """,
+        "SNB IS7: non-recursive complex graph pattern",
+    ),
+    "Q6": (
+        "RL(x, y) <- a+(x, y), b(x, m), c(m, y)",
+        """
+        RL(x, y) <- {a}+(x, y) as AP, {b}(x, m), {c}(m, y).
+        Answer(x, y) <- RL(x, y).
+        """,
+        "SNB IC7: recent likers connected by a path of friends",
+    ),
+    "Q7": (
+        "RL as Q6; Ans(x, m) <- RL+(x, y), c(m, y)",
+        """
+        RL(x, y) <- {a}+(x, y) as AP, {b}(x, m), {c}(m, y).
+        Answer(x, m) <- RL+(x, y) as RLP, {c}(m, y).
+        """,
+        "Example 1: recursive path query over the Q6 pattern",
+    ),
+}
+
+#: The direct-PATH regexes of the RPQ queries (plans P1 of Section 7.4).
+_RPQ_REGEXES: dict[str, str] = {
+    "Q1": "{a}+",
+    "Q2": "{a} {b}*",
+    "Q3": "{a} {b}* {c}*",
+    "Q4": "({a} {b} {c})+",
+}
+
+#: Per-dataset instantiation of the abstract predicates (Section 7.1.3).
+_LABEL_MAPS: dict[str, dict[str, dict[str, Label]]] = {
+    "so": {
+        q: {"a": "a2q", "b": "c2q", "c": "c2a"} for q in _TEMPLATES
+    },
+    "snb": {
+        "Q1": {"a": "replyOf", "b": "likes", "c": "hasCreator"},
+        "Q2": {"a": "likes", "b": "replyOf", "c": "hasCreator"},
+        "Q3": {"a": "likes", "b": "replyOf", "c": "hasCreator"},
+        "Q4": {"a": "knows", "b": "likes", "c": "hasCreator"},
+        "Q5": {"a": "knows", "b": "hasCreator", "c": "replyOf"},
+        "Q6": {"a": "knows", "b": "likes", "c": "hasCreator"},
+        "Q7": {"a": "knows", "b": "likes", "c": "hasCreator"},
+    },
+}
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One Table 1 query template."""
+
+    name: str
+    pattern: str
+    datalog_template: str
+    description: str
+
+    def datalog(self, labels: dict[str, Label]) -> str:
+        """The RQ text with predicates instantiated."""
+        return self.datalog_template.format(**labels)
+
+    def sgq(
+        self,
+        labels: dict[str, Label],
+        window: SlidingWindow,
+        label_windows: dict[Label, SlidingWindow] | None = None,
+    ) -> SGQ:
+        return SGQ.from_text(self.datalog(labels), window, label_windows or {})
+
+    def plan(self, labels: dict[str, Label], window: SlidingWindow) -> Plan:
+        """The canonical SGA plan produced by Algorithm SGQParser."""
+        return sgq_to_sga(self.sgq(labels, window))
+
+    @property
+    def is_rpq(self) -> bool:
+        return self.name in _RPQ_REGEXES
+
+
+QUERIES: dict[str, WorkloadQuery] = {
+    name: WorkloadQuery(name, pattern, text, description)
+    for name, (pattern, text, description) in _TEMPLATES.items()
+}
+
+
+def labels_for(query_name: str, dataset: str) -> dict[str, Label]:
+    """The per-dataset predicate instantiation for a query."""
+    try:
+        return dict(_LABEL_MAPS[dataset][query_name])
+    except KeyError as exc:
+        raise PlanError(
+            f"no label mapping for query {query_name!r} on dataset {dataset!r}"
+        ) from exc
+
+
+def rpq_direct_plan(
+    query_name: str, labels: dict[str, Label], window: SlidingWindow
+) -> Plan:
+    """The single-PATH plan ("P1") for an RPQ query of Table 1.
+
+    This is the novel plan made possible by the PATH operator: the whole
+    regular expression is evaluated by one Δ-PATH index instead of the
+    canonical decomposition into unions/joins of closures (Section 7.4,
+    Figures 12-14).
+    """
+    template = _RPQ_REGEXES.get(query_name)
+    if template is None:
+        raise PlanError(f"{query_name} is not an RPQ query")
+    from repro.regex.parser import parse_regex
+
+    regex = parse_regex(template.format(**labels))
+    inputs = {label: WScan(label, window) for label in regex.alphabet()}
+    path = Path.over(inputs, regex, "AnswerPath")
+    return Relabel(path, "Answer")
+
+
+def q4_plan_space(
+    labels: dict[str, Label], window: SlidingWindow
+) -> dict[str, Plan]:
+    """The four Q4 plans compared in Figure 12.
+
+    * ``SGA`` — canonical loop-caching plan ``P[d+](PATTERN(a, b, c))``,
+    * ``P1``  — ``P[(a.b.c)+]`` (full inlining),
+    * ``P2``  — ``P[(a.d)+](a, PATTERN(b, c))``,
+    * ``P3``  — ``P[(d.c)+](PATTERN(a, b), c)``.
+    """
+    query = QUERIES["Q4"]
+    canonical = query.plan(labels, window)
+    # The canonical plan is Relabel(Path[d+](Pattern)); rewrite its child.
+    if isinstance(canonical, Relabel) and isinstance(canonical.child, Path):
+        path_node = canonical.child
+    else:  # pragma: no cover - canonical shape is stable
+        raise PlanError(f"unexpected canonical Q4 plan shape: {canonical}")
+
+    p1_path = fuse_pattern_into_path(path_node)
+    if p1_path is None:  # pragma: no cover
+        raise PlanError("Q4 canonical plan did not fuse")
+    p2_path = group_concat_suffix(p1_path, 2, "bc_grp")
+    p3_path = group_concat_prefix(p1_path, 2, "ab_grp")
+    return {
+        "SGA": canonical,
+        "P1": Relabel(p1_path, "Answer"),
+        "P2": Relabel(p2_path, "Answer"),
+        "P3": Relabel(p3_path, "Answer"),
+    }

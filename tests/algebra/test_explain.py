@@ -1,0 +1,70 @@
+"""Unit tests for the plan pretty-printer."""
+
+from repro.algebra import explain, sgq_to_sga
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    PatternInput,
+    Predicate,
+    Relabel,
+    Union,
+    WScan,
+)
+from repro.core.windows import SlidingWindow
+from repro.query.sgq import SGQ
+
+W = SlidingWindow(24)
+
+
+class TestExplain:
+    def test_wscan(self):
+        assert explain(WScan("likes", W)) == "WSCAN likes W(T=24, beta=1)"
+
+    def test_wscan_with_prefilter(self):
+        plan = WScan("likes", W, Predicate((("src", "==", "a"),)))
+        assert "WHERE src == 'a'" in explain(plan)
+
+    def test_filter_indents_child(self):
+        plan = Filter(WScan("l", W), Predicate((("trg", "==", 1),)))
+        lines = explain(plan).splitlines()
+        assert lines[0].startswith("FILTER")
+        assert lines[1].startswith("  WSCAN")
+
+    def test_relabel(self):
+        text = explain(Relabel(WScan("l", W), "out"))
+        assert "RELABEL -> out" in text
+
+    def test_union(self):
+        plan = Union(WScan("a", W), WScan("b", W), "o")
+        text = explain(plan)
+        assert "UNION -> o" in text
+        assert text.count("WSCAN") == 2
+
+    def test_pattern_shows_variables(self):
+        plan = Pattern(
+            (
+                PatternInput(WScan("a", W), "x", "y"),
+                PatternInput(WScan("b", W), "y", "z"),
+            ),
+            "x",
+            "z",
+            "o",
+        )
+        text = explain(plan)
+        assert "PATTERN (x,z) -> o" in text
+        assert "(x,y)" in text and "(y,z)" in text
+
+    def test_path_shows_regex(self):
+        plan = Path.over({"a": WScan("a", W)}, "a+", "P")
+        assert "PATH (a)+ -> P" in explain(plan)
+
+    def test_full_paper_plan_renders(self):
+        from tests.conftest import PAPER_QUERY
+
+        plan = sgq_to_sga(SGQ.from_text(PAPER_QUERY, W))
+        text = explain(plan)
+        # Figure 8 structure: nested PATTERN / PATH / WSCAN operators.
+        assert text.count("PATH") == 2
+        assert text.count("PATTERN") >= 2
+        assert text.count("WSCAN") == 4  # likes, follows, posts (x2 uses)

@@ -1,0 +1,136 @@
+"""Unit tests for PATTERN join ordering."""
+
+from repro.algebra.join_order import (
+    estimate_cardinality,
+    label_frequencies,
+    order_conjuncts,
+    reorder_joins,
+)
+from repro.algebra.operators import Pattern, PatternInput, Path, Relabel, Union, WScan
+from repro.algebra.reference import evaluate_plan_at
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from tests.conftest import make_stream, streams_by_label
+
+W = SlidingWindow(20)
+
+
+def conjunct(label, src, trg):
+    return PatternInput(WScan(label, W), src, trg)
+
+
+class TestFrequencies:
+    def test_label_frequencies(self):
+        sample = [SGE(1, 2, "a", 0), SGE(1, 2, "a", 1), SGE(1, 2, "b", 2)]
+        assert label_frequencies(sample) == {"a": 2, "b": 1}
+
+    def test_estimate_uses_frequencies(self):
+        freq = {"rare": 3, "common": 1000}
+        assert estimate_cardinality(WScan("rare", W), freq) < estimate_cardinality(
+            WScan("common", W), freq
+        )
+
+    def test_estimate_path_superlinear(self):
+        freq = {"a": 100}
+        base = estimate_cardinality(WScan("a", W), freq)
+        closure = estimate_cardinality(
+            Path.over({"a": WScan("a", W)}, "a+", "P"), freq
+        )
+        assert closure > base
+
+    def test_estimate_union_adds(self):
+        freq = {"a": 10, "b": 20}
+        union = Union(Relabel(WScan("a", W), "o"), Relabel(WScan("b", W), "o"), "o")
+        assert estimate_cardinality(union, freq) == 30.0
+
+
+class TestOrdering:
+    def test_cheapest_first(self):
+        freq = {"rare": 2, "mid": 50, "common": 900}
+        inputs = (
+            conjunct("common", "x", "y"),
+            conjunct("rare", "y", "z"),
+            conjunct("mid", "z", "w"),
+        )
+        ordered = order_conjuncts(inputs, freq)
+        assert ordered[0].plan.label == "rare"
+
+    def test_connectivity_beats_cost(self):
+        # "common" shares a variable with "rare"; "isolated" does not —
+        # even though isolated is cheaper, picking it second would force
+        # a Cartesian product.
+        freq = {"rare": 2, "common": 900, "isolated": 5}
+        inputs = (
+            conjunct("rare", "x", "y"),
+            conjunct("isolated", "p", "q"),
+            conjunct("common", "y", "z"),
+        )
+        ordered = order_conjuncts(inputs, freq)
+        assert [c.plan.label for c in ordered] == ["rare", "common", "isolated"]
+
+    def test_single_conjunct_untouched(self):
+        inputs = (conjunct("a", "x", "y"),)
+        assert order_conjuncts(inputs, {}) == inputs
+
+    def test_disconnected_pattern_falls_back(self):
+        inputs = (conjunct("a", "x", "y"), conjunct("b", "p", "q"))
+        ordered = order_conjuncts(inputs, {"a": 5, "b": 1})
+        assert len(ordered) == 2  # no crash; order by cost
+        assert ordered[0].plan.label == "b"
+
+
+class TestReorderJoins:
+    def _triangle(self):
+        return Pattern(
+            (
+                conjunct("common", "u1", "m1"),
+                conjunct("mid", "u2", "m1"),
+                conjunct("rare", "u1", "u2"),
+            ),
+            "u1",
+            "u2",
+            "Answer",
+        )
+
+    def test_reorders_by_sample(self):
+        sample = (
+            [SGE(1, 2, "common", 0)] * 50
+            + [SGE(1, 2, "mid", 0)] * 10
+            + [SGE(1, 2, "rare", 0)] * 2
+        )
+        plan = reorder_joins(self._triangle(), sample)
+        assert plan.inputs[0].plan.label == "rare"
+
+    def test_equivalence_preserved(self):
+        sample = make_stream(3, 100, 6, ("common", "mid", "rare"), max_gap=1)
+        original = self._triangle()
+        reordered = reorder_joins(original, sample)
+        streams = streams_by_label(sample)
+        for t in range(0, 110, 10):
+            assert evaluate_plan_at(original, streams, t) == evaluate_plan_at(
+                reordered, streams, t
+            ), t
+
+    def test_recurses_into_nested_plans(self):
+        nested = Relabel(
+            Path.over({"d": self._triangle()}, "d+", "P"), "Answer"
+        )
+        sample = [SGE(1, 2, "rare", 0)]
+        reordered = reorder_joins(nested, sample)
+        inner = reordered.child.input_map["d"]
+        assert isinstance(inner, Pattern)
+        assert inner.inputs[0].plan.label == "rare"
+
+    def test_runs_on_engine(self):
+        from repro.engine import StreamingGraphQueryProcessor
+
+        sample = make_stream(9, 80, 6, ("common", "mid", "rare"), max_gap=1)
+        original = self._triangle()
+        reordered = reorder_joins(original, sample)
+        left = StreamingGraphQueryProcessor(original)
+        right = StreamingGraphQueryProcessor(reordered)
+        for edge in sample:
+            left.push(edge)
+            right.push(edge)
+        for t in range(0, 100, 9):
+            assert left.valid_at(t) == right.valid_at(t), t

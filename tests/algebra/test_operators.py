@@ -1,0 +1,126 @@
+"""Unit tests for logical SGA operator trees."""
+
+import pytest
+
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    PatternInput,
+    Predicate,
+    Relabel,
+    Union,
+    WScan,
+    walk,
+)
+from repro.core.windows import SlidingWindow
+from repro.errors import PlanError
+from repro.regex.ast import Plus, Star, Symbol
+
+W = SlidingWindow(24)
+
+
+class TestPredicate:
+    def test_equality_condition(self):
+        p = Predicate((("src", "==", "alice"),))
+        assert p.evaluate("alice", "bob", "knows")
+        assert not p.evaluate("carol", "bob", "knows")
+
+    def test_inequality_condition(self):
+        p = Predicate((("trg", "!=", "bob"),))
+        assert not p.evaluate("alice", "bob", "knows")
+        assert p.evaluate("alice", "dave", "knows")
+
+    def test_conjunction(self):
+        p = Predicate((("src", "==", "a"), ("label", "==", "l")))
+        assert p.evaluate("a", "b", "l")
+        assert not p.evaluate("a", "b", "m")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(PlanError):
+            Predicate((("weight", "==", 3),))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Predicate((("src", "<", 3),))
+
+
+class TestPlanNodes:
+    def test_wscan_out_label(self):
+        assert WScan("likes", W).out_label == "likes"
+
+    def test_filter_inherits_label(self):
+        plan = Filter(WScan("likes", W), Predicate((("src", "==", "a"),)))
+        assert plan.out_label == "likes"
+
+    def test_relabel(self):
+        plan = Relabel(WScan("likes", W), "L")
+        assert plan.out_label == "L"
+        assert plan.children() == (WScan("likes", W),)
+
+    def test_union_same_labels(self):
+        plan = Union(WScan("a", W), WScan("a", W))
+        assert plan.out_label == "a"
+
+    def test_union_mixed_labels_needs_explicit(self):
+        plan = Union(WScan("a", W), WScan("b", W))
+        with pytest.raises(PlanError):
+            plan.out_label
+        assert Union(WScan("a", W), WScan("b", W), "c").out_label == "c"
+
+    def test_pattern_variables(self):
+        plan = Pattern(
+            (
+                PatternInput(WScan("a", W), "x", "y"),
+                PatternInput(WScan("b", W), "y", "z"),
+            ),
+            "x",
+            "z",
+            "out",
+        )
+        assert plan.variables == {"x", "y", "z"}
+        assert plan.out_label == "out"
+
+    def test_pattern_unbound_output_var_rejected(self):
+        with pytest.raises(PlanError):
+            Pattern(
+                (PatternInput(WScan("a", W), "x", "y"),), "x", "missing", "out"
+            )
+
+    def test_pattern_empty_rejected(self):
+        with pytest.raises(PlanError):
+            Pattern((), "x", "y", "out")
+
+    def test_path_over(self):
+        plan = Path.over({"a": WScan("a", W)}, Plus(Symbol("a")), "P")
+        assert plan.out_label == "P"
+        assert plan.input_map == {"a": WScan("a", W)}
+
+    def test_path_missing_input_rejected(self):
+        with pytest.raises(PlanError, match="without inputs"):
+            Path.over({}, Plus(Symbol("a")), "P")
+
+    def test_path_extra_input_rejected(self):
+        with pytest.raises(PlanError, match="not used"):
+            Path.over(
+                {"a": WScan("a", W), "b": WScan("b", W)}, Plus(Symbol("a")), "P"
+            )
+
+    def test_path_nullable_regex_rejected(self):
+        with pytest.raises(PlanError, match="empty word"):
+            Path.over({"a": WScan("a", W)}, Star(Symbol("a")), "P")
+
+    def test_plans_are_hashable_value_objects(self):
+        p1 = Path.over({"a": WScan("a", W)}, Plus(Symbol("a")), "P")
+        p2 = Path.over({"a": WScan("a", W)}, Plus(Symbol("a")), "P")
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_walk_preorder(self):
+        plan = Union(WScan("a", W), Relabel(WScan("b", W), "a"))
+        kinds = [type(node).__name__ for node in walk(plan)]
+        assert kinds == ["Union", "WScan", "Relabel", "WScan"]
+
+    def test_input_labels(self):
+        plan = Union(WScan("a", W), Relabel(WScan("b", W), "a"))
+        assert plan.input_labels() == {"a", "b"}

@@ -1,0 +1,94 @@
+"""Unit tests for the sampling-based plan optimizer."""
+
+from repro.algebra.optimizer import (
+    OptimizerReport,
+    choose_plan,
+    measured_cost,
+    static_cost,
+)
+from repro.algebra.operators import Path, Pattern, PatternInput, WScan
+from repro.algebra.reference import evaluate_plan_at
+from repro.core.windows import SlidingWindow
+from repro.regex.ast import Plus, Symbol
+from tests.conftest import make_stream, streams_by_label
+
+W = SlidingWindow(20)
+
+
+def q4_canonical():
+    pattern = Pattern(
+        (
+            PatternInput(WScan("a", W), "x", "y"),
+            PatternInput(WScan("b", W), "y", "z"),
+            PatternInput(WScan("c", W), "z", "t"),
+        ),
+        "x",
+        "t",
+        "d",
+    )
+    return Path.over({"d": pattern}, Plus(Symbol("d")), "Ans")
+
+
+class TestStaticCost:
+    def test_positive(self):
+        assert static_cost(q4_canonical()) > 0
+
+    def test_recursion_costs_more(self):
+        recursive = Path.over({"a": WScan("a", W)}, "a+", "P")
+        flat = Path.over(
+            {"a": WScan("a", W), "b": WScan("b", W)}, "a b", "P"
+        )
+        assert static_cost(recursive) > static_cost(flat) - 2.0
+
+    def test_more_conjuncts_cost_more(self):
+        two = Pattern(
+            (
+                PatternInput(WScan("a", W), "x", "y"),
+                PatternInput(WScan("b", W), "y", "z"),
+            ),
+            "x",
+            "z",
+            "o",
+        )
+        three = Pattern(
+            two.inputs + (PatternInput(WScan("c", W), "z", "w"),),
+            "x",
+            "w",
+            "o",
+        )
+        assert static_cost(three) > static_cost(two)
+
+
+class TestChoosePlan:
+    def test_static_mode_returns_report(self):
+        report = choose_plan(q4_canonical(), limit=8)
+        assert isinstance(report, OptimizerReport)
+        assert report.candidates >= 2
+        assert report.best in [plan for plan, _ in report.scores]
+
+    def test_scores_sorted(self):
+        report = choose_plan(q4_canonical(), limit=8)
+        values = [score for _, score in report.scores]
+        assert values == sorted(values)
+
+    def test_chosen_plan_is_equivalent(self):
+        plan = q4_canonical()
+        report = choose_plan(plan, limit=8)
+        edges = make_stream(17, 50, 6, ("a", "b", "c"), max_gap=2)
+        streams = streams_by_label(edges)
+        for t in range(0, 60, 6):
+            assert evaluate_plan_at(plan, streams, t) == evaluate_plan_at(
+                report.best, streams, t
+            )
+
+    def test_calibrated_mode(self):
+        plan = q4_canonical()
+        sample = make_stream(29, 120, 8, ("a", "b", "c"), max_gap=1)
+        report = choose_plan(plan, sample=sample, limit=4)
+        assert all(score >= 0 for _, score in report.scores)
+        # Measured cost of the winner should be the smallest.
+        assert report.scores[0][1] <= report.scores[-1][1]
+
+    def test_measured_cost_runs(self):
+        sample = make_stream(31, 40, 6, ("a", "b", "c"), max_gap=1)
+        assert measured_cost(q4_canonical(), sample) > 0

@@ -1,0 +1,139 @@
+"""Unit tests for the one-time reference evaluator."""
+
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    PatternInput,
+    Predicate,
+    Relabel,
+    Union,
+    WScan,
+)
+from repro.algebra.reference import (
+    evaluate_plan_at,
+    evaluate_rq,
+    regex_reachability,
+    transitive_closure,
+)
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.query.parser import parse_rq
+from repro.regex.ast import Plus, Symbol
+from repro.regex.parser import parse_regex
+
+W = SlidingWindow(10)
+
+
+class TestWScanSnapshots:
+    def test_window_filters_by_time(self):
+        plan = WScan("l", W)
+        streams = {"l": [SGE("a", "b", "l", 0), SGE("b", "c", "l", 8)]}
+        assert evaluate_plan_at(plan, streams, 5) == {("a", "b")}
+        assert evaluate_plan_at(plan, streams, 9) == {("a", "b"), ("b", "c")}
+        assert evaluate_plan_at(plan, streams, 12) == {("b", "c")}
+        assert evaluate_plan_at(plan, streams, 50) == set()
+
+    def test_prefilter_applies(self):
+        plan = WScan("l", W, Predicate((("src", "==", "a"),)))
+        streams = {"l": [SGE("a", "b", "l", 0), SGE("b", "c", "l", 0)]}
+        assert evaluate_plan_at(plan, streams, 0) == {("a", "b")}
+
+
+class TestOperators:
+    def test_filter(self):
+        plan = Filter(WScan("l", W), Predicate((("trg", "==", "b"),)))
+        streams = {"l": [SGE("a", "b", "l", 0), SGE("a", "c", "l", 0)]}
+        assert evaluate_plan_at(plan, streams, 0) == {("a", "b")}
+
+    def test_union_and_relabel(self):
+        plan = Union(Relabel(WScan("a", W), "x"), Relabel(WScan("b", W), "x"), "x")
+        streams = {"a": [SGE(1, 2, "a", 0)], "b": [SGE(3, 4, "b", 0)]}
+        assert evaluate_plan_at(plan, streams, 0) == {(1, 2), (3, 4)}
+
+    def test_pattern_triangle(self):
+        # RL triangle of Example 6: likes(u1, m), posts(u2, m), f(u1, u2).
+        plan = Pattern(
+            (
+                PatternInput(WScan("likes", W), "u1", "m"),
+                PatternInput(WScan("posts", W), "u2", "m"),
+                PatternInput(WScan("f", W), "u1", "u2"),
+            ),
+            "u1",
+            "u2",
+            "RL",
+        )
+        streams = {
+            "likes": [SGE("x", "m1", "likes", 0), SGE("x", "m2", "likes", 0)],
+            "posts": [SGE("y", "m1", "posts", 0)],
+            "f": [SGE("x", "y", "f", 0), SGE("x", "z", "f", 0)],
+        }
+        assert evaluate_plan_at(plan, streams, 0) == {("x", "y")}
+
+    def test_pattern_repeated_variable_self_loop(self):
+        plan = Pattern(
+            (PatternInput(WScan("l", W), "x", "x"),), "x", "x", "loops"
+        )
+        streams = {"l": [SGE("a", "a", "l", 0), SGE("a", "b", "l", 0)]}
+        assert evaluate_plan_at(plan, streams, 0) == {("a", "a")}
+
+    def test_path_closure(self):
+        plan = Path.over({"l": WScan("l", W)}, Plus(Symbol("l")), "P")
+        streams = {
+            "l": [SGE(1, 2, "l", 0), SGE(2, 3, "l", 0), SGE(3, 4, "l", 20)]
+        }
+        assert evaluate_plan_at(plan, streams, 0) == {(1, 2), (2, 3), (1, 3)}
+        assert evaluate_plan_at(plan, streams, 20) == {(3, 4)}
+
+
+class TestRegexReachability:
+    def test_concat(self):
+        facts = {"a": {(1, 2)}, "b": {(2, 3), (9, 9)}}
+        assert regex_reachability(facts, parse_regex("a b")) == {(1, 3)}
+
+    def test_alternation(self):
+        facts = {"a": {(1, 2)}, "b": {(3, 4)}}
+        assert regex_reachability(facts, "a|b") == {(1, 2), (3, 4)}
+
+    def test_cycle_closure(self):
+        facts = {"l": {(1, 2), (2, 3), (3, 1)}}
+        result = regex_reachability(facts, "l+")
+        assert result == {(i, j) for i in (1, 2, 3) for j in (1, 2, 3)}
+
+    def test_word_constraint(self):
+        facts = {"a": {(1, 2)}, "b": {(2, 3)}, "c": {(3, 4)}}
+        assert regex_reachability(facts, "(a b c)+") == {(1, 4)}
+        assert regex_reachability(facts, "a c") == set()
+
+
+class TestEvaluateRQ:
+    def test_transitive_closure(self):
+        assert transitive_closure({(1, 2), (2, 3)}) == {(1, 2), (2, 3), (1, 3)}
+        assert transitive_closure(set()) == set()
+
+    def test_closure_with_cycle(self):
+        closure = transitive_closure({(1, 2), (2, 1)})
+        assert closure == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_program_evaluation(self):
+        program = parse_rq(
+            """
+            A(x, z) <- l(x, y), l(y, z).
+            Answer(x, y) <- A+(x, y) as AP.
+            """
+        )
+        edb = {"l": {(1, 2), (2, 3), (3, 4), (4, 5)}}
+        # A = pairs two steps apart; AP = even-length reachability.
+        assert evaluate_rq(program, edb) == {(1, 3), (2, 4), (3, 5), (1, 5)}
+
+    def test_union_rules(self):
+        program = parse_rq(
+            """
+            Answer(x, y) <- a(x, y).
+            Answer(x, y) <- b(x, y).
+            """
+        )
+        assert evaluate_rq(program, {"a": {(1, 2)}, "b": {(3, 4)}}) == {
+            (1, 2),
+            (3, 4),
+        }

@@ -1,0 +1,209 @@
+"""Unit tests for the Section 5.4 transformation rules."""
+
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    PatternInput,
+    Predicate,
+    Relabel,
+    Union,
+    WScan,
+)
+from repro.algebra.reference import evaluate_plan_at
+from repro.algebra.rewrite import (
+    concat_to_pattern,
+    enumerate_plans,
+    fuse_pattern_into_path,
+    group_concat_prefix,
+    group_concat_suffix,
+    plan_size,
+    push_filter_into_wscan,
+    rewrite_once,
+    split_alternation,
+)
+from repro.core.windows import SlidingWindow
+from repro.regex.ast import Alternation, Concat, Plus, Symbol
+from tests.conftest import make_stream, streams_by_label
+
+W = SlidingWindow(20)
+
+
+def q4_canonical():
+    """Canonical Q4 plan: P[d+](PATTERN(a, b, c)) (Section 7.4)."""
+    pattern = Pattern(
+        (
+            PatternInput(WScan("a", W), "x", "y"),
+            PatternInput(WScan("b", W), "y", "z"),
+            PatternInput(WScan("c", W), "z", "t"),
+        ),
+        "x",
+        "t",
+        "d",
+    )
+    return Path.over({"d": pattern}, Plus(Symbol("d")), "Ans")
+
+
+class TestFilterPushdown:
+    def test_push_into_wscan(self):
+        predicate = Predicate((("src", "==", 1),))
+        plan = Filter(WScan("l", W), predicate)
+        rewritten = push_filter_into_wscan(plan)
+        assert rewritten == WScan("l", W, predicate)
+
+    def test_merges_existing_prefilter(self):
+        p1 = Predicate((("src", "==", 1),))
+        p2 = Predicate((("trg", "==", 2),))
+        plan = Filter(WScan("l", W, p1), p2)
+        rewritten = push_filter_into_wscan(plan)
+        assert rewritten.prefilter.conditions == p1.conditions + p2.conditions
+
+    def test_not_applicable(self):
+        assert push_filter_into_wscan(WScan("l", W)) is None
+
+
+class TestAlternationSplit:
+    def test_split(self):
+        plan = Path.over(
+            {"a": WScan("a", W), "b": WScan("b", W)},
+            Alternation(Symbol("a"), Symbol("b")),
+            "P",
+        )
+        rewritten = split_alternation(plan)
+        assert isinstance(rewritten, Union)
+        assert rewritten.out_label == "P"
+        # Single-symbol branches collapse to relabeled children.
+        assert isinstance(rewritten.left, Relabel)
+        assert isinstance(rewritten.right, Relabel)
+
+    def test_split_nested(self):
+        plan = Path.over(
+            {"a": WScan("a", W), "b": WScan("b", W)},
+            Alternation(Plus(Symbol("a")), Symbol("b")),
+            "P",
+        )
+        rewritten = split_alternation(plan)
+        assert isinstance(rewritten.left, Path)
+        assert rewritten.left.regex == Plus(Symbol("a"))
+
+    def test_not_applicable(self):
+        plan = Path.over({"a": WScan("a", W)}, Plus(Symbol("a")), "P")
+        assert split_alternation(plan) is None
+
+
+class TestConcatToPattern:
+    def test_concat_becomes_join(self):
+        plan = Path.over(
+            {"a": WScan("a", W), "b": WScan("b", W)},
+            Concat(Symbol("a"), Symbol("b")),
+            "P",
+        )
+        rewritten = concat_to_pattern(plan)
+        assert isinstance(rewritten, Pattern)
+        assert rewritten.out_label == "P"
+        assert len(rewritten.inputs) == 2
+
+    def test_not_applicable_for_plus(self):
+        plan = Path.over({"a": WScan("a", W)}, Plus(Symbol("a")), "P")
+        assert concat_to_pattern(plan) is None
+
+
+class TestFusePatternIntoPath:
+    def test_q4_p1(self):
+        rewritten = fuse_pattern_into_path(q4_canonical())
+        assert isinstance(rewritten, Path)
+        assert str(rewritten.regex) == "(((a b) c))+"
+        assert set(rewritten.input_map) == {"a", "b", "c"}
+
+    def test_group_suffix_p2(self):
+        p1 = fuse_pattern_into_path(q4_canonical())
+        p2 = group_concat_suffix(p1, 2, "bc")
+        assert str(p2.regex) == "((a bc))+"
+        assert isinstance(p2.input_map["bc"], Pattern)
+
+    def test_group_prefix_p3(self):
+        p1 = fuse_pattern_into_path(q4_canonical())
+        p3 = group_concat_prefix(p1, 2, "ab")
+        assert str(p3.regex) == "((ab c))+"
+        assert isinstance(p3.input_map["ab"], Pattern)
+
+    def test_not_applicable_for_non_chain(self):
+        pattern = Pattern(
+            (
+                PatternInput(WScan("a", W), "x", "y"),
+                PatternInput(WScan("b", W), "x", "y"),  # parallel, not chain
+            ),
+            "x",
+            "y",
+            "d",
+        )
+        plan = Path.over({"d": pattern}, Plus(Symbol("d")), "Ans")
+        assert fuse_pattern_into_path(plan) is None
+
+
+class TestEquivalence:
+    """Rewritten plans compute the same snapshots as the originals."""
+
+    def _check(self, original, rewritten, labels, seed):
+        edges = make_stream(seed, 60, 8, labels, max_gap=2)
+        streams = streams_by_label(edges)
+        for t in range(0, edges[-1].t + 25, 7):
+            left = evaluate_plan_at(original, streams, t)
+            right = evaluate_plan_at(rewritten, streams, t)
+            assert left == right, f"divergence at t={t}"
+
+    def test_q4_p1_equivalent(self):
+        plan = q4_canonical()
+        self._check(plan, fuse_pattern_into_path(plan), ("a", "b", "c"), 1)
+
+    def test_q4_p2_equivalent(self):
+        p1 = fuse_pattern_into_path(q4_canonical())
+        self._check(p1, group_concat_suffix(p1, 2, "bc"), ("a", "b", "c"), 2)
+
+    def test_q4_p3_equivalent(self):
+        p1 = fuse_pattern_into_path(q4_canonical())
+        self._check(p1, group_concat_prefix(p1, 2, "ab"), ("a", "b", "c"), 3)
+
+    def test_alternation_split_equivalent(self):
+        plan = Path.over(
+            {"a": WScan("a", W), "b": WScan("b", W)},
+            Alternation(Plus(Symbol("a")), Symbol("b")),
+            "P",
+        )
+        self._check(plan, split_alternation(plan), ("a", "b"), 4)
+
+    def test_concat_split_equivalent(self):
+        plan = Path.over(
+            {"a": WScan("a", W), "b": WScan("b", W)},
+            Concat(Symbol("a"), Plus(Symbol("b"))),
+            "P",
+        )
+        self._check(plan, concat_to_pattern(plan), ("a", "b"), 5)
+
+
+class TestEnumeration:
+    def test_enumerate_includes_original(self):
+        plan = q4_canonical()
+        plans = enumerate_plans(plan, limit=16)
+        assert plans[0] == plan
+        assert len(plans) > 1
+
+    def test_enumerate_reaches_p1(self):
+        plan = q4_canonical()
+        plans = enumerate_plans(plan, limit=16)
+        p1 = fuse_pattern_into_path(plan)
+        assert p1 in plans
+
+    def test_rewrite_once_applies_in_subtrees(self):
+        inner = Filter(WScan("a", W), Predicate((("src", "==", 1),)))
+        plan = Relabel(inner, "Answer")
+        results = rewrite_once(plan)
+        assert Relabel(WScan("a", W, Predicate((("src", "==", 1),))), "Answer") in results
+
+    def test_limit_respected(self):
+        plans = enumerate_plans(q4_canonical(), limit=3)
+        assert len(plans) <= 3
+
+    def test_plan_size(self):
+        assert plan_size(WScan("a", W)) == 1
+        assert plan_size(q4_canonical()) == 5

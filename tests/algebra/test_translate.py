@@ -1,0 +1,135 @@
+"""Unit tests for the SGQParser translation (Algorithm 1, Theorem 1)."""
+
+from repro.algebra.operators import Path, Pattern, Relabel, Union, WScan
+from repro.algebra.translate import sgq_to_sga
+from repro.core.windows import SlidingWindow
+from repro.query.sgq import SGQ
+from repro.regex.ast import Plus, Symbol
+
+W = SlidingWindow(24)
+
+
+def plan_of(text, window=W, label_windows=None):
+    return sgq_to_sga(SGQ.from_text(text, window, label_windows or {}))
+
+
+class TestLeaves:
+    def test_edb_becomes_wscan(self):
+        plan = plan_of("Answer(x, y) <- knows(x, y).")
+        assert isinstance(plan, Relabel)
+        assert plan.child == WScan("knows", W)
+
+    def test_per_label_windows(self):
+        plan = plan_of(
+            "Answer(x, z) <- a(x, y), b(y, z).",
+            label_windows={"b": SlidingWindow(100, 10)},
+        )
+        assert isinstance(plan, Pattern)
+        scans = {c.plan.label: c.plan for c in plan.inputs}
+        assert scans["a"].window == W
+        assert scans["b"].window == SlidingWindow(100, 10)
+
+
+class TestClosure:
+    def test_closure_becomes_path(self):
+        plan = plan_of("Answer(x, y) <- knows+(x, y) as K.")
+        assert isinstance(plan, Relabel)
+        path = plan.child
+        assert isinstance(path, Path)
+        assert path.regex == Plus(Symbol("knows"))
+        assert path.out_label == "K"
+
+    def test_closure_of_idb(self):
+        plan = plan_of(
+            """
+            RL(x, y) <- a(x, y).
+            Answer(x, y) <- RL+(x, y) as RLP.
+            """
+        )
+        assert isinstance(plan, Relabel)
+        path = plan.child
+        assert isinstance(path, Path)
+        inner = path.input_map["RL"]
+        assert isinstance(inner, Relabel)
+        assert inner.label == "RL"
+
+
+class TestRules:
+    def test_multi_atom_rule_becomes_pattern(self):
+        plan = plan_of("Answer(x, z) <- a(x, y), b(y, z).")
+        assert isinstance(plan, Pattern)
+        assert [c.src_var for c in plan.inputs] == ["x", "y"]
+        assert plan.src_var == "x"
+        assert plan.trg_var == "z"
+
+    def test_flipped_single_atom_is_pattern_not_relabel(self):
+        plan = plan_of("Answer(y, x) <- a(x, y).")
+        assert isinstance(plan, Pattern)
+
+    def test_multiple_rules_become_union(self):
+        plan = plan_of(
+            """
+            Answer(x, y) <- a(x, y).
+            Answer(x, y) <- b(x, y).
+            """
+        )
+        assert isinstance(plan, Union)
+        assert plan.out_label == "Answer"
+
+    def test_three_rules_left_deep_union(self):
+        plan = plan_of(
+            """
+            Answer(x, y) <- a(x, y).
+            Answer(x, y) <- b(x, y).
+            Answer(x, y) <- c(x, y).
+            """
+        )
+        assert isinstance(plan, Union)
+        assert isinstance(plan.left, Union)
+
+    def test_shared_subplan_is_identical_object_value(self):
+        # 'posts' appears in two rules; both must scan the same WScan node.
+        plan = plan_of(
+            """
+            RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+            Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+            Answer(u, m) <- Notify(u, m).
+            """
+        )
+        scans = [
+            node
+            for node in _walk(plan)
+            if isinstance(node, WScan) and node.label == "posts"
+        ]
+        assert len(scans) == 2
+        assert scans[0] == scans[1]
+
+
+class TestCanonicalPaperPlan:
+    def test_example8_structure(self):
+        # Figure 8 (left): PATTERN over (PATH over PATTERN(..)) and posts.
+        plan = plan_of(
+            """
+            RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+            Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+            Answer(u, m) <- Notify(u, m).
+            """
+        )
+        assert isinstance(plan, Relabel)  # Answer <- Notify rename
+        notify = plan.child
+        assert isinstance(notify, Pattern)
+        rlp = notify.inputs[0].plan
+        assert isinstance(rlp, Path)
+        assert rlp.regex == Plus(Symbol("RL"))
+        rl = rlp.input_map["RL"]
+        assert isinstance(rl, Pattern)
+        assert len(rl.inputs) == 3
+        fp = rl.inputs[1].plan
+        assert isinstance(fp, Path)
+        assert fp.regex == Plus(Symbol("follows"))
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)

@@ -1,0 +1,105 @@
+"""Unit tests for the benchmark harness and experiment registry."""
+
+from repro.bench import (
+    SMALL_SCALE,
+    fig10a_window_size,
+    fig10b_slide,
+    fig11_dd_slide,
+    format_rows,
+    plan_space,
+    run_dd_bench,
+    run_sga_bench,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.experiments import Scale
+from repro.core.windows import HOUR, SlidingWindow
+from repro.datasets import uniform_stream
+from repro.query.parser import parse_rq
+from repro.workloads import QUERIES, labels_for
+
+TINY = Scale(n_edges=300, n_vertices=60, window=4 * HOUR, slide=HOUR)
+
+
+class TestHarness:
+    def test_sga_bench_metrics(self):
+        window = SlidingWindow(50, 10)
+        plan = QUERIES["Q1"].plan({"a": "a", "b": "b", "c": "c"}, window)
+        stream = uniform_stream(200, 30, ("a",), seed=1, max_gap=2)
+        result = run_sga_bench(plan, stream)
+        assert result.system == "SGA[negative]"
+        assert result.edges == 200
+        assert result.throughput > 0
+        assert result.slides >= 1
+        assert result.results > 0
+
+    def test_dd_bench_metrics(self):
+        window = SlidingWindow(50, 10)
+        program = parse_rq("Answer(x,y) <- a+(x,y) as A.")
+        stream = uniform_stream(200, 30, ("a",), seed=1, max_gap=2)
+        result = run_dd_bench(program, stream, window)
+        assert result.system == "DD"
+        assert result.edges == 200
+        assert result.throughput > 0
+
+    def test_row_shape(self):
+        window = SlidingWindow(50, 10)
+        plan = QUERIES["Q1"].plan({"a": "a", "b": "b", "c": "c"}, window)
+        stream = uniform_stream(100, 30, ("a",), seed=1, max_gap=2)
+        row = run_sga_bench(plan, stream).row(dataset="so", query="Q1")
+        assert row["dataset"] == "so"
+        assert "throughput (edges/s)" in row
+
+
+class TestExperiments:
+    def test_table2_produces_rows(self):
+        rows = table2_rows(TINY, queries=("Q1",))
+        # 2 datasets x 1 query x 2 systems
+        assert len(rows) == 4
+        systems = {row["system"] for row in rows}
+        assert systems == {"SGA[negative]", "DD"}
+
+    def test_table3_reports_improvement(self):
+        rows = table3_rows(TINY, datasets=("so",), queries=("Q1",))
+        assert len(rows) == 1
+        assert "improvement_pct" in rows[0]
+
+    def test_fig10a_sweeps_windows(self):
+        rows = fig10a_window_size(TINY, multipliers=(1, 2), queries=("Q1",))
+        sizes = {row["window_ticks"] for row in rows}
+        assert sizes == {TINY.window, 2 * TINY.window}
+
+    def test_fig10b_and_fig11_sweep_slides(self):
+        slides = (HOUR // 2, HOUR)
+        for experiment in (fig10b_slide, fig11_dd_slide):
+            rows = experiment(TINY, slides=slides, queries=("Q1",))
+            assert {row["slide_ticks"] for row in rows} == set(slides)
+
+    def test_plan_space_q4(self):
+        rows = plan_space("Q4", TINY, datasets=("so",))
+        assert {row["plan"] for row in rows} == {"SGA", "P1", "P2", "P3"}
+
+    def test_plan_space_q2(self):
+        rows = plan_space("Q2", TINY, datasets=("snb",))
+        assert {row["plan"] for row in rows} == {"SGA", "P1"}
+
+
+class TestReporting:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_columns_ordered_and_padded(self):
+        rows = [
+            {"query": "Q1", "system": "SGA", "throughput (edges/s)": 10.0},
+            {"query": "Q2", "system": "DD", "throughput (edges/s)": 123456.5},
+        ]
+        table = format_rows(rows, title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("query")
+        assert "123456.5" in table
+
+    def test_missing_cells_blank(self):
+        rows = [{"query": "Q1"}, {"query": "Q2", "extra": 1}]
+        table = format_rows(rows)
+        assert "extra" in table

@@ -1,0 +1,62 @@
+"""Shared fixtures and stream builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SGE, SlidingWindow
+
+
+def make_stream(
+    seed: int,
+    n_edges: int,
+    n_vertices: int,
+    labels: tuple[str, ...],
+    max_gap: int = 3,
+) -> list[SGE]:
+    """A random timestamp-ordered sge stream for tests."""
+    rng = random.Random(seed)
+    t = 0
+    edges = []
+    for _ in range(n_edges):
+        t += rng.randint(0, max_gap)
+        u = rng.randrange(n_vertices)
+        v = rng.randrange(n_vertices)
+        edges.append(SGE(u, v, rng.choice(labels), t))
+    return edges
+
+
+def streams_by_label(edges: list[SGE]) -> dict[str, list[SGE]]:
+    out: dict[str, list[SGE]] = {}
+    for edge in edges:
+        out.setdefault(edge.label, []).append(edge)
+    return out
+
+
+@pytest.fixture
+def window24() -> SlidingWindow:
+    return SlidingWindow(24)
+
+
+@pytest.fixture
+def paper_stream() -> list[SGE]:
+    """The input graph stream of Figure 2 in the paper."""
+    return [
+        SGE("u", "v", "follows", 7),
+        SGE("v", "b", "posts", 10),
+        SGE("y", "u", "follows", 13),
+        SGE("v", "c", "posts", 17),
+        SGE("u", "a", "posts", 22),
+        SGE("y", "a", "likes", 28),
+        SGE("u", "b", "likes", 29),
+        SGE("u", "c", "likes", 30),
+    ]
+
+
+PAPER_QUERY = """
+RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+Answer(u, m) <- Notify(u, m).
+"""

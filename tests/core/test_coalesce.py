@@ -1,0 +1,89 @@
+"""Unit tests for the coalesce primitive (Definition 11)."""
+
+import pytest
+
+from repro.core.coalesce import (
+    coalesce,
+    coalesce_stream,
+    keep_first_payload,
+    keep_longest_payload,
+)
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, EdgePayload, PathPayload
+from repro.errors import InvalidIntervalError
+
+
+def _t(ts, exp, payload=None):
+    return SGT("a", "b", "l", Interval(ts, exp), payload)
+
+
+class TestCoalesce:
+    def test_merges_overlapping(self):
+        merged = coalesce([_t(1, 5), _t(4, 9)])
+        assert merged.interval == Interval(1, 9)
+
+    def test_merges_adjacent(self):
+        merged = coalesce([_t(1, 5), _t(5, 9)])
+        assert merged.interval == Interval(1, 9)
+
+    def test_paper_example(self):
+        # Example from Section 5.1: PATTERN produces (u, RL, v) twice with
+        # intervals [29, 31) and [30, 31); coalesced into one sgt.
+        merged = coalesce([_t(29, 31), _t(30, 31)])
+        assert merged.interval == Interval(29, 31)
+
+    def test_single_tuple_identity(self):
+        t = _t(1, 5)
+        assert coalesce([t]) == t
+
+    def test_disjoint_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            coalesce([_t(1, 3), _t(7, 9)])
+
+    def test_not_value_equivalent_raises(self):
+        other = SGT("a", "c", "l", Interval(1, 5))
+        with pytest.raises(InvalidIntervalError):
+            coalesce([_t(1, 5), other])
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            coalesce([])
+
+    def test_default_agg_keeps_first_payload(self):
+        p1 = PathPayload((EdgePayload("a", "b", "l"),))
+        p2 = PathPayload((EdgePayload("a", "x", "l"), EdgePayload("x", "b", "l")))
+        merged = coalesce([_t(1, 5, p1), _t(2, 9, p2)], keep_first_payload)
+        assert merged.payload == p1
+
+    def test_longest_agg_keeps_latest_expiring_payload(self):
+        p1 = PathPayload((EdgePayload("a", "b", "l"),))
+        p2 = PathPayload((EdgePayload("a", "x", "l"), EdgePayload("x", "b", "l")))
+        merged = coalesce([_t(1, 5, p1), _t(2, 9, p2)], keep_longest_payload)
+        assert merged.payload == p2
+
+
+class TestCoalesceStream:
+    def test_groups_by_key(self):
+        tuples = [
+            SGT("a", "b", "l", Interval(1, 5)),
+            SGT("a", "c", "l", Interval(1, 5)),
+            SGT("a", "b", "l", Interval(4, 9)),
+        ]
+        out = coalesce_stream(tuples)
+        assert len(out) == 2
+        by_key = {t.key(): t for t in out}
+        assert by_key[("a", "b", "l")].interval == Interval(1, 9)
+
+    def test_keeps_disjoint_runs_apart(self):
+        out = coalesce_stream([_t(1, 3), _t(7, 9), _t(2, 4)])
+        assert [t.interval for t in out] == [Interval(1, 4), Interval(7, 9)]
+
+    def test_set_semantics_of_snapshots(self):
+        # After coalescing, at any instant each key appears at most once.
+        out = coalesce_stream([_t(1, 5), _t(3, 8), _t(7, 12), _t(20, 25)])
+        for instant in range(0, 30):
+            live = [t for t in out if t.valid_at(instant)]
+            assert len(live) <= 1
+
+    def test_empty(self):
+        assert coalesce_stream([]) == []

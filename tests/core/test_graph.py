@@ -1,0 +1,80 @@
+"""Unit tests for materialized path graphs and snapshots (Definitions 6, 12)."""
+
+from repro.core.graph import MaterializedPathGraph, graph_from_triples, snapshot
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, EdgePayload, PathPayload
+
+
+class TestMaterializedPathGraph:
+    def test_add_edge_idempotent(self):
+        g = MaterializedPathGraph()
+        g.add_edge("a", "b", "l")
+        g.add_edge("a", "b", "l")
+        assert len(g) == 1
+
+    def test_vertices(self):
+        g = graph_from_triples([("a", "b", "x"), ("b", "c", "y")])
+        assert g.vertices == {"a", "b", "c"}
+
+    def test_successors_predecessors(self):
+        g = graph_from_triples([("a", "b", "x"), ("a", "c", "x"), ("a", "d", "y")])
+        assert g.successors("a", "x") == {"b", "c"}
+        assert g.predecessors("b", "x") == {"a"}
+        assert g.successors("a", "z") == set()
+
+    def test_paths_are_first_class(self):
+        g = MaterializedPathGraph()
+        payload = PathPayload(
+            (EdgePayload("a", "b", "l"), EdgePayload("b", "c", "l"))
+        )
+        g.add_path("a", "c", "P", payload)
+        assert g.has("a", "c", "P")
+        assert g.successors("a", "P") == {"c"}
+        assert g.paths[("a", "c", "P")] == payload
+
+    def test_labels_mix_edges_and_paths(self):
+        g = MaterializedPathGraph()
+        g.add_edge("a", "b", "l")
+        g.add_path("a", "c", "P", PathPayload((EdgePayload("a", "c", "l"),)))
+        assert g.labels == {"l", "P"}
+
+    def test_triples_with_label(self):
+        g = graph_from_triples([("a", "b", "x"), ("c", "d", "x"), ("a", "b", "y")])
+        assert sorted(g.triples_with_label("x")) == [("a", "b"), ("c", "d")]
+
+
+class TestSnapshot:
+    def test_snapshot_filters_by_validity(self):
+        tuples = [
+            SGT("a", "b", "l", Interval(0, 10)),
+            SGT("b", "c", "l", Interval(5, 15)),
+        ]
+        g0 = snapshot(tuples, 0)
+        assert g0.has("a", "b", "l")
+        assert not g0.has("b", "c", "l")
+        g7 = snapshot(tuples, 7)
+        assert len(g7) == 2
+        g12 = snapshot(tuples, 12)
+        assert not g12.has("a", "b", "l")
+
+    def test_snapshot_materializes_paths(self):
+        payload = PathPayload((EdgePayload("a", "b", "l"),))
+        tuples = [SGT("a", "b", "P", Interval(0, 10), payload)]
+        g = snapshot(tuples, 5)
+        assert g.paths[("a", "b", "P")] == payload
+
+    def test_paper_figure4_snapshot(self, paper_stream, window24):
+        # Figure 4: the snapshot of the Figure 3 streaming graph at t=25.
+        tuples = [
+            SGT(e.src, e.trg, e.label, window24.interval_for(e.t))
+            for e in paper_stream
+        ]
+        g = snapshot(tuples, 25)
+        assert g.has("u", "v", "follows")
+        assert g.has("y", "u", "follows")
+        assert g.has("v", "b", "posts")
+        assert g.has("v", "c", "posts")
+        assert g.has("u", "a", "posts")
+        # likes edges arrive after t=25
+        assert not g.has("y", "a", "likes")
+        assert len(g) == 5

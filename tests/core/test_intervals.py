@@ -1,0 +1,164 @@
+"""Unit tests for validity intervals (Definition 5)."""
+
+import pytest
+
+from repro.core.intervals import (
+    FOREVER,
+    Interval,
+    cover,
+    intersect_all,
+    subtract_cover,
+)
+from repro.errors import InvalidIntervalError
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        iv = Interval(3, 7)
+        assert iv.ts == 3
+        assert iv.exp == 7
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3, 3)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(7, 3)
+
+    def test_single_instant(self):
+        assert Interval(5, 6).duration == 1
+
+    def test_is_hashable_and_comparable(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2
+        assert Interval(1, 2) < Interval(1, 3) < Interval(2, 3)
+
+
+class TestPointQueries:
+    def test_contains_start_inclusive(self):
+        assert Interval(3, 7).contains(3)
+
+    def test_contains_end_exclusive(self):
+        assert not Interval(3, 7).contains(7)
+
+    def test_contains_interior(self):
+        assert Interval(3, 7).contains(5)
+
+    def test_contains_outside(self):
+        assert not Interval(3, 7).contains(2)
+
+    def test_expiry(self):
+        iv = Interval(3, 7)
+        assert not iv.is_expired_at(6)
+        assert iv.is_expired_at(7)
+        assert iv.is_expired_at(100)
+
+
+class TestRelations:
+    def test_overlapping(self):
+        assert Interval(1, 5).overlaps(Interval(4, 9))
+        assert Interval(4, 9).overlaps(Interval(1, 5))
+
+    def test_adjacent_not_overlapping(self):
+        assert not Interval(1, 5).overlaps(Interval(5, 9))
+        assert Interval(1, 5).adjacent(Interval(5, 9))
+        assert Interval(5, 9).adjacent(Interval(1, 5))
+
+    def test_disjoint(self):
+        a, b = Interval(1, 3), Interval(5, 9)
+        assert not a.overlaps(b)
+        assert not a.adjacent(b)
+        assert not a.mergeable(b)
+
+    def test_mergeable_when_overlapping_or_adjacent(self):
+        assert Interval(1, 5).mergeable(Interval(4, 9))
+        assert Interval(1, 5).mergeable(Interval(5, 9))
+
+    def test_containment_overlaps(self):
+        assert Interval(1, 10).overlaps(Interval(4, 5))
+
+
+class TestCombinators:
+    def test_intersect(self):
+        assert Interval(1, 7).intersect(Interval(4, 9)) == Interval(4, 7)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(1, 3).intersect(Interval(5, 9)) is None
+
+    def test_intersect_adjacent_is_none(self):
+        assert Interval(1, 5).intersect(Interval(5, 9)) is None
+
+    def test_union(self):
+        assert Interval(1, 5).union(Interval(4, 9)) == Interval(1, 9)
+
+    def test_union_adjacent(self):
+        assert Interval(1, 5).union(Interval(5, 9)) == Interval(1, 9)
+
+    def test_union_disjoint_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1, 3).union(Interval(5, 9))
+
+    def test_intersect_all(self):
+        ivs = [Interval(0, 10), Interval(3, 8), Interval(5, 20)]
+        assert intersect_all(ivs) == Interval(5, 8)
+
+    def test_intersect_all_disjoint(self):
+        assert intersect_all([Interval(0, 3), Interval(5, 8)]) is None
+
+    def test_intersect_all_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            intersect_all([])
+
+
+class TestCover:
+    def test_cover_empty(self):
+        assert cover([]) == []
+
+    def test_cover_merges_overlaps(self):
+        assert cover([Interval(4, 9), Interval(1, 5)]) == [Interval(1, 9)]
+
+    def test_cover_merges_adjacent(self):
+        assert cover([Interval(1, 5), Interval(5, 9)]) == [Interval(1, 9)]
+
+    def test_cover_keeps_gaps(self):
+        result = cover([Interval(1, 3), Interval(5, 9), Interval(2, 4)])
+        assert result == [Interval(1, 4), Interval(5, 9)]
+
+    def test_cover_nested(self):
+        assert cover([Interval(1, 10), Interval(3, 5)]) == [Interval(1, 10)]
+
+
+class TestSubtractCover:
+    def test_subtract_nothing(self):
+        assert subtract_cover([Interval(1, 5)], []) == [Interval(1, 5)]
+
+    def test_subtract_everything(self):
+        assert subtract_cover([Interval(1, 5)], [Interval(0, 9)]) == []
+
+    def test_subtract_middle_splits(self):
+        result = subtract_cover([Interval(1, 9)], [Interval(3, 5)])
+        assert result == [Interval(1, 3), Interval(5, 9)]
+
+    def test_subtract_prefix(self):
+        assert subtract_cover([Interval(1, 9)], [Interval(0, 4)]) == [Interval(4, 9)]
+
+    def test_subtract_suffix(self):
+        assert subtract_cover([Interval(1, 9)], [Interval(6, 12)]) == [Interval(1, 6)]
+
+    def test_subtract_multiple_cuts(self):
+        result = subtract_cover(
+            [Interval(0, 20)], [Interval(2, 4), Interval(6, 8), Interval(18, 30)]
+        )
+        assert result == [
+            Interval(0, 2),
+            Interval(4, 6),
+            Interval(8, 18),
+        ]
+
+    def test_subtract_disjoint_minus(self):
+        result = subtract_cover([Interval(0, 5), Interval(10, 15)], [Interval(4, 11)])
+        assert result == [Interval(0, 4), Interval(11, 15)]
+
+    def test_forever_sentinel_is_large(self):
+        assert Interval(0, FOREVER).contains(10**9)

@@ -1,0 +1,82 @@
+"""Hypothesis property tests for the core interval/coalesce layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import coalesce_stream
+from repro.core.intervals import Interval, cover, subtract_cover
+from repro.core.tuples import SGT
+
+intervals = st.builds(
+    lambda ts, length: Interval(ts, ts + length),
+    st.integers(min_value=0, max_value=80),
+    st.integers(min_value=1, max_value=30),
+)
+
+
+def instants(intervals_list, lo=0, hi=130):
+    return range(lo, hi)
+
+
+@given(st.lists(intervals, max_size=12))
+def test_cover_preserves_instants(ivs):
+    covered = cover(ivs)
+    for t in instants(ivs):
+        expected = any(iv.contains(t) for iv in ivs)
+        actual = any(iv.contains(t) for iv in covered)
+        assert actual == expected
+
+
+@given(st.lists(intervals, max_size=12))
+def test_cover_is_disjoint_sorted_and_non_adjacent(ivs):
+    covered = cover(ivs)
+    for left, right in zip(covered, covered[1:]):
+        assert left.exp < right.ts  # disjoint AND non-adjacent
+
+
+@given(st.lists(intervals, max_size=10), st.lists(intervals, max_size=10))
+def test_subtract_cover_pointwise(plus, minus):
+    result = subtract_cover(plus, minus)
+    for t in instants(plus):
+        expected = any(iv.contains(t) for iv in plus) and not any(
+            iv.contains(t) for iv in minus
+        )
+        actual = any(iv.contains(t) for iv in result)
+        assert actual == expected
+
+
+@given(st.lists(intervals, max_size=10), st.lists(intervals, max_size=10))
+def test_subtract_cover_result_is_normalized(plus, minus):
+    result = subtract_cover(plus, minus)
+    for left, right in zip(result, result[1:]):
+        assert left.exp < right.ts
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ab", "ac", "bc"]), intervals), max_size=15
+    )
+)
+def test_coalesce_stream_preserves_snapshots(items):
+    tuples = [
+        SGT(key[0], key[1], "l", interval) for key, interval in items
+    ]
+    coalesced = coalesce_stream(tuples)
+    for t in range(0, 130):
+        before = {s.key() for s in tuples if s.valid_at(t)}
+        after = {s.key() for s in coalesced if s.valid_at(t)}
+        assert before == after
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ab", "ac"]), intervals), max_size=15
+    )
+)
+def test_coalesce_stream_set_semantics(items):
+    tuples = [SGT(key[0], key[1], "l", interval) for key, interval in items]
+    coalesced = coalesce_stream(tuples)
+    for t in range(0, 130):
+        live = [s for s in coalesced if s.valid_at(t)]
+        keys = [s.key() for s in live]
+        assert len(keys) == len(set(keys))

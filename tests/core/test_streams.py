@@ -1,0 +1,88 @@
+"""Unit tests for graph streams (Definitions 4, 8, 9)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.streams import InputGraphStream, StreamingGraph, partition_by_label
+from repro.core.tuples import SGE, SGT
+from repro.errors import StreamOrderError
+
+
+class TestInputGraphStream:
+    def test_append_in_order(self):
+        s = InputGraphStream()
+        s.append(SGE("a", "b", "l", 1))
+        s.append(SGE("b", "c", "l", 1))  # ties allowed
+        s.append(SGE("c", "d", "l", 5))
+        assert len(s) == 3
+
+    def test_out_of_order_rejected(self):
+        s = InputGraphStream([SGE("a", "b", "l", 5)])
+        with pytest.raises(StreamOrderError):
+            s.append(SGE("b", "c", "l", 4))
+
+    def test_labels(self):
+        s = InputGraphStream([SGE("a", "b", "x", 1), SGE("a", "b", "y", 2)])
+        assert s.labels == {"x", "y"}
+
+    def test_last_timestamp(self):
+        assert InputGraphStream().last_timestamp is None
+        s = InputGraphStream([SGE("a", "b", "l", 7)])
+        assert s.last_timestamp == 7
+
+    def test_indexing_and_iteration(self):
+        edges = [SGE("a", "b", "l", 1), SGE("b", "c", "l", 2)]
+        s = InputGraphStream(edges)
+        assert s[0] == edges[0]
+        assert list(s) == edges
+
+
+class TestStreamingGraph:
+    def test_append_ordered_by_ts(self):
+        g = StreamingGraph()
+        g.append(SGT("a", "b", "l", Interval(1, 5)))
+        g.append(SGT("b", "c", "l", Interval(1, 9)))
+        g.append(SGT("c", "d", "l", Interval(4, 5)))
+        assert len(g) == 3
+
+    def test_out_of_order_rejected(self):
+        g = StreamingGraph([SGT("a", "b", "l", Interval(5, 9))])
+        with pytest.raises(StreamOrderError):
+            g.append(SGT("b", "c", "l", Interval(4, 9)))
+
+    def test_valid_at(self):
+        g = StreamingGraph(
+            [
+                SGT("a", "b", "l", Interval(1, 5)),
+                SGT("b", "c", "l", Interval(3, 9)),
+            ]
+        )
+        assert len(g.valid_at(4)) == 2
+        assert len(g.valid_at(6)) == 1
+        assert g.valid_at(20) == []
+
+
+class TestPartitionByLabel:
+    def test_partition_is_disjoint_and_complete(self):
+        tuples = [
+            SGT("a", "b", "x", Interval(1, 5)),
+            SGT("b", "c", "y", Interval(2, 5)),
+            SGT("c", "d", "x", Interval(3, 5)),
+        ]
+        parts = partition_by_label(tuples)
+        assert set(parts) == {"x", "y"}
+        assert len(parts["x"]) == 2
+        assert len(parts["y"]) == 1
+        total = sum(len(p) for p in parts.values())
+        assert total == len(tuples)
+
+    def test_partition_preserves_order(self):
+        tuples = [
+            SGT("a", "b", "x", Interval(1, 5)),
+            SGT("c", "d", "x", Interval(3, 5)),
+        ]
+        parts = partition_by_label(tuples)
+        assert [t.ts for t in parts["x"]] == [1, 3]
+
+    def test_empty(self):
+        assert partition_by_label([]) == {}

@@ -1,0 +1,111 @@
+"""Unit tests for sges, sgts, and payloads (Definitions 3, 7, 10)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE, SGT, EdgePayload, PathPayload, sgt_from_sge
+
+
+class TestSGE:
+    def test_fields(self):
+        e = SGE("a", "b", "knows", 5)
+        assert (e.src, e.trg, e.label, e.t) == ("a", "b", "knows", 5)
+
+    def test_immutable(self):
+        e = SGE("a", "b", "knows", 5)
+        with pytest.raises(AttributeError):
+            e.t = 6  # type: ignore[misc]
+
+    def test_equality(self):
+        assert SGE("a", "b", "l", 1) == SGE("a", "b", "l", 1)
+        assert SGE("a", "b", "l", 1) != SGE("a", "b", "l", 2)
+
+
+class TestSGT:
+    def test_default_payload_is_own_edge(self):
+        t = SGT("a", "b", "knows", Interval(1, 5))
+        assert t.payload == EdgePayload("a", "b", "knows")
+
+    def test_ts_exp_accessors(self):
+        t = SGT("a", "b", "knows", Interval(1, 5))
+        assert t.ts == 1
+        assert t.exp == 5
+
+    def test_value_equivalence_ignores_interval(self):
+        t1 = SGT("a", "b", "l", Interval(1, 5))
+        t2 = SGT("a", "b", "l", Interval(3, 9))
+        assert t1.value_equivalent(t2)
+        assert t1.key() == t2.key()
+
+    def test_value_equivalence_distinguishes_labels(self):
+        t1 = SGT("a", "b", "l1", Interval(1, 5))
+        t2 = SGT("a", "b", "l2", Interval(1, 5))
+        assert not t1.value_equivalent(t2)
+
+    def test_valid_at(self):
+        t = SGT("a", "b", "l", Interval(1, 5))
+        assert t.valid_at(1)
+        assert t.valid_at(4)
+        assert not t.valid_at(5)
+
+    def test_with_interval(self):
+        t = SGT("a", "b", "l", Interval(1, 5))
+        t2 = t.with_interval(Interval(2, 9))
+        assert t2.interval == Interval(2, 9)
+        assert t2.key() == t.key()
+        assert t2.payload is t.payload
+
+    def test_is_path(self):
+        edge = SGT("a", "b", "l", Interval(1, 5))
+        assert not edge.is_path()
+        path = SGT(
+            "a",
+            "c",
+            "p",
+            Interval(1, 5),
+            PathPayload((EdgePayload("a", "b", "l"), EdgePayload("b", "c", "l"))),
+        )
+        assert path.is_path()
+
+    def test_sgt_from_sge(self):
+        t = sgt_from_sge(SGE("a", "b", "l", 3), Interval(3, 10))
+        assert t.key() == ("a", "b", "l")
+        assert t.interval == Interval(3, 10)
+
+
+class TestPathPayload:
+    def _path(self):
+        return PathPayload(
+            (
+                EdgePayload("a", "b", "x"),
+                EdgePayload("b", "c", "y"),
+                EdgePayload("c", "d", "x"),
+            )
+        )
+
+    def test_length(self):
+        assert self._path().length == 3
+
+    def test_vertices(self):
+        assert self._path().vertices == ("a", "b", "c", "d")
+
+    def test_label_sequence(self):
+        assert self._path().label_sequence() == ("x", "y", "x")
+
+    def test_edges_uniform_access(self):
+        assert len(self._path().edges()) == 3
+        assert len(EdgePayload("a", "b", "x").edges()) == 1
+
+    def test_concat(self):
+        p1 = PathPayload((EdgePayload("a", "b", "x"),))
+        p2 = PathPayload((EdgePayload("b", "c", "y"),))
+        assert p1.concat(p2).vertices == ("a", "b", "c")
+
+    def test_concat_mismatch_raises(self):
+        p1 = PathPayload((EdgePayload("a", "b", "x"),))
+        p2 = PathPayload((EdgePayload("z", "c", "y"),))
+        with pytest.raises(ValueError):
+            p1.concat(p2)
+
+    def test_empty_path_vertices(self):
+        assert PathPayload(()).vertices == ()

@@ -1,0 +1,65 @@
+"""Unit tests for sliding-window specifications (Definition 16)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.windows import DAY, HOUR, SlidingWindow
+from repro.errors import InvalidIntervalError
+
+
+class TestIntervalAssignment:
+    def test_default_slide_is_one(self):
+        w = SlidingWindow(24)
+        assert w.interval_for(7) == Interval(7, 31)
+
+    def test_paper_figure3_assignment(self):
+        # Figure 3: a 24h window maps an edge at t=7 to [7, 31).
+        w = SlidingWindow(24, 1)
+        for t, expected in [(7, 31), (10, 34), (13, 37), (30, 54)]:
+            assert w.interval_for(t) == Interval(t, expected)
+
+    def test_definition16_with_slide(self):
+        # exp = floor(t / beta) * beta + T
+        w = SlidingWindow(24, 6)
+        assert w.interval_for(7) == Interval(7, 30)
+        assert w.interval_for(6) == Interval(6, 30)
+        assert w.interval_for(11) == Interval(11, 30)
+        assert w.interval_for(12) == Interval(12, 36)
+
+    def test_zero_timestamp(self):
+        w = SlidingWindow(10, 5)
+        assert w.interval_for(0) == Interval(0, 10)
+
+    def test_window_shorter_than_gap_to_boundary_rejected(self):
+        w = SlidingWindow(2, 10)
+        with pytest.raises(InvalidIntervalError):
+            w.interval_for(5)  # floor(5/10)*10 + 2 = 2 <= 5
+
+
+class TestBoundaries:
+    def test_slide_boundary(self):
+        w = SlidingWindow(24, 6)
+        assert w.slide_boundary(0) == 0
+        assert w.slide_boundary(5) == 0
+        assert w.slide_boundary(6) == 6
+        assert w.slide_boundary(17) == 12
+
+    def test_next_boundary(self):
+        w = SlidingWindow(24, 6)
+        assert w.next_boundary(0) == 6
+        assert w.next_boundary(6) == 12
+
+
+class TestValidation:
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            SlidingWindow(0)
+
+    def test_nonpositive_slide_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            SlidingWindow(10, 0)
+
+    def test_named_durations(self):
+        assert DAY == 24 * HOUR
+        w = SlidingWindow(30 * DAY, DAY)
+        assert w.interval_for(0) == Interval(0, 30 * DAY)

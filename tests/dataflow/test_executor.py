@@ -1,0 +1,96 @@
+"""Unit tests for the event-time executor."""
+
+import pytest
+
+from repro.core.tuples import SGE
+from repro.dataflow.executor import Executor, RunStats, SlideStats
+from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
+
+
+class _WatermarkRecorder(PhysicalOperator):
+    def __init__(self):
+        super().__init__("recorder")
+        self.advances: list[int] = []
+        self.events: list = []
+
+    def on_event(self, port, event):
+        self.events.append(event)
+        self.emit(event)
+
+    def on_advance(self, t):
+        self.advances.append(t)
+
+
+def build(slide=10):
+    graph = DataflowGraph()
+    source = graph.add_source("a")
+    recorder = _WatermarkRecorder()
+    sink = SinkOp()
+    graph.add(recorder)
+    graph.add(sink)
+    graph.connect(source, recorder, 0)
+    graph.connect(recorder, sink, 0)
+    return Executor(graph, slide), recorder, sink
+
+
+class TestBoundaries:
+    def test_watermark_advances_before_edges(self):
+        executor, recorder, _ = build(slide=10)
+        executor.push_edge(SGE(1, 2, "a", 25))
+        assert recorder.advances == [20]
+
+    def test_every_boundary_visited(self):
+        # The window slides at *every* multiple of beta, even without
+        # arrivals in between (this is what the negative-tuple operator's
+        # correctness relies on).
+        executor, recorder, _ = build(slide=10)
+        executor.push_edge(SGE(1, 2, "a", 5))
+        executor.push_edge(SGE(1, 2, "a", 47))
+        assert recorder.advances == [0, 10, 20, 30, 40]
+
+    def test_advance_to_without_edges(self):
+        executor, recorder, _ = build(slide=10)
+        executor.advance_to(35)
+        assert recorder.advances == [30]
+
+    def test_invalid_slide_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(DataflowGraph(), 0)
+
+
+class TestRun:
+    def test_stats_per_slide(self):
+        executor, _, sink = build(slide=10)
+        edges = [SGE(1, 2, "a", t) for t in (0, 3, 12, 25, 27)]
+        stats = executor.run(edges)
+        assert stats.total_edges == 5
+        assert [s.boundary for s in stats.slides] == [0, 10, 20]
+        assert [s.edges for s in stats.slides] == [2, 1, 2]
+        assert stats.total_seconds > 0
+        assert len(sink.events) == 5
+
+    def test_throughput_positive(self):
+        executor, _, _ = build()
+        stats = executor.run([SGE(1, 2, "a", t) for t in range(30)])
+        assert stats.throughput > 0
+
+
+class TestRunStats:
+    def test_tail_latency_empty(self):
+        assert RunStats().tail_latency() == 0.0
+
+    def test_tail_latency_p99_picks_max_region(self):
+        stats = RunStats(
+            slides=[SlideStats(boundary=i, seconds=s) for i, s in
+                    enumerate([0.001] * 99 + [5.0])]
+        )
+        assert stats.tail_latency() == 5.0
+
+    def test_median(self):
+        stats = RunStats(
+            slides=[SlideStats(boundary=i, seconds=float(i)) for i in range(10)]
+        )
+        assert stats.tail_latency(0.5) == 5.0
+
+    def test_zero_seconds_infinite_throughput(self):
+        assert RunStats(total_edges=10).throughput == float("inf")

@@ -1,0 +1,166 @@
+"""Unit tests for the dataflow substrate (graph, events, watermarks)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT
+from repro.dataflow.graph import (
+    DELETE,
+    INSERT,
+    DataflowGraph,
+    Event,
+    PhysicalOperator,
+    SinkOp,
+    SourceOp,
+)
+from repro.errors import ExecutionError
+
+
+class _Passthrough(PhysicalOperator):
+    def on_event(self, port, event):
+        self.emit(event)
+
+
+def sgt(src, trg, ts, exp, label="l"):
+    return SGT(src, trg, label, Interval(ts, exp))
+
+
+class TestEvents:
+    def test_signs(self):
+        assert Event(sgt(1, 2, 0, 5)).sign == INSERT
+        assert Event(sgt(1, 2, 0, 5), DELETE).sign == DELETE
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ExecutionError):
+            Event(sgt(1, 2, 0, 5), 3)
+
+
+class TestGraphWiring:
+    def test_source_routing(self):
+        graph = DataflowGraph()
+        source = graph.add_source("a")
+        sink = SinkOp()
+        graph.add(sink)
+        graph.connect(source, sink, 0)
+        graph.push("a", Event(sgt(1, 2, 0, 5, "a")))
+        graph.push("zzz", Event(sgt(1, 2, 0, 5, "zzz")))  # discarded
+        assert len(sink.events) == 1
+
+    def test_add_source_idempotent(self):
+        graph = DataflowGraph()
+        assert graph.add_source("a") is graph.add_source("a")
+
+    def test_duplicate_source_rejected(self):
+        graph = DataflowGraph()
+        graph.add_source("a")
+        with pytest.raises(ExecutionError):
+            graph.add(SourceOp("a"))
+
+    def test_connect_requires_membership(self):
+        graph = DataflowGraph()
+        op = _Passthrough("p")
+        with pytest.raises(ExecutionError):
+            graph.connect(op, SinkOp())
+
+    def test_fan_out(self):
+        graph = DataflowGraph()
+        source = graph.add_source("a")
+        sinks = [SinkOp(f"s{i}") for i in range(3)]
+        for sink in sinks:
+            graph.add(sink)
+            graph.connect(source, sink, 0)
+        graph.push("a", Event(sgt(1, 2, 0, 5, "a")))
+        assert all(len(s.events) == 1 for s in sinks)
+
+    def test_same_producer_two_ports(self):
+        received = []
+
+        class Recorder(PhysicalOperator):
+            def on_event(self, port, event):
+                received.append(port)
+
+        graph = DataflowGraph()
+        source = graph.add_source("a")
+        recorder = Recorder("r")
+        graph.add(recorder)
+        graph.connect(source, recorder, 0)
+        graph.connect(source, recorder, 1)
+        graph.push("a", Event(sgt(1, 2, 0, 5, "a")))
+        assert sorted(received) == [0, 1]
+
+
+class TestWatermarks:
+    def test_regression_rejected(self):
+        op = _Passthrough("p")
+        op._register_input(0)
+        op.receive_watermark(0, 5)
+        with pytest.raises(ExecutionError):
+            op.receive_watermark(0, 3)
+
+    def test_duplicate_watermark_no_reaction(self):
+        calls = []
+
+        class Recorder(_Passthrough):
+            def on_advance(self, t):
+                calls.append(t)
+
+        op = Recorder("r")
+        op._register_input(0)
+        op.receive_watermark(0, 5)
+        op.receive_watermark(0, 5)
+        assert calls == [5]
+
+    def test_diamond_waits_for_slowest_branch(self):
+        graph = DataflowGraph()
+        source = graph.add_source("a")
+        left = _Passthrough("left")
+        right = _Passthrough("right")
+        join = _Passthrough("join")
+        sink = SinkOp()
+        for op in (left, right, join, sink):
+            graph.add(op)
+        graph.connect(source, left, 0)
+        graph.connect(source, right, 0)
+        graph.connect(left, join, 0)
+        graph.connect(right, join, 1)
+        graph.connect(join, sink, 0)
+        graph.push_watermark(7)
+        assert join.watermark == 7
+        assert sink.watermark == 7
+
+
+class TestSink:
+    def test_coverage_counting_semantics(self):
+        sink = SinkOp()
+        sink.on_event(0, Event(sgt(1, 2, 0, 10)))
+        sink.on_event(0, Event(sgt(1, 2, 5, 15)))
+        sink.on_event(0, Event(sgt(1, 2, 0, 10), DELETE))
+        assert sink.coverage()[(1, 2, "l")] == [Interval(5, 15)]
+
+    def test_valid_at(self):
+        sink = SinkOp()
+        sink.on_event(0, Event(sgt(1, 2, 0, 10)))
+        assert sink.valid_at(5) == {(1, 2, "l")}
+        assert sink.valid_at(10) == set()
+
+    def test_results_coalesced(self):
+        sink = SinkOp()
+        sink.on_event(0, Event(sgt(1, 2, 0, 10)))
+        sink.on_event(0, Event(sgt(1, 2, 8, 20)))
+        results = sink.results()
+        assert len(results) == 1
+        assert results[0].interval == Interval(0, 20)
+
+    def test_callback(self):
+        seen = []
+        sink = SinkOp(callback=seen.append)
+        event = Event(sgt(1, 2, 0, 10))
+        sink.on_event(0, event)
+        assert seen == [event]
+
+    def test_clear(self):
+        sink = SinkOp()
+        sink.on_event(0, Event(sgt(1, 2, 0, 10)))
+        sink.clear()
+        assert sink.events == []
+        assert sink.coverage() == {}

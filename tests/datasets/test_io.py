@@ -1,0 +1,49 @@
+"""Unit tests for edge-stream (de)serialization."""
+
+import pytest
+
+from repro.core.tuples import SGE
+from repro.datasets.io import read_stream, write_stream
+from repro.errors import ParseError
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        edges = [
+            SGE("a", "b", "knows", 1),
+            SGE("b", "c", "likes", 2),
+        ]
+        path = tmp_path / "stream.tsv"
+        assert write_stream(edges, path) == 2
+        assert read_stream(path) == edges
+
+    def test_int_vertices(self, tmp_path):
+        edges = [SGE(1, 2, "knows", 5)]
+        path = tmp_path / "stream.tsv"
+        write_stream(edges, path)
+        assert read_stream(path, vertex_type=int) == edges
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.tsv"
+        path.write_text("# header\n\na\tb\tknows\t3\n")
+        assert read_stream(path) == [SGE("a", "b", "knows", 3)]
+
+    def test_read_sorts_by_timestamp(self, tmp_path):
+        path = tmp_path / "stream.tsv"
+        path.write_text("a\tb\tl\t9\nc\td\tl\t2\n")
+        edges = read_stream(path)
+        assert [e.t for e in edges] == [2, 9]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "stream.tsv"
+        path.write_text("a\tb\tknows\n")
+        with pytest.raises(ParseError, match="4 tab-separated"):
+            read_stream(path)
+
+    def test_generated_stream_round_trips(self, tmp_path):
+        from repro.datasets import stackoverflow_stream
+
+        edges = stackoverflow_stream(n_edges=100, n_users=20, seed=5)
+        path = tmp_path / "so.tsv"
+        write_stream(edges, path)
+        assert read_stream(path, vertex_type=int) == edges

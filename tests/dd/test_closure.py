@@ -1,0 +1,115 @@
+"""Unit and property tests for the DRed incremental closure."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd.operators import IncrementalClosure, closure_from_scratch
+
+
+def rebuild(closure: IncrementalClosure) -> set:
+    return closure_from_scratch(closure._succ)
+
+
+class TestInserts:
+    def test_chain(self):
+        c = IncrementalClosure("c")
+        delta = c.apply_delta([((1, 2), 1)])
+        assert delta == [((1, 2), 1)]
+        delta = c.apply_delta([((2, 3), 1)])
+        assert sorted(delta) == [((1, 3), 1), ((2, 3), 1)]
+        assert c.pairs == {(1, 2), (2, 3), (1, 3)}
+
+    def test_cycle(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((1, 2), 1), ((2, 1), 1)])
+        assert c.pairs == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_duplicate_insert_ignored(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((1, 2), 1)])
+        assert c.apply_delta([((1, 2), 1)]) == []
+
+
+class TestDeletes:
+    def test_delete_breaks_reachability(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((1, 2), 1), ((2, 3), 1)])
+        delta = c.apply_delta([((2, 3), -1)])
+        assert sorted(delta) == [((1, 3), -1), ((2, 3), -1)]
+        assert c.pairs == {(1, 2)}
+
+    def test_delete_with_alternative_path(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((1, 2), 1), ((1, 3), 1), ((3, 2), 1)])
+        delta = c.apply_delta([((1, 2), -1)])
+        # (1, 2) still reachable through 3: DRed re-derives it.
+        assert delta == []
+        assert (1, 2) in c
+
+    def test_delete_in_cycle(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((1, 2), 1), ((2, 3), 1), ((3, 1), 1)])
+        c.apply_delta([((3, 1), -1)])
+        assert c.pairs == {(1, 2), (2, 3), (1, 3)}
+
+    def test_rederivation_counter_increases(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((i, i + 1), 1) for i in range(6)])
+        before = c.rederivation_checks
+        c.apply_delta([((2, 3), -1)])
+        assert c.rederivation_checks > before
+
+    def test_mixed_epoch(self):
+        c = IncrementalClosure("c")
+        c.apply_delta([((1, 2), 1), ((2, 3), 1)])
+        delta = dict(c.apply_delta([((2, 3), -1), ((2, 4), 1)]))
+        assert delta[(1, 3)] == -1
+        assert delta[(2, 4)] == 1
+        assert delta[(1, 4)] == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["ins", "del"]),
+            st.integers(0, 5),
+            st.integers(0, 5),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_closure_matches_rebuild_hypothesis(ops):
+    """After any operation sequence, the incremental closure equals a
+    from-scratch recomputation (applied one epoch per op)."""
+    c = IncrementalClosure("c")
+    present: set = set()
+    for kind, u, v in ops:
+        if kind == "ins" and (u, v) not in present:
+            present.add((u, v))
+            c.apply_delta([((u, v), 1)])
+        elif kind == "del" and (u, v) in present:
+            present.discard((u, v))
+            c.apply_delta([((u, v), -1)])
+        assert c.pairs == rebuild(c)
+
+
+def test_closure_matches_rebuild_batched():
+    """Batched epochs (several inserts + deletes at once)."""
+    rng = random.Random(7)
+    c = IncrementalClosure("c")
+    present: set = set()
+    for _ in range(30):
+        batch = []
+        for _ in range(rng.randint(1, 6)):
+            u, v = rng.randrange(6), rng.randrange(6)
+            if rng.random() < 0.6 and (u, v) not in present:
+                present.add((u, v))
+                batch.append(((u, v), 1))
+            elif (u, v) in present:
+                present.discard((u, v))
+                batch.append(((u, v), -1))
+        c.apply_delta(batch)
+        assert c.pairs == rebuild(c)

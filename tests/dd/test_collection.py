@@ -1,0 +1,96 @@
+"""Unit tests for weighted relations (DD collections)."""
+
+from repro.dd.collection import WeightedRelation
+
+
+class TestWeights:
+    def test_insert_creates_fact(self):
+        r = WeightedRelation("r")
+        assert r.apply((1, 2), 1) == 1
+        assert (1, 2) in r
+        assert r.weight((1, 2)) == 1
+
+    def test_second_derivation_no_distinct_change(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        assert r.apply((1, 2), 1) == 0
+        assert r.weight((1, 2)) == 2
+
+    def test_remove_one_of_two_keeps_fact(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 2)
+        assert r.apply((1, 2), -1) == 0
+        assert (1, 2) in r
+
+    def test_remove_last_drops_fact(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        assert r.apply((1, 2), -1) == -1
+        assert (1, 2) not in r
+        assert r.weight((1, 2)) == 0
+
+    def test_zero_weight_noop(self):
+        r = WeightedRelation("r")
+        assert r.apply((1, 2), 0) == 0
+
+
+class TestEpochDeltas:
+    def test_plus_delta(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        assert r.epoch_delta() == [((1, 2), 1)]
+
+    def test_insert_then_delete_cancels(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.apply((1, 2), -1)
+        assert r.epoch_delta() == []
+
+    def test_delete_of_preexisting_fact(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.end_epoch()
+        r.apply((1, 2), -1)
+        assert r.epoch_delta() == [((1, 2), -1)]
+
+    def test_delete_then_reinsert_cancels(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.end_epoch()
+        r.apply((1, 2), -1)
+        r.apply((1, 2), 1)
+        assert r.epoch_delta() == []
+
+    def test_end_epoch_clears(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.end_epoch()
+        assert r.epoch_delta() == []
+
+
+class TestVersionedViews:
+    def test_new_match_by_src(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.apply((1, 3), 1)
+        r.apply((2, 3), 1)
+        assert set(r.new_match(src=1)) == {(1, 2), (1, 3)}
+        assert set(r.new_match(trg=3)) == {(1, 3), (2, 3)}
+        assert set(r.new_match(src=1, trg=2)) == {(1, 2)}
+        assert set(r.new_match()) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_old_match_excludes_epoch_inserts(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.end_epoch()
+        r.apply((1, 3), 1)
+        assert set(r.old_match(src=1)) == {(1, 2)}
+        assert set(r.new_match(src=1)) == {(1, 2), (1, 3)}
+
+    def test_old_match_includes_epoch_deletes(self):
+        r = WeightedRelation("r")
+        r.apply((1, 2), 1)
+        r.end_epoch()
+        r.apply((1, 2), -1)
+        assert set(r.old_match(src=1)) == {(1, 2)}
+        assert set(r.new_match(src=1)) == set()

@@ -1,0 +1,168 @@
+"""Integration tests: the DD engine against reference Datalog evaluation.
+
+The invariant (see the engine docstring): after the epoch at boundary B,
+the Answer relation equals the one-time evaluation over the snapshot at
+instant ``B + beta - 1``, for window sizes that are multiples of the
+slide.
+"""
+
+import pytest
+
+from repro.algebra.reference import evaluate_rq
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.dd import DDEngine
+from repro.query.parser import parse_rq
+from tests.conftest import make_stream
+
+PROGRAMS = {
+    "tc": ("Answer(x,y) <- a+(x,y) as A.", ("a",)),
+    "q2": (
+        """
+        Answer(x,y) <- a(x,y).
+        Answer(x,y) <- a(x,z), b+(z,y) as B.
+        """,
+        ("a", "b"),
+    ),
+    "q4": (
+        """
+        D(x,t) <- a(x,y), b(y,z), c(z,t).
+        Answer(x,y) <- D+(x,y) as DP.
+        """,
+        ("a", "b", "c"),
+    ),
+    "q5": (
+        """
+        RR(m1,m2) <- a(x,y), b(m1,x), b(m2,y), c(m2,m1).
+        Answer(m1,m2) <- RR(m1,m2).
+        """,
+        ("a", "b", "c"),
+    ),
+    "q7": (
+        """
+        RL(x,y) <- a+(x,y) as AP, b(x,m), c(m,y).
+        Answer(x,m) <- RL+(x,y) as RLP, c(m,y).
+        """,
+        ("a", "b", "c"),
+    ),
+}
+
+
+def run_and_check(program_text, labels, window, seed, n=80):
+    program = parse_rq(program_text)
+    w = SlidingWindow(*window)
+    engine = DDEngine(program, w)
+    edges = make_stream(seed, n, 6, labels, max_gap=2)
+    by_boundary: dict[int, list[SGE]] = {}
+    for e in edges:
+        by_boundary.setdefault(w.slide_boundary(e.t), []).append(e)
+    seen: list[SGE] = []
+    last = max(by_boundary)
+    # Include trailing empty epochs so everything expires at the end.
+    trailing = (w.size // w.slide) + 2
+    boundaries = sorted(
+        set(by_boundary) | {last + w.slide * k for k in range(1, trailing + 1)}
+    )
+    for boundary in boundaries:
+        answer = engine.advance_epoch(boundary, by_boundary.get(boundary, []))
+        seen.extend(by_boundary.get(boundary, []))
+        instant = boundary + w.slide - 1
+        edb: dict[str, set] = {}
+        for e in seen:
+            if w.interval_for(e.t).contains(instant):
+                edb.setdefault(e.label, set()).add((e.src, e.trg))
+        expected = evaluate_rq(program, edb)
+        assert answer == expected, f"epoch {boundary}: {answer ^ expected}"
+    return engine
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@pytest.mark.parametrize("window", [(15, 1), (16, 4), (24, 8)])
+def test_engine_matches_reference(name, window):
+    text, labels = PROGRAMS[name]
+    for seed in (1, 2):
+        run_and_check(text, labels, window, seed)
+
+
+def test_everything_expires_eventually():
+    text, labels = PROGRAMS["tc"]
+    engine = run_and_check(text, labels, (15, 1), seed=3)
+    assert engine.answer() == set()
+    assert engine.state_size() == 0
+
+
+def test_run_produces_stats():
+    program = parse_rq("Answer(x,y) <- a+(x,y) as A.")
+    engine = DDEngine(program, SlidingWindow(16, 4))
+    edges = make_stream(5, 60, 6, ("a",), max_gap=2)
+    stats = engine.run(edges)
+    assert stats.total_edges == 60
+    assert stats.throughput > 0
+    assert len(stats.epochs) >= 2
+    assert stats.tail_latency() >= 0
+
+
+def test_label_window_overrides():
+    program = parse_rq("Answer(x,z) <- a(x,y), b(y,z).")
+    engine = DDEngine(
+        program,
+        SlidingWindow(4, 1),
+        label_windows={"b": SlidingWindow(40, 1)},
+    )
+    engine.advance_epoch(0, [SGE(1, 2, "a", 0), SGE(2, 3, "b", 0)])
+    assert engine.answer() == {(1, 3)}
+    engine.advance_epoch(4, [])
+    # a expired at 4, b still alive.
+    assert engine.answer() == set()
+    assert (2, 3) in engine.relations["b"]
+
+
+def test_unknown_labels_ignored():
+    program = parse_rq("Answer(x,y) <- a(x,y).")
+    engine = DDEngine(program, SlidingWindow(10))
+    engine.advance_epoch(0, [SGE(1, 2, "zzz", 0)])
+    assert engine.answer() == set()
+
+
+def test_epoch_regression_rejected():
+    from repro.errors import ExecutionError
+
+    program = parse_rq("Answer(x,y) <- a(x,y).")
+    engine = DDEngine(program, SlidingWindow(10))
+    engine.advance_epoch(5, [])
+    with pytest.raises(ExecutionError):
+        engine.advance_epoch(4, [])
+
+
+class TestAgainstSGAEngine:
+    """The two engines must agree on the paper's workload queries."""
+
+    @pytest.mark.parametrize("qname", ["Q1", "Q2", "Q4", "Q6", "Q7"])
+    def test_agreement_on_workload(self, qname):
+        from repro.engine import StreamingGraphQueryProcessor
+        from repro.workloads import QUERIES
+
+        labels = {"a": "a", "b": "b", "c": "c"}
+        window = SlidingWindow(16, 4)
+        query = QUERIES[qname]
+        edges = make_stream(9, 70, 6, ("a", "b", "c"), max_gap=2)
+
+        sga = StreamingGraphQueryProcessor.from_sgq(
+            query.sgq(labels, window)
+        )
+        for e in edges:
+            sga.push(e)
+
+        program = parse_rq(query.datalog(labels))
+        dd = DDEngine(program, window)
+        by_boundary: dict[int, list[SGE]] = {}
+        for e in edges:
+            by_boundary.setdefault(window.slide_boundary(e.t), []).append(e)
+        for boundary in sorted(by_boundary):
+            answer = dd.advance_epoch(boundary, by_boundary[boundary])
+            instant = boundary + window.slide - 1
+            sga.advance_to(instant)
+            sga_answer = {
+                (u, v) for (u, v, _) in sga.valid_at(instant)
+            }
+            assert answer == sga_answer, f"boundary {boundary}"

@@ -1,0 +1,106 @@
+"""Unit tests for the counting delta-join (rule_delta)."""
+
+from repro.dd.collection import WeightedRelation
+from repro.dd.operators import rule_delta
+from repro.query.datalog import Atom, ClosureAtom, Rule
+
+
+def relations(**facts):
+    out = {}
+    for name, pairs in facts.items():
+        relation = WeightedRelation(name)
+        for pair in pairs:
+            relation.apply(pair, 1)
+        relation.end_epoch()
+        out[name] = relation
+    return out
+
+
+RULE = Rule("H", "x", "z", (Atom("a", "x", "y"), Atom("b", "y", "z")))
+
+
+class TestInsertDeltas:
+    def test_delta_joins_against_existing(self):
+        rels = relations(a=[(1, 2)], b=[(2, 3)], H=[])
+        # New a-fact joins existing b-facts.
+        rels["a"].apply((5, 2), 1)
+        delta = rule_delta(RULE, rels, {"a": rels["a"].epoch_delta()})
+        assert delta == [((5, 3), 1)]
+
+    def test_both_sides_change_counted_once(self):
+        rels = relations(a=[], b=[], H=[])
+        rels["a"].apply((1, 2), 1)
+        rels["b"].apply((2, 3), 1)
+        deltas = {
+            "a": rels["a"].epoch_delta(),
+            "b": rels["b"].epoch_delta(),
+        }
+        delta = rule_delta(RULE, rels, deltas)
+        # new⋈Δ + Δ⋈old: exactly one derivation of (1, 3).
+        assert delta == [((1, 3), 1)]
+
+    def test_no_delta_no_output(self):
+        rels = relations(a=[(1, 2)], b=[(2, 3)], H=[])
+        assert rule_delta(RULE, rels, {}) == []
+
+
+class TestDeleteDeltas:
+    def test_retraction_joins(self):
+        rels = relations(a=[(1, 2)], b=[(2, 3)], H=[])
+        rels["a"].apply((1, 2), -1)
+        delta = rule_delta(RULE, rels, {"a": rels["a"].epoch_delta()})
+        assert delta == [((1, 3), -1)]
+
+    def test_insert_and_delete_ballance(self):
+        rels = relations(a=[(1, 2)], b=[(2, 3)], H=[])
+        rels["a"].apply((1, 2), -1)
+        rels["a"].apply((7, 2), 1)
+        delta = dict(rule_delta(RULE, rels, {"a": rels["a"].epoch_delta()}))
+        assert delta == {(1, 3): -1, (7, 3): 1}
+
+
+class TestAtomShapes:
+    def test_repeated_variable_in_delta_atom(self):
+        rule = Rule("H", "x", "x", (Atom("a", "x", "x"),))
+        rels = relations(a=[], H=[])
+        rels["a"].apply((1, 1), 1)
+        rels["a"].apply((1, 2), 1)
+        delta = rule_delta(rule, rels, {"a": rels["a"].epoch_delta()})
+        assert delta == [((1, 1), 1)]
+
+    def test_repeated_variable_in_probe_atom(self):
+        rule = Rule("H", "x", "y", (Atom("a", "x", "y"), Atom("b", "y", "y")))
+        rels = relations(a=[], b=[(2, 2), (3, 4)], H=[])
+        rels["a"].apply((1, 2), 1)
+        rels["a"].apply((1, 3), 1)
+        delta = rule_delta(rule, rels, {"a": rels["a"].epoch_delta()})
+        assert delta == [((1, 2), 1)]
+
+    def test_closure_atom_reads_closure_relation(self):
+        rule = Rule(
+            "H", "x", "z", (ClosureAtom("a", "x", "y", "A"), Atom("b", "y", "z"))
+        )
+        rels = relations(A=[(1, 5)], b=[], H=[])
+        rels["b"].apply((5, 9), 1)
+        delta = rule_delta(rule, rels, {"b": rels["b"].epoch_delta()})
+        assert delta == [((1, 9), 1)]
+
+    def test_cartesian_when_no_shared_variable(self):
+        rule = Rule("H", "x", "w", (Atom("a", "x", "y"), Atom("b", "z", "w")))
+        rels = relations(a=[(1, 2)], b=[], H=[])
+        rels["b"].apply((8, 9), 1)
+        delta = rule_delta(rule, rels, {"b": rels["b"].epoch_delta()})
+        assert delta == [((1, 9), 1)]
+
+    def test_triangle_counts_witnesses(self):
+        rule = Rule(
+            "H",
+            "x",
+            "y",
+            (Atom("a", "x", "y"), Atom("b", "x", "m"), Atom("c", "m", "y")),
+        )
+        rels = relations(a=[], b=[(1, 10), (1, 11)], c=[(10, 2), (11, 2)], H=[])
+        rels["a"].apply((1, 2), 1)
+        delta = rule_delta(rule, rels, {"a": rels["a"].epoch_delta()})
+        # Two witnesses (through m=10 and m=11): weight accumulates twice.
+        assert sorted(delta) == [((1, 2), 1), ((1, 2), 1)]

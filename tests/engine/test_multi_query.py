@@ -1,0 +1,112 @@
+"""Unit and integration tests for multi-query operator sharing."""
+
+import pytest
+
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.engine import MultiQueryProcessor, StreamingGraphQueryProcessor
+from repro.errors import ExecutionError, PlanError
+from repro.query.sgq import SGQ
+from tests.conftest import make_stream
+
+W = SlidingWindow(20)
+
+REACH = "Answer(x, y) <- knows+(x, y) as K."
+PAIRS = "Answer(x, z) <- knows+(x, y) as K, likes(y, z)."
+LIKES = "Answer(x, y) <- likes(x, y)."
+
+
+def multi_with(*pairs, **kwargs):
+    multi = MultiQueryProcessor(**kwargs)
+    for name, text in pairs:
+        multi.register(name, SGQ.from_text(text, W))
+    return multi
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        multi = multi_with(("a", REACH))
+        with pytest.raises(PlanError, match="already registered"):
+            multi.register("a", SGQ.from_text(LIKES, W))
+
+    def test_register_after_start_rejected(self):
+        multi = multi_with(("a", REACH))
+        multi.push(SGE(1, 2, "knows", 0))
+        with pytest.raises(ExecutionError):
+            multi.register("b", SGQ.from_text(LIKES, W))
+
+    def test_no_queries_rejected(self):
+        with pytest.raises(ExecutionError):
+            MultiQueryProcessor().push(SGE(1, 2, "knows", 0))
+
+    def test_unknown_query_name(self):
+        multi = multi_with(("a", REACH))
+        with pytest.raises(PlanError, match="unknown"):
+            multi.valid_at("zzz", 0)
+
+    def test_query_names(self):
+        multi = multi_with(("a", REACH), ("b", LIKES))
+        assert multi.query_names == ("a", "b")
+
+
+class TestSharing:
+    def test_shared_closure_counted_once(self):
+        multi = multi_with(("reach", REACH), ("pairs", PAIRS))
+        # The knows+ PATH operator (and the knows WSCAN/source chain) is
+        # compiled once for both queries.
+        assert multi.sharing_savings() >= 2
+
+    def test_disjoint_queries_share_nothing_but_sources(self):
+        multi = multi_with(("reach", REACH), ("likes", LIKES))
+        assert multi.sharing_savings() == 0
+
+    def test_identical_queries_share_everything(self):
+        multi = multi_with(("a", REACH), ("b", REACH))
+        single = multi_with(("a", REACH))
+        assert multi.operator_count() == single.operator_count()
+
+
+class TestCorrectness:
+    def test_each_query_matches_isolated_run(self):
+        edges = make_stream(31, 80, 6, ("knows", "likes"), max_gap=2)
+        multi = multi_with(("reach", REACH), ("pairs", PAIRS), ("likes", LIKES))
+        isolated = {
+            "reach": StreamingGraphQueryProcessor.from_datalog(REACH, W),
+            "pairs": StreamingGraphQueryProcessor.from_datalog(PAIRS, W),
+            "likes": StreamingGraphQueryProcessor.from_datalog(LIKES, W),
+        }
+        for edge in edges:
+            multi.push(edge)
+            for processor in isolated.values():
+                processor.push(edge)
+        for t in range(0, edges[-1].t + 25, 7):
+            multi.advance_to(t)
+            for name, processor in isolated.items():
+                processor.advance_to(t)
+                assert multi.valid_at(name, t) == processor.valid_at(t), (
+                    name,
+                    t,
+                )
+
+    def test_run_returns_stats(self):
+        multi = multi_with(("reach", REACH))
+        stats = multi.run(make_stream(5, 40, 5, ("knows",), max_gap=1))
+        assert stats.total_edges == 40
+        assert stats.throughput > 0
+
+    def test_deletions_reach_all_queries(self):
+        multi = multi_with(("reach", REACH), ("pairs", PAIRS))
+        multi.push(SGE(1, 2, "knows", 0))
+        multi.push(SGE(2, 3, "likes", 1))
+        assert multi.valid_at("pairs", 1) == {(1, 3, "Answer")}
+        multi.delete(SGE(1, 2, "knows", 0))
+        assert multi.valid_at("reach", 2) == set()
+        assert multi.valid_at("pairs", 2) == set()
+
+    def test_results_and_coverage_per_query(self):
+        multi = multi_with(("reach", REACH), ("likes", LIKES))
+        multi.push(SGE(1, 2, "knows", 0))
+        multi.push(SGE(1, 9, "likes", 1))
+        assert len(multi.results("reach")) == 1
+        assert (1, 9, "Answer") in multi.coverage("likes")
+        assert multi.state_size() > 0

@@ -1,0 +1,173 @@
+"""Unit and integration tests for the end-to-end query processor."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.engine import StreamingGraphQueryProcessor, result_paths
+from repro.engine.results import longest_result_path
+from tests.conftest import PAPER_QUERY
+
+
+class TestLifecycle:
+    def test_from_datalog(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- knows(x, y).", SlidingWindow(10)
+        )
+        p.push(SGE(1, 2, "knows", 0))
+        assert p.valid_at(0) == {(1, 2, "Answer")}
+
+    def test_unknown_labels_discarded(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- knows(x, y).", SlidingWindow(10)
+        )
+        p.push(SGE(1, 2, "likes", 0))
+        assert p.results() == []
+
+    def test_results_are_coalesced(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- knows(x, y).", SlidingWindow(10)
+        )
+        p.push(SGE(1, 2, "knows", 0))
+        p.push(SGE(1, 2, "knows", 5))
+        results = p.results()
+        assert len(results) == 1
+        assert results[0].interval == Interval(0, 15)
+
+    def test_clear_results_keeps_state(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, z) <- a(x, y), b(y, z).", SlidingWindow(10)
+        )
+        p.push(SGE(1, 2, "a", 0))
+        p.clear_results()
+        p.push(SGE(2, 3, "b", 1))
+        assert p.valid_at(1) == {(1, 3, "Answer")}
+
+    def test_result_count_and_state_size(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- knows+(x, y) as K.", SlidingWindow(10)
+        )
+        for t, (u, v) in enumerate([(1, 2), (2, 3), (3, 4)]):
+            p.push(SGE(u, v, "knows", t))
+        assert p.result_count() >= 6
+        assert p.state_size() > 0
+
+    def test_run_returns_stats(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- knows(x, y).", SlidingWindow(10, 2)
+        )
+        stats = p.run([SGE(1, 2, "knows", t) for t in range(0, 20, 1)])
+        assert stats.total_edges == 20
+        assert stats.throughput > 0
+        assert len(stats.slides) == 10
+        assert stats.tail_latency() >= 0
+
+    def test_invalid_path_impl_rejected(self):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            StreamingGraphQueryProcessor.from_datalog(
+                "Answer(x, y) <- knows(x, y).",
+                SlidingWindow(10),
+                path_impl="magic",
+            )
+
+
+class TestWindowSemantics:
+    def test_results_expire_with_window(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, z) <- a(x, y), b(y, z).", SlidingWindow(5)
+        )
+        p.push(SGE(1, 2, "a", 0))
+        p.push(SGE(2, 3, "b", 3))
+        assert p.valid_at(4) == {(1, 3, "Answer")}
+        # a expires at 5: join result interval is [3, 5).
+        assert p.valid_at(5) == set()
+
+    def test_per_label_windows(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, z) <- a(x, y), b(y, z).",
+            SlidingWindow(5),
+            label_windows={"b": SlidingWindow(50)},
+        )
+        p.push(SGE(1, 2, "a", 0))
+        p.push(SGE(2, 3, "b", 1))
+        # a valid [0,5), b valid [1,51): result [1,5).
+        assert p.valid_at(4) == {(1, 3, "Answer")}
+        assert p.valid_at(5) == set()
+
+    def test_slide_controls_expiry_granularity(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- a(x, y).", SlidingWindow(6, 3)
+        )
+        p.push(SGE(1, 2, "a", 2))  # exp = floor(2/3)*3 + 6 = 6
+        assert p.valid_at(5) == {(1, 2, "Answer")}
+        assert p.valid_at(6) == set()
+
+
+class TestExplicitDeletions:
+    def test_delete_via_processor(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, z) <- a(x, y), b(y, z).", SlidingWindow(10)
+        )
+        p.push(SGE(1, 2, "a", 0))
+        p.push(SGE(2, 3, "b", 1))
+        p.delete(SGE(1, 2, "a", 0))
+        assert p.coverage() == {}
+
+    def test_delete_in_path_query(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- k+(x, y) as K.", SlidingWindow(20)
+        )
+        p.push(SGE(1, 2, "k", 0))
+        p.push(SGE(2, 3, "k", 1))
+        p.delete(SGE(2, 3, "k", 1))
+        # From the deletion time on, only (1, 2) remains reachable.
+        assert p.valid_at(2) == {(1, 2, "Answer")}
+
+
+class TestPathsAsFirstClassCitizens:
+    def test_answer_carries_materialized_paths(self):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- k+(x, y) as K.", SlidingWindow(20)
+        )
+        for t, (u, v) in enumerate([(1, 2), (2, 3), (3, 4)]):
+            p.push(SGE(u, v, "k", t))
+        paths = result_paths(p.results())
+        assert paths, "expected materialized paths in results"
+        longest = longest_result_path(p.results())
+        assert longest.vertices == (1, 2, 3, 4)
+        assert longest.labels == ("k", "k", "k")
+
+    def test_paper_query_returns_recent_liker_paths(self, paper_stream):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY.replace("Answer(u, m) <- Notify(u, m).", "")
+            + "Answer(u, v) <- RL+(u, v) as RLP2.",
+            SlidingWindow(24),
+        )
+        for edge in paper_stream:
+            p.push(edge)
+        paths = result_paths(p.results())
+        vertex_seqs = {tuple(rp.vertices) for rp in paths}
+        # Example 7: paths y->u, u->v, and the length-2 path y->u->v.
+        assert ("y", "u") in vertex_seqs
+        assert ("u", "v") in vertex_seqs
+        assert ("y", "u", "v") in vertex_seqs
+
+
+class TestBothPathImpls:
+    @pytest.mark.parametrize("impl", ["spath", "negative"])
+    def test_paper_example_end_to_end(self, paper_stream, impl):
+        p = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY, SlidingWindow(24), path_impl=impl
+        )
+        for edge in paper_stream:
+            p.push(edge)
+        assert p.valid_at(30) == {
+            ("u", "b", "Answer"),
+            ("u", "c", "Answer"),
+            ("y", "a", "Answer"),
+            ("y", "b", "Answer"),
+            ("y", "c", "Answer"),
+        }

@@ -1,0 +1,51 @@
+"""Unit tests for the result-path helpers."""
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, EdgePayload, PathPayload
+from repro.engine.results import ResultPath, longest_result_path, result_paths
+
+
+def path_sgt(src, trg, hops, ts=0, exp=10):
+    return SGT(src, trg, "P", Interval(ts, exp), PathPayload(tuple(hops)))
+
+
+class TestResultPaths:
+    def test_extracts_paths_only(self):
+        results = [
+            SGT("a", "b", "P", Interval(0, 10)),  # edge payload
+            path_sgt("a", "c", [EdgePayload("a", "b", "l"), EdgePayload("b", "c", "l")]),
+        ]
+        paths = result_paths(results)
+        assert len(paths) == 1
+        assert paths[0].vertices == ("a", "b", "c")
+
+    def test_fields(self):
+        rp = result_paths(
+            [path_sgt("a", "c", [EdgePayload("a", "b", "x"), EdgePayload("b", "c", "y")], 3, 9)]
+        )[0]
+        assert rp.src == "a"
+        assert rp.trg == "c"
+        assert rp.label == "P"
+        assert rp.interval == Interval(3, 9)
+        assert rp.labels == ("x", "y")
+        assert rp.length == 2
+
+    def test_str_renders_hops(self):
+        rp = result_paths(
+            [path_sgt("a", "b", [EdgePayload("a", "b", "l")])]
+        )[0]
+        assert "a -> b" in str(rp)
+
+    def test_longest(self):
+        results = [
+            path_sgt("a", "b", [EdgePayload("a", "b", "l")]),
+            path_sgt(
+                "a",
+                "c",
+                [EdgePayload("a", "b", "l"), EdgePayload("b", "c", "l")],
+            ),
+        ]
+        assert longest_result_path(results).length == 2
+
+    def test_longest_of_empty_is_none(self):
+        assert longest_result_path([]) is None

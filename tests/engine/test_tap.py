@@ -1,0 +1,68 @@
+"""Unit tests for tapping intermediate derived streams."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE, PathPayload
+from repro.core.windows import SlidingWindow
+from repro.engine import StreamingGraphQueryProcessor
+from repro.errors import PlanError
+from tests.conftest import PAPER_QUERY
+
+
+class TestTap:
+    def test_tap_intermediate_label(self, paper_stream):
+        processor = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY, SlidingWindow(24)
+        )
+        rl = processor.tap("RL")
+        for edge in paper_stream:
+            processor.push(edge)
+        # Example 6: the recentLiker edges (y, u) and (u, v).
+        assert rl.valid_at(30) == {("y", "u", "RL"), ("u", "v", "RL")}
+        coverage = rl.coverage()
+        assert coverage[("y", "u", "RL")] == [Interval(28, 37)]
+        assert coverage[("u", "v", "RL")] == [Interval(29, 31)]
+
+    def test_tap_closure_paths(self, paper_stream):
+        processor = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY, SlidingWindow(24)
+        )
+        rlp = processor.tap("RLP")
+        for edge in paper_stream:
+            processor.push(edge)
+        # Example 7: the length-2 recentLiker path y -> u -> v.
+        paths = [
+            e.sgt.payload
+            for e in rlp.events
+            if e.sign == 1 and isinstance(e.sgt.payload, PathPayload)
+        ]
+        assert any(p.vertices == ("y", "u", "v") for p in paths)
+
+    def test_tap_input_label(self):
+        processor = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, z) <- a(x, y), b(y, z).", SlidingWindow(10)
+        )
+        a_tap = processor.tap("a")
+        processor.push(SGE(1, 2, "a", 0))
+        processor.push(SGE(2, 3, "b", 0))
+        assert a_tap.valid_at(0) == {(1, 2, "a")}
+
+    def test_tap_unknown_label_raises(self):
+        processor = StreamingGraphQueryProcessor.from_datalog(
+            "Answer(x, y) <- a(x, y).", SlidingWindow(10)
+        )
+        with pytest.raises(PlanError, match="zzz"):
+            processor.tap("zzz")
+
+    def test_tap_collects_from_call_time(self, paper_stream):
+        processor = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY, SlidingWindow(24)
+        )
+        for edge in paper_stream[:5]:
+            processor.push(edge)
+        rl = processor.tap("RL")
+        for edge in paper_stream[5:]:
+            processor.push(edge)
+        # Both RL results derive from likes edges pushed after the tap.
+        assert len(rl.coverage()) == 2

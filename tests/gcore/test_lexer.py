@@ -1,0 +1,86 @@
+"""Unit tests for the G-CORE tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gcore.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+class TestEdgeTokens:
+    def test_forward_edge(self):
+        tokens = tokenize("(x)-[:likes]->(y)")
+        assert kinds("(x)-[:likes]->(y)") == [
+            "lparen",
+            "ident",
+            "rparen",
+            "edge_fwd",
+            "lparen",
+            "ident",
+            "rparen",
+        ]
+        assert tokens[3].extra["label"] == "likes"
+
+    def test_backward_edge(self):
+        tokens = tokenize("(x)<-[:posts]-(y)")
+        assert tokens[3].kind == "edge_bwd"
+        assert tokens[3].extra["label"] == "posts"
+
+    def test_reachability_star(self):
+        tokens = tokenize("(x)-/<:follows*>/->(y)")
+        reach = tokens[3]
+        assert reach.kind == "reach"
+        assert reach.extra["label"] == "follows"
+        assert reach.extra["kind"] == ":"
+        assert reach.extra["path_var"] is None
+
+    def test_reachability_with_path_var(self):
+        tokens = tokenize("(u)-/p<~RL*>/->(v)")
+        reach = tokens[3]
+        assert reach.extra["label"] == "RL"
+        assert reach.extra["kind"] == "~"
+        assert reach.extra["path_var"] == "p"
+
+    def test_caret_star_accepted(self):
+        tokens = tokenize("(x)-/<:follows^*>/->(y)")
+        assert tokens[3].extra["star"] == "^*"
+
+    def test_whitespace_inside_ascii_art(self):
+        # The paper's figures put spaces everywhere inside edges.
+        messy = "( u1 ) - / <: follows ^* > / - > ( u2 )"
+        tokens = tokenize(messy)
+        assert [t.kind for t in tokens] == [
+            "lparen",
+            "ident",
+            "rparen",
+            "reach",
+            "lparen",
+            "ident",
+            "rparen",
+        ]
+
+
+class TestKeywordsAndAtoms:
+    def test_keywords_case_insensitive(self):
+        assert kinds("match Match MATCH") == ["MATCH", "MATCH", "MATCH"]
+
+    def test_identifier_not_keyword(self):
+        tokens = tokenize("social_stream")
+        assert tokens[0].kind == "ident"
+
+    def test_numbers(self):
+        tokens = tokenize("WINDOW (24 h)")
+        assert [t.kind for t in tokens] == [
+            "WINDOW",
+            "lparen",
+            "number",
+            "ident",
+            "rparen",
+        ]
+
+    def test_invalid_character(self):
+        with pytest.raises(ParseError):
+            tokenize("MATCH (x) ; (y)")

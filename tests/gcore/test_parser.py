@@ -1,0 +1,153 @@
+"""Unit tests for the G-CORE parser."""
+
+import pytest
+
+from repro.core.windows import DAY, HOUR
+from repro.errors import ParseError
+from repro.gcore.parser import parse_gcore_query
+
+FIG6 = """
+PATH RL = (u1) -/<:follows*>/-> (u2),
+          (u1)-[:likes]->(m1)<-[:posts]-(u2)
+CONSTRUCT (u)-[:notify]->(m)
+MATCH (u) -/p<~RL*>/-> (v),
+      (v)-[:posts]->(m)
+ON social_stream WINDOW (24 h) SLIDE (1 h)
+"""
+
+FIG7 = """
+GRAPH VIEW rec_stream AS (
+CONSTRUCT (u1)-[:recommendation]->(p)
+MATCH (u1)
+OPTIONAL (u1)-[:follows]->(u2)
+OPTIONAL (u1)-[:likes]->(m)<-[:posts]-(u2)
+ON social_stream WINDOW (24 hours)
+MATCH (c)-[:purchase]->(p)
+ON tx_stream WINDOW (30 d) SLIDE (1 d)
+WHERE (u2) = (c) )
+"""
+
+
+class TestFigure6:
+    def test_path_definition(self):
+        query = parse_gcore_query(FIG6)
+        assert len(query.paths) == 1
+        path = query.paths[0]
+        assert path.name == "RL"
+        assert len(path.patterns) == 2
+        assert path.patterns[0].endpoints == ("u1", "u2")
+        assert path.patterns[0].hops[0].reach
+
+    def test_construct(self):
+        query = parse_gcore_query(FIG6)
+        assert query.construct.label == "notify"
+        assert query.construct.src_var == "u"
+        assert query.construct.trg_var == "m"
+
+    def test_match_block(self):
+        query = parse_gcore_query(FIG6)
+        assert len(query.matches) == 1
+        block = query.matches[0]
+        assert block.stream == "social_stream"
+        assert block.window.size == 24 * HOUR
+        assert block.window.slide == HOUR
+        reach_hop = block.patterns[0].hops[0]
+        assert reach_hop.reach
+        assert reach_hop.path_var == "p"
+        assert reach_hop.label == "RL"
+
+
+class TestFigure7:
+    def test_view_wrapper(self):
+        query = parse_gcore_query(FIG7)
+        assert query.view_name == "rec_stream"
+
+    def test_optionals(self):
+        query = parse_gcore_query(FIG7)
+        first = query.matches[0]
+        assert len(first.optionals) == 2
+        assert first.optionals[0].endpoints == ("u1", "u2")
+        # The second optional chains u1 -> m <- u2.
+        assert first.optionals[1].endpoints == ("u1", "u2")
+
+    def test_two_match_blocks_with_windows(self):
+        query = parse_gcore_query(FIG7)
+        assert len(query.matches) == 2
+        assert query.matches[0].window.size == 24 * HOUR
+        assert query.matches[0].window.slide == 1
+        assert query.matches[1].window.size == 30 * DAY
+        assert query.matches[1].window.slide == DAY
+
+    def test_where(self):
+        query = parse_gcore_query(FIG7)
+        assert query.where == (("u2", "c"),)
+
+
+class TestSyntaxDetails:
+    def test_backward_edge_direction(self):
+        query = parse_gcore_query(
+            "CONSTRUCT (x)-[:out]->(y) "
+            "MATCH (x)<-[:likes]-(y) ON s WINDOW (10)"
+        )
+        hop = query.matches[0].patterns[0].hops[0]
+        assert hop.direction == "bwd"
+
+    def test_anonymous_node(self):
+        query = parse_gcore_query(
+            "CONSTRUCT (x)-[:out]->(y) "
+            "MATCH (x)-[:a]->()-[:b]->(y) ON s WINDOW (10)"
+        )
+        middle = query.matches[0].patterns[0].nodes[1]
+        assert middle.var.startswith("_anon")
+
+    def test_duration_without_unit_is_ticks(self):
+        query = parse_gcore_query(
+            "CONSTRUCT (x)-[:out]->(y) MATCH (x)-[:a]->(y) ON s WINDOW (77)"
+        )
+        assert query.matches[0].window.size == 77
+
+    def test_multiple_where_with_and(self):
+        query = parse_gcore_query(
+            "CONSTRUCT (x)-[:out]->(y) "
+            "MATCH (x)-[:a]->(y) ON s WINDOW (10) "
+            "MATCH (z)-[:b]->(w) ON t WINDOW (10) "
+            "WHERE (x) = (z) AND (y) = (w)"
+        )
+        assert query.where == (("x", "z"), ("y", "w"))
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_gcore_query("")
+
+    def test_missing_match(self):
+        with pytest.raises(ParseError):
+            parse_gcore_query("CONSTRUCT (x)-[:out]->(y)")
+
+    def test_missing_on(self):
+        with pytest.raises(ParseError):
+            parse_gcore_query(
+                "CONSTRUCT (x)-[:out]->(y) MATCH (x)-[:a]->(y)"
+            )
+
+    def test_construct_with_two_hops_rejected(self):
+        with pytest.raises(ParseError):
+            parse_gcore_query(
+                "CONSTRUCT (x)-[:a]->(y)-[:b]->(z) "
+                "MATCH (x)-[:a]->(y) ON s WINDOW (10)"
+            )
+
+    def test_unknown_duration_unit(self):
+        with pytest.raises(ParseError):
+            parse_gcore_query(
+                "CONSTRUCT (x)-[:out]->(y) "
+                "MATCH (x)-[:a]->(y) ON s WINDOW (10 parsecs)"
+            )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_gcore_query(
+                "CONSTRUCT (x)-[:out]->(y) "
+                "MATCH (x)-[:a]->(y) ON s WINDOW (10) MATCH"
+            )

@@ -1,0 +1,137 @@
+"""Unit and integration tests for G-CORE → SGQ translation."""
+
+import pytest
+
+from repro.core.tuples import SGE
+from repro.core.windows import DAY, HOUR, SlidingWindow
+from repro.engine import StreamingGraphQueryProcessor
+from repro.errors import ParseError
+from repro.gcore import parse_gcore
+from repro.query.datalog import Atom, ClosureAtom
+
+FIG6 = """
+PATH RL = (u1) -/<:follows*>/-> (u2),
+          (u1)-[:likes]->(m1)<-[:posts]-(u2)
+CONSTRUCT (u)-[:notify]->(m)
+MATCH (u) -/p<~RL*>/-> (v),
+      (v)-[:posts]->(m)
+ON social_stream WINDOW (24 h) SLIDE (1 h)
+"""
+
+FIG7 = """
+GRAPH VIEW rec_stream AS (
+CONSTRUCT (u1)-[:recommendation]->(p)
+MATCH (u1)
+OPTIONAL (u1)-[:follows]->(u2)
+OPTIONAL (u1)-[:likes]->(m)<-[:posts]-(u2)
+ON social_stream WINDOW (24 hours)
+MATCH (c)-[:purchase]->(p)
+ON tx_stream WINDOW (30 d) SLIDE (1 d)
+WHERE (u2) = (c) )
+"""
+
+
+class TestFigure6Translation:
+    """Figure 6 must produce exactly the Example 2 Regular Query."""
+
+    def test_rl_rule(self):
+        sgq = parse_gcore(FIG6)
+        rl_rules = sgq.program.rules_for("RL")
+        assert len(rl_rules) == 1
+        body = rl_rules[0].body
+        assert ClosureAtom("follows", "u1", "u2", "follows_path") in body
+        assert Atom("likes", "u1", "m1") in body
+        assert Atom("posts", "u2", "m1") in body
+
+    def test_notify_rule_uses_rl_closure(self):
+        sgq = parse_gcore(FIG6)
+        notify = sgq.program.rules_for("notify")[0]
+        # The path variable p names the closure.
+        assert ClosureAtom("RL", "u", "v", "p") in notify.body
+        assert Atom("posts", "v", "m") in notify.body
+
+    def test_answer_renames_construct_label(self):
+        sgq = parse_gcore(FIG6)
+        answer = sgq.program.rules_for("Answer")[0]
+        assert answer.body == (Atom("notify", "u", "m"),)
+
+    def test_window_applied_to_all_labels(self):
+        sgq = parse_gcore(FIG6)
+        for label in ("follows", "likes", "posts"):
+            assert sgq.window_for(label) == SlidingWindow(24 * HOUR, HOUR)
+
+
+class TestFigure7Translation:
+    """Figure 7 must produce the Example 4 union translation."""
+
+    def test_optional_union(self):
+        sgq = parse_gcore(FIG7)
+        aux_rules = sgq.program.rules_for("Opt1")
+        assert len(aux_rules) == 2
+        bodies = {rule.body for rule in aux_rules}
+        assert (Atom("follows", "u1", "u2"),) in bodies
+
+    def test_where_unifies_across_blocks(self):
+        sgq = parse_gcore(FIG7)
+        rec = sgq.program.rules_for("recommendation")[0]
+        # c is unified with u2: purchase's source variable becomes u2.
+        assert Atom("purchase", "u2", "p") in rec.body
+
+    def test_per_stream_windows(self):
+        sgq = parse_gcore(FIG7)
+        assert sgq.window_for("follows") == SlidingWindow(24 * HOUR, 1)
+        assert sgq.window_for("likes") == SlidingWindow(24 * HOUR, 1)
+        assert sgq.window_for("purchase") == SlidingWindow(30 * DAY, DAY)
+
+
+class TestEndToEnd:
+    def test_figure6_on_paper_stream(self, paper_stream):
+        ticks = FIG6.replace("24 h", "24 ticks").replace("1 h", "1 ticks")
+        processor = StreamingGraphQueryProcessor.from_gcore(ticks)
+        for edge in paper_stream:
+            processor.push(edge)
+        assert processor.valid_at(30) == {
+            ("u", "b", "Answer"),
+            ("u", "c", "Answer"),
+            ("y", "a", "Answer"),
+            ("y", "b", "Answer"),
+            ("y", "c", "Answer"),
+        }
+
+    def test_figure7_windows_interact(self):
+        processor = StreamingGraphQueryProcessor.from_gcore(
+            FIG7.replace("24 hours", "24 ticks")
+            .replace("30 d", "720 ticks")
+            .replace("1 d", "24 ticks")
+        )
+        processor.push(SGE("carol", "hat", "purchase", 1))
+        processor.push(SGE("alice", "carol", "follows", 3))
+        assert ("alice", "hat", "Answer") in processor.valid_at(10)
+        # The follows edge expires after 24 ticks; the purchase survives.
+        assert ("alice", "hat", "Answer") not in processor.valid_at(40)
+
+    def test_mismatched_optional_endpoints_rejected(self):
+        bad = (
+            "CONSTRUCT (x)-[:out]->(y) "
+            "MATCH (x) "
+            "OPTIONAL (x)-[:a]->(y) "
+            "OPTIONAL (z)-[:b]->(w) "
+            "ON s WINDOW (10)"
+        )
+        with pytest.raises(ParseError, match="endpoints"):
+            parse_gcore(bad)
+
+    def test_gcore_equals_datalog_formulation(self, paper_stream):
+        from tests.conftest import PAPER_QUERY
+
+        gcore = StreamingGraphQueryProcessor.from_gcore(
+            FIG6.replace("24 h", "24 ticks").replace("1 h", "1 ticks")
+        )
+        datalog = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY, SlidingWindow(24)
+        )
+        for edge in paper_stream:
+            gcore.push(edge)
+            datalog.push(edge)
+        for t in range(0, 60, 3):
+            assert gcore.valid_at(t) == datalog.valid_at(t)

@@ -1,0 +1,181 @@
+"""End-to-end integration scenarios spanning the whole stack."""
+
+import pytest
+
+from repro.algebra.reference import evaluate_plan_at, evaluate_rq
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.dataflow.disorder import reorder
+from repro.dd import DDEngine
+from repro.engine import StreamingGraphQueryProcessor
+from repro.query.parser import parse_rq
+from repro.workloads import QUERIES, labels_for
+from tests.conftest import PAPER_QUERY, make_stream, streams_by_label
+
+
+class TestThreeFormulationsAgree:
+    """Datalog, G-CORE, and hand-built plans of the paper's query must
+    produce identical output streams."""
+
+    GCORE = """
+    PATH RL = (u1) -/<:follows*>/-> (u2),
+              (u1)-[:likes]->(m1)<-[:posts]-(u2)
+    CONSTRUCT (u)-[:notify]->(m)
+    MATCH (u) -/p<~RL*>/-> (v), (v)-[:posts]->(m)
+    ON social_stream WINDOW (24 ticks) SLIDE (1 ticks)
+    """
+
+    def test_agreement(self, paper_stream):
+        processors = [
+            StreamingGraphQueryProcessor.from_datalog(
+                PAPER_QUERY, SlidingWindow(24)
+            ),
+            StreamingGraphQueryProcessor.from_gcore(self.GCORE),
+        ]
+        for edge in paper_stream:
+            for processor in processors:
+                processor.push(edge)
+        for t in range(0, 60):
+            snapshots = [p.valid_at(t) for p in processors]
+            assert snapshots[0] == snapshots[1], t
+
+
+class TestWorkloadOnSyntheticDatasets:
+    """Q1-Q7 run end-to-end on the synthetic SO and SNB streams and
+    agree with the one-time reference at sampled instants."""
+
+    @pytest.mark.parametrize("dataset", ["so", "snb"])
+    @pytest.mark.parametrize("query_name", ["Q1", "Q4", "Q5", "Q6", "Q7"])
+    def test_workload(self, dataset, query_name):
+        from repro.bench.experiments import Scale, _stream
+
+        scale = Scale(n_edges=400, n_vertices=60, window=240, slide=60)
+        stream = _stream(dataset, scale)
+        labels = labels_for(query_name, dataset)
+        plan = QUERIES[query_name].plan(labels, scale.sliding_window())
+
+        processor = StreamingGraphQueryProcessor(plan)
+        for edge in stream:
+            processor.push(edge)
+
+        streams = streams_by_label(stream)
+        label = plan.out_label
+        for t in range(0, stream[-1].t + 1, 97):
+            expected = {
+                (u, v, label)
+                for u, v in evaluate_plan_at(plan, streams, t)
+            }
+            assert processor.valid_at(t) == expected, (dataset, query_name, t)
+
+
+class TestEnginesAgreeOnWorkload:
+    """The SGA engine and the DD baseline compute the same answers on
+    the synthetic SO stream (at epoch-aligned instants)."""
+
+    @pytest.mark.parametrize("query_name", ["Q1", "Q5", "Q7"])
+    def test_agreement(self, query_name):
+        from repro.bench.experiments import Scale, _stream
+
+        scale = Scale(n_edges=400, n_vertices=60, window=240, slide=60)
+        window = scale.sliding_window()
+        stream = _stream("so", scale)
+        labels = labels_for(query_name, "so")
+
+        sga = StreamingGraphQueryProcessor(
+            QUERIES[query_name].plan(labels, window)
+        )
+        dd = DDEngine(parse_rq(QUERIES[query_name].datalog(labels)), window)
+
+        by_boundary: dict[int, list[SGE]] = {}
+        for edge in stream:
+            by_boundary.setdefault(window.slide_boundary(edge.t), []).append(edge)
+        for boundary in sorted(by_boundary):
+            batch = by_boundary[boundary]
+            dd_answer = dd.advance_epoch(boundary, batch)
+            for edge in batch:
+                sga.push(edge)
+            instant = boundary + window.slide - 1
+            sga.advance_to(instant)
+            sga_answer = {(u, v) for (u, v, _) in sga.valid_at(instant)}
+            assert dd_answer == sga_answer, (query_name, boundary)
+
+
+class TestDisorderedIngestion:
+    """An out-of-order stream, run through the disorder buffer, yields
+    the same results as the sorted stream."""
+
+    def test_full_pipeline(self):
+        import random
+
+        rng = random.Random(11)
+        edges = make_stream(11, 80, 6, ("a",), max_gap=2)
+        shuffled: list[SGE] = []
+        for start in range(0, len(edges), 5):
+            block = edges[start : start + 5]
+            rng.shuffle(block)
+            shuffled.extend(block)
+
+        window = SlidingWindow(20)
+        text = "Answer(x, y) <- a+(x, y) as A."
+        disordered = StreamingGraphQueryProcessor.from_datalog(text, window)
+        for edge in reorder(shuffled, lateness=15):
+            disordered.push(edge)
+        ordered = StreamingGraphQueryProcessor.from_datalog(text, window)
+        for edge in edges:
+            ordered.push(edge)
+        for t in range(0, edges[-1].t + 10, 7):
+            assert disordered.valid_at(t) == ordered.valid_at(t), t
+
+
+class TestOptimizedPlansOnEngine:
+    """The optimizer's chosen plan runs on the engine and matches the
+    canonical plan's output."""
+
+    def test_q4_optimized(self):
+        from repro.algebra.optimizer import choose_plan
+
+        window = SlidingWindow(16, 4)
+        labels = {"a": "a", "b": "b", "c": "c"}
+        canonical = QUERIES["Q4"].plan(labels, window)
+        report = choose_plan(canonical, limit=8)
+
+        edges = make_stream(23, 60, 6, ("a", "b", "c"), max_gap=2)
+        left = StreamingGraphQueryProcessor(canonical)
+        right = StreamingGraphQueryProcessor(report.best)
+        for edge in edges:
+            left.push(edge)
+            right.push(edge)
+        for t in range(0, edges[-1].t + 10, 5):
+            left_pairs = {(u, v) for (u, v, _) in left.valid_at(t)}
+            right_pairs = {(u, v) for (u, v, _) in right.valid_at(t)}
+            assert left_pairs == right_pairs, t
+
+
+class TestStateHygiene:
+    """After everything expires, stateful operators hold no tuples."""
+
+    @pytest.mark.parametrize("impl", ["spath", "negative"])
+    def test_state_drains(self, impl):
+        processor = StreamingGraphQueryProcessor.from_datalog(
+            PAPER_QUERY, SlidingWindow(24), path_impl=impl
+        )
+        edges = make_stream(
+            3, 120, 8, ("likes", "follows", "posts"), max_gap=2
+        )
+        for edge in edges:
+            processor.push(edge)
+        assert processor.state_size() > 0
+        processor.advance_to(edges[-1].t + 100)
+        assert processor.state_size() == 0
+
+    def test_dd_state_drains(self):
+        program = parse_rq(PAPER_QUERY)
+        engine = DDEngine(program, SlidingWindow(24, 8))
+        edges = make_stream(
+            3, 120, 8, ("likes", "follows", "posts"), max_gap=2
+        )
+        stats = engine.run(edges)
+        assert stats.total_edges == 120
+        for boundary in range(edges[-1].t, edges[-1].t + 60, 8):
+            engine.advance_epoch((boundary // 8) * 8, [])
+        assert engine.state_size() == 0

@@ -1,0 +1,149 @@
+"""Unit tests for the Δ-PATH building blocks (Definitions 21-22)."""
+
+import pytest
+
+from repro.core.intervals import FOREVER, Interval
+from repro.errors import ExecutionError
+from repro.physical.delta_index import (
+    DeltaPathIndex,
+    SpanningTree,
+    WindowAdjacency,
+    reverse_transitions,
+)
+from repro.regex.dfa import dfa_from_regex
+
+
+class TestSpanningTree:
+    def test_root_never_expires(self):
+        tree = SpanningTree("x", 0)
+        root = tree.get(("x", 0))
+        assert root.exp == FOREVER
+        assert root.parent is None
+
+    def test_add_child_links_both_ways(self):
+        tree = SpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        assert ("y", 1) in tree
+        assert ("y", 1) in tree.get(("x", 0)).children
+        assert tree.get(("y", 1)).parent == ("x", 0)
+
+    def test_duplicate_child_rejected(self):
+        tree = SpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        with pytest.raises(ExecutionError):
+            tree.add_child(("x", 0), ("y", 1), 3, 10, "l")
+
+    def test_reparent_moves_children_sets(self):
+        tree = SpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        tree.add_child(("x", 0), ("z", 1), 2, 9, "l")
+        tree.reparent(("z", 1), ("y", 1), "m")
+        assert ("z", 1) not in tree.get(("x", 0)).children
+        assert ("z", 1) in tree.get(("y", 1)).children
+        assert tree.get(("z", 1)).via_label == "m"
+
+    def test_remove_subtree(self):
+        tree = SpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        tree.add_child(("y", 1), ("z", 1), 3, 9, "l")
+        removed = dict(tree.remove_subtree(("y", 1)))
+        assert set(removed) == {("y", 1), ("z", 1)}
+        assert tree.size() == 1
+
+    def test_cannot_remove_root(self):
+        tree = SpanningTree("x", 0)
+        with pytest.raises(ExecutionError):
+            tree.remove_subtree(("x", 0))
+
+    def test_path_to_walks_parents(self):
+        tree = SpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "a")
+        tree.add_child(("y", 1), ("z", 2), 3, 9, "b")
+        path = tree.path_to(("z", 2))
+        assert path.vertices == ("x", "y", "z")
+        assert path.label_sequence() == ("a", "b")
+
+
+class TestDeltaPathIndex:
+    def test_ensure_tree_registers_root(self):
+        index = DeltaPathIndex(0)
+        tree = index.ensure_tree("x")
+        assert index.roots_containing(("x", 0)) == ("x",)
+        assert index.ensure_tree("x") is tree
+
+    def test_register_unregister(self):
+        index = DeltaPathIndex(0)
+        index.ensure_tree("x")
+        index.register("x", ("y", 1))
+        assert "x" in index.roots_containing(("y", 1))
+        index.unregister("x", ("y", 1))
+        assert index.roots_containing(("y", 1)) == ()
+
+    def test_drop_trivial_tree(self):
+        index = DeltaPathIndex(0)
+        tree = index.ensure_tree("x")
+        index.drop_tree_if_trivial("x")
+        assert index.tree("x") is None
+        # Non-trivial trees survive.
+        tree = index.ensure_tree("y")
+        tree.add_child(("y", 0), ("z", 1), 0, 5, "l")
+        index.drop_tree_if_trivial("y")
+        assert index.tree("y") is tree
+
+    def test_state_size(self):
+        index = DeltaPathIndex(0)
+        tree = index.ensure_tree("x")
+        assert index.state_size() == 1
+        tree.add_child(("x", 0), ("y", 1), 0, 5, "l")
+        assert index.state_size() == 2
+
+
+class TestWindowAdjacency:
+    def test_add_and_out_edges(self):
+        adj = WindowAdjacency()
+        adj.add(1, 2, "l", Interval(0, 10))
+        assert list(adj.out_edges(1, 5)) == [("l", 2, Interval(0, 10))]
+        assert list(adj.out_edges(1, 10)) == []
+
+    def test_in_edges(self):
+        adj = WindowAdjacency()
+        adj.add(1, 2, "l", Interval(0, 10))
+        assert list(adj.in_edges(2, 5)) == [("l", 1, Interval(0, 10))]
+
+    def test_parallel_occurrences_best_expiry_wins(self):
+        adj = WindowAdjacency()
+        adj.add(1, 2, "l", Interval(0, 10))
+        adj.add(1, 2, "l", Interval(3, 20))
+        (label, trg, interval), = adj.out_edges(1, 5)
+        assert interval == Interval(3, 20)
+
+    def test_remove_exact_interval(self):
+        adj = WindowAdjacency()
+        adj.add(1, 2, "l", Interval(0, 10))
+        adj.add(1, 2, "l", Interval(3, 20))
+        assert adj.remove(1, 2, "l", Interval(3, 20))
+        (label, trg, interval), = adj.out_edges(1, 5)
+        assert interval == Interval(0, 10)
+
+    def test_remove_missing_returns_false(self):
+        adj = WindowAdjacency()
+        assert not adj.remove(1, 2, "l", Interval(0, 10))
+
+    def test_purge_is_lazy_and_correct(self):
+        adj = WindowAdjacency()
+        adj.add(1, 2, "l", Interval(0, 10))
+        adj.add(1, 3, "l", Interval(0, 30))
+        adj.purge(15)
+        assert len(adj) == 1
+        assert list(adj.out_edges(1, 16)) == [("l", 3, Interval(0, 30))]
+
+
+class TestReverseTransitions:
+    def test_inverts_dfa(self):
+        dfa = dfa_from_regex("a b")
+        reverse = reverse_transitions(dfa)
+        for (label, target), sources in reverse.items():
+            for source in sources:
+                assert dfa.delta(source, label) == target
+        total = sum(len(s) for s in reverse.values())
+        assert total == sum(len(m) for m in dfa.transitions.values())

@@ -1,0 +1,165 @@
+"""Unit tests for the PATTERN symmetric-hash-join operator."""
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT
+from repro.dataflow.graph import DELETE, DataflowGraph, Event, SinkOp
+from repro.physical.join import PatternOp
+
+
+def wire(op):
+    graph = DataflowGraph()
+    graph.add(op)
+    sink = SinkOp()
+    graph.add(sink)
+    graph.connect(op, sink, 0)
+    return sink
+
+
+def sgt(src, trg, label, ts, exp):
+    return SGT(src, trg, label, Interval(ts, exp))
+
+
+class TestBinaryJoin:
+    def _op(self):
+        # out(x, z) <- a(x, y), b(y, z)
+        return PatternOp([("x", "y"), ("y", "z")], "x", "z", "out")
+
+    def test_join_on_shared_variable(self):
+        op = self._op()
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 10)))
+        op.on_event(1, Event(sgt(2, 3, "b", 0, 10)))
+        assert len(sink.events) == 1
+        result = sink.events[0].sgt
+        assert (result.src, result.trg, result.label) == (1, 3, "out")
+
+    def test_symmetric_both_orders(self):
+        for first_port in (0, 1):
+            op = self._op()
+            sink = wire(op)
+            events = [
+                (0, sgt(1, 2, "a", 0, 10)),
+                (1, sgt(2, 3, "b", 0, 10)),
+            ]
+            if first_port == 1:
+                events.reverse()
+            for port, tup in events:
+                op.on_event(port, Event(tup))
+            assert len(sink.events) == 1
+
+    def test_no_match_no_output(self):
+        op = self._op()
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 10)))
+        op.on_event(1, Event(sgt(9, 3, "b", 0, 10)))
+        assert sink.events == []
+
+    def test_interval_intersection(self):
+        op = self._op()
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 6)))
+        op.on_event(1, Event(sgt(2, 3, "b", 4, 12)))
+        assert sink.events[0].sgt.interval == Interval(4, 6)
+
+    def test_disjoint_intervals_do_not_join(self):
+        op = self._op()
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 4)))
+        op.on_event(1, Event(sgt(2, 3, "b", 6, 12)))
+        assert sink.events == []
+
+    def test_multiple_matches(self):
+        op = self._op()
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 10)))
+        op.on_event(0, Event(sgt(5, 2, "a", 0, 10)))
+        op.on_event(1, Event(sgt(2, 3, "b", 0, 10)))
+        assert {e.sgt.src for e in sink.events} == {1, 5}
+
+
+class TestTriangle:
+    def test_example6_recent_liker(self, paper_stream, window24):
+        # RL(u1, u2) <- likes(u1, m1), posts(u2, m1), follows(u1, u2)
+        # (with follows standing in for the follows-path, which the full
+        # engine computes with PATH; here u->v and y->u suffice).
+        op = PatternOp(
+            [("u1", "m1"), ("u2", "m1"), ("u1", "u2")], "u1", "u2", "RL"
+        )
+        sink = wire(op)
+        port_of = {"likes": 0, "posts": 1, "follows": 2}
+        for edge in paper_stream:
+            interval = window24.interval_for(edge.t)
+            op.on_event(
+                port_of[edge.label],
+                Event(SGT(edge.src, edge.trg, edge.label, interval)),
+            )
+        coverage = op and sink.coverage()
+        # Example 6: (y, RL, u) on [28, 37) and (u, RL, v) on [29, 31).
+        assert coverage[("y", "u", "RL")] == [Interval(28, 37)]
+        assert coverage[("u", "v", "RL")] == [Interval(29, 31)]
+        assert set(coverage) == {("y", "u", "RL"), ("u", "v", "RL")}
+
+
+class TestRenameAndLoops:
+    def test_single_conjunct_projection_flip(self):
+        op = PatternOp([("x", "y")], "y", "x", "inv")
+        sink = wire(op)
+        op.on_event(0, Event(sgt("a", "b", "l", 0, 5)))
+        result = sink.events[0].sgt
+        assert (result.src, result.trg) == ("b", "a")
+
+    def test_repeated_variable_filters_loops(self):
+        op = PatternOp([("x", "x")], "x", "x", "loops")
+        sink = wire(op)
+        op.on_event(0, Event(sgt("a", "a", "l", 0, 5)))
+        op.on_event(0, Event(sgt("a", "b", "l", 0, 5)))
+        assert len(sink.events) == 1
+        assert sink.events[0].sgt.src == "a"
+
+
+class TestDeletionsAndExpiry:
+    def test_delete_retracts_results(self):
+        op = PatternOp([("x", "y"), ("y", "z")], "x", "z", "out")
+        sink = wire(op)
+        a = sgt(1, 2, "a", 0, 10)
+        b = sgt(2, 3, "b", 0, 10)
+        op.on_event(0, Event(a))
+        op.on_event(1, Event(b))
+        op.on_event(0, Event(a, DELETE))
+        assert sink.coverage() == {}
+
+    def test_delete_unknown_tuple_is_noop(self):
+        op = PatternOp([("x", "y"), ("y", "z")], "x", "z", "out")
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 10), DELETE))
+        assert sink.events == []
+
+    def test_delete_one_of_two_parallel_edges(self):
+        op = PatternOp([("x", "y"), ("y", "z")], "x", "z", "out")
+        sink = wire(op)
+        a1 = sgt(1, 2, "a", 0, 10)
+        a2 = sgt(1, 2, "a", 2, 12)
+        b = sgt(2, 3, "b", 0, 20)
+        op.on_event(0, Event(a1))
+        op.on_event(0, Event(a2))
+        op.on_event(1, Event(b))
+        op.on_event(0, Event(a1, DELETE))
+        # The a2-derived result survives: coverage [2, 12).
+        assert sink.coverage() == {(1, 3, "out"): [Interval(2, 12)]}
+
+    def test_purge_drops_expired_state(self):
+        op = PatternOp([("x", "y"), ("y", "z")], "x", "z", "out")
+        wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 10)))
+        op.on_event(1, Event(sgt(2, 3, "b", 0, 10)))
+        assert op.state_size() == 2
+        op.on_advance(10)
+        assert op.state_size() == 0
+
+    def test_expired_tuple_no_longer_joins(self):
+        op = PatternOp([("x", "y"), ("y", "z")], "x", "z", "out")
+        sink = wire(op)
+        op.on_event(0, Event(sgt(1, 2, "a", 0, 10)))
+        op.on_advance(10)
+        op.on_event(1, Event(sgt(2, 3, "b", 10, 20)))
+        assert sink.events == []

@@ -1,0 +1,131 @@
+"""Unit tests for the negative-tuple RPQ operator, including the
+Example 10 / Figure 9d behavioural contrast with S-PATH."""
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT
+from repro.dataflow.graph import DELETE, DataflowGraph, Event, SinkOp
+from repro.physical.rpq_negative import NegativeTupleRpqOp
+from repro.physical.spath import SPathOp
+
+
+def wire(op):
+    graph = DataflowGraph()
+    graph.add(op)
+    sink = SinkOp()
+    graph.add(sink)
+    graph.connect(op, sink, 0)
+    return sink
+
+
+def push(op, src, trg, ts, exp, port=0):
+    op.on_event(port, Event(SGT(src, trg, op.labels[port], Interval(ts, exp))))
+
+
+FIGURE9_EDGES = [
+    ("x", "z", 23, 31),
+    ("z", "u", 24, 32),
+    ("x", "y", 25, 35),
+    ("y", "w", 26, 33),
+    ("z", "t", 27, 40),
+    ("y", "u", 28, 37),
+    ("u", "v", 29, 41),
+    ("u", "s", 30, 38),
+    ("w", "v", 30, 39),
+]
+
+
+class TestBasics:
+    def test_single_edge(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        assert sink.coverage() == {(1, 2, "P"): [Interval(0, 10)]}
+
+    def test_cycle(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 30)
+        push(op, 2, 1, 1, 30)
+        keys = set(sink.coverage())
+        assert keys == {(i, j, "P") for i in (1, 2) for j in (1, 2)}
+
+
+class TestExample10Contrast:
+    """Figure 9c vs 9d: S-PATH propagates new derivations eagerly; the
+    negative-tuple approach keeps the first derivation until it expires."""
+
+    def _load(self, op):
+        wire_sink = wire(op)
+        for src, trg, ts, exp in FIGURE9_EDGES:
+            push(op, src, trg, ts, exp)
+        return wire_sink
+
+    def test_first_derivation_kept(self):
+        op = NegativeTupleRpqOp(["RL"], "RL+", "RLP")
+        self._load(op)
+        accept = next(iter(op.dfa.accepting))
+        tree = op.index.tree("x")
+        node_u = tree.get(("u", accept))
+        # Figure 9d: u stays under z with the original interval [24, 31).
+        assert node_u.parent == ("z", accept)
+        assert node_u.exp == 31
+        # Its children inherit the pessimistic expiry.
+        assert tree.get(("v", accept)).exp == 31
+        assert tree.get(("s", accept)).exp == 31
+
+    def test_spath_differs(self):
+        op = SPathOp(["RL"], "RL+", "RLP")
+        self._load(op)
+        accept = next(iter(op.dfa.accepting))
+        assert op.index.tree("x").get(("u", accept)).exp == 35
+
+    def test_rederivation_at_expiry(self):
+        op = NegativeTupleRpqOp(["RL"], "RL+", "RLP")
+        sink = self._load(op)
+        # At t=31 the subtree under z expires; re-derivation finds the
+        # alternative path via y (valid until 35).
+        op.on_advance(31)
+        accept = next(iter(op.dfa.accepting))
+        tree = op.index.tree("x")
+        node_u = tree.get(("u", accept))
+        assert node_u is not None
+        assert node_u.parent == ("y", accept)
+        assert node_u.exp == 35
+        # v survives through u as well.
+        assert tree.get(("v", accept)).exp == 35
+        # t has no alternative: removed.
+        assert tree.get(("t", accept)) is None
+
+    def test_coverage_matches_spath_after_expiry(self):
+        neg = NegativeTupleRpqOp(["RL"], "RL+", "RLP")
+        neg_sink = self._load(neg)
+        neg.on_advance(31)
+        spath = SPathOp(["RL"], "RL+", "RLP")
+        spath_sink = self._load(spath)
+        spath.on_advance(31)
+        # Identical validity at every instant from 31 on.
+        for t in range(31, 45):
+            assert neg_sink.valid_at(t) == spath_sink.valid_at(t), t
+
+
+class TestExplicitDeletes:
+    def test_delete_with_alternative(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 1, 3, 1, 20)
+        push(op, 3, 2, 2, 20)
+        op.on_event(0, Event(SGT(1, 2, "l", Interval(0, 10)), DELETE))
+        coverage = sink.coverage()[(1, 2, "P")]
+        assert any(iv.contains(15) for iv in coverage)
+
+    def test_delete_without_alternative_retracts_future(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 2, 3, 4, 12)
+        op.on_event(0, Event(SGT(2, 3, "l", Interval(4, 12)), DELETE))
+        coverage = sink.coverage()
+        # (1,3) was valid only between insertion (4) and deletion (4): gone.
+        assert (1, 3, "P") not in coverage
+        assert coverage[(1, 2, "P")] == [Interval(0, 10)]

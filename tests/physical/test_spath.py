@@ -1,0 +1,252 @@
+"""Unit tests for the S-PATH operator, including the paper's Figure 9
+walkthrough."""
+
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, PathPayload
+from repro.dataflow.graph import DELETE, DataflowGraph, Event, SinkOp
+from repro.physical.spath import SPathOp
+
+
+def wire(op):
+    graph = DataflowGraph()
+    graph.add(op)
+    sink = SinkOp()
+    graph.add(sink)
+    graph.connect(op, sink, 0)
+    return sink
+
+
+def push(op, src, trg, ts, exp, port=0):
+    op.on_event(port, Event(SGT(src, trg, op.labels[port], Interval(ts, exp))))
+
+
+class TestSimpleClosure:
+    def test_single_edge(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        assert sink.coverage() == {(1, 2, "P"): [Interval(0, 10)]}
+
+    def test_two_hop(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 2, 3, 2, 12)
+        coverage = sink.coverage()
+        assert coverage[(1, 3, "P")] == [Interval(2, 10)]
+        assert coverage[(2, 3, "P")] == [Interval(2, 12)]
+
+    def test_back_extension(self):
+        # The later edge arrives upstream of the earlier one.
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 2, 3, 0, 10)
+        push(op, 1, 2, 2, 12)
+        assert sink.coverage()[(1, 3, "P")] == [Interval(2, 10)]
+
+    def test_cycle_reaches_all_pairs(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 30)
+        push(op, 2, 3, 1, 30)
+        push(op, 3, 1, 2, 30)
+        keys = set(sink.coverage())
+        assert keys == {(i, j, "P") for i in (1, 2, 3) for j in (1, 2, 3)}
+
+    def test_result_payload_is_materialized_path(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 2, 3, 1, 10)
+        three_hop = [
+            e.sgt
+            for e in sink.events
+            if e.sgt.src == 1 and e.sgt.trg == 3
+        ]
+        assert len(three_hop) == 1
+        payload = three_hop[0].payload
+        assert isinstance(payload, PathPayload)
+        assert payload.vertices == (1, 2, 3)
+        assert payload.label_sequence() == ("l", "l")
+
+
+class TestRegexConstraints:
+    def test_concat_regex(self):
+        op = SPathOp(["a", "b"], "a b", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10, port=0)
+        push(op, 2, 3, 1, 10, port=1)
+        push(op, 3, 4, 2, 10, port=1)  # second b: word 'abb' not in L
+        assert set(sink.coverage()) == {(1, 3, "P")}
+
+    def test_q4_style_regex(self):
+        op = SPathOp(["a", "b", "c"], "(a b c)+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 50, port=0)
+        push(op, 2, 3, 1, 50, port=1)
+        push(op, 3, 4, 2, 50, port=2)
+        push(op, 4, 5, 3, 50, port=0)
+        push(op, 5, 6, 4, 50, port=1)
+        push(op, 6, 7, 5, 50, port=2)
+        keys = set(sink.coverage())
+        assert (1, 4, "P") in keys
+        assert (4, 7, "P") in keys
+        assert (1, 7, "P") in keys
+        assert (1, 3, "P") not in keys
+
+
+class TestFigure9:
+    """The worked example of Section 6.2.4 (Figures 9a-9c)."""
+
+    def _run(self):
+        op = SPathOp(["RL"], "RL+", "RLP")
+        sink = wire(op)
+        edges = [
+            ("x", "z", 23, 31),
+            ("z", "u", 24, 32),
+            ("x", "y", 25, 35),
+            ("y", "w", 26, 33),
+            ("z", "t", 27, 40),
+            ("y", "u", 28, 37),
+            ("u", "v", 29, 41),
+            ("u", "s", 30, 38),
+            ("w", "v", 30, 39),
+        ]
+        for src, trg, ts, exp in edges:
+            push(op, src, trg, ts, exp)
+        return op, sink
+
+    def test_tree_structure_at_30(self):
+        op, _ = self._run()
+        tree = op.index.tree("x")
+        assert tree is not None
+        accept_state = next(iter(op.dfa.accepting))
+        node_u = tree.get(("u", accept_state))
+        # Propagate re-rooted u under y: interval [28, 35).
+        assert node_u.ts <= 28
+        assert node_u.exp == 35
+        assert node_u.parent == ("y", accept_state)
+        # v and s hang below u with exp = min(parent, edge).
+        assert tree.get(("v", accept_state)).exp == 35
+        assert tree.get(("s", accept_state)).exp == 35
+        # z and t keep their original (expiring-at-31 / 31) intervals.
+        assert tree.get(("z", accept_state)).exp == 31
+        assert tree.get(("t", accept_state)).exp == 31
+
+    def test_w_v_edge_does_not_downgrade(self):
+        # At t=30 the (w, v) edge offers exp 33 < existing 35: no change.
+        op, sink = self._run()
+        accept_state = next(iter(op.dfa.accepting))
+        tree = op.index.tree("x")
+        assert tree.get(("v", accept_state)).exp == 35
+
+    def test_direct_expiry_at_31(self):
+        op, _ = self._run()
+        op.on_advance(31)
+        tree = op.index.tree("x")
+        accept_state = next(iter(op.dfa.accepting))
+        assert tree.get(("z", accept_state)) is None
+        assert tree.get(("t", accept_state)) is None
+        # The re-derived subtree under y survives.
+        assert tree.get(("u", accept_state)) is not None
+        assert tree.get(("v", accept_state)) is not None
+
+    def test_coverage_includes_rederived_u(self):
+        _, sink = self._run()
+        # x reaches u via z on [24, 31) and via y on [28, 35): coalesced
+        # coverage is one interval [24, 35).
+        assert sink.coverage()[("x", "u", "RLP")] == [Interval(24, 35)]
+
+
+class TestStateManagement:
+    def test_purge_removes_expired_nodes(self):
+        op = SPathOp(["l"], "l+", "P")
+        wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 2, 3, 1, 12)
+        before = op.state_size()
+        op.on_advance(10)
+        assert op.state_size() < before
+        op.on_advance(12)
+        # Everything gone: trees dropped, adjacency empty.
+        assert op.index.trees == {}
+        assert len(op.adjacency) == 0
+
+    def test_expired_node_replaced_on_new_derivation(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 5)
+        push(op, 1, 2, 6, 15)  # same edge re-inserted after expiry
+        assert sink.coverage()[(1, 2, "P")] == [
+            Interval(0, 5),
+            Interval(6, 15),
+        ]
+
+    def test_state_size_reporting(self):
+        op = SPathOp(["l"], "l+", "P")
+        wire(op)
+        assert op.state_size() == 0
+        push(op, 1, 2, 0, 10)
+        assert op.state_size() > 0
+
+
+class TestExplicitDeletion:
+    def test_delete_tree_edge_with_no_alternative(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        op.on_event(0, Event(SGT(1, 2, "l", Interval(0, 10)), DELETE))
+        # Validity from the deletion time on is retracted; the pair had
+        # been valid on [0, 10) and deletion happened at now=0.
+        assert sink.coverage() == {}
+
+    def test_delete_with_alternative_path(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 1, 3, 1, 20)
+        push(op, 3, 2, 2, 20)
+        # Tree edge 1->2 deleted at now=2; alternative 1->3->2 valid.
+        op.on_event(0, Event(SGT(1, 2, "l", Interval(0, 10)), DELETE))
+        coverage = sink.coverage()
+        intervals = coverage[(1, 2, "P")]
+        assert any(iv.contains(5) for iv in intervals)  # still reachable
+        assert any(iv.contains(15) for iv in intervals)  # via alternative
+
+    def test_delete_non_tree_edge_keeps_results(self):
+        op = SPathOp(["l"], "l+", "P")
+        sink = wire(op)
+        push(op, 1, 2, 0, 10)
+        push(op, 1, 2, 1, 8)  # parallel worse edge: not a tree edge
+        op.on_event(0, Event(SGT(1, 2, "l", Interval(1, 8)), DELETE))
+        assert sink.coverage()[(1, 2, "P")] == [Interval(0, 10)]
+
+    def test_delete_then_state_matches_rebuild(self):
+        op = SPathOp(["l"], "l+", "P")
+        wire(op)
+        edges = [(1, 2, 0, 20), (2, 3, 1, 20), (3, 4, 2, 20), (2, 4, 3, 18)]
+        for src, trg, ts, exp in edges:
+            push(op, src, trg, ts, exp)
+        op.on_event(0, Event(SGT(2, 3, "l", Interval(1, 20)), DELETE))
+
+        rebuilt = SPathOp(["l"], "l+", "P")
+        wire(rebuilt)
+        for src, trg, ts, exp in edges:
+            if (src, trg) != (2, 3):
+                push(rebuilt, src, trg, ts, exp)
+
+        # Reachable-at-now sets agree after the deletion.
+        now = 3
+        left = {
+            (root, key[0])
+            for root, tree in op.index.trees.items()
+            for key, node in tree.nodes.items()
+            if op.dfa.is_accepting(key[1]) and node.exp > now
+        }
+        right = {
+            (root, key[0])
+            for root, tree in rebuilt.index.trees.items()
+            for key, node in tree.nodes.items()
+            if rebuilt.dfa.is_accepting(key[1]) and node.exp > now
+        }
+        assert left == right

@@ -1,0 +1,115 @@
+"""Unit tests for the stateless physical operators (WSCAN, FILTER, UNION)."""
+
+from repro.algebra.operators import Predicate
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, EdgePayload, PathPayload
+from repro.core.windows import SlidingWindow
+from repro.dataflow.graph import DELETE, DataflowGraph, Event, SinkOp
+from repro.physical.filter import FilterOp
+from repro.physical.union import UnionOp
+from repro.physical.wscan import WScanOp
+
+
+def wire(op):
+    graph = DataflowGraph()
+    graph.add(op)
+    sink = SinkOp()
+    graph.add(sink)
+    graph.connect(op, sink, 0)
+    return sink
+
+
+def now_sgt(src, trg, label, t):
+    return SGT(src, trg, label, Interval(t, t + 1))
+
+
+class TestWScanOp:
+    def test_assigns_window_interval(self):
+        op = WScanOp("l", SlidingWindow(24))
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 7)))
+        assert sink.events[0].sgt.interval == Interval(7, 31)
+
+    def test_slide_arithmetic(self):
+        op = WScanOp("l", SlidingWindow(24, 6))
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 7)))
+        assert sink.events[0].sgt.interval == Interval(7, 30)
+
+    def test_prefilter_drops(self):
+        op = WScanOp("l", SlidingWindow(24), Predicate((("src", "==", "a"),)))
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 1)))
+        op.on_event(0, Event(now_sgt("z", "b", "l", 2)))
+        assert len(sink.events) == 1
+        assert sink.events[0].sgt.src == "a"
+
+    def test_delete_maps_to_same_interval(self):
+        op = WScanOp("l", SlidingWindow(24))
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 7), DELETE))
+        event = sink.events[0]
+        assert event.sign == DELETE
+        assert event.sgt.interval == Interval(7, 31)
+
+
+class TestFilterOp:
+    def test_predicate_filtering(self):
+        op = FilterOp(Predicate((("trg", "==", "b"),)))
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 1)))
+        op.on_event(0, Event(now_sgt("a", "c", "l", 2)))
+        assert [e.sgt.trg for e in sink.events] == ["b"]
+
+    def test_deletes_filtered_identically(self):
+        op = FilterOp(Predicate((("trg", "==", "b"),)))
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "c", "l", 1), DELETE))
+        assert sink.events == []
+
+
+class TestUnionOp:
+    def test_merges_ports(self):
+        op = UnionOp()
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 1)))
+        op.on_event(1, Event(now_sgt("c", "d", "l", 2)))
+        assert len(sink.events) == 2
+
+    def test_relabels(self):
+        op = UnionOp("out")
+        sink = wire(op)
+        op.on_event(0, Event(now_sgt("a", "b", "l", 1)))
+        assert sink.events[0].sgt.label == "out"
+
+    def test_relabel_preserves_path_payload(self):
+        op = UnionOp("out")
+        sink = wire(op)
+        payload = PathPayload((EdgePayload("a", "b", "l"),))
+        op.on_event(0, Event(SGT("a", "b", "P", Interval(0, 5), payload)))
+        assert sink.events[0].sgt.payload == payload
+
+    def test_same_label_passthrough_object(self):
+        op = UnionOp("l")
+        sink = wire(op)
+        sgt = now_sgt("a", "b", "l", 1)
+        op.on_event(0, Event(sgt))
+        assert sink.events[0].sgt is sgt
+
+
+class TestWatermarkPropagation:
+    def test_min_frontier_across_ports(self):
+        union = UnionOp()
+        graph = DataflowGraph()
+        graph.add(union)
+        sink = SinkOp()
+        graph.add(sink)
+        graph.connect(union, sink, 0)
+        union._register_input(0)
+        union._register_input(1)
+        union.receive_watermark(0, 10)
+        assert union.watermark == -1  # port 1 still behind
+        union.receive_watermark(1, 4)
+        assert union.watermark == 4
+        union.receive_watermark(1, 20)
+        assert union.watermark == 10

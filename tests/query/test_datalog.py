@@ -1,0 +1,73 @@
+"""Unit tests for the RQ Datalog model (Definition 13)."""
+
+from repro.query.datalog import ANSWER, Atom, ClosureAtom, RQProgram, Rule
+
+
+def paper_program() -> RQProgram:
+    return RQProgram(
+        (
+            Rule(
+                "RL",
+                "u1",
+                "u2",
+                (
+                    Atom("likes", "u1", "m1"),
+                    ClosureAtom("follows", "u1", "u2", "FP"),
+                    Atom("posts", "u2", "m1"),
+                ),
+            ),
+            Rule(
+                "Notify",
+                "u",
+                "m",
+                (ClosureAtom("RL", "u", "v", "RLP"), Atom("posts", "v", "m")),
+            ),
+            Rule(ANSWER, "u", "m", (Atom("Notify", "u", "m"),)),
+        )
+    )
+
+
+class TestAtoms:
+    def test_atom_variables(self):
+        assert Atom("l", "x", "y").variables == ("x", "y")
+
+    def test_closure_atom_str(self):
+        atom = ClosureAtom("follows", "u1", "u2", "FP")
+        assert str(atom) == "follows+(u1, u2) as FP"
+
+    def test_rule_variables(self):
+        rule = paper_program().rules[0]
+        assert rule.head_variables == ("u1", "u2")
+        assert rule.body_variables == {"u1", "u2", "m1"}
+
+
+class TestProgramIntrospection:
+    def test_head_labels(self):
+        assert paper_program().head_labels == {"RL", "Notify", ANSWER}
+
+    def test_closure_labels(self):
+        assert paper_program().closure_labels == {"FP", "RLP"}
+
+    def test_idb_labels(self):
+        assert paper_program().idb_labels == {"RL", "Notify", ANSWER, "FP", "RLP"}
+
+    def test_edb_labels(self):
+        assert paper_program().edb_labels == {"likes", "follows", "posts"}
+
+    def test_rules_for(self):
+        assert len(paper_program().rules_for("RL")) == 1
+        assert len(paper_program().rules_for("nothing")) == 0
+
+    def test_closure_atoms_deduplicated(self):
+        program = RQProgram(
+            (
+                Rule("A", "x", "y", (ClosureAtom("l", "x", "y", "L"),)),
+                Rule(ANSWER, "x", "y", (ClosureAtom("l", "x", "y", "L"),)),
+            )
+        )
+        assert len(program.closure_atoms()) == 1
+
+    def test_str_round_trippable_shape(self):
+        text = str(paper_program())
+        assert "RL(u1, u2) <- likes(u1, m1)" in text
+        assert "follows+(u1, u2) as FP" in text

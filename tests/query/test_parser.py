@@ -1,0 +1,104 @@
+"""Unit tests for the textual Datalog parser."""
+
+import pytest
+
+from repro.errors import ParseError, QueryValidationError
+from repro.query.datalog import Atom, ClosureAtom
+from repro.query.parser import parse_rq
+
+
+class TestBasicParsing:
+    def test_single_rule(self):
+        program = parse_rq("Answer(x, y) <- knows(x, y).")
+        assert len(program.rules) == 1
+        rule = program.rules[0]
+        assert rule.head_label == "Answer"
+        assert rule.body == (Atom("knows", "x", "y"),)
+
+    def test_prolog_style_arrow(self):
+        program = parse_rq("Answer(x, y) :- knows(x, y).")
+        assert program.rules[0].head_label == "Answer"
+
+    def test_trailing_period_optional(self):
+        program = parse_rq("Answer(x, y) <- knows(x, y)")
+        assert len(program.rules) == 1
+
+    def test_multiple_rules(self):
+        program = parse_rq(
+            """
+            A(x, y) <- l(x, y).
+            Answer(x, y) <- A(x, y).
+            """
+        )
+        assert len(program.rules) == 2
+
+    def test_multiple_body_atoms(self):
+        program = parse_rq("Answer(x, z) <- a(x, y), b(y, z).")
+        assert len(program.rules[0].body) == 2
+
+    def test_comments_ignored(self):
+        program = parse_rq(
+            """
+            # leading comment
+            Answer(x, y) <- knows(x, y).  % trailing comment
+            """
+        )
+        assert len(program.rules) == 1
+
+
+class TestClosureAtoms:
+    def test_plus_with_name(self):
+        program = parse_rq("Answer(x, y) <- knows+(x, y) as K.")
+        assert program.rules[0].body == (ClosureAtom("knows", "x", "y", "K"),)
+
+    def test_star_synonym(self):
+        program = parse_rq("Answer(x, y) <- knows*(x, y) as K.")
+        assert program.rules[0].body == (ClosureAtom("knows", "x", "y", "K"),)
+
+    def test_default_name(self):
+        program = parse_rq("Answer(x, y) <- knows+(x, y).")
+        assert program.rules[0].body == (
+            ClosureAtom("knows", "x", "y", "knows_tc"),
+        )
+
+    def test_paper_example2(self):
+        program = parse_rq(
+            """
+            RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+            Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+            Answer(u, m) <- Notify(u, m).
+            """
+        )
+        assert program.edb_labels == {"likes", "follows", "posts"}
+        assert program.closure_labels == {"FP", "RLP"}
+
+
+class TestParseErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_rq("")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_rq("Answer(x, y) knows(x, y).")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse_rq("Answer(x, y <- knows(x, y).")
+
+    def test_unary_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rq("Answer(x) <- knows(x, y).")
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse_rq("Answer(x, y) <- knows(x; y).")
+
+    def test_validation_runs_by_default(self):
+        # No Answer predicate.
+        with pytest.raises(QueryValidationError):
+            parse_rq("A(x, y) <- knows(x, y).")
+
+    def test_validation_can_be_skipped(self):
+        program = parse_rq("A(x, y) <- knows(x, y).", validate=False)
+        assert len(program.rules) == 1

@@ -1,0 +1,48 @@
+"""Unit tests for SGQ (Definition 15)."""
+
+import pytest
+
+from repro.core.windows import SlidingWindow
+from repro.errors import QueryValidationError
+from repro.query.sgq import SGQ
+
+
+class TestSGQ:
+    def test_from_text(self):
+        query = SGQ.from_text("Answer(x, y) <- knows(x, y).", SlidingWindow(24))
+        assert query.input_labels == {"knows"}
+        assert query.window == SlidingWindow(24)
+
+    def test_default_window_for_all_labels(self):
+        query = SGQ.from_text(
+            "Answer(x, z) <- a(x, y), b(y, z).", SlidingWindow(24, 2)
+        )
+        assert query.window_for("a") == SlidingWindow(24, 2)
+        assert query.window_for("b") == SlidingWindow(24, 2)
+
+    def test_label_window_override(self):
+        # Example 4: a 24h social window joined with a 30d purchase window.
+        query = SGQ.from_text(
+            "Answer(u, p) <- follows(u, c), purchase(c, p).",
+            SlidingWindow(24),
+            label_windows={"purchase": SlidingWindow(720, 24)},
+        )
+        assert query.window_for("follows") == SlidingWindow(24)
+        assert query.window_for("purchase") == SlidingWindow(720, 24)
+
+    def test_override_for_unknown_label_rejected(self):
+        with pytest.raises(QueryValidationError, match="non-input"):
+            SGQ.from_text(
+                "Answer(x, y) <- knows(x, y).",
+                SlidingWindow(24),
+                label_windows={"likes": SlidingWindow(10)},
+            )
+
+    def test_invalid_program_rejected_on_construction(self):
+        with pytest.raises(QueryValidationError):
+            SGQ.from_text("A(x, y) <- knows(x, y).", SlidingWindow(24))
+
+    def test_str(self):
+        query = SGQ.from_text("Answer(x, y) <- knows(x, y).", SlidingWindow(24))
+        assert "SGQ" in str(query)
+        assert "Answer" in str(query)

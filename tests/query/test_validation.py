@@ -1,0 +1,155 @@
+"""Unit tests for RQ well-formedness (Definition 13)."""
+
+import pytest
+
+from repro.errors import QueryValidationError
+from repro.query.datalog import ANSWER, Atom, ClosureAtom, RQProgram, Rule
+from repro.query.parser import parse_rq
+from repro.query.validation import dependency_graph, topological_order, validate_rq
+
+
+class TestDependencyGraph:
+    def test_simple_chain(self):
+        program = parse_rq(
+            """
+            A(x, y) <- l(x, y).
+            Answer(x, y) <- A(x, y).
+            """
+        )
+        deps = dependency_graph(program)
+        assert deps[ANSWER] == {"A"}
+        assert deps["A"] == {"l"}
+
+    def test_closure_introduces_two_edges(self):
+        program = parse_rq("Answer(x, y) <- knows+(x, y) as K.")
+        deps = dependency_graph(program)
+        assert deps[ANSWER] == {"K"}
+        assert deps["K"] == {"knows"}
+
+    def test_topological_order_respects_dependencies(self):
+        program = parse_rq(
+            """
+            RL(u1, u2)   <- likes(u1, m1), follows+(u1, u2) as FP, posts(u2, m1).
+            Notify(u, m) <- RL+(u, v) as RLP, posts(v, m).
+            Answer(u, m) <- Notify(u, m).
+            """
+        )
+        order = topological_order(program)
+        assert order.index("follows") < order.index("FP")
+        assert order.index("FP") < order.index("RL")
+        assert order.index("RL") < order.index("RLP")
+        assert order.index("RLP") < order.index("Notify")
+        assert order.index("Notify") < order.index(ANSWER)
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        validate_rq(parse_rq("Answer(x, y) <- knows(x, y)."))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(QueryValidationError):
+            validate_rq(RQProgram(()))
+
+    def test_missing_answer_rejected(self):
+        program = parse_rq("A(x, y) <- l(x, y).", validate=False)
+        with pytest.raises(QueryValidationError, match="Answer"):
+            validate_rq(program)
+
+    def test_recursive_program_rejected(self):
+        program = parse_rq(
+            """
+            A(x, y) <- B(x, y).
+            B(x, y) <- A(x, y).
+            Answer(x, y) <- A(x, y).
+            """,
+            validate=False,
+        )
+        with pytest.raises(QueryValidationError, match="recursive"):
+            validate_rq(program)
+
+    def test_self_recursion_rejected(self):
+        program = parse_rq(
+            """
+            A(x, z) <- A(x, y), l(y, z).
+            Answer(x, y) <- A(x, y).
+            """,
+            validate=False,
+        )
+        with pytest.raises(QueryValidationError, match="recursive"):
+            validate_rq(program)
+
+    def test_unsafe_head_variable_rejected(self):
+        program = RQProgram(
+            (Rule(ANSWER, "x", "z", (Atom("l", "x", "y"),)),)
+        )
+        with pytest.raises(QueryValidationError, match="unsafe"):
+            validate_rq(program)
+
+    def test_answer_in_body_rejected(self):
+        program = RQProgram(
+            (
+                Rule("A", "x", "y", (Atom(ANSWER, "x", "y"),)),
+                Rule(ANSWER, "x", "y", (Atom("l", "x", "y"),)),
+            )
+        )
+        with pytest.raises(QueryValidationError, match="Answer"):
+            validate_rq(program)
+
+    def test_closure_name_equal_to_label_rejected(self):
+        program = RQProgram(
+            (Rule(ANSWER, "x", "y", (ClosureAtom("l", "x", "y", "l"),)),)
+        )
+        with pytest.raises(QueryValidationError):
+            validate_rq(program)
+
+    def test_closure_name_referenced_as_plain_atom_allowed(self):
+        # The closure's exported name is an IDB label; other atoms may
+        # refer to it like any derived relation.
+        program = RQProgram(
+            (
+                Rule(
+                    ANSWER,
+                    "x",
+                    "y",
+                    (ClosureAtom("l", "x", "y", "m"), Atom("m", "y", "y")),
+                ),
+            )
+        )
+        validate_rq(program)
+
+    def test_same_closure_name_for_two_labels_rejected(self):
+        program = RQProgram(
+            (
+                Rule(
+                    ANSWER,
+                    "x",
+                    "y",
+                    (
+                        ClosureAtom("a", "x", "y", "C"),
+                        ClosureAtom("b", "x", "y", "C"),
+                    ),
+                ),
+            )
+        )
+        with pytest.raises(QueryValidationError, match="closes both"):
+            validate_rq(program)
+
+    def test_label_defined_by_rule_and_closure_rejected(self):
+        program = RQProgram(
+            (
+                Rule("C", "x", "y", (Atom("l", "x", "y"),)),
+                Rule(ANSWER, "x", "y", (ClosureAtom("l", "x", "y", "C"),)),
+            )
+        )
+        with pytest.raises(QueryValidationError):
+            validate_rq(program)
+
+    def test_closure_of_idb_allowed(self):
+        # Closure over a derived predicate (the essence of RQ's power).
+        program = parse_rq(
+            """
+            RL(x, y) <- a(x, y).
+            Answer(x, y) <- RL+(x, y) as RLP.
+            """
+        )
+        validate_rq(program)

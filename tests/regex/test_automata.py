@@ -1,0 +1,141 @@
+"""Unit tests for NFA construction, determinization, and minimization."""
+
+import pytest
+
+from repro.regex.ast import Concat, Plus, Symbol
+from repro.regex.dfa import dfa_from_regex, subset_construction
+from repro.regex.minimize import minimize
+from repro.regex.nfa import thompson
+from repro.regex.parser import parse_regex
+
+
+def nfa_of(text):
+    return thompson(parse_regex(text))
+
+
+def dfa_of(text):
+    return dfa_from_regex(text)
+
+
+class TestNFA:
+    def test_symbol(self):
+        nfa = nfa_of("a")
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_concat(self):
+        nfa = nfa_of("a b")
+        assert nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b", "a"])
+
+    def test_alternation(self):
+        nfa = nfa_of("a|b")
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["b"])
+        assert not nfa.accepts(["a", "b"])
+
+    def test_star(self):
+        nfa = nfa_of("a*")
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"] * 5)
+
+    def test_plus(self):
+        nfa = nfa_of("a+")
+        assert not nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "a", "a"])
+
+    def test_optional(self):
+        nfa = nfa_of("a?")
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_alphabet(self):
+        assert nfa_of("a (b|c)+").alphabet == {"a", "b", "c"}
+
+
+class TestDFA:
+    @pytest.mark.parametrize(
+        "text,accepted,rejected",
+        [
+            ("a+", [["a"], ["a"] * 4], [[], ["b"]]),
+            ("a b*", [["a"], ["a", "b", "b"]], [["b"], ["a", "a"]]),
+            (
+                "a b* c*",
+                [["a"], ["a", "b"], ["a", "c"], ["a", "b", "c", "c"]],
+                [["a", "c", "b"], ["c"]],
+            ),
+            (
+                "(a b c)+",
+                [["a", "b", "c"], ["a", "b", "c"] * 2],
+                [["a", "b"], ["a", "b", "c", "a"]],
+            ),
+            (
+                "(a|b)+ c",
+                [["a", "c"], ["b", "a", "c"]],
+                [["c"], ["a", "b"]],
+            ),
+        ],
+    )
+    def test_membership(self, text, accepted, rejected):
+        dfa = dfa_of(text)
+        for word in accepted:
+            assert dfa.accepts(word), (text, word)
+        for word in rejected:
+            assert not dfa.accepts(word), (text, word)
+
+    def test_start_is_zero(self):
+        assert dfa_of("a b c").start == 0
+
+    def test_start_accepting_detection(self):
+        assert dfa_of("a*").start_is_accepting()
+        assert not dfa_of("a+").start_is_accepting()
+
+    def test_states_with_transition_on(self):
+        dfa = dfa_of("a b")
+        pairs = dfa.states_with_transition_on("a")
+        assert len(pairs) == 1
+        assert pairs[0][0] == dfa.start
+
+    def test_delta_missing_is_none(self):
+        dfa = dfa_of("a")
+        assert dfa.delta(dfa.start, "z") is None
+
+
+class TestMinimize:
+    def test_minimized_equivalent(self):
+        raw = subset_construction(thompson(parse_regex("(a|b)* a")))
+        small = minimize(raw)
+        for word in (
+            [],
+            ["a"],
+            ["b"],
+            ["a", "a"],
+            ["b", "a"],
+            ["a", "b"],
+            ["b", "b", "a"],
+        ):
+            assert raw.accepts(word) == small.accepts(word), word
+
+    def test_minimized_not_larger(self):
+        raw = subset_construction(thompson(parse_regex("a a|a b|a c")))
+        small = minimize(raw)
+        assert len(small.states) <= len(raw.states)
+
+    def test_redundant_union_collapses(self):
+        # a|a has a 2-state minimal DFA.
+        assert len(dfa_of("a|a").states) == 2
+
+    def test_dead_states_removed(self):
+        # Subset construction of "a b" can produce a dead sink; the minimal
+        # DFA keeps only the 3 live states.
+        dfa = dfa_of("a b")
+        assert len(dfa.states) == 3
+
+    def test_plus_of_symbol_two_states(self):
+        dfa = dfa_of("a+")
+        assert len(dfa.states) == 2

@@ -1,0 +1,111 @@
+"""Unit tests for the label-regex parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.regex.ast import Alternation, Concat, Optional_, Plus, Star, Symbol
+from repro.regex.parser import parse_regex
+
+
+class TestAtoms:
+    def test_single_symbol(self):
+        assert parse_regex("knows") == Symbol("knows")
+
+    def test_symbol_with_underscore_and_digits(self):
+        assert parse_regex("reply_of2") == Symbol("reply_of2")
+
+    def test_parenthesized(self):
+        assert parse_regex("(a)") == Symbol("a")
+
+
+class TestOperators:
+    def test_concat_by_juxtaposition(self):
+        assert parse_regex("a b") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_concat_with_dot(self):
+        assert parse_regex("a.b") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_concat_with_slash(self):
+        assert parse_regex("a/b") == Concat(Symbol("a"), Symbol("b"))
+
+    def test_alternation(self):
+        assert parse_regex("a|b") == Alternation(Symbol("a"), Symbol("b"))
+
+    def test_star(self):
+        assert parse_regex("a*") == Star(Symbol("a"))
+
+    def test_plus(self):
+        assert parse_regex("a+") == Plus(Symbol("a"))
+
+    def test_optional(self):
+        assert parse_regex("a?") == Optional_(Symbol("a"))
+
+    def test_stacked_postfix(self):
+        assert parse_regex("a+*") == Star(Plus(Symbol("a")))
+
+
+class TestPrecedence:
+    def test_postfix_binds_tighter_than_concat(self):
+        assert parse_regex("a b*") == Concat(Symbol("a"), Star(Symbol("b")))
+
+    def test_concat_binds_tighter_than_alternation(self):
+        assert parse_regex("a b|c") == Alternation(
+            Concat(Symbol("a"), Symbol("b")), Symbol("c")
+        )
+
+    def test_parens_override(self):
+        assert parse_regex("a (b|c)") == Concat(
+            Symbol("a"), Alternation(Symbol("b"), Symbol("c"))
+        )
+
+    def test_q4_pattern(self):
+        assert parse_regex("(a b c)+") == Plus(
+            Concat(Concat(Symbol("a"), Symbol("b")), Symbol("c"))
+        )
+
+    def test_q3_pattern(self):
+        node = parse_regex("a b* c*")
+        assert node == Concat(
+            Concat(Symbol("a"), Star(Symbol("b"))), Star(Symbol("c"))
+        )
+
+
+class TestAlphabetAndNullability:
+    def test_alphabet(self):
+        assert parse_regex("a (b|c)* d+").alphabet() == {"a", "b", "c", "d"}
+
+    def test_nullable_star(self):
+        assert parse_regex("a*").nullable()
+
+    def test_non_nullable_plus(self):
+        assert not parse_regex("a+").nullable()
+
+    def test_nullable_concat_requires_both(self):
+        assert not parse_regex("a b*").nullable()
+        assert parse_regex("a? b*").nullable()
+
+    def test_nullable_alternation_requires_one(self):
+        assert parse_regex("a|b*").nullable()
+        assert not parse_regex("a|b").nullable()
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_regex("")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_regex("(a b")
+
+    def test_leading_operator(self):
+        with pytest.raises(ParseError):
+            parse_regex("* a")
+
+    def test_trailing_bar(self):
+        with pytest.raises(ParseError):
+            parse_regex("a |")
+
+    def test_invalid_character(self):
+        with pytest.raises(ParseError):
+            parse_regex("a & b")

@@ -1,0 +1,91 @@
+"""Property tests: our regex pipeline vs Python's re module.
+
+Random label regexes are rendered both into our AST and into an
+equivalent character regex for ``re``; membership must agree on random
+words, for the raw NFA, the determinized DFA, and the minimized DFA.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+)
+from repro.regex.dfa import dfa_from_regex, subset_construction
+from repro.regex.nfa import thompson
+
+ALPHABET = ("a", "b", "c")
+
+
+def regex_nodes(max_depth: int = 3) -> st.SearchStrategy[RegexNode]:
+    base = st.sampled_from([Symbol(l) for l in ALPHABET])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Concat, children, children),
+            st.builds(Alternation, children, children),
+            st.builds(Star, children),
+            st.builds(Plus, children),
+            st.builds(Optional_, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+def to_python_regex(node: RegexNode) -> str:
+    if isinstance(node, Symbol):
+        return node.label  # single-character labels
+    if isinstance(node, Concat):
+        return f"(?:{to_python_regex(node.left)}{to_python_regex(node.right)})"
+    if isinstance(node, Alternation):
+        return f"(?:{to_python_regex(node.left)}|{to_python_regex(node.right)})"
+    if isinstance(node, Star):
+        return f"(?:{to_python_regex(node.inner)})*"
+    if isinstance(node, Plus):
+        return f"(?:{to_python_regex(node.inner)})+"
+    if isinstance(node, Optional_):
+        return f"(?:{to_python_regex(node.inner)})?"
+    raise TypeError(node)
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=8)
+
+
+@given(regex_nodes(), words)
+@settings(max_examples=150)
+def test_nfa_agrees_with_re(node, word):
+    pattern = re.compile(to_python_regex(node) + r"\Z")
+    expected = pattern.match("".join(word)) is not None
+    assert thompson(node).accepts(word) == expected
+
+
+@given(regex_nodes(), words)
+@settings(max_examples=150)
+def test_dfa_agrees_with_re(node, word):
+    pattern = re.compile(to_python_regex(node) + r"\Z")
+    expected = pattern.match("".join(word)) is not None
+    assert dfa_from_regex(node).accepts(word) == expected
+
+
+@given(regex_nodes(), words)
+@settings(max_examples=100)
+def test_minimization_preserves_language(node, word):
+    raw = subset_construction(thompson(node))
+    small = dfa_from_regex(node)
+    assert raw.accepts(word) == small.accepts(word)
+
+
+@given(regex_nodes())
+@settings(max_examples=100)
+def test_nullable_agrees_with_empty_word(node):
+    assert node.nullable() == thompson(node).accepts([])

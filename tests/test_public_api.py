@@ -1,0 +1,73 @@
+"""Smoke tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelNamespace:
+    def test_eager_exports(self):
+        assert repro.SGE("a", "b", "l", 0).label == "l"
+        assert repro.Interval(0, 5).duration == 5
+        assert repro.SlidingWindow(10).slide == 1
+        assert repro.SGT("a", "b", "l", repro.Interval(0, 5)).key() == (
+            "a",
+            "b",
+            "l",
+        )
+
+    def test_lazy_processor(self):
+        processor_cls = repro.StreamingGraphQueryProcessor
+        from repro.engine import StreamingGraphQueryProcessor
+
+        assert processor_cls is StreamingGraphQueryProcessor
+
+    def test_lazy_parsers(self):
+        program = repro.parse_rq("Answer(x, y) <- knows(x, y).")
+        assert program.edb_labels == {"knows"}
+        sgq = repro.parse_gcore(
+            "CONSTRUCT (x)-[:out]->(y) MATCH (x)-[:a]->(y) ON s WINDOW (10)"
+        )
+        assert sgq.input_labels == {"a"}
+
+    def test_lazy_sgq(self):
+        assert repro.SGQ is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+
+        for name in (
+            "InvalidIntervalError",
+            "StreamOrderError",
+            "QueryValidationError",
+            "ParseError",
+            "PlanError",
+            "ExecutionError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_parse_error_position(self):
+        from repro.errors import ParseError
+
+        err = ParseError("bad token", position=17)
+        assert "17" in str(err)
+        assert err.position == 17
+
+    def test_parse_error_without_position(self):
+        from repro.errors import ParseError
+
+        assert ParseError("oops").position is None

@@ -1,0 +1,136 @@
+"""Unit tests for the Q1-Q7 workload templates (Table 1)."""
+
+import pytest
+
+from repro.algebra import evaluate_plan_at
+from repro.algebra.operators import Path, Pattern, Relabel, Union
+from repro.core.windows import SlidingWindow
+from repro.errors import PlanError
+from repro.workloads import (
+    QUERIES,
+    labels_for,
+    q4_plan_space,
+    rpq_direct_plan,
+)
+from tests.conftest import make_stream, streams_by_label
+
+W = SlidingWindow(15)
+ABC = {"a": "a", "b": "b", "c": "c"}
+
+
+class TestTemplates:
+    def test_all_seven_queries_defined(self):
+        assert sorted(QUERIES) == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"]
+
+    def test_datalog_instantiation(self):
+        text = QUERIES["Q6"].datalog(
+            {"a": "knows", "b": "likes", "c": "hasCreator"}
+        )
+        assert "knows+(x, y) as AP" in text
+        assert "likes(x, m)" in text
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_plans_build_for_both_datasets(self, name):
+        for dataset in ("so", "snb"):
+            plan = QUERIES[name].plan(labels_for(name, dataset), W)
+            assert plan.out_label == "Answer"
+
+    def test_rpq_flags(self):
+        assert QUERIES["Q1"].is_rpq
+        assert QUERIES["Q4"].is_rpq
+        assert not QUERIES["Q5"].is_rpq
+        assert not QUERIES["Q7"].is_rpq
+
+
+class TestLabelMaps:
+    def test_so_uses_three_labels(self):
+        labels = labels_for("Q4", "so")
+        assert set(labels.values()) == {"a2q", "c2q", "c2a"}
+
+    def test_snb_q4_composes_a_cycle(self):
+        # knows: P->P, likes: P->M, hasCreator: M->P — composable under +.
+        labels = labels_for("Q4", "snb")
+        assert labels == {"a": "knows", "b": "likes", "c": "hasCreator"}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(PlanError):
+            labels_for("Q1", "dblp")
+
+
+class TestDirectPlans:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_direct_plan_is_single_path(self, name):
+        plan = rpq_direct_plan(name, ABC, W)
+        assert isinstance(plan, Relabel)
+        assert isinstance(plan.child, Path)
+
+    def test_non_rpq_rejected(self):
+        with pytest.raises(PlanError):
+            rpq_direct_plan("Q5", ABC, W)
+
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_direct_equals_canonical(self, name):
+        canonical = QUERIES[name].plan(ABC, W)
+        direct = rpq_direct_plan(name, ABC, W)
+        edges = make_stream(13, 60, 6, ("a", "b", "c"), max_gap=2)
+        streams = streams_by_label(edges)
+        for t in range(0, 80, 4):
+            assert evaluate_plan_at(canonical, streams, t) == evaluate_plan_at(
+                direct, streams, t
+            ), f"{name} diverges at t={t}"
+
+
+class TestQ4PlanSpace:
+    def test_four_plans(self):
+        plans = q4_plan_space(ABC, W)
+        assert sorted(plans) == ["P1", "P2", "P3", "SGA"]
+
+    def test_canonical_is_loop_caching(self):
+        plans = q4_plan_space(ABC, W)
+        sga = plans["SGA"]
+        assert isinstance(sga, Relabel)
+        path = sga.child
+        assert isinstance(path, Path)
+        # One derived-label input produced by a PATTERN join.
+        assert len(path.inputs) == 1
+        assert isinstance(path.inputs[0][1], Pattern)
+
+    def test_p1_inlines_everything(self):
+        plans = q4_plan_space(ABC, W)
+        p1 = plans["P1"].child
+        assert isinstance(p1, Path)
+        assert set(p1.input_map) == {"a", "b", "c"}
+
+    def test_all_plans_equivalent(self):
+        plans = q4_plan_space(ABC, W)
+        edges = make_stream(21, 60, 6, ("a", "b", "c"), max_gap=2)
+        streams = streams_by_label(edges)
+        for t in range(0, 80, 5):
+            answers = {
+                name: evaluate_plan_at(plan, streams, t)
+                for name, plan in plans.items()
+            }
+            assert len(set(map(frozenset, answers.values()))) == 1, t
+
+
+class TestEndToEndOnEngine:
+    """Workload plans must run on the physical engine and agree with the
+    reference (a slice of what the snapshot-reducibility suite checks,
+    but through the workload API)."""
+
+    @pytest.mark.parametrize("name", ["Q2", "Q4", "Q6"])
+    def test_workload_runs(self, name):
+        from repro.engine import StreamingGraphQueryProcessor
+
+        plan = QUERIES[name].plan(ABC, W)
+        processor = StreamingGraphQueryProcessor(plan)
+        edges = make_stream(5, 50, 5, ("a", "b", "c"), max_gap=2)
+        for edge in edges:
+            processor.push(edge)
+        streams = streams_by_label(edges)
+        t = edges[-1].t
+        expected = {
+            (u, v, "Answer")
+            for u, v in evaluate_plan_at(plan, streams, t)
+        }
+        assert processor.valid_at(t) == expected
