@@ -1,0 +1,7 @@
+"""Benchmark suite: one module per table/figure of the paper's evaluation.
+
+This package marker makes pytest import ``conftest.py`` as
+``benchmarks.conftest`` — the same module object the bench modules
+import — so the paper-style report sections registered by the modules
+are visible to the terminal-summary hook.
+"""

@@ -1,9 +1,10 @@
-"""Setuptools entry point.
+"""Setuptools entry point (legacy / offline path).
 
-Metadata lives here (rather than in a ``[project]`` table) so that
-``pip install -e .`` works in fully offline environments: without a
-``[build-system]`` table pip falls back to the legacy ``setup.py develop``
-code path, which needs neither network access nor the ``wheel`` package.
+Canonical metadata lives in ``pyproject.toml`` and ``pip install -e .``
+is the supported install.  This file remains for fully offline
+environments without the ``wheel`` package, where the PEP 517 editable
+build cannot run: use ``python setup.py develop`` there (or simply export
+``PYTHONPATH=src``, which is what the test suite does).
 """
 
 from setuptools import find_packages, setup

@@ -22,6 +22,7 @@ class BenchResult:
     edges: int
     slides: int
     results: int
+    batches: int = 0
 
     def row(self, **extra: object) -> dict[str, object]:
         data = {
@@ -40,26 +41,30 @@ def run_sga_bench(
     plan: Plan,
     stream: list[SGE],
     path_impl: str = "negative",
+    batch_size: int | None = None,
 ) -> BenchResult:
     """Run the SGA engine over a stream and collect metrics.
 
     ``path_impl`` defaults to the negative-tuple RPQ operator — the
     prototype's default PATH implementation (Section 6.2.3); Table 3
-    passes ``"spath"`` to measure the S-PATH alternative.
+    passes ``"spath"`` to measure the S-PATH alternative.  ``batch_size``
+    selects batched delta execution (``None`` = per-tuple).
     """
     # Paths are not materialized: the DD baseline cannot return paths,
     # so the comparison is over result-pair production (as in the paper).
     processor = StreamingGraphQueryProcessor(
-        plan, path_impl, materialize_paths=False
+        plan, path_impl, materialize_paths=False, batch_size=batch_size
     )
     stats = processor.run(stream)
+    suffix = "" if batch_size is None else f",b={batch_size}"
     return BenchResult(
-        system=f"SGA[{path_impl}]",
+        system=f"SGA[{path_impl}{suffix}]",
         throughput=stats.throughput,
         tail_latency=stats.tail_latency(),
         edges=stats.total_edges,
         slides=len(stats.slides),
         results=processor.result_count(),
+        batches=stats.total_batches,
     )
 
 
@@ -68,9 +73,10 @@ def run_dd_bench(
     stream: list[SGE],
     window: SlidingWindow,
     label_windows: dict[Label, SlidingWindow] | None = None,
+    batch_size: int | None = None,
 ) -> BenchResult:
     """Run the DD baseline engine over a stream and collect metrics."""
-    engine = DDEngine(program, window, label_windows)
+    engine = DDEngine(program, window, label_windows, batch_size=batch_size)
     stats = engine.run(stream)
     return BenchResult(
         system="DD",
@@ -79,4 +85,5 @@ def run_dd_bench(
         edges=stats.total_edges,
         slides=len(stats.epochs),
         results=len(engine.answer()),
+        batches=stats.total_batches,
     )

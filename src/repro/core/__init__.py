@@ -18,8 +18,13 @@ This package defines the vocabulary the rest of the library is written in:
   (Definition 12).
 * :class:`~repro.core.windows.SlidingWindow` — time-based sliding window
   specifications used by the WSCAN operator (Definition 16).
+* :class:`~repro.core.batch.DeltaBatch` and
+  :class:`~repro.core.batch.BatchScheduler` — batched delta processing:
+  the per-slide batch value type and the scheduler shared by the SGA
+  executor and the DD baseline engine.
 """
 
+from repro.core.batch import BatchScheduler, DeltaBatch, RunStats, SlideStats
 from repro.core.coalesce import coalesce, coalesce_stream, keep_longest_payload
 from repro.core.graph import MaterializedPathGraph, snapshot
 from repro.core.intervals import Interval
@@ -28,6 +33,10 @@ from repro.core.tuples import SGE, SGT, EdgePayload, PathPayload
 from repro.core.windows import SlidingWindow
 
 __all__ = [
+    "BatchScheduler",
+    "DeltaBatch",
+    "RunStats",
+    "SlideStats",
     "Interval",
     "SGE",
     "SGT",

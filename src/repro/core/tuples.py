@@ -17,7 +17,7 @@ Vertices and labels are plain hashable Python values (typically ``str`` or
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.intervals import Interval
@@ -49,13 +49,38 @@ class SGE:
         return f"{self.src}-[{self.label}@{self.t}]->{self.trg}"
 
 
-@dataclass(frozen=True, slots=True)
 class EdgePayload:
-    """Payload of an sgt that represents a single (input or derived) edge."""
+    """Payload of an sgt that represents a single (input or derived) edge.
 
-    src: Vertex
-    trg: Vertex
-    label: Label
+    A hand-written ``__slots__`` value class (not a frozen dataclass):
+    one is allocated per windowed tuple and per derived edge, so cheap
+    construction matters — see :class:`repro.core.intervals.Interval`.
+    """
+
+    __slots__ = ("src", "trg", "label")
+
+    def __init__(self, src: Vertex, trg: Vertex, label: Label):
+        self.src = src
+        self.trg = trg
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is EdgePayload:
+            return (
+                self.src == other.src  # type: ignore[union-attr]
+                and self.trg == other.trg  # type: ignore[union-attr]
+                and self.label == other.label  # type: ignore[union-attr]
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.trg, self.label))
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgePayload(src={self.src!r}, trg={self.trg!r}, "
+            f"label={self.label!r})"
+        )
 
     def edges(self) -> "tuple[EdgePayload, ...]":
         return (self,)
@@ -64,7 +89,6 @@ class EdgePayload:
         return f"({self.src},{self.label},{self.trg})"
 
 
-@dataclass(frozen=True, slots=True)
 class PathPayload:
     """Payload of an sgt that represents a materialized path.
 
@@ -73,7 +97,21 @@ class PathPayload:
     requirement R3 of the paper: queries can return and manipulate them.
     """
 
-    hops: tuple[EdgePayload, ...]
+    __slots__ = ("hops",)
+
+    def __init__(self, hops: "tuple[EdgePayload, ...]"):
+        self.hops = hops
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is PathPayload:
+            return self.hops == other.hops  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.hops)
+
+    def __repr__(self) -> str:
+        return f"PathPayload(hops={self.hops!r})"
 
     def edges(self) -> "tuple[EdgePayload, ...]":
         return self.hops
@@ -110,7 +148,6 @@ class PathPayload:
 Payload = EdgePayload | PathPayload
 
 
-@dataclass(frozen=True, slots=True)
 class SGT:
     """A streaming graph tuple (Definition 7).
 
@@ -118,17 +155,50 @@ class SGT:
     sgts are value-equivalent (Definition 10) iff these agree.  The
     *non-distinguished* attributes are the validity ``interval`` and the
     ``payload`` D.
+
+    Equality and hashing cover ``(src, trg, label, interval)`` — the
+    payload is excluded, exactly as the former dataclass declared with
+    ``field(compare=False)``.  Like :class:`Interval`, this is a
+    hand-written ``__slots__`` class because sgts are allocated on every
+    operator hop of every tuple.
     """
 
-    src: Vertex
-    trg: Vertex
-    label: Label
-    interval: Interval
-    payload: Payload = field(compare=False, default=None)  # type: ignore[assignment]
+    __slots__ = ("src", "trg", "label", "interval", "payload")
 
-    def __post_init__(self) -> None:
-        if self.payload is None:
-            object.__setattr__(self, "payload", EdgePayload(self.src, self.trg, self.label))
+    def __init__(
+        self,
+        src: Vertex,
+        trg: Vertex,
+        label: Label,
+        interval: Interval,
+        payload: Payload | None = None,
+    ):
+        self.src = src
+        self.trg = trg
+        self.label = label
+        self.interval = interval
+        self.payload = (
+            payload if payload is not None else EdgePayload(src, trg, label)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is SGT:
+            return (
+                self.src == other.src  # type: ignore[union-attr]
+                and self.trg == other.trg  # type: ignore[union-attr]
+                and self.label == other.label  # type: ignore[union-attr]
+                and self.interval == other.interval  # type: ignore[union-attr]
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.trg, self.label, self.interval))
+
+    def __repr__(self) -> str:
+        return (
+            f"SGT(src={self.src!r}, trg={self.trg!r}, label={self.label!r}, "
+            f"interval={self.interval!r}, payload={self.payload!r})"
+        )
 
     # ------------------------------------------------------------------
     # Convenience accessors mirroring the paper's notation

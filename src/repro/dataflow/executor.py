@@ -3,9 +3,37 @@
 The executor consumes sges in timestamp order.  Whenever an edge's
 timestamp crosses a slide boundary (multiples of the query's slide
 interval ``beta``), the watermark advances first — stateful operators
-purge or expire — and only then is the edge pushed.  Per-slide wall-clock
+purge or expire — and only then are edges pushed.  Per-slide wall-clock
 times are recorded so the benchmark harness can report the paper's two
 metrics: aggregate throughput (edges/s) and tail (p99) slide latency.
+
+Execution granularity: edges are accumulated per slide by the shared
+:class:`~repro.core.batch.BatchScheduler` (the same driver the DD
+baseline uses) and applied either one tuple at a time
+(``batch_size=None``, the original per-tuple semantics) or as
+:class:`~repro.core.batch.DeltaBatch` groups flushed through the operator
+topology (``batch_size=n``).  Batched and per-tuple execution produce
+identical results because every operator observes the same event order
+as in per-tuple mode: within one slide the batches are split into
+consecutive same-label runs, and batches flow only along *linear* edges
+of the dataflow — at fanout points (one producer feeding several
+subscriptions, e.g. a self-join's two ports or a reconverging diamond)
+delivery degrades to per-event emission in exact per-tuple interleaving
+(see :meth:`repro.dataflow.graph.PhysicalOperator.emit_batch`).
+
+Late edges (timestamps behind the current slide boundary): the watermark
+never regresses, and a late edge is **never reassigned to the current
+slide** — WSCAN derives validity from the edge's own timestamp.  The
+``late_policy`` parameter selects what happens to it:
+
+* ``"allow"`` (default) — process it with its true timestamp; results
+  that would have involved already-purged state may be missed.
+* ``"drop"`` — discard it and count it in :attr:`Executor.late_count`.
+* ``"raise"`` — raise :class:`~repro.errors.StreamOrderError`.
+
+For bounded disorder, compose with
+:func:`repro.dataflow.disorder.reorder`, which restores timestamp order
+upstream of the executor.
 
 Windowing is *not* the executor's job: sources emit sgts with the minimal
 ``[t, t+1)`` NOW interval and the WSCAN physical operators assign real
@@ -15,46 +43,18 @@ windows of different lengths over different input streams (Example 4).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.batch import BatchScheduler, RunStats, SlideStats
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT, sgt_from_sge
 from repro.dataflow.graph import DELETE, INSERT, DataflowGraph, Event
+from repro.errors import StreamOrderError
 
+__all__ = ["Executor", "RunStats", "SlideStats"]
 
-@dataclass
-class SlideStats:
-    """Wall-clock accounting for one window slide."""
-
-    boundary: int
-    seconds: float = 0.0
-    edges: int = 0
-
-
-@dataclass
-class RunStats:
-    """Aggregate statistics of one execution."""
-
-    slides: list[SlideStats] = field(default_factory=list)
-    total_edges: int = 0
-    total_seconds: float = 0.0
-
-    @property
-    def throughput(self) -> float:
-        """Edges per second over the whole run."""
-        if self.total_seconds == 0:
-            return float("inf")
-        return self.total_edges / self.total_seconds
-
-    def tail_latency(self, quantile: float = 0.99) -> float:
-        """The ``quantile`` (default p99) of per-slide processing time."""
-        if not self.slides:
-            return 0.0
-        ordered = sorted(s.seconds for s in self.slides)
-        index = min(len(ordered) - 1, int(quantile * len(ordered)))
-        return ordered[index]
+#: Late-edge policies (see module docstring).
+LATE_POLICIES = ("allow", "drop", "raise")
 
 
 class Executor:
@@ -66,49 +66,63 @@ class Executor:
         The physical dataflow.
     slide:
         The slide interval ``beta`` at which the watermark advances.
+    batch_size:
+        ``None`` preserves per-tuple execution; a positive integer flushes
+        :class:`~repro.core.batch.DeltaBatch` groups of up to that many
+        edges through the topology, amortizing per-operator-hop call
+        overhead across the batch.
+    late_policy:
+        What to do with edges behind the current watermark boundary
+        (``"allow"``, ``"drop"`` or ``"raise"``; see module docstring).
     """
 
-    def __init__(self, graph: DataflowGraph, slide: int = 1):
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        slide: int = 1,
+        batch_size: int | None = None,
+        late_policy: str = "allow",
+    ):
         if slide <= 0:
             raise ValueError(f"slide must be positive, got {slide}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"unknown late policy {late_policy!r}; expected one of {LATE_POLICIES}"
+            )
         self.graph = graph
         self.slide = slide
+        self.batch_size = batch_size
+        self.late_policy = late_policy
+        #: Late edges discarded under ``late_policy="drop"``.
+        self.late_count = 0
         self._current_boundary: int | None = None
 
     def run(self, stream: Iterable[SGE]) -> RunStats:
         """Process the whole stream; returns per-slide timing statistics."""
-        stats = RunStats()
-        current: SlideStats | None = None
-        start = time.perf_counter()
-        slide_start = start
-
-        for edge in stream:
-            boundary = self._boundary(edge.t)
-            if current is None or boundary > current.boundary:
-                now = time.perf_counter()
-                if current is not None:
-                    current.seconds = now - slide_start
-                    stats.slides.append(current)
-                slide_start = now
-                current = SlideStats(boundary=boundary)
-                self._advance(boundary)
-            self.graph.push(edge.label, Event(_now_sgt(edge), INSERT))
-            current.edges += 1
-            stats.total_edges += 1
-
-        end = time.perf_counter()
-        if current is not None:
-            current.seconds = end - slide_start
-            stats.slides.append(current)
-        stats.total_seconds = end - start
-        return stats
+        apply = self._apply_tuples if self.batch_size is None else self._apply_batch
+        scheduler = BatchScheduler(
+            self._boundary,
+            self.batch_size,
+            on_late=None if self.late_policy == "allow" else self._on_late,
+        )
+        return scheduler.run(stream, apply)
 
     # ------------------------------------------------------------------
     # Step-wise API (used by the engine facade and by tests)
     # ------------------------------------------------------------------
     def push_edge(self, edge: SGE) -> None:
         """Advance the watermark if needed, then insert one edge."""
-        self._advance(self._boundary(edge.t))
+        boundary = self._boundary(edge.t)
+        if (
+            self._current_boundary is not None
+            and boundary < self._current_boundary
+            and self.late_policy != "allow"
+            and not self._on_late(edge, self._current_boundary)
+        ):
+            return
+        self._advance(boundary)
         self.graph.push(edge.label, Event(_now_sgt(edge), INSERT))
 
     def delete_edge(self, edge: SGE) -> None:
@@ -123,6 +137,61 @@ class Executor:
     def advance_to(self, t: int) -> None:
         """Advance the watermark to the slide boundary at or before t."""
         self._advance(self._boundary(t))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_tuples(self, boundary: int, edges: list[SGE]) -> None:
+        """Per-tuple application: one event per edge, in arrival order."""
+        self._advance(boundary)
+        push = self.graph.push
+        for edge in edges:
+            push(edge.label, Event(_now_sgt(edge), INSERT))
+
+    def _apply_batch(self, boundary: int, edges: list[SGE]) -> None:
+        """Batched application: consecutive same-label runs become
+        insert-only :class:`DeltaBatch` groups flushed through the
+        topology.  Splitting on label changes (rather than grouping the
+        whole slide per label) preserves global arrival order, so every
+        operator sees exactly the event order of per-tuple mode.  Edges
+        whose label has no source are discarded *before* segmenting — the
+        query never observes them, so they must not shorten runs (a query
+        over one of many interleaved input labels still gets whole-batch
+        runs).
+        """
+        self._advance(boundary)
+        sources = self.graph.sources
+        if len(sources) == 1:
+            # Single-source fast path (common: one window per plan label
+            # set): no segmentation at all.
+            ((label, source),) = sources.items()
+            kept = [e for e in edges if e.label == label]
+            source.push_sges(boundary, kept)
+            return
+        kept = [e for e in edges if e.label in sources]
+        i = 0
+        n = len(kept)
+        while i < n:
+            label = kept[i].label
+            j = i + 1
+            while j < n and kept[j].label == label:
+                j += 1
+            sources[label].push_sges(boundary, kept[i:j])
+            i = j
+
+    def _on_late(self, edge: SGE, boundary: int) -> bool:
+        """Apply the drop/raise late policy; True keeps the edge.
+
+        ``boundary`` is the slide the stream has progressed to — the one
+        the edge is behind.
+        """
+        if self.late_policy == "raise":
+            raise StreamOrderError(
+                f"edge at t={edge.t} (slide {self._boundary(edge.t)}) "
+                f"arrived behind the slide boundary {boundary}"
+            )
+        self.late_count += 1
+        return False
 
     def _boundary(self, t: int) -> int:
         return (t // self.slide) * self.slide

@@ -1,10 +1,22 @@
-"""Dataflow graph: operators, channels, events, watermarks.
+"""Dataflow graph: operators, channels, events, batches, watermarks.
 
 Events carry an sgt and a sign: ``+1`` for insertions, ``-1`` for explicit
 deletions (negative tuples, Section 6.2.5).  Expirations due to window
 movement are *not* events — they are handled by each stateful operator
 when the watermark advances (the direct approach), or synthesized into
 deletions internally by negative-tuple operators.
+
+Tuples move through the topology either one at a time (:meth:`emit` /
+:meth:`PhysicalOperator.on_event`) or as :class:`~repro.core.batch.DeltaBatch`
+groups sharing a slide epoch (:meth:`emit_batch` /
+:meth:`PhysicalOperator.on_batch`).  The base class provides a per-tuple
+fallback shim for ``on_batch``: incoming events are replayed through
+``on_event`` while emissions are captured, then forwarded downstream as
+one batch — so any operator participates in batched execution, and hot
+operators override ``on_batch`` with real bulk implementations.  Batches
+preserve arrival order exactly; order is semantically significant (a
+retraction must observe the insertions that preceded it, and expand-only
+operators keep the *first* derivation they find).
 
 Watermark propagation follows Timely's frontier rule: an operator acts on
 the minimum watermark across its input ports, so diamonds in the graph
@@ -13,36 +25,55 @@ never observe time moving backwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
+from repro.core.batch import DeltaBatch
 from repro.core.coalesce import coalesce_stream
 from repro.core.intervals import Interval, cover, net_cover
-from repro.core.tuples import SGT, Label, Vertex
+from repro.core.tuples import SGE, SGT, EdgePayload, Label, Vertex
 from repro.errors import ExecutionError
 
 INSERT = 1
 DELETE = -1
 
 
-@dataclass(frozen=True, slots=True)
 class Event:
-    """An insertion (+1) or explicit deletion (-1) of an sgt."""
+    """An insertion (+1) or explicit deletion (-1) of an sgt.
 
-    sgt: SGT
-    sign: int = INSERT
+    A hand-written ``__slots__`` value class: per-tuple execution
+    allocates one per operator hop, so construction cost is hot (batched
+    execution avoids the wrapper entirely for insert-only batches).
+    """
 
-    def __post_init__(self) -> None:
-        if self.sign not in (INSERT, DELETE):
-            raise ExecutionError(f"invalid event sign {self.sign}")
+    __slots__ = ("sgt", "sign")
+
+    def __init__(self, sgt: SGT, sign: int = INSERT):
+        if sign != INSERT and sign != DELETE:
+            raise ExecutionError(f"invalid event sign {sign}")
+        self.sgt = sgt
+        self.sign = sign
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Event:
+            return self.sgt == other.sgt and self.sign == other.sign  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.sgt, self.sign))
+
+    def __repr__(self) -> str:
+        return f"Event(sgt={self.sgt!r}, sign={self.sign!r})"
 
 
 class PhysicalOperator:
     """Base class for physical operators.
 
     Subclasses implement :meth:`on_event` (per-tuple processing; push
-    outputs with :meth:`emit`) and optionally :meth:`on_advance` (state
-    purge when the watermark moves).
+    outputs with :meth:`emit` or :meth:`emit_sgt`) and optionally
+    :meth:`on_advance` (state purge when the watermark moves).  Batched
+    execution goes through :meth:`on_batch`, whose default implementation
+    replays the batch per tuple while capturing emissions, then flushes
+    them downstream as one batch; hot operators override it.
     """
 
     def __init__(self, name: str):
@@ -52,6 +83,11 @@ class PhysicalOperator:
         self._watermark = -1
         #: number of input ports; maintained by DataflowGraph.connect
         self.arity = 0
+        #: emission-capture buffers, active only while a batch is being
+        #: processed (see :meth:`_begin_batch` / :meth:`_end_batch`)
+        self._capture_sgts: list[SGT] | None = None
+        self._capture_signs: list[int] = []
+        self._capture_mixed = False
 
     # ------------------------------------------------------------------
     # Wiring (used by DataflowGraph)
@@ -67,11 +103,125 @@ class PhysicalOperator:
     # Event flow
     # ------------------------------------------------------------------
     def emit(self, event: Event) -> None:
+        captured = self._capture_sgts
+        if captured is not None:
+            captured.append(event.sgt)
+            self._capture_signs.append(event.sign)
+            if event.sign != INSERT:
+                self._capture_mixed = True
+            return
+        for consumer, port in self._downstream:
+            consumer.on_event(port, event)
+
+    def emit_sgt(self, sgt: SGT, sign: int = INSERT) -> None:
+        """Emit without allocating an :class:`Event` while capturing.
+
+        Equivalent to ``emit(Event(sgt, sign))`` but batch implementations
+        that route through it never pay the wrapper allocation when the
+        output is being collected into a batch.
+        """
+        captured = self._capture_sgts
+        if captured is not None:
+            captured.append(sgt)
+            self._capture_signs.append(sign)
+            if sign != INSERT:
+                self._capture_mixed = True
+            return
+        event = Event(sgt, sign)
         for consumer, port in self._downstream:
             consumer.on_event(port, event)
 
     def on_event(self, port: int, event: Event) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Batch flow
+    # ------------------------------------------------------------------
+    def emit_batch(self, batch: DeltaBatch) -> None:
+        """Forward a batch downstream.
+
+        Batches flow *along linear edges only*: with a single subscriber
+        the whole batch is handed over in one call.  At a fanout point —
+        several subscriptions, which includes one consumer subscribed on
+        several ports (a self-join) and diamonds that reconverge further
+        down — delivery degrades to per-event emission in exactly the
+        per-tuple interleaving (event 1 to every subscriber, then event
+        2, …).  Handing whole batches to each subscriber in turn would
+        reorder events *across ports* relative to per-tuple execution,
+        and order-sensitive consumers (the expand-only negative-tuple
+        PATH keeps the first derivation it finds) would produce
+        different results.
+        """
+        if not batch.sgts:
+            return
+        downstream = self._downstream
+        if len(downstream) == 1:
+            consumer, port = downstream[0]
+            consumer.on_batch(port, batch)
+            return
+        if not downstream:
+            return
+        for sgt, sign in batch.events():
+            event = Event(sgt, sign)
+            for consumer, port in downstream:
+                consumer.on_event(port, event)
+
+    def on_sge_batch(self, port: int, boundary: int, edges: list[SGE]) -> None:
+        """Process one batch of raw input sges from a source.
+
+        The default shim wraps each sge into its minimal ``[t, t+1)`` NOW
+        sgt and processes the result as a :class:`DeltaBatch`; WSCAN
+        overrides this to assign the real window intervals directly from
+        the sges, skipping the intermediate NOW tuples entirely.
+        """
+        sgts = [
+            SGT(
+                e.src,
+                e.trg,
+                e.label,
+                Interval(e.t, e.t + 1),
+                EdgePayload(e.src, e.trg, e.label),
+            )
+            for e in edges
+        ]
+        self.on_batch(port, DeltaBatch(boundary, sgts))
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        """Process one delta batch; the default is a per-tuple shim.
+
+        Events are replayed in arrival order through :meth:`on_event`
+        while emissions are captured, then flushed downstream as a single
+        batch — one downstream call per batch instead of one per tuple.
+        """
+        self._begin_batch()
+        try:
+            on_event = self.on_event
+            signs = batch.signs
+            if signs is None:
+                for sgt in batch.sgts:
+                    on_event(port, Event(sgt, INSERT))
+            else:
+                for sgt, sign in zip(batch.sgts, signs):
+                    on_event(port, Event(sgt, sign))
+        finally:
+            self._end_batch(batch.boundary)
+
+    def _begin_batch(self) -> None:
+        """Start capturing emissions into a batch buffer."""
+        if self._capture_sgts is not None:
+            raise ExecutionError(f"{self.name}: nested batch processing")
+        self._capture_sgts = []
+        self._capture_signs = []
+        self._capture_mixed = False
+
+    def _end_batch(self, boundary: int) -> None:
+        """Stop capturing and flush collected emissions downstream."""
+        sgts = self._capture_sgts
+        signs = self._capture_signs if self._capture_mixed else None
+        self._capture_sgts = None
+        self._capture_signs = []
+        if sgts:
+            self.emit_batch(DeltaBatch(boundary, sgts, signs))
 
     # ------------------------------------------------------------------
     # Progress (watermarks)
@@ -121,6 +271,36 @@ class SourceOp(PhysicalOperator):
     def push(self, event: Event) -> None:
         self.emit(event)
 
+    def push_sges(self, boundary: int, edges: list[SGE]) -> None:
+        """Forward one batch of raw input sges (batched executor path).
+
+        Same fanout rule as :meth:`PhysicalOperator.emit_batch`: the
+        whole batch flows only along a linear edge; with several
+        subscribers (e.g. two WSCANs windowing the same label) delivery
+        falls back to per-event pushes in per-tuple interleaving.
+        """
+        if not edges:
+            return
+        downstream = self._downstream
+        if len(downstream) == 1:
+            consumer, port = downstream[0]
+            consumer.on_sge_batch(port, boundary, edges)
+            return
+        if not downstream:
+            return
+        for e in edges:
+            event = Event(
+                SGT(
+                    e.src,
+                    e.trg,
+                    e.label,
+                    Interval(e.t, e.t + 1),
+                    EdgePayload(e.src, e.trg, e.label),
+                )
+            )
+            for consumer, port in downstream:
+                consumer.on_event(port, event)
+
     def push_watermark(self, t: int) -> None:
         # Sources have a single implicit input port 0 driven by the
         # executor.
@@ -147,6 +327,17 @@ class SinkOp(PhysicalOperator):
         self.events.append(event)
         if self._callback is not None:
             self._callback(event)
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        signs = batch.signs
+        if signs is None:
+            arrived = [Event(sgt) for sgt in batch.sgts]
+        else:
+            arrived = [Event(sgt, sign) for sgt, sign in zip(batch.sgts, signs)]
+        self.events.extend(arrived)
+        if self._callback is not None:
+            for event in arrived:
+                self._callback(event)
 
     @property
     def insert_count(self) -> int:

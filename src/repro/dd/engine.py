@@ -18,10 +18,9 @@ The contrast with the SGA engine is deliberate and mirrors the paper:
 from __future__ import annotations
 
 import heapq
-import time
-from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.batch import BatchScheduler, RunStats, SlideStats
 from repro.core.tuples import SGE, Label
 from repro.core.windows import SlidingWindow
 from repro.dd.collection import Pair, WeightedRelation
@@ -30,49 +29,36 @@ from repro.errors import ExecutionError
 from repro.query.datalog import ANSWER, RQProgram
 from repro.query.validation import topological_order, validate_rq
 
-
-@dataclass
-class DDEpochStats:
-    """Wall-clock accounting for one epoch (window slide)."""
-
-    boundary: int
-    seconds: float = 0.0
-    edges: int = 0
-
-
-@dataclass
-class DDRunStats:
-    epochs: list[DDEpochStats] = field(default_factory=list)
-    total_edges: int = 0
-    total_seconds: float = 0.0
-
-    @property
-    def throughput(self) -> float:
-        if self.total_seconds == 0:
-            return float("inf")
-        return self.total_edges / self.total_seconds
-
-    def tail_latency(self, quantile: float = 0.99) -> float:
-        if not self.epochs:
-            return 0.0
-        ordered = sorted(e.seconds for e in self.epochs)
-        index = min(len(ordered) - 1, int(quantile * len(ordered)))
-        return ordered[index]
+#: Backwards-compatible names: both engines now share the scheduler's
+#: statistics types (``RunStats.epochs`` aliases ``RunStats.slides``).
+DDEpochStats = SlideStats
+DDRunStats = RunStats
 
 
 class DDEngine:
-    """Incremental Regular Query evaluation over a sliding window."""
+    """Incremental Regular Query evaluation over a sliding window.
+
+    ``batch_size`` bounds the number of arrivals applied per propagation
+    round: ``None`` (the default, and DD's native semantics) propagates
+    once per epoch — the whole slide's diffs as one logical timestamp —
+    while a positive value splits large epochs into several rounds at the
+    same boundary.  Both engines are driven by the same
+    :class:`~repro.core.batch.BatchScheduler`, so their benchmark numbers
+    compare the algorithms, not the drivers.
+    """
 
     def __init__(
         self,
         program: RQProgram,
         window: SlidingWindow,
         label_windows: dict[Label, SlidingWindow] | None = None,
+        batch_size: int | None = None,
     ):
         validate_rq(program)
         self.program = program
         self.window = window
         self.label_windows = dict(label_windows or {})
+        self.batch_size = batch_size
         self.order = topological_order(program)
 
         self.relations: dict[str, WeightedRelation] = {
@@ -98,25 +84,15 @@ class DDEngine:
         return set(self.relations[ANSWER].facts())
 
     def run(self, stream: Iterable[SGE]) -> DDRunStats:
-        """Process a whole stream epoch by epoch."""
-        stats = DDRunStats()
-        batch: list[SGE] = []
-        boundary: int | None = None
-        start = time.perf_counter()
+        """Process a whole stream epoch by epoch.
 
-        for edge in stream:
-            edge_boundary = self.window.slide_boundary(edge.t)
-            if boundary is None:
-                boundary = edge_boundary
-            if edge_boundary > boundary:
-                self._timed_epoch(boundary, batch, stats)
-                batch = []
-                boundary = edge_boundary
-            batch.append(edge)
-        if boundary is not None:
-            self._timed_epoch(boundary, batch, stats)
-        stats.total_seconds = time.perf_counter() - start
-        return stats
+        Driven by the :class:`~repro.core.batch.BatchScheduler` shared
+        with the SGA executor: the scheduler accumulates each slide's
+        arrivals, times every flush, and hands the batch to
+        :meth:`advance_epoch`.
+        """
+        scheduler = BatchScheduler(self.window.slide_boundary, self.batch_size)
+        return scheduler.run(stream, self._apply_batch)
 
     def advance_epoch(self, boundary: int, inserts: list[SGE]) -> set[Pair]:
         """Process one epoch: retire expired edges, add arrivals.
@@ -124,6 +100,11 @@ class DDEngine:
         Returns the Answer relation after the epoch.  Epochs must be
         applied in increasing boundary order, and ``inserts`` must hold
         exactly the edges with ``slide_boundary(t) == boundary``.
+        Repeated calls at the *same* boundary are allowed (the scheduler
+        splits large epochs when a ``batch_size`` is set): expiry
+        retractions are idempotent per boundary and the propagation is
+        incremental, so the final Answer is unchanged — only the
+        per-round accounting differs.
 
         Epoch/snapshot correspondence: after the epoch at boundary ``B``
         the engine state contains the edges that arrived by the end of
@@ -192,16 +173,8 @@ class DDEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _timed_epoch(
-        self, boundary: int, batch: list[SGE], stats: DDRunStats
-    ) -> None:
-        started = time.perf_counter()
-        self.advance_epoch(boundary, batch)
-        elapsed = time.perf_counter() - started
-        stats.epochs.append(
-            DDEpochStats(boundary=boundary, seconds=elapsed, edges=len(batch))
-        )
-        stats.total_edges += len(batch)
+    def _apply_batch(self, boundary: int, edges: list[SGE]) -> None:
+        self.advance_epoch(boundary, edges)
 
     def state_size(self) -> int:
         total = sum(len(r) for r in self.relations.values())

@@ -48,10 +48,12 @@ class MultiQueryProcessor:
         path_impl: str = "spath",
         materialize_paths: bool = True,
         coalesce_intermediate: bool = True,
+        batch_size: int | None = None,
     ):
         self._path_impl = path_impl
         self._materialize_paths = materialize_paths
         self._coalesce_intermediate = coalesce_intermediate
+        self._batch_size = batch_size
         self._graph = DataflowGraph()
         self._cache: dict[Plan, PhysicalOperator] = {}
         self._sinks: dict[str, SinkOp] = {}
@@ -98,7 +100,9 @@ class MultiQueryProcessor:
                 for node in walk(plan)
                 if isinstance(node, WScan)
             )
-            self._executor = Executor(self._graph, slide)
+            self._executor = Executor(
+                self._graph, slide, batch_size=self._batch_size
+            )
         return self._executor
 
     def push(self, edge: SGE) -> None:

@@ -46,20 +46,32 @@ class StreamingGraphQueryProcessor:
         path_impl: str = "spath",
         materialize_paths: bool = True,
         coalesce_intermediate: bool = True,
+        batch_size: int | None = None,
+        late_policy: str = "allow",
     ):
         self.plan = plan
         self.path_impl = path_impl
         self._physical: PhysicalPlan = compile_plan(
             plan, path_impl, materialize_paths, coalesce_intermediate
         )
-        self._executor = Executor(self._physical.graph, self._physical.slide)
+        self._executor = Executor(
+            self._physical.graph,
+            self._physical.slide,
+            batch_size=batch_size,
+            late_policy=late_policy,
+        )
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_sgq(cls, query: SGQ, path_impl: str = "spath") -> "StreamingGraphQueryProcessor":
-        return cls(sgq_to_sga(query), path_impl)
+    def from_sgq(
+        cls,
+        query: SGQ,
+        path_impl: str = "spath",
+        batch_size: int | None = None,
+    ) -> "StreamingGraphQueryProcessor":
+        return cls(sgq_to_sga(query), path_impl, batch_size=batch_size)
 
     @classmethod
     def from_datalog(
@@ -68,16 +80,22 @@ class StreamingGraphQueryProcessor:
         window: SlidingWindow,
         label_windows: dict[Label, SlidingWindow] | None = None,
         path_impl: str = "spath",
+        batch_size: int | None = None,
     ) -> "StreamingGraphQueryProcessor":
-        return cls.from_sgq(SGQ.from_text(text, window, label_windows), path_impl)
+        return cls.from_sgq(
+            SGQ.from_text(text, window, label_windows), path_impl, batch_size
+        )
 
     @classmethod
     def from_gcore(
-        cls, text: str, path_impl: str = "spath"
+        cls,
+        text: str,
+        path_impl: str = "spath",
+        batch_size: int | None = None,
     ) -> "StreamingGraphQueryProcessor":
         from repro.gcore import parse_gcore
 
-        return cls.from_sgq(parse_gcore(text), path_impl)
+        return cls.from_sgq(parse_gcore(text), path_impl, batch_size)
 
     # ------------------------------------------------------------------
     # Streaming interface
@@ -95,14 +113,28 @@ class StreamingGraphQueryProcessor:
         self._executor.advance_to(t)
 
     def run(self, stream: Iterable[SGE]) -> RunStats:
-        """Process a whole stream, returning throughput/latency statistics."""
+        """Process a whole stream, returning throughput/latency statistics.
+
+        With ``batch_size`` set at construction, edges are flushed through
+        the dataflow as :class:`~repro.core.batch.DeltaBatch` groups —
+        same results, amortized per-tuple overhead.
+        """
         return self._executor.run(stream)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def results(self) -> list[SGT]:
-        """Coalesced result sgts emitted so far (insertions only)."""
+        """Coalesced result sgts emitted so far (insertions only).
+
+        **Non-destructive, repeatable pull**: calling this does *not*
+        drain anything — every call re-coalesces the full set of result
+        insertions accumulated since the processor was created (or since
+        the last explicit :meth:`clear_results`), so two consecutive
+        calls return equal lists and pushing more edges only ever grows
+        the result set.  Use :meth:`clear_results` for a drain-and-reset
+        consumption pattern.
+        """
         return self._physical.sink.results()
 
     def coverage(self) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:

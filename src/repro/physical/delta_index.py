@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from collections import defaultdict
-from typing import Callable, Iterator
+from typing import Callable
 
 from repro.core.intervals import FOREVER, Interval
 from repro.core.tuples import EdgePayload, Label, PathPayload, Vertex
@@ -216,6 +216,37 @@ class WindowAdjacency:
         self._size += 1
         heapq.heappush(self._expiry, (interval.exp, self._counter, u, label, v))
 
+    def add_many(
+        self, edges: "list[tuple[Vertex, Vertex, Label, Interval]]"
+    ) -> None:
+        """Bulk insert a batch of windowed edges.
+
+        Only sound when nothing traverses the snapshot graph between the
+        individual insertions (the PATH operators' Expand traversals do,
+        so their batch handlers ingest per edge; bulk loading is for
+        state rebuilds and pre-windowed replays).  The expiry heap is
+        maintained with one heapify when the batch dominates the existing
+        heap, amortizing the per-entry sift.
+        """
+        out = self._out
+        inn = self._in
+        expiry = self._expiry
+        heappush = heapq.heappush
+        counter = self._counter
+        bulk = len(edges) > len(expiry)
+        for u, v, label, interval in edges:
+            out[u].setdefault((label, v), []).append(interval)
+            inn[v].setdefault((label, u), []).append(interval)
+            counter += 1
+            if bulk:
+                expiry.append((interval.exp, counter, u, label, v))
+            else:
+                heappush(expiry, (interval.exp, counter, u, label, v))
+        if bulk:
+            heapq.heapify(expiry)
+        self._counter = counter
+        self._size += len(edges)
+
     def remove(self, u: Vertex, v: Vertex, label: Label, interval: Interval) -> bool:
         """Remove one occurrence of the exact interval; False when absent."""
         out_rows = self._out.get(u, {}).get((label, v))
@@ -231,30 +262,50 @@ class WindowAdjacency:
         self._size -= 1
         return True
 
-    def out_edges(self, u: Vertex, now: int) -> Iterator[tuple[Label, Vertex, Interval]]:
+    def out_edges(self, u: Vertex, now: int) -> list[tuple[Label, Vertex, Interval]]:
         """Edges leaving ``u`` that are valid at instant ``now``.
 
         When parallel occurrences are simultaneously valid, the one with
         the largest expiry is reported (the coalesce aggregation S-PATH
-        builds on).
+        builds on).  Returns a list (not a generator): this sits inside
+        the Expand/repair traversal loops, where generator resumption
+        overhead is measurable.
         """
-        for (label, v), intervals in self._out.get(u, {}).items():
+        group = self._out.get(u)
+        result: list[tuple[Label, Vertex, Interval]] = []
+        if not group:
+            return result
+        append = result.append
+        for (label, v), intervals in group.items():
             best: Interval | None = None
+            best_exp = now
             for interval in intervals:
-                if interval.contains(now) and (best is None or interval.exp > best.exp):
+                exp = interval.exp
+                if exp > best_exp and interval.ts <= now:
                     best = interval
+                    best_exp = exp
             if best is not None:
-                yield label, v, best
+                append((label, v, best))
+        return result
 
-    def in_edges(self, v: Vertex, now: int) -> Iterator[tuple[Label, Vertex, Interval]]:
+    def in_edges(self, v: Vertex, now: int) -> list[tuple[Label, Vertex, Interval]]:
         """Edges entering ``v`` valid at ``now`` (largest expiry per edge)."""
-        for (label, u), intervals in self._in.get(v, {}).items():
+        group = self._in.get(v)
+        result: list[tuple[Label, Vertex, Interval]] = []
+        if not group:
+            return result
+        append = result.append
+        for (label, u), intervals in group.items():
             best: Interval | None = None
+            best_exp = now
             for interval in intervals:
-                if interval.contains(now) and (best is None or interval.exp > best.exp):
+                exp = interval.exp
+                if exp > best_exp and interval.ts <= now:
                     best = interval
+                    best_exp = exp
             if best is not None:
-                yield label, u, best
+                append((label, u, best))
+        return result
 
     def purge(self, t: int) -> None:
         """Drop every interval with ``exp <= t`` (lazy, heap-driven)."""
@@ -316,30 +367,40 @@ def repair_nodes(
 
     # Max-heap of candidate derivations: (-exp, ts, child, parent, label).
     heap: list[tuple[int, int, NodeKey, NodeKey, Label]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    nodes_get = tree.nodes.get
+    reverse_get = reverse.get
+    in_edges = adjacency.in_edges
+    out_edges = adjacency.out_edges
+    root = tree.root
 
     def push_candidates(child_key: NodeKey) -> None:
         vertex, state = child_key
-        for label, prev_vertex, interval in adjacency.in_edges(vertex, now):
-            for prev_state in reverse.get((label, state), ()):
+        for label, prev_vertex, interval in in_edges(vertex, now):
+            for prev_state in reverse_get((label, state), ()):
                 parent_key = (prev_vertex, prev_state)
                 if parent_key in marked or parent_key == child_key:
                     continue
-                parent = tree.get(parent_key)
-                if parent is None or (parent.exp <= now and parent_key != tree.root):
+                parent = nodes_get(parent_key)
+                if parent is None or (parent.exp <= now and parent_key != root):
                     continue
-                exp = min(parent.exp, interval.exp)
-                ts = max(parent.ts, interval.ts)
+                exp = parent.exp
+                if interval.exp < exp:
+                    exp = interval.exp
                 if exp > now:
-                    heapq.heappush(heap, (-exp, ts, child_key, parent_key, label))
+                    ts = max(parent.ts, interval.ts)
+                    heappush(heap, (-exp, ts, child_key, parent_key, label))
 
     for key in marked:
         push_candidates(key)
 
+    dfa_delta = dfa.delta
     while heap:
-        neg_exp, ts, child_key, parent_key, label = heapq.heappop(heap)
+        neg_exp, ts, child_key, parent_key, label = heappop(heap)
         if child_key not in marked:
             continue  # already fixed by a better candidate
-        parent = tree.get(parent_key)
+        parent = nodes_get(parent_key)
         if parent is None or parent_key in marked:
             continue
         exp = -neg_exp
@@ -352,16 +413,18 @@ def repair_nodes(
         # Relax: the fixed node may now be the best parent for marked
         # neighbours downstream.
         vertex, state = child_key
-        for out_label, next_vertex, interval in adjacency.out_edges(vertex, now):
-            next_state = dfa.delta(state, out_label)
+        for out_label, next_vertex, interval in out_edges(vertex, now):
+            next_state = dfa_delta(state, out_label)
             if next_state is None:
                 continue
             next_key = (next_vertex, next_state)
             if next_key not in marked:
                 continue
-            next_exp = min(exp, interval.exp)
+            next_exp = exp
+            if interval.exp < next_exp:
+                next_exp = interval.exp
             if next_exp > now:
-                heapq.heappush(
+                heappush(
                     heap,
                     (-next_exp, max(ts, interval.ts), next_key, child_key, out_label),
                 )

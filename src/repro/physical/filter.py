@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.batch import DeltaBatch
 from repro.algebra.operators import Predicate
 from repro.dataflow.graph import Event, PhysicalOperator
 
@@ -22,3 +23,21 @@ class FilterOp(PhysicalOperator):
         sgt = event.sgt
         if self.predicate.evaluate(sgt.src, sgt.trg, sgt.label):
             self.emit(event)
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        """Bulk filtering: one predicate pass, one downstream flush."""
+        evaluate = self.predicate.evaluate
+        signs = batch.signs
+        if signs is None:
+            out = [s for s in batch.sgts if evaluate(s.src, s.trg, s.label)]
+            if out:
+                self.emit_batch(DeltaBatch(batch.boundary, out))
+            return
+        out_sgts: list = []
+        out_signs: list[int] = []
+        for sgt, sign in zip(batch.sgts, signs):
+            if evaluate(sgt.src, sgt.trg, sgt.label):
+                out_sgts.append(sgt)
+                out_signs.append(sign)
+        if out_sgts:
+            self.emit_batch(DeltaBatch(batch.boundary, out_sgts, out_signs))

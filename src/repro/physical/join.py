@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import heapq
 from collections import defaultdict
-from dataclasses import dataclass
 
 from repro.core.intervals import Interval
 from repro.core.tuples import SGT, EdgePayload, Label, Vertex
@@ -32,12 +31,32 @@ Schema = tuple[str, ...]
 Values = tuple[Vertex, ...]
 
 
-@dataclass(frozen=True, slots=True)
 class Binding:
-    """A partial assignment of pattern variables with a validity interval."""
+    """A partial assignment of pattern variables with a validity interval.
 
-    values: Values
-    interval: Interval
+    Hand-written ``__slots__`` value class: one is allocated per input
+    tuple and per probe match in the join tree's hottest loop.
+    """
+
+    __slots__ = ("values", "interval")
+
+    def __init__(self, values: Values, interval: Interval):
+        self.values = values
+        self.interval = interval
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Binding:
+            return (
+                self.values == other.values  # type: ignore[union-attr]
+                and self.interval == other.interval  # type: ignore[union-attr]
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.values, self.interval))
+
+    def __repr__(self) -> str:
+        return f"Binding(values={self.values!r}, interval={self.interval!r})"
 
 
 class _HashTable:
@@ -64,6 +83,34 @@ class _HashTable:
         heapq.heappush(
             self._expiry, (interval.exp, self._seq, key, values, interval)
         )
+
+    def insert_many(
+        self, rows: "list[tuple[Values, Values, Interval]]"
+    ) -> None:
+        """Bulk insert without intermediate probes.
+
+        Only sound when nothing needs to observe the table between the
+        individual insertions — e.g. rebuilding one side, or loading
+        tuples that are known not to join with each other.  The expiry
+        heap is maintained with a single heapify when the batch dominates
+        the existing heap, amortizing the per-entry sift.
+        """
+        table = self._table
+        heappush = heapq.heappush
+        expiry = self._expiry
+        seq = self._seq
+        bulk = len(rows) > len(expiry)
+        for key, values, interval in rows:
+            table[key].setdefault(values, []).append(interval)
+            seq += 1
+            if bulk:
+                expiry.append((interval.exp, seq, key, values, interval))
+            else:
+                heappush(expiry, (interval.exp, seq, key, values, interval))
+        if bulk:
+            heapq.heapify(expiry)
+        self._seq = seq
+        self._count += len(rows)
 
     def remove(self, key: Values, values: Values, interval: Interval) -> bool:
         """Remove one occurrence of (values, interval); False if absent."""
@@ -247,6 +294,33 @@ class PatternOp(PhysicalOperator):
             raise ExecutionError(f"{self.name}: no conjunct on port {port}") from exc
         leaf.on_sgt(event.sgt, event.sign)
 
+    def on_batch(self, port: int, batch) -> None:
+        """Batched ingestion of one conjunct's deltas.
+
+        Symmetric hash joins are insert-and-probe: each tuple must see
+        the state left by the tuples before it (two joining tuples in
+        the same batch produce their result exactly once this way), so
+        the loop stays per tuple.  The batch amortizes everything around
+        it: port/leaf resolution happens once, join results are captured
+        without Event wrappers, and downstream receives one batch.
+        """
+        try:
+            leaf = self._leaves[port]
+        except IndexError as exc:
+            raise ExecutionError(f"{self.name}: no conjunct on port {port}") from exc
+        self._begin_batch()
+        try:
+            on_sgt = leaf.on_sgt
+            signs = batch.signs
+            if signs is None:
+                for sgt in batch.sgts:
+                    on_sgt(sgt, INSERT)
+            else:
+                for sgt, sign in zip(batch.sgts, signs):
+                    on_sgt(sgt, sign)
+        finally:
+            self._end_batch(batch.boundary)
+
     def on_advance(self, t: int) -> None:
         for join in self._joins:
             join.purge(t)
@@ -285,4 +359,4 @@ class _ResultAdapter:
             binding.interval,
             EdgePayload(src, trg, self._label),
         )
-        self._op.emit(Event(sgt, sign))
+        self._op.emit_sgt(sgt, sign)

@@ -70,6 +70,12 @@ class SPathOp(PhysicalOperator):
         if self.dfa.start_is_accepting():
             raise ExecutionError("PATH regex must not accept the empty word")
         self._reverse = reverse_transitions(self.dfa)
+        #: label → [(s, t)] transition pairs, computed once: the per-edge
+        #: DFA scan of ``states_with_transition_on`` is hot-path work.
+        self._transitions = {
+            label: self.dfa.states_with_transition_on(label)
+            for label in dict.fromkeys(self.labels)
+        }
         self.index = DeltaPathIndex(self.dfa.start)
         self.adjacency = WindowAdjacency()
         # Lazy expiry heap over tree nodes: (exp, seq, root_vertex, key).
@@ -91,16 +97,51 @@ class SPathOp(PhysicalOperator):
         else:
             self._delete(sgt.src, sgt.trg, label, sgt.interval)
 
+    def on_batch(self, port: int, batch) -> None:
+        """Batched ingestion of one input label's deltas.
+
+        Each insertion's Expand/Propagate traversal must observe exactly
+        the snapshot graph left by the events before it (bulk-loading the
+        whole batch into the adjacency first would let earlier edges
+        traverse through later ones, changing which derivation a node
+        records), so the loop stays per edge in arrival order.  The batch
+        amortizes the surrounding machinery: port resolution and label
+        lookup happen once, result emissions are captured without Event
+        wrappers, and downstream receives one batch per input batch.
+        """
+        try:
+            label = self.labels[port]
+        except IndexError as exc:
+            raise ExecutionError(f"{self.name}: unexpected port {port}") from exc
+        self._begin_batch()
+        try:
+            signs = batch.signs
+            if signs is None:
+                insert = self._insert
+                for sgt in batch.sgts:
+                    insert(sgt.src, sgt.trg, label, sgt.interval)
+            else:
+                for sgt, sign in zip(batch.sgts, signs):
+                    if sign == INSERT:
+                        self._insert(sgt.src, sgt.trg, label, sgt.interval)
+                    else:
+                        self._delete(sgt.src, sgt.trg, label, sgt.interval)
+        finally:
+            self._end_batch(batch.boundary)
+
     def _insert(self, u, v, label: Label, interval: Interval) -> None:
-        now = max(self._now, interval.ts)
-        self._now = now
+        now = self._now
+        if interval.ts > now:
+            now = interval.ts
+            self._now = now
         self.adjacency.add(u, v, label, interval)
 
-        transitions = self.dfa.states_with_transition_on(label)
+        transitions = self._transitions[label]
+        start = self.dfa.start
         # Snapshot the candidate trees before mutating the index.
         tasks: list[tuple[object, int, int]] = []
         for s, t in transitions:
-            if s == self.dfa.start:
+            if s == start:
                 self.index.ensure_tree(u)
             for root in self.index.roots_containing((u, s)):
                 tasks.append((root, s, t))
@@ -122,43 +163,53 @@ class SPathOp(PhysicalOperator):
         edge_interval: Interval,
         now: int,
     ) -> None:
+        nodes_get = tree.nodes.get
+        root = tree.root
+        root_vertex = tree.root_vertex
+        accepting = self.dfa.accepting
+        dfa_delta = self.dfa.delta
+        out_edges = self.adjacency.out_edges
         stack = [(parent_key, child_key, label, edge_interval)]
         while stack:
             parent_key, child_key, label, edge_interval = stack.pop()
-            parent = tree.get(parent_key)
+            parent = nodes_get(parent_key)
             if parent is None:
                 continue
-            if parent.exp <= now and parent_key != tree.root:
+            if parent.exp <= now and parent_key != root:
                 continue
-            ts = max(edge_interval.ts, parent.ts)
-            exp = min(edge_interval.exp, parent.exp)
+            ts = edge_interval.ts
+            if parent.ts > ts:
+                ts = parent.ts
+            exp = edge_interval.exp
+            if parent.exp < exp:
+                exp = parent.exp
             if exp <= now:
                 continue
 
-            node = tree.get(child_key)
+            node = nodes_get(child_key)
             if node is not None and node.exp <= now:
                 # An expired remnant: by the child.exp <= parent.exp
                 # invariant its whole subtree is expired; discard and
                 # treat as absent.
                 for removed_key, _ in tree.remove_subtree(child_key):
-                    self.index.unregister(tree.root_vertex, removed_key)
+                    self.index.unregister(root_vertex, removed_key)
                 node = None
 
             if node is None:
-                if child_key == tree.root:
+                if child_key == root:
                     continue  # a cycle back to the root adds nothing
                 node = tree.add_child(parent_key, child_key, ts, exp, label)
-                self.index.register(tree.root_vertex, child_key)
-                self._schedule_expiry(tree.root_vertex, child_key, exp)
-                if self.dfa.is_accepting(child_key[1]):
+                self.index.register(root_vertex, child_key)
+                self._schedule_expiry(root_vertex, child_key, exp)
+                if child_key[1] in accepting:
                     self._emit_result(tree, child_key, node, INSERT)
             elif node.exp < exp:
                 old_interval = Interval(node.ts, node.exp)
                 tree.reparent(child_key, parent_key, label)
                 node.ts = min(node.ts, ts)
                 node.exp = max(node.exp, exp)
-                self._schedule_expiry(tree.root_vertex, child_key, node.exp)
-                if self.dfa.is_accepting(child_key[1]):
+                self._schedule_expiry(root_vertex, child_key, node.exp)
+                if child_key[1] in accepting:
                     # Keep the emitted derivation count at exactly one per
                     # node: retract the previous emission, then emit the
                     # widened interval (which always contains the old one).
@@ -168,8 +219,8 @@ class SPathOp(PhysicalOperator):
                 continue  # existing derivation is at least as good
 
             vertex, state = child_key
-            for out_label, w, out_interval in self.adjacency.out_edges(vertex, now):
-                next_state = self.dfa.delta(state, out_label)
+            for out_label, w, out_interval in out_edges(vertex, now):
+                next_state = dfa_delta(state, out_label)
                 if next_state is None:
                     continue
                 stack.append((child_key, (w, next_state), out_label, out_interval))
@@ -284,14 +335,14 @@ class SPathOp(PhysicalOperator):
             Interval(node.ts, node.exp),
             payload,
         )
-        self.emit(Event(sgt, sign))
+        self.emit_sgt(sgt, sign)
 
     def _emit_interval(
         self, tree: SpanningTree, key: NodeKey, interval: Interval, sign: int
     ) -> None:
         """Emit an insertion/retraction for an explicit result interval."""
         sgt = SGT(tree.root_vertex, key[0], self.out_label, interval)
-        self.emit(Event(sgt, sign))
+        self.emit_sgt(sgt, sign)
 
     def state_size(self) -> int:
         return self.index.state_size() + len(self.adjacency)

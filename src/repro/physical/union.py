@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.batch import DeltaBatch
 from repro.core.tuples import SGT, Label
 from repro.dataflow.graph import Event, PhysicalOperator
 
@@ -24,3 +25,19 @@ class UnionOp(PhysicalOperator):
         sgt = event.sgt
         relabeled = SGT(sgt.src, sgt.trg, self.label, sgt.interval, sgt.payload)
         self.emit(Event(relabeled, event.sign))
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        """Bulk merge: forward the batch unchanged (zero copy) when no
+        relabeling applies, otherwise relabel in one tight pass."""
+        label = self.label
+        if label is None:
+            self.emit_batch(batch)
+            return
+        sgts = batch.sgts
+        out = [
+            s
+            if s.label == label
+            else SGT(s.src, s.trg, label, s.interval, s.payload)
+            for s in sgts
+        ]
+        self.emit_batch(DeltaBatch(batch.boundary, out, batch.signs))

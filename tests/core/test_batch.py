@@ -1,0 +1,98 @@
+"""Unit tests for the batched delta machinery (DeltaBatch, BatchScheduler)."""
+
+import pytest
+
+from repro.core.batch import (
+    DELETE,
+    INSERT,
+    BatchScheduler,
+    DeltaBatch,
+    RunStats,
+    SlideStats,
+)
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE, SGT
+
+
+def _sgt(n):
+    return SGT(n, n + 1, "l", Interval(n, n + 10))
+
+
+class TestDeltaBatch:
+    def test_insert_only(self):
+        batch = DeltaBatch(0, [_sgt(1), _sgt(2)])
+        assert batch.insert_only
+        assert len(batch) == 2
+        assert [sign for _, sign in batch.events()] == [INSERT, INSERT]
+        assert batch.inserts == batch.sgts
+        assert batch.deletes == []
+
+    def test_mixed_signs_preserve_order(self):
+        sgts = [_sgt(1), _sgt(2), _sgt(3)]
+        batch = DeltaBatch(0, sgts, [INSERT, DELETE, INSERT])
+        assert not batch.insert_only
+        assert [s for s, _ in batch.events()] == sgts
+        assert [sign for _, sign in batch.events()] == [INSERT, DELETE, INSERT]
+        assert batch.inserts == [sgts[0], sgts[2]]
+        assert batch.deletes == [sgts[1]]
+
+    def test_sign_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaBatch(0, [_sgt(1)], [INSERT, DELETE])
+
+
+class TestBatchScheduler:
+    def edges(self):
+        return [SGE(1, 2, "a", t) for t in (0, 3, 12, 25, 27)]
+
+    def test_one_flush_per_slide_by_default(self):
+        seen = []
+        scheduler = BatchScheduler(lambda t: t // 10 * 10)
+        stats = scheduler.run(self.edges(), lambda b, e: seen.append((b, list(e))))
+        assert [(b, [e.t for e in es]) for b, es in seen] == [
+            (0, [0, 3]),
+            (10, [12]),
+            (20, [25, 27]),
+        ]
+        assert [s.boundary for s in stats.slides] == [0, 10, 20]
+        assert [s.edges for s in stats.slides] == [2, 1, 2]
+        assert [s.batches for s in stats.slides] == [1, 1, 1]
+        assert stats.total_edges == 5
+        assert stats.total_seconds > 0
+
+    def test_batch_size_splits_slides(self):
+        seen = []
+        scheduler = BatchScheduler(lambda t: t // 10 * 10, batch_size=1)
+        stats = scheduler.run(self.edges(), lambda b, e: seen.append(b))
+        assert len(seen) == 5
+        assert stats.total_batches == 5
+        assert [s.batches for s in stats.slides] == [2, 1, 2]
+
+    def test_on_late_filtering(self):
+        late = []
+        scheduler = BatchScheduler(
+            lambda t: t // 10 * 10,
+            on_late=lambda e, boundary: late.append((e, boundary)) or False,
+        )
+        applied = []
+        stream = [SGE(1, 2, "a", 25), SGE(1, 2, "a", 4), SGE(1, 2, "a", 26)]
+        stats = scheduler.run(stream, lambda b, e: applied.extend(e))
+        assert [(e.t, boundary) for e, boundary in late] == [(4, 20)]
+        assert [e.t for e in applied] == [25, 26]
+        assert stats.total_edges == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(lambda t: t, batch_size=0)
+
+
+class TestRunStats:
+    def test_epochs_alias(self):
+        stats = RunStats(slides=[SlideStats(boundary=0)])
+        assert stats.epochs is stats.slides
+
+    def test_total_batches(self):
+        stats = RunStats(
+            slides=[SlideStats(boundary=0, batches=2), SlideStats(boundary=1, batches=3)]
+        )
+        assert stats.total_batches == 5

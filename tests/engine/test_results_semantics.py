@@ -1,0 +1,63 @@
+"""Regression tests pinning the result-draining semantics of
+``StreamingGraphQueryProcessor.results()``.
+
+The documented contract: a **non-destructive, repeatable pull** — every
+call re-coalesces the full accumulated result set; nothing is drained
+implicitly.  ``clear_results()`` is the explicit drain-and-reset.
+"""
+
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.engine import StreamingGraphQueryProcessor
+
+QUERY = "Answer(x, y) <- knows+(x, y) as K."
+WINDOW = SlidingWindow(size=100, slide=10)
+
+EDGES = [
+    SGE("ada", "bob", "knows", 0),
+    SGE("bob", "cyd", "knows", 12),
+    SGE("cyd", "dan", "knows", 25),
+]
+
+
+def _make():
+    return StreamingGraphQueryProcessor.from_datalog(QUERY, window=WINDOW)
+
+
+class TestResultsAreRepeatable:
+    def test_two_consecutive_calls_return_equal_lists(self):
+        processor = _make()
+        for edge in EDGES:
+            processor.push(edge)
+        first = processor.results()
+        second = processor.results()
+        assert first == second
+        assert len(first) > 0
+
+    def test_pull_does_not_drain(self):
+        processor = _make()
+        processor.push(EDGES[0])
+        assert len(processor.results()) == 1
+        # Pulling again still sees the same accumulated results.
+        assert len(processor.results()) == 1
+
+    def test_results_grow_monotonically_with_input(self):
+        processor = _make()
+        processor.push(EDGES[0])
+        before = len(processor.results())
+        processor.push(EDGES[1])
+        processor.push(EDGES[2])
+        after = len(processor.results())
+        assert after > before
+
+    def test_clear_results_is_the_explicit_drain(self):
+        processor = _make()
+        for edge in EDGES[:2]:
+            processor.push(edge)
+        assert processor.results()
+        processor.clear_results()
+        assert processor.results() == []
+        # Streaming continues after the drain: state is preserved, so a
+        # new edge joining existing state still derives new results.
+        processor.push(EDGES[2])
+        assert processor.results()

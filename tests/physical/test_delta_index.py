@@ -147,3 +147,78 @@ class TestReverseTransitions:
                 assert dfa.delta(source, label) == target
         total = sum(len(s) for s in reverse.values())
         assert total == sum(len(m) for m in dfa.transitions.values())
+
+
+class TestBulkPaths:
+    """The bulk insert paths added for batched execution."""
+
+    def test_add_many_matches_sequential_add(self):
+        from repro.core.intervals import Interval
+        from repro.physical.delta_index import WindowAdjacency
+
+        edges = [
+            (1, 2, "a", Interval(0, 10)),
+            (1, 3, "b", Interval(2, 12)),
+            (2, 3, "a", Interval(4, 8)),
+            (1, 2, "a", Interval(1, 20)),  # parallel occurrence
+        ]
+        sequential = WindowAdjacency()
+        for u, v, label, interval in edges:
+            sequential.add(u, v, label, interval)
+        bulk = WindowAdjacency()
+        bulk.add_many(edges)
+
+        assert len(bulk) == len(sequential) == 4
+        for now in (0, 3, 5, 9, 15):
+            assert sorted(bulk.out_edges(1, now)) == sorted(
+                sequential.out_edges(1, now)
+            )
+            assert sorted(bulk.in_edges(3, now)) == sorted(
+                sequential.in_edges(3, now)
+            )
+
+    def test_add_many_purges_like_add(self):
+        from repro.core.intervals import Interval
+        from repro.physical.delta_index import WindowAdjacency
+
+        bulk = WindowAdjacency()
+        bulk.add_many(
+            [(1, 2, "a", Interval(0, 5)), (2, 3, "a", Interval(0, 50))]
+        )
+        bulk.purge(10)
+        assert len(bulk) == 1
+        assert list(bulk.out_edges(1, 12)) == []
+        assert [v for _, v, _ in bulk.out_edges(2, 12)] == [3]
+
+    def test_add_many_on_top_of_existing_state(self):
+        from repro.core.intervals import Interval
+        from repro.physical.delta_index import WindowAdjacency
+
+        adjacency = WindowAdjacency()
+        for i in range(8):
+            adjacency.add(0, i + 1, "a", Interval(i, i + 30))
+        adjacency.add_many([(0, 100, "a", Interval(0, 3))])
+        adjacency.purge(5)  # the bulk-added edge expires first
+        assert all(v != 100 for _, v, _ in adjacency.out_edges(0, 6))
+
+    def test_hash_table_insert_many_matches_insert(self):
+        from repro.core.intervals import Interval
+        from repro.physical.join import _HashTable
+
+        rows = [
+            (("x",), ("x", "y"), Interval(0, 10)),
+            (("x",), ("x", "z"), Interval(2, 8)),
+            (("w",), ("w", "y"), Interval(1, 4)),
+        ]
+        sequential = _HashTable()
+        for key, values, interval in rows:
+            sequential.insert(key, values, interval)
+        bulk = _HashTable()
+        bulk.insert_many(rows)
+
+        assert len(bulk) == len(sequential) == 3
+        assert sorted(bulk.probe(("x",))) == sorted(sequential.probe(("x",)))
+        bulk.purge(5)
+        sequential.purge(5)
+        assert sorted(bulk.probe(("w",))) == sorted(sequential.probe(("w",)))
+        assert len(bulk) == len(sequential)
