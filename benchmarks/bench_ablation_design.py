@@ -16,17 +16,18 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import BENCH_SCALE
-from repro.bench.reporting import format_rows
-from repro.engine import StreamingGraphQueryProcessor
+from repro.engine import EngineConfig, StreamingGraphEngine
 from repro.workloads import QUERIES, labels_for
 
 _rows: list[dict] = []
 
 
 def _run(plan, stream, **options):
-    processor = StreamingGraphQueryProcessor(plan, "negative", **options)
-    stats = processor.run(stream)
-    return stats
+    engine = StreamingGraphEngine(
+        EngineConfig(path_impl="negative", **options)
+    )
+    engine.register(plan, name="ablation")
+    return engine.push_many(stream)
 
 
 @pytest.mark.parametrize("coalesce", [True, False])

@@ -10,7 +10,6 @@ import pytest
 
 from benchmarks.conftest import BENCH_SCALE
 from repro.bench.harness import run_sga_bench
-from repro.bench.reporting import format_rows
 from repro.core.windows import SlidingWindow
 from repro.workloads import QUERIES, labels_for
 

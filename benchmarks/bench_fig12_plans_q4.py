@@ -17,7 +17,6 @@ import pytest
 
 from benchmarks.conftest import BENCH_SCALE
 from repro.bench.harness import run_sga_bench
-from repro.bench.reporting import format_rows
 from repro.workloads import labels_for, q4_plan_space
 
 _rows: list[dict] = []

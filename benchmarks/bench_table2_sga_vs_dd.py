@@ -11,7 +11,6 @@ import pytest
 
 from benchmarks.conftest import BENCH_SCALE
 from repro.bench.harness import run_dd_bench, run_sga_bench
-from repro.bench.reporting import format_rows
 from repro.query.parser import parse_rq
 from repro.workloads import QUERIES, labels_for
 

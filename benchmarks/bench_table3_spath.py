@@ -11,7 +11,6 @@ import pytest
 
 from benchmarks.conftest import BENCH_SCALE
 from repro.bench.harness import run_sga_bench
-from repro.bench.reporting import format_rows
 from repro.workloads import QUERIES, labels_for
 
 ALL = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")

@@ -14,7 +14,7 @@ views over streaming graphs.
 Run with:  python examples/multi_stream_join.py
 """
 
-from repro import SGE, StreamingGraphQueryProcessor
+from repro import SGE, StreamingGraphEngine, parse_gcore
 
 GCORE_QUERY = """
 GRAPH VIEW rec_stream AS (
@@ -28,7 +28,8 @@ ON tx_stream WINDOW (720 ticks) SLIDE (24 ticks)
 WHERE (u2) = (c) )
 """
 
-processor = StreamingGraphQueryProcessor.from_gcore(GCORE_QUERY)
+engine = StreamingGraphEngine()
+recs = engine.register(parse_gcore(GCORE_QUERY), name="recommendations")
 
 # The engine consumes one merged, timestamp-ordered stream; labels route
 # tuples to the right windows (follows/likes/posts -> 24 ticks,
@@ -43,22 +44,22 @@ interleaved = [
     SGE("frank", "gloves", "purchase", 45),
 ]
 for edge in interleaved:
-    processor.push(edge)
+    engine.push(edge)
 
 print("Recommendations and their validity:")
-for (user, product, _), intervals in sorted(processor.coverage().items()):
+for (user, product, _), intervals in sorted(recs.coverage().items()):
     spans = ", ".join(str(iv) for iv in intervals)
     print(f"  {user} <- {product}: {spans}")
 
 # alice follows carol (valid 24 ticks) and carol bought a hat (valid 720
 # ticks): the recommendation holds only while BOTH are in their windows.
-assert ("alice", "hat", "Answer") in processor.valid_at(10)
-assert ("alice", "hat", "Answer") not in processor.valid_at(30)
+assert ("alice", "hat", "Answer") in recs.valid_at(10)
+assert ("alice", "hat", "Answer") not in recs.valid_at(30)
 # bob liked carol's post: the union's second branch fires as well.
-assert ("bob", "hat", "Answer") in processor.valid_at(10)
+assert ("bob", "hat", "Answer") in recs.valid_at(10)
 # erin follows dave long after dave's purchase — still recommended,
 # because purchases stay relevant for 720 ticks.
-assert ("erin", "scarf", "Answer") in processor.valid_at(41)
+assert ("erin", "scarf", "Answer") in recs.valid_at(41)
 
 print("\nWindow interplay verified:")
 print("  social edges expire after 24 ticks, purchases after 720;")

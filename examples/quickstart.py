@@ -1,26 +1,32 @@
 """Quickstart: persistent graph queries over a stream in five minutes.
 
-Registers a transitive-closure query over a stream of `knows` edges with
-a sliding window, pushes edges one by one, and prints incremental results
-— including the actual materialized paths (requirement R3 of the paper:
-paths are first-class citizens).
+Opens a `StreamingGraphEngine` session, registers a transitive-closure
+query over a stream of `knows` edges with a sliding window, pushes edges
+one by one, and prints incremental results through the returned
+`QueryHandle` — including the actual materialized paths (requirement R3
+of the paper: paths are first-class citizens).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import SGE, SlidingWindow, StreamingGraphQueryProcessor
+from repro import SGE, SlidingWindow, StreamingGraphEngine
 from repro.engine import result_paths
+from repro.query.sgq import SGQ
 
 # ----------------------------------------------------------------------
-# 1. Formulate a persistent query: who can reach whom through `knows`
-#    edges, within a sliding window of 100 ticks?
+# 1. Open an engine session and register a persistent query: who can
+#    reach whom through `knows` edges, within a sliding window of 100
+#    ticks?  `register` returns a QueryHandle; more queries can attach
+#    to the same engine (and share operators) at any time.
 # ----------------------------------------------------------------------
 QUERY = """
 Answer(x, y) <- knows+(x, y) as KnowsPath.
 """
 
-processor = StreamingGraphQueryProcessor.from_datalog(
-    QUERY, window=SlidingWindow(size=100, slide=10)
+engine = StreamingGraphEngine()
+reach = engine.register(
+    SGQ.from_text(QUERY, SlidingWindow(size=100, slide=10)),
+    name="reach",
 )
 
 # ----------------------------------------------------------------------
@@ -35,20 +41,21 @@ edges = [
     SGE("eve", "ada", "knows", 90),  # arrives much later
 ]
 for edge in edges:
-    processor.push(edge)
-    print(f"pushed {edge}; results valid now: {len(processor.valid_at(edge.t))}")
+    engine.push(edge)
+    print(f"pushed {edge}; results valid now: {len(reach.valid_at(edge.t))}")
 
 # ----------------------------------------------------------------------
-# 3. Inspect results.  Each result sgt carries a validity interval
-#    [ts, exp) — the instants at which the answer holds — and, because
-#    the query is a closure, the materialized path that witnesses it.
+# 3. Inspect results through the handle.  Each result sgt carries a
+#    validity interval [ts, exp) — the instants at which the answer
+#    holds — and, because the query is a closure, the materialized path
+#    that witnesses it.
 # ----------------------------------------------------------------------
 print("\nAll results (coalesced):")
-for sgt in processor.results():
+for sgt in reach.results():
     print(f"  {sgt.src} -> {sgt.trg}  valid {sgt.interval}")
 
 print("\nMaterialized paths:")
-for path in sorted(result_paths(processor.results()), key=lambda p: p.length):
+for path in sorted(result_paths(reach.results()), key=lambda p: p.length):
     print(f"  {path}")
 
 # ----------------------------------------------------------------------
@@ -56,6 +63,6 @@ for path in sorted(result_paths(processor.results()), key=lambda p: p.length):
 #    the window content at that instant (snapshot reducibility).
 # ----------------------------------------------------------------------
 print("\nWho reaches whom at t=35 :", sorted(
-    (u, v) for u, v, _ in processor.valid_at(35)))
+    (u, v) for u, v, _ in reach.valid_at(35)))
 print("Who reaches whom at t=120:", sorted(
-    (u, v) for u, v, _ in processor.valid_at(120)))
+    (u, v) for u, v, _ in reach.valid_at(120)))

@@ -14,7 +14,7 @@ social stream.
 Run with:  python examples/social_recommendation.py
 """
 
-from repro import SGE, StreamingGraphQueryProcessor
+from repro import SGE, StreamingGraphEngine, parse_gcore
 from repro.datasets import stackoverflow_stream
 from repro.engine import result_paths
 
@@ -33,11 +33,12 @@ ON social_stream WINDOW (24 ticks) SLIDE (1 ticks)
 # Part 1: the paper's running example (Figure 2 input stream).
 # ----------------------------------------------------------------------
 print("== Figure 2 stream ==")
-processor = StreamingGraphQueryProcessor.from_gcore(GCORE_QUERY)
+engine = StreamingGraphEngine()
+notify = engine.register(parse_gcore(GCORE_QUERY), name="notify")
 
 # SGA is closed: intermediate streams are streaming graphs too.  Tap the
 # derived recentLiker edges to watch the relationship graph evolve.
-recent_likers = processor.tap("RL")
+recent_likers = engine.tap("RL")
 
 figure2_stream = [
     SGE("u", "v", "follows", 7),
@@ -50,9 +51,9 @@ figure2_stream = [
     SGE("u", "c", "likes", 30),
 ]
 for edge in figure2_stream:
-    before = {key for key in processor.coverage()}
-    processor.push(edge)
-    new = {key for key in processor.coverage()} - before
+    before = {key for key in notify.coverage()}
+    engine.push(edge)
+    new = {key for key in notify.coverage()} - before
     for user, content, _ in sorted(new):
         print(f"  t={edge.t}: notify {user}: new content {content!r}")
 
@@ -62,7 +63,7 @@ for (u2, u1, _), intervals in sorted(recent_likers.coverage().items()):
     print(f"  {u2} recentLiker-of {u1}: {spans}")
 
 print("\nNotifications valid at t=30:")
-for user, content, _ in sorted(processor.valid_at(30)):
+for user, content, _ in sorted(notify.valid_at(30)):
     print(f"  {user} <- {content}")
 
 # ----------------------------------------------------------------------
@@ -75,19 +76,25 @@ social = stackoverflow_stream(n_edges=3000, n_users=120, seed=42)
 relabel = {"a2q": "follows", "c2q": "likes", "c2a": "posts"}
 stream = [SGE(e.src, e.trg, relabel[e.label], e.t) for e in social]
 
-processor = StreamingGraphQueryProcessor.from_gcore(
-    GCORE_QUERY.replace("24 ticks", "360 ticks").replace("1 ticks", "60 ticks")
+engine = StreamingGraphEngine()
+notify = engine.register(
+    parse_gcore(
+        GCORE_QUERY.replace("24 ticks", "360 ticks").replace(
+            "1 ticks", "60 ticks"
+        )
+    ),
+    name="notify",
 )
-stats = processor.run(stream)
+stats = engine.push_many(stream)
 
 print(f"processed {stats.total_edges} interactions "
       f"across {len(stats.slides)} window slides")
 print(f"throughput: {stats.throughput:,.0f} edges/s, "
       f"p99 slide latency: {stats.tail_latency() * 1000:.2f} ms")
-print(f"distinct notifications: {len(processor.coverage())}")
+print(f"distinct notifications: {len(notify.coverage())}")
 
 # recentLiker chains that power the notifications (paths as data!):
-chains = [p for p in result_paths(processor.results()) if p.length >= 1]
+chains = [p for p in result_paths(notify.results()) if p.length >= 1]
 if chains:
     longest = max(chains, key=lambda p: p.length)
     print(f"longest notification chain ({longest.length} hops): "

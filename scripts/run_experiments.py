@@ -30,7 +30,6 @@ from repro.bench.experiments import (
     table3_rows,
 )
 from repro.bench.reporting import format_rows
-from repro.core.windows import HOUR
 
 
 def main(argv: list[str] | None = None) -> int:

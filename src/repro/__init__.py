@@ -8,7 +8,9 @@ The top-level namespace re-exports the pieces a downstream user needs:
 * the data model (:class:`SGE`, :class:`SGT`, :class:`Interval`,
   :class:`SlidingWindow`),
 * query formulation (:func:`parse_rq`, :func:`parse_gcore`, :class:`SGQ`),
-* the end-to-end processor (:class:`StreamingGraphQueryProcessor`).
+* the engine session API (:class:`StreamingGraphEngine`,
+  :class:`EngineConfig`) — plus the deprecated
+  :class:`StreamingGraphQueryProcessor` shim.
 
 See ``examples/quickstart.py`` for a five-minute tour.
 """
@@ -22,6 +24,8 @@ __all__ = [
     "SGT",
     "Interval",
     "SlidingWindow",
+    "StreamingGraphEngine",
+    "EngineConfig",
     "StreamingGraphQueryProcessor",
     "parse_rq",
     "parse_gcore",
@@ -33,6 +37,10 @@ __all__ = [
 def __getattr__(name: str):
     # Lazy imports keep `import repro` cheap and avoid import cycles while
     # still exposing the full public API at the top level.
+    if name in ("StreamingGraphEngine", "EngineConfig"):
+        import repro.engine
+
+        return getattr(repro.engine, name)
     if name == "StreamingGraphQueryProcessor":
         from repro.engine import StreamingGraphQueryProcessor
 

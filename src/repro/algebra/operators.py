@@ -18,7 +18,7 @@ The five operators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.tuples import Label

@@ -77,13 +77,14 @@ def measured_cost(plan: Plan, sample: list[SGE], path_impl: str = "negative") ->
     """Seconds to run ``plan`` over the sample stream (lower is better)."""
     import time
 
-    from repro.engine import StreamingGraphQueryProcessor
+    from repro.engine.session import EngineConfig, StreamingGraphEngine
 
-    processor = StreamingGraphQueryProcessor(
-        plan, path_impl, materialize_paths=False
+    engine = StreamingGraphEngine(
+        EngineConfig(path_impl=path_impl, materialize_paths=False)
     )
+    engine.register(plan, name="trial")
     start = time.perf_counter()
-    processor.run(sample)
+    engine.push_many(sample)
     return time.perf_counter() - start
 
 

@@ -18,7 +18,7 @@ from typing import Iterable
 from repro.algebra.operators import Filter, Path, Pattern, Plan, Relabel, Union, WScan
 from repro.core.tuples import SGE, Label, Vertex
 from repro.errors import PlanError
-from repro.query.datalog import ANSWER, Atom, ClosureAtom, RQProgram, Rule
+from repro.query.datalog import ANSWER, ClosureAtom, RQProgram, Rule
 from repro.query.validation import topological_order
 from repro.regex.ast import RegexNode
 from repro.regex.dfa import dfa_from_regex

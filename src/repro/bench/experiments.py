@@ -28,7 +28,7 @@ from typing import Iterable
 
 from repro.bench.harness import BenchResult, run_dd_bench, run_sga_bench
 from repro.core.tuples import SGE
-from repro.core.windows import DAY, HOUR, SlidingWindow
+from repro.core.windows import HOUR, SlidingWindow
 from repro.datasets import snb_stream, stackoverflow_stream
 from repro.query.parser import parse_rq
 from repro.workloads import QUERIES, labels_for, q4_plan_space, rpq_direct_plan

@@ -1,4 +1,12 @@
-"""Timed executions of the two engines over prepared streams."""
+"""Timed executions of the two engine backends over prepared streams.
+
+Both measurements go through the one session API
+(:class:`~repro.engine.session.StreamingGraphEngine`): the backend is an
+:class:`~repro.engine.session.EngineConfig` flip, both backends are
+driven by the same shared :class:`~repro.core.batch.BatchScheduler` via
+``engine.push_many`` (the no-per-edge-overhead fast path), so the
+numbers compare the algorithms, not the drivers.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +15,9 @@ from dataclasses import dataclass
 from repro.algebra.operators import Plan
 from repro.core.tuples import SGE, Label
 from repro.core.windows import SlidingWindow
-from repro.dd import DDEngine
-from repro.engine import StreamingGraphQueryProcessor
+from repro.engine.session import EngineConfig, StreamingGraphEngine
 from repro.query.datalog import RQProgram
+from repro.query.sgq import SGQ
 
 
 @dataclass
@@ -43,7 +51,7 @@ def run_sga_bench(
     path_impl: str = "negative",
     batch_size: int | None = None,
 ) -> BenchResult:
-    """Run the SGA engine over a stream and collect metrics.
+    """Run the SGA backend over a stream and collect metrics.
 
     ``path_impl`` defaults to the negative-tuple RPQ operator — the
     prototype's default PATH implementation (Section 6.2.3); Table 3
@@ -52,10 +60,16 @@ def run_sga_bench(
     """
     # Paths are not materialized: the DD baseline cannot return paths,
     # so the comparison is over result-pair production (as in the paper).
-    processor = StreamingGraphQueryProcessor(
-        plan, path_impl, materialize_paths=False, batch_size=batch_size
+    engine = StreamingGraphEngine(
+        EngineConfig(
+            backend="sga",
+            path_impl=path_impl,
+            materialize_paths=False,
+            batch_size=batch_size,
+        )
     )
-    stats = processor.run(stream)
+    handle = engine.register(plan, name="bench")
+    stats = engine.push_many(stream)
     suffix = "" if batch_size is None else f",b={batch_size}"
     return BenchResult(
         system=f"SGA[{path_impl}{suffix}]",
@@ -63,7 +77,7 @@ def run_sga_bench(
         tail_latency=stats.tail_latency(),
         edges=stats.total_edges,
         slides=len(stats.slides),
-        results=processor.result_count(),
+        results=handle.result_count(),
         batches=stats.total_batches,
     )
 
@@ -75,15 +89,20 @@ def run_dd_bench(
     label_windows: dict[Label, SlidingWindow] | None = None,
     batch_size: int | None = None,
 ) -> BenchResult:
-    """Run the DD baseline engine over a stream and collect metrics."""
-    engine = DDEngine(program, window, label_windows, batch_size=batch_size)
-    stats = engine.run(stream)
+    """Run the DD baseline backend over a stream and collect metrics."""
+    engine = StreamingGraphEngine(
+        EngineConfig(backend="dd", batch_size=batch_size)
+    )
+    handle = engine.register(
+        SGQ(program, window, dict(label_windows or {})), name="bench"
+    )
+    stats = engine.push_many(stream)
     return BenchResult(
         system="DD",
         throughput=stats.throughput,
         tail_latency=stats.tail_latency(),
         edges=stats.total_edges,
         slides=len(stats.epochs),
-        results=len(engine.answer()),
+        results=len(handle.answer()),
         batches=stats.total_batches,
     )

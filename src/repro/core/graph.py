@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator
 
-from repro.core.tuples import SGT, EdgePayload, Label, PathPayload, Vertex
+from repro.core.tuples import SGT, Label, PathPayload, Vertex
 
 
 class MaterializedPathGraph:

@@ -99,6 +99,12 @@ class Executor:
         self.late_count = 0
         self._current_boundary: int | None = None
 
+    @property
+    def current_boundary(self) -> int | None:
+        """The slide boundary the watermark has advanced to (``None``
+        before the first edge)."""
+        return self._current_boundary
+
     def run(self, stream: Iterable[SGE]) -> RunStats:
         """Process the whole stream; returns per-slide timing statistics."""
         apply = self._apply_tuples if self.batch_size is None else self._apply_batch

@@ -29,7 +29,7 @@ from typing import Callable
 
 from repro.core.batch import DeltaBatch
 from repro.core.coalesce import coalesce_stream
-from repro.core.intervals import Interval, cover, net_cover
+from repro.core.intervals import Interval, net_cover
 from repro.core.tuples import SGE, SGT, EdgePayload, Label, Vertex
 from repro.errors import ExecutionError
 
@@ -323,6 +323,15 @@ class SinkOp(PhysicalOperator):
         self.events: list[Event] = []
         self._callback = callback
 
+    def set_callback(self, callback: Callable[[Event], None] | None) -> None:
+        """Install (or clear) a per-event delivery callback.
+
+        The callback observes the raw signed event stream — exactly what
+        :meth:`results` coalesces — so push (callback) and pull
+        (:meth:`results`) consumers see the same data.
+        """
+        self._callback = callback
+
     def on_event(self, port: int, event: Event) -> None:
         self.events.append(event)
         if self._callback is not None:
@@ -410,6 +419,72 @@ class DataflowGraph:
             raise ExecutionError("connect() requires operators added to the graph")
         consumer._register_input(port)
         producer._subscribe(consumer, port)
+
+    def producer_of(self, consumer: PhysicalOperator) -> PhysicalOperator | None:
+        """The operator feeding ``consumer``, if any (first match)."""
+        for op in self.operators:
+            for candidate, _ in op._downstream:
+                if candidate is consumer:
+                    return op
+        return None
+
+    def prune(self, sinks: list[SinkOp]) -> list[PhysicalOperator]:
+        """Remove ``sinks`` and every operator reachable *only* through them.
+
+        Liveness is computed upstream from the remaining sinks (query
+        sinks and taps alike): an operator survives iff some retained
+        sink still consumes — directly or transitively — from it.
+        Subscriptions from surviving producers to removed consumers are
+        severed, so shared operators keep streaming to the queries that
+        remain.  Returns the removed operators (callers evict compilation
+        cache entries pointing at them).
+        """
+        removed = set(sinks)
+        kept_sinks = [s for s in self.sinks if s not in removed]
+        producers: dict[PhysicalOperator, list[PhysicalOperator]] = {}
+        for op in self.operators:
+            for consumer, _ in op._downstream:
+                producers.setdefault(consumer, []).append(op)
+        live: set[PhysicalOperator] = set()
+        stack: list[PhysicalOperator] = list(kept_sinks)
+        while stack:
+            op = stack.pop()
+            if op in live:
+                continue
+            live.add(op)
+            stack.extend(producers.get(op, ()))
+        dead = [op for op in self.operators if op not in live]
+        self.operators = [op for op in self.operators if op in live]
+        self.sinks = kept_sinks
+        self.sources = {
+            label: source
+            for label, source in self.sources.items()
+            if source in live
+        }
+        for op in self.operators:
+            op._downstream = [
+                (consumer, port)
+                for consumer, port in op._downstream
+                if consumer in live
+            ]
+        return dead
+
+    def sync_watermarks(self) -> None:
+        """Align consumer input watermarks with their producers'.
+
+        Used when splicing new operators into a *live* dataflow: a cached
+        (shared) producer only re-announces its watermark on the next
+        frontier movement, so a freshly attached consumer would otherwise
+        lag one slide behind.  ``receive_watermark`` cascades, so one
+        sweep over all edges converges.
+        """
+        for op in list(self.operators):
+            wm = op._watermark
+            if wm < 0:
+                continue
+            for consumer, port in list(op._downstream):
+                if consumer._input_watermarks.get(port, -1) < wm:
+                    consumer.receive_watermark(port, wm)
 
     def source_labels(self) -> set[Label]:
         return set(self.sources)

@@ -14,8 +14,10 @@ Datalog engine:
 * counting-based incremental maintenance for the non-recursive rules and
   DRed (delete-and-re-derive) for transitive closure
   (:mod:`repro.dd.operators`),
-* an engine that slides the window by retracting expired edges and
-  inserting arrivals, epoch by epoch (:mod:`repro.dd.engine`).
+* a runtime that slides the window by retracting expired edges and
+  inserting arrivals, epoch by epoch (:mod:`repro.dd.runtime`) — this is
+  what ``StreamingGraphEngine(backend="dd")`` drives; the historical
+  :class:`~repro.dd.engine.DDEngine` facade is a deprecated shim.
 
 Like DD — and unlike the SGA operators — it ignores the structure of
 graph queries and the temporal order of window expirations, paying the
@@ -28,5 +30,12 @@ over epoch batches, so throughput grows with the slide interval
 from repro.dd.collection import WeightedRelation
 from repro.dd.engine import DDEngine, DDRunStats
 from repro.dd.operators import IncrementalClosure
+from repro.dd.runtime import DDRuntime
 
-__all__ = ["WeightedRelation", "IncrementalClosure", "DDEngine", "DDRunStats"]
+__all__ = [
+    "WeightedRelation",
+    "IncrementalClosure",
+    "DDEngine",
+    "DDRunStats",
+    "DDRuntime",
+]

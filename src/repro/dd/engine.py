@@ -1,50 +1,50 @@
-"""The epoch-driven DD baseline engine.
+"""Deprecated DD-baseline facade over :mod:`repro.engine.session`.
 
-Evaluates a Regular Query incrementally: the sliding window is an
-evolving collection of input edges (insertions on arrival, retractions on
-expiry), and each epoch — one slide interval — propagates the batched
-diffs through the rule DAG in dependency order.
+.. deprecated::
+    :class:`DDEngine` is a thin compatibility shim over
+    :class:`~repro.engine.session.StreamingGraphEngine` with
+    ``backend="dd"`` and will be removed one release after the session
+    API landed.  Migrate::
 
-The contrast with the SGA engine is deliberate and mirrors the paper:
+        # old
+        engine = DDEngine(program, window)
+        engine.run(stream); engine.answer()
 
-* work is batched per epoch, so larger slides amortize fixed costs and
-  *increase* throughput (Figure 11), while SGA's tuple-at-a-time
-  operators are insensitive to the slide (Figure 10b);
-* expirations are ordinary retractions: transitive closure pays DRed's
-  over-delete/re-derive traversals on every window movement, which is
-  exactly the structural cost S-PATH's direct approach avoids.
+        # new
+        engine = StreamingGraphEngine(EngineConfig(backend="dd"))
+        handle = engine.register(SGQ(program, window))
+        engine.push_many(stream); handle.answer()
+
+The actual epoch-driven evaluation lives in
+:class:`repro.dd.runtime.DDRuntime` (see that module for the algorithmic
+contrast with the SGA operators the paper measures).
 """
 
 from __future__ import annotations
 
-import heapq
+import warnings
 from typing import Iterable
 
-from repro.core.batch import BatchScheduler, RunStats, SlideStats
 from repro.core.tuples import SGE, Label
 from repro.core.windows import SlidingWindow
-from repro.dd.collection import Pair, WeightedRelation
-from repro.dd.operators import IncrementalClosure, rule_delta
-from repro.errors import ExecutionError
-from repro.query.datalog import ANSWER, RQProgram
-from repro.query.validation import topological_order, validate_rq
+from repro.dd.collection import Pair
+from repro.dd.runtime import DDEpochStats, DDRunStats, DDRuntime
+from repro.query.datalog import RQProgram
+from repro.query.sgq import SGQ
 
-#: Backwards-compatible names: both engines now share the scheduler's
-#: statistics types (``RunStats.epochs`` aliases ``RunStats.slides``).
-DDEpochStats = SlideStats
-DDRunStats = RunStats
+__all__ = ["DDEngine", "DDRunStats", "DDEpochStats"]
+
+_DEPRECATION = (
+    "DDEngine is deprecated; use StreamingGraphEngine with "
+    "EngineConfig(backend=\"dd\") and the returned QueryHandle "
+    "(see repro.engine.session)"
+)
 
 
 class DDEngine:
     """Incremental Regular Query evaluation over a sliding window.
 
-    ``batch_size`` bounds the number of arrivals applied per propagation
-    round: ``None`` (the default, and DD's native semantics) propagates
-    once per epoch — the whole slide's diffs as one logical timestamp —
-    while a positive value splits large epochs into several rounds at the
-    same boundary.  Both engines are driven by the same
-    :class:`~repro.core.batch.BatchScheduler`, so their benchmark numbers
-    compare the algorithms, not the drivers.
+    Deprecated: see the module docstring for the migration path.
     """
 
     def __init__(
@@ -54,129 +54,49 @@ class DDEngine:
         label_windows: dict[Label, SlidingWindow] | None = None,
         batch_size: int | None = None,
     ):
-        validate_rq(program)
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        from repro.engine.session import EngineConfig, StreamingGraphEngine
+
         self.program = program
         self.window = window
         self.label_windows = dict(label_windows or {})
         self.batch_size = batch_size
-        self.order = topological_order(program)
-
-        self.relations: dict[str, WeightedRelation] = {
-            label: WeightedRelation(label) for label in self.order
-        }
-        self.closures: dict[str, IncrementalClosure] = {}
-        self._closure_base: dict[str, str] = {}
-        for atom in program.closure_atoms():
-            self.closures[atom.name] = IncrementalClosure(atom.name)
-            self._closure_base[atom.name] = atom.label
-
-        self._edb = program.edb_labels
-        # Min-heap of (expiry, seq, src, trg, label) for window retractions.
-        self._expiry: list[tuple[int, int, object, object, Label]] = []
-        self._seq = 0
-        self._boundary: int | None = None
+        self._engine = StreamingGraphEngine(
+            EngineConfig(backend="dd", batch_size=batch_size)
+        )
+        self._handle = self._engine.register(
+            SGQ(program, window, self.label_windows), name="q0"
+        )
+        self._runtime: DDRuntime = self._handle._runtime
 
     # ------------------------------------------------------------------
-    # Public API
+    # Public API (delegates to the session's DD query handle)
     # ------------------------------------------------------------------
     def answer(self) -> set[Pair]:
         """The current content of the Answer relation."""
-        return set(self.relations[ANSWER].facts())
+        return self._handle.answer()
 
     def run(self, stream: Iterable[SGE]) -> DDRunStats:
-        """Process a whole stream epoch by epoch.
-
-        Driven by the :class:`~repro.core.batch.BatchScheduler` shared
-        with the SGA executor: the scheduler accumulates each slide's
-        arrivals, times every flush, and hands the batch to
-        :meth:`advance_epoch`.
-        """
-        scheduler = BatchScheduler(self.window.slide_boundary, self.batch_size)
-        return scheduler.run(stream, self._apply_batch)
+        """Process a whole stream epoch by epoch (shared scheduler)."""
+        return self._engine.push_many(stream)
 
     def advance_epoch(self, boundary: int, inserts: list[SGE]) -> set[Pair]:
-        """Process one epoch: retire expired edges, add arrivals.
-
-        Returns the Answer relation after the epoch.  Epochs must be
-        applied in increasing boundary order, and ``inserts`` must hold
-        exactly the edges with ``slide_boundary(t) == boundary``.
-        Repeated calls at the *same* boundary are allowed (the scheduler
-        splits large epochs when a ``batch_size`` is set): expiry
-        retractions are idempotent per boundary and the propagation is
-        incremental, so the final Answer is unchanged — only the
-        per-round accounting differs.
-
-        Epoch/snapshot correspondence: after the epoch at boundary ``B``
-        the engine state contains the edges that arrived by the end of
-        the epoch (``t < B + beta``) and have not expired at ``B`` — for
-        window sizes that are multiples of the slide (every configuration
-        in the paper) this is precisely the snapshot at instant
-        ``B + beta - 1``, the final instant of the epoch.  This batching
-        of a whole slide into one logical timestamp is DD's epoch
-        semantics (Section 7.3).
-        """
-        if self._boundary is not None and boundary < self._boundary:
-            raise ExecutionError(
-                f"epoch regression: {boundary} < {self._boundary}"
-            )
-        self._boundary = boundary
-
-        deltas: dict[str, list[tuple[Pair, int]]] = {}
-
-        # 1. Window retractions: edges whose validity ended by `boundary`.
-        while self._expiry and self._expiry[0][0] <= boundary:
-            _, _, src, trg, label = heapq.heappop(self._expiry)
-            self.relations[label].apply((src, trg), -1)
-
-        # 2. Arrivals.
-        for edge in inserts:
-            if edge.label not in self._edb:
-                continue
-            window = self.label_windows.get(edge.label, self.window)
-            interval = window.interval_for(edge.t)
-            if interval.exp <= boundary:
-                continue  # born and expired within this epoch
-            self.relations[edge.label].apply((edge.src, edge.trg), 1)
-            self._seq += 1
-            heapq.heappush(
-                self._expiry,
-                (interval.exp, self._seq, edge.src, edge.trg, edge.label),
-            )
-
-        for label in self._edb:
-            deltas[label] = self.relations[label].epoch_delta()
-
-        # 3. Propagate through the rule DAG in dependency order.  The
-        # old/new views of every relation stay live until the whole epoch
-        # has been propagated (delta-joins read both versions).
-        for label in self.order:
-            if label in self._edb:
-                continue
-            relation = self.relations[label]
-            if label in self.closures:
-                base = self._closure_base[label]
-                closure_delta = self.closures[label].apply_delta(
-                    deltas.get(base, [])
-                )
-                for fact, sign in closure_delta:
-                    relation.apply(fact, sign)
-            else:
-                for rule in self.program.rules_for(label):
-                    for fact, sign in rule_delta(rule, self.relations, deltas):
-                        relation.apply(fact, sign)
-            deltas[label] = relation.epoch_delta()
-
-        for relation in self.relations.values():
-            relation.end_epoch()
-        return self.answer()
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _apply_batch(self, boundary: int, edges: list[SGE]) -> None:
-        self.advance_epoch(boundary, edges)
+        """Process one epoch explicitly (see
+        :meth:`repro.dd.runtime.DDRuntime.advance_epoch`)."""
+        return self._handle.advance_epoch(boundary, inserts)
 
     def state_size(self) -> int:
-        total = sum(len(r) for r in self.relations.values())
-        total += sum(len(c) for c in self.closures.values())
-        return total
+        return self._runtime.state_size()
+
+    # Historical attribute surface ------------------------------------
+    @property
+    def relations(self):
+        return self._runtime.relations
+
+    @property
+    def closures(self):
+        return self._runtime.closures
+
+    @property
+    def order(self):
+        return self._runtime.order

@@ -22,7 +22,7 @@ from typing import Iterable
 
 from repro.core.tuples import Vertex
 from repro.dd.collection import Pair, WeightedRelation
-from repro.query.datalog import Atom, BodyAtom, ClosureAtom, Rule
+from repro.query.datalog import BodyAtom, ClosureAtom, Rule
 
 
 def _atom_relation_name(atom: BodyAtom) -> str:

@@ -1,10 +1,28 @@
-"""End-to-end streaming graph query processor (Section 6)."""
+"""End-to-end streaming graph query engine (Section 6).
+
+The supported entry point is the session API
+(:mod:`repro.engine.session`): one :class:`StreamingGraphEngine` per
+stream, one :class:`QueryHandle` per registered query, ``backend="sga"``
+or ``"dd"`` behind the same handles.  The historical facades
+(:class:`StreamingGraphQueryProcessor`, :class:`MultiQueryProcessor`)
+remain as deprecated shims for one release.
+"""
 
 from repro.engine.multi import MultiQueryProcessor
 from repro.engine.processor import StreamingGraphQueryProcessor
 from repro.engine.results import ResultPath, result_paths
+from repro.engine.session import (
+    EngineConfig,
+    QueryHandle,
+    QueryStats,
+    StreamingGraphEngine,
+)
 
 __all__ = [
+    "StreamingGraphEngine",
+    "EngineConfig",
+    "QueryHandle",
+    "QueryStats",
     "StreamingGraphQueryProcessor",
     "MultiQueryProcessor",
     "ResultPath",

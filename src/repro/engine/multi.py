@@ -1,47 +1,57 @@
-"""Multi-query processing with cross-query operator sharing.
+"""Deprecated multi-query facade over :mod:`repro.engine.session`.
 
-Several persistent queries often scan the same input streams, apply the
-same windows, and even share whole sub-patterns (every query of a
-recommendation service starts from the same follows-closure).  Because
-logical plans are immutable value objects, compiling all queries into
+.. deprecated::
+    :class:`MultiQueryProcessor` is a thin compatibility shim over
+    :class:`~repro.engine.session.StreamingGraphEngine` and will be
+    removed one release after the session API landed.  The session API
+    is a superset: it additionally supports a ``late_policy`` (which
+    this facade historically lacked), per-result callbacks, *live*
+    registration/unregistration mid-stream, and the ``dd`` backend.
+    Migrate::
+
+        # old
+        multi = MultiQueryProcessor(path_impl="spath")
+        multi.register("reach", sgq)
+        multi.run(stream); multi.valid_at("reach", t)
+
+        # new
+        engine = StreamingGraphEngine(EngineConfig(path_impl="spath"))
+        reach = engine.register(sgq, name="reach")
+        engine.push_many(stream); reach.valid_at(t)
+
+Cross-query operator sharing is unchanged (it lives in the engine):
+logical plans are immutable value objects, so compiling all queries into
 one dataflow with a shared compilation cache deduplicates every common
-sub-expression automatically: one WSCAN per (label, window), one Δ-PATH
-index per shared closure, one join tree per shared pattern.
-
-This is the spirit of multi-view sharing systems (Graphsurge's shared
-arrangements, discussed in the paper's Section 2.2) realized at the
-logical-plan level of the SGA framework.
-
-Example::
-
-    multi = MultiQueryProcessor(path_impl="spath")
-    multi.register("reach", SGQ.from_text("Answer(x,y) <- knows+(x,y) as K.", w))
-    multi.register("pairs", SGQ.from_text(
-        "Answer(x,z) <- knows+(x,y) as K, likes(y,z).", w))
-    multi.run(stream)
-    multi.valid_at("reach", t), multi.valid_at("pairs", t)
-
-Both queries above share the ``knows+`` Δ-PATH operator: the closure is
-maintained once, its results fan out to both consumers.
+sub-expression — one WSCAN per (label, window), one Δ-PATH index per
+shared closure, one join tree per shared pattern.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
-from repro.algebra.operators import Plan, WScan, walk
-from repro.algebra.translate import sgq_to_sga
+from repro.algebra.operators import Plan
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT, Label, Vertex
-from repro.dataflow.executor import Executor, RunStats
-from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
-from repro.errors import ExecutionError, PlanError
-from repro.physical.planner import compile_into
+from repro.dataflow.executor import RunStats
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.errors import ExecutionError
 from repro.query.sgq import SGQ
+
+_DEPRECATION = (
+    "MultiQueryProcessor is deprecated; use StreamingGraphEngine — it "
+    "shares operators the same way and additionally supports live "
+    "register/unregister, late policies, callbacks and the dd backend "
+    "(see repro.engine.session)"
+)
 
 
 class MultiQueryProcessor:
-    """Evaluates several persistent queries over shared input streams."""
+    """Evaluates several persistent queries over shared input streams.
+
+    Deprecated: see the module docstring for the migration path.
+    """
 
     def __init__(
         self,
@@ -49,119 +59,83 @@ class MultiQueryProcessor:
         materialize_paths: bool = True,
         coalesce_intermediate: bool = True,
         batch_size: int | None = None,
+        late_policy: str = "allow",
     ):
-        self._path_impl = path_impl
-        self._materialize_paths = materialize_paths
-        self._coalesce_intermediate = coalesce_intermediate
-        self._batch_size = batch_size
-        self._graph = DataflowGraph()
-        self._cache: dict[Plan, PhysicalOperator] = {}
-        self._sinks: dict[str, SinkOp] = {}
-        self._plans: dict[str, Plan] = {}
-        self._executor: Executor | None = None
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._engine = StreamingGraphEngine(
+            EngineConfig(
+                backend="sga",
+                path_impl=path_impl,
+                materialize_paths=materialize_paths,
+                coalesce_intermediate=coalesce_intermediate,
+                batch_size=batch_size,
+                late_policy=late_policy,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def register(self, name: str, query: SGQ | Plan) -> None:
         """Register a query under ``name``; shares operators with every
-        previously registered query.  Registration must precede pushing."""
-        if self._executor is not None:
+        previously registered query.
+
+        This facade keeps its historical contract that registration must
+        precede pushing; the session API it wraps supports live
+        registration (:meth:`StreamingGraphEngine.register`).
+        """
+        if self._engine.started:
             raise ExecutionError(
                 "cannot register queries after streaming has started"
             )
-        if name in self._sinks:
-            raise PlanError(f"query name {name!r} already registered")
-        plan = sgq_to_sga(query) if isinstance(query, SGQ) else query
-        self._plans[name] = plan
-        self._sinks[name] = compile_into(
-            plan,
-            self._graph,
-            self._cache,
-            self._path_impl,
-            self._materialize_paths,
-            self._coalesce_intermediate,
-        )
+        self._engine.register(query, name=name)
 
     @property
     def query_names(self) -> tuple[str, ...]:
-        return tuple(self._plans)
+        return self._engine.query_names
 
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
-    def _ensure_executor(self) -> Executor:
-        if self._executor is None:
-            if not self._plans:
-                raise ExecutionError("no queries registered")
-            slide = min(
-                node.window.slide
-                for plan in self._plans.values()
-                for node in walk(plan)
-                if isinstance(node, WScan)
-            )
-            self._executor = Executor(
-                self._graph, slide, batch_size=self._batch_size
-            )
-        return self._executor
-
     def push(self, edge: SGE) -> None:
-        self._ensure_executor().push_edge(edge)
+        self._engine.push(edge)
 
     def delete(self, edge: SGE) -> None:
-        self._ensure_executor().delete_edge(edge)
+        self._engine.delete(edge)
 
     def advance_to(self, t: int) -> None:
-        self._ensure_executor().advance_to(t)
+        self._engine.advance_to(t)
 
     def run(self, stream: Iterable[SGE]) -> RunStats:
-        return self._ensure_executor().run(stream)
+        return self._engine.push_many(stream)
+
+    @property
+    def late_count(self) -> int:
+        """Late edges discarded under ``late_policy="drop"``."""
+        return self._engine.late_count
 
     # ------------------------------------------------------------------
     # Results (per query)
     # ------------------------------------------------------------------
-    def _sink(self, name: str) -> SinkOp:
-        try:
-            return self._sinks[name]
-        except KeyError as exc:
-            raise PlanError(f"unknown query {name!r}") from exc
-
     def results(self, name: str) -> list[SGT]:
-        return self._sink(name).results()
+        return self._engine.handle(name).results()
 
     def coverage(self, name: str) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
-        return self._sink(name).coverage()
+        return self._engine.handle(name).coverage()
 
     def valid_at(self, name: str, t: int) -> set[tuple[Vertex, Vertex, Label]]:
-        return self._sink(name).valid_at(t)
+        return self._engine.handle(name).valid_at(t)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def operator_count(self) -> int:
         """Operators in the shared dataflow (excluding sinks)."""
-        return sum(
-            1 for op in self._graph.operators if not isinstance(op, SinkOp)
-        )
+        return self._engine.operator_count()
 
     def sharing_savings(self) -> int:
         """Operators saved by sharing, vs compiling each query alone."""
-        from repro.physical.planner import compile_plan
-
-        isolated = 0
-        for plan in self._plans.values():
-            physical = compile_plan(
-                plan,
-                self._path_impl,
-                self._materialize_paths,
-                self._coalesce_intermediate,
-            )
-            isolated += sum(
-                1
-                for op in physical.graph.operators
-                if not isinstance(op, SinkOp)
-            )
-        return isolated - self.operator_count()
+        return self._engine.sharing_savings()
 
     def state_size(self) -> int:
-        return self._graph.state_size()
+        return self._engine.state_size()

@@ -1,44 +1,51 @@
-"""The streaming graph query processor facade.
+"""Deprecated single-query facade over :mod:`repro.engine.session`.
 
-Ties the whole stack together:
+.. deprecated::
+    :class:`StreamingGraphQueryProcessor` is a thin compatibility shim
+    over :class:`~repro.engine.session.StreamingGraphEngine` and will be
+    removed one release after the session API landed.  Migrate::
 
-1. accept a query — an :class:`~repro.query.sgq.SGQ` (Datalog text plus a
-   window), a G-CORE statement, or a hand-built logical plan;
-2. translate to the canonical SGA expression (Algorithm SGQParser) unless
-   a plan was given;
-3. compile to a physical dataflow (:mod:`repro.physical.planner`);
-4. execute persistently: push sges (and deletions), pull result sgts.
+        # old
+        processor = StreamingGraphQueryProcessor.from_datalog(text, window)
+        processor.push(edge); processor.results()
 
-Typical use::
+        # new
+        engine = StreamingGraphEngine()
+        handle = engine.register(SGQ.from_text(text, window))
+        engine.push(edge); handle.results()
 
-    from repro import SGE, SlidingWindow, StreamingGraphQueryProcessor
-
-    processor = StreamingGraphQueryProcessor.from_datalog(
-        "Answer(x, y) <- knows+(x, y) as K.",
-        window=SlidingWindow(size=100, slide=10),
-    )
-    for edge in edges:
-        processor.push(edge)
-    for result in processor.results():
-        print(result, result.payload)
+    The shim also *fixes* the historical kwarg drift: the ``from_*``
+    constructors now accept (and honour) ``materialize_paths``,
+    ``coalesce_intermediate`` and ``late_policy``, which earlier
+    versions silently dropped — everything routes through one validated
+    :class:`~repro.engine.session.EngineConfig`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from repro.algebra.operators import Plan
-from repro.algebra.translate import sgq_to_sga
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT, Label, Vertex
 from repro.core.windows import SlidingWindow
-from repro.dataflow.executor import Executor, RunStats
-from repro.physical.planner import PhysicalPlan, compile_plan
+from repro.dataflow.executor import RunStats
+from repro.engine.session import EngineConfig, StreamingGraphEngine
 from repro.query.sgq import SGQ
+
+_DEPRECATION = (
+    "StreamingGraphQueryProcessor is deprecated; use "
+    "StreamingGraphEngine.register(...) and the returned QueryHandle "
+    "(see repro.engine.session)"
+)
 
 
 class StreamingGraphQueryProcessor:
-    """Registers one persistent query and evaluates it incrementally."""
+    """Registers one persistent query and evaluates it incrementally.
+
+    Deprecated: see the module docstring for the migration path.
+    """
 
     def __init__(
         self,
@@ -49,17 +56,20 @@ class StreamingGraphQueryProcessor:
         batch_size: int | None = None,
         late_policy: str = "allow",
     ):
-        self.plan = plan
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._engine = StreamingGraphEngine(
+            EngineConfig(
+                backend="sga",
+                path_impl=path_impl,
+                materialize_paths=materialize_paths,
+                coalesce_intermediate=coalesce_intermediate,
+                batch_size=batch_size,
+                late_policy=late_policy,
+            )
+        )
+        self._handle = self._engine.register(plan, name="q0")
+        self.plan = self._handle.plan
         self.path_impl = path_impl
-        self._physical: PhysicalPlan = compile_plan(
-            plan, path_impl, materialize_paths, coalesce_intermediate
-        )
-        self._executor = Executor(
-            self._physical.graph,
-            self._physical.slide,
-            batch_size=batch_size,
-            late_policy=late_policy,
-        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -70,8 +80,20 @@ class StreamingGraphQueryProcessor:
         query: SGQ,
         path_impl: str = "spath",
         batch_size: int | None = None,
+        materialize_paths: bool = True,
+        coalesce_intermediate: bool = True,
+        late_policy: str = "allow",
     ) -> "StreamingGraphQueryProcessor":
-        return cls(sgq_to_sga(query), path_impl, batch_size=batch_size)
+        from repro.algebra.translate import sgq_to_sga
+
+        return cls(
+            sgq_to_sga(query),
+            path_impl,
+            materialize_paths=materialize_paths,
+            coalesce_intermediate=coalesce_intermediate,
+            batch_size=batch_size,
+            late_policy=late_policy,
+        )
 
     @classmethod
     def from_datalog(
@@ -81,9 +103,17 @@ class StreamingGraphQueryProcessor:
         label_windows: dict[Label, SlidingWindow] | None = None,
         path_impl: str = "spath",
         batch_size: int | None = None,
+        materialize_paths: bool = True,
+        coalesce_intermediate: bool = True,
+        late_policy: str = "allow",
     ) -> "StreamingGraphQueryProcessor":
         return cls.from_sgq(
-            SGQ.from_text(text, window, label_windows), path_impl, batch_size
+            SGQ.from_text(text, window, label_windows),
+            path_impl,
+            batch_size,
+            materialize_paths=materialize_paths,
+            coalesce_intermediate=coalesce_intermediate,
+            late_policy=late_policy,
         )
 
     @classmethod
@@ -92,103 +122,74 @@ class StreamingGraphQueryProcessor:
         text: str,
         path_impl: str = "spath",
         batch_size: int | None = None,
+        materialize_paths: bool = True,
+        coalesce_intermediate: bool = True,
+        late_policy: str = "allow",
     ) -> "StreamingGraphQueryProcessor":
         from repro.gcore import parse_gcore
 
-        return cls.from_sgq(parse_gcore(text), path_impl, batch_size)
+        return cls.from_sgq(
+            parse_gcore(text),
+            path_impl,
+            batch_size,
+            materialize_paths=materialize_paths,
+            coalesce_intermediate=coalesce_intermediate,
+            late_policy=late_policy,
+        )
 
     # ------------------------------------------------------------------
     # Streaming interface
     # ------------------------------------------------------------------
     def push(self, edge: SGE) -> None:
         """Insert one streaming graph edge (advances the window first)."""
-        self._executor.push_edge(edge)
+        self._engine.push(edge)
 
     def delete(self, edge: SGE) -> None:
         """Explicitly delete a previously inserted edge (negative tuple)."""
-        self._executor.delete_edge(edge)
+        self._engine.delete(edge)
 
     def advance_to(self, t: int) -> None:
         """Advance the window without inserting (e.g. on stream silence)."""
-        self._executor.advance_to(t)
+        self._engine.advance_to(t)
 
     def run(self, stream: Iterable[SGE]) -> RunStats:
-        """Process a whole stream, returning throughput/latency statistics.
-
-        With ``batch_size`` set at construction, edges are flushed through
-        the dataflow as :class:`~repro.core.batch.DeltaBatch` groups —
-        same results, amortized per-tuple overhead.
-        """
-        return self._executor.run(stream)
+        """Process a whole stream, returning throughput/latency statistics."""
+        return self._engine.push_many(stream)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def results(self) -> list[SGT]:
-        """Coalesced result sgts emitted so far (insertions only).
-
-        **Non-destructive, repeatable pull**: calling this does *not*
-        drain anything — every call re-coalesces the full set of result
-        insertions accumulated since the processor was created (or since
-        the last explicit :meth:`clear_results`), so two consecutive
-        calls return equal lists and pushing more edges only ever grows
-        the result set.  Use :meth:`clear_results` for a drain-and-reset
-        consumption pattern.
-        """
-        return self._physical.sink.results()
+        """Coalesced result sgts emitted so far (non-destructive pull)."""
+        return self._handle.results()
 
     def coverage(self) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
         """Net validity cover per result key, honouring retractions."""
-        return self._physical.sink.coverage()
+        return self._handle.coverage()
 
     def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
-        """Result keys valid at instant ``t`` (the snapshot of the output)."""
-        return self._physical.sink.valid_at(t)
+        """Result keys valid at instant ``t``."""
+        return self._handle.valid_at(t)
 
     def result_count(self) -> int:
         """Number of raw (pre-coalescing) result insertions emitted."""
-        return self._physical.sink.insert_count
+        return self._handle.result_count()
 
     def clear_results(self) -> None:
         """Drop accumulated results (state is kept; streaming continues)."""
-        self._physical.sink.clear()
+        self._handle.clear_results()
 
     def tap(self, label: Label):
-        """Attach a sink to the intermediate stream of a derived label.
-
-        SGA is closed — every operator's output is a streaming graph — so
-        intermediate results (say, the ``RL`` recentLiker edges or the
-        ``RLP`` paths of Example 1) are first-class streams too.  The
-        returned :class:`~repro.dataflow.graph.SinkOp` collects the
-        label's sgts from the moment of the call on.
-
-        Raises
-        ------
-        PlanError
-            If no operator in the compiled dataflow produces ``label``.
-        """
-        from repro.dataflow.graph import SinkOp
-        from repro.errors import PlanError
-
-        graph = self._physical.graph
-        for op in graph.operators:
-            produced = getattr(op, "out_label", None)
-            if produced is None:
-                produced = getattr(op, "label", None)
-            if produced == label and not isinstance(op, SinkOp):
-                sink = SinkOp(name=f"tap[{label}]")
-                graph.add(sink)
-                graph.connect(op, sink, 0)
-                return sink
-        raise PlanError(f"no operator produces label {label!r}")
+        """Attach a sink to the intermediate stream of a derived label."""
+        return self._engine.tap(label)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def state_size(self) -> int:
         """Total tuples retained across stateful operators."""
-        return self._physical.graph.state_size()
+        return self._engine.state_size()
 
     @property
     def slide(self) -> int:
-        return self._physical.slide
+        return self._engine.slide

@@ -1,0 +1,904 @@
+"""One engine API: ``StreamingGraphEngine`` sessions with query handles.
+
+The paper's core claim is that a single algebra evaluates many persistent
+queries over one streaming graph.  This module is that claim as an API: a
+long-lived engine session that queries attach to and detach from *while
+the stream is live*, in the spirit of the shared-arrangement multi-view
+systems (e.g. Graphsurge) discussed in the paper's Section 2.2.
+
+* :class:`EngineConfig` — one frozen, validated configuration object
+  replacing the kwarg sprawl of the historical facades
+  (``path_impl`` / ``materialize_paths`` / ``coalesce_intermediate`` /
+  ``batch_size`` / ``late_policy``), plus ``backend`` selection.
+* :class:`StreamingGraphEngine` — owns one dataflow + scheduler;
+  ``register`` returns a :class:`QueryHandle`, ``unregister`` detaches a
+  query and prunes now-unshared operators from the live dataflow.
+* :class:`QueryHandle` — per-query surface: ``results()``, ``valid_at``,
+  ``coverage``, ``stats()``, ``explain()``, push (``on_result``
+  callbacks) and pull delivery over the same event stream.
+* ``backend="sga" | "dd"`` — the SGA dataflow or the DD baseline behind
+  the *same* handle API, so SGA-vs-DD comparisons are a one-line config
+  flip (both are driven by the shared
+  :class:`~repro.core.batch.BatchScheduler`).
+
+Live lifecycle semantics
+------------------------
+
+**Register mid-stream** splices the compiled operators into the shared
+dataflow: common sub-expressions re-share the cached operators, new
+sources/operators are aligned to the current watermark
+(:meth:`~repro.dataflow.graph.DataflowGraph.sync_watermarks`), and the
+new query *backfills* from retained window state where possible:
+
+* shared stateful operators (a Δ-PATH closure, a join's delta index)
+  already hold the live window's tuples, so future results incorporate
+  edges that arrived before registration;
+* if the whole plan is already compiled for another live query, the new
+  sink additionally backfills that query's accumulated result events, so
+  ``results()`` parity is immediate;
+* state that only *non-shared* operators would have held is gone — a
+  partially-shared query registered mid-stream misses results whose
+  non-shared constituents arrived before registration, until those edges
+  would have expired anyway.  (The ``dd`` backend never backfills: a
+  query registered mid-stream starts from an empty window.)
+
+**Unregister mid-stream** detaches the sink and prunes every operator
+reachable only through it; shared operators keep serving the surviving
+queries untouched.  The handle stays readable (its accumulated results
+are retained) but no longer receives new results.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.algebra.explain import explain as explain_plan
+from repro.algebra.operators import Plan
+from repro.algebra.translate import sgq_to_sga
+from repro.core.batch import BatchScheduler, RunStats
+from repro.core.intervals import Interval
+from repro.core.tuples import SGE, SGT, Label, Vertex
+from repro.dataflow.executor import LATE_POLICIES, Executor
+from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
+from repro.dd.runtime import DDRuntime
+from repro.errors import ExecutionError, PlanError, StreamOrderError
+from repro.physical.planner import (
+    PATH_IMPLS,
+    compile_into,
+    compile_plan,
+    evict_dead,
+    plan_slide,
+)
+from repro.query.datalog import ANSWER
+from repro.query.sgq import SGQ
+
+#: Engine implementations selectable behind the same handle API.
+BACKENDS = ("sga", "dd")
+
+#: Config fields a single query may override at ``register`` time (they
+#: only affect how *that* query's plan is compiled).  The remaining
+#: fields — ``backend``, ``batch_size``, ``late_policy`` — configure the
+#: shared scheduler and are engine-wide.
+PER_QUERY_OPTIONS = frozenset(
+    {"path_impl", "materialize_paths", "coalesce_intermediate"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Validated, immutable engine configuration.
+
+    Parameters
+    ----------
+    backend:
+        ``"sga"`` (the paper's algebra, the default) or ``"dd"`` (the
+        Differential-Dataflow-style baseline) — same handle API either
+        way.
+    path_impl:
+        Physical PATH implementation for the sga backend
+        (``"spath"`` or ``"negative"``; Table 3 swaps these).
+    materialize_paths:
+        Whether PATH operators reconstruct hop sequences (requirement
+        R3) or emit bare reachability pairs.
+    coalesce_intermediate:
+        Whether the Section 5.1 coalescing stage is inserted on
+        stateful→stateful edges.
+    batch_size:
+        Edges per scheduler flush; ``None`` = per-tuple execution for
+        sga, one whole epoch per slide for dd.
+    late_policy:
+        ``"allow"`` / ``"drop"`` / ``"raise"`` for edges behind the
+        current slide boundary.
+    """
+
+    backend: str = "sga"
+    path_impl: str = "spath"
+    materialize_paths: bool = True
+    coalesce_intermediate: bool = True
+    batch_size: int | None = None
+    late_policy: str = "allow"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.path_impl not in PATH_IMPLS:
+            raise PlanError(
+                f"unknown PATH implementation {self.path_impl!r}; "
+                f"expected one of {PATH_IMPLS}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"unknown late policy {self.late_policy!r}; "
+                f"expected one of {LATE_POLICIES}"
+            )
+
+    def with_overrides(self, **overrides: object) -> "EngineConfig":
+        """A copy with ``overrides`` applied (re-validated)."""
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig field(s): {sorted(unknown)}"
+            )
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Per-query execution counters (see :meth:`QueryHandle.stats`)."""
+
+    name: str
+    backend: str
+    #: Coalesced result count (sga) / current Answer size (dd).
+    results: int
+    #: Raw result insertions delivered (sga) / cumulative Answer
+    #: additions across epochs (dd).
+    inserts: int
+    #: Raw result retractions delivered (sga) / cumulative Answer
+    #: removals across epochs (dd).
+    retractions: int
+    #: Retained tuples: the whole shared dataflow for sga (state is
+    #: shared between queries and not attributable), this query's
+    #: relations + closures for dd.
+    state_size: int
+    live: bool
+
+
+class QueryHandle:
+    """A registered persistent query: results, stats, lifecycle."""
+
+    def __init__(self, engine: "StreamingGraphEngine", name: str):
+        self._engine = engine
+        self.name = name
+        self._live = True
+
+    @property
+    def is_live(self) -> bool:
+        """False once the query has been unregistered (the handle stays
+        readable; it just receives no new results)."""
+        return self._live
+
+    def unregister(self) -> None:
+        """Detach this query from the engine (see
+        :meth:`StreamingGraphEngine.unregister`)."""
+        self._engine.unregister(self.name)
+
+    # Per-backend surface -------------------------------------------------
+    def results(self):
+        raise NotImplementedError
+
+    def coverage(self):
+        raise NotImplementedError
+
+    def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        raise NotImplementedError
+
+    def result_count(self) -> int:
+        raise NotImplementedError
+
+    def clear_results(self) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> QueryStats:
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._live else "detached"
+        return f"<QueryHandle {self.name!r} ({state})>"
+
+
+class SgaQueryHandle(QueryHandle):
+    """Handle over a query compiled into the shared SGA dataflow."""
+
+    def __init__(
+        self,
+        engine: "StreamingGraphEngine",
+        name: str,
+        plan: Plan,
+        sink: SinkOp,
+        root: PhysicalOperator | None,
+        options: tuple,
+    ):
+        super().__init__(engine, name)
+        self.plan = plan
+        self._sink = sink
+        self._root = root
+        self._options = options
+
+    def results(self) -> list[SGT]:
+        """Coalesced result sgts (non-destructive, repeatable pull)."""
+        return self._sink.results()
+
+    def coverage(self) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
+        """Net validity cover per result key, honouring retractions."""
+        return self._sink.coverage()
+
+    def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        """Result keys valid at instant ``t``."""
+        return self._sink.valid_at(t)
+
+    def result_count(self) -> int:
+        """Raw (pre-coalescing) result insertions delivered."""
+        return self._sink.insert_count
+
+    def clear_results(self) -> None:
+        """Drop accumulated results (operator state is kept)."""
+        self._sink.clear()
+
+    def stats(self) -> QueryStats:
+        inserts = self._sink.insert_count
+        return QueryStats(
+            name=self.name,
+            backend="sga",
+            results=len(self._sink.results()),
+            inserts=inserts,
+            retractions=len(self._sink.events) - inserts,
+            state_size=self._engine.state_size(),
+            live=self._live,
+        )
+
+    def explain(self) -> str:
+        """The logical plan this query was compiled from."""
+        return explain_plan(self.plan)
+
+
+class DDQueryHandle(QueryHandle):
+    """Handle over a query evaluated by the DD baseline runtime.
+
+    The DD baseline is snapshot-based: it maintains the *current* Answer
+    relation per epoch and has neither validity intervals nor
+    materialized paths.  ``valid_at(t)`` therefore answers from the
+    recorded per-epoch history (advancing through empty epochs if ``t``
+    lies ahead of the stream), ``results()`` returns the current Answer
+    keys, and ``coverage()`` is unsupported.
+    """
+
+    def __init__(
+        self,
+        engine: "StreamingGraphEngine",
+        name: str,
+        sgq: SGQ,
+        runtime: DDRuntime,
+        on_result: Callable | None,
+    ):
+        super().__init__(engine, name)
+        self.sgq = sgq
+        self.window = sgq.window
+        self._runtime = runtime
+        self._callback = on_result
+        self._boundaries: list[int] = []
+        self._answers: list[frozenset] = []
+        self._last_answer: frozenset = frozenset()
+
+    # Epoch bookkeeping ---------------------------------------------------
+    def advance_epoch(self, boundary: int, inserts: list[SGE]) -> set:
+        """Apply one epoch (see :meth:`DDRuntime.advance_epoch`) and
+        record its Answer snapshot for :meth:`valid_at` history.
+
+        A time-based sliding window moves at *every* multiple of the
+        slide interval (Definition 16), so a jump over quiet slides
+        first steps through the intervening empty epochs — expirations
+        are then attributed to the epoch that performs them, which keeps
+        :meth:`valid_at` exact for instants between batches of arrivals.
+        The stepping is bounded by the window extent, not the gap: once
+        the runtime's retained state drains, the Answer is constantly
+        empty and the remaining distance is one direct jump."""
+        current = self._runtime.boundary
+        if current is not None:
+            slide = self.window.slide
+            step = current + slide
+            while step < boundary and self._runtime.has_retained_state:
+                self._record(step, self._runtime.advance_epoch(step, []))
+                step += slide
+        answer = self._runtime.advance_epoch(boundary, inserts)
+        self._record(boundary, answer)
+        return answer
+
+    def _record(self, boundary: int, answer: set) -> None:
+        """Record one epoch's Answer for history/callbacks/counters.
+
+        Only *changes* are stored: the Answer is constant between
+        recorded boundaries, so :meth:`valid_at`'s latest-at-or-before
+        lookup stays exact while an unchanged epoch costs one set
+        equality and no allocation (the common case in quiet stretches —
+        this bookkeeping sits inside the benchmark-timed apply loop).
+        Per-epoch delta sets are computed only for push delivery; the
+        pull-side counters derive lazily from the history
+        (:meth:`_delivery_counts`).
+        """
+        if answer == self._last_answer:
+            return
+        frozen = frozenset(answer)
+        if self._callback is not None:
+            for pair in frozen - self._last_answer:
+                self._callback((pair, 1))
+            for pair in self._last_answer - frozen:
+                self._callback((pair, -1))
+        self._last_answer = frozen
+        if self._boundaries and self._boundaries[-1] == boundary:
+            self._answers[-1] = frozen
+        else:
+            self._boundaries.append(boundary)
+            self._answers.append(frozen)
+
+    def _delivery_counts(self) -> tuple[int, int]:
+        """Cumulative Answer (additions, removals) across the recorded
+        history — the pull-side equivalent of the callback deltas."""
+        inserts = 0
+        retractions = 0
+        previous: frozenset = frozenset()
+        for snapshot in self._answers:
+            inserts += len(snapshot - previous)
+            retractions += len(previous - snapshot)
+            previous = snapshot
+        return inserts, retractions
+
+    def _ingest(self, edges: list[SGE]) -> None:
+        """Apply a timestamp-ordered edge batch, one epoch per run of
+        same-boundary edges; late runs join the current epoch with their
+        true timestamps (subject to the engine's late policy)."""
+        window = self.window
+        i = 0
+        n = len(edges)
+        while i < n:
+            boundary = window.slide_boundary(edges[i].t)
+            j = i + 1
+            while j < n and window.slide_boundary(edges[j].t) == boundary:
+                j += 1
+            run = edges[i:j]
+            i = j
+            current = self._runtime.boundary
+            if current is not None and boundary < current:
+                kept = [
+                    e for e in run if self._engine._keep_late(e, current)
+                ]
+                if kept:
+                    self.advance_epoch(current, kept)
+            else:
+                self.advance_epoch(boundary, run)
+
+    def _advance_to(self, t: int) -> None:
+        boundary = self.window.slide_boundary(t)
+        if self._runtime.boundary is None or boundary > self._runtime.boundary:
+            self.advance_epoch(boundary, [])
+
+    # Query surface -------------------------------------------------------
+    def answer(self) -> set:
+        """The current Answer relation (DD vocabulary: vertex pairs)."""
+        return self._runtime.answer()
+
+    def results(self) -> list[tuple[Vertex, Vertex, Label]]:
+        """Current Answer keys, ``(src, trg, "Answer")``, deterministic
+        order.  No validity intervals, no paths — the baseline cannot
+        produce them (which is part of the paper's point)."""
+        return sorted(
+            ((u, v, ANSWER) for u, v in self._runtime.answer()),
+            key=repr,
+        )
+
+    def coverage(self):
+        raise ExecutionError(
+            "the dd backend does not track validity intervals; "
+            "use valid_at(t) or answer()"
+        )
+
+    def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        """Answer keys at the epoch snapshot containing instant ``t``.
+
+        DD batches a whole slide into one logical timestamp, so the
+        epoch at boundary ``B`` corresponds to the snapshot at the
+        epoch's *final* instant ``B + beta - 1`` — compare against the
+        sga backend at those instants (mid-epoch instants are below
+        DD's temporal resolution).
+
+        This is a **pure read**: instants up to the last performed
+        epoch answer from the recorded history, and instants at or past
+        the runtime's expiry horizon are the empty set (every inserted
+        edge has expired by then).  In between — a window movement the
+        baseline has *not yet performed* — it raises rather than
+        silently advancing the stream; call
+        :meth:`StreamingGraphEngine.advance_to` first.
+        """
+        boundary = self.window.slide_boundary(t)
+        current = self._runtime.boundary
+        if current is None or boundary > current:
+            if boundary >= self._runtime.horizon:
+                return set()
+            raise ExecutionError(
+                f"instant {t} is ahead of the last performed window "
+                f"movement (epoch {current}); the dd backend cannot "
+                f"answer about epochs it has not evaluated — call "
+                f"engine.advance_to({t}) first"
+            )
+        index = bisect.bisect_right(self._boundaries, boundary) - 1
+        if index < 0:
+            return set()
+        return {(u, v, ANSWER) for u, v in self._answers[index]}
+
+    def result_count(self) -> int:
+        """Cumulative Answer additions across epochs."""
+        return self._delivery_counts()[0]
+
+    def clear_results(self) -> None:
+        """Drop the recorded epoch history (runtime state is kept)."""
+        self._boundaries.clear()
+        self._answers.clear()
+
+    def stats(self) -> QueryStats:
+        inserts, retractions = self._delivery_counts()
+        return QueryStats(
+            name=self.name,
+            backend="dd",
+            results=len(self._runtime.answer()),
+            inserts=inserts,
+            retractions=retractions,
+            state_size=self._runtime.state_size(),
+            live=self._live,
+        )
+
+    def explain(self) -> str:
+        """The Regular Query program and window the runtime evaluates."""
+        return f"DD[{self.window}]\n{self.sgq.program}"
+
+
+class StreamingGraphEngine:
+    """A long-lived engine session evaluating many persistent queries.
+
+    One engine owns one scheduler and (for the sga backend) one shared
+    :class:`~repro.dataflow.graph.DataflowGraph` with a common
+    sub-expression cache per compile-option set: queries registered with
+    the same options share every common sub-plan — one WSCAN per
+    (label, window), one Δ-PATH index per shared closure.
+
+    Example::
+
+        engine = StreamingGraphEngine(EngineConfig(path_impl="spath"))
+        reach = engine.register(SGQ.from_text(REACH, w), name="reach")
+        pairs = engine.register(SGQ.from_text(PAIRS, w), name="pairs")
+        engine.push_many(stream)
+        reach.valid_at(t), pairs.results()
+        engine.unregister("pairs")      # prunes now-unshared operators
+
+    Flipping ``EngineConfig(backend="dd")`` runs the same queries on the
+    DD baseline behind the same handles.
+    """
+
+    def __init__(self, config: EngineConfig | None = None, **overrides: object):
+        if config is None:
+            config = EngineConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self._config = config
+        self._handles: dict[str, QueryHandle] = {}
+        self._auto = 0
+        # sga backend state
+        self._graph = DataflowGraph()
+        self._caches: dict[tuple, dict[Plan, PhysicalOperator]] = {}
+        self._executor: Executor | None = None
+        # dd backend state: distinct dropped edges (every registered
+        # query consults the late policy for the same edge in turn, so
+        # the counter must dedupe across queries).
+        self._dd_late_dropped: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def backend(self) -> str:
+        return self._config.backend
+
+    @property
+    def query_names(self) -> tuple[str, ...]:
+        """Live query names in registration order."""
+        return tuple(self._handles)
+
+    @property
+    def started(self) -> bool:
+        """True once the engine has consumed stream input."""
+        if self._config.backend == "sga":
+            return (
+                self._executor is not None
+                and self._executor.current_boundary is not None
+            )
+        return any(
+            h._runtime.boundary is not None
+            for h in self._dd_handles()
+        )
+
+    @property
+    def slide(self) -> int:
+        """The slide interval driving watermark/epoch advancement."""
+        if self._config.backend == "sga":
+            if self._executor is not None:
+                return self._executor.slide
+            return self._watermark_slide()
+        handles = self._dd_handles()
+        if not handles:
+            raise ExecutionError("no queries registered")
+        return min(h.window.slide for h in handles)
+
+    @property
+    def late_count(self) -> int:
+        """Late edges discarded under ``late_policy="drop"``."""
+        if self._config.backend == "sga":
+            return self._executor.late_count if self._executor else 0
+        return len(self._dd_late_dropped)
+
+    def handle(self, name: str) -> QueryHandle:
+        """The handle of a live query by name."""
+        try:
+            return self._handles[name]
+        except KeyError as exc:
+            raise PlanError(f"unknown query {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Lifecycle: register / unregister (live)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query: SGQ | Plan,
+        name: str | None = None,
+        on_result: Callable | None = None,
+        **overrides: object,
+    ) -> QueryHandle:
+        """Attach a persistent query; works while the stream is live.
+
+        Parameters
+        ----------
+        query:
+            An :class:`~repro.query.sgq.SGQ` (Regular Query + window) or
+            a hand-built logical :class:`~repro.algebra.operators.Plan`
+            (sga backend only — the dd baseline needs the rule program).
+        name:
+            Handle name (auto-generated ``"q<N>"`` when omitted).
+        on_result:
+            Push-delivery callback.  For sga it receives each raw result
+            :class:`~repro.dataflow.graph.Event` as it is emitted —
+            coalescing the received events yields exactly ``results()``.
+            For dd it receives ``((src, trg), sign)`` Answer deltas per
+            epoch.
+        overrides:
+            Per-query :class:`EngineConfig` overrides; only the
+            compile-time fields (``path_impl``, ``materialize_paths``,
+            ``coalesce_intermediate``) may differ per query.
+
+        See the module docstring for mid-stream registration semantics
+        (operator re-sharing, watermark alignment, backfill rules).
+        """
+        if name is None:
+            name = f"q{self._auto}"
+            self._auto += 1
+        if name in self._handles:
+            raise PlanError(f"query name {name!r} already registered")
+        bad = set(overrides) - PER_QUERY_OPTIONS
+        if bad:
+            raise ValueError(
+                f"engine-wide config field(s) {sorted(bad)} cannot be "
+                f"overridden per query; per-query options are "
+                f"{sorted(PER_QUERY_OPTIONS)}"
+            )
+        if self._config.backend == "sga":
+            handle = self._register_sga(query, name, on_result, overrides)
+        else:
+            handle = self._register_dd(query, name, on_result, overrides)
+        self._handles[name] = handle
+        return handle
+
+    def unregister(self, name: str) -> None:
+        """Detach a query; works while the stream is live.
+
+        For the sga backend, every operator reachable only through the
+        query's sink is pruned from the dataflow and the corresponding
+        shared-subexpression cache entries are evicted; operators still
+        shared with surviving queries (or pinned by :meth:`tap` sinks)
+        are untouched.  The returned-earlier handle stays readable but
+        receives no further results.
+        """
+        handle = self._handles.pop(name, None)
+        if handle is None:
+            raise PlanError(f"unknown query {name!r}")
+        handle._live = False
+        if isinstance(handle, SgaQueryHandle):
+            removed = self._graph.prune([handle._sink])
+            for cache in self._caches.values():
+                evict_dead(cache, removed)
+
+    def _register_sga(
+        self,
+        query: SGQ | Plan,
+        name: str,
+        on_result: Callable | None,
+        overrides: dict,
+    ) -> SgaQueryHandle:
+        config = self._config.with_overrides(**overrides)
+        plan = sgq_to_sga(query) if isinstance(query, SGQ) else query
+        options = (
+            config.path_impl,
+            config.materialize_paths,
+            config.coalesce_intermediate,
+        )
+        cache = self._caches.setdefault(options, {})
+        live = self.started
+        sink = compile_into(plan, self._graph, cache, *options)
+        if on_result is not None:
+            sink.set_callback(on_result)
+        root = self._graph.producer_of(sink)
+        handle = SgaQueryHandle(self, name, plan, sink, root, options)
+        if live:
+            self._splice_live(handle, plan, sink, root)
+        return handle
+
+    def _splice_live(
+        self,
+        handle: SgaQueryHandle,
+        plan: Plan,
+        sink: SinkOp,
+        root: PhysicalOperator | None,
+    ) -> None:
+        """Align a mid-stream registration with the live dataflow."""
+        executor = self._executor
+        assert executor is not None and executor.current_boundary is not None
+        # A finer-slided query tightens the watermark cadence from here
+        # on (boundaries stay monotone; already-passed coarse boundaries
+        # are not revisited).  The gcd — not the min — keeps the current
+        # boundary on the new grid: with slide 10 at boundary 30, a
+        # min() switch to slide 4 would step 30→34→38→42 and overshoot
+        # boundary 40, making perfectly ordered edges look late.
+        executor.slide = math.gcd(executor.slide, plan_slide(plan))
+        # Initialize new sources to the current boundary (a no-op for
+        # existing sources) and cascade watermarks across the freshly
+        # spliced cached-producer -> new-consumer edges.
+        self._graph.push_watermark(executor.current_boundary)
+        self._graph.sync_watermarks()
+        # Full-plan re-share: backfill the accumulated result events of
+        # the richest live handle rooted at the same operator.
+        donor: SgaQueryHandle | None = None
+        for other in self._handles.values():
+            if (
+                isinstance(other, SgaQueryHandle)
+                and other is not handle
+                and other._root is root
+            ):
+                if donor is None or len(other._sink.events) > len(
+                    donor._sink.events
+                ):
+                    donor = other
+        if donor is not None:
+            for event in list(donor._sink.events):
+                sink.on_event(0, event)
+
+    def _register_dd(
+        self,
+        query: SGQ | Plan,
+        name: str,
+        on_result: Callable | None,
+        overrides: dict,
+    ) -> DDQueryHandle:
+        if overrides:
+            raise ValueError(
+                "the dd backend compiles no physical plans; per-query "
+                f"overrides {sorted(overrides)} do not apply"
+            )
+        if not isinstance(query, SGQ):
+            raise PlanError(
+                "the dd backend evaluates Regular Query programs; "
+                "register an SGQ (program + window), not a physical plan"
+            )
+        runtime = DDRuntime(
+            query.program,
+            query.window,
+            query.label_windows,
+            batch_size=self._config.batch_size,
+        )
+        return DDQueryHandle(self, name, query, runtime, on_result)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def push(self, edge: SGE) -> None:
+        """Insert one streaming graph edge (advances the window first)."""
+        if self._config.backend == "sga":
+            self._ensure_executor().push_edge(edge)
+            return
+        for handle in self._require_dd_handles():
+            handle._ingest([edge])
+
+    def delete(self, edge: SGE) -> None:
+        """Explicitly delete a previously inserted edge (negative tuple).
+
+        sga backend only: the DD baseline models removal exclusively as
+        window expiry.
+        """
+        if self._config.backend != "sga":
+            raise ExecutionError(
+                "explicit deletions are not supported by the dd backend"
+            )
+        self._ensure_executor().delete_edge(edge)
+
+    def advance_to(self, t: int) -> None:
+        """Advance the window/epochs without inserting (stream silence)."""
+        if self._config.backend == "sga":
+            self._ensure_executor().advance_to(t)
+            return
+        for handle in self._require_dd_handles():
+            handle._advance_to(t)
+
+    def push_many(self, stream: Iterable[SGE]) -> RunStats:
+        """Feed a whole timestamp-ordered stream through the shared
+        batch scheduler — the fast path: edges are accumulated per slide
+        (optionally capped at ``batch_size``) and flushed through the
+        engine in bulk, with no per-edge Python call overhead.  Returns
+        per-slide timing statistics.
+        """
+        if self._config.backend == "sga":
+            return self._ensure_executor().run(stream)
+        handles = self._require_dd_handles()
+        min_slide = min(h.window.slide for h in handles)
+
+        def apply(boundary: int, edges: list[SGE]) -> None:
+            for handle in handles:
+                handle._ingest(edges)
+
+        scheduler = BatchScheduler(
+            lambda t: (t // min_slide) * min_slide,
+            self._config.batch_size,
+        )
+        return scheduler.run(stream, apply)
+
+    #: ``run`` is the familiar name from the legacy facades.
+    run = push_many
+
+    # ------------------------------------------------------------------
+    # Shared-dataflow introspection (sga backend)
+    # ------------------------------------------------------------------
+    def tap(self, label: Label) -> SinkOp:
+        """Attach a sink to the intermediate stream of a derived label.
+
+        SGA is closed — every operator's output is a streaming graph —
+        so intermediate results are first-class streams too.  The
+        returned sink collects the label's sgts from the moment of the
+        call on.  A tap pins its producer: :meth:`unregister` never
+        prunes operators a tap still observes.
+        """
+        self._require_sga("tap")
+        for op in self._graph.operators:
+            produced = getattr(op, "out_label", None)
+            if produced is None:
+                produced = getattr(op, "label", None)
+            if produced == label and not isinstance(op, SinkOp):
+                sink = SinkOp(name=f"tap[{label}]")
+                self._graph.add(sink)
+                self._graph.connect(op, sink, 0)
+                return sink
+        raise PlanError(f"no operator produces label {label!r}")
+
+    def operator_count(self) -> int:
+        """Operators in the shared dataflow (excluding sinks)."""
+        self._require_sga("operator_count")
+        return sum(
+            1 for op in self._graph.operators if not isinstance(op, SinkOp)
+        )
+
+    def sharing_savings(self) -> int:
+        """Operators saved by sharing, vs compiling each query alone."""
+        self._require_sga("sharing_savings")
+        isolated = 0
+        for handle in self._handles.values():
+            assert isinstance(handle, SgaQueryHandle)
+            physical = compile_plan(handle.plan, *handle._options)
+            isolated += sum(
+                1
+                for op in physical.graph.operators
+                if not isinstance(op, SinkOp)
+            )
+        return isolated - self.operator_count()
+
+    def state_size(self) -> int:
+        """Total tuples retained across the engine's stateful operators."""
+        if self._config.backend == "sga":
+            return self._graph.state_size()
+        return sum(h._runtime.state_size() for h in self._dd_handles())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_sga(self, what: str) -> None:
+        if self._config.backend != "sga":
+            raise ExecutionError(f"{what} requires the sga backend")
+
+    def _dd_handles(self) -> list[DDQueryHandle]:
+        return [
+            h for h in self._handles.values() if isinstance(h, DDQueryHandle)
+        ]
+
+    def _require_dd_handles(self) -> list[DDQueryHandle]:
+        handles = self._dd_handles()
+        if not handles:
+            raise ExecutionError("no queries registered")
+        return handles
+
+    def _watermark_slide(self) -> int:
+        """The watermark cadence covering every registered plan.
+
+        The gcd — not the min — of the plan slides: the executor's
+        boundary grid must hit *every* plan's slide multiples (the
+        negative-tuple PATH performs its expiry re-derivations exactly
+        on those movements), and with e.g. slides 10 and 4 a min() grid
+        of 0,4,8,… would skip boundary 10 entirely.
+        """
+        slides = [
+            plan_slide(h.plan)
+            for h in self._handles.values()
+            if isinstance(h, SgaQueryHandle)
+        ]
+        if not slides:
+            raise ExecutionError("no queries registered")
+        return math.gcd(*slides)
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = Executor(
+                self._graph,
+                self._watermark_slide(),
+                batch_size=self._config.batch_size,
+                late_policy=self._config.late_policy,
+            )
+        return self._executor
+
+    def _keep_late(self, edge: SGE, boundary: int) -> bool:
+        """Apply the engine's late policy to a dd-backend edge.
+
+        Every registered query consults the policy for the same edge in
+        turn (lateness depends on each query's window slide), so the
+        drop counter collects distinct edge values — ``late_count``
+        counts dropped *edges*, not per-query drops.  An exact duplicate
+        of an already-dropped edge is not counted again.
+        """
+        policy = self._config.late_policy
+        if policy == "allow":
+            return True
+        if policy == "raise":
+            raise StreamOrderError(
+                f"edge at t={edge.t} arrived behind the epoch boundary "
+                f"{boundary}"
+            )
+        self._dd_late_dropped.add((edge.src, edge.trg, edge.label, edge.t))
+        return False
+
+

@@ -22,7 +22,7 @@ from collections import Counter
 from repro.core.batch import DeltaBatch
 from repro.core.intervals import FOREVER, Interval, cover, subtract_cover
 from repro.core.tuples import Label
-from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
+from repro.dataflow.graph import INSERT, Event, PhysicalOperator
 
 
 class CoalesceOp(PhysicalOperator):

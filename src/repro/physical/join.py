@@ -24,7 +24,7 @@ from collections import defaultdict
 
 from repro.core.intervals import Interval
 from repro.core.tuples import SGT, EdgePayload, Label, Vertex
-from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
+from repro.dataflow.graph import INSERT, Event, PhysicalOperator
 from repro.errors import ExecutionError, PlanError
 
 Schema = tuple[str, ...]

@@ -55,7 +55,7 @@ def compile_plan(
     sink = compile_into(
         plan, graph, cache, path_impl, materialize_paths, coalesce_intermediate
     )
-    return PhysicalPlan(graph=graph, sink=sink, slide=_plan_slide(plan))
+    return PhysicalPlan(graph=graph, sink=sink, slide=plan_slide(plan))
 
 
 def compile_into(
@@ -85,6 +85,26 @@ def compile_into(
     graph.add(sink)
     graph.connect(root, sink, 0)
     return sink
+
+
+def evict_dead(
+    cache: dict[Plan, PhysicalOperator],
+    removed: list[PhysicalOperator],
+) -> int:
+    """Evict cache entries whose physical operator left the dataflow.
+
+    The shared-subexpression cache maps (sub-)plans to compiled
+    operators; when a live engine unregisters a query and prunes
+    now-unshared operators, the corresponding entries must go too —
+    otherwise a later registration of the same sub-plan would splice a
+    dangling operator back into the graph.  Returns the number of
+    entries evicted.
+    """
+    dead = set(map(id, removed))
+    stale = [key for key, op in cache.items() if id(op) in dead]
+    for key in stale:
+        del cache[key]
+    return len(stale)
 
 
 def _fuse_relabels(plan: Plan, refs: Counter) -> Plan:
@@ -125,7 +145,7 @@ def _fuse_relabels(plan: Plan, refs: Counter) -> Plan:
     return plan
 
 
-def _plan_slide(plan: Plan) -> int:
+def plan_slide(plan: Plan) -> int:
     """The slide driving watermark advancement: the finest one in the plan."""
     slides = [
         node.window.slide

@@ -1,7 +1,6 @@
 """Unit tests for the benchmark harness and experiment registry."""
 
 from repro.bench import (
-    SMALL_SCALE,
     fig10a_window_size,
     fig10b_slide,
     fig11_dd_slide,
@@ -16,7 +15,7 @@ from repro.bench.experiments import Scale
 from repro.core.windows import HOUR, SlidingWindow
 from repro.datasets import uniform_stream
 from repro.query.parser import parse_rq
-from repro.workloads import QUERIES, labels_for
+from repro.workloads import QUERIES
 
 TINY = Scale(n_edges=300, n_vertices=60, window=4 * HOUR, slide=HOUR)
 

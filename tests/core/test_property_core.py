@@ -1,6 +1,6 @@
 """Hypothesis property tests for the core interval/coalesce layer."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.coalesce import coalesce_stream

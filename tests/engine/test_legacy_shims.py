@@ -1,0 +1,131 @@
+"""The legacy facades: deprecation signalling and kwarg-drift fixes.
+
+Historically ``StreamingGraphQueryProcessor.from_sgq`` / ``from_datalog``
+silently dropped ``materialize_paths``, ``coalesce_intermediate`` and
+``late_policy``, and ``MultiQueryProcessor`` had no ``late_policy`` at
+all.  The shims route everything through one validated
+:class:`~repro.engine.session.EngineConfig`, so the full option set now
+works from every constructor.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.tuples import SGE, PathPayload
+from repro.core.windows import SlidingWindow
+from repro.dd import DDEngine
+from repro.engine import MultiQueryProcessor, StreamingGraphQueryProcessor
+from repro.errors import StreamOrderError
+from repro.query.parser import parse_rq
+from repro.query.sgq import SGQ
+
+W = SlidingWindow(20)
+REACH = "Answer(x, y) <- knows+(x, y) as K."
+
+
+def no_warnings_ctx():
+    ctx = warnings.catch_warnings()
+    ctx.__enter__()
+    warnings.simplefilter("ignore", DeprecationWarning)
+    return ctx
+
+
+class TestDeprecationSignalling:
+    def test_processor_warns(self):
+        with pytest.warns(DeprecationWarning, match="StreamingGraphEngine"):
+            StreamingGraphQueryProcessor.from_datalog(REACH, W)
+
+    def test_multi_warns(self):
+        with pytest.warns(DeprecationWarning, match="StreamingGraphEngine"):
+            MultiQueryProcessor()
+
+    def test_dd_engine_warns(self):
+        with pytest.warns(DeprecationWarning, match="StreamingGraphEngine"):
+            DDEngine(parse_rq(REACH), W)
+
+    def test_session_api_does_not_warn(self):
+        from repro.engine import StreamingGraphEngine
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = StreamingGraphEngine()
+            engine.register(SGQ.from_text(REACH, W))
+            engine.push(SGE(1, 2, "knows", 0))
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestKwargDriftFixed:
+    """Options that the pre-session constructors silently dropped."""
+
+    def push_chain(self, processor):
+        processor.push(SGE(1, 2, "knows", 0))
+        processor.push(SGE(2, 3, "knows", 1))
+        return processor
+
+    def test_from_datalog_materialize_paths_honoured(self):
+        materialized = self.push_chain(
+            StreamingGraphQueryProcessor.from_datalog(REACH, W)
+        )
+        assert any(
+            isinstance(sgt.payload, PathPayload)
+            for sgt in materialized.results()
+        )
+        plain = self.push_chain(
+            StreamingGraphQueryProcessor.from_datalog(
+                REACH, W, materialize_paths=False
+            )
+        )
+        assert not any(
+            isinstance(sgt.payload, PathPayload) for sgt in plain.results()
+        )
+
+    def test_from_sgq_materialize_paths_honoured(self):
+        plain = self.push_chain(
+            StreamingGraphQueryProcessor.from_sgq(
+                SGQ.from_text(REACH, W), materialize_paths=False
+            )
+        )
+        assert not any(
+            isinstance(sgt.payload, PathPayload) for sgt in plain.results()
+        )
+
+    def test_from_datalog_coalesce_intermediate_honoured(self):
+        text = (
+            "P(x, y) <- knows+(x, y) as K.\n"
+            "Answer(x, z) <- P+(x, y) as PP, likes(y, z)."
+        )
+        with_stage = StreamingGraphQueryProcessor.from_datalog(text, W)
+        without = StreamingGraphQueryProcessor.from_datalog(
+            text, W, coalesce_intermediate=False
+        )
+        count = lambda p: sum(  # noqa: E731
+            1
+            for op in p._engine._graph.operators
+            if type(op).__name__ == "CoalesceOp"
+        )
+        assert count(with_stage) > count(without)
+
+    def test_from_datalog_late_policy_honoured(self):
+        strict = StreamingGraphQueryProcessor.from_datalog(
+            REACH, W, late_policy="raise"
+        )
+        strict.push(SGE(1, 2, "knows", 50))
+        with pytest.raises(StreamOrderError):
+            strict.push(SGE(2, 3, "knows", 3))
+
+    def test_from_gcore_accepts_full_option_set(self):
+        text = "CONSTRUCT (x)-[:out]->(y) MATCH (x)-[:a]->(y) ON s WINDOW (10)"
+        processor = StreamingGraphQueryProcessor.from_gcore(
+            text, materialize_paths=False, late_policy="drop"
+        )
+        processor.push(SGE(1, 2, "a", 0))
+        assert processor.valid_at(0) == {(1, 2, "Answer")}
+
+    def test_multi_late_policy_exists_now(self):
+        multi = MultiQueryProcessor(late_policy="drop")
+        multi.register("reach", SGQ.from_text(REACH, W))
+        multi.push(SGE(1, 2, "knows", 50))
+        multi.push(SGE(2, 3, "knows", 3))  # late: dropped, counted
+        assert multi.late_count == 1
+        assert multi.valid_at("reach", 50) == {(1, 2, "Answer")}

@@ -2,7 +2,7 @@
 
 from repro.core.intervals import Interval
 from repro.core.tuples import SGT, EdgePayload, PathPayload
-from repro.engine.results import ResultPath, longest_result_path, result_paths
+from repro.engine.results import longest_result_path, result_paths
 
 
 def path_sgt(src, trg, hops, ts=0, exp=10):

@@ -1,0 +1,228 @@
+"""Live query lifecycle: register/unregister while the stream runs."""
+
+import pytest
+
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.dataflow.graph import SinkOp
+from repro.engine import StreamingGraphEngine
+from repro.errors import PlanError
+from repro.query.sgq import SGQ
+from tests.conftest import make_stream
+
+W = SlidingWindow(20)
+
+REACH = "Answer(x, y) <- knows+(x, y) as K."
+PAIRS = "Answer(x, z) <- knows+(x, y) as K, likes(y, z)."
+LIKES = "Answer(x, y) <- likes(x, y)."
+
+
+def sgq(text, window=W):
+    return SGQ.from_text(text, window)
+
+
+def isolated_results(text, stream, upto=None):
+    engine = StreamingGraphEngine()
+    handle = engine.register(sgq(text))
+    for edge in stream:
+        if upto is not None and edge.t > upto:
+            break
+        engine.push(edge)
+    return handle
+
+
+class TestUnregisterLive:
+    def test_survivor_unaffected_and_operators_pruned(self):
+        """The acceptance scenario: two closure-sharing queries, one is
+        unregistered mid-stream; the survivor's results are unaffected
+        while the pruned operators are gone from the dataflow."""
+        stream = make_stream(13, 120, 6, ("knows", "likes"), max_gap=2)
+        engine = StreamingGraphEngine()
+        reach = engine.register(sgq(REACH), name="reach")
+        pairs = engine.register(sgq(PAIRS), name="pairs")
+        ops_with_both = engine.operator_count()
+
+        half = len(stream) // 2
+        for edge in stream[:half]:
+            engine.push(edge)
+        pairs_results_at_detach = pairs.results()
+
+        engine.unregister("pairs")
+        assert not pairs.is_live
+        assert engine.query_names == ("reach",)
+        # The join tree and the likes wscan/source are pruned; the
+        # shared knows+ closure and its wscan/source survive.
+        solo = StreamingGraphEngine()
+        solo.register(sgq(REACH))
+        assert engine.operator_count() == solo.operator_count()
+        assert engine.operator_count() < ops_with_both
+        assert "likes" not in engine._graph.sources
+
+        for edge in stream[half:]:
+            engine.push(edge)
+
+        expected = isolated_results(REACH, stream)
+        assert reach.results() == expected.results()
+        for t in range(0, stream[-1].t + 25, 7):
+            assert reach.valid_at(t) == expected.valid_at(t), t
+        # The detached handle stays readable, frozen at detach time.
+        assert pairs.results() == pairs_results_at_detach
+
+    def test_unregister_unknown(self):
+        with pytest.raises(PlanError, match="unknown"):
+            StreamingGraphEngine().unregister("zzz")
+
+    def test_handle_unregister_shortcut(self):
+        engine = StreamingGraphEngine()
+        handle = engine.register(sgq(REACH), name="reach")
+        handle.unregister()
+        assert engine.query_names == ()
+
+    def test_cache_evicted_so_reregistration_recompiles(self):
+        stream = make_stream(5, 40, 6, ("knows",), max_gap=2)
+        engine = StreamingGraphEngine()
+        engine.register(sgq(REACH), name="a")
+        for edge in stream[:20]:
+            engine.push(edge)
+        engine.unregister("a")
+        assert engine.operator_count() == 0
+        # Registering the same plan again must compile fresh operators,
+        # not splice dangling cached ones.
+        revived = engine.register(sgq(REACH), name="a2")
+        for edge in stream[20:]:
+            engine.push(edge)
+        assert engine.operator_count() > 0
+        final_t = stream[-1].t
+        # Only edges after re-registration contribute.
+        expected = StreamingGraphEngine()
+        expected_handle = expected.register(sgq(REACH))
+        for edge in stream[20:]:
+            expected.push(edge)
+        assert revived.valid_at(final_t) == expected_handle.valid_at(final_t)
+
+    def test_tap_pins_operators(self):
+        engine = StreamingGraphEngine()
+        engine.register(sgq(REACH), name="reach")
+        tap = engine.tap("knows")
+        engine.push(SGE(1, 2, "knows", 0))
+        engine.unregister("reach")
+        assert engine.operator_count() > 0  # pinned by the tap
+        engine.push(SGE(2, 3, "knows", 1))
+        assert (2, 3, "knows") in tap.valid_at(1)
+
+
+class TestRegisterLive:
+    def test_register_mid_stream_shares_retained_closure_state(self):
+        """A query spliced in mid-stream re-shares the live Δ-PATH
+        closure: derivations that *extend* pre-registration edges flow
+        to the late query, because the shared operator retains the
+        window's state."""
+        OTHER = "Answer(x, z) <- knows+(x, y) as K, follows(y, z)."
+        engine = StreamingGraphEngine()
+        engine.register(sgq(PAIRS), name="pairs")
+        engine.push(SGE(1, 2, "knows", 0))
+        engine.push(SGE(2, 3, "knows", 1))
+
+        before = engine.operator_count()
+        other = engine.register(sgq(OTHER), name="other")
+        # The knows+ closure (and its coalescing stage) was re-shared.
+        both = StreamingGraphEngine()
+        both.register(sgq(PAIRS), name="p")
+        both.register(sgq(OTHER), name="o")
+        assert engine.operator_count() == both.operator_count()
+        assert engine.operator_count() > before
+
+        engine.push(SGE(3, 4, "knows", 2))
+        engine.push(SGE(4, 9, "follows", 3))
+        # The 1->4 and 2->4 closure pairs need the knows-edges pushed
+        # *before* registration — retained in the shared Δ-PATH index.
+        assert other.valid_at(3) == {
+            (1, 9, "Answer"),
+            (2, 9, "Answer"),
+            (3, 9, "Answer"),
+        }
+
+    def test_register_mid_stream_misses_unshared_history(self):
+        """State only non-shared operators would have held is gone: a
+        likes-edge pushed before registration never reaches the late
+        query (documented limitation)."""
+        engine = StreamingGraphEngine()
+        engine.register(sgq(REACH), name="reach")
+        engine.push(SGE(1, 2, "knows", 0))
+        engine.push(SGE(2, 9, "likes", 1))
+        pairs = engine.register(sgq(PAIRS), name="pairs")
+        engine.advance_to(3)
+        assert pairs.valid_at(3) == set()
+
+    def test_reregister_same_plan_reshares_and_backfills(self):
+        stream = make_stream(17, 60, 6, ("knows",), max_gap=2)
+        engine = StreamingGraphEngine()
+        first = engine.register(sgq(REACH), name="a")
+        half = len(stream) // 2
+        for edge in stream[:half]:
+            engine.push(edge)
+
+        again = engine.register(sgq(REACH), name="b")
+        # Fully re-shared: only one more sink, zero new operators.
+        solo = StreamingGraphEngine()
+        solo.register(sgq(REACH))
+        assert engine.operator_count() == solo.operator_count()
+        # Backfilled: results parity from the moment of registration.
+        assert again.results() == first.results()
+
+        for edge in stream[half:]:
+            engine.push(edge)
+        assert again.results() == first.results()
+        assert len(again._sink.events) == len(first._sink.events)
+
+    def test_backfill_replays_through_callback(self):
+        received = []
+        engine = StreamingGraphEngine()
+        engine.register(sgq(REACH), name="a")
+        engine.push(SGE(1, 2, "knows", 0))
+        engine.register(
+            sgq(REACH), name="b", on_result=received.append
+        )
+        assert [e.sgt.key() for e in received] == [(1, 2, "Answer")]
+
+    def test_register_mid_stream_with_finer_slide_tightens_cadence(self):
+        engine = StreamingGraphEngine()
+        engine.register(sgq(REACH, SlidingWindow(40, 8)), name="coarse")
+        engine.push(SGE(1, 2, "knows", 0))
+        assert engine.slide == 8
+        engine.register(sgq(LIKES, SlidingWindow(40, 2)), name="fine")
+        assert engine.slide == 2
+        engine.push(SGE(2, 3, "knows", 20))
+
+    def test_non_dividing_finer_slide_keeps_boundary_grid_aligned(self):
+        """Tightening slide 10 -> gcd(10, 4) at boundary 30 must keep
+        stepping on a grid that hits 40 — otherwise ordered edges behind
+        an overshot boundary would be treated as late."""
+        engine = StreamingGraphEngine(late_policy="drop")
+        coarse = engine.register(sgq(REACH, SlidingWindow(50, 10)), name="c")
+        engine.push(SGE(1, 2, "knows", 35))     # boundary 30
+        engine.register(sgq(LIKES, SlidingWindow(40, 4)), name="f")
+        assert engine.slide == 2                # gcd(10, 4)
+        engine.push(SGE(2, 3, "knows", 43))     # in order: must NOT drop
+        assert engine.late_count == 0
+        assert (1, 3, "Answer") in coarse.valid_at(43)
+
+    def test_new_sources_align_to_current_watermark(self):
+        engine = StreamingGraphEngine()
+        engine.register(sgq(REACH), name="reach")
+        engine.push(SGE(1, 2, "knows", 30))
+        likes = engine.register(sgq(LIKES), name="likes")
+        # The new wscan/source chain starts at the current boundary; a
+        # subsequent push must not trip a watermark regression.
+        engine.push(SGE(7, 8, "likes", 31))
+        assert likes.valid_at(31) == {(7, 8, "Answer")}
+
+    def test_sinks_are_private_per_query(self):
+        engine = StreamingGraphEngine()
+        a = engine.register(sgq(REACH), name="a")
+        b = engine.register(sgq(REACH), name="b")
+        assert isinstance(a._sink, SinkOp) and isinstance(b._sink, SinkOp)
+        assert a._sink is not b._sink
+        engine.push(SGE(1, 2, "knows", 0))
+        a.clear_results()
+        assert a.results() == [] and len(b.results()) == 1

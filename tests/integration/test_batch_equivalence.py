@@ -15,7 +15,6 @@ import pytest
 from repro.core.windows import SlidingWindow
 from repro.datasets import stackoverflow_stream
 from repro.engine import StreamingGraphQueryProcessor
-from repro.query.sgq import SGQ
 from repro.workloads import labels_for, q4_plan_space
 
 BATCH_SIZES = (1, 7, 64, 1024)

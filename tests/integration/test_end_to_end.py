@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.reference import evaluate_plan_at, evaluate_rq
+from repro.algebra.reference import evaluate_plan_at
 from repro.core.tuples import SGE
 from repro.core.windows import SlidingWindow
 from repro.dataflow.disorder import reorder

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.regex.ast import Concat, Plus, Symbol
 from repro.regex.dfa import dfa_from_regex, subset_construction
 from repro.regex.minimize import minimize
 from repro.regex.nfa import thompson

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algebra import evaluate_plan_at
-from repro.algebra.operators import Path, Pattern, Relabel, Union
+from repro.algebra.operators import Path, Pattern, Relabel
 from repro.core.windows import SlidingWindow
 from repro.errors import PlanError
 from repro.workloads import (
