@@ -1,36 +1,53 @@
 """Quickstart: persistent graph queries over a stream in five minutes.
 
-Opens a `StreamingGraphEngine` session, registers a transitive-closure
-query over a stream of `knows` edges with a sliding window, pushes edges
-one by one, and prints incremental results through the returned
-`QueryHandle` — including the actual materialized paths (requirement R3
-of the paper: paths are first-class citizens).
+Authors a query three equivalent ways (fluent builder, Datalog text,
+prepared template), opens a `StreamingGraphEngine` session, registers
+the query, pushes edges one by one, and prints incremental results
+through the returned `QueryHandle` — including the actual materialized
+paths (requirement R3 of the paper: paths are first-class citizens).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import SGE, SlidingWindow, StreamingGraphEngine
+from repro import SGE, SlidingWindow, StreamingGraphEngine, ql
 from repro.engine import result_paths
-from repro.query.sgq import SGQ
 
 # ----------------------------------------------------------------------
-# 1. Open an engine session and register a persistent query: who can
-#    reach whom through `knows` edges, within a sliding window of 100
-#    ticks?  `register` returns a QueryHandle; more queries can attach
-#    to the same engine (and share operators) at any time.
+# 1. Author a query: who can reach whom through `knows` edges, within a
+#    sliding window of 100 ticks?  Queries are first-class frozen
+#    values; the fluent builder, Datalog text and G-CORE text all
+#    produce the same `Query`.
 # ----------------------------------------------------------------------
-QUERY = """
-Answer(x, y) <- knows+(x, y) as KnowsPath.
-"""
-
-engine = StreamingGraphEngine()
-reach = engine.register(
-    SGQ.from_text(QUERY, SlidingWindow(size=100, slide=10)),
-    name="reach",
+reach_query = (
+    ql.match()
+    .closure("knows", name="KnowsPath")
+    .window(100)
+    .slide(10)
+    .build()
 )
 
+# The exact same query, from Datalog text (dialect auto-detected):
+same_query = ql.Query.from_text(
+    "Answer(x, y) <- knows+(x, y) as KnowsPath.",
+    window=100,
+    slide=10,
+)
+assert reach_query.plan() == same_query.plan()
+
+# Inspect any stage of the compile pipeline before running:
+print("The logical plan:")
+print(reach_query.explain("logical"), "\n")
+
 # ----------------------------------------------------------------------
-# 2. Feed the streaming graph.  Edges arrive in timestamp order; the
+# 2. Open an engine session and register the query.  `register` returns
+#    a QueryHandle; more queries can attach to the same engine (and
+#    share operators) at any time.
+# ----------------------------------------------------------------------
+engine = StreamingGraphEngine()
+reach = engine.register(reach_query, name="reach")
+
+# ----------------------------------------------------------------------
+# 3. Feed the streaming graph.  Edges arrive in timestamp order; the
 #    engine evaluates incrementally — no batch recomputation.
 # ----------------------------------------------------------------------
 edges = [
@@ -45,7 +62,7 @@ for edge in edges:
     print(f"pushed {edge}; results valid now: {len(reach.valid_at(edge.t))}")
 
 # ----------------------------------------------------------------------
-# 3. Inspect results through the handle.  Each result sgt carries a
+# 4. Inspect results through the handle.  Each result sgt carries a
 #    validity interval [ts, exp) — the instants at which the answer
 #    holds — and, because the query is a closure, the materialized path
 #    that witnesses it.
@@ -59,10 +76,28 @@ for path in sorted(result_paths(reach.results()), key=lambda p: p.length):
     print(f"  {path}")
 
 # ----------------------------------------------------------------------
-# 4. Snapshots: the output at any instant equals the one-time query over
+# 5. Snapshots: the output at any instant equals the one-time query over
 #    the window content at that instant (snapshot reducibility).
 # ----------------------------------------------------------------------
 print("\nWho reaches whom at t=35 :", sorted(
     (u, v) for u, v, _ in reach.valid_at(35)))
 print("Who reaches whom at t=120:", sorted(
     (u, v) for u, v, _ in reach.valid_at(120)))
+
+# ----------------------------------------------------------------------
+# 6. Prepared queries: parse a $-parameterized template once, bind many
+#    instances cheaply — they share compiled operators in the session.
+# ----------------------------------------------------------------------
+template = ql.prepare(
+    "Answer(x, y) <- $rel+(x, y) as Closure.",
+    window=SlidingWindow(100, 10),
+)
+likes = engine.register(template.bind(rel="likes"), name="likes-reach")
+follows = engine.register(template.bind(rel="follows"), name="follows-reach")
+
+engine.push(SGE("ada", "bob", "likes", 95))
+engine.push(SGE("bob", "cyd", "likes", 96))
+engine.push(SGE("cyd", "dan", "follows", 97))
+print("\nPrepared template, bound twice:")
+print("  likes-reach  :", sorted((u, v) for u, v, _ in likes.valid_at(97)))
+print("  follows-reach:", sorted((u, v) for u, v, _ in follows.valid_at(97)))

@@ -7,7 +7,9 @@ The top-level namespace re-exports the pieces a downstream user needs:
 
 * the data model (:class:`SGE`, :class:`SGT`, :class:`Interval`,
   :class:`SlidingWindow`),
-* query formulation (:func:`parse_rq`, :func:`parse_gcore`, :class:`SGQ`),
+* query authoring (:mod:`repro.ql` — :class:`Query`, the fluent
+  builder, :class:`PreparedQuery` templates; plus the lower-level
+  :func:`parse_rq`, :func:`parse_gcore`, :class:`SGQ`),
 * the engine session API (:class:`StreamingGraphEngine`,
   :class:`EngineConfig`) — plus the deprecated
   :class:`StreamingGraphQueryProcessor` shim.
@@ -27,6 +29,9 @@ __all__ = [
     "StreamingGraphEngine",
     "EngineConfig",
     "StreamingGraphQueryProcessor",
+    "Query",
+    "PreparedQuery",
+    "ql",
     "parse_rq",
     "parse_gcore",
     "SGQ",
@@ -57,4 +62,12 @@ def __getattr__(name: str):
         from repro.query import SGQ
 
         return SGQ
+    if name == "ql":
+        import repro.ql
+
+        return repro.ql
+    if name in ("Query", "PreparedQuery"):
+        import repro.ql
+
+        return getattr(repro.ql, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

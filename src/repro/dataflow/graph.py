@@ -394,9 +394,14 @@ class DataflowGraph:
         self.operators: list[PhysicalOperator] = []
         self.sources: dict[Label, SourceOp] = {}
         self.sinks: list[SinkOp] = []
+        #: id-index over ``operators`` — membership checks (one per
+        #: connect()) must not scan the list once sessions hold many
+        #: queries' operators.
+        self._member_ids: set[int] = set()
 
     def add(self, op: PhysicalOperator) -> PhysicalOperator:
         self.operators.append(op)
+        self._member_ids.add(id(op))
         if isinstance(op, SourceOp):
             if op.label in self.sources:
                 raise ExecutionError(f"duplicate source for label {op.label!r}")
@@ -415,7 +420,7 @@ class DataflowGraph:
     def connect(
         self, producer: PhysicalOperator, consumer: PhysicalOperator, port: int = 0
     ) -> None:
-        if producer not in self.operators or consumer not in self.operators:
+        if id(producer) not in self._member_ids or id(consumer) not in self._member_ids:
             raise ExecutionError("connect() requires operators added to the graph")
         consumer._register_input(port)
         producer._subscribe(consumer, port)
@@ -455,6 +460,7 @@ class DataflowGraph:
             stack.extend(producers.get(op, ()))
         dead = [op for op in self.operators if op not in live]
         self.operators = [op for op in self.operators if op in live]
+        self._member_ids = {id(op) for op in self.operators}
         self.sinks = kept_sinks
         self.sources = {
             label: source

@@ -32,6 +32,7 @@ from repro.core.tuples import SGE, SGT, Label, Vertex
 from repro.core.windows import SlidingWindow
 from repro.dataflow.executor import RunStats
 from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.ql.query import Query
 from repro.query.sgq import SGQ
 
 _DEPRECATION = (
@@ -49,7 +50,7 @@ class StreamingGraphQueryProcessor:
 
     def __init__(
         self,
-        plan: Plan,
+        plan: Plan | SGQ | Query,
         path_impl: str = "spath",
         materialize_paths: bool = True,
         coalesce_intermediate: bool = True,
@@ -84,10 +85,8 @@ class StreamingGraphQueryProcessor:
         coalesce_intermediate: bool = True,
         late_policy: str = "allow",
     ) -> "StreamingGraphQueryProcessor":
-        from repro.algebra.translate import sgq_to_sga
-
         return cls(
-            sgq_to_sga(query),
+            query,
             path_impl,
             materialize_paths=materialize_paths,
             coalesce_intermediate=coalesce_intermediate,
@@ -107,12 +106,12 @@ class StreamingGraphQueryProcessor:
         coalesce_intermediate: bool = True,
         late_policy: str = "allow",
     ) -> "StreamingGraphQueryProcessor":
-        return cls.from_sgq(
-            SGQ.from_text(text, window, label_windows),
+        return cls(
+            Query.datalog(text, window, label_windows=label_windows),
             path_impl,
-            batch_size,
             materialize_paths=materialize_paths,
             coalesce_intermediate=coalesce_intermediate,
+            batch_size=batch_size,
             late_policy=late_policy,
         )
 
@@ -126,14 +125,12 @@ class StreamingGraphQueryProcessor:
         coalesce_intermediate: bool = True,
         late_policy: str = "allow",
     ) -> "StreamingGraphQueryProcessor":
-        from repro.gcore import parse_gcore
-
-        return cls.from_sgq(
-            parse_gcore(text),
+        return cls(
+            Query.gcore(text),
             path_impl,
-            batch_size,
             materialize_paths=materialize_paths,
             coalesce_intermediate=coalesce_intermediate,
+            batch_size=batch_size,
             late_policy=late_policy,
         )
 

@@ -56,7 +56,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.algebra.explain import explain as explain_plan
 from repro.algebra.operators import Plan
 from repro.algebra.translate import sgq_to_sga
 from repro.core.batch import BatchScheduler, RunStats
@@ -73,6 +72,7 @@ from repro.physical.planner import (
     evict_dead,
     plan_slide,
 )
+from repro.ql.query import Query
 from repro.query.datalog import ANSWER
 from repro.query.sgq import SGQ
 
@@ -211,7 +211,7 @@ class QueryHandle:
     def stats(self) -> QueryStats:
         raise NotImplementedError
 
-    def explain(self) -> str:
+    def explain(self, level: str = "logical") -> str:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -269,9 +269,18 @@ class SgaQueryHandle(QueryHandle):
             live=self._live,
         )
 
-    def explain(self) -> str:
-        """The logical plan this query was compiled from."""
-        return explain_plan(self.plan)
+    def explain(self, level: str = "logical") -> str:
+        """Render this query's plan at a pipeline stage.
+
+        ``"logical"`` (default) is the plan the query was registered
+        with; ``"optimized"`` shows it after the relabel-fusion rewrite;
+        ``"physical"`` compiles a standalone dataflow with this query's
+        options (inside the session the actual dataflow is shared, so
+        operators may be fused with other queries' plans).
+        """
+        from repro.ql.pipeline import explain_plan_stage
+
+        return explain_plan_stage(self.plan, level, self._options)
 
 
 class DDQueryHandle(QueryHandle):
@@ -468,8 +477,20 @@ class DDQueryHandle(QueryHandle):
             live=self._live,
         )
 
-    def explain(self) -> str:
-        """The Regular Query program and window the runtime evaluates."""
+    def explain(self, level: str = "logical") -> str:
+        """The Regular Query program and window the runtime evaluates.
+
+        The dd baseline interprets the rule program directly — there is
+        no plan pipeline, so every level renders the same program (the
+        ``level`` parameter exists for handle-API parity with the sga
+        backend: code written against one backend must not crash on the
+        documented one-line backend flip).
+        """
+        if level not in ("source", "logical", "optimized", "physical"):
+            raise PlanError(
+                f"unknown explain level {level!r}; expected 'source', "
+                "'logical', 'optimized' or 'physical'"
+            )
         return f"DD[{self.window}]\n{self.sgq.program}"
 
 
@@ -572,7 +593,7 @@ class StreamingGraphEngine:
     # ------------------------------------------------------------------
     def register(
         self,
-        query: SGQ | Plan,
+        query: "Query | SGQ | Plan",
         name: str | None = None,
         on_result: Callable | None = None,
         **overrides: object,
@@ -582,7 +603,10 @@ class StreamingGraphEngine:
         Parameters
         ----------
         query:
-            An :class:`~repro.query.sgq.SGQ` (Regular Query + window) or
+            A first-class :class:`~repro.ql.query.Query` (any dialect;
+            its :class:`~repro.ql.query.CompileOptions` become per-query
+            overrides, with explicit ``overrides`` kwargs winning), an
+            :class:`~repro.query.sgq.SGQ` (Regular Query + window), or
             a hand-built logical :class:`~repro.algebra.operators.Plan`
             (sga backend only — the dd baseline needs the rule program).
         name:
@@ -606,6 +630,8 @@ class StreamingGraphEngine:
             self._auto += 1
         if name in self._handles:
             raise PlanError(f"query name {name!r} already registered")
+        if isinstance(query, Query):
+            overrides = {**query.options.overrides(), **overrides}
         bad = set(overrides) - PER_QUERY_OPTIONS
         if bad:
             raise ValueError(
@@ -647,7 +673,12 @@ class StreamingGraphEngine:
         overrides: dict,
     ) -> SgaQueryHandle:
         config = self._config.with_overrides(**overrides)
-        plan = sgq_to_sga(query) if isinstance(query, SGQ) else query
+        if isinstance(query, Query):
+            plan = query.plan()
+        elif isinstance(query, SGQ):
+            plan = sgq_to_sga(query)
+        else:
+            plan = query
         options = (
             config.path_impl,
             config.materialize_paths,
@@ -715,6 +746,9 @@ class StreamingGraphEngine:
                 "the dd backend compiles no physical plans; per-query "
                 f"overrides {sorted(overrides)} do not apply"
             )
+        if isinstance(query, Query):
+            # Any dialect with a rule program works; rpq raises inside.
+            query = query.sgq()
         if not isinstance(query, SGQ):
             raise PlanError(
                 "the dd backend evaluates Regular Query programs; "

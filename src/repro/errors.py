@@ -27,14 +27,49 @@ class QueryValidationError(ReproError):
 class ParseError(ReproError):
     """Raised by the Datalog, regex, and G-CORE parsers on malformed input.
 
-    Carries the position of the offending token when available.
+    Carries the position of the offending token when available.  When the
+    parser additionally supplies the ``source`` text, the error computes
+    the 1-based ``line``/``column`` of the offence and renders a
+    caret-annotated excerpt::
+
+        expected identifier, found ')' (line 2, column 11)
+          Answer(x, ) <- knows(x, y).
+                    ^
+
+    ``position`` remains the flat character offset into ``source`` (the
+    historical surface, kept for backward compatibility).
     """
 
-    def __init__(self, message: str, position: int | None = None):
-        if position is not None:
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        *,
+        source: str | None = None,
+    ):
+        self.reason = message
+        self.position = position
+        self.source = source
+        self.line: int | None = None
+        self.column: int | None = None
+        if position is not None and source is not None:
+            # Clamp: "unexpected end of input" errors point one past the
+            # last character.
+            offset = min(max(position, 0), len(source))
+            prefix = source[:offset]
+            self.line = prefix.count("\n") + 1
+            self.column = offset - (prefix.rfind("\n") + 1) + 1
+            lines = source.splitlines()
+            excerpt = lines[self.line - 1] if self.line - 1 < len(lines) else ""
+            caret = " " * (self.column - 1) + "^"
+            message = (
+                f"{message} (line {self.line}, column {self.column})\n"
+                f"  {excerpt}\n"
+                f"  {caret}"
+            )
+        elif position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
-        self.position = position
 
 
 class PlanError(ReproError):

@@ -64,10 +64,24 @@ class Token:
         return f"Token({self.kind}, {self.value!r})"
 
 
-def tokenize(text: str) -> list[Token]:
-    normalized = _COLLAPSE_BEFORE.sub("", text)
-    normalized = _COLLAPSE_AFTER.sub("", normalized)
+def normalize(text: str) -> str:
+    """Collapse the meaningless whitespace of ASCII-art edges.
 
+    Token positions (and therefore :class:`~repro.errors.ParseError`
+    line/column reports) refer to this normalized text.
+    """
+    normalized = _COLLAPSE_BEFORE.sub("", text)
+    return _COLLAPSE_AFTER.sub("", normalized)
+
+
+def tokenize(text: str) -> list[Token]:
+    return tokenize_normalized(normalize(text))
+
+
+def tokenize_normalized(normalized: str) -> list[Token]:
+    """Tokenize text already passed through :func:`normalize` (callers
+    that also need the normalized text for error excerpts avoid running
+    the collapse regexes twice)."""
     tokens: list[Token] = []
     pos = 0
     while pos < len(normalized):
@@ -77,7 +91,9 @@ def tokenize(text: str) -> list[Token]:
         match = _TOKEN_RE.match(normalized, pos)
         if match is None:
             raise ParseError(
-                f"unexpected character {normalized[pos]!r} in G-CORE input", pos
+                f"unexpected character {normalized[pos]!r} in G-CORE input",
+                pos,
+                source=normalized,
             )
         kind = match.lastgroup
         # lastgroup reports the innermost named group that matched last;

@@ -36,7 +36,7 @@ from repro.gcore.ast import (
     PathDef,
     WindowSpec,
 )
-from repro.gcore.lexer import Token, tokenize
+from repro.gcore.lexer import Token, normalize, tokenize_normalized
 
 _UNITS = {
     "h": HOUR,
@@ -51,10 +51,17 @@ _UNITS = {
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], source: str = ""):
         self._tokens = tokens
+        self._source = source
         self._index = 0
         self._anon = 0
+
+    def _fail(self, message: str, pos: int | None = None) -> ParseError:
+        if pos is None:
+            token = self._peek()
+            pos = token.pos if token else len(self._source)
+        return ParseError(message, pos, source=self._source)
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -77,8 +84,8 @@ class _Parser:
         token = self._peek()
         if token is None or token.kind != kind:
             found = token.kind if token else "end of input"
-            pos = token.pos if token else None
-            raise ParseError(f"expected {kind}, found {found}", pos)
+            pos = token.pos if token else len(self._source)
+            raise self._fail(f"expected {kind}, found {found}", pos)
         return self._advance()
 
     # ------------------------------------------------------------------
@@ -105,7 +112,7 @@ class _Parser:
         while self._at("MATCH"):
             matches.append(self._match_block())
         if not matches:
-            raise ParseError("query requires at least one MATCH block")
+            raise self._fail("query requires at least one MATCH block")
 
         where: list[tuple[str, str]] = []
         if self._at("WHERE"):
@@ -119,7 +126,9 @@ class _Parser:
             self._expect("rparen")
         leftover = self._peek()
         if leftover is not None:
-            raise ParseError(f"unexpected trailing token {leftover.value!r}", leftover.pos)
+            raise self._fail(
+                f"unexpected trailing token {leftover.value!r}", leftover.pos
+            )
 
         return GCoreQuery(
             construct=construct,
@@ -146,7 +155,7 @@ class _Parser:
         self._expect("CONSTRUCT")
         chain = self._chain()
         if len(chain.hops) != 1 or chain.hops[0].reach:
-            raise ParseError("CONSTRUCT expects a single edge pattern")
+            raise self._fail("CONSTRUCT expects a single edge pattern")
         hop = chain.hops[0]
         src, trg = chain.endpoints
         if hop.direction == "bwd":
@@ -198,7 +207,9 @@ class _Parser:
         if token is not None and token.kind == "ident":
             unit = token.value.lower()
             if unit not in _UNITS:
-                raise ParseError(f"unknown duration unit {token.value!r}", token.pos)
+                raise self._fail(
+                    f"unknown duration unit {token.value!r}", token.pos
+                )
             self._advance()
             return number * _UNITS[unit]
         return number
@@ -243,7 +254,8 @@ class _Parser:
 
 def parse_gcore_query(text: str) -> GCoreQuery:
     """Parse a G-CORE statement into its AST."""
-    tokens = tokenize(text)
+    normalized = normalize(text)
+    tokens = tokenize_normalized(normalized)
     if not tokens:
         raise ParseError("empty G-CORE query")
-    return _Parser(tokens).parse()
+    return _Parser(tokens, normalized).parse()

@@ -78,7 +78,7 @@ def compile_into(
         raise PlanError(
             f"unknown PATH implementation {path_impl!r}; expected one of {PATH_IMPLS}"
         )
-    plan = _fuse_relabels(plan, Counter(_walk(plan)))
+    plan = fuse_relabels(plan)
     options = _Options(path_impl, materialize_paths, coalesce_intermediate)
     root = _build(plan, graph, cache, options)
     sink = SinkOp()
@@ -105,6 +105,13 @@ def evict_dead(
     for key in stale:
         del cache[key]
     return len(stale)
+
+
+def fuse_relabels(plan: Plan) -> Plan:
+    """The plan-level rewrite the physical compiler applies before
+    operator selection — the "optimized plan" stage of the
+    :mod:`repro.ql` pipeline.  Idempotent; semantics-preserving."""
+    return _fuse_relabels(plan, Counter(_walk(plan)))
 
 
 def _fuse_relabels(plan: Plan, refs: Counter) -> Plan:

@@ -1,0 +1,63 @@
+"""``repro.ql`` — first-class queries and the unified compile pipeline.
+
+One algebra, one authoring surface: every frontend (Datalog text,
+G-CORE text, bare label regexes, the fluent Python builder) produces the
+same frozen :class:`Query` value, and one staged pipeline compiles it —
+``Query → LogicalPlan → OptimizedPlan → PhysicalPlan`` — with
+``explain(level=...)`` at each stage.
+
+The pieces:
+
+* :class:`Query` — immutable query value; dialect constructors
+  (:meth:`Query.datalog` / :meth:`Query.gcore` / :meth:`Query.rpq`) and
+  auto-detection (:meth:`Query.from_text`).
+* :func:`match` — fluent builder
+  (``ql.match().edge("likes").closure("follows").window(hours=1)``).
+* :func:`prepare` / :class:`PreparedQuery` — ``$``-parameterized
+  templates: parse once, :meth:`~PreparedQuery.bind` many.
+* :func:`explain`, :data:`COUNTERS` — pipeline introspection and the
+  compile-once instrumentation.
+
+Register any of these on a
+:class:`~repro.engine.session.StreamingGraphEngine`::
+
+    from repro import SlidingWindow, StreamingGraphEngine, ql
+
+    engine = StreamingGraphEngine()
+    q = ql.match().closure("knows").window(100).slide(10).build()
+    handle = engine.register(q, name="reach")
+"""
+
+from repro.ql.builder import QueryBuilder, match
+from repro.ql.pipeline import (
+    COUNTERS,
+    CompileCounters,
+    detect_dialect,
+    explain,
+    explain_physical,
+    logical_plan,
+    optimized_plan,
+    physical_plan,
+    reset_counters,
+)
+from repro.ql.prepared import PreparedQuery, prepare
+from repro.ql.query import DIALECTS, CompileOptions, Query
+
+__all__ = [
+    "Query",
+    "CompileOptions",
+    "DIALECTS",
+    "QueryBuilder",
+    "match",
+    "PreparedQuery",
+    "prepare",
+    "detect_dialect",
+    "logical_plan",
+    "optimized_plan",
+    "physical_plan",
+    "explain",
+    "explain_physical",
+    "COUNTERS",
+    "CompileCounters",
+    "reset_counters",
+]

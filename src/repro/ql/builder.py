@@ -1,0 +1,317 @@
+"""Fluent Python authoring of Regular Queries.
+
+The builder writes the same Datalog the text frontend parses — a built
+:class:`~repro.ql.query.Query` carries both the rendered text and the
+program constructed in memory, and the two agree by construction (the
+round-trip tests assert plan identity).
+
+Chain style (one implicit ``Answer`` rule)::
+
+    from repro import ql
+
+    q = (ql.match()
+           .edge("likes")
+           .closure("follows")
+           .window(hours=1)
+           .slide(minutes=10)
+           .build())
+
+Rule style (full Regular Queries, e.g. Table 1's Q2)::
+
+    q = (ql.match()
+           .rule("Answer", "x", "y").edge("a", "x", "y")
+           .rule("Answer", "x", "y").edge("a", "x", "z")
+                                    .closure("b", "z", "y", name="TC_B")
+           .window(hours=8).slide(hours=1)
+           .build())
+
+Time units follow the dataset convention of
+:mod:`repro.core.windows`: 1 tick = 1 minute, ``HOUR`` = 60 ticks.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuples import Label
+from repro.core.windows import DAY, HOUR, SlidingWindow
+from repro.errors import QueryValidationError
+from repro.query.datalog import ANSWER, Atom, BodyAtom, ClosureAtom, Rule, RQProgram
+from repro.query.sgq import SGQ
+from repro.ql.query import CompileOptions, Query, _freeze_label_windows
+
+
+def _duration(
+    size: SlidingWindow | int | None = None,
+    *,
+    ticks: int = 0,
+    minutes: int = 0,
+    hours: int = 0,
+    days: int = 0,
+) -> int:
+    if size is not None:
+        if isinstance(size, SlidingWindow):
+            raise QueryValidationError(
+                "pass window size/slide separately (builder.window(...)"
+                ".slide(...)), not a SlidingWindow"
+            )
+        return int(size)
+    total = ticks + minutes + hours * HOUR + days * DAY
+    if total <= 0:
+        raise QueryValidationError(
+            "duration needs size or ticks/minutes/hours/days"
+        )
+    return total
+
+
+class _RuleDraft:
+    """One rule under construction: atoms chain head_src → head_trg."""
+
+    __slots__ = ("head", "src", "trg", "atoms", "tail", "tail_auto")
+
+    def __init__(self, head: Label, src: str, trg: str):
+        self.head = head
+        self.src = src
+        self.trg = trg
+        self.atoms: list[BodyAtom] = []
+        self.tail = src
+        self.tail_auto = False
+
+    def finish(self) -> Rule:
+        if not self.atoms:
+            raise QueryValidationError(
+                f"rule {self.head}({self.src}, {self.trg}) has no body atoms"
+            )
+        atoms = self.atoms
+        if self.tail_auto:
+            # The dangling chain tail is the rule's target variable.
+            rename = {self.tail: self.trg}
+            atoms = [
+                _rename_atom(atom, rename) for atom in atoms
+            ]
+        return Rule(self.head, self.src, self.trg, tuple(atoms))
+
+
+def _rename_atom(atom: BodyAtom, rename: dict[str, str]) -> BodyAtom:
+    src = rename.get(atom.src, atom.src)
+    trg = rename.get(atom.trg, atom.trg)
+    if isinstance(atom, ClosureAtom):
+        return ClosureAtom(atom.label, src, trg, atom.name)
+    return Atom(atom.label, src, trg)
+
+
+class QueryBuilder:
+    """Fluent builder for datalog-dialect queries (see module docstring).
+
+    Every method returns the builder, so authoring reads as one chain;
+    :meth:`build` produces the frozen :class:`~repro.ql.query.Query`
+    (with its plan precompiled from the in-memory program), and
+    :meth:`prepare` produces a
+    :class:`~repro.ql.prepared.PreparedQuery` when labels use
+    ``$parameters``.
+    """
+
+    def __init__(self, src: str = "x", trg: str = "y"):
+        self._default_head = (ANSWER, src, trg)
+        self._rules: list[Rule] = []
+        self._draft: _RuleDraft | None = None
+        self._size: int | None = None
+        self._slide: int = 1
+        self._label_windows: dict[Label, SlidingWindow] = {}
+        self._options: dict[str, object] = {}
+        self._auto = 0
+
+    # ------------------------------------------------------------------
+    # Rules and atoms
+    # ------------------------------------------------------------------
+    def rule(self, head: Label, src: str = "x", trg: str = "y") -> "QueryBuilder":
+        """Start a rule ``head(src, trg) <- ...`` (finishes the previous)."""
+        if self._draft is not None:
+            self._rules.append(self._draft.finish())
+        self._draft = _RuleDraft(head, src, trg)
+        return self
+
+    def _ensure_draft(self) -> _RuleDraft:
+        if self._draft is None:
+            head, src, trg = self._default_head
+            self._draft = _RuleDraft(head, src, trg)
+        return self._draft
+
+    def _next_var(self, draft: _RuleDraft) -> str:
+        """A fresh chain variable — never one the rule already uses
+        (a collision would silently merge two join variables)."""
+        used = {draft.src, draft.trg}
+        for atom in draft.atoms:
+            used.add(atom.src)
+            used.add(atom.trg)
+        while True:
+            self._auto += 1
+            candidate = f"v{self._auto}"
+            if candidate not in used:
+                return candidate
+
+    def _chain(
+        self, src: str | None, trg: str | None
+    ) -> tuple[_RuleDraft, str, str, bool]:
+        draft = self._ensure_draft()
+        if src is None:
+            src = draft.tail
+        if trg is None:
+            trg = self._next_var(draft)
+            auto = True
+        else:
+            auto = False
+        return draft, src, trg, auto
+
+    def edge(
+        self, label: Label, src: str | None = None, trg: str | None = None
+    ) -> "QueryBuilder":
+        """Add a plain atom ``label(src, trg)``.
+
+        Omitted ``src`` continues the current chain (the previous atom's
+        target, or the rule's source variable); omitted ``trg`` extends
+        the chain with a fresh variable — the rule's target variable
+        takes its place when the rule ends on it.
+        """
+        draft, src, trg, auto = self._chain(src, trg)
+        draft.atoms.append(Atom(label, src, trg))
+        draft.tail, draft.tail_auto = trg, auto
+        return self
+
+    def closure(
+        self,
+        label: Label,
+        src: str | None = None,
+        trg: str | None = None,
+        *,
+        name: Label | None = None,
+    ) -> "QueryBuilder":
+        """Add a transitive-closure atom ``label+(src, trg) as name``."""
+        draft, src, trg, auto = self._chain(src, trg)
+        draft.atoms.append(
+            ClosureAtom(label, src, trg, name or f"{label}_tc")
+        )
+        draft.tail, draft.tail_auto = trg, auto
+        return self
+
+    # ------------------------------------------------------------------
+    # Window / options
+    # ------------------------------------------------------------------
+    def window(
+        self,
+        size: int | None = None,
+        *,
+        ticks: int = 0,
+        minutes: int = 0,
+        hours: int = 0,
+        days: int = 0,
+    ) -> "QueryBuilder":
+        """Set the window size (raw ticks, or named units summed)."""
+        self._size = _duration(
+            size, ticks=ticks, minutes=minutes, hours=hours, days=days
+        )
+        return self
+
+    def slide(
+        self,
+        size: int | None = None,
+        *,
+        ticks: int = 0,
+        minutes: int = 0,
+        hours: int = 0,
+        days: int = 0,
+    ) -> "QueryBuilder":
+        """Set the slide interval (defaults to 1 tick when never called)."""
+        self._slide = _duration(
+            size, ticks=ticks, minutes=minutes, hours=hours, days=days
+        )
+        return self
+
+    def label_window(
+        self,
+        label: Label,
+        size: int | None = None,
+        *,
+        slide: int = 1,
+        ticks: int = 0,
+        minutes: int = 0,
+        hours: int = 0,
+        days: int = 0,
+    ) -> "QueryBuilder":
+        """Override the window of one input label (multi-stream joins)."""
+        self._label_windows[label] = SlidingWindow(
+            _duration(size, ticks=ticks, minutes=minutes, hours=hours, days=days),
+            slide,
+        )
+        return self
+
+    def options(self, **options: object) -> "QueryBuilder":
+        """Set per-query compile options (path_impl, materialize_paths,
+        coalesce_intermediate)."""
+        self._options.update(options)
+        return self
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def program(self) -> RQProgram:
+        """The Regular Query authored so far (finishes the open rule)."""
+        rules = list(self._rules)
+        if self._draft is not None:
+            rules.append(self._draft.finish())
+            self._rules = rules
+            self._draft = None
+        if not rules:
+            raise QueryValidationError("builder has no rules")
+        return RQProgram(tuple(rules))
+
+    def text(self) -> str:
+        """The canonical Datalog rendering of the authored program."""
+        return "\n".join(f"{rule}." for rule in self.program().rules)
+
+    def build(self) -> Query:
+        """The frozen :class:`Query`: rendered text + precompiled plan."""
+        from repro.ql import pipeline
+        from repro.ql.params import find_params
+
+        program = self.program()
+        text = "\n".join(f"{rule}." for rule in program.rules)
+        if find_params(text):
+            raise QueryValidationError(
+                "program uses $parameters; use .prepare() and bind them"
+            )
+        if self._size is None:
+            raise QueryValidationError(
+                "no window set; call .window(...) before .build()"
+            )
+        window = SlidingWindow(self._size, self._slide)
+        sgq = SGQ(program, window, dict(self._label_windows))
+        return Query(
+            text=text,
+            dialect="datalog",
+            window=window,
+            label_windows=_freeze_label_windows(self._label_windows),
+            options=CompileOptions(**self._options),  # type: ignore[arg-type]
+            precompiled_plan=pipeline.translate_sgq(sgq),
+            precompiled_sgq=sgq,
+        )
+
+    def prepare(self):
+        """A :class:`PreparedQuery` template from the authored text."""
+        from repro.ql.prepared import PreparedQuery
+
+        window = (
+            SlidingWindow(self._size, self._slide)
+            if self._size is not None
+            else None
+        )
+        return PreparedQuery(
+            self.text(),
+            window,
+            label_windows=dict(self._label_windows),
+            dialect="datalog",
+            **self._options,
+        )
+
+
+def match(src: str = "x", trg: str = "y") -> QueryBuilder:
+    """Open a fluent builder; ``src``/``trg`` name the Answer variables."""
+    return QueryBuilder(src, trg)

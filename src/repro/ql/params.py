@@ -1,0 +1,251 @@
+"""Named ``$parameters`` in query text, programs, regexes and plans.
+
+A parameter is ``$name`` wherever a label may appear.  The text parsers
+cannot tokenize ``$``, so parsing a template goes through a reversible
+sentinel encoding (``$a`` → ``_QP_a_QP``, a valid identifier), and the
+parsed artifacts are rewritten back so template programs/plans carry the
+literal ``$a`` labels — which is what explain output shows.
+
+Binding substitutes values structurally: programs and plans are immutable
+value trees, so substitution rebuilds them bottom-up with the mapping
+applied to every label-valued field (including closure names derived
+from a parameterized label, e.g. ``$a_tc`` → ``knows_tc``).  No text is
+re-parsed on bind — that is the whole point of
+:class:`~repro.ql.prepared.PreparedQuery`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from functools import lru_cache
+
+from repro.algebra.operators import (
+    Filter,
+    Path,
+    Pattern,
+    Plan,
+    Predicate,
+    Relabel,
+    Union,
+    WScan,
+)
+from repro.errors import PlanError
+from repro.query.datalog import Atom, ClosureAtom, Rule, RQProgram
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+)
+
+#: ``$name`` wherever a label may appear.
+PARAM_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+_SENTINEL = "_QP_{}_QP"
+_SENTINEL_RE = re.compile(r"_QP_([A-Za-z_][A-Za-z0-9_]*?)_QP")
+
+
+def find_params(text: str) -> tuple[str, ...]:
+    """Unique parameter names in order of first appearance."""
+    seen: list[str] = []
+    for match in PARAM_RE.finditer(text):
+        name = match.group(1)
+        if name not in seen:
+            seen.append(name)
+    return tuple(seen)
+
+
+def encode_params(text: str) -> str:
+    """``$name`` → sentinel identifiers the text parsers accept."""
+    return PARAM_RE.sub(lambda m: _SENTINEL.format(m.group(1)), text)
+
+
+def decode_label(label: str) -> str:
+    """Sentinel identifiers back to ``$name`` (parsed-artifact labels)."""
+    return _SENTINEL_RE.sub(lambda m: f"${m.group(1)}", label)
+
+
+@lru_cache(maxsize=256)
+def _names_pattern(names: tuple[str, ...]) -> re.Pattern:
+    return re.compile(
+        r"\$("
+        + "|".join(
+            re.escape(name) for name in sorted(names, key=len, reverse=True)
+        )
+        + r")"
+    )
+
+
+def substitute_text(text: str, values: dict[str, str]) -> str:
+    """``$name`` occurrences replaced by their bound values.
+
+    Matches the bound names themselves (longest first) rather than whole
+    identifiers, so labels *derived* from a parameter — the parser's
+    default closure name ``$a_tc`` for an anonymous ``$a+`` closure —
+    substitute correctly (``knows_tc``).
+    """
+    if not values or "$" not in text:
+        return text
+    pattern = _names_pattern(tuple(sorted(values)))
+    return pattern.sub(lambda m: str(values[m.group(1)]), text)
+
+
+def check_bindings(
+    params: tuple[str, ...], values: dict[str, str]
+) -> None:
+    unknown = set(values) - set(params)
+    if unknown:
+        raise PlanError(
+            f"unknown parameter(s) {sorted(unknown)}; "
+            f"template declares {sorted(params) or 'none'}"
+        )
+    missing = set(params) - set(values)
+    if missing:
+        raise PlanError(
+            f"unbound parameter(s) {sorted(missing)}; bind() needs a "
+            "value for every $parameter"
+        )
+    for name, value in values.items():
+        if not isinstance(value, str) or not value:
+            raise PlanError(
+                f"parameter ${name} must bind to a non-empty label, "
+                f"got {value!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Structural substitution
+# ----------------------------------------------------------------------
+def _sub_label(label: str | None, values: dict[str, str]) -> str | None:
+    if label is None:
+        return None
+    return substitute_text(label, values)
+
+
+def substitute_program(
+    program: RQProgram, values: dict[str, str]
+) -> RQProgram:
+    """The program with every label-valued field substituted."""
+    rules = []
+    for rule in program.rules:
+        body = []
+        for atom in rule.body:
+            if isinstance(atom, ClosureAtom):
+                body.append(
+                    ClosureAtom(
+                        _sub_label(atom.label, values),
+                        atom.src,
+                        atom.trg,
+                        _sub_label(atom.name, values),
+                    )
+                )
+            else:
+                body.append(
+                    Atom(_sub_label(atom.label, values), atom.src, atom.trg)
+                )
+        rules.append(
+            Rule(
+                _sub_label(rule.head_label, values),
+                rule.head_src,
+                rule.head_trg,
+                tuple(body),
+            )
+        )
+    return RQProgram(tuple(rules))
+
+
+def substitute_regex(node: RegexNode, values: dict[str, str]) -> RegexNode:
+    """The regex AST with parameterized symbols substituted."""
+    if isinstance(node, Symbol):
+        return Symbol(_sub_label(node.label, values))
+    if isinstance(node, Empty):
+        return node
+    if isinstance(node, (Concat, Alternation)):
+        return type(node)(
+            substitute_regex(node.left, values),
+            substitute_regex(node.right, values),
+        )
+    if isinstance(node, (Star, Plus, Optional_)):
+        return type(node)(substitute_regex(node.inner, values))
+    raise PlanError(f"cannot substitute parameters in regex node {node!r}")
+
+
+def _sub_predicate(
+    predicate: Predicate | None, values: dict[str, str]
+) -> Predicate | None:
+    if predicate is None:
+        return None
+    conditions = tuple(
+        (
+            attribute,
+            op,
+            _sub_label(value, values) if attribute == "label" else value,
+        )
+        for attribute, op, value in predicate.conditions
+    )
+    return Predicate(conditions)
+
+
+def substitute_plan(plan: Plan, values: dict[str, str]) -> Plan:
+    """The logical plan with every label-valued field substituted.
+
+    The rebuild preserves value-object sharing (equal sub-plans stay
+    equal), and PATH inputs are re-sorted by their substituted labels so
+    the result is *identical* to compiling the substituted text — the
+    bit-for-bit plan equality the prepared-query cache relies on.
+    """
+    memo: dict[Plan, Plan] = {}
+
+    def rebuild(node: Plan) -> Plan:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, WScan):
+            out: Plan = WScan(
+                _sub_label(node.label, values),
+                node.window,
+                _sub_predicate(node.prefilter, values),
+            )
+        elif isinstance(node, Filter):
+            out = Filter(
+                rebuild(node.child), _sub_predicate(node.predicate, values)
+            )
+        elif isinstance(node, Relabel):
+            out = Relabel(rebuild(node.child), _sub_label(node.label, values))
+        elif isinstance(node, Union):
+            out = Union(
+                rebuild(node.left),
+                rebuild(node.right),
+                _sub_label(node.label, values),
+            )
+        elif isinstance(node, Pattern):
+            out = dataclasses.replace(
+                node,
+                inputs=tuple(
+                    dataclasses.replace(c, plan=rebuild(c.plan))
+                    for c in node.inputs
+                ),
+                label=_sub_label(node.label, values),
+            )
+        elif isinstance(node, Path):
+            out = Path.over(
+                {
+                    _sub_label(label, values): rebuild(child)
+                    for label, child in node.inputs
+                },
+                substitute_regex(node.regex, values),
+                _sub_label(node.label, values),
+            )
+        else:
+            raise PlanError(f"cannot substitute parameters in {node!r}")
+        memo[node] = out
+        return out
+
+    if not values:
+        return plan
+    return rebuild(plan)

@@ -1,0 +1,399 @@
+"""Prepared, parameterized queries: compile once, bind many.
+
+A :class:`PreparedQuery` parses a template containing ``$name``
+parameters **once**, translates it to a template logical plan once per
+window configuration, and then :meth:`~PreparedQuery.bind` instantiates
+concrete :class:`~repro.ql.query.Query` values by *structural
+substitution* — no re-parse, no re-translation, allocation cost linear
+in the plan size rather than the text size.
+
+Bound queries carry their precompiled plan, so registering them on a
+:class:`~repro.engine.session.StreamingGraphEngine` keys straight into
+the session's shared-subexpression plan cache: N registrations of the
+same binding share every compiled operator, and N different bindings of
+one template share the parsed/validated template structure.
+
+Example::
+
+    from repro import ql
+
+    template = ql.prepare(
+        "Answer(x, y) <- $a(x, z), $b+(z, y) as TC.",
+        window=SlidingWindow(24 * HOUR, HOUR),
+    )
+    q_likes = template.bind(a="likes", b="follows")
+    q_knows = template.bind(a="knows", b="follows", window=SlidingWindow(60))
+    engine.register(q_likes); engine.register(q_knows)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.tuples import Label
+from repro.core.windows import SlidingWindow
+from repro.errors import PlanError, QueryValidationError
+from repro.query.sgq import SGQ
+from repro.ql import params as _params
+from repro.ql import pipeline as _pipeline
+from repro.ql.query import (
+    CompileOptions,
+    Query,
+    _coerce_window,
+    _freeze_label_windows,
+)
+
+
+class PreparedQuery:
+    """A parsed-once query template with named ``$parameters``.
+
+    Parameters
+    ----------
+    text:
+        Template text; ``$name`` may stand anywhere a label may.
+    window:
+        Default window for bound instances (datalog/rpq; may instead be
+        supplied per bind).  G-CORE templates embed their window.
+    label_windows:
+        Per-label window overrides.  Keys may be template labels
+        (including ``$name``) or, at bind time, bound label values.
+    dialect:
+        Explicit dialect; auto-detected from the text when omitted.
+    options:
+        Per-query compile options inherited by every bound instance.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        window: SlidingWindow | int | None = None,
+        *,
+        slide: int | None = None,
+        label_windows: dict[Label, SlidingWindow] | None = None,
+        dialect: str | None = None,
+        **options: object,
+    ):
+        self.text = text
+        self.dialect = dialect or _pipeline.detect_dialect(text)
+        self.params = _params.find_params(text)
+        self.options = CompileOptions(**options)  # type: ignore[arg-type]
+        self.window = _coerce_window(window, slide)
+        self.label_windows = _freeze_label_windows(label_windows)
+        if self.dialect == "gcore" and (
+            self.window is not None or self.label_windows
+        ):
+            raise QueryValidationError(
+                "gcore templates carry their window in ON ... WINDOW "
+                "clauses; drop the window/label_windows arguments"
+            )
+
+        # Parse ONCE.  The text parsers cannot tokenize '$', so the
+        # template goes through the reversible sentinel encoding and the
+        # parsed artifacts are rewritten back to literal '$name' labels.
+        encoded = _params.encode_params(text)
+        self._program = None
+        self._regex = None
+        self._gcore_sgq: SGQ | None = None
+        if self.dialect == "datalog":
+            program = _pipeline.parse_datalog_text(encoded)
+            self._program = _decode_program(program) if self.params else program
+            self._check_params_are_inputs(self._program.edb_labels)
+        elif self.dialect == "gcore":
+            sgq = _pipeline.parse_gcore_text(encoded)
+            self._gcore_sgq = SGQ(
+                _decode_program(sgq.program),
+                sgq.window,
+                {
+                    _params.decode_label(k): v
+                    for k, v in sgq.label_windows.items()
+                },
+            )
+            self._check_params_are_inputs(self._gcore_sgq.program.edb_labels)
+        elif self.dialect == "rpq":
+            self._regex = _decode_regex(_pipeline.parse_rpq_text(encoded))
+        else:
+            raise PlanError(f"unknown query dialect {self.dialect!r}")
+
+        #: Template logical plans, one per window configuration, and
+        #: bound Query values (re-binding the same instance returns the
+        #: *same* object, and therefore the same plan object).  Both are
+        #: LRU-capped: a serving tier binding per-tenant labels must not
+        #: accumulate one retained plan tree per distinct binding.
+        self._template_plans: OrderedDict[tuple, object] = OrderedDict()
+        self._bound: OrderedDict[tuple, Query] = OrderedDict()
+
+    def _check_params_are_inputs(self, edb_labels: frozenset[str]) -> None:
+        """Parameters must instantiate *input* labels: parameterizing a
+        rule head would change the program's structure per binding, which
+        defeats template sharing."""
+        inputs = set(edb_labels)
+        for name in self.params:
+            placeholder = f"${name}"
+            if not any(placeholder in label for label in inputs):
+                raise QueryValidationError(
+                    f"parameter ${name} does not appear as an input "
+                    "(EDB) label; only input labels may be parameterized"
+                )
+
+    # ------------------------------------------------------------------
+    def _window_key(
+        self,
+        window: SlidingWindow | None,
+        label_windows: tuple[tuple[Label, SlidingWindow], ...],
+        values: dict[str, str],
+    ) -> tuple[SlidingWindow | None, tuple]:
+        """Normalize a bind's window spec to template-label keys.
+
+        A bound-label key fans out to *every* parameter bound to that
+        label (two parameters may bind the same label), so the template
+        translation applies the override to all of its scans — exactly
+        what compiling the substituted text would do.
+        """
+        reverse: dict[str, list[str]] = {}
+        for param, value in values.items():
+            reverse.setdefault(value, []).append(f"${param}")
+        template_labels = self._template_input_labels()
+        normalized: list[tuple[Label, SlidingWindow]] = []
+        for label, w in label_windows:
+            keys = list(reverse.get(label, ()))
+            # The label may *also* appear literally in the template.
+            if not keys or label in template_labels:
+                keys.append(label)
+            for key in keys:
+                normalized.append((key, w))
+        return (window, tuple(sorted(normalized)))
+
+    def _template_input_labels(self) -> frozenset[str]:
+        if self.dialect == "rpq":
+            assert self._regex is not None
+            return self._regex.alphabet()
+        if self.dialect == "datalog":
+            assert self._program is not None
+            return self._program.edb_labels
+        assert self._gcore_sgq is not None
+        return self._gcore_sgq.program.edb_labels
+
+    #: LRU capacities for the per-template caches.
+    MAX_TEMPLATE_PLANS = 64
+    MAX_BOUND = 512
+
+    def _template_plan(self, key: tuple) -> object:
+        plan = self._template_plans.get(key)
+        if plan is not None:
+            self._template_plans.move_to_end(key)
+            return plan
+        window, label_windows = key
+        if self.dialect == "rpq":
+            assert self._regex is not None and window is not None
+            plan = _pipeline.rpq_plan(self._regex, window, dict(label_windows))
+        elif self.dialect == "datalog":
+            assert self._program is not None and window is not None
+            plan = _pipeline.translate_sgq(
+                SGQ(self._program, window, dict(label_windows))
+            )
+        else:
+            assert self._gcore_sgq is not None
+            plan = _pipeline.translate_sgq(self._gcore_sgq)
+        self._template_plans[key] = plan
+        if len(self._template_plans) > self.MAX_TEMPLATE_PLANS:
+            self._template_plans.popitem(last=False)
+        return plan
+
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        window: SlidingWindow | int | None = None,
+        *,
+        slide: int | None = None,
+        label_windows: dict[Label, SlidingWindow] | None = None,
+        **values: str,
+    ) -> Query:
+        """Instantiate the template: every ``$param`` gets a label value.
+
+        Performs **no parsing**: the bound query's logical plan is the
+        cached template plan with labels structurally substituted, and
+        its SGQ (for the dd backend) is the template program likewise
+        substituted.  Binding the same (values, window) twice returns
+        the identical :class:`Query` object.
+        """
+        _pipeline.COUNTERS.binds += 1
+        _params.check_bindings(self.params, values)
+
+        if window is None and slide is not None and self.window is not None:
+            # A bare slide= override re-paces the template's window.
+            bound_window: SlidingWindow | None = SlidingWindow(
+                self.window.size, slide
+            )
+        else:
+            bound_window = _coerce_window(window, slide) or self.window
+        if self.dialect == "gcore":
+            if bound_window is not None or label_windows:
+                raise QueryValidationError(
+                    "gcore templates carry their window in ON ... WINDOW "
+                    "clauses; drop the window/label_windows bind arguments"
+                )
+        elif bound_window is None:
+            raise QueryValidationError(
+                f"the {self.dialect!r} dialect requires a window at "
+                "prepare or bind time"
+            )
+        frozen_lw = (
+            _freeze_label_windows(label_windows)
+            if label_windows is not None
+            else self.label_windows
+        )
+
+        cache_key = (
+            tuple(sorted(values.items())),
+            bound_window,
+            frozen_lw,
+        )
+        cached = self._bound.get(cache_key)
+        if cached is not None:
+            self._bound.move_to_end(cache_key)
+            return cached
+
+        template_key = self._window_key(bound_window, frozen_lw, values)
+        template_plan = self._template_plan(template_key)
+        plan = _params.substitute_plan(template_plan, values)
+
+        # The bound SGQ (only the dd backend and SGQ consumers need it)
+        # is built lazily: pipeline.to_sgq resolves the thunk on first
+        # use — still no parsing, just program substitution.
+        bound_sgq: object = None
+        if self.dialect == "datalog":
+            assert self._program is not None and bound_window is not None
+            bound_sgq = _BoundSGQThunk(
+                self._program, bound_window, dict(frozen_lw), values
+            )
+        elif self.dialect == "gcore":
+            assert self._gcore_sgq is not None
+            bound_sgq = _BoundSGQThunk(
+                self._gcore_sgq.program,
+                self._gcore_sgq.window,
+                dict(self._gcore_sgq.label_windows),
+                values,
+            )
+
+        bound = Query(
+            text=_params.substitute_text(self.text, values),
+            dialect=self.dialect,
+            window=bound_window if self.dialect != "gcore" else None,
+            label_windows=tuple(
+                sorted(
+                    (_params.substitute_text(label, values), w)
+                    for label, w in frozen_lw
+                )
+            ),
+            options=self.options,
+            bindings=tuple(sorted(values.items())),
+            precompiled_plan=plan,
+            precompiled_sgq=bound_sgq,
+        )
+        self._bound[cache_key] = bound
+        if len(self._bound) > self.MAX_BOUND:
+            self._bound.popitem(last=False)
+        return bound
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"${p}" for p in self.params) or "no params"
+        return f"<PreparedQuery [{self.dialect}] {params}>"
+
+
+class _BoundSGQThunk:
+    """Deferred program substitution for a bound query's SGQ."""
+
+    __slots__ = ("_program", "_window", "_label_windows", "_values")
+
+    def __init__(self, program, window, label_windows, values):
+        self._program = program
+        self._window = window
+        self._label_windows = label_windows
+        self._values = dict(values)
+
+    def __call__(self) -> SGQ:
+        return SGQ(
+            _params.substitute_program(self._program, self._values),
+            self._window,
+            {
+                _params.substitute_text(label, self._values): w
+                for label, w in self._label_windows.items()
+            },
+        )
+
+
+def _decode_regex(node):
+    """Sentinel identifiers back to ``$name`` across a regex AST."""
+    from repro.regex.ast import (
+        Alternation,
+        Concat,
+        Empty,
+        Optional_,
+        Plus,
+        Star,
+        Symbol,
+    )
+
+    if isinstance(node, Symbol):
+        return Symbol(_params.decode_label(node.label))
+    if isinstance(node, Empty):
+        return node
+    if isinstance(node, (Concat, Alternation)):
+        return type(node)(_decode_regex(node.left), _decode_regex(node.right))
+    if isinstance(node, (Star, Plus, Optional_)):
+        return type(node)(_decode_regex(node.inner))
+    raise PlanError(f"cannot decode regex node {node!r}")
+
+
+def _decode_program(program):
+    """Sentinel identifiers back to ``$name`` across a parsed program."""
+    from repro.query.datalog import Atom, ClosureAtom, Rule, RQProgram
+
+    rules = []
+    for rule in program.rules:
+        body = []
+        for atom in rule.body:
+            if isinstance(atom, ClosureAtom):
+                body.append(
+                    ClosureAtom(
+                        _params.decode_label(atom.label),
+                        atom.src,
+                        atom.trg,
+                        _params.decode_label(atom.name),
+                    )
+                )
+            else:
+                body.append(
+                    Atom(
+                        _params.decode_label(atom.label), atom.src, atom.trg
+                    )
+                )
+        rules.append(
+            Rule(
+                _params.decode_label(rule.head_label),
+                rule.head_src,
+                rule.head_trg,
+                tuple(body),
+            )
+        )
+    return RQProgram(tuple(rules))
+
+
+def prepare(
+    text: str,
+    window: SlidingWindow | int | None = None,
+    *,
+    slide: int | None = None,
+    label_windows: dict[Label, SlidingWindow] | None = None,
+    dialect: str | None = None,
+    **options: object,
+) -> PreparedQuery:
+    """Parse a ``$``-parameterized template once, for many cheap binds."""
+    return PreparedQuery(
+        text,
+        window,
+        slide=slide,
+        label_windows=label_windows,
+        dialect=dialect,
+        **options,
+    )

@@ -32,13 +32,15 @@ _TOKEN_RE = re.compile(
 
 
 def _tokenize(text: str) -> list[tuple[str, str, int]]:
-    # Strip comments line by line so token positions stay meaningful.
+    # Blank out comments (replacing them with spaces, not removing them)
+    # so token positions keep pointing into the *original* text — the
+    # caret excerpts of :class:`~repro.errors.ParseError` depend on it.
     lines = []
-    for line in text.splitlines():
+    for line in text.split("\n"):
         for marker in ("#", "%"):
             index = line.find(marker)
             if index >= 0:
-                line = line[:index]
+                line = line[:index] + " " * (len(line) - index)
         lines.append(line)
     source = "\n".join(lines)
 
@@ -49,7 +51,9 @@ def _tokenize(text: str) -> list[tuple[str, str, int]]:
         if match is None:
             if source[pos:].strip() == "":
                 break
-            raise ParseError(f"unexpected character {source[pos]!r}", pos)
+            raise ParseError(
+                f"unexpected character {source[pos]!r}", pos, source=text
+            )
         kind = match.lastgroup
         assert kind is not None
         tokens.append((kind, match.group(kind), match.start(kind)))
@@ -58,9 +62,15 @@ def _tokenize(text: str) -> list[tuple[str, str, int]]:
 
 
 class _RuleParser:
-    def __init__(self, tokens: list[tuple[str, str, int]]):
+    def __init__(self, tokens: list[tuple[str, str, int]], source: str = ""):
         self._tokens = tokens
+        self._source = source
         self._index = 0
+
+    def _fail(self, message: str, pos: int | None) -> ParseError:
+        if pos is None:
+            pos = len(self._source)
+        return ParseError(message, pos, source=self._source)
 
     def _peek(self) -> tuple[str, str, int] | None:
         if self._index < len(self._tokens):
@@ -77,7 +87,7 @@ class _RuleParser:
         if token is None or token[1] != value:
             found = token[1] if token else "end of input"
             pos = token[2] if token else None
-            raise ParseError(f"expected {value!r}, found {found!r}", pos)
+            raise self._fail(f"expected {value!r}, found {found!r}", pos)
         self._advance()
 
     def _expect_ident(self) -> str:
@@ -85,7 +95,7 @@ class _RuleParser:
         if token is None or token[0] != "ident":
             found = token[1] if token else "end of input"
             pos = token[2] if token else None
-            raise ParseError(f"expected identifier, found {found!r}", pos)
+            raise self._fail(f"expected identifier, found {found!r}", pos)
         return self._advance()[1]
 
     def parse_program(self) -> list[Rule]:
@@ -108,7 +118,7 @@ class _RuleParser:
         if token is None or token[0] != "arrow":
             found = token[1] if token else "end of input"
             pos = token[2] if token else None
-            raise ParseError(f"expected '<-' or ':-', found {found!r}", pos)
+            raise self._fail(f"expected '<-' or ':-', found {found!r}", pos)
         self._advance()
 
         body: list[BodyAtom] = [self._body_atom()]
@@ -152,7 +162,7 @@ def parse_rq(text: str, validate: bool = True) -> RQProgram:
     tokens = _tokenize(text)
     if not tokens:
         raise ParseError("empty program")
-    rules = _RuleParser(tokens).parse_program()
+    rules = _RuleParser(tokens, text).parse_program()
     program = RQProgram(tuple(rules))
     if validate:
         validate_rq(program)

@@ -45,7 +45,9 @@ def _tokenize(text: str) -> list[tuple[str, str, int]]:
         if match is None:
             if text[pos:].strip() == "":
                 break
-            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            raise ParseError(
+                f"unexpected character {text[pos]!r}", pos, source=text
+            )
         if match.lastgroup == "label":
             tokens.append(("label", match.group("label"), match.start("label")))
         elif match.lastgroup == "op":
@@ -72,11 +74,14 @@ class _Parser:
         self._index += 1
         return token
 
+    def _fail(self, message: str, pos: int) -> ParseError:
+        return ParseError(message, pos, source=self._text)
+
     def parse(self) -> RegexNode:
         node = self._expr()
         leftover = self._peek()
         if leftover is not None:
-            raise ParseError(f"unexpected token {leftover[1]!r}", leftover[2])
+            raise self._fail(f"unexpected token {leftover[1]!r}", leftover[2])
         return node
 
     def _expr(self) -> RegexNode:
@@ -98,7 +103,7 @@ class _Parser:
         if not parts:
             token = self._peek()
             pos = token[2] if token else len(self._text)
-            raise ParseError("expected a label or '('", pos)
+            raise self._fail("expected a label or '('", pos)
         node = parts[0]
         for part in parts[1:]:
             node = Concat(node, part)
@@ -121,7 +126,7 @@ class _Parser:
     def _atom(self) -> RegexNode:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of expression", len(self._text))
+            raise self._fail("unexpected end of expression", len(self._text))
         kind, value, pos = token
         if kind == "label":
             self._advance()
@@ -131,10 +136,10 @@ class _Parser:
             node = self._expr()
             closing = self._peek()
             if closing is None or closing[1] != ")":
-                raise ParseError("unbalanced parenthesis", pos)
+                raise self._fail("unbalanced parenthesis", pos)
             self._advance()
             return node
-        raise ParseError(f"unexpected token {value!r}", pos)
+        raise self._fail(f"unexpected token {value!r}", pos)
 
 
 def parse_regex(text: str) -> RegexNode:

@@ -7,9 +7,12 @@ example (Example 1) — a recursive path query *over* the complex pattern
 of Q6, expressible in neither Cypher nor SPARQL.
 
 Each template carries a Datalog (RQ) form with abstract edge predicates
-``a``/``b``/``c`` that are instantiated per dataset (Section 7.1.3), and
-exposes:
+``$a``/``$b``/``$c`` — a :class:`~repro.ql.prepared.PreparedQuery`
+template, parsed once per process and instantiated per dataset
+(Section 7.1.3) by parameter binding — and exposes:
 
+* :meth:`WorkloadQuery.query` — the bound first-class
+  :class:`~repro.ql.query.Query` (no re-parse per instantiation),
 * :meth:`WorkloadQuery.sgq` — the SGQ (RQ + window),
 * :meth:`WorkloadQuery.plan` — the canonical SGA plan via SGQParser,
 * :func:`rpq_direct_plan` — the single-PATH rewrites (plans "P1" of
@@ -20,52 +23,54 @@ exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
-from repro.algebra.operators import Path, Plan, Relabel, WScan
+from repro.algebra.operators import Path, Plan, Relabel
 from repro.algebra.rewrite import (
     fuse_pattern_into_path,
     group_concat_prefix,
     group_concat_suffix,
 )
-from repro.algebra.translate import sgq_to_sga
 from repro.core.tuples import Label
 from repro.core.windows import SlidingWindow
 from repro.errors import PlanError
+from repro.ql.params import substitute_text
+from repro.ql.prepared import PreparedQuery
 from repro.query.sgq import SGQ
 
-#: Table 1 query texts over abstract predicates a, b, c.  RPQs appear in
-#: their RQ encodings (star decomposed into union-of-rules), which is
+#: Table 1 query texts over abstract predicates $a, $b, $c.  RPQs appear
+#: in their RQ encodings (star decomposed into union-of-rules), which is
 #: what Algorithm SGQParser consumes to build the canonical plans.
 _TEMPLATES: dict[str, tuple[str, str, str]] = {
     "Q1": (
         "?x, ?y <- ?x a* ?y",
         """
-        Answer(x, y) <- {a}+(x, y) as TC_A.
+        Answer(x, y) <- $a+(x, y) as TC_A.
         """,
         "transitive closure of a single label",
     ),
     "Q2": (
         "?x, ?y <- ?x a . b* ?y",
         """
-        Answer(x, y) <- {a}(x, y).
-        Answer(x, y) <- {a}(x, z), {b}+(z, y) as TC_B.
+        Answer(x, y) <- $a(x, y).
+        Answer(x, y) <- $a(x, z), $b+(z, y) as TC_B.
         """,
         "a label followed by a Kleene star",
     ),
     "Q3": (
         "?x, ?y <- ?x a . b* . c* ?y",
         """
-        AB(x, y) <- {a}(x, y).
-        AB(x, y) <- {a}(x, z), {b}+(z, y) as TC_B.
+        AB(x, y) <- $a(x, y).
+        AB(x, y) <- $a(x, z), $b+(z, y) as TC_B.
         Answer(x, y) <- AB(x, y).
-        Answer(x, y) <- AB(x, z), {c}+(z, y) as TC_C.
+        Answer(x, y) <- AB(x, z), $c+(z, y) as TC_C.
         """,
         "a label followed by two Kleene stars",
     ),
     "Q4": (
         "?x, ?y <- ?x (a . b . c)+ ?y",
         """
-        D(x, t) <- {a}(x, y), {b}(y, z), {c}(z, t).
+        D(x, t) <- $a(x, y), $b(y, z), $c(z, t).
         Answer(x, y) <- D+(x, y) as DP.
         """,
         "Kleene plus over a concatenation (loop-caching canonical plan)",
@@ -73,7 +78,7 @@ _TEMPLATES: dict[str, tuple[str, str, str]] = {
     "Q5": (
         "RR(m1, m2) <- a(x, y), b(m1, x), b(m2, y), c(m2, m1)",
         """
-        RR(m1, m2) <- {a}(x, y), {b}(m1, x), {b}(m2, y), {c}(m2, m1).
+        RR(m1, m2) <- $a(x, y), $b(m1, x), $b(m2, y), $c(m2, m1).
         Answer(m1, m2) <- RR(m1, m2).
         """,
         "SNB IS7: non-recursive complex graph pattern",
@@ -81,7 +86,7 @@ _TEMPLATES: dict[str, tuple[str, str, str]] = {
     "Q6": (
         "RL(x, y) <- a+(x, y), b(x, m), c(m, y)",
         """
-        RL(x, y) <- {a}+(x, y) as AP, {b}(x, m), {c}(m, y).
+        RL(x, y) <- $a+(x, y) as AP, $b(x, m), $c(m, y).
         Answer(x, y) <- RL(x, y).
         """,
         "SNB IC7: recent likers connected by a path of friends",
@@ -89,8 +94,8 @@ _TEMPLATES: dict[str, tuple[str, str, str]] = {
     "Q7": (
         "RL as Q6; Ans(x, m) <- RL+(x, y), c(m, y)",
         """
-        RL(x, y) <- {a}+(x, y) as AP, {b}(x, m), {c}(m, y).
-        Answer(x, m) <- RL+(x, y) as RLP, {c}(m, y).
+        RL(x, y) <- $a+(x, y) as AP, $b(x, m), $c(m, y).
+        Answer(x, m) <- RL+(x, y) as RLP, $c(m, y).
         """,
         "Example 1: recursive path query over the Q6 pattern",
     ),
@@ -98,10 +103,10 @@ _TEMPLATES: dict[str, tuple[str, str, str]] = {
 
 #: The direct-PATH regexes of the RPQ queries (plans P1 of Section 7.4).
 _RPQ_REGEXES: dict[str, str] = {
-    "Q1": "{a}+",
-    "Q2": "{a} {b}*",
-    "Q3": "{a} {b}* {c}*",
-    "Q4": "({a} {b} {c})+",
+    "Q1": "$a+",
+    "Q2": "$a $b*",
+    "Q3": "$a $b* $c*",
+    "Q4": "($a $b $c)+",
 }
 
 #: Per-dataset instantiation of the abstract predicates (Section 7.1.3).
@@ -130,9 +135,28 @@ class WorkloadQuery:
     datalog_template: str
     description: str
 
+    @cached_property
+    def prepared(self) -> PreparedQuery:
+        """The parse-once template (parameters ``$a``/``$b``/``$c``);
+        the window travels with each bind."""
+        return PreparedQuery(self.datalog_template, dialect="datalog")
+
     def datalog(self, labels: dict[str, Label]) -> str:
         """The RQ text with predicates instantiated."""
-        return self.datalog_template.format(**labels)
+        return substitute_text(self.datalog_template, labels)
+
+    def query(
+        self,
+        labels: dict[str, Label],
+        window: SlidingWindow,
+        label_windows: dict[Label, SlidingWindow] | None = None,
+    ):
+        """The bound first-class query (compile-once/bind-many path)."""
+        declared = self.prepared.params
+        values = {k: v for k, v in labels.items() if k in declared}
+        return self.prepared.bind(
+            window=window, label_windows=label_windows or {}, **values
+        )
 
     def sgq(
         self,
@@ -140,15 +164,23 @@ class WorkloadQuery:
         window: SlidingWindow,
         label_windows: dict[Label, SlidingWindow] | None = None,
     ) -> SGQ:
-        return SGQ.from_text(self.datalog(labels), window, label_windows or {})
+        return self.query(labels, window, label_windows).sgq()
 
     def plan(self, labels: dict[str, Label], window: SlidingWindow) -> Plan:
         """The canonical SGA plan produced by Algorithm SGQParser."""
-        return sgq_to_sga(self.sgq(labels, window))
+        return self.query(labels, window).plan()
 
     @property
     def is_rpq(self) -> bool:
         return self.name in _RPQ_REGEXES
+
+    @cached_property
+    def prepared_rpq(self) -> PreparedQuery:
+        """The parse-once direct-PATH template (RPQ queries only)."""
+        template = _RPQ_REGEXES.get(self.name)
+        if template is None:
+            raise PlanError(f"{self.name} is not an RPQ query")
+        return PreparedQuery(template, dialect="rpq")
 
 
 QUERIES: dict[str, WorkloadQuery] = {
@@ -177,15 +209,12 @@ def rpq_direct_plan(
     canonical decomposition into unions/joins of closures (Section 7.4,
     Figures 12-14).
     """
-    template = _RPQ_REGEXES.get(query_name)
-    if template is None:
+    query = QUERIES.get(query_name)
+    if query is None or not query.is_rpq:
         raise PlanError(f"{query_name} is not an RPQ query")
-    from repro.regex.parser import parse_regex
-
-    regex = parse_regex(template.format(**labels))
-    inputs = {label: WScan(label, window) for label in regex.alphabet()}
-    path = Path.over(inputs, regex, "AnswerPath")
-    return Relabel(path, "Answer")
+    prepared = query.prepared_rpq
+    values = {k: v for k, v in labels.items() if k in prepared.params}
+    return prepared.bind(window=window, **values).plan()
 
 
 def q4_plan_space(

@@ -1,0 +1,105 @@
+"""StreamingGraphEngine.register over first-class Query values."""
+
+import pytest
+
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.engine.session import StreamingGraphEngine
+from repro.errors import PlanError
+from repro.ql import Query
+
+W = SlidingWindow(100, 10)
+DATALOG = "Answer(x, y) <- knows+(x, y) as KP."
+
+EDGES = [
+    SGE("ada", "bob", "knows", 0),
+    SGE("bob", "cyd", "knows", 12),
+    SGE("cyd", "dan", "knows", 25),
+]
+
+
+class TestRegisterQuery:
+    def test_all_dialects_one_engine(self):
+        engine = StreamingGraphEngine()
+        dl = engine.register(Query.datalog(DATALOG, W), name="datalog")
+        rq = engine.register(Query.rpq("knows+", W), name="rpq")
+        gc = engine.register(
+            Query.gcore(
+                "CONSTRUCT (x)-[:Answer]->(y) "
+                "MATCH (x)-/<:knows*>/->(y) ON s WINDOW (100) SLIDE (10)"
+            ),
+            name="gcore",
+        )
+        for edge in EDGES:
+            engine.push(edge)
+        t = EDGES[-1].t
+        keys = dl.valid_at(t)
+        assert {(u, v) for u, v, _ in keys} == {
+            ("ada", "bob"), ("bob", "cyd"), ("cyd", "dan"),
+            ("ada", "cyd"), ("bob", "dan"), ("ada", "dan"),
+        }
+        assert rq.valid_at(t) == keys
+        assert gc.valid_at(t) == keys
+
+    def test_query_options_become_overrides(self):
+        engine = StreamingGraphEngine()
+        handle = engine.register(
+            Query.datalog(DATALOG, W, path_impl="negative"), name="neg"
+        )
+        assert "NegativeTupleRpqOp" in handle.explain("physical")
+
+    def test_explicit_override_wins_over_query_options(self):
+        engine = StreamingGraphEngine()
+        handle = engine.register(
+            Query.datalog(DATALOG, W, path_impl="negative"),
+            name="forced",
+            path_impl="spath",
+        )
+        assert "SPathOp" in handle.explain("physical")
+
+    def test_engine_wide_option_on_query_rejected(self):
+        engine = StreamingGraphEngine()
+        with pytest.raises(ValueError, match="engine-wide"):
+            engine.register(Query.datalog(DATALOG, W), batch_size=64)
+
+    def test_unbound_template_rejected(self):
+        engine = StreamingGraphEngine()
+        with pytest.raises(PlanError, match=r"\$a"):
+            engine.register(
+                Query.datalog("Answer(x, y) <- $a(x, y).", W), name="t"
+            )
+
+    def test_dd_backend_rejects_rpq_dialect(self):
+        engine = StreamingGraphEngine(backend="dd")
+        with pytest.raises(PlanError, match="rule program"):
+            engine.register(Query.rpq("knows+", W), name="r")
+
+    def test_dd_handle_explain_level_parity(self):
+        engine = StreamingGraphEngine(backend="dd")
+        handle = engine.register(Query.datalog(DATALOG, W), name="q")
+        # Same handle API across backends: every sga level is accepted.
+        for level in ("source", "logical", "optimized", "physical"):
+            assert "knows+" in handle.explain(level)
+        with pytest.raises(PlanError):
+            handle.explain("nope")
+
+    def test_handle_explain_levels(self):
+        engine = StreamingGraphEngine()
+        handle = engine.register(Query.datalog(DATALOG, W), name="q")
+        assert "RELABEL" in handle.explain()
+        assert "PATH (knows)+ -> Answer" in handle.explain("optimized")
+        assert "SinkOp" in handle.explain("physical")
+        with pytest.raises(PlanError):
+            handle.explain("nope")
+
+    def test_legacy_facade_routes_through_query(self):
+        import warnings
+
+        from repro.engine import StreamingGraphQueryProcessor
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            processor = StreamingGraphQueryProcessor.from_datalog(DATALOG, W)
+        for edge in EDGES:
+            processor.push(edge)
+        assert ("ada", "dan", "Answer") in processor.valid_at(EDGES[-1].t)

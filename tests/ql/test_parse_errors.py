@@ -1,0 +1,88 @@
+"""Uniform ParseError surface: line/column + caret excerpt, all frontends."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gcore import parse_gcore
+from repro.query.parser import parse_rq
+from repro.regex.parser import parse_regex
+
+
+def _raises(fn, *args) -> ParseError:
+    with pytest.raises(ParseError) as info:
+        fn(*args)
+    return info.value
+
+
+class TestDatalogErrors:
+    def test_line_column_and_caret(self):
+        err = _raises(
+            parse_rq,
+            "Answer(x, y) <- knows(x, y).\nBad(x, ) <- likes(x, y).",
+        )
+        assert (err.line, err.column) == (2, 8)
+        message = str(err)
+        assert "(line 2, column 8)" in message
+        excerpt, caret = message.splitlines()[1:3]
+        assert excerpt.strip() == "Bad(x, ) <- likes(x, y)."
+        assert caret.index("^") == excerpt.index(")")
+
+    def test_comments_do_not_shift_positions(self):
+        err = _raises(
+            parse_rq,
+            "# leading comment\nAnswer(x, y) <- knows(x y).",
+        )
+        assert err.line == 2
+        # The caret must point into the original (commented) source.
+        excerpt = str(err).splitlines()[1]
+        assert "knows(x y)" in excerpt
+
+    def test_position_attribute_is_flat_offset(self):
+        err = _raises(parse_rq, "Answer(x y) <- a(x, y).")
+        assert err.position == err.column - 1  # single-line: col == offset+1
+
+
+class TestRegexErrors:
+    def test_caret_points_at_open_paren(self):
+        err = _raises(parse_regex, "a (b|c * d")
+        assert (err.line, err.column) == (1, 3)
+        excerpt, caret = str(err).splitlines()[1:3]
+        assert excerpt[caret.index("^")] == "("
+
+    def test_end_of_expression(self):
+        err = _raises(parse_regex, "a |")
+        assert err.line == 1
+        assert err.column == 4  # one past the last character
+
+
+class TestGcoreErrors:
+    def test_line_column_reported(self):
+        err = _raises(
+            parse_gcore,
+            "CONSTRUCT (x)-[:out]->(y) "
+            "MATCH (x)-[:a]->(y) ON s WINDOW (10 parsecs)",
+        )
+        assert err.line == 1
+        assert "parsecs" in str(err).splitlines()[1]
+
+    def test_missing_match(self):
+        err = _raises(parse_gcore, "CONSTRUCT (x)-[:out]->(y)")
+        assert "MATCH" in str(err)
+        assert err.line is not None
+
+
+class TestBackwardCompatibility:
+    def test_position_only_error(self):
+        err = ParseError("bad token", position=17)
+        assert err.position == 17
+        assert "17" in str(err)
+        assert err.line is None and err.column is None
+
+    def test_message_only_error(self):
+        err = ParseError("oops")
+        assert err.position is None
+        assert str(err) == "oops"
+
+    def test_offset_past_source_end_clamped(self):
+        err = ParseError("unexpected end", position=99, source="one\ntwo")
+        assert (err.line, err.column) == (2, 4)

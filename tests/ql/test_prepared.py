@@ -1,0 +1,254 @@
+"""PreparedQuery: compile once, bind many — the acceptance contract.
+
+* binding a second instance performs **no re-parse** (compile-counter
+  instrumentation);
+* bound plans are bit-identical to the pre-refactor text-compile path
+  (``SGQ.from_text`` + SGQParser) for Q1-Q7 on the Table 2 workloads;
+* registering bound instances on an engine session reuses the cached
+  compiled plan structure (operator sharing, no new operators for a
+  re-registration of the same binding).
+"""
+
+import pytest
+
+from repro import ql
+from repro.algebra.translate import sgq_to_sga
+from repro.core.windows import HOUR, SlidingWindow
+from repro.engine.session import StreamingGraphEngine
+from repro.errors import PlanError, QueryValidationError
+from repro.query.sgq import SGQ
+from repro.workloads import QUERIES, labels_for
+from repro.workloads.queries import rpq_direct_plan
+
+W = SlidingWindow(8 * HOUR, HOUR)
+
+Q4_TEMPLATE = """
+D(x, t) <- $a(x, y), $b(y, z), $c(z, t).
+Answer(x, y) <- D+(x, y) as DP.
+"""
+
+
+class TestBindContract:
+    def test_second_bind_returns_identical_query(self):
+        prepared = ql.prepare(Q4_TEMPLATE, window=W)
+        first = prepared.bind(a="knows", b="likes", c="hasCreator")
+        second = prepared.bind(a="knows", b="likes", c="hasCreator")
+        assert second is first
+        assert second.plan() is first.plan()
+
+    def test_bind_performs_no_parse(self):
+        prepared = ql.prepare(Q4_TEMPLATE, window=W)  # parses here, once
+        ql.reset_counters()
+        prepared.bind(a="knows", b="likes", c="hasCreator")
+        prepared.bind(a="a2q", b="c2q", c="c2a")
+        prepared.bind(a="x1", b="x2", c="x3")
+        assert ql.COUNTERS.parses == 0
+        assert ql.COUNTERS.binds == 3
+        # One translation for the shared template plan; label binding is
+        # structural substitution, not re-translation.
+        assert ql.COUNTERS.translations <= 1
+
+    def test_distinct_windows_translate_once_each(self):
+        prepared = ql.prepare(Q4_TEMPLATE)
+        ql.reset_counters()
+        prepared.bind(window=W, a="k", b="l", c="m")
+        prepared.bind(window=W, a="p", b="q", c="r")
+        other = SlidingWindow(60)
+        prepared.bind(window=other, a="k", b="l", c="m")
+        prepared.bind(window=other, a="p", b="q", c="r")
+        assert ql.COUNTERS.parses == 0
+        assert ql.COUNTERS.translations == 2
+
+    def test_binding_validation(self):
+        prepared = ql.prepare(Q4_TEMPLATE, window=W)
+        with pytest.raises(PlanError, match="unbound"):
+            prepared.bind(a="knows")
+        with pytest.raises(PlanError, match="unknown"):
+            prepared.bind(a="knows", b="l", c="m", d="extra")
+        with pytest.raises(PlanError, match="non-empty label"):
+            prepared.bind(a="", b="l", c="m")
+
+    def test_window_required_somewhere(self):
+        prepared = ql.prepare(Q4_TEMPLATE)
+        with pytest.raises(QueryValidationError, match="window"):
+            prepared.bind(a="k", b="l", c="m")
+
+    def test_bare_slide_repaces_template_window(self):
+        prepared = ql.prepare(Q4_TEMPLATE, window=W)
+        bound = prepared.bind(slide=5, a="k", b="l", c="m")
+        assert bound.window == SlidingWindow(W.size, 5)
+
+    def test_slide_without_any_window_rejected(self):
+        with pytest.raises(QueryValidationError, match="slide"):
+            ql.prepare(Q4_TEMPLATE, slide=5)
+        prepared = ql.prepare(Q4_TEMPLATE)
+        with pytest.raises(QueryValidationError, match="slide"):
+            prepared.bind(slide=5, a="k", b="l", c="m")
+
+    def test_head_label_params_rejected(self):
+        with pytest.raises(QueryValidationError, match="input"):
+            ql.prepare("$head(x, y) <- a(x, y).\nAnswer(x, y) <- a(x, y).",
+                       window=W)
+
+    def test_two_params_same_label_share_window_override(self):
+        # Both $a and $b bind "knows": a bind-time override keyed by the
+        # bound label must reach *both* scans, as a text compile would.
+        tpl = ql.prepare("Answer(x, y) <- $a(x, z), $b(z, y).", window=W)
+        override = SlidingWindow(50, 5)
+        bound = tpl.bind(a="knows", b="knows",
+                         label_windows={"knows": override})
+        direct = sgq_to_sga(SGQ.from_text(
+            "Answer(x, y) <- knows(x, z), knows(z, y).", W,
+            {"knows": override},
+        ))
+        assert bound.plan() == direct
+
+    def test_bound_caches_are_lru_capped(self):
+        tpl = ql.prepare("Answer(x, y) <- $a(x, y).", window=W)
+        for i in range(tpl.MAX_BOUND + 50):
+            tpl.bind(a=f"label_{i}")
+        assert len(tpl._bound) <= tpl.MAX_BOUND
+
+    def test_gcore_template_rejects_conflicting_window(self):
+        with pytest.raises(QueryValidationError, match="ON"):
+            ql.prepare("MATCH (x)-[:a]->(y) ON s WINDOW (5)", window=100)
+        tpl = ql.prepare(
+            "CONSTRUCT (x)-[:Answer]->(y) "
+            "MATCH (x)-[:$r]->(y) ON s WINDOW (5)"
+        )
+        with pytest.raises(QueryValidationError, match="ON"):
+            tpl.bind(r="knows", window=100)
+
+    def test_anonymous_closure_name_substitutes(self):
+        prepared = ql.prepare("Answer(x, y) <- $a+(x, y).", window=W)
+        bound = prepared.bind(a="knows")
+        direct = sgq_to_sga(SGQ.from_text("Answer(x, y) <- knows+(x, y).", W))
+        assert bound.plan() == direct
+
+    def test_bound_query_value_semantics(self):
+        prepared = ql.prepare(Q4_TEMPLATE, window=W)
+        bound = prepared.bind(a="knows", b="likes", c="hasCreator")
+        from_text = ql.Query.datalog(bound.text, W)
+        assert bound == from_text  # a bound query IS its text + window
+        assert bound.bindings == (("a", "knows"), ("b", "likes"),
+                                  ("c", "hasCreator"))
+
+
+class TestBitIdenticalToTextCompile:
+    """Acceptance: Q1-Q7 bound plans == pre-refactor text-compiled plans."""
+
+    @pytest.mark.parametrize("dataset", ["so", "snb"])
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_workload_plan_equals_text_compile(self, name, dataset):
+        labels = labels_for(name, dataset)
+        text = QUERIES[name].datalog(labels)
+        via_text = sgq_to_sga(SGQ.from_text(text, W))
+        via_bind = QUERIES[name].plan(labels, W)
+        assert via_bind == via_text
+
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_rpq_direct_plan_equals_regex_compile(self, name):
+        labels = labels_for(name, "snb")
+        plan = rpq_direct_plan(name, labels, W)
+        # Pre-refactor construction: parse the instantiated regex text.
+        from repro.algebra.operators import Path, Relabel, WScan
+        from repro.regex.parser import parse_regex
+        from repro.ql.params import substitute_text
+        from repro.workloads.queries import _RPQ_REGEXES
+
+        regex = parse_regex(substitute_text(_RPQ_REGEXES[name], labels))
+        inputs = {label: WScan(label, W) for label in regex.alphabet()}
+        expected = Relabel(Path.over(inputs, regex, "AnswerPath"), "Answer")
+        assert plan == expected
+
+    def test_workload_datalog_text_instantiates(self):
+        text = QUERIES["Q6"].datalog(labels_for("Q6", "snb"))
+        assert "$" not in text
+        assert "knows+(x, y) as AP" in text
+
+
+class TestEngineReuse:
+    def test_rebind_registration_adds_no_operators(self):
+        engine = StreamingGraphEngine()
+        prepared = ql.prepare(Q4_TEMPLATE, window=W)
+        first = prepared.bind(a="knows", b="likes", c="hasCreator")
+        engine.register(first, name="first")
+        operators = engine.operator_count()
+        ql.reset_counters()
+        second = prepared.bind(a="knows", b="likes", c="hasCreator")
+        engine.register(second, name="second")
+        # No re-parse, no re-translation, and the session plan cache
+        # resolved every operator of the second registration.
+        assert ql.COUNTERS.parses == 0
+        assert ql.COUNTERS.translations == 0
+        assert engine.operator_count() == operators
+        assert engine.sharing_savings() > 0
+
+    def test_partial_sharing_across_bindings(self):
+        engine = StreamingGraphEngine()
+        prepared = ql.prepare(
+            "Answer(x, y) <- $a(x, z), follows+(z, y) as FP.", window=W
+        )
+        engine.register(prepared.bind(a="likes"), name="likes")
+        operators = engine.operator_count()
+        engine.register(prepared.bind(a="mentions"), name="mentions")
+        # The follows-closure (and its WSCAN) are shared; only the $a
+        # scan and the join differ.
+        added = engine.operator_count() - operators
+        assert 0 < added < operators
+
+    def test_results_identical_to_text_registration(self):
+        from tests.conftest import make_stream
+
+        labels = labels_for("Q2", "snb")
+        stream = make_stream(17, 60 * HOUR, 40, tuple(labels.values()),
+                             max_gap=30)
+        text = QUERIES["Q2"].datalog(labels)
+
+        bound_engine = StreamingGraphEngine()
+        handle_bound = bound_engine.register(
+            QUERIES["Q2"].query(labels, W), name="q2"
+        )
+        bound_engine.push_many(list(stream))
+
+        text_engine = StreamingGraphEngine()
+        handle_text = text_engine.register(SGQ.from_text(text, W), name="q2")
+        text_engine.push_many(list(stream))
+
+        assert handle_bound.results() == handle_text.results()
+        assert handle_bound.coverage() == handle_text.coverage()
+
+    def test_dd_backend_accepts_bound_query(self):
+        from tests.conftest import make_stream
+
+        labels = labels_for("Q1", "snb")
+        stream = list(make_stream(11, 60 * HOUR, 30, tuple(labels.values()),
+                                  max_gap=30))
+        bound = QUERIES["Q1"].query(labels, W)
+
+        dd_engine = StreamingGraphEngine(backend="dd")
+        handle = dd_engine.register(bound, name="q1")
+        dd_engine.push_many(stream)
+
+        text_engine = StreamingGraphEngine(backend="dd")
+        handle_text = text_engine.register(
+            SGQ.from_text(QUERIES["Q1"].datalog(labels), W), name="q1"
+        )
+        text_engine.push_many(stream)
+        assert handle.results() == handle_text.results()
+
+
+class TestGcoreTemplates:
+    def test_gcore_prepare_and_bind(self):
+        prepared = ql.prepare(
+            "CONSTRUCT (x)-[:Answer]->(y) "
+            "MATCH (x)-/<:$rel*>/->(y) ON s WINDOW (100) SLIDE (10)"
+        )
+        assert prepared.dialect == "gcore"
+        bound = prepared.bind(rel="knows")
+        direct = ql.Query.gcore(
+            "CONSTRUCT (x)-[:Answer]->(y) "
+            "MATCH (x)-/<:knows*>/->(y) ON s WINDOW (100) SLIDE (10)"
+        )
+        assert bound.plan() == direct.plan()
+        assert bound.sgq().window == SlidingWindow(100, 10)

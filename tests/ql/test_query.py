@@ -1,0 +1,146 @@
+"""Unit tests for the first-class Query value object and pipeline."""
+
+import pytest
+
+from repro import ql
+from repro.core.windows import SlidingWindow
+from repro.errors import PlanError, QueryValidationError
+from repro.ql import CompileOptions, Query
+
+W = SlidingWindow(100, 10)
+DATALOG = "Answer(x, y) <- knows+(x, y) as KP."
+GCORE = "CONSTRUCT (x)-[:out]->(y) MATCH (x)-[:a]->(y) ON s WINDOW (10)"
+
+
+class TestDialectDetection:
+    def test_datalog_arrow(self):
+        assert ql.detect_dialect(DATALOG) == "datalog"
+        assert ql.detect_dialect("Answer(x, y) :- a(x, y).") == "datalog"
+
+    def test_gcore_keywords(self):
+        assert ql.detect_dialect(GCORE) == "gcore"
+        assert ql.detect_dialect("  match (x)-[:a]->(y) ON s WINDOW (5)") == "gcore"
+        assert ql.detect_dialect("PATH p = (x)-[:a]->(y) CONSTRUCT ...") == "gcore"
+
+    def test_regex_fallback(self):
+        assert ql.detect_dialect("a b* (c|d)+") == "rpq"
+
+    def test_gcore_backward_edge_not_mistaken_for_rule_arrow(self):
+        text = (
+            "CONSTRUCT (x)-[:Answer]->(y) "
+            "MATCH (x)<-[:knows]-(y) ON s WINDOW (100) SLIDE (10)"
+        )
+        assert ql.detect_dialect(text) == "gcore"
+        assert Query.from_text(text).plan().out_label == "Answer"
+        # ...even with ASCII-art whitespace inside the edge.
+        spaced = (
+            "CONSTRUCT (x)-[:o]->(y) MATCH (x) <- [:a] - (y) ON s WINDOW (5)"
+        )
+        assert ql.detect_dialect(spaced) == "gcore"
+
+    def test_datalog_head_named_like_gcore_keyword(self):
+        assert ql.detect_dialect("Match(x, y) <- a(x, y).") == "datalog"
+
+    def test_regex_label_starting_with_keyword_is_rpq(self):
+        assert ql.detect_dialect("path+") == "rpq"
+        assert ql.detect_dialect("match follows*") == "rpq"
+        q = Query.from_text("path+", window=100)
+        assert q.dialect == "rpq"
+        assert q.plan().out_label == "Answer"
+
+    def test_from_text_gcore_rejects_conflicting_window(self):
+        with pytest.raises(QueryValidationError, match="ON"):
+            Query.from_text(GCORE, window=100)
+
+    def test_from_text_routes(self):
+        assert Query.from_text(DATALOG, W).dialect == "datalog"
+        assert Query.from_text(GCORE).dialect == "gcore"
+        assert Query.from_text("knows+", 100).dialect == "rpq"
+
+    def test_from_text_window_required_for_datalog(self):
+        with pytest.raises(QueryValidationError):
+            Query.from_text(DATALOG)
+
+
+class TestQueryValue:
+    def test_frozen_and_hashable(self):
+        a = Query.datalog(DATALOG, W)
+        b = Query.datalog(DATALOG, W)
+        assert a == b and hash(a) == hash(b)
+        assert a != Query.datalog(DATALOG, SlidingWindow(50))
+
+    def test_window_coercion(self):
+        q = Query.datalog(DATALOG, 100, slide=10)
+        assert q.window == W
+
+    def test_invalid_dialect(self):
+        with pytest.raises(PlanError):
+            Query(text="x", dialect="sql", window=W)
+
+    def test_gcore_rejects_external_window(self):
+        q = Query.gcore(GCORE)
+        assert q.window is None
+        with pytest.raises(QueryValidationError):
+            q.with_window(100)
+
+    def test_with_options_merge(self):
+        q = Query.datalog(DATALOG, W, path_impl="negative")
+        q2 = q.with_options(materialize_paths=False)
+        assert q2.options.path_impl == "negative"
+        assert q2.options.materialize_paths is False
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(PlanError):
+            CompileOptions(path_impl="quantum")
+
+
+class TestPipelineStages:
+    def test_logical_plan_memoized(self):
+        q = Query.datalog(DATALOG, W)
+        assert q.plan() is Query.datalog(DATALOG, W).plan()
+
+    def test_gcore_and_datalog_meet_in_one_pipeline(self):
+        gq = Query.gcore(
+            "CONSTRUCT (x)-[:Answer]->(y) "
+            "MATCH (x)-/<:knows*>/->(y) ON s WINDOW (100) SLIDE (10)"
+        )
+        assert gq.sgq().window == W
+        assert gq.plan().out_label == "Answer"
+
+    def test_rpq_has_no_sgq(self):
+        with pytest.raises(PlanError):
+            Query.rpq("knows+", W).sgq()
+
+    def test_explain_levels(self):
+        q = Query.datalog(DATALOG, W)
+        assert "WSCAN knows" in q.explain("logical")
+        assert "PATH (knows)+ -> Answer" in q.explain("optimized")
+        physical = q.explain("physical")
+        assert "SinkOp" in physical and "SPathOp" in physical
+        assert "Query[datalog" in q.explain("source")
+        for stage in ("source", "logical", "optimized", "physical"):
+            assert f"-- {stage} " in q.explain("all")
+
+    def test_explain_unknown_level(self):
+        with pytest.raises(PlanError):
+            Query.datalog(DATALOG, W).explain("telepathic")
+
+    def test_physical_respects_options(self):
+        q = Query.datalog(DATALOG, W, path_impl="negative")
+        assert "NegativeTupleRpqOp" in q.explain("physical")
+
+    def test_unbound_params_refuse_compile(self):
+        q = Query.datalog("Answer(x, y) <- $a+(x, y) as T.", W)
+        assert q.params == ("a",)
+        with pytest.raises(PlanError, match=r"\$a"):
+            q.plan()
+
+
+class TestCounters:
+    def test_parse_and_translate_counted_once(self):
+        ql.reset_counters()
+        q = Query.datalog("Answer(x, y) <- likes(x, y).", W)
+        q.plan()
+        q.plan()
+        assert ql.COUNTERS.parses == 1
+        assert ql.COUNTERS.translations == 1

@@ -1,0 +1,188 @@
+"""Round-trip: builder-authored Query → text → parsed Query → same plan.
+
+Each of Q1-Q7 (Table 1) is authored with the fluent builder using the
+canonical variable names, rendered to Datalog text, re-parsed through
+the text frontend, and both the re-parsed plan and the workload
+template's canonical plan must be *identical* to the builder's
+precompiled plan.
+"""
+
+import pytest
+
+from repro import ql
+from repro.core.windows import SlidingWindow
+from repro.errors import QueryValidationError
+from repro.ql import Query
+from repro.workloads import QUERIES
+
+W = SlidingWindow(15)
+ABC = {"a": "a", "b": "b", "c": "c"}
+
+
+def _q1():
+    return ql.match().closure("a", "x", "y", name="TC_A")
+
+
+def _q2():
+    return (
+        ql.match()
+        .rule("Answer", "x", "y").edge("a", "x", "y")
+        .rule("Answer", "x", "y").edge("a", "x", "z")
+                                 .closure("b", "z", "y", name="TC_B")
+    )
+
+
+def _q3():
+    return (
+        ql.match()
+        .rule("AB", "x", "y").edge("a", "x", "y")
+        .rule("AB", "x", "y").edge("a", "x", "z")
+                             .closure("b", "z", "y", name="TC_B")
+        .rule("Answer", "x", "y").edge("AB", "x", "y")
+        .rule("Answer", "x", "y").edge("AB", "x", "z")
+                                 .closure("c", "z", "y", name="TC_C")
+    )
+
+
+def _q4():
+    return (
+        ql.match()
+        .rule("D", "x", "t").edge("a", "x", "y")
+                            .edge("b", "y", "z")
+                            .edge("c", "z", "t")
+        .rule("Answer", "x", "y").closure("D", "x", "y", name="DP")
+    )
+
+
+def _q5():
+    return (
+        ql.match()
+        .rule("RR", "m1", "m2").edge("a", "x", "y")
+                               .edge("b", "m1", "x")
+                               .edge("b", "m2", "y")
+                               .edge("c", "m2", "m1")
+        .rule("Answer", "m1", "m2").edge("RR", "m1", "m2")
+    )
+
+
+def _q6():
+    return (
+        ql.match()
+        .rule("RL", "x", "y").closure("a", "x", "y", name="AP")
+                             .edge("b", "x", "m")
+                             .edge("c", "m", "y")
+        .rule("Answer", "x", "y").edge("RL", "x", "y")
+    )
+
+
+def _q7():
+    return (
+        ql.match()
+        .rule("RL", "x", "y").closure("a", "x", "y", name="AP")
+                             .edge("b", "x", "m")
+                             .edge("c", "m", "y")
+        .rule("Answer", "x", "m").closure("RL", "x", "y", name="RLP")
+                                 .edge("c", "m", "y")
+    )
+
+
+BUILDERS = {
+    "Q1": _q1,
+    "Q2": _q2,
+    "Q3": _q3,
+    "Q4": _q4,
+    "Q5": _q5,
+    "Q6": _q6,
+    "Q7": _q7,
+}
+
+
+class TestTable1RoundTrip:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_builder_text_parse_identical_plan(self, name):
+        built = BUILDERS[name]().window(W.size).slide(W.slide).build()
+        # 1. The builder's in-memory program and its rendered text parse
+        #    to the same canonical plan.
+        reparsed = Query.datalog(built.text, built.window)
+        assert reparsed.plan() == built.plan()
+        # 2. Both agree with the workload template's canonical plan.
+        canonical = QUERIES[name].plan(ABC, W)
+        assert built.plan() == canonical
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_round_trip_query_values_agree(self, name):
+        built = BUILDERS[name]().window(W.size).slide(W.slide).build()
+        # Text → Query → text is a fixpoint.
+        reparsed = Query.datalog(built.text, built.window)
+        assert Query.datalog(reparsed.text, reparsed.window) == reparsed
+
+
+class TestBuilderMechanics:
+    def test_issue_example_chain(self):
+        q = (
+            ql.match()
+            .edge("likes")
+            .closure("follows")
+            .window(hours=1)
+            .slide(minutes=10)
+            .build()
+        )
+        assert q.window == SlidingWindow(60, 10)
+        assert "likes(x, v1)" in q.text
+        assert "follows+(v1, y) as follows_tc" in q.text
+        assert q.plan().out_label == "Answer"
+
+    def test_chain_tail_renamed_to_head_target(self):
+        q = ql.match("u", "w").edge("a").edge("b").window(10).build()
+        assert q.text == "Answer(u, w) <- a(u, v1), b(v1, w)."
+
+    def test_auto_variables_skip_user_names(self):
+        q = ql.match().edge("a", "x", "v1").edge("b").window(10).build()
+        assert q.text == "Answer(x, y) <- a(x, v1), b(v1, y)."
+
+    def test_duration_units(self):
+        q = ql.match().edge("a").window(days=1, hours=2).slide(hours=1).build()
+        assert q.window == SlidingWindow(26 * 60, 60)
+
+    def test_window_required(self):
+        with pytest.raises(QueryValidationError, match="window"):
+            ql.match().edge("a").build()
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(QueryValidationError, match="no body atoms"):
+            ql.match().rule("Answer").window(10).build()
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(QueryValidationError, match="no rules"):
+            ql.match().window(10).build()
+
+    def test_label_window_override(self):
+        q = (
+            ql.match()
+            .edge("social", "x", "z")
+            .edge("purchase", "z", "y")
+            .window(days=30)
+            .label_window("social", hours=24)
+            .build()
+        )
+        sgq = q.sgq()
+        assert sgq.window_for("social").size == 24 * 60
+        assert sgq.window_for("purchase").size == 30 * 24 * 60
+
+    def test_builder_options_carried(self):
+        q = ql.match().edge("a").window(10).options(path_impl="negative").build()
+        assert q.options.path_impl == "negative"
+
+    def test_params_require_prepare(self):
+        with pytest.raises(QueryValidationError, match="prepare"):
+            ql.match().edge("$a").window(10).build()
+        prepared = ql.match().edge("$a").window(10).prepare()
+        bound = prepared.bind(a="knows")
+        assert "knows(x, y)" in bound.text
+
+    def test_builder_precompiled_plan_attached(self):
+        ql.reset_counters()
+        q = ql.match().closure("knows").window(100).slide(10).build()
+        assert ql.COUNTERS.parses == 0  # authored in memory, never parsed
+        q.plan()
+        assert ql.COUNTERS.parses == 0
