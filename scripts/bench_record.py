@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Record the Table 2 / Table 3 benchmark suites into BENCH_*.json.
+
+The perf trajectory of this repository is anchored by two committed JSON
+files at the repo root:
+
+* ``BENCH_table2.json`` — SGA (negative-tuple PATH) vs DD, Q1-Q7, on the
+  StackOverflow-like and SNB-like streams (the paper's Table 2 shape);
+* ``BENCH_table3.json`` — negative-tuple PATH vs S-PATH, same grid (the
+  paper's Table 3 shape).
+
+Each run appends (or replaces, keyed by ``--label``) one *entry* holding
+the per-query rows plus per-dataset aggregate throughput, so successive
+perf PRs record before/after pairs that reviewers can diff::
+
+    python scripts/bench_record.py --label pr4 --repeat 3
+
+Aggregate throughput for a (dataset, system) cell is total edges
+processed across Q1-Q7 divided by total processing seconds — the metric
+the acceptance criteria of perf PRs are judged on.  Use ``--check`` to
+validate the committed files against the schema without benchmarking
+(the CI smoke job runs a tiny ``--n-edges`` recording into a temp dir
+and then ``--check``s it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.experiments import Scale, _stream  # noqa: E402
+from repro.bench.harness import run_dd_bench, run_sga_bench  # noqa: E402
+from repro.core.windows import HOUR  # noqa: E402
+from repro.query.parser import parse_rq  # noqa: E402
+from repro.workloads import QUERIES, labels_for  # noqa: E402
+
+SCHEMA = "repro-bench-trajectory/v1"
+QUERY_NAMES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+DATASETS = ("so", "snb")
+
+#: Mirrors ``benchmarks.conftest.BENCH_SCALE`` (not imported: that module
+#: pulls in pytest fixtures).
+DEFAULT_SCALE = Scale(n_edges=2000, n_vertices=150, window=8 * HOUR, slide=HOUR)
+
+
+def _row(result, dataset: str, query: str) -> dict:
+    seconds = (
+        result.edges / result.throughput if result.throughput else 0.0
+    )
+    return {
+        "dataset": dataset,
+        "query": query,
+        "system": result.system,
+        "throughput": round(result.throughput, 1),
+        "p99_latency_s": round(result.tail_latency, 6),
+        "edges": result.edges,
+        "seconds": round(seconds, 6),
+        "results": result.results,
+    }
+
+
+def _best(measure, repeat: int) -> dict:
+    """Best-of-``repeat`` by throughput (noise floor for small scales)."""
+    best: dict | None = None
+    for _ in range(repeat):
+        row = measure()
+        if best is None or row["throughput"] > best["throughput"]:
+            best = row
+    assert best is not None
+    return best
+
+
+def record_table2(scale: Scale, repeat: int) -> list[dict]:
+    rows: list[dict] = []
+    window = scale.sliding_window()
+    for dataset in DATASETS:
+        stream = _stream(dataset, scale)
+        for query in QUERY_NAMES:
+            plan = QUERIES[query].plan(labels_for(query, dataset), window)
+            rows.append(
+                _best(
+                    lambda: _row(
+                        run_sga_bench(plan, stream, path_impl="negative"),
+                        dataset,
+                        query,
+                    ),
+                    repeat,
+                )
+            )
+            program = parse_rq(QUERIES[query].datalog(labels_for(query, dataset)))
+            rows.append(
+                _best(
+                    lambda: _row(
+                        run_dd_bench(program, stream, window), dataset, query
+                    ),
+                    repeat,
+                )
+            )
+    return rows
+
+
+def record_table3(scale: Scale, repeat: int) -> list[dict]:
+    rows: list[dict] = []
+    window = scale.sliding_window()
+    for dataset in DATASETS:
+        stream = _stream(dataset, scale)
+        for query in QUERY_NAMES:
+            plan = QUERIES[query].plan(labels_for(query, dataset), window)
+            for impl in ("negative", "spath"):
+                rows.append(
+                    _best(
+                        lambda: _row(
+                            run_sga_bench(plan, stream, path_impl=impl),
+                            dataset,
+                            query,
+                        ),
+                        repeat,
+                    )
+                )
+    return rows
+
+
+def aggregates(rows: list[dict]) -> dict:
+    """Per (dataset, system): total edges / total seconds across queries."""
+    totals: dict[tuple[str, str], list[float]] = {}
+    for row in rows:
+        key = (row["dataset"], row["system"])
+        edges, seconds = totals.setdefault(key, [0.0, 0.0])
+        totals[key] = [edges + row["edges"], seconds + row["seconds"]]
+    return {
+        f"{dataset}/{system}": {
+            "edges": int(edges),
+            "seconds": round(seconds, 6),
+            "throughput": round(edges / seconds, 1) if seconds else 0.0,
+        }
+        for (dataset, system), (edges, seconds) in sorted(totals.items())
+    }
+
+
+def make_entry(label: str, scale: Scale, rows: list[dict]) -> dict:
+    return {
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "scale": {
+            "n_edges": scale.n_edges,
+            "n_vertices": scale.n_vertices,
+            "window": scale.window,
+            "slide": scale.slide,
+            "seed": scale.seed,
+        },
+        "rows": rows,
+        "aggregates": aggregates(rows),
+    }
+
+
+def upsert_entry(path: Path, table: str, entry: dict) -> dict:
+    doc = {"schema": SCHEMA, "table": table, "entries": []}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc["entries"] = [e for e in doc["entries"] if e["label"] != entry["label"]]
+    doc["entries"].append(entry)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return doc
+
+
+def validate(doc: dict, table: str) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("table") != table:
+        problems.append(f"table is {doc.get('table')!r}, expected {table!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + ["entries missing or empty"]
+    for entry in entries:
+        where = f"entry {entry.get('label')!r}"
+        for field in ("label", "recorded_at", "scale", "rows", "aggregates"):
+            if field not in entry:
+                problems.append(f"{where}: missing {field!r}")
+        for row in entry.get("rows", []):
+            for field in (
+                "dataset",
+                "query",
+                "system",
+                "throughput",
+                "p99_latency_s",
+                "edges",
+                "seconds",
+                "results",
+            ):
+                if field not in row:
+                    problems.append(
+                        f"{where}: row {row.get('query')}/{row.get('system')}: "
+                        f"missing {field!r}"
+                    )
+        for cell in entry.get("aggregates", {}).values():
+            if not {"edges", "seconds", "throughput"} <= set(cell):
+                problems.append(f"{where}: malformed aggregate cell {cell}")
+    return problems
+
+
+def print_trajectory(doc: dict) -> None:
+    """Aggregate throughput per entry, with speedup vs the first entry."""
+    entries = doc["entries"]
+    cells = sorted({key for e in entries for key in e["aggregates"]})
+    base = entries[0]["aggregates"]
+    header = f"{'aggregate (edges/s)':<28}" + "".join(
+        f"{e['label']:>18}" for e in entries
+    )
+    print(header)
+    for cell in cells:
+        line = f"{cell:<28}"
+        for entry in entries:
+            value = entry["aggregates"].get(cell, {}).get("throughput", 0.0)
+            ref = base.get(cell, {}).get("throughput", 0.0)
+            suffix = f" ({value / ref:.2f}x)" if ref and entry is not entries[0] else ""
+            line += f"{value:>10.0f}{suffix:>8}"
+        print(line)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="dev", help="entry label (upserted)")
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N runs")
+    parser.add_argument("--n-edges", type=int, default=DEFAULT_SCALE.n_edges)
+    parser.add_argument("--n-vertices", type=int, default=DEFAULT_SCALE.n_vertices)
+    parser.add_argument("--window", type=int, default=DEFAULT_SCALE.window)
+    parser.add_argument("--slide", type=int, default=DEFAULT_SCALE.slide)
+    parser.add_argument("--out-dir", type=Path, default=REPO)
+    parser.add_argument(
+        "--table", choices=("table2", "table3", "both"), default="both"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only validate the existing JSON files against the schema",
+    )
+    args = parser.parse_args(argv)
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "table2": args.out_dir / "BENCH_table2.json",
+        "table3": args.out_dir / "BENCH_table3.json",
+    }
+    tables = ("table2", "table3") if args.table == "both" else (args.table,)
+
+    if args.check:
+        status = 0
+        for table in tables:
+            path = paths[table]
+            if not path.exists():
+                print(f"{path}: missing")
+                status = 1
+                continue
+            problems = validate(json.loads(path.read_text()), table)
+            for problem in problems:
+                print(f"{path}: {problem}")
+            status = status or (1 if problems else 0)
+            if not problems:
+                print(f"{path}: ok")
+        return status
+
+    scale = Scale(
+        n_edges=args.n_edges,
+        n_vertices=args.n_vertices,
+        window=args.window,
+        slide=args.slide,
+    )
+    recorders = {"table2": record_table2, "table3": record_table3}
+    for table in tables:
+        started = time.perf_counter()
+        rows = recorders[table](scale, args.repeat)
+        entry = make_entry(args.label, scale, rows)
+        doc = upsert_entry(paths[table], table, entry)
+        print(
+            f"\n== {table}: recorded {len(rows)} rows as {args.label!r} "
+            f"in {time.perf_counter() - started:.1f}s -> {paths[table]}"
+        )
+        print_trajectory(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Profile the execution hot path: cProfile + pstats, top-N per operator.
+
+Future perf PRs should start from evidence, not intuition.  This script
+runs one (or every) Table 1 query over a benchmark stream under
+cProfile and reports:
+
+* the global top-N functions by internal time, and
+* internal time aggregated *per operator module* (wscan / join / the
+  PATH implementations / coalesce / dataflow plumbing / expiry / ...),
+  which is the granularity perf work is planned at.
+
+Examples::
+
+    python scripts/profile_hotpaths.py                     # all queries, snb
+    python scripts/profile_hotpaths.py --query Q3 --dataset so --top 40
+    python scripts/profile_hotpaths.py --execution rows    # historical path
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.experiments import Scale, _stream  # noqa: E402
+from repro.core.windows import HOUR  # noqa: E402
+from repro.engine.session import EngineConfig, StreamingGraphEngine  # noqa: E402
+from repro.workloads import QUERIES, labels_for  # noqa: E402
+
+QUERY_NAMES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+
+#: Module-path fragments -> report group.  Anything unmatched lands in
+#: "other" so new hot spots never disappear silently.
+OPERATOR_GROUPS = {
+    "physical/wscan": "wscan",
+    "physical/join": "pattern-join",
+    "physical/spath": "spath",
+    "physical/rpq_negative": "rpq-negative",
+    "physical/coalesce_op": "coalesce",
+    "physical/filter": "filter",
+    "physical/union": "union",
+    "physical/delta_index": "delta-index",
+    "core/expiry": "timing-wheel",
+    "core/interning": "interning",
+    "core/columns": "columns",
+    "core/batch": "scheduler",
+    "core/intervals": "intervals",
+    "core/coalesce": "coalesce-core",
+    "dataflow/graph": "dataflow",
+    "dataflow/executor": "executor",
+    "dd/": "dd-baseline",
+}
+
+
+def group_of(filename: str) -> str:
+    normalized = filename.replace("\\", "/")
+    if "/repro/" not in normalized:
+        return "stdlib/other"
+    for fragment, name in OPERATOR_GROUPS.items():
+        if fragment in normalized:
+            return name
+    return "repro/other"
+
+
+def run_queries(queries, dataset: str, scale: Scale, execution: str, repeat: int):
+    stream = _stream(dataset, scale)
+    window = scale.sliding_window()
+    plans = {
+        name: QUERIES[name].plan(labels_for(name, dataset), window)
+        for name in queries
+    }
+    profile = cProfile.Profile()
+    profile.enable()
+    for _ in range(repeat):
+        for name, plan in plans.items():
+            engine = StreamingGraphEngine(
+                EngineConfig(
+                    backend="sga",
+                    path_impl="negative",
+                    materialize_paths=False,
+                    execution=execution,
+                )
+            )
+            engine.register(plan, name=name)
+            engine.push_many(stream)
+    profile.disable()
+    return pstats.Stats(profile)
+
+
+def report_per_operator(stats: pstats.Stats, top: int) -> None:
+    by_group: dict[str, float] = defaultdict(float)
+    rows_by_group: dict[str, list] = defaultdict(list)
+    total = 0.0
+    for (filename, lineno, funcname), (
+        _cc,
+        ncalls,
+        tottime,
+        _cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        group = group_of(filename)
+        by_group[group] += tottime
+        rows_by_group[group].append((tottime, ncalls, funcname, lineno))
+        total += tottime
+
+    print(f"\n== internal time per operator group (total {total:.3f}s) ==")
+    for group, seconds in sorted(by_group.items(), key=lambda kv: -kv[1]):
+        print(f"  {group:<16} {seconds:7.3f}s  ({seconds / total:5.1%})")
+        for tottime, ncalls, funcname, lineno in sorted(
+            rows_by_group[group], reverse=True
+        )[:3]:
+            print(
+                f"      {tottime:7.3f}s  {ncalls:>8}x  {funcname} (:{lineno})"
+            )
+
+    print(f"\n== global top {top} by internal time ==")
+    stats.sort_stats("tottime").print_stats(top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--query", choices=QUERY_NAMES, help="default: all")
+    parser.add_argument("--dataset", choices=("so", "snb"), default="snb")
+    parser.add_argument("--n-edges", type=int, default=2000)
+    parser.add_argument("--n-vertices", type=int, default=150)
+    parser.add_argument("--window", type=int, default=8 * HOUR)
+    parser.add_argument("--slide", type=int, default=HOUR)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--top", type=int, default=25)
+    parser.add_argument(
+        "--execution",
+        choices=("columnar", "rows"),
+        default="columnar",
+        help="engine execution representation to profile",
+    )
+    args = parser.parse_args(argv)
+
+    scale = Scale(
+        n_edges=args.n_edges,
+        n_vertices=args.n_vertices,
+        window=args.window,
+        slide=args.slide,
+    )
+    queries = (args.query,) if args.query else QUERY_NAMES
+    stats = run_queries(queries, args.dataset, scale, args.execution, args.repeat)
+    report_per_operator(stats, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT
 
 #: Event signs (shared convention with :mod:`repro.dataflow.graph`).
@@ -44,11 +45,17 @@ class DeltaBatch:
         The slide boundary the batch belongs to (the watermark has been
         advanced to this boundary before the batch flows).
     sgts:
-        The sgts, in arrival order.
+        The sgts, in arrival order — or ``None`` when the batch carries
+        ``columns`` instead (rows are then materialized lazily on first
+        access, e.g. by the per-tuple fallback shim or a fanout edge).
     signs:
         Parallel list of signs (+1 insert / -1 delete), or ``None`` when
-        every sgt is an insertion — the hot-path common case, which spares
-        one wrapper object per event.
+        every delta is an insertion — the hot-path common case, which
+        spares one wrapper object per event.
+    columns:
+        Optional :class:`~repro.core.columns.DeltaColumns` view: the same
+        deltas as parallel scalar columns of interned ids.  Columnar
+        operators iterate this directly and never touch ``sgts``.
 
     Order within a batch is meaningful and preserved end to end: a
     retraction must observe the effects of the insertions that preceded
@@ -57,21 +64,46 @@ class DeltaBatch:
     output if a batch is reordered.
     """
 
-    __slots__ = ("boundary", "sgts", "signs")
+    __slots__ = ("boundary", "_sgts", "signs", "columns")
 
     def __init__(
         self,
         boundary: int,
-        sgts: list[SGT],
+        sgts: list[SGT] | None = None,
         signs: list[int] | None = None,
+        columns=None,
     ):
-        if signs is not None and len(signs) != len(sgts):
+        if sgts is None and columns is None:
+            raise ValueError("DeltaBatch requires sgts or columns")
+        length = len(sgts) if sgts is not None else len(columns)
+        if signs is not None and len(signs) != length:
             raise ValueError(
-                f"signs length {len(signs)} != sgts length {len(sgts)}"
+                f"signs length {len(signs)} != batch length {length}"
             )
         self.boundary = boundary
-        self.sgts = sgts
+        self._sgts = sgts
         self.signs = signs
+        self.columns = columns
+
+    @property
+    def sgts(self) -> list[SGT]:
+        """Row view; materialized from the columns on first access.
+
+        Materialized rows carry interned vertex ids (decoding happens
+        only at result-sink read time), a per-row
+        :class:`~repro.core.intervals.Interval` and the default edge
+        payload — exactly what the row-wise producers would have built.
+        """
+        rows = self._sgts
+        if rows is None:
+            cols = self.columns
+            label = cols.label
+            rows = [
+                SGT(s, d, label, Interval(ts, exp))
+                for s, d, ts, exp in zip(cols.src, cols.dst, cols.ts, cols.exp)
+            ]
+            self._sgts = rows
+        return rows
 
     @property
     def insert_only(self) -> bool:
@@ -98,11 +130,14 @@ class DeltaBatch:
         return [s for s, sign in zip(self.sgts, self.signs) if sign == DELETE]
 
     def __len__(self) -> int:
-        return len(self.sgts)
+        if self._sgts is not None:
+            return len(self._sgts)
+        return len(self.columns)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "+" if self.signs is None else "±"
-        return f"<DeltaBatch @{self.boundary} {kind}{len(self.sgts)}>"
+        form = "col" if self.columns is not None else "row"
+        return f"<DeltaBatch @{self.boundary} {kind}{len(self)} {form}>"
 
 
 @dataclass
@@ -154,7 +189,11 @@ class BatchScheduler:
     Parameters
     ----------
     boundary_of:
-        Maps an event timestamp to its slide boundary.
+        Maps an event timestamp to its slide boundary — either a
+        callable, or (the fast path) a positive ``int`` slide interval
+        ``beta``, for which the scheduler computes
+        ``(t // beta) * beta`` inline instead of paying one Python call
+        per stream element.
     batch_size:
         Maximum edges per flush.  ``None`` flushes once per slide (DD's
         epoch batching, and the SGA executor's whole-slide batches); a
@@ -176,12 +215,14 @@ class BatchScheduler:
 
     def __init__(
         self,
-        boundary_of: Callable[[int], int],
+        boundary_of: Callable[[int], int] | int,
         batch_size: int | None = None,
         on_late: Callable[[SGE, int], bool] | None = None,
     ):
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if isinstance(boundary_of, int) and boundary_of < 1:
+            raise ValueError(f"slide must be >= 1, got {boundary_of}")
         self.boundary_of = boundary_of
         self.batch_size = batch_size
         self.on_late = on_late
@@ -198,6 +239,7 @@ class BatchScheduler:
         """
         stats = RunStats()
         boundary_of = self.boundary_of
+        slide = boundary_of if isinstance(boundary_of, int) else None
         batch_size = self.batch_size
         on_late = self.on_late
         pending: list[SGE] = []
@@ -205,7 +247,10 @@ class BatchScheduler:
         start = time.perf_counter()
 
         for edge in stream:
-            boundary = boundary_of(edge.t)
+            if slide is not None:
+                boundary = edge.t // slide * slide
+            else:
+                boundary = boundary_of(edge.t)
             if current is None:
                 current = SlideStats(boundary=boundary)
             elif boundary > current.boundary:

@@ -1,0 +1,175 @@
+"""Dictionary encoding of vertices (and any hashable values) as dense ids.
+
+The hot path of every stateful operator is dictionary traffic keyed on
+vertices: adjacency maps, join tables, spanning-tree node keys.  The
+benchmark streams (and real graph workloads) carry structured vertex
+values — ``("P", 42)`` tuples, strings — whose hashing and equality cost
+is paid again on every operator hop.  An :class:`Interner` assigns each
+distinct value a dense ``int`` id at stream ingress; ids flow through the
+operators (small-int hashing is a single machine word, and dense ids are
+what lets :mod:`repro.core.columns` hold tuples as parallel scalar
+columns), and are decoded back to the original values only at result
+sinks and ``explain`` — never inside the dataflow.
+
+Interning is a bijection, so equality and hashing over ids agree exactly
+with equality and hashing over the original values; golden tests assert
+the decoded results are bit-identical to un-interned execution.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.tuples import SGT, EdgePayload, PathPayload
+from repro.dataflow.graph import Event
+
+
+class Interner:
+    """A bijective value ⇄ dense-int dictionary (append-only).
+
+    ``intern`` is the hot direction (one dict lookup); ``value`` is the
+    cold decode used by result readers.  Ids are assigned contiguously
+    from 0 in first-seen order, so they can index parallel arrays.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._values: list[Hashable] = []
+
+    def intern(self, value: Hashable) -> int:
+        """The id of ``value``, assigning the next dense id if unseen."""
+        ids = self._ids
+        found = ids.get(value)
+        if found is not None:
+            return found
+        assigned = len(self._values)
+        ids[value] = assigned
+        self._values.append(value)
+        return assigned
+
+    def intern_many(self, values: Iterable[Hashable]) -> list[int]:
+        intern = self.intern
+        return [intern(v) for v in values]
+
+    def value(self, ident: int) -> Hashable:
+        """The original value of a previously assigned id."""
+        return self._values[ident]
+
+    def id_of(self, value: Hashable) -> int | None:
+        """The id of ``value`` if already interned, else ``None``."""
+        return self._ids.get(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Interner {len(self)} values>"
+
+    # ------------------------------------------------------------------
+    # Decoding (result-sink surface)
+    # ------------------------------------------------------------------
+    def decode_sgt(self, sgt: SGT) -> SGT:
+        """An equal sgt with vertex ids replaced by their original values.
+
+        Payloads are decoded too: a materialized path's hops carry vertex
+        ids inside the dataflow, and requirement R3 (paths as data) means
+        they are user-visible.
+        """
+        values = self._values
+        payload = sgt.payload
+        if payload.__class__ is PathPayload:
+            decoded_payload: EdgePayload | PathPayload = PathPayload(
+                tuple(
+                    EdgePayload(values[hop.src], values[hop.trg], hop.label)
+                    for hop in payload.hops
+                )
+            )
+        else:
+            decoded_payload = EdgePayload(
+                values[payload.src], values[payload.trg], payload.label
+            )
+        return SGT(
+            values[sgt.src],
+            values[sgt.trg],
+            sgt.label,
+            sgt.interval,
+            decoded_payload,
+        )
+
+    def decode_event(self, event: Event) -> Event:
+        return Event(self.decode_sgt(event.sgt), event.sign)
+
+    def decode_key(self, key: tuple) -> tuple:
+        """Decode a ``(src, trg, label)`` result key."""
+        values = self._values
+        return (values[key[0]], values[key[1]], key[2])
+
+
+def intern_plan(plan, interner: Interner):
+    """Rewrite a logical plan's vertex-valued predicate constants to ids.
+
+    Under interned execution, operators evaluate predicates against
+    dense ids, so a predicate like ``src == "alice"`` must compare
+    against ``intern("alice")``.  Labels are untouched (they are not
+    interned — batches are label-constant, so labels flow as themselves).
+    The rewritten plan is what the engine compiles; the original plan
+    stays on the query handle for ``explain``.
+    """
+    import dataclasses
+
+    from repro.algebra.operators import (
+        Filter,
+        Path,
+        Pattern,
+        Predicate,
+        Relabel,
+        Union,
+        WScan,
+    )
+
+    def map_predicate(predicate):
+        if predicate is None:
+            return None
+        conditions = tuple(
+            (attribute, op, interner.intern(value))
+            if attribute in ("src", "trg")
+            else (attribute, op, value)
+            for attribute, op, value in predicate.conditions
+        )
+        if conditions == predicate.conditions:
+            return predicate
+        return Predicate(conditions)
+
+    def rec(node):
+        if isinstance(node, WScan):
+            prefilter = map_predicate(node.prefilter)
+            if prefilter is node.prefilter:
+                return node
+            return dataclasses.replace(node, prefilter=prefilter)
+        if isinstance(node, Filter):
+            return Filter(rec(node.child), map_predicate(node.predicate))
+        if isinstance(node, Relabel):
+            return Relabel(rec(node.child), node.label)
+        if isinstance(node, Union):
+            return Union(rec(node.left), rec(node.right), node.label)
+        if isinstance(node, Pattern):
+            return dataclasses.replace(
+                node,
+                inputs=tuple(
+                    dataclasses.replace(c, plan=rec(c.plan))
+                    for c in node.inputs
+                ),
+            )
+        if isinstance(node, Path):
+            return dataclasses.replace(
+                node,
+                inputs=tuple((label, rec(child)) for label, child in node.inputs),
+            )
+        return node
+
+    return rec(plan)

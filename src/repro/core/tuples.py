@@ -161,9 +161,15 @@ class SGT:
     ``field(compare=False)``.  Like :class:`Interval`, this is a
     hand-written ``__slots__`` class because sgts are allocated on every
     operator hop of every tuple.
+
+    The default edge payload is materialized *lazily*: most sgts never
+    have their payload read (it matters only at result sinks and for
+    materialized paths), so construction skips the
+    :class:`EdgePayload` allocation and the ``payload`` property builds
+    it on first access.
     """
 
-    __slots__ = ("src", "trg", "label", "interval", "payload")
+    __slots__ = ("src", "trg", "label", "interval", "_payload")
 
     def __init__(
         self,
@@ -177,9 +183,14 @@ class SGT:
         self.trg = trg
         self.label = label
         self.interval = interval
-        self.payload = (
-            payload if payload is not None else EdgePayload(src, trg, label)
-        )
+        self._payload = payload
+
+    @property
+    def payload(self) -> Payload:
+        payload = self._payload
+        if payload is None:
+            payload = self._payload = EdgePayload(self.src, self.trg, self.label)
+        return payload
 
     def __eq__(self, other: object) -> bool:
         if other.__class__ is SGT:
@@ -220,12 +231,15 @@ class SGT:
         return self.key() == other.key()
 
     def is_path(self) -> bool:
-        return isinstance(self.payload, PathPayload)
+        # Checked against the raw slot: a lazily defaulted payload is an
+        # EdgePayload by construction, no need to materialize it.
+        return isinstance(self._payload, PathPayload)
 
     def valid_at(self, t: int) -> bool:
         return self.interval.contains(t)
 
     def with_interval(self, interval: Interval) -> "SGT":
+        # Forces the payload so both sgts share one object (cold path).
         return SGT(self.src, self.trg, self.label, interval, self.payload)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
@@ -234,10 +248,4 @@ class SGT:
 
 def sgt_from_sge(edge: SGE, interval: Interval) -> SGT:
     """Wrap an input edge into an sgt with the given validity interval."""
-    return SGT(
-        edge.src,
-        edge.trg,
-        edge.label,
-        interval,
-        EdgePayload(edge.src, edge.trg, edge.label),
-    )
+    return SGT(edge.src, edge.trg, edge.label, interval)

@@ -74,6 +74,15 @@ class Executor:
     late_policy:
         What to do with edges behind the current watermark boundary
         (``"allow"``, ``"drop"`` or ``"raise"``; see module docstring).
+    interner:
+        When given, the executor runs in *columnar* mode: vertices are
+        dictionary-encoded to dense ids at ingress (every ingress path —
+        bulk runs, single pushes and explicit deletions — interns through
+        the same table), and ``run`` flushes each same-label run as
+        parallel scalar columns instead of per-tuple events
+        (``batch_size`` still caps flush sizes).  Sinks attached to the
+        graph must decode through the same interner; the engine session
+        wires this up.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class Executor:
         slide: int = 1,
         batch_size: int | None = None,
         late_policy: str = "allow",
+        interner=None,
     ):
         if slide <= 0:
             raise ValueError(f"slide must be positive, got {slide}")
@@ -95,6 +105,7 @@ class Executor:
         self.slide = slide
         self.batch_size = batch_size
         self.late_policy = late_policy
+        self.interner = interner
         #: Late edges discarded under ``late_policy="drop"``.
         self.late_count = 0
         self._current_boundary: int | None = None
@@ -107,9 +118,14 @@ class Executor:
 
     def run(self, stream: Iterable[SGE]) -> RunStats:
         """Process the whole stream; returns per-slide timing statistics."""
-        apply = self._apply_tuples if self.batch_size is None else self._apply_batch
+        if self.interner is not None:
+            apply = self._apply_columnar
+        elif self.batch_size is None:
+            apply = self._apply_tuples
+        else:
+            apply = self._apply_batch
         scheduler = BatchScheduler(
-            self._boundary,
+            self.slide,
             self.batch_size,
             on_late=None if self.late_policy == "allow" else self._on_late,
         )
@@ -129,6 +145,8 @@ class Executor:
         ):
             return
         self._advance(boundary)
+        if self.interner is not None:
+            edge = self._intern_edge(edge)
         self.graph.push(edge.label, Event(_now_sgt(edge), INSERT))
 
     def delete_edge(self, edge: SGE) -> None:
@@ -138,6 +156,8 @@ class Executor:
         with a negative sign reaches stateful operators with exactly the
         interval the insertion carried.
         """
+        if self.interner is not None:
+            edge = self._intern_edge(edge)
         self.graph.push(edge.label, Event(_now_sgt(edge), DELETE))
 
     def advance_to(self, t: int) -> None:
@@ -184,6 +204,72 @@ class Executor:
                 j += 1
             sources[label].push_sges(boundary, kept[i:j])
             i = j
+
+    #: Minimum same-label run length that flows as a columnar batch.
+    #: Shorter runs are dispatched per event (still interned): the fixed
+    #: per-batch cost — column/batch construction, capture buffers, one
+    #: extra dispatch per operator hop — only amortizes across a few
+    #: tuples, and heavily interleaved streams (the SNB workload carries
+    #: four labels) produce runs of 2-3 edges where per-event dispatch
+    #: is measurably cheaper.  Order is preserved either way, so the two
+    #: forms mix freely within one slide.
+    columnar_min_run = 8
+
+    def _apply_columnar(self, boundary: int, edges: list[SGE]) -> None:
+        """Columnar application: same same-label-run segmentation as
+        :meth:`_apply_batch`, but each run is interned at ingress and
+        flushed to its source as parallel scalar columns — no per-edge
+        object of any kind flows into the dataflow.
+        """
+        self._advance(boundary)
+        sources = self.graph.sources
+        intern = self.interner.intern
+        min_run = self.columnar_min_run
+        if len(sources) == 1:
+            ((label, source),) = sources.items()
+            src: list[int] = []
+            dst: list[int] = []
+            ts: list[int] = []
+            for e in edges:
+                if e.label == label:
+                    src.append(intern(e.src))
+                    dst.append(intern(e.trg))
+                    ts.append(e.t)
+            if len(src) >= min_run:
+                source.push_columns(boundary, src, dst, ts)
+            else:
+                push_scalar = source.push_scalar
+                for s, d, t in zip(src, dst, ts):
+                    push_scalar(s, d, t)
+            return
+        kept = [e for e in edges if e.label in sources]
+        i = 0
+        n = len(kept)
+        while i < n:
+            label = kept[i].label
+            j = i + 1
+            while j < n and kept[j].label == label:
+                j += 1
+            source = sources[label]
+            if j - i >= min_run:
+                run = kept[i:j]
+                source.push_columns(
+                    boundary,
+                    [intern(e.src) for e in run],
+                    [intern(e.trg) for e in run],
+                    [e.t for e in run],
+                )
+            else:
+                push_scalar = source.push_scalar
+                while i < j:
+                    e = kept[i]
+                    push_scalar(intern(e.src), intern(e.trg), e.t)
+                    i += 1
+            i = j
+
+    def _intern_edge(self, edge: SGE) -> SGE:
+        intern = self.interner.intern
+        return SGE(intern(edge.src), intern(edge.trg), edge.label, edge.t)
 
     def _on_late(self, edge: SGE, boundary: int) -> bool:
         """Apply the drop/raise late policy; True keeps the edge.

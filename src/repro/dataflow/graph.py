@@ -29,6 +29,7 @@ from typing import Callable
 
 from repro.core.batch import DeltaBatch
 from repro.core.coalesce import coalesce_stream
+from repro.core.columns import ColumnBuilder
 from repro.core.intervals import Interval, net_cover
 from repro.core.tuples import SGE, SGT, EdgePayload, Label, Vertex
 from repro.errors import ExecutionError
@@ -88,6 +89,10 @@ class PhysicalOperator:
         self._capture_sgts: list[SGT] | None = None
         self._capture_signs: list[int] = []
         self._capture_mixed = False
+        #: columnar emission capture (see :meth:`_begin_batch_cols`):
+        #: operators consuming a columnar batch append scalar output rows
+        #: here instead of constructing sgts
+        self._capture_cols: ColumnBuilder | None = None
 
     # ------------------------------------------------------------------
     # Wiring (used by DataflowGraph)
@@ -110,6 +115,10 @@ class PhysicalOperator:
             if event.sign != INSERT:
                 self._capture_mixed = True
             return
+        if self._capture_cols is not None:
+            sgt = event.sgt
+            self._append_col(sgt.src, sgt.trg, sgt.label, sgt.interval, event.sign)
+            return
         for consumer, port in self._downstream:
             consumer.on_event(port, event)
 
@@ -127,9 +136,25 @@ class PhysicalOperator:
             if sign != INSERT:
                 self._capture_mixed = True
             return
+        if self._capture_cols is not None:
+            self._append_col(sgt.src, sgt.trg, sgt.label, sgt.interval, sign)
+            return
         event = Event(sgt, sign)
         for consumer, port in self._downstream:
             consumer.on_event(port, event)
+
+    def _append_col(
+        self, src, trg, label: Label, interval: Interval, sign: int
+    ) -> None:
+        """Route a stray row emission into the active columnar capture."""
+        cols = self._capture_cols
+        assert cols is not None
+        if label != cols.label:
+            raise ExecutionError(
+                f"{self.name}: emission labeled {label!r} during columnar "
+                f"capture of {cols.label!r}"
+            )
+        cols.append(src, trg, interval.ts, interval.exp, sign)
 
     def on_event(self, port: int, event: Event) -> None:
         raise NotImplementedError
@@ -152,7 +177,7 @@ class PhysicalOperator:
         PATH keeps the first derivation it finds) would produce
         different results.
         """
-        if not batch.sgts:
+        if not len(batch):
             return
         downstream = self._downstream
         if len(downstream) == 1:
@@ -175,16 +200,45 @@ class PhysicalOperator:
         the sges, skipping the intermediate NOW tuples entirely.
         """
         sgts = [
-            SGT(
-                e.src,
-                e.trg,
-                e.label,
-                Interval(e.t, e.t + 1),
-                EdgePayload(e.src, e.trg, e.label),
-            )
-            for e in edges
+            SGT(e.src, e.trg, e.label, Interval(e.t, e.t + 1)) for e in edges
         ]
         self.on_batch(port, DeltaBatch(boundary, sgts))
+
+    def on_edge(self, port: int, src, dst, t: int, label: Label) -> None:
+        """Process one raw input edge as bare scalars.
+
+        The columnar executor dispatches short same-label runs per edge;
+        this entry point skips the intermediate NOW-sgt/Event pair the
+        classic ``push`` path allocates.  WSCAN overrides it to window
+        the edge directly; the default shim reconstructs the NOW event
+        for any other consumer wired to a source.
+        """
+        self.on_event(
+            port, Event(SGT(src, dst, label, Interval(t, t + 1)))
+        )
+
+    def on_edge_columns(
+        self,
+        port: int,
+        boundary: int,
+        label: Label,
+        src: list[int],
+        dst: list[int],
+        ts: list[int],
+    ) -> None:
+        """Process one batch of raw input edges in columnar form.
+
+        The columnar executor interns vertices at ingress and hands each
+        same-label run to the sources as three parallel scalar columns.
+        WSCAN overrides this with a column-at-a-time windowing pass; the
+        default shim reconstructs sges (carrying interned ids) for any
+        other consumer wired directly to a source.
+        """
+        self.on_sge_batch(
+            port,
+            boundary,
+            [SGE(s, d, label, t) for s, d, t in zip(src, dst, ts)],
+        )
 
     def on_batch(self, port: int, batch: DeltaBatch) -> None:
         """Process one delta batch; the default is a per-tuple shim.
@@ -208,7 +262,7 @@ class PhysicalOperator:
 
     def _begin_batch(self) -> None:
         """Start capturing emissions into a batch buffer."""
-        if self._capture_sgts is not None:
+        if self._capture_sgts is not None or self._capture_cols is not None:
             raise ExecutionError(f"{self.name}: nested batch processing")
         self._capture_sgts = []
         self._capture_signs = []
@@ -223,6 +277,26 @@ class PhysicalOperator:
         if sgts:
             self.emit_batch(DeltaBatch(boundary, sgts, signs))
 
+    def _begin_batch_cols(self, label: Label) -> None:
+        """Start capturing emissions as scalar columns under ``label``.
+
+        Used by operators processing a columnar batch whose outputs are
+        payload-free and label-constant; the operator appends scalar
+        rows to ``self._capture_cols`` directly (any stray
+        :meth:`emit_sgt` is routed into the builder too).
+        """
+        if self._capture_sgts is not None or self._capture_cols is not None:
+            raise ExecutionError(f"{self.name}: nested batch processing")
+        self._capture_cols = ColumnBuilder(label)
+
+    def _end_batch_cols(self, boundary: int) -> None:
+        """Stop columnar capture and flush one columnar batch downstream."""
+        builder = self._capture_cols
+        self._capture_cols = None
+        if builder is not None and len(builder):
+            columns, signs = builder.take()
+            self.emit_batch(DeltaBatch(boundary, signs=signs, columns=columns))
+
     # ------------------------------------------------------------------
     # Progress (watermarks)
     # ------------------------------------------------------------------
@@ -232,13 +306,19 @@ class PhysicalOperator:
 
     def receive_watermark(self, port: int, t: int) -> None:
         """Record an upstream watermark; advance when the frontier moves."""
-        current = self._input_watermarks.get(port, -1)
+        watermarks = self._input_watermarks
+        current = watermarks.get(port, -1)
         if t < current:
             raise ExecutionError(
                 f"{self.name}: watermark regression on port {port}: {t} < {current}"
             )
-        self._input_watermarks[port] = t
-        frontier = min(self._input_watermarks.values()) if self._input_watermarks else t
+        watermarks[port] = t
+        if len(watermarks) <= 1:
+            # Single input port (the overwhelmingly common wiring): the
+            # frontier is the port's own watermark — skip the min().
+            frontier = t
+        else:
+            frontier = min(watermarks.values())
         if frontier > self._watermark:
             self._watermark = frontier
             self.on_advance(frontier)
@@ -289,15 +369,53 @@ class SourceOp(PhysicalOperator):
         if not downstream:
             return
         for e in edges:
-            event = Event(
-                SGT(
-                    e.src,
-                    e.trg,
-                    e.label,
-                    Interval(e.t, e.t + 1),
-                    EdgePayload(e.src, e.trg, e.label),
-                )
-            )
+            event = Event(SGT(e.src, e.trg, e.label, Interval(e.t, e.t + 1)))
+            for consumer, port in downstream:
+                consumer.on_event(port, event)
+
+    def push_scalar(self, src, dst, t: int) -> None:
+        """Forward one raw input edge as bare scalars (columnar-executor
+        per-edge path for runs too short to batch).  Linear edges reach
+        the consumer's :meth:`~PhysicalOperator.on_edge` with no
+        intermediate objects; fanout falls back to one NOW event shared
+        by every subscriber (per-tuple interleaving preserved)."""
+        downstream = self._downstream
+        if len(downstream) == 1:
+            consumer, port = downstream[0]
+            consumer.on_edge(port, src, dst, t, self.label)
+            return
+        if not downstream:
+            return
+        event = Event(SGT(src, dst, self.label, Interval(t, t + 1)))
+        for consumer, port in downstream:
+            consumer.on_event(port, event)
+
+    def push_columns(
+        self,
+        boundary: int,
+        src: list[int],
+        dst: list[int],
+        ts: list[int],
+    ) -> None:
+        """Forward one batch of raw input edges as scalar columns.
+
+        Same fanout rule as :meth:`push_sges`: whole batches flow only
+        along linear edges; with several subscribers delivery falls back
+        to per-event pushes in per-tuple interleaving (the events carry
+        the interned ids the columns hold).
+        """
+        if not src:
+            return
+        downstream = self._downstream
+        if len(downstream) == 1:
+            consumer, port = downstream[0]
+            consumer.on_edge_columns(port, boundary, self.label, src, dst, ts)
+            return
+        if not downstream:
+            return
+        label = self.label
+        for s, d, t in zip(src, dst, ts):
+            event = Event(SGT(s, d, label, Interval(t, t + 1)))
             for consumer, port in downstream:
                 consumer.on_event(port, event)
 
@@ -316,12 +434,58 @@ class SinkOp(PhysicalOperator):
     Keeps every event in arrival order; :meth:`coverage` folds insertions
     and retractions into per-key disjoint validity covers, and
     :meth:`results` returns the coalesced sgts (set semantics).
+
+    Under interned execution the arriving events carry dense vertex ids;
+    an attached ``interner`` decodes them back to the original values at
+    read time (``results`` / ``coverage`` / ``valid_at``), or eagerly on
+    arrival when ``decode_eagerly`` is set (tap sinks, whose raw
+    ``events`` are user-facing).
+
+    Batches are retained as-is and unwrapped into events lazily: result
+    delivery inside the timed execution loop is one list append per
+    batch, and the per-event ``Event`` wrappers are built only when a
+    reader (or an installed callback, which needs push delivery) asks
+    for them.
     """
 
     def __init__(self, name: str = "sink", callback: Callable[[Event], None] | None = None):
         super().__init__(name)
-        self.events: list[Event] = []
+        self._events: list[Event] = []
+        #: arrived-but-not-yet-unwrapped batches, in arrival order
+        #: relative to ``_events`` (deferred only while no callback is
+        #: installed; a marker of the split position is not needed
+        #: because deferral stops as soon as a callback exists)
+        self._pending: list[DeltaBatch] = []
         self._callback = callback
+        #: the engine's vertex interner, when interned ids flow here
+        self.interner = None
+        #: decode events on arrival instead of at read time
+        self.decode_eagerly = False
+
+    @property
+    def events(self) -> list[Event]:
+        """Every received event, in arrival order (unwraps pending
+        batches on access)."""
+        if self._pending:
+            self._drain_pending()
+        return self._events
+
+    def _drain_pending(self) -> None:
+        pending = self._pending
+        self._pending = []
+        for batch in pending:
+            self._events.extend(self._batch_events(batch))
+
+    def _batch_events(self, batch: DeltaBatch) -> list[Event]:
+        signs = batch.signs
+        if signs is None:
+            arrived = [Event(sgt) for sgt in batch.sgts]
+        else:
+            arrived = [Event(sgt, sign) for sgt, sign in zip(batch.sgts, signs)]
+        if self.decode_eagerly and self.interner is not None:
+            decode = self.interner.decode_event
+            arrived = [decode(event) for event in arrived]
+        return arrived
 
     def set_callback(self, callback: Callable[[Event], None] | None) -> None:
         """Install (or clear) a per-event delivery callback.
@@ -330,23 +494,30 @@ class SinkOp(PhysicalOperator):
         :meth:`results` coalesces — so push (callback) and pull
         (:meth:`results`) consumers see the same data.
         """
+        if self._pending:
+            self._drain_pending()
         self._callback = callback
 
     def on_event(self, port: int, event: Event) -> None:
-        self.events.append(event)
+        if self.decode_eagerly and self.interner is not None:
+            event = self.interner.decode_event(event)
+        if self._pending:
+            self._drain_pending()
+        self._events.append(event)
         if self._callback is not None:
             self._callback(event)
 
     def on_batch(self, port: int, batch: DeltaBatch) -> None:
-        signs = batch.signs
-        if signs is None:
-            arrived = [Event(sgt) for sgt in batch.sgts]
-        else:
-            arrived = [Event(sgt, sign) for sgt, sign in zip(batch.sgts, signs)]
-        self.events.extend(arrived)
-        if self._callback is not None:
-            for event in arrived:
-                self._callback(event)
+        if self._callback is None:
+            # No push consumer: retain the batch, unwrap at read time.
+            self._pending.append(batch)
+            return
+        if self._pending:
+            self._drain_pending()
+        arrived = self._batch_events(batch)
+        self._events.extend(arrived)
+        for event in arrived:
+            self._callback(event)
 
     @property
     def insert_count(self) -> int:
@@ -363,17 +534,27 @@ class SinkOp(PhysicalOperator):
         for event in self.events:
             bucket = plus if event.sign == INSERT else minus
             bucket.setdefault(event.sgt.key(), []).append(event.sgt.interval)
+        decode = self._key_decoder()
         out: dict[tuple, list[Interval]] = {}
         for key, intervals in plus.items():
             remaining = net_cover(intervals, minus.get(key, []))
             if remaining:
-                out[key] = remaining
+                out[decode(key) if decode else key] = remaining
         return out
 
     def results(self) -> list[SGT]:
         """Coalesced insert-side sgts (ignores retractions); see
         :meth:`coverage` for sign-aware folding."""
-        return coalesce_stream(e.sgt for e in self.events if e.sign == INSERT)
+        inserts = (e.sgt for e in self.events if e.sign == INSERT)
+        if self.interner is not None and not self.decode_eagerly:
+            decode = self.interner.decode_sgt
+            inserts = (decode(sgt) for sgt in inserts)
+        return coalesce_stream(inserts)
+
+    def _key_decoder(self):
+        if self.interner is not None and not self.decode_eagerly:
+            return self.interner.decode_key
+        return None
 
     def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
         """Keys whose net validity cover contains instant ``t``."""
@@ -384,7 +565,8 @@ class SinkOp(PhysicalOperator):
         }
 
     def clear(self) -> None:
-        self.events.clear()
+        self._events.clear()
+        self._pending.clear()
 
 
 class DataflowGraph:

@@ -22,10 +22,10 @@ The contrast with the SGA engine is deliberate and mirrors the paper:
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterable
 
 from repro.core.batch import BatchScheduler, RunStats, SlideStats
+from repro.core.expiry import TimingWheel
 from repro.core.tuples import SGE, Label
 from repro.core.windows import SlidingWindow
 from repro.dd.collection import Pair, WeightedRelation
@@ -76,9 +76,9 @@ class DDRuntime:
             self._closure_base[atom.name] = atom.label
 
         self._edb = program.edb_labels
-        # Min-heap of (expiry, seq, src, trg, label) for window retractions.
-        self._expiry: list[tuple[int, int, object, object, Label]] = []
-        self._seq = 0
+        # Timing wheel of (src, trg, label) window retractions, keyed on
+        # each edge's expiry instant.
+        self._expiry = TimingWheel()
         self._boundary: int | None = None
         self._horizon = 0
 
@@ -123,7 +123,7 @@ class DDRuntime:
         arrivals, times every flush, and hands the batch to
         :meth:`advance_epoch`.
         """
-        scheduler = BatchScheduler(self.window.slide_boundary, self.batch_size)
+        scheduler = BatchScheduler(self.window.slide, self.batch_size)
         return scheduler.run(stream, self._apply_batch)
 
     def advance_epoch(self, boundary: int, inserts: list[SGE]) -> set[Pair]:
@@ -156,8 +156,7 @@ class DDRuntime:
         deltas: dict[str, list[tuple[Pair, int]]] = {}
 
         # 1. Window retractions: edges whose validity ended by `boundary`.
-        while self._expiry and self._expiry[0][0] <= boundary:
-            _, _, src, trg, label = heapq.heappop(self._expiry)
+        for src, trg, label in self._expiry.advance(boundary):
             self.relations[label].apply((src, trg), -1)
 
         # 2. Arrivals.
@@ -169,12 +168,10 @@ class DDRuntime:
             if interval.exp <= boundary:
                 continue  # born and expired within this epoch
             self.relations[edge.label].apply((edge.src, edge.trg), 1)
-            self._seq += 1
             if interval.exp > self._horizon:
                 self._horizon = interval.exp
-            heapq.heappush(
-                self._expiry,
-                (interval.exp, self._seq, edge.src, edge.trg, edge.label),
+            self._expiry.schedule(
+                interval.exp, (edge.src, edge.trg, edge.label)
             )
 
         for label in self._edb:

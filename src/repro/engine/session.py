@@ -59,6 +59,7 @@ from typing import Callable, Iterable
 from repro.algebra.operators import Plan
 from repro.algebra.translate import sgq_to_sga
 from repro.core.batch import BatchScheduler, RunStats
+from repro.core.interning import Interner, intern_plan
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT, Label, Vertex
 from repro.dataflow.executor import LATE_POLICIES, Executor
@@ -78,6 +79,14 @@ from repro.query.sgq import SGQ
 
 #: Engine implementations selectable behind the same handle API.
 BACKENDS = ("sga", "dd")
+
+#: Execution representations for the sga backend.  ``"columnar"`` (the
+#: default) interns vertices to dense ids at ingress and streams deltas
+#: as parallel scalar columns; ``"rows"`` is the historical object-graph
+#: path (per-tuple events, or row batches when ``batch_size`` is set) —
+#: kept selectable so golden tests can prove the two produce identical
+#: decoded results.
+EXECUTIONS = ("columnar", "rows")
 
 #: Config fields a single query may override at ``register`` time (they
 #: only affect how *that* query's plan is compiled).  The remaining
@@ -108,11 +117,17 @@ class EngineConfig:
         Whether the Section 5.1 coalescing stage is inserted on
         stateful→stateful edges.
     batch_size:
-        Edges per scheduler flush; ``None`` = per-tuple execution for
-        sga, one whole epoch per slide for dd.
+        Edges per scheduler flush; ``None`` = one flush per slide for
+        columnar sga execution (per-tuple for ``execution="rows"``), one
+        whole epoch per slide for dd.
     late_policy:
         ``"allow"`` / ``"drop"`` / ``"raise"`` for edges behind the
         current slide boundary.
+    execution:
+        ``"columnar"`` (default: interned ids + column-at-a-time
+        operators; decoded transparently at every read surface) or
+        ``"rows"`` (the historical object-per-tuple path).  sga backend
+        only; the dd baseline ignores it.
     """
 
     backend: str = "sga"
@@ -121,11 +136,17 @@ class EngineConfig:
     coalesce_intermediate: bool = True
     batch_size: int | None = None
     late_policy: str = "allow"
+    execution: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.execution not in EXECUTIONS:
+            raise ValueError(
+                f"unknown execution {self.execution!r}; "
+                f"expected one of {EXECUTIONS}"
             )
         if self.path_impl not in PATH_IMPLS:
             raise PlanError(
@@ -528,6 +549,13 @@ class StreamingGraphEngine:
         self._graph = DataflowGraph()
         self._caches: dict[tuple, dict[Plan, PhysicalOperator]] = {}
         self._executor: Executor | None = None
+        #: vertex dictionary for columnar execution: ids flow inside the
+        #: dataflow, every read surface decodes through this table
+        self._interner: Interner | None = (
+            Interner()
+            if config.backend == "sga" and config.execution == "columnar"
+            else None
+        )
         # dd backend state: distinct dropped edges (every registered
         # query consults the late policy for the same edge in turn, so
         # the counter must dedupe across queries).
@@ -587,6 +615,20 @@ class StreamingGraphEngine:
             return self._handles[name]
         except KeyError as exc:
             raise PlanError(f"unknown query {name!r}") from exc
+
+    def decode(self, ident: int) -> Vertex:
+        """The original vertex value behind an interned id.
+
+        Under columnar execution the dataflow carries dense vertex ids;
+        every engine read surface decodes transparently, but code
+        attached *directly* to the shared graph (custom operators or
+        sinks) observes raw ids — this is the sanctioned way to map them
+        back.  Under ``execution="rows"`` no interning happens and the
+        value is returned unchanged.
+        """
+        if self._interner is None:
+            return ident
+        return self._interner.value(ident)
 
     # ------------------------------------------------------------------
     # Lifecycle: register / unregister (live)
@@ -686,8 +728,17 @@ class StreamingGraphEngine:
         )
         cache = self._caches.setdefault(options, {})
         live = self.started
-        sink = compile_into(plan, self._graph, cache, *options)
+        interner = self._interner
+        # Under interned execution, vertex-valued predicate constants
+        # must compare against ids; the translated plan is compiled (and
+        # keys the shared-subexpression cache), the original stays on the
+        # handle for explain().
+        compiled = intern_plan(plan, interner) if interner is not None else plan
+        sink = compile_into(compiled, self._graph, cache, *options)
+        sink.interner = interner
         if on_result is not None:
+            if interner is not None:
+                on_result = _decoding_callback(on_result, interner)
             sink.set_callback(on_result)
         root = self._graph.producer_of(sink)
         handle = SgaQueryHandle(self, name, plan, sink, root, options)
@@ -809,10 +860,7 @@ class StreamingGraphEngine:
             for handle in handles:
                 handle._ingest(edges)
 
-        scheduler = BatchScheduler(
-            lambda t: (t // min_slide) * min_slide,
-            self._config.batch_size,
-        )
+        scheduler = BatchScheduler(min_slide, self._config.batch_size)
         return scheduler.run(stream, apply)
 
     #: ``run`` is the familiar name from the legacy facades.
@@ -837,6 +885,11 @@ class StreamingGraphEngine:
                 produced = getattr(op, "label", None)
             if produced == label and not isinstance(op, SinkOp):
                 sink = SinkOp(name=f"tap[{label}]")
+                if self._interner is not None:
+                    # Tap events are user-facing raw stream data: decode
+                    # on arrival so ``tap.events`` carries real vertices.
+                    sink.interner = self._interner
+                    sink.decode_eagerly = True
                 self._graph.add(sink)
                 self._graph.connect(op, sink, 0)
                 return sink
@@ -912,6 +965,7 @@ class StreamingGraphEngine:
                 self._watermark_slide(),
                 batch_size=self._config.batch_size,
                 late_policy=self._config.late_policy,
+                interner=self._interner,
             )
         return self._executor
 
@@ -934,5 +988,14 @@ class StreamingGraphEngine:
             )
         self._dd_late_dropped.add((edge.src, edge.trg, edge.label, edge.t))
         return False
+
+
+def _decoding_callback(callback: Callable, interner: Interner) -> Callable:
+    """Wrap a user on_result callback to decode interned events."""
+
+    def deliver(event):
+        callback(interner.decode_event(event))
+
+    return deliver
 
 

@@ -13,6 +13,13 @@ When an INSERT is dropped because its interval is already covered, the
 drop is recorded in a ledger; the matching DELETE, if it ever arrives, is
 absorbed against the ledger instead of being forwarded.  Net coverage
 downstream is therefore exactly the net coverage upstream.
+
+Expiry is driven by a :class:`~repro.core.expiry.TimingWheel` of result
+keys: every stored cover piece and ledger entry schedules its key at its
+expiry instant, so a watermark advance touches exactly the keys that can
+hold expired state — never the whole cover map (the historical
+implementation re-scanned all retained keys whenever the cheapest
+min-expiry bound tripped).
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.core.batch import DeltaBatch
+from repro.core.columns import DeltaColumns
+from repro.core.expiry import TimingWheel
 from repro.core.intervals import FOREVER, Interval, cover, subtract_cover
 from repro.core.tuples import Label
 from repro.dataflow.graph import INSERT, Event, PhysicalOperator
@@ -35,27 +44,30 @@ class CoalesceOp(PhysicalOperator):
         #: per key: multiset of dropped insert intervals awaiting their
         #: balanced retraction
         self._dropped: dict[tuple, Counter] = {}
-        #: lower bound on the earliest expiry anywhere in the state; lets
-        #: :meth:`on_advance` skip the full-state scan on slides where
-        #: nothing can have expired
-        self._min_exp = FOREVER
+        #: keys to re-examine when the watermark reaches an expiry
+        #: instant of one of their cover pieces / ledger entries
+        self._wheel = TimingWheel()
 
     def on_event(self, port: int, event: Event) -> None:
-        key = event.sgt.key()
-        interval = event.sgt.interval
-        # Maintain the expiry lower bound: inserts introduce pieces ending
-        # no earlier than their own exp; a retraction can cut an existing
-        # piece short anywhere at or after its start.
-        bound = interval.exp if event.sign == INSERT else interval.ts
-        if bound < self._min_exp:
-            self._min_exp = bound
+        sgt = event.sgt
+        key = (sgt.src, sgt.trg, sgt.label)
+        interval = sgt.interval
+        wheel = self._wheel
         if event.sign == INSERT:
             existing = self._cover.get(key)
-            if existing is not None and _covered(interval, existing):
+            exp = interval.exp
+            bucket = wheel.fine.get(exp)
+            if bucket is not None:
+                bucket.append(key)
+            else:
+                wheel.schedule(exp, key)
+            if existing is None:
+                self._cover[key] = [interval]
+            elif _covered(interval.ts, interval.exp, existing):
                 self._dropped.setdefault(key, Counter())[interval] += 1
                 return
-            merged = cover((existing or []) + [interval])
-            self._cover[key] = merged
+            else:
+                self._extend_cover(key, existing, interval.ts, interval.exp)
             self.emit(event)
         else:
             ledger = self._dropped.get(key)
@@ -64,6 +76,9 @@ class CoalesceOp(PhysicalOperator):
                 if ledger[interval] == 0:
                     del ledger[interval]
                 return
+            # A retraction can cut a cover piece short anywhere at or
+            # after its start; re-examine the key from that instant on.
+            wheel.schedule(interval.ts, key)
             remaining = subtract_cover(self._cover.get(key, []), [interval])
             self.emit(event)
             # Dropped duplicates that the shrunk cover no longer contains
@@ -72,7 +87,9 @@ class CoalesceOp(PhysicalOperator):
             if ledger:
                 resurrect: list[Interval] = []
                 for dropped_interval, count in list(ledger.items()):
-                    if not _covered(dropped_interval, remaining):
+                    if not _covered(
+                        dropped_interval.ts, dropped_interval.exp, remaining
+                    ):
                         resurrect.extend([dropped_interval] * count)
                         del ledger[dropped_interval]
                 for dropped_interval in resurrect:
@@ -90,8 +107,11 @@ class CoalesceOp(PhysicalOperator):
         The covered/duplicate decision for each event depends on the
         events before it, so the loop stays strictly in arrival order;
         the batch win is amortized dispatch (dictionary lookups hoisted,
-        suppressed duplicates never touch the capture buffer, and one
-        downstream flush for the whole batch).
+        suppressed duplicates never touch the output buffer, and one
+        downstream flush for the whole batch).  Columnar batches stay
+        columnar: intervals are compared as scalars and an
+        :class:`~repro.core.intervals.Interval` is allocated only for the
+        pieces actually retained in the cover state.
         """
         signs = batch.signs
         if signs is not None:
@@ -99,67 +119,160 @@ class CoalesceOp(PhysicalOperator):
             # exactly the per-event logic; replay through the shim.
             super().on_batch(port, batch)
             return
+        cols = batch.columns
+        if cols is not None:
+            self._on_columns(batch.boundary, cols)
+            return
         self._begin_batch()
         try:
             cover_map = self._cover
             dropped = self._dropped
             emit_sgt = self.emit_sgt
-            min_exp = self._min_exp
+            wheel = self._wheel
+            fine = wheel.fine
             for sgt in batch.sgts:
                 key = sgt.key()
                 interval = sgt.interval
-                if interval.exp < min_exp:
-                    min_exp = interval.exp
+                exp = interval.exp
+                bucket = fine.get(exp)
+                if bucket is not None:
+                    bucket.append(key)
+                else:
+                    wheel.schedule(exp, key)
                 existing = cover_map.get(key)
-                if existing is not None and _covered(interval, existing):
+                if existing is None:
+                    cover_map[key] = [interval]
+                elif _covered(interval.ts, interval.exp, existing):
                     ledger = dropped.get(key)
                     if ledger is None:
                         ledger = dropped[key] = Counter()
                     ledger[interval] += 1
                     continue
-                cover_map[key] = cover((existing or []) + [interval])
+                else:
+                    self._extend_cover(key, existing, interval.ts, interval.exp)
                 emit_sgt(sgt, INSERT)
-            self._min_exp = min_exp
         finally:
             self._end_batch(batch.boundary)
 
+    def _on_columns(self, boundary: int, cols: DeltaColumns) -> None:
+        """Columnar insert-only coalescing: scalar covered-checks, one
+        columnar output batch of the surviving rows."""
+        label = cols.label
+        src, dst, ts_col, exp_col = cols.src, cols.dst, cols.ts, cols.exp
+        cover_map = self._cover
+        dropped = self._dropped
+        wheel = self._wheel
+        fine = wheel.fine
+        out_src: list[int] = []
+        out_dst: list[int] = []
+        out_ts: list[int] = []
+        out_exp: list[int] = []
+        for i in range(len(src)):
+            s = src[i]
+            d = dst[i]
+            ts = ts_col[i]
+            exp = exp_col[i]
+            key = (s, d, label)
+            bucket = fine.get(exp)
+            if bucket is not None:
+                bucket.append(key)
+            else:
+                wheel.schedule(exp, key)
+            existing = cover_map.get(key)
+            if existing is None:
+                cover_map[key] = [Interval(ts, exp)]
+            elif _covered(ts, exp, existing):
+                ledger = dropped.get(key)
+                if ledger is None:
+                    ledger = dropped[key] = Counter()
+                ledger[Interval(ts, exp)] += 1
+                continue
+            else:
+                self._extend_cover(key, existing, ts, exp)
+            out_src.append(s)
+            out_dst.append(d)
+            out_ts.append(ts)
+            out_exp.append(exp)
+        if out_src:
+            self.emit_batch(
+                DeltaBatch(
+                    boundary,
+                    columns=DeltaColumns(label, out_src, out_dst, out_ts, out_exp),
+                )
+            )
+
+    def _extend_cover(
+        self, key: tuple, existing: list[Interval], ts: int, exp: int
+    ) -> None:
+        """Add ``[ts, exp)`` (known not covered) to a non-empty cover.
+
+        Streams arrive roughly ts-ordered, so the new interval almost
+        always extends or follows the *last* cover piece; patch the
+        sorted-disjoint list in place and fall back to the full
+        normalization only for out-of-order arrivals.
+        """
+        if not existing:
+            # A retraction may have emptied the key's cover in place.
+            existing.append(Interval(ts, exp))
+            return
+        last = existing[-1]
+        if last.ts <= ts:
+            if ts <= last.exp:
+                # Mergeable with the last piece; exp > last.exp, because
+                # containment was already ruled out by the covered check.
+                existing[-1] = Interval(last.ts, max(exp, last.exp))
+            else:
+                existing.append(Interval(ts, exp))
+        else:
+            self._cover[key] = cover(existing + [Interval(ts, exp)])
+
     def on_advance(self, t: int) -> None:
-        if t < self._min_exp:
-            return  # nothing in the state can have expired yet
-        min_exp = FOREVER
-        dead_keys = []
-        for key, intervals in self._cover.items():
+        fired = self._wheel.advance(t)
+        if not fired:
+            return
+        seen: set[tuple] = set()
+        for key in fired:
+            if key in seen:
+                continue
+            seen.add(key)
+            self._expire_key(key, t)
+
+    def _expire_key(self, key: tuple, t: int) -> None:
+        """Drop this key's pieces/ledger entries with ``exp <= t``;
+        re-schedule the key at the earliest expiry that remains."""
+        next_exp = FOREVER
+        intervals = self._cover.get(key)
+        if intervals is not None:
             kept = [iv for iv in intervals if iv.exp > t]
             if kept:
                 self._cover[key] = kept
                 for iv in kept:
-                    if iv.exp < min_exp:
-                        min_exp = iv.exp
+                    if iv.exp < next_exp:
+                        next_exp = iv.exp
             else:
-                dead_keys.append(key)
-        for key in dead_keys:
-            del self._cover[key]
-            self._dropped.pop(key, None)
-        for key, ledger in list(self._dropped.items()):
+                del self._cover[key]
+        ledger = self._dropped.get(key)
+        if ledger:
             for interval in [iv for iv in ledger if iv.exp <= t]:
                 del ledger[interval]
             if not ledger:
                 del self._dropped[key]
             else:
                 for interval in ledger:
-                    if interval.exp < min_exp:
-                        min_exp = interval.exp
-        self._min_exp = min_exp
+                    if interval.exp < next_exp:
+                        next_exp = interval.exp
+        if next_exp < FOREVER:
+            self._wheel.schedule(next_exp, key)
 
     def state_size(self) -> int:
         return sum(len(ivs) for ivs in self._cover.values())
 
 
-def _covered(interval: Interval, intervals: list[Interval]) -> bool:
-    """True iff ``interval`` lies within one interval of a disjoint cover."""
+def _covered(ts: int, exp: int, intervals: list[Interval]) -> bool:
+    """True iff ``[ts, exp)`` lies within one interval of a disjoint cover."""
     for candidate in intervals:
-        if candidate.ts <= interval.ts and interval.exp <= candidate.exp:
+        if candidate.ts <= ts and exp <= candidate.exp:
             return True
-        if candidate.ts > interval.ts:
+        if candidate.ts > ts:
             break
     return False

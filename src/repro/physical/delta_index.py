@@ -28,6 +28,8 @@ import heapq
 from collections import defaultdict
 from typing import Callable
 
+from repro.core.columns import INSERT
+from repro.core.expiry import TimingWheel
 from repro.core.intervals import FOREVER, Interval
 from repro.core.tuples import EdgePayload, Label, PathPayload, Vertex
 from repro.errors import ExecutionError
@@ -195,7 +197,9 @@ class WindowAdjacency:
     Stores, per directed labeled edge, the multiset of validity intervals
     currently known (parallel re-insertions of the same edge keep separate
     intervals so explicit deletions can remove exactly one occurrence).
-    Expired intervals are purged lazily through an expiry heap.
+    Expired intervals are purged through a
+    :class:`~repro.core.expiry.TimingWheel` keyed on expiry instant, so
+    each purge touches only the edges that actually expired.
     """
 
     def __init__(self) -> None:
@@ -205,16 +209,30 @@ class WindowAdjacency:
         self._in: dict[Vertex, dict[tuple[Label, Vertex], list[Interval]]] = (
             defaultdict(dict)
         )
-        self._expiry: list[tuple[int, int, Vertex, Label, Vertex]] = []
-        self._counter = 0
+        self._expiry = TimingWheel()
         self._size = 0
 
     def add(self, u: Vertex, v: Vertex, label: Label, interval: Interval) -> None:
-        self._out[u].setdefault((label, v), []).append(interval)
-        self._in[v].setdefault((label, u), []).append(interval)
-        self._counter += 1
+        out_group = self._out[u]
+        out_key = (label, v)
+        rows = out_group.get(out_key)
+        if rows is None:
+            out_group[out_key] = rows = []
+        rows.append(interval)
+        in_group = self._in[v]
+        in_key = (label, u)
+        rows = in_group.get(in_key)
+        if rows is None:
+            in_group[in_key] = rows = []
+        rows.append(interval)
         self._size += 1
-        heapq.heappush(self._expiry, (interval.exp, self._counter, u, label, v))
+        exp = interval.exp
+        wheel = self._expiry
+        bucket = wheel.fine.get(exp)
+        if bucket is not None:
+            bucket.append((u, label, v))
+        else:
+            wheel.schedule(exp, (u, label, v))
 
     def add_many(
         self, edges: "list[tuple[Vertex, Vertex, Label, Interval]]"
@@ -224,27 +242,15 @@ class WindowAdjacency:
         Only sound when nothing traverses the snapshot graph between the
         individual insertions (the PATH operators' Expand traversals do,
         so their batch handlers ingest per edge; bulk loading is for
-        state rebuilds and pre-windowed replays).  The expiry heap is
-        maintained with one heapify when the batch dominates the existing
-        heap, amortizing the per-entry sift.
+        state rebuilds and pre-windowed replays).
         """
         out = self._out
         inn = self._in
-        expiry = self._expiry
-        heappush = heapq.heappush
-        counter = self._counter
-        bulk = len(edges) > len(expiry)
+        schedule = self._expiry.schedule
         for u, v, label, interval in edges:
             out[u].setdefault((label, v), []).append(interval)
             inn[v].setdefault((label, u), []).append(interval)
-            counter += 1
-            if bulk:
-                expiry.append((interval.exp, counter, u, label, v))
-            else:
-                heappush(expiry, (interval.exp, counter, u, label, v))
-        if bulk:
-            heapq.heapify(expiry)
-        self._counter = counter
+            schedule(interval.exp, (u, label, v))
         self._size += len(edges)
 
     def remove(self, u: Vertex, v: Vertex, label: Label, interval: Interval) -> bool:
@@ -261,6 +267,20 @@ class WindowAdjacency:
             del self._in[v][(label, u)]
         self._size -= 1
         return True
+
+    def out_group(self, u: Vertex) -> "dict[tuple[Label, Vertex], list[Interval]] | None":
+        """Raw ``(label, v) -> intervals`` out-group (hot-path view).
+
+        Traversal loops iterate this directly and pick the valid
+        max-expiry interval inline — skipping the per-call result-list
+        construction of :meth:`out_edges`, and skipping the interval scan
+        entirely for neighbors whose label has no DFA transition.
+        """
+        return self._out.get(u)
+
+    def in_group(self, v: Vertex) -> "dict[tuple[Label, Vertex], list[Interval]] | None":
+        """Raw ``(label, u) -> intervals`` in-group (hot-path view)."""
+        return self._in.get(v)
 
     def out_edges(self, u: Vertex, now: int) -> list[tuple[Label, Vertex, Interval]]:
         """Edges leaving ``u`` that are valid at instant ``now``.
@@ -308,9 +328,12 @@ class WindowAdjacency:
         return result
 
     def purge(self, t: int) -> None:
-        """Drop every interval with ``exp <= t`` (lazy, heap-driven)."""
-        while self._expiry and self._expiry[0][0] <= t:
-            _, _, u, label, v = heapq.heappop(self._expiry)
+        """Drop every interval with ``exp <= t`` (wheel-driven: work is
+        proportional to the entries that expired).  Parallel occurrences
+        of one edge schedule one entry each; the dedup avoids re-filtering
+        the same interval list per occurrence."""
+        drained = self._expiry.advance(t)
+        for u, label, v in drained if len(drained) < 2 else set(drained):
             out_rows = self._out.get(u, {}).get((label, v))
             if not out_rows:
                 continue
@@ -328,6 +351,60 @@ class WindowAdjacency:
 
     def __len__(self) -> int:
         return self._size
+
+
+class ColumnarPathIngest:
+    """Columnar ingestion shared by the two PATH operators.
+
+    Mixed into :class:`~repro.dataflow.graph.PhysicalOperator`
+    subclasses that provide ``_insert`` / ``_delete``,
+    ``materialize_paths``, ``out_label`` and a ``_node_expiry``
+    :class:`~repro.core.expiry.TimingWheel` — one copy of the
+    column-at-a-time loop and the expiry scheduling, so the
+    negative-tuple and S-PATH operators cannot silently diverge.
+    """
+
+    def _ingest_columns(self, batch, label: Label) -> None:
+        """Consume one columnar batch in arrival order.
+
+        One :class:`~repro.core.intervals.Interval` is allocated per
+        edge (the adjacency stores it anyway); with path
+        materialization off, results are captured as scalar columns,
+        otherwise they stay rows (payloads cannot travel in columns).
+        """
+        if not self.materialize_paths:
+            self._begin_batch_cols(self.out_label)
+            try:
+                self._consume_columns(batch.columns, batch.signs, label)
+            finally:
+                self._end_batch_cols(batch.boundary)
+        else:
+            self._begin_batch()
+            try:
+                self._consume_columns(batch.columns, batch.signs, label)
+            finally:
+                self._end_batch(batch.boundary)
+
+    def _consume_columns(self, cols, signs, label: Label) -> None:
+        src, dst, ts, exp = cols.src, cols.dst, cols.ts, cols.exp
+        if signs is None:
+            insert = self._insert
+            for i in range(len(src)):
+                insert(src[i], dst[i], label, Interval(ts[i], exp[i]))
+        else:
+            for i in range(len(src)):
+                if signs[i] == INSERT:
+                    self._insert(src[i], dst[i], label, Interval(ts[i], exp[i]))
+                else:
+                    self._delete(src[i], dst[i], label, Interval(ts[i], exp[i]))
+
+    def _schedule_expiry(self, root, key: NodeKey, exp: int) -> None:
+        wheel = self._node_expiry
+        bucket = wheel.fine.get(exp)
+        if bucket is not None:
+            bucket.append((root, key))
+        else:
+            wheel.schedule(exp, (root, key))
 
 
 def reverse_transitions(dfa: DFA) -> dict[tuple[Label, int], list[int]]:
@@ -361,6 +438,17 @@ def repair_nodes(
     Processing candidates in decreasing expiry order guarantees that when
     a node is fixed, its recorded expiry is final — exactly Dijkstra's
     argument with ``min`` along paths and ``max`` at merges.
+
+    A node fixed in this pass is *settled*: its expiry is final, so any
+    further candidate for it is dead weight.  The ``settled`` set and the
+    per-node best-pushed-expiry guard keep such candidates out of the
+    heap — without the guard a diamond-shaped snapshot graph pushes one
+    candidate per alternative parent and re-pops them all after the node
+    has already been re-derived.  Strictly-worse candidates are safe to
+    drop: the heap pops higher expiries first and a pushed candidate's
+    parent stays valid for the whole pass (removals happen only after the
+    heap drains), so the best pushed candidate always wins.  Equal-expiry
+    candidates are kept — the ``ts`` tiebreak decides between them.
     """
     if not marked:
         return
@@ -371,14 +459,32 @@ def repair_nodes(
     heappop = heapq.heappop
     nodes_get = tree.nodes.get
     reverse_get = reverse.get
-    in_edges = adjacency.in_edges
-    out_edges = adjacency.out_edges
+    in_group = adjacency.in_group
+    out_group = adjacency.out_group
     root = tree.root
+    settled: set[NodeKey] = set()
+    best_exp: dict[NodeKey, int] = {}
 
     def push_candidates(child_key: NodeKey) -> None:
         vertex, state = child_key
-        for label, prev_vertex, interval in in_edges(vertex, now):
-            for prev_state in reverse_get((label, state), ()):
+        group = in_group(vertex)
+        if not group:
+            return
+        for (label, prev_vertex), intervals in group.items():
+            states = reverse_get((label, state))
+            if not states:
+                continue
+            # Best (max-expiry) interval valid at `now`, inline.
+            interval = None
+            interval_exp = now
+            for candidate in intervals:
+                exp = candidate.exp
+                if exp > interval_exp and candidate.ts <= now:
+                    interval = candidate
+                    interval_exp = exp
+            if interval is None:
+                continue
+            for prev_state in states:
                 parent_key = (prev_vertex, prev_state)
                 if parent_key in marked or parent_key == child_key:
                     continue
@@ -389,6 +495,10 @@ def repair_nodes(
                 if interval.exp < exp:
                     exp = interval.exp
                 if exp > now:
+                    recorded = best_exp.get(child_key, now)
+                    if exp < recorded:
+                        continue  # a better candidate is already queued
+                    best_exp[child_key] = exp
                     ts = max(parent.ts, interval.ts)
                     heappush(heap, (-exp, ts, child_key, parent_key, label))
 
@@ -398,7 +508,7 @@ def repair_nodes(
     dfa_delta = dfa.delta
     while heap:
         neg_exp, ts, child_key, parent_key, label = heappop(heap)
-        if child_key not in marked:
+        if child_key in settled or child_key not in marked:
             continue  # already fixed by a better candidate
         parent = nodes_get(parent_key)
         if parent is None or parent_key in marked:
@@ -409,21 +519,38 @@ def repair_nodes(
         node.ts = ts
         node.exp = exp
         marked.discard(child_key)
+        settled.add(child_key)
         on_fix(child_key, node)
         # Relax: the fixed node may now be the best parent for marked
         # neighbours downstream.
         vertex, state = child_key
-        for out_label, next_vertex, interval in out_edges(vertex, now):
+        group = out_group(vertex)
+        if not group:
+            continue
+        for (out_label, next_vertex), intervals in group.items():
             next_state = dfa_delta(state, out_label)
             if next_state is None:
                 continue
             next_key = (next_vertex, next_state)
-            if next_key not in marked:
+            if next_key in settled or next_key not in marked:
+                continue
+            interval = None
+            interval_exp = now
+            for candidate in intervals:
+                candidate_exp = candidate.exp
+                if candidate_exp > interval_exp and candidate.ts <= now:
+                    interval = candidate
+                    interval_exp = candidate_exp
+            if interval is None:
                 continue
             next_exp = exp
             if interval.exp < next_exp:
                 next_exp = interval.exp
             if next_exp > now:
+                recorded = best_exp.get(next_key, now)
+                if next_exp < recorded:
+                    continue  # a better candidate is already queued
+                best_exp[next_key] = next_exp
                 heappush(
                     heap,
                     (-next_exp, max(ts, interval.ts), next_key, child_key, out_label),

@@ -19,11 +19,11 @@ retract the joined results (Section 6.2.5).
 
 from __future__ import annotations
 
-import heapq
 from collections import defaultdict
 
+from repro.core.expiry import TimingWheel
 from repro.core.intervals import Interval
-from repro.core.tuples import SGT, EdgePayload, Label, Vertex
+from repro.core.tuples import SGT, Label, Vertex
 from repro.dataflow.graph import INSERT, Event, PhysicalOperator
 from repro.errors import ExecutionError, PlanError
 
@@ -65,24 +65,32 @@ class _HashTable:
     Bindings with identical variable values but different intervals are
     kept as separate entries (a multiset of intervals), so an explicit
     deletion can remove exactly the interval its insertion added.
-    Expiration is heap-driven (the direct approach): each window slide
-    pays for the tuples that actually expired, not a scan of all state.
+    Expiration is driven by a :class:`~repro.core.expiry.TimingWheel`
+    (the direct approach): each window slide pays for the tuples that
+    actually expired, not a scan of all state.
     """
 
     def __init__(self) -> None:
         self._table: dict[Values, dict[Values, list[Interval]]] = defaultdict(dict)
         self._count = 0
-        self._expiry: list[tuple[int, int, Values, Values, Interval]] = []
-        self._seq = 0
+        self._expiry = TimingWheel()
 
     def insert(self, key: Values, values: Values, interval: Interval) -> None:
-        rows = self._table[key].setdefault(values, [])
+        group = self._table[key]
+        rows = group.get(values)
+        if rows is None:
+            group[values] = rows = []
         rows.append(interval)
         self._count += 1
-        self._seq += 1
-        heapq.heappush(
-            self._expiry, (interval.exp, self._seq, key, values, interval)
-        )
+        # The wheel entry carries a direct reference to the rows list:
+        # eviction removes from it without re-walking the two dict levels.
+        exp = interval.exp
+        wheel = self._expiry
+        bucket = wheel.fine.get(exp)
+        if bucket is not None:
+            bucket.append((rows, interval, key, values))
+        else:
+            wheel.schedule(exp, (rows, interval, key, values))
 
     def insert_many(
         self, rows: "list[tuple[Values, Values, Interval]]"
@@ -91,25 +99,14 @@ class _HashTable:
 
         Only sound when nothing needs to observe the table between the
         individual insertions — e.g. rebuilding one side, or loading
-        tuples that are known not to join with each other.  The expiry
-        heap is maintained with a single heapify when the batch dominates
-        the existing heap, amortizing the per-entry sift.
+        tuples that are known not to join with each other.
         """
         table = self._table
-        heappush = heapq.heappush
-        expiry = self._expiry
-        seq = self._seq
-        bulk = len(rows) > len(expiry)
+        schedule = self._expiry.schedule
         for key, values, interval in rows:
-            table[key].setdefault(values, []).append(interval)
-            seq += 1
-            if bulk:
-                expiry.append((interval.exp, seq, key, values, interval))
-            else:
-                heappush(expiry, (interval.exp, seq, key, values, interval))
-        if bulk:
-            heapq.heapify(expiry)
-        self._seq = seq
+            entry = table[key].setdefault(values, [])
+            entry.append(interval)
+            schedule(interval.exp, (entry, interval, key, values))
         self._count += len(rows)
 
     def remove(self, key: Values, values: Values, interval: Interval) -> bool:
@@ -144,28 +141,45 @@ class _HashTable:
     def purge(self, t: int) -> None:
         """Drop bindings whose validity ended at or before ``t``.
 
-        Heap entries for bindings already removed by explicit deletions
-        are stale; ``remove`` tolerates them.
+        Wheel entries for bindings already removed by explicit deletions
+        are stale: their rows list no longer holds the interval (explicit
+        removal empties lists before detaching them), so the ``remove``
+        below raises and the entry is skipped.
         """
-        while self._expiry and self._expiry[0][0] <= t:
-            _, _, key, values, interval = heapq.heappop(self._expiry)
-            self.remove(key, values, interval)
+        table = self._table
+        for rows, interval, key, values in self._expiry.advance(t):
+            try:
+                rows.remove(interval)
+            except ValueError:
+                continue  # stale entry
+            self._count -= 1
+            if not rows:
+                group = table.get(key)
+                if group is not None and group.get(values) is rows:
+                    del group[values]
+                    if not group:
+                        del table[key]
 
     def __len__(self) -> int:
         return self._count
 
 
 class _Node:
-    """A node of the internal join tree; produces bindings upward."""
+    """A node of the internal join tree; produces bindings upward.
+
+    Bindings travel as bare ``(values, interval)`` arguments — no wrapper
+    object is allocated on the per-tuple hot path (:class:`Binding`
+    remains as the value type for anyone materializing bindings).
+    """
 
     schema: Schema
     parent: "_JoinNode | None"
     parent_side: int
 
-    def output(self, binding: Binding, sign: int) -> None:
+    def output(self, values: Values, interval: Interval, sign: int) -> None:
         if self.parent is None:
             raise ExecutionError("unrooted join node")
-        self.parent.on_binding(self.parent_side, binding, sign)
+        self.parent.on_binding(self.parent_side, values, interval, sign)
 
 
 class _LeafNode(_Node):
@@ -187,9 +201,26 @@ class _LeafNode(_Node):
         if self.loop:
             if sgt.src != sgt.trg:
                 return
-            self.output(Binding((sgt.src,), sgt.interval), sign)
+            self.parent.on_binding(
+                self.parent_side, (sgt.src,), sgt.interval, sign
+            )
         else:
-            self.output(Binding((sgt.src, sgt.trg), sgt.interval), sign)
+            self.parent.on_binding(
+                self.parent_side, (sgt.src, sgt.trg), sgt.interval, sign
+            )
+
+    def on_row(self, src: Vertex, trg: Vertex, ts: int, exp: int, sign: int) -> None:
+        """Columnar ingress: bind one scalar row without an sgt."""
+        if self.loop:
+            if src != trg:
+                return
+            self.parent.on_binding(
+                self.parent_side, (src,), Interval(ts, exp), sign
+            )
+        else:
+            self.parent.on_binding(
+                self.parent_side, (src, trg), Interval(ts, exp), sign
+            )
 
 
 class _JoinNode(_Node):
@@ -210,41 +241,75 @@ class _JoinNode(_Node):
         )
         self._left_key = tuple(left.schema.index(v) for v in shared)
         self._right_key = tuple(right.schema.index(v) for v in shared)
+        #: single shared variable (the overwhelmingly common join shape):
+        #: the key is one tuple index per side — skip the generic
+        #: gather-tuple construction on every binding
+        self._left_single = self._left_key[0] if len(self._left_key) == 1 else None
+        self._right_single = (
+            self._right_key[0] if len(self._right_key) == 1 else None
+        )
         # positions in the right child's values that extend the output
         self._right_extend = tuple(
             index
             for index, var in enumerate(right.schema)
             if var not in left.schema
         )
+        #: single extension position (the common join shape) — lets
+        #: _combine build the output tuple without a generator pass
+        self._extend_single = (
+            self._right_extend[0] if len(self._right_extend) == 1 else None
+        )
         self._tables = (_HashTable(), _HashTable())
         self.parent = None
         self.parent_side = 0
 
-    def on_binding(self, side: int, binding: Binding, sign: int) -> None:
-        key = self._key_of(side, binding.values)
-        own, other = self._tables[side], self._tables[1 - side]
-        if sign == INSERT:
-            own.insert(key, binding.values, binding.interval)
+    def on_binding(
+        self, side: int, values: Values, interval: Interval, sign: int
+    ) -> None:
+        if side == 0:
+            single = self._left_single
+            key = (
+                (values[single],)
+                if single is not None
+                else tuple(values[i] for i in self._left_key)
+            )
+            own, other = self._tables
         else:
-            if not own.remove(key, binding.values, binding.interval):
+            single = self._right_single
+            key = (
+                (values[single],)
+                if single is not None
+                else tuple(values[i] for i in self._right_key)
+            )
+            other, own = self._tables
+        if sign == INSERT:
+            own.insert(key, values, interval)
+        else:
+            if not own.remove(key, values, interval):
                 # Retraction of a tuple this operator never stored (it may
                 # have expired already); nothing joined with it remains.
                 return
-        for other_values, other_interval in other.probe(key):
-            joined = binding.interval.intersect(other_interval)
-            if joined is None:
-                continue
+        group = other._table.get(key)
+        if not group:
+            return
+        parent = self.parent
+        parent_side = self.parent_side
+        intersect = interval.intersect
+        for other_values, intervals in group.items():
             if side == 0:
-                values = self._combine(binding.values, other_values)
+                joined_values = self._combine(values, other_values)
             else:
-                values = self._combine(other_values, binding.values)
-            self.output(Binding(values, joined), sign)
-
-    def _key_of(self, side: int, values: Values) -> Values:
-        positions = self._left_key if side == 0 else self._right_key
-        return tuple(values[i] for i in positions)
+                joined_values = self._combine(other_values, values)
+            for other_interval in intervals:
+                joined = intersect(other_interval)
+                if joined is None:
+                    continue
+                parent.on_binding(parent_side, joined_values, joined, sign)
 
     def _combine(self, left_values: Values, right_values: Values) -> Values:
+        single = self._extend_single
+        if single is not None:
+            return left_values + (right_values[single],)
         return left_values + tuple(right_values[i] for i in self._right_extend)
 
     def purge(self, t: int) -> None:
@@ -292,7 +357,19 @@ class PatternOp(PhysicalOperator):
             leaf = self._leaves[port]
         except IndexError as exc:
             raise ExecutionError(f"{self.name}: no conjunct on port {port}") from exc
-        leaf.on_sgt(event.sgt, event.sign)
+        # Inlined leaf.on_sgt: this is the per-event ingress of every
+        # pattern conjunct, one call frame saved per tuple.
+        sgt = event.sgt
+        if leaf.loop:
+            if sgt.src != sgt.trg:
+                return
+            leaf.parent.on_binding(
+                leaf.parent_side, (sgt.src,), sgt.interval, event.sign
+            )
+        else:
+            leaf.parent.on_binding(
+                leaf.parent_side, (sgt.src, sgt.trg), sgt.interval, event.sign
+            )
 
     def on_batch(self, port: int, batch) -> None:
         """Batched ingestion of one conjunct's deltas.
@@ -303,11 +380,32 @@ class PatternOp(PhysicalOperator):
         the loop stays per tuple.  The batch amortizes everything around
         it: port/leaf resolution happens once, join results are captured
         without Event wrappers, and downstream receives one batch.
+
+        A columnar batch is consumed column-at-a-time: bindings are built
+        straight from the scalar rows, and the join results are captured
+        as columns too (join outputs are label-constant and payload-free,
+        so nothing is lost).
         """
         try:
             leaf = self._leaves[port]
         except IndexError as exc:
             raise ExecutionError(f"{self.name}: no conjunct on port {port}") from exc
+        cols = batch.columns
+        if cols is not None:
+            self._begin_batch_cols(self.out_label)
+            try:
+                on_row = leaf.on_row
+                signs = batch.signs
+                src, dst, ts, exp = cols.src, cols.dst, cols.ts, cols.exp
+                if signs is None:
+                    for i in range(len(src)):
+                        on_row(src[i], dst[i], ts[i], exp[i], INSERT)
+                else:
+                    for i in range(len(src)):
+                        on_row(src[i], dst[i], ts[i], exp[i], signs[i])
+            finally:
+                self._end_batch_cols(batch.boundary)
+            return
         self._begin_batch()
         try:
             on_sgt = leaf.on_sgt
@@ -349,14 +447,14 @@ class _ResultAdapter:
         self._trg_index = schema.index(trg_var)
         self._label = out_label
 
-    def on_binding(self, side: int, binding: Binding, sign: int) -> None:
-        src = binding.values[self._src_index]
-        trg = binding.values[self._trg_index]
-        sgt = SGT(
-            src,
-            trg,
-            self._label,
-            binding.interval,
-            EdgePayload(src, trg, self._label),
-        )
-        self._op.emit_sgt(sgt, sign)
+    def on_binding(
+        self, side: int, values: Values, interval: Interval, sign: int
+    ) -> None:
+        src = values[self._src_index]
+        trg = values[self._trg_index]
+        op = self._op
+        cols = op._capture_cols
+        if cols is not None:
+            cols.append(src, trg, interval.ts, interval.exp, sign)
+            return
+        op.emit_sgt(SGT(src, trg, self._label, interval), sign)

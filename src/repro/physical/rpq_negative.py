@@ -21,13 +21,13 @@ S-PATH in the test suite.
 
 from __future__ import annotations
 
-import heapq
-
+from repro.core.expiry import TimingWheel
 from repro.core.intervals import Interval
 from repro.core.tuples import SGT, Label
 from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
 from repro.errors import ExecutionError
 from repro.physical.delta_index import (
+    ColumnarPathIngest,
     DeltaPathIndex,
     NodeKey,
     SpanningTree,
@@ -40,7 +40,7 @@ from repro.regex.ast import RegexNode
 from repro.regex.dfa import DFA, dfa_from_regex
 
 
-class NegativeTupleRpqOp(PhysicalOperator):
+class NegativeTupleRpqOp(ColumnarPathIngest, PhysicalOperator):
     """Physical PATH operator following the negative-tuple approach."""
 
     def __init__(
@@ -69,9 +69,13 @@ class NegativeTupleRpqOp(PhysicalOperator):
         }
         self.index = DeltaPathIndex(self.dfa.start)
         self.adjacency = WindowAdjacency()
-        # (exp, seq, root, key) — nodes to re-derive when the window slides.
-        self._node_expiry: list[tuple[int, int, object, NodeKey]] = []
-        self._seq = 0
+        #: hot-loop caches of the DFA surface
+        self._start = self.dfa.start
+        self._accepting = self.dfa.accepting
+        self._delta = self.dfa.delta
+        # Expiry wheel of (root, key) — nodes to re-derive when the
+        # window slides.
+        self._node_expiry = TimingWheel()
         self._now = -1
 
     # ------------------------------------------------------------------
@@ -104,6 +108,9 @@ class NegativeTupleRpqOp(PhysicalOperator):
             label = self.labels[port]
         except IndexError as exc:
             raise ExecutionError(f"{self.name}: unexpected port {port}") from exc
+        if batch.columns is not None:
+            self._ingest_columns(batch, label)
+            return
         self._begin_batch()
         try:
             signs = batch.signs
@@ -128,15 +135,22 @@ class NegativeTupleRpqOp(PhysicalOperator):
         self.adjacency.add(u, v, label, interval)
 
         transitions = self._transitions[label]
-        start = self.dfa.start
+        index = self.index
+        trees = index.trees
+        inverted = index._inverted
+        start = self._start
+        # Building the task list before expanding doubles as the
+        # snapshot of the candidate trees (expansion mutates the index).
         tasks: list[tuple[object, int, int]] = []
         for s, t in transitions:
-            if s == start:
-                self.index.ensure_tree(u)
-            for root in self.index.roots_containing((u, s)):
-                tasks.append((root, s, t))
+            if s == start and u not in trees:
+                index.ensure_tree(u)
+            roots = inverted.get((u, s))
+            if roots:
+                for root in roots:
+                    tasks.append((root, s, t))
         for root, s, t in tasks:
-            tree = self.index.tree(root)
+            tree = trees.get(root)
             if tree is None:
                 continue
             self._expand(tree, (u, s), (v, t), label, interval, now)
@@ -156,9 +170,9 @@ class NegativeTupleRpqOp(PhysicalOperator):
         root_vertex = tree.root_vertex
         register = self.index.register
         unregister = self.index.unregister
-        accepting = self.dfa.accepting
-        dfa_delta = self.dfa.delta
-        out_edges = self.adjacency.out_edges
+        accepting = self._accepting
+        dfa_delta = self._delta
+        out_group = self.adjacency.out_group
         stack = [(parent_key, child_key, label, edge_interval)]
         while stack:
             parent_key, child_key, label, edge_interval = stack.pop()
@@ -193,11 +207,26 @@ class NegativeTupleRpqOp(PhysicalOperator):
                 self._emit_result(tree, child_key, node, INSERT)
 
             vertex, state = child_key
-            for out_label, w, out_interval in out_edges(vertex, now):
+            group = out_group(vertex)
+            if not group:
+                continue
+            for (out_label, w), intervals in group.items():
                 next_state = dfa_delta(state, out_label)
                 if next_state is None:
                     continue
-                stack.append((child_key, (w, next_state), out_label, out_interval))
+                # Max-expiry interval valid at `now`, inline (this is
+                # :meth:`WindowAdjacency.out_edges` without building the
+                # per-call result list, and the DFA check above skips the
+                # scan entirely for labels the state cannot consume).
+                best = None
+                best_exp = now
+                for candidate in intervals:
+                    exp = candidate.exp
+                    if exp > best_exp and candidate.ts <= now:
+                        best = candidate
+                        best_exp = exp
+                if best is not None:
+                    stack.append((child_key, (w, next_state), out_label, best))
 
     # ------------------------------------------------------------------
     # Window maintenance: expiration via delete & re-derive
@@ -206,32 +235,28 @@ class NegativeTupleRpqOp(PhysicalOperator):
         self._now = max(self._now, t)
         # Group expired nodes per tree, then run one repair per tree —
         # this is the expensive re-derivation traversal of the negative
-        # tuple approach.
+        # tuple approach.  No subtree marking is needed: a child's expiry
+        # never exceeds its parent's (``child.exp = min(parent.exp,
+        # edge.exp)`` at link time, and re-derivations preserve the
+        # bound), so every descendant of an expired node is itself
+        # expired and drains its *own* wheel entry at or before this
+        # advance — the drained set already covers the subtrees.
         expired: dict[object, set[NodeKey]] = {}
-        while self._node_expiry and self._node_expiry[0][0] <= t:
-            _, _, root, key = heapq.heappop(self._node_expiry)
-            tree = self.index.tree(root)
+        trees = self.index.trees
+        for root, key in self._node_expiry.advance(t):
+            tree = trees.get(root)
             if tree is None:
                 continue
-            node = tree.get(key)
+            node = tree.nodes.get(key)
             if node is None or node.exp > t:
                 continue
             expired.setdefault(root, set()).add(key)
 
         for root, keys in expired.items():
-            tree = self.index.tree(root)
+            tree = trees.get(root)
             if tree is None:
                 continue
-            marked: set[NodeKey] = set()
-            stack = list(keys)
-            while stack:
-                current = stack.pop()
-                node = tree.get(current)
-                if node is None or current in marked:
-                    continue
-                marked.add(current)
-                stack.extend(node.children)
-            self._rederive(tree, marked, t)
+            self._rederive(tree, keys, t)
             self.index.drop_tree_if_trivial(root)
 
         # Adjacency is purged after re-derivation: the traversal may only
@@ -335,13 +360,13 @@ class NegativeTupleRpqOp(PhysicalOperator):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _schedule_expiry(self, root, key: NodeKey, exp: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._node_expiry, (exp, self._seq, root, key))
-
     def _emit_result(
         self, tree: SpanningTree, key: NodeKey, node: TreeNode, sign: int
     ) -> None:
+        cols = self._capture_cols
+        if cols is not None:
+            cols.append(tree.root_vertex, key[0], node.ts, node.exp, sign)
+            return
         payload = tree.path_to(key) if self.materialize_paths else None
         sgt = SGT(
             tree.root_vertex,
@@ -356,6 +381,10 @@ class NegativeTupleRpqOp(PhysicalOperator):
         self, tree: SpanningTree, key: NodeKey, interval: Interval, sign: int
     ) -> None:
         """Emit an insertion/retraction for an explicit result interval."""
+        cols = self._capture_cols
+        if cols is not None:
+            cols.append(tree.root_vertex, key[0], interval.ts, interval.exp, sign)
+            return
         sgt = SGT(tree.root_vertex, key[0], self.out_label, interval)
         self.emit_sgt(sgt, sign)
 

@@ -30,13 +30,13 @@ deletion time onward are retracted.
 
 from __future__ import annotations
 
-import heapq
-
+from repro.core.expiry import TimingWheel
 from repro.core.intervals import Interval
 from repro.core.tuples import SGT, Label
 from repro.dataflow.graph import DELETE, INSERT, Event, PhysicalOperator
 from repro.errors import ExecutionError
 from repro.physical.delta_index import (
+    ColumnarPathIngest,
     DeltaPathIndex,
     NodeKey,
     SpanningTree,
@@ -49,7 +49,7 @@ from repro.regex.ast import RegexNode
 from repro.regex.dfa import DFA, dfa_from_regex
 
 
-class SPathOp(PhysicalOperator):
+class SPathOp(ColumnarPathIngest, PhysicalOperator):
     """Physical PATH operator following the direct approach."""
 
     def __init__(
@@ -78,9 +78,12 @@ class SPathOp(PhysicalOperator):
         }
         self.index = DeltaPathIndex(self.dfa.start)
         self.adjacency = WindowAdjacency()
-        # Lazy expiry heap over tree nodes: (exp, seq, root_vertex, key).
-        self._node_expiry: list[tuple[int, int, object, NodeKey]] = []
-        self._seq = 0
+        #: hot-loop caches of the DFA surface
+        self._start = self.dfa.start
+        self._accepting = self.dfa.accepting
+        self._delta = self.dfa.delta
+        # Expiry wheel over tree nodes; entries are (root_vertex, key).
+        self._node_expiry = TimingWheel()
         self._now = -1
 
     # ------------------------------------------------------------------
@@ -113,6 +116,9 @@ class SPathOp(PhysicalOperator):
             label = self.labels[port]
         except IndexError as exc:
             raise ExecutionError(f"{self.name}: unexpected port {port}") from exc
+        if batch.columns is not None:
+            self._ingest_columns(batch, label)
+            return
         self._begin_batch()
         try:
             signs = batch.signs
@@ -137,16 +143,22 @@ class SPathOp(PhysicalOperator):
         self.adjacency.add(u, v, label, interval)
 
         transitions = self._transitions[label]
-        start = self.dfa.start
-        # Snapshot the candidate trees before mutating the index.
+        index = self.index
+        trees = index.trees
+        inverted = index._inverted
+        start = self._start
+        # Building the task list before linking doubles as the snapshot
+        # of the candidate trees (linking mutates the index).
         tasks: list[tuple[object, int, int]] = []
         for s, t in transitions:
-            if s == start:
-                self.index.ensure_tree(u)
-            for root in self.index.roots_containing((u, s)):
-                tasks.append((root, s, t))
+            if s == start and u not in trees:
+                index.ensure_tree(u)
+            roots = inverted.get((u, s))
+            if roots:
+                for root in roots:
+                    tasks.append((root, s, t))
         for root, s, t in tasks:
-            tree = self.index.tree(root)
+            tree = trees.get(root)
             if tree is None:
                 continue
             self._link(tree, (u, s), (v, t), label, interval, now)
@@ -166,9 +178,9 @@ class SPathOp(PhysicalOperator):
         nodes_get = tree.nodes.get
         root = tree.root
         root_vertex = tree.root_vertex
-        accepting = self.dfa.accepting
-        dfa_delta = self.dfa.delta
-        out_edges = self.adjacency.out_edges
+        accepting = self._accepting
+        dfa_delta = self._delta
+        out_group = self.adjacency.out_group
         stack = [(parent_key, child_key, label, edge_interval)]
         while stack:
             parent_key, child_key, label, edge_interval = stack.pop()
@@ -219,11 +231,26 @@ class SPathOp(PhysicalOperator):
                 continue  # existing derivation is at least as good
 
             vertex, state = child_key
-            for out_label, w, out_interval in out_edges(vertex, now):
+            group = out_group(vertex)
+            if not group:
+                continue
+            for (out_label, w), intervals in group.items():
                 next_state = dfa_delta(state, out_label)
                 if next_state is None:
                     continue
-                stack.append((child_key, (w, next_state), out_label, out_interval))
+                # Max-expiry interval valid at `now`, inline (this is
+                # :meth:`WindowAdjacency.out_edges` without building the
+                # per-call result list, and the DFA check above skips the
+                # scan entirely for labels the state cannot consume).
+                best = None
+                best_exp = now
+                for candidate in intervals:
+                    exp = candidate.exp
+                    if exp > best_exp and candidate.ts <= now:
+                        best = candidate
+                        best_exp = exp
+                if best is not None:
+                    stack.append((child_key, (w, next_state), out_label, best))
 
     # ------------------------------------------------------------------
     # Explicit deletions (negative tuples, Section 6.2.5)
@@ -305,14 +332,14 @@ class SPathOp(PhysicalOperator):
     def on_advance(self, t: int) -> None:
         self._now = max(self._now, t)
         self.adjacency.purge(t)
-        while self._node_expiry and self._node_expiry[0][0] <= t:
-            _, _, root, key = heapq.heappop(self._node_expiry)
-            tree = self.index.tree(root)
+        trees = self.index.trees
+        for root, key in self._node_expiry.advance(t):
+            tree = trees.get(root)
             if tree is None:
                 continue
-            node = tree.get(key)
+            node = tree.nodes.get(key)
             if node is None or node.exp > t:
-                continue  # stale heap entry (node improved or already gone)
+                continue  # stale wheel entry (node improved or already gone)
             for removed_key, _ in tree.remove_subtree(key):
                 self.index.unregister(tree.root_vertex, removed_key)
             self.index.drop_tree_if_trivial(tree.root_vertex)
@@ -320,13 +347,13 @@ class SPathOp(PhysicalOperator):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _schedule_expiry(self, root, key: NodeKey, exp: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._node_expiry, (exp, self._seq, root, key))
-
     def _emit_result(
         self, tree: SpanningTree, key: NodeKey, node: TreeNode, sign: int
     ) -> None:
+        cols = self._capture_cols
+        if cols is not None:
+            cols.append(tree.root_vertex, key[0], node.ts, node.exp, sign)
+            return
         payload = tree.path_to(key) if self.materialize_paths else None
         sgt = SGT(
             tree.root_vertex,
@@ -341,6 +368,10 @@ class SPathOp(PhysicalOperator):
         self, tree: SpanningTree, key: NodeKey, interval: Interval, sign: int
     ) -> None:
         """Emit an insertion/retraction for an explicit result interval."""
+        cols = self._capture_cols
+        if cols is not None:
+            cols.append(tree.root_vertex, key[0], interval.ts, interval.exp, sign)
+            return
         sgt = SGT(tree.root_vertex, key[0], self.out_label, interval)
         self.emit_sgt(sgt, sign)
 

@@ -1,0 +1,107 @@
+"""Unit tests for the hierarchical timing wheel."""
+
+import pytest
+
+from repro.core.expiry import TimingWheel
+
+
+class TestSchedulingAndDraining:
+    def test_drains_due_items_in_exp_order(self):
+        wheel = TimingWheel()
+        wheel.schedule(30, "c")
+        wheel.schedule(10, "a")
+        wheel.schedule(20, "b")
+        assert wheel.advance(25) == ["a", "b"]
+        assert wheel.advance(30) == ["c"]
+
+    def test_fifo_within_one_instant(self):
+        wheel = TimingWheel()
+        for item in ("first", "second", "third"):
+            wheel.schedule(5, item)
+        assert wheel.advance(5) == ["first", "second", "third"]
+
+    def test_empty_advance_returns_empty(self):
+        wheel = TimingWheel()
+        assert wheel.advance(100) == []
+        wheel.schedule(200, "x")
+        assert wheel.advance(150) == []
+        assert len(wheel) == 1
+
+    def test_exclusive_boundary_semantics(self):
+        # advance(t) drains exp <= t, matching the heaps it replaced.
+        wheel = TimingWheel()
+        wheel.schedule(10, "at")
+        wheel.schedule(11, "after")
+        assert wheel.advance(10) == ["at"]
+        assert wheel.advance(11) == ["after"]
+
+    def test_scheduling_in_the_past_drains_next_advance(self):
+        wheel = TimingWheel()
+        wheel.schedule(10, "a")
+        assert wheel.advance(50) == ["a"]
+        wheel.schedule(20, "late")  # behind the watermark
+        assert wheel.advance(50) == ["late"]
+
+    def test_duplicate_items_are_a_multiset(self):
+        wheel = TimingWheel()
+        wheel.schedule(5, ("e",))
+        wheel.schedule(5, ("e",))
+        assert wheel.advance(5) == [("e",), ("e",)]
+
+    def test_direct_bucket_append_idiom(self):
+        # The blessed hot-path pattern: append to an existing fine bucket.
+        wheel = TimingWheel()
+        wheel.schedule(7, "a")
+        bucket = wheel.fine.get(7)
+        assert bucket is not None
+        bucket.append("b")
+        assert wheel.advance(7) == ["a", "b"]
+
+
+class TestHierarchy:
+    def test_far_future_entries_cascade(self):
+        wheel = TimingWheel(span=16)
+        wheel.schedule(5, "near")
+        wheel.schedule(1000, "far")  # beyond the fine horizon
+        assert len(wheel) == 2
+        assert wheel.advance(5) == ["near"]
+        assert wheel.advance(999) == []
+        assert wheel.advance(1000) == ["far"]
+        assert not wheel
+
+    def test_cascade_preserves_exp_order(self):
+        wheel = TimingWheel(span=8)
+        wheel.schedule(100, "b")
+        wheel.schedule(97, "a")
+        wheel.schedule(103, "c")
+        assert wheel.advance(200) == ["a", "b", "c"]
+
+    def test_coarse_entries_do_not_drain_early(self):
+        wheel = TimingWheel(span=8)
+        wheel.schedule(50, "far")
+        for t in range(0, 49, 7):
+            assert wheel.advance(t) == []
+        assert wheel.advance(50) == ["far"]
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError, match="span"):
+            TimingWheel(span=0)
+
+
+class TestAccounting:
+    def test_len_and_bool(self):
+        wheel = TimingWheel(span=16)
+        assert not wheel and len(wheel) == 0
+        wheel.schedule(3, "a")
+        wheel.schedule(10_000, "b")
+        assert wheel and len(wheel) == 2
+        wheel.advance(3)
+        assert len(wheel) == 1
+        wheel.advance(10_000)
+        assert not wheel
+
+    def test_next_due(self):
+        wheel = TimingWheel()
+        assert wheel.next_due() is None
+        wheel.schedule(42, "x")
+        assert wheel.next_due() == 42

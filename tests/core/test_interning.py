@@ -1,0 +1,102 @@
+"""Unit tests for the vertex interner and plan-constant translation."""
+
+from repro.algebra.operators import Filter, Predicate, WScan
+from repro.core.interning import Interner, intern_plan
+from repro.core.intervals import Interval
+from repro.core.tuples import SGT, EdgePayload, PathPayload
+from repro.core.windows import SlidingWindow
+from repro.dataflow.graph import DELETE, Event
+
+W = SlidingWindow(10)
+
+
+class TestInterner:
+    def test_dense_first_seen_ids(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern(("P", 7)) == 1
+        assert interner.intern("a") == 0
+        assert len(interner) == 2
+
+    def test_bijection(self):
+        interner = Interner()
+        values = ["x", ("M", 3), 42, "x", 42]
+        ids = interner.intern_many(values)
+        assert [interner.value(i) for i in ids] == values
+
+    def test_id_of_and_contains(self):
+        interner = Interner()
+        interner.intern("v")
+        assert interner.id_of("v") == 0
+        assert interner.id_of("missing") is None
+        assert "v" in interner and "missing" not in interner
+
+    def test_equal_values_share_one_id(self):
+        # dict-key equality semantics: 1 and 1.0 are the same vertex,
+        # exactly as un-interned execution would treat them.
+        interner = Interner()
+        assert interner.intern(1) == interner.intern(1.0)
+
+
+class TestDecoding:
+    def test_decode_sgt_edge_payload(self):
+        interner = Interner()
+        a, b = interner.intern("a"), interner.intern("b")
+        decoded = interner.decode_sgt(SGT(a, b, "l", Interval(0, 5)))
+        assert (decoded.src, decoded.trg, decoded.label) == ("a", "b", "l")
+        assert decoded.payload == EdgePayload("a", "b", "l")
+
+    def test_decode_sgt_path_payload(self):
+        interner = Interner()
+        a, b, c = (interner.intern(v) for v in "abc")
+        payload = PathPayload((EdgePayload(a, b, "l"), EdgePayload(b, c, "l")))
+        decoded = interner.decode_sgt(SGT(a, c, "P", Interval(0, 5), payload))
+        assert decoded.payload.vertices == ("a", "b", "c")
+
+    def test_decode_event_preserves_sign(self):
+        interner = Interner()
+        a, b = interner.intern("a"), interner.intern("b")
+        event = interner.decode_event(
+            Event(SGT(a, b, "l", Interval(0, 5)), DELETE)
+        )
+        assert event.sign == DELETE and event.sgt.src == "a"
+
+    def test_decode_key(self):
+        interner = Interner()
+        a, b = interner.intern(("P", 1)), interner.intern(("P", 2))
+        assert interner.decode_key((a, b, "knows")) == (
+            ("P", 1),
+            ("P", 2),
+            "knows",
+        )
+
+
+class TestInternPlan:
+    def test_vertex_constants_are_translated(self):
+        interner = Interner()
+        plan = Filter(WScan("l", W), Predicate((("src", "==", "alice"),)))
+        translated = intern_plan(plan, interner)
+        ((attr, op, value),) = translated.predicate.conditions
+        assert (attr, op) == ("src", "==")
+        assert value == interner.id_of("alice")
+
+    def test_label_conditions_untouched(self):
+        interner = Interner()
+        plan = Filter(WScan("l", W), Predicate((("label", "==", "l"),)))
+        translated = intern_plan(plan, interner)
+        assert translated.predicate.conditions == (("label", "==", "l"),)
+        assert len(interner) == 0
+
+    def test_prefilter_translated(self):
+        interner = Interner()
+        plan = WScan("l", W, Predicate((("trg", "!=", ("P", 9)),)))
+        translated = intern_plan(plan, interner)
+        ((_, _, value),) = translated.prefilter.conditions
+        assert value == interner.id_of(("P", 9))
+
+    def test_translation_is_deterministic_per_interner(self):
+        # Equal plans translate to equal plans (the engine's shared
+        # sub-expression cache is keyed on translated plans).
+        interner = Interner()
+        plan = Filter(WScan("l", W), Predicate((("src", "==", "v"),)))
+        assert intern_plan(plan, interner) == intern_plan(plan, interner)

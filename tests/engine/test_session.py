@@ -309,3 +309,25 @@ class TestDDBackend:
         assert dd.valid_at(50) == set()
         assert dd.valid_at(50) == sga.valid_at(50)
         assert dd.valid_at(5) == {(1, 2, "Answer")} == sga.valid_at(5)
+
+
+class TestDecode:
+    def test_decode_maps_interned_ids_back(self):
+        from repro.core.tuples import SGE
+        from repro.core.windows import SlidingWindow
+        from repro.query.sgq import SGQ
+
+        engine = StreamingGraphEngine()  # columnar default: interning on
+        engine.register(
+            SGQ.from_text(
+                "Answer(x, y) <- knows(x, y).", SlidingWindow(10)
+            ),
+            name="q",
+        )
+        engine.push(SGE(("P", 1), ("P", 2), "knows", 0))
+        assert engine.decode(0) == ("P", 1)
+        assert engine.decode(1) == ("P", 2)
+
+    def test_decode_is_identity_under_rows_execution(self):
+        engine = StreamingGraphEngine(EngineConfig(execution="rows"))
+        assert engine.decode(("P", 1)) == ("P", 1)

@@ -1,0 +1,136 @@
+"""Golden equivalence: interned/columnar + timing-wheel execution must be
+bit-identical — as decoded result sets per epoch — to the row-wise path.
+
+``execution="rows"`` preserves the historical object-per-tuple pipeline
+(per-tuple events, heap-era semantics), so running every Table 1 query
+on both executions over the same stream and comparing
+
+* the coalesced decoded result set,
+* the net validity coverage, and
+* the ``valid_at`` snapshot at every epoch's final instant
+
+pins the whole interning/columnar/wheel machinery to the reference
+semantics.  The dd backend is additionally held to the sga answers at
+the final epoch (the cross-backend golden the engine API guarantees).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import Scale, _stream
+from repro.core.windows import HOUR
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.query.parser import parse_rq
+from repro.query.sgq import SGQ
+from repro.workloads import QUERIES, labels_for
+
+ALL = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+SCALE = Scale(n_edges=500, n_vertices=60, window=6 * HOUR, slide=HOUR)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return {ds: _stream(ds, SCALE) for ds in ("so", "snb")}
+
+
+def _run_sga(plan, stream, execution):
+    engine = StreamingGraphEngine(
+        EngineConfig(
+            backend="sga",
+            path_impl="negative",
+            materialize_paths=False,
+            execution=execution,
+        )
+    )
+    handle = engine.register(plan, name="q")
+    engine.push_many(stream)
+    return handle
+
+
+def _epoch_instants(stream, slide):
+    boundaries = sorted({(e.t // slide) * slide for e in stream})
+    return [b + slide - 1 for b in boundaries]
+
+
+class TestColumnarGolden:
+    @pytest.mark.parametrize("dataset", ["so", "snb"])
+    @pytest.mark.parametrize("query_name", ALL)
+    def test_columnar_matches_rows(self, streams, dataset, query_name):
+        stream = streams[dataset]
+        window = SCALE.sliding_window()
+        plan = QUERIES[query_name].plan(labels_for(query_name, dataset), window)
+        rows = _run_sga(plan, stream, "rows")
+        cols = _run_sga(plan, stream, "columnar")
+
+        assert set(cols.results()) == set(rows.results())
+        cover_rows = {k: tuple(v) for k, v in rows.coverage().items()}
+        cover_cols = {k: tuple(v) for k, v in cols.coverage().items()}
+        assert cover_cols == cover_rows
+        for t in _epoch_instants(stream, window.slide):
+            assert cols.valid_at(t) == rows.valid_at(t), f"t={t}"
+
+    @pytest.mark.parametrize("dataset", ["so", "snb"])
+    @pytest.mark.parametrize("query_name", ALL)
+    def test_columnar_matches_dd_backend(self, streams, dataset, query_name):
+        """Both backends, same decoded per-epoch answers.
+
+        DD batches one slide per epoch, so the comparison instant is the
+        final instant of the last epoch (DD's temporal resolution).
+        """
+        stream = streams[dataset]
+        window = SCALE.sliding_window()
+        labels = labels_for(query_name, dataset)
+        plan = QUERIES[query_name].plan(labels, window)
+        sga = _run_sga(plan, stream, "columnar")
+
+        engine = StreamingGraphEngine(EngineConfig(backend="dd"))
+        program = parse_rq(QUERIES[query_name].datalog(labels))
+        dd = engine.register(SGQ(program, window), name="q")
+        engine.push_many(stream)
+
+        t = _epoch_instants(stream, window.slide)[-1]
+        sga_keys = {(u, v) for u, v, _ in sga.valid_at(t)}
+        dd_keys = {(u, v) for u, v, _ in dd.valid_at(t)}
+        assert sga_keys == dd_keys
+
+
+class TestMaterializedPathsGolden:
+    """Materialized paths survive interning.
+
+    Which witness path the expand-only operator records is (and always
+    was) hash-order dependent, so hop sequences are not compared
+    verbatim; what interning must guarantee is that the *result sets*
+    agree and every decoded payload is a well-formed path over original
+    vertex values chaining the result's endpoints.
+    """
+
+    @pytest.mark.parametrize("dataset", ["so", "snb"])
+    def test_path_payloads_decode_to_chained_vertices(self, streams, dataset):
+        stream = streams[dataset]
+        window = SCALE.sliding_window()
+        plan = QUERIES["Q1"].plan(labels_for("Q1", dataset), window)
+
+        def run(execution):
+            engine = StreamingGraphEngine(
+                EngineConfig(
+                    backend="sga", path_impl="negative", execution=execution
+                )
+            )
+            handle = engine.register(plan, name="q")
+            engine.push_many(stream)
+            return handle.results()
+
+        rows = run("rows")
+        cols = run("columnar")
+        assert {(s.key(), s.interval) for s in cols} == {
+            (s.key(), s.interval) for s in rows
+        }
+        raw_vertices = {e.src for e in stream} | {e.trg for e in stream}
+        for sgt in cols:
+            hops = sgt.payload.edges()
+            assert hops, "materialized result must carry its path"
+            vertices = [hops[0].src] + [hop.trg for hop in hops]
+            assert vertices[0] == sgt.src and vertices[-1] == sgt.trg
+            # Decoded, not dense ids: every hop endpoint is a stream vertex.
+            assert set(vertices) <= raw_vertices
