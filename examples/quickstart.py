@@ -81,6 +81,10 @@ for path in sorted(result_paths(reach.results()), key=lambda p: p.length):
 # ----------------------------------------------------------------------
 print("\nWho reaches whom at t=35 :", sorted(
     (u, v) for u, v, _ in reach.valid_at(35)))
+# Reading ahead of the stream needs the window movements performed
+# first — valid_at refuses to guess about movements it has not made
+# (it would raise HorizonError), so advance the engine explicitly.
+engine.advance_to(120)
 print("Who reaches whom at t=120:", sorted(
     (u, v) for u, v, _ in reach.valid_at(120)))
 

@@ -1,0 +1,59 @@
+"""Sharded multi-core execution behind the session API.
+
+``EngineConfig(shards=N)`` is the only change: the engine
+hash-partitions the stateful work of every registered plan across N
+shard workers — PATH Δ-tree forests by root vertex, PATTERN joins by
+join key — and the handle surfaces merge the per-shard results
+transparently.  This example runs the same query serially, on the
+deterministic in-process shard scheduler, and on real multiprocessing
+workers, and shows all three agree.
+"""
+
+from repro.core.tuples import SGE
+from repro.core.windows import SlidingWindow
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.query.sgq import SGQ
+
+QUERY = """
+Reach(x, y) <- knows+(x, y) as K.
+Answer(x, z) <- Reach(x, y), likes(y, z).
+"""
+WINDOW = SlidingWindow(40, 8)
+
+# A small two-label stream: a growing knows-graph plus likes edges.
+STREAM = [
+    SGE(1, 2, "knows", 0), SGE(2, 3, "knows", 3), SGE(3, 9, "likes", 5),
+    SGE(3, 4, "knows", 9), SGE(4, 8, "likes", 12), SGE(5, 1, "knows", 14),
+    SGE(2, 7, "likes", 18), SGE(4, 6, "knows", 22), SGE(6, 9, "likes", 25),
+    SGE(7, 5, "knows", 30), SGE(1, 8, "likes", 33),
+]
+
+
+def run(config: EngineConfig):
+    engine = StreamingGraphEngine(config)
+    handle = engine.register(SGQ.from_text(QUERY, WINDOW), name="q")
+    engine.push_many(STREAM)
+    answer = sorted((u, v) for u, v, _ in handle.valid_at(33))
+    engine.close()  # stops shard workers (a no-op for shards=1/inline)
+    return answer
+
+
+serial = run(EngineConfig())
+print("serial (shards=1)          :", serial)
+
+# The deterministic inline scheduler: shards step in lockstep with
+# synchronous exchange, reproducing the serial execution order exactly —
+# this is what the golden parity tests pin.
+inline = run(EngineConfig(shards=3))
+print("sharded (3 shards, inline) :", inline)
+assert inline == serial
+
+# The multiprocessing transport: one OS process per shard, columnar
+# slides shipped to workers, cross-shard deltas exchanged per slide.
+# On a multi-core machine this is the throughput configuration.
+process = run(EngineConfig(shards=2, shard_transport="process"))
+print("sharded (2 workers, procs) :", process)
+assert process == serial
+
+print("\nall three executions agree; see README 'Scaling out' for when "
+      "sharding pays off")

@@ -36,7 +36,11 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.bench.experiments import Scale, _stream  # noqa: E402
-from repro.bench.harness import run_dd_bench, run_sga_bench  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    run_dd_bench,
+    run_sga_bench,
+    run_sga_sharded_bench,
+)
 from repro.core.windows import HOUR  # noqa: E402
 from repro.query.parser import parse_rq  # noqa: E402
 from repro.workloads import QUERIES, labels_for  # noqa: E402
@@ -48,6 +52,48 @@ DATASETS = ("so", "snb")
 #: Mirrors ``benchmarks.conftest.BENCH_SCALE`` (not imported: that module
 #: pulls in pytest fixtures).
 DEFAULT_SCALE = Scale(n_edges=2000, n_vertices=150, window=8 * HOUR, slide=HOUR)
+
+#: Scale for the shard-scaling curve (``--table sharded``): denser and
+#: longer-windowed than the Table 2 default so the Δ-tree traversal and
+#: join-probe work — the portion sharding divides — dominates the fixed
+#: per-edge windowing costs, as it does at production scale.
+SHARDED_SCALE = Scale(n_edges=8000, n_vertices=60, window=16 * HOUR, slide=HOUR)
+
+#: Shard counts recorded on the scaling curve.
+SHARD_COUNTS = (1, 2, 4)
+
+SHARDED_NOTE = (
+    "Shard-scaling curve over the Table 2 SNB workload: throughput is "
+    "edges / busiest-shard CPU seconds (process transport workers; "
+    "process_time), i.e. the per-shard work division — the wall-clock an "
+    "adequately-cored host approaches.  Single-core CI time-slices the "
+    "workers, so wall-clock there cannot show parallel speedup; CPU-work "
+    "accounting is scheduler-independent.  shards=1 is the plain engine "
+    "under the same CPU accounting."
+)
+
+
+def record_sharded(scale: Scale, repeat: int) -> list[dict]:
+    """SGA shard-scaling rows on the SNB stream (Table 2 workload)."""
+    rows: list[dict] = []
+    window = scale.sliding_window()
+    stream = _stream("snb", scale)
+    for query in QUERY_NAMES:
+        plan = QUERIES[query].plan(labels_for(query, "snb"), window)
+        for shards in SHARD_COUNTS:
+            rows.append(
+                _best(
+                    lambda: _row(
+                        run_sga_sharded_bench(
+                            plan, stream, path_impl="negative", shards=shards
+                        ),
+                        "snb",
+                        query,
+                    ),
+                    repeat,
+                )
+            )
+    return rows
 
 
 def _row(result, dataset: str, query: str) -> dict:
@@ -144,8 +190,10 @@ def aggregates(rows: list[dict]) -> dict:
     }
 
 
-def make_entry(label: str, scale: Scale, rows: list[dict]) -> dict:
-    return {
+def make_entry(
+    label: str, scale: Scale, rows: list[dict], note: str | None = None
+) -> dict:
+    entry = {
         "label": label,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
@@ -159,6 +207,9 @@ def make_entry(label: str, scale: Scale, rows: list[dict]) -> dict:
         "rows": rows,
         "aggregates": aggregates(rows),
     }
+    if note is not None:
+        entry["note"] = note
+    return entry
 
 
 def upsert_entry(path: Path, table: str, entry: dict) -> dict:
@@ -231,13 +282,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="dev", help="entry label (upserted)")
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N runs")
-    parser.add_argument("--n-edges", type=int, default=DEFAULT_SCALE.n_edges)
-    parser.add_argument("--n-vertices", type=int, default=DEFAULT_SCALE.n_vertices)
-    parser.add_argument("--window", type=int, default=DEFAULT_SCALE.window)
-    parser.add_argument("--slide", type=int, default=DEFAULT_SCALE.slide)
+    # Scale defaults resolve per table: DEFAULT_SCALE for table2/3,
+    # SHARDED_SCALE for the shard-scaling curve.
+    parser.add_argument("--n-edges", type=int, default=None)
+    parser.add_argument("--n-vertices", type=int, default=None)
+    parser.add_argument("--window", type=int, default=None)
+    parser.add_argument("--slide", type=int, default=None)
     parser.add_argument("--out-dir", type=Path, default=REPO)
     parser.add_argument(
-        "--table", choices=("table2", "table3", "both"), default="both"
+        "--table",
+        choices=("table2", "table3", "both", "sharded"),
+        default="both",
+        help=(
+            "'sharded' records the shard-scaling curve (SGA on the SNB "
+            "stream at SHARDED_SCALE, shards 1/2/4) into BENCH_table2.json"
+        ),
     )
     parser.add_argument(
         "--check",
@@ -251,7 +310,12 @@ def main(argv: list[str] | None = None) -> int:
         "table2": args.out_dir / "BENCH_table2.json",
         "table3": args.out_dir / "BENCH_table3.json",
     }
-    tables = ("table2", "table3") if args.table == "both" else (args.table,)
+    if args.table == "sharded":
+        tables = ("table2",)
+    elif args.table == "both":
+        tables = ("table2", "table3")
+    else:
+        tables = (args.table,)
 
     if args.check:
         status = 0
@@ -269,12 +333,34 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{path}: ok")
         return status
 
+    if args.table == "sharded":
+        defaults = SHARDED_SCALE
+    else:
+        defaults = DEFAULT_SCALE
     scale = Scale(
-        n_edges=args.n_edges,
-        n_vertices=args.n_vertices,
-        window=args.window,
-        slide=args.slide,
+        n_edges=(
+            args.n_edges if args.n_edges is not None else defaults.n_edges
+        ),
+        n_vertices=(
+            args.n_vertices
+            if args.n_vertices is not None
+            else defaults.n_vertices
+        ),
+        window=args.window if args.window is not None else defaults.window,
+        slide=args.slide if args.slide is not None else defaults.slide,
     )
+    if args.table == "sharded":
+        started = time.perf_counter()
+        rows = record_sharded(scale, args.repeat)
+        entry = make_entry(args.label, scale, rows, note=SHARDED_NOTE)
+        doc = upsert_entry(paths["table2"], "table2", entry)
+        print(
+            f"\n== sharded: recorded {len(rows)} rows as {args.label!r} "
+            f"in {time.perf_counter() - started:.1f}s -> {paths['table2']}"
+        )
+        print_trajectory(doc)
+        _print_scaling(entry)
+        return 0
     recorders = {"table2": record_table2, "table3": record_table3}
     for table in tables:
         started = time.perf_counter()
@@ -287,6 +373,20 @@ def main(argv: list[str] | None = None) -> int:
         )
         print_trajectory(doc)
     return 0
+
+
+def _print_scaling(entry: dict) -> None:
+    """Aggregate shard-scaling summary of one sharded entry."""
+    base = entry["aggregates"].get("snb/SGA[negative,shards=1]", {})
+    base_thr = base.get("throughput", 0.0)
+    print("\nshard scaling (aggregate snb, CPU-work throughput):")
+    for shards in SHARD_COUNTS:
+        cell = entry["aggregates"].get(
+            f"snb/SGA[negative,shards={shards}]", {}
+        )
+        thr = cell.get("throughput", 0.0)
+        suffix = f" ({thr / base_thr:.2f}x)" if base_thr and shards > 1 else ""
+        print(f"  shards={shards}: {thr:>10.0f} edges/s{suffix}")
 
 
 if __name__ == "__main__":

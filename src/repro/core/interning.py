@@ -22,6 +22,7 @@ from typing import Hashable, Iterable
 
 from repro.core.tuples import SGT, EdgePayload, PathPayload
 from repro.dataflow.graph import Event
+from repro.errors import DecodeError
 
 
 class Interner:
@@ -54,8 +55,21 @@ class Interner:
         return [intern(v) for v in values]
 
     def value(self, ident: int) -> Hashable:
-        """The original value of a previously assigned id."""
-        return self._values[ident]
+        """The original value of a previously assigned id.
+
+        Raises
+        ------
+        DecodeError
+            If ``ident`` was never assigned by this interner (negative,
+            out of range, or not an int — e.g. an id from a different
+            engine instance).  Without the check a negative id would
+            silently decode to the *wrong* value via Python's negative
+            indexing.
+        """
+        values = self._values
+        if type(ident) is not int or not 0 <= ident < len(values):
+            raise DecodeError(ident)
+        return values[ident]
 
     def id_of(self, value: Hashable) -> int | None:
         """The id of ``value`` if already interned, else ``None``."""
@@ -78,24 +92,29 @@ class Interner:
 
         Payloads are decoded too: a materialized path's hops carry vertex
         ids inside the dataflow, and requirement R3 (paths as data) means
-        they are user-visible.
+        they are user-visible.  Ids unknown to this interner — including
+        negative or non-int values, which raw list indexing would decode
+        to the *wrong* value or crash on — raise
+        :class:`~repro.errors.DecodeError` naming the offending id.
+        This is a read surface (results are decoded once, at pull time),
+        so the per-id bounds check is off the streaming hot path.
         """
-        values = self._values
+        value = self.value
         payload = sgt.payload
         if payload.__class__ is PathPayload:
             decoded_payload: EdgePayload | PathPayload = PathPayload(
                 tuple(
-                    EdgePayload(values[hop.src], values[hop.trg], hop.label)
+                    EdgePayload(value(hop.src), value(hop.trg), hop.label)
                     for hop in payload.hops
                 )
             )
         else:
             decoded_payload = EdgePayload(
-                values[payload.src], values[payload.trg], payload.label
+                value(payload.src), value(payload.trg), payload.label
             )
         return SGT(
-            values[sgt.src],
-            values[sgt.trg],
+            value(sgt.src),
+            value(sgt.trg),
             sgt.label,
             sgt.interval,
             decoded_payload,
@@ -105,9 +124,12 @@ class Interner:
         return Event(self.decode_sgt(event.sgt), event.sign)
 
     def decode_key(self, key: tuple) -> tuple:
-        """Decode a ``(src, trg, label)`` result key."""
-        values = self._values
-        return (values[key[0]], values[key[1]], key[2])
+        """Decode a ``(src, trg, label)`` result key.
+
+        Raises :class:`~repro.errors.DecodeError` for ids this interner
+        never assigned.
+        """
+        return (self.value(key[0]), self.value(key[1]), key[2])
 
 
 def intern_plan(plan, interner: Interner):

@@ -529,18 +529,7 @@ class SinkOp(PhysicalOperator):
         Counting semantics: retracting one of several overlapping
         derivations keeps the instants the others still support.
         """
-        plus: dict[tuple, list[Interval]] = {}
-        minus: dict[tuple, list[Interval]] = {}
-        for event in self.events:
-            bucket = plus if event.sign == INSERT else minus
-            bucket.setdefault(event.sgt.key(), []).append(event.sgt.interval)
-        decode = self._key_decoder()
-        out: dict[tuple, list[Interval]] = {}
-        for key, intervals in plus.items():
-            remaining = net_cover(intervals, minus.get(key, []))
-            if remaining:
-                out[decode(key) if decode else key] = remaining
-        return out
+        return events_coverage(self.events, self._key_decoder())
 
     def results(self) -> list[SGT]:
         """Coalesced insert-side sgts (ignores retractions); see
@@ -567,6 +556,30 @@ class SinkOp(PhysicalOperator):
     def clear(self) -> None:
         self._events.clear()
         self._pending.clear()
+
+
+def events_coverage(
+    events: list[Event], decode: Callable[[tuple], tuple] | None = None
+) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
+    """Net validity cover per result key over a signed event stream.
+
+    The one implementation of the counting-semantics fold (retracting
+    one of several overlapping derivations keeps the instants the
+    others still support), shared by :meth:`SinkOp.coverage` and the
+    sharded engine's merged-sink reads.  ``decode`` optionally maps
+    interned result keys back to original vertex values.
+    """
+    plus: dict[tuple, list[Interval]] = {}
+    minus: dict[tuple, list[Interval]] = {}
+    for event in events:
+        bucket = plus if event.sign == INSERT else minus
+        bucket.setdefault(event.sgt.key(), []).append(event.sgt.interval)
+    out: dict[tuple, list[Interval]] = {}
+    for key, intervals in plus.items():
+        remaining = net_cover(intervals, minus.get(key, []))
+        if remaining:
+            out[decode(key) if decode else key] = remaining
+    return out
 
 
 class DataflowGraph:

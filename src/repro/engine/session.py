@@ -56,16 +56,18 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.algebra.operators import Plan
+from repro.algebra.operators import Plan, WScan
 from repro.algebra.translate import sgq_to_sga
 from repro.core.batch import BatchScheduler, RunStats
+from repro.core.coalesce import coalesce_stream
 from repro.core.interning import Interner, intern_plan
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT, Label, Vertex
 from repro.dataflow.executor import LATE_POLICIES, Executor
-from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
+from repro.dataflow.graph import INSERT, DataflowGraph, PhysicalOperator, SinkOp
 from repro.dd.runtime import DDRuntime
-from repro.errors import ExecutionError, PlanError, StreamOrderError
+from repro.engine.sharded import ShardedSgaRuntime, merged_coverage
+from repro.errors import ExecutionError, HorizonError, PlanError, StreamOrderError
 from repro.physical.planner import (
     PATH_IMPLS,
     compile_into,
@@ -87,6 +89,12 @@ BACKENDS = ("sga", "dd")
 #: kept selectable so golden tests can prove the two produce identical
 #: decoded results.
 EXECUTIONS = ("columnar", "rows")
+
+#: Shard transports for ``shards > 1`` (see :mod:`repro.engine.sharded`):
+#: ``"inline"`` is the in-process deterministic scheduler (exact serial
+#: semantics, used by golden tests), ``"process"`` the multiprocessing
+#: backend (real multi-core speedup).
+SHARD_TRANSPORTS = ("inline", "process")
 
 #: Config fields a single query may override at ``register`` time (they
 #: only affect how *that* query's plan is compiled).  The remaining
@@ -128,6 +136,21 @@ class EngineConfig:
         operators; decoded transparently at every read surface) or
         ``"rows"`` (the historical object-per-tuple path).  sga backend
         only; the dd baseline ignores it.
+    shards:
+        Number of partition-parallel shard workers (default 1 = the
+        unsharded engine, bit-identical to historical behavior).  With
+        ``shards > 1`` the sga backend hash-partitions the stateful work
+        of every registered plan — PATH forests by root vertex, PATTERN
+        joins by join key — across that many shards behind the same
+        handle API (see :mod:`repro.engine.sharded`).  Requires
+        ``backend="sga"`` and ``execution="columnar"`` (dense interned
+        ids are what shards exchange).
+    shard_transport:
+        ``"inline"`` (default): all shards in this process, stepped
+        deterministically — exact serial semantics, full live-lifecycle
+        support, no parallel speedup.  ``"process"``: one OS process per
+        shard for real multi-core throughput; queries must be registered
+        before streaming starts and push callbacks are unsupported.
     """
 
     backend: str = "sga"
@@ -137,6 +160,8 @@ class EngineConfig:
     batch_size: int | None = None
     late_policy: str = "allow"
     execution: str = "columnar"
+    shards: int = 1
+    shard_transport: str = "inline"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -148,6 +173,24 @@ class EngineConfig:
                 f"unknown execution {self.execution!r}; "
                 f"expected one of {EXECUTIONS}"
             )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ValueError(f"shards must be an int >= 1, got {self.shards!r}")
+        if self.shard_transport not in SHARD_TRANSPORTS:
+            raise ValueError(
+                f"unknown shard_transport {self.shard_transport!r}; "
+                f"expected one of {SHARD_TRANSPORTS}"
+            )
+        if self.shards > 1:
+            if self.backend != "sga":
+                raise ValueError(
+                    "shards > 1 requires backend='sga' (the dd baseline "
+                    "is single-threaded by design)"
+                )
+            if self.execution != "columnar":
+                raise ValueError(
+                    "shards > 1 requires execution='columnar' (shards "
+                    "exchange interned columnar deltas)"
+                )
         if self.path_impl not in PATH_IMPLS:
             raise PlanError(
                 f"unknown PATH implementation {self.path_impl!r}; "
@@ -240,6 +283,18 @@ class QueryHandle:
         return f"<QueryHandle {self.name!r} ({state})>"
 
 
+def _plan_max_window(plan: Plan) -> int:
+    """The largest WSCAN window size in a plan (expiry-horizon bound)."""
+    sizes = [0]
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, WScan):
+            sizes.append(node.window.size)
+        stack.extend(node.children())
+    return max(sizes)
+
+
 class SgaQueryHandle(QueryHandle):
     """Handle over a query compiled into the shared SGA dataflow."""
 
@@ -257,6 +312,8 @@ class SgaQueryHandle(QueryHandle):
         self._sink = sink
         self._root = root
         self._options = options
+        self._plan_slide = plan_slide(plan)
+        self._max_window = _plan_max_window(plan)
 
     def results(self) -> list[SGT]:
         """Coalesced result sgts (non-destructive, repeatable pull)."""
@@ -267,7 +324,24 @@ class SgaQueryHandle(QueryHandle):
         return self._sink.coverage()
 
     def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
-        """Result keys valid at instant ``t``."""
+        """Result keys valid at instant ``t``.
+
+        Temporal-read contract (uniform across backends, exclusive at
+        interval ends: a result expiring at ``t`` is *not* valid at
+        ``t``):
+
+        * ``t`` at or behind the last performed window movement (this
+          query's slide grid): answered exactly from retained covers;
+        * ``t`` at or past the expiry horizon — the instant by which
+          everything ingested so far has expired: exactly the empty set;
+        * in between: raises :class:`~repro.errors.HorizonError` (the
+          engine has not performed those window movements; call
+          ``engine.advance_to(t)`` first), mirroring the dd backend.
+        """
+        if not self._engine._sga_can_read_at(
+            t, self._plan_slide, self._max_window
+        ):
+            return set()
         return self._sink.valid_at(t)
 
     def result_count(self) -> int:
@@ -299,6 +373,110 @@ class SgaQueryHandle(QueryHandle):
         options (inside the session the actual dataflow is shared, so
         operators may be fused with other queries' plans).
         """
+        from repro.ql.pipeline import explain_plan_stage
+
+        return explain_plan_stage(self.plan, level, self._options)
+
+
+class ShardedQueryHandle(QueryHandle):
+    """Handle over a query partitioned across shard workers.
+
+    The same surface as :class:`SgaQueryHandle`; every read merges the
+    per-shard sinks.  Each result event lives on exactly one shard
+    (partitioned outputs are emitted once, replicated outputs are
+    partition-filtered in front of the sinks), so the merged stream is
+    the serial engine's event multiset and the set/cover surfaces are
+    identical to ``shards=1``.
+    """
+
+    def __init__(
+        self,
+        engine: "StreamingGraphEngine",
+        name: str,
+        plan: Plan,
+        options: tuple,
+    ):
+        super().__init__(engine, name)
+        self.plan = plan
+        self._options = options
+        self._plan_slide = plan_slide(plan)
+        self._max_window = _plan_max_window(plan)
+        #: per-shard sinks (inline transport): held directly so the
+        #: handle stays readable after unregister prunes them
+        self._sinks = engine._sharded.sink_refs(name)
+
+    def _events(self):
+        if self._sinks is not None:
+            out = []
+            for sink in self._sinks:
+                out.extend(sink.events)
+            return out
+        return self._engine._sharded.events(self.name)
+
+    def results(self) -> list[SGT]:
+        """Coalesced decoded result sgts, merged across shards."""
+        interner = self._engine._interner
+        decode = interner.decode_sgt
+        return coalesce_stream(
+            decode(e.sgt) for e in self._events() if e.sign == INSERT
+        )
+
+    def coverage(self) -> dict[tuple[Vertex, Vertex, Label], list[Interval]]:
+        """Net validity cover per result key, merged across shards."""
+        return merged_coverage(self._events(), self._engine._interner)
+
+    def valid_at(self, t: int) -> set[tuple[Vertex, Vertex, Label]]:
+        """Result keys valid at instant ``t`` (see
+        :meth:`SgaQueryHandle.valid_at` for the temporal-read contract,
+        which is identical)."""
+        if not self._engine._sga_can_read_at(
+            t, self._plan_slide, self._max_window
+        ):
+            return set()
+        return {
+            key
+            for key, intervals in self.coverage().items()
+            if any(iv.contains(t) for iv in intervals)
+        }
+
+    def _event_counts(self) -> tuple[int, int]:
+        """(inserts, total) across shards — via the held sink refs when
+        inline (detached handles stay countable), else counted inside
+        the workers (no events cross a process boundary)."""
+        if self._sinks is not None:
+            inserts = sum(sink.insert_count for sink in self._sinks)
+            total = sum(len(sink.events) for sink in self._sinks)
+            return inserts, total
+        return self._engine._sharded.event_counts(self.name)
+
+    def result_count(self) -> int:
+        """Raw (pre-coalescing) result insertions across all shards."""
+        return self._event_counts()[0]
+
+    def clear_results(self) -> None:
+        """Drop accumulated results on every shard (state is kept)."""
+        if self._sinks is not None:
+            for sink in self._sinks:
+                sink.clear()
+            return
+        self._engine._sharded.clear_results(self.name)
+
+    def stats(self) -> QueryStats:
+        inserts, total = self._event_counts()
+        return QueryStats(
+            name=self.name,
+            backend="sga",
+            results=len(self.results()),
+            inserts=inserts,
+            retractions=total - inserts,
+            state_size=self._engine.state_size(),
+            live=self._live,
+        )
+
+    def explain(self, level: str = "logical") -> str:
+        """Render this query's plan (see :meth:`SgaQueryHandle.explain`;
+        the physical level shows the unsharded compilation — each shard
+        runs that topology plus the spliced exchange operators)."""
         from repro.ql.pipeline import explain_plan_stage
 
         return explain_plan_stage(self.plan, level, self._options)
@@ -453,12 +631,14 @@ class DDQueryHandle(QueryHandle):
         sga backend at those instants (mid-epoch instants are below
         DD's temporal resolution).
 
-        This is a **pure read**: instants up to the last performed
-        epoch answer from the recorded history, and instants at or past
-        the runtime's expiry horizon are the empty set (every inserted
-        edge has expired by then).  In between — a window movement the
-        baseline has *not yet performed* — it raises rather than
-        silently advancing the stream; call
+        This is a **pure read** following the same temporal-read
+        contract as the sga backend (interval ends exclusive): instants
+        up to the last performed epoch answer from the recorded history,
+        instants at or past the runtime's expiry horizon are exactly the
+        empty set (every inserted edge has expired by then), and the
+        instants in between — window movements the baseline has *not yet
+        performed* — raise :class:`~repro.errors.HorizonError` rather
+        than silently advancing the stream; call
         :meth:`StreamingGraphEngine.advance_to` first.
         """
         boundary = self.window.slide_boundary(t)
@@ -466,7 +646,7 @@ class DDQueryHandle(QueryHandle):
         if current is None or boundary > current:
             if boundary >= self._runtime.horizon:
                 return set()
-            raise ExecutionError(
+            raise HorizonError(
                 f"instant {t} is ahead of the last performed window "
                 f"movement (epoch {current}); the dd backend cannot "
                 f"answer about epochs it has not evaluated — call "
@@ -556,6 +736,13 @@ class StreamingGraphEngine:
             if config.backend == "sga" and config.execution == "columnar"
             else None
         )
+        #: partition-parallel runtime (``shards > 1``); the session
+        #: delegates every streaming and lifecycle call to it
+        self._sharded: ShardedSgaRuntime | None = (
+            ShardedSgaRuntime(config, self._interner)
+            if config.shards > 1
+            else None
+        )
         # dd backend state: distinct dropped edges (every registered
         # query consults the late policy for the same edge in turn, so
         # the counter must dedupe across queries).
@@ -580,6 +767,8 @@ class StreamingGraphEngine:
     @property
     def started(self) -> bool:
         """True once the engine has consumed stream input."""
+        if self._sharded is not None:
+            return self._sharded.started
         if self._config.backend == "sga":
             return (
                 self._executor is not None
@@ -593,6 +782,8 @@ class StreamingGraphEngine:
     @property
     def slide(self) -> int:
         """The slide interval driving watermark/epoch advancement."""
+        if self._sharded is not None:
+            return self._sharded.slide
         if self._config.backend == "sga":
             if self._executor is not None:
                 return self._executor.slide
@@ -605,6 +796,8 @@ class StreamingGraphEngine:
     @property
     def late_count(self) -> int:
         """Late edges discarded under ``late_policy="drop"``."""
+        if self._sharded is not None:
+            return self._sharded.late_count
         if self._config.backend == "sga":
             return self._executor.late_count if self._executor else 0
         return len(self._dd_late_dropped)
@@ -625,6 +818,13 @@ class StreamingGraphEngine:
         sinks) observes raw ids — this is the sanctioned way to map them
         back.  Under ``execution="rows"`` no interning happens and the
         value is returned unchanged.
+
+        Raises
+        ------
+        DecodeError
+            For an id this engine never interned (negative, out of
+            range, or minted by a *different* engine instance — dense
+            ids are engine-private).
         """
         if self._interner is None:
             return ident
@@ -698,9 +898,12 @@ class StreamingGraphEngine:
         are untouched.  The returned-earlier handle stays readable but
         receives no further results.
         """
-        handle = self._handles.pop(name, None)
+        handle = self._handles.get(name)
         if handle is None:
             raise PlanError(f"unknown query {name!r}")
+        if isinstance(handle, ShardedQueryHandle):
+            self._sharded.unregister(name)  # may refuse (process transport)
+        del self._handles[name]
         handle._live = False
         if isinstance(handle, SgaQueryHandle):
             removed = self._graph.prune([handle._sink])
@@ -713,7 +916,7 @@ class StreamingGraphEngine:
         name: str,
         on_result: Callable | None,
         overrides: dict,
-    ) -> SgaQueryHandle:
+    ) -> QueryHandle:
         config = self._config.with_overrides(**overrides)
         if isinstance(query, Query):
             plan = query.plan()
@@ -726,9 +929,18 @@ class StreamingGraphEngine:
             config.materialize_paths,
             config.coalesce_intermediate,
         )
+        interner = self._interner
+        if self._sharded is not None:
+            compiled = intern_plan(plan, interner)
+            callback = (
+                _decoding_callback(on_result, interner)
+                if on_result is not None
+                else None
+            )
+            self._sharded.register(name, compiled, options, callback)
+            return ShardedQueryHandle(self, name, plan, options)
         cache = self._caches.setdefault(options, {})
         live = self.started
-        interner = self._interner
         # Under interned execution, vertex-valued predicate constants
         # must compare against ids; the translated plan is compiled (and
         # keys the shared-subexpression cache), the original stays on the
@@ -818,6 +1030,9 @@ class StreamingGraphEngine:
     # ------------------------------------------------------------------
     def push(self, edge: SGE) -> None:
         """Insert one streaming graph edge (advances the window first)."""
+        if self._sharded is not None:
+            self._sharded.push(edge)
+            return
         if self._config.backend == "sga":
             self._ensure_executor().push_edge(edge)
             return
@@ -834,10 +1049,16 @@ class StreamingGraphEngine:
             raise ExecutionError(
                 "explicit deletions are not supported by the dd backend"
             )
+        if self._sharded is not None:
+            self._sharded.delete(edge)
+            return
         self._ensure_executor().delete_edge(edge)
 
     def advance_to(self, t: int) -> None:
         """Advance the window/epochs without inserting (stream silence)."""
+        if self._sharded is not None:
+            self._sharded.advance_to(t)
+            return
         if self._config.backend == "sga":
             self._ensure_executor().advance_to(t)
             return
@@ -851,6 +1072,8 @@ class StreamingGraphEngine:
         engine in bulk, with no per-edge Python call overhead.  Returns
         per-slide timing statistics.
         """
+        if self._sharded is not None:
+            return self._sharded.push_many(stream)
         if self._config.backend == "sga":
             return self._ensure_executor().run(stream)
         handles = self._require_dd_handles()
@@ -867,6 +1090,31 @@ class StreamingGraphEngine:
     run = push_many
 
     # ------------------------------------------------------------------
+    # Resource lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine-held OS resources.
+
+        With ``shards > 1`` and ``shard_transport="process"`` this stops
+        the forked shard workers — read results *before* closing; reads
+        and streaming after close raise :class:`ExecutionError`.  A
+        no-op for every other configuration, so generic code can always
+        call it — or use the engine as a context manager::
+
+            with StreamingGraphEngine(EngineConfig(shards=4,
+                    shard_transport="process")) as engine:
+                ...
+        """
+        if self._sharded is not None:
+            self._sharded.shutdown()
+
+    def __enter__(self) -> "StreamingGraphEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Shared-dataflow introspection (sga backend)
     # ------------------------------------------------------------------
     def tap(self, label: Label) -> SinkOp:
@@ -879,6 +1127,11 @@ class StreamingGraphEngine:
         prunes operators a tap still observes.
         """
         self._require_sga("tap")
+        if self._sharded is not None:
+            raise ExecutionError(
+                "tap requires shards=1 (intermediate streams are "
+                "partitioned across shard workers)"
+            )
         for op in self._graph.operators:
             produced = getattr(op, "out_label", None)
             if produced is None:
@@ -896,8 +1149,14 @@ class StreamingGraphEngine:
         raise PlanError(f"no operator produces label {label!r}")
 
     def operator_count(self) -> int:
-        """Operators in the shared dataflow (excluding sinks)."""
+        """Operators in the shared dataflow (excluding sinks).
+
+        Sharded: one shard's topology — every shard runs the same
+        operator set (including the spliced exchange operators).
+        """
         self._require_sga("operator_count")
+        if self._sharded is not None:
+            return self._sharded.operator_count()
         return sum(
             1 for op in self._graph.operators if not isinstance(op, SinkOp)
         )
@@ -905,6 +1164,11 @@ class StreamingGraphEngine:
     def sharing_savings(self) -> int:
         """Operators saved by sharing, vs compiling each query alone."""
         self._require_sga("sharing_savings")
+        if self._sharded is not None:
+            raise ExecutionError(
+                "sharing_savings requires shards=1 (per-shard topologies "
+                "include exchange operators the isolated compile lacks)"
+            )
         isolated = 0
         for handle in self._handles.values():
             assert isinstance(handle, SgaQueryHandle)
@@ -917,7 +1181,13 @@ class StreamingGraphEngine:
         return isolated - self.operator_count()
 
     def state_size(self) -> int:
-        """Total tuples retained across the engine's stateful operators."""
+        """Total tuples retained across the engine's stateful operators.
+
+        Sharded: summed over all shards — replicated state (windowed
+        adjacencies, replication-zone operators) counts once per shard.
+        """
+        if self._sharded is not None:
+            return self._sharded.state_size()
         if self._config.backend == "sga":
             return self._graph.state_size()
         return sum(h._runtime.state_size() for h in self._dd_handles())
@@ -925,6 +1195,41 @@ class StreamingGraphEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _sga_can_read_at(
+        self, t: int, query_slide: int, max_window: int
+    ) -> bool:
+        """The sga temporal-read guard shared by all sga-family handles.
+
+        Returns True when ``valid_at(t)`` may answer from retained
+        covers (``t``'s epoch on the query's slide grid is at or behind
+        the last performed window movement), False when the exact answer
+        is the empty set (engine not started, or ``t`` at/past the
+        expiry horizon — every assigned validity interval has ended by
+        ``boundary + engine_slide + max_window``), and raises
+        :class:`~repro.errors.HorizonError` for the instants in between,
+        mirroring the dd backend's contract.
+        """
+        if self._sharded is not None:
+            boundary = self._sharded._boundary
+            engine_slide = self._sharded._slide
+        elif self._executor is not None:
+            boundary = self._executor.current_boundary
+            engine_slide = self._executor.slide
+        else:
+            boundary = None
+            engine_slide = None
+        if boundary is None:
+            return False  # nothing ingested: the answer is exactly empty
+        if t // query_slide * query_slide <= boundary:
+            return True
+        if t >= boundary + engine_slide + max_window:
+            return False  # past the horizon: everything has expired
+        raise HorizonError(
+            f"instant {t} is ahead of the last performed window "
+            f"movement (boundary {boundary}) but before the expiry "
+            f"horizon; call engine.advance_to({t}) first"
+        )
+
     def _require_sga(self, what: str) -> None:
         if self._config.backend != "sga":
             raise ExecutionError(f"{what} requires the sga backend")

@@ -1,0 +1,802 @@
+"""Partition-parallel SGA execution: N shard workers behind one session.
+
+``EngineConfig(shards=N)`` turns a :class:`StreamingGraphEngine` session
+into a shared-nothing parallel deployment: the engine hash-partitions the
+*stateful* work of the compiled plans across N shards, each running the
+same dataflow topology over the full (interned, columnar) input stream.
+Callers are oblivious — ``register`` returns the same handle surface,
+``results()`` / ``coverage()`` / ``valid_at`` merge the per-shard sinks,
+and ``shards=1`` is bit-identical to the unsharded engine (the session
+simply does not construct this runtime).
+
+How the work divides (see :mod:`repro.core.partition` and
+:mod:`repro.physical.exchange` for the routing/shuffle pieces):
+
+* every shard windows every input edge (WSCAN is a cheap columnar pass;
+  replicating it keeps the per-shard input stream in serial order, which
+  the order-sensitive PATH operators require);
+* PATH operators maintain the full windowed adjacency but only the
+  spanning trees whose *root vertex* the shard owns — the traversal work,
+  which dominates, divides by shards;
+* PATTERN joins store and probe each binding only on its *join key*'s
+  owner shard; bindings produced on the wrong shard are exchanged;
+* derived streams are re-partitioned between operators (broadcast into
+  PATH adjacencies, result-key routing into coalescers, partition
+  filters in front of sinks) exactly where a distributed shuffle would.
+
+Two transports ship with the runtime:
+
+``shard_transport="inline"`` (default)
+    All shards live in this process and every exchange ``send`` is a
+    synchronous call into the destination shard.  Streaming drives the
+    shards edge-at-a-time in lockstep, so the *global* execution order
+    is exactly the serial engine's — results, coverage, per-epoch
+    ``valid_at`` and even raw event multisets are identical to
+    ``shards=1``.  This is the deterministic scheduler the golden parity
+    tests pin; it is an instrument, not a speedup (one process, one
+    core).
+
+``shard_transport="process"``
+    Shards are ``multiprocessing`` workers (forked; spawn fallback).
+    The parent interns the stream once per slide, ships each shard the
+    slide's columnar runs (dense-int columns serialize cheaply — this is
+    what PR 4's interned columnar deltas bought), and drains the
+    cross-shard exchange in per-slide rounds.  Real multi-core speedup;
+    exchange deliveries land at slide granularity, so *within-slide*
+    emission order may differ from serial while per-slide result sets
+    and net coverage converge.  Queries must be registered before the
+    stream starts (live register/unregister needs the inline transport),
+    and push-delivery callbacks are unsupported.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+from repro.algebra.operators import Plan
+from repro.core.batch import BatchScheduler, RunStats
+from repro.core.intervals import Interval
+from repro.core.partition import ShardContext
+from repro.core.tuples import SGE, SGT
+from repro.dataflow.graph import (
+    DELETE,
+    DataflowGraph,
+    Event,
+    SinkOp,
+    events_coverage,
+)
+from repro.errors import ExecutionError, StreamOrderError
+from repro.physical.planner import ShardSpec, compile_into, evict_dead, plan_slide
+from repro.physical.rpq_negative import NegativeTupleRpqOp
+
+__all__ = ["ShardedSgaRuntime"]
+
+#: Worker → parent exchange message: (dest_shard, endpoint_uid, payload).
+OutboxMessage = tuple[int, int, tuple]
+
+
+class _Shard:
+    """One shard's compiled state (lives in-process or inside a worker)."""
+
+    def __init__(self, shard_id: int, num_shards: int):
+        self.ctx = ShardContext(shard_id, num_shards)
+        self.graph = DataflowGraph()
+        #: per compile-options shared-subexpression cache (mirrors the
+        #: unsharded engine's ``_caches``)
+        self.caches: dict[tuple, dict] = {}
+        #: query name → private sink
+        self.sinks: dict[str, SinkOp] = {}
+        #: query name → the sink's direct producer (donor matching)
+        self.roots: dict[str, object] = {}
+        self.next_uid = 0
+
+    def compile_query(self, name: str, plan: Plan, options: tuple) -> SinkOp:
+        spec = ShardSpec(self.ctx, self.next_uid)
+        cache = self.caches.setdefault(options, {})
+        sink = compile_into(plan, self.graph, cache, *options, shard=spec)
+        self.next_uid = spec.next_uid
+        self.sinks[name] = sink
+        self.roots[name] = self.graph.producer_of(sink)
+        return sink
+
+    def drop_query(self, name: str) -> None:
+        sink = self.sinks.pop(name)
+        self.roots.pop(name, None)
+        removed = self.graph.prune([sink])
+        for cache in self.caches.values():
+            evict_dead(cache, removed)
+        self.ctx.unregister_endpoints({id(op) for op in removed})
+
+
+def _push_edge(shard: _Shard, label: str, src: int, dst: int, t: int) -> None:
+    source = shard.graph.sources.get(label)
+    if source is not None:
+        source.push_scalar(src, dst, t)
+
+
+class ShardedSgaRuntime:
+    """The engine-internal runtime behind ``EngineConfig(shards=N)``.
+
+    Owns the shard set (or worker pool), the shared slide/watermark
+    clock, and the exchange router.  The session façade
+    (:class:`~repro.engine.session.StreamingGraphEngine`) delegates every
+    streaming and read call here when ``shards > 1``.
+    """
+
+    def __init__(self, config, interner):
+        self.config = config
+        self.num_shards = config.shards
+        self.interner = interner
+        self.transport = config.shard_transport
+        self._queries: dict[str, tuple[Plan, tuple]] = {}
+        self._boundary: int | None = None
+        self._slide: int | None = None
+        self.late_count = 0
+        # inline transport state
+        self._shards: list[_Shard] | None = None
+        self._callbacks: dict[str, Callable] = {}
+        #: cached positions of advance-time emitters (negative-tuple
+        #: PATH ops) in the shard topology; invalidated on
+        #: register/unregister (the only topology changes)
+        self._emitters: list[int] | None = None
+        # process transport state
+        self._workers: "list | None" = None
+        self._failed: str | None = None
+        self._closed = False
+        if self.transport == "inline":
+            self._shards = [
+                _Shard(i, self.num_shards) for i in range(self.num_shards)
+            ]
+            shards = self._shards
+
+            def send(dest: int, uid: int, payload: tuple) -> None:
+                shards[dest].ctx.endpoints[uid].receive_exchange(payload)
+
+            for shard in shards:
+                shard.ctx.set_transport(send)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._boundary is not None
+
+    @property
+    def slide(self) -> int:
+        if self._slide is None:
+            raise ExecutionError("no queries registered")
+        return self._slide
+
+    def operator_count(self) -> int:
+        self._require_inline("operator_count")
+        return sum(
+            1
+            for op in self._shards[0].graph.operators
+            if not isinstance(op, SinkOp)
+        )
+
+    def state_size(self) -> int:
+        if self.transport == "inline":
+            return sum(s.graph.state_size() for s in self._shards)
+        if self._workers is None:
+            return 0
+        return sum(self._request(w, ("state",)) for w in self._workers)
+
+    def _require_inline(self, what: str) -> None:
+        if self.transport != "inline":
+            raise ExecutionError(
+                f"{what} requires shard_transport='inline' "
+                "(process workers hold their state out of process)"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        plan: Plan,
+        options: tuple,
+        on_result: Callable | None,
+    ) -> None:
+        """Compile one query onto every shard (or queue it for the
+        workers).  ``plan`` is already interned; ``options`` is the
+        compile-options tuple the session derived."""
+        if self.transport == "process":
+            if on_result is not None:
+                raise ExecutionError(
+                    "on_result callbacks require shard_transport='inline' "
+                    "(process workers deliver results on read, not push)"
+                )
+            if self.started:
+                raise ExecutionError(
+                    "registering queries mid-stream requires "
+                    "shard_transport='inline'"
+                )
+            self._queries[name] = (plan, options)
+            self._update_slide(plan)
+            return
+        live = self.started
+        for shard in self._shards:
+            shard.compile_query(name, plan, options)
+        self._queries[name] = (plan, options)
+        self._emitters = None  # topology changed
+        self._update_slide(plan)
+        if on_result is not None:
+            self._callbacks[name] = on_result
+            for shard in self._shards:
+                shard.sinks[name].set_callback(on_result)
+        if live:
+            self._splice_live(name)
+
+    def _update_slide(self, plan: Plan) -> None:
+        slide = plan_slide(plan)
+        # The gcd, not the min — see Executor/_watermark_slide: the
+        # boundary grid must hit every plan's slide multiples, and a
+        # mid-stream gcd switch keeps the current boundary on the grid.
+        self._slide = slide if self._slide is None else math.gcd(self._slide, slide)
+
+    def _splice_live(self, name: str) -> None:
+        """Mid-stream registration: align watermarks and backfill from
+        the richest handle sharing the same compiled root (the same
+        semantics as the unsharded session, applied per shard)."""
+        assert self._boundary is not None
+        for shard in self._shards:
+            shard.graph.push_watermark(self._boundary)
+            shard.graph.sync_watermarks()
+        shard0 = self._shards[0]
+        root = shard0.roots.get(name)
+        donor: str | None = None
+        donor_events = -1
+        for other, other_root in shard0.roots.items():
+            if other != name and other_root is root and root is not None:
+                size = sum(
+                    len(s.sinks[other].events) for s in self._shards
+                )
+                if size > donor_events:
+                    donor = other
+                    donor_events = size
+        if donor is not None:
+            for shard in self._shards:
+                sink = shard.sinks[name]
+                for event in list(shard.sinks[donor].events):
+                    sink.on_event(0, event)
+
+    def unregister(self, name: str) -> None:
+        if name not in self._queries:
+            return
+        if self.transport == "process":
+            if self.started:
+                raise ExecutionError(
+                    "unregistering queries mid-stream requires "
+                    "shard_transport='inline'"
+                )
+            del self._queries[name]
+            return
+        del self._queries[name]
+        self._callbacks.pop(name, None)
+        self._emitters = None  # topology changes below
+        for shard in self._shards:
+            shard.drop_query(name)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def _require_queries(self) -> None:
+        if not self._queries:
+            raise ExecutionError("no queries registered")
+
+    def _advance(self, boundary: int) -> None:
+        """Advance every shard's watermark through each slide boundary,
+        one boundary at a time across all shards (lockstep)."""
+        slide = self._slide
+        if self._boundary is None:
+            self._boundary = boundary
+            self._step_watermark(boundary)
+            return
+        while self._boundary < boundary:
+            self._boundary += slide
+            self._step_watermark(self._boundary)
+
+    def _step_watermark(self, t: int) -> None:
+        if self.transport == "inline":
+            shards = self._shards
+            # Pre-advance the emitting PATH operators, operator-major
+            # across shards: the negative-tuple operator's rederivation
+            # emissions must reach every shard's downstream state
+            # *before any shard purges at this boundary*, matching the
+            # serial cascade (where an on_advance emission always
+            # precedes its downstream consumers' purges).  on_advance is
+            # idempotent per instant, so the main watermark pass below
+            # re-visiting these operators is a no-op.
+            emitters = self._emitters
+            if emitters is None:
+                emitters = self._emitters = [
+                    index
+                    for index, op in enumerate(shards[0].graph.operators)
+                    if isinstance(op, NegativeTupleRpqOp)
+                ]
+            for index in emitters:
+                for shard in shards:
+                    shard.graph.operators[index].on_advance(t)
+            for shard in shards:
+                shard.graph.push_watermark(t)
+        # process workers advance inside their apply/advance handlers
+
+    def _on_late(self, edge: SGE, boundary: int) -> bool:
+        policy = self.config.late_policy
+        if policy == "raise":
+            raise StreamOrderError(
+                f"edge at t={edge.t} arrived behind the slide boundary "
+                f"{boundary}"
+            )
+        self.late_count += 1
+        return False
+
+    def push(self, edge: SGE) -> None:
+        self._require_queries()
+        slide = self._slide
+        boundary = edge.t // slide * slide
+        if (
+            self._boundary is not None
+            and boundary < self._boundary
+            and self.config.late_policy != "allow"
+            and not self._on_late(edge, self._boundary)
+        ):
+            return
+        if self.transport == "process":
+            self._apply_process(max(boundary, self._boundary or boundary), [edge])
+            return
+        self._advance(boundary)
+        intern = self.interner.intern
+        src, dst = intern(edge.src), intern(edge.trg)
+        for shard in self._shards:
+            _push_edge(shard, edge.label, src, dst, edge.t)
+
+    def delete(self, edge: SGE) -> None:
+        """Explicit deletion: the negative tuple reaches every shard
+        (adjacencies are replicated; joins route it like an insert)."""
+        self._require_queries()
+        intern = self.interner.intern
+        sgt = SGT(
+            intern(edge.src),
+            intern(edge.trg),
+            edge.label,
+            Interval(edge.t, edge.t + 1),
+        )
+        if self.transport == "process":
+            self._ensure_workers()
+            for worker in self._workers:
+                worker[0].send(("delete", sgt, edge.label))
+            self._drain([self._recv_outbox(w) for w in self._workers])
+            return
+        for shard in self._shards:
+            shard.graph.push(edge.label, Event(sgt, DELETE))
+
+    def advance_to(self, t: int) -> None:
+        self._require_queries()
+        slide = self._slide
+        boundary = t // slide * slide
+        if self.transport == "process":
+            self._ensure_workers()
+            current = self._boundary
+            self._advance_boundary_only(boundary)
+            if self._boundary != current:
+                for worker in self._workers:
+                    worker[0].send(("advance", self._boundary))
+                self._drain([self._recv_outbox(w) for w in self._workers])
+            return
+        self._advance(boundary)
+
+    def _advance_boundary_only(self, boundary: int) -> None:
+        if self._boundary is None:
+            self._boundary = boundary
+        elif boundary > self._boundary:
+            slide = self._slide
+            steps = (boundary - self._boundary) // slide
+            self._boundary += steps * slide
+
+    def push_many(self, stream: Iterable[SGE]) -> RunStats:
+        self._require_queries()
+        apply = (
+            self._apply_inline
+            if self.transport == "inline"
+            else self._apply_process
+        )
+        scheduler = BatchScheduler(
+            self._slide,
+            self.config.batch_size,
+            on_late=None if self.config.late_policy == "allow" else self._on_late,
+        )
+        return scheduler.run(stream, apply)
+
+    def _apply_inline(self, boundary: int, edges: list[SGE]) -> None:
+        """Inline transport: every shard ingests every edge, one edge at
+        a time across all shards — with synchronous exchange this makes
+        the global execution order exactly the serial engine's."""
+        self._advance(boundary)
+        intern = self.interner.intern
+        shards = self._shards
+        for e in edges:
+            src = intern(e.src)
+            dst = intern(e.trg)
+            label = e.label
+            t = e.t
+            for shard in shards:
+                source = shard.graph.sources.get(label)
+                if source is not None:
+                    source.push_scalar(src, dst, t)
+
+    # ------------------------------------------------------------------
+    # Process transport
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        self._check_usable()
+        if self._workers is not None:
+            return
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context()
+        queries = [
+            (name, plan, options)
+            for name, (plan, options) in self._queries.items()
+        ]
+        self._workers = []
+        for shard_id in range(self.num_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    shard_id,
+                    self.num_shards,
+                    queries,
+                    self._slide,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((parent_conn, process))
+
+    def _fail(self, reason: str) -> "ExecutionError":
+        """Tear the worker pool down after a protocol/worker failure.
+
+        A worker that raised has left its command loop (and its siblings
+        are out of protocol sync mid-round), so the pool is unusable:
+        terminate everything and poison subsequent calls with a clear
+        ExecutionError instead of raw BrokenPipeError/EOFError surprises.
+        """
+        workers, self._workers = self._workers, None
+        self._failed = reason
+        for conn, process in workers or ():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            process.terminate()
+            process.join(timeout=5)
+        return ExecutionError(
+            f"shard worker failed: {reason}; the worker pool has been "
+            "shut down — create a fresh engine"
+        )
+
+    def _recv_outbox(self, worker) -> list[OutboxMessage]:
+        try:
+            kind, payload = worker[0].recv()
+        except (EOFError, OSError) as exc:  # worker died mid-protocol
+            raise self._fail(repr(exc)) from exc
+        if kind == "error":
+            raise self._fail(str(payload))
+        return payload
+
+    def _request(self, worker, message: tuple):
+        try:
+            worker[0].send(message)
+            kind, payload = worker[0].recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise self._fail(repr(exc)) from exc
+        if kind == "error":
+            raise self._fail(str(payload))
+        return payload
+
+    def _drain(self, outboxes: list[list[OutboxMessage]]) -> None:
+        """Route cross-shard deltas between workers until quiescent.
+
+        Deliveries are grouped per destination and sent in shard order,
+        messages in (origin, arrival) order — deterministic for a given
+        shard count.  Each round's deliveries may cascade into further
+        sends (a routed binding joins, its result broadcasts, …); the
+        dataflow is a DAG, so the rounds terminate.
+        """
+        workers = self._workers
+        pending: dict[int, list[tuple[int, tuple]]] = {}
+        for outbox in outboxes:
+            for dest, uid, payload in outbox:
+                pending.setdefault(dest, []).append((uid, payload))
+        while pending:
+            round_pending = pending
+            pending = {}
+            dests = sorted(round_pending)
+            for dest in dests:
+                workers[dest][0].send(("exchange", round_pending[dest]))
+            for dest in dests:
+                for to, uid, payload in self._recv_outbox(workers[dest]):
+                    pending.setdefault(to, []).append((uid, payload))
+
+    def _apply_process(self, boundary: int, edges: list[SGE]) -> None:
+        """Process transport: intern the slide once, ship columnar runs
+        to every worker, then drain the exchange rounds."""
+        self._ensure_workers()
+        self._advance_boundary_only(boundary)
+        intern = self.interner.intern
+        runs: list[tuple[str, list[int], list[int], list[int]]] = []
+        i = 0
+        n = len(edges)
+        while i < n:
+            label = edges[i].label
+            j = i + 1
+            while j < n and edges[j].label == label:
+                j += 1
+            run = edges[i:j]
+            runs.append(
+                (
+                    label,
+                    [intern(e.src) for e in run],
+                    [intern(e.trg) for e in run],
+                    [e.t for e in run],
+                )
+            )
+            i = j
+        message = ("apply", boundary, runs)
+        for worker in self._workers:
+            worker[0].send(message)
+        self._drain([self._recv_outbox(w) for w in self._workers])
+
+    # ------------------------------------------------------------------
+    # Read surfaces (merged across shards)
+    # ------------------------------------------------------------------
+    def sink_refs(self, name: str) -> "list[SinkOp] | None":
+        """The query's per-shard sinks (inline transport).
+
+        Handles hold these directly, so a detached handle stays readable
+        after ``unregister`` prunes the sinks from the shard graphs —
+        the same retention the unsharded engine's handles have.  Process
+        transport returns ``None`` (sinks live in the workers).
+        """
+        if self.transport != "inline":
+            return None
+        return [
+            shard.sinks[name]
+            for shard in self._shards
+            if name in shard.sinks
+        ]
+
+    def events(self, name: str) -> list[Event]:
+        """Every result event of a query, concatenated across shards.
+
+        Each event lives on exactly one shard (partitioned outputs are
+        emitted once; replicated outputs pass a partition filter before
+        the sink), so the concatenation is the serial engine's event
+        multiset — per-shard order preserved, shard order arbitrary.
+        The set/cover read surfaces built on top are insensitive to the
+        cross-shard interleaving.
+        """
+        if self.transport == "inline":
+            out: list[Event] = []
+            for shard in self._shards:
+                sink = shard.sinks.get(name)
+                if sink is not None:
+                    out.extend(sink.events)
+            return out
+        self._check_usable()
+        if self._workers is None:
+            return []
+        out = []
+        for worker in self._workers:
+            out.extend(self._request(worker, ("read", name)))
+        return out
+
+    def _check_usable(self) -> None:
+        if self._failed is not None:
+            raise ExecutionError(
+                f"shard workers failed earlier ({self._failed}); "
+                "create a fresh engine"
+            )
+        if self._closed:
+            raise ExecutionError(
+                "the engine has been closed (shard workers stopped); "
+                "read results before close()"
+            )
+
+    def event_counts(self, name: str) -> tuple[int, int]:
+        """(insert events, total events) across shards — counted inside
+        the workers under the process transport, so reading a count does
+        not ship every result event over the pipes."""
+        if self.transport == "inline":
+            inserts = total = 0
+            for shard in self._shards:
+                sink = shard.sinks.get(name)
+                if sink is not None:
+                    inserts += sink.insert_count
+                    total += len(sink.events)
+            return inserts, total
+        self._check_usable()
+        if self._workers is None:
+            return 0, 0
+        inserts = total = 0
+        for worker in self._workers:
+            i, n = self._request(worker, ("count", name))
+            inserts += i
+            total += n
+        return inserts, total
+
+    def worker_busy_seconds(self) -> list[float]:
+        """Per-shard processing seconds (process transport): time each
+        worker spent applying deltas and draining exchanges, excluding
+        blocking on the parent.  ``total_edges / max(busy)`` is the
+        aggregate throughput an adequately-cored machine approaches —
+        the scaling metric the benchmark records, since single-core CI
+        serializes the workers and wall-clock shows only overhead.
+        """
+        if self.transport != "process" or self._workers is None:
+            raise ExecutionError(
+                "worker_busy_seconds requires shard_transport='process' "
+                "with a started stream"
+            )
+        return [self._request(w, ("busy",)) for w in self._workers]
+
+    def clear_results(self, name: str) -> None:
+        if self.transport == "inline":
+            for shard in self._shards:
+                sink = shard.sinks.get(name)
+                if sink is not None:
+                    sink.clear()
+            return
+        if self._workers is not None:
+            for worker in self._workers:
+                self._request(worker, ("clear", name))
+
+    def shutdown(self) -> None:
+        if self.transport == "process":
+            self._closed = True
+        if self._workers is not None:
+            for conn, process in self._workers:
+                try:
+                    conn.send(("stop",))
+                    conn.close()
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+                process.join(timeout=5)
+            self._workers = None
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn, shard_id, num_shards, queries, slide):
+    """One shard worker: compile, then serve the parent's command loop.
+
+    Compilation happens inside the worker from the (picklable, already
+    interned) logical plans — operator graphs never cross the process
+    boundary.  Exchange endpoints get the same uids as every other
+    shard because compilation is deterministic.
+    """
+    import time
+
+    try:
+        shard = _Shard(shard_id, num_shards)
+        outbox: list[OutboxMessage] = []
+        shard.ctx.set_transport(
+            lambda dest, uid, payload: outbox.append((dest, uid, payload))
+        )
+        for name, plan, options in queries:
+            shard.compile_query(name, plan, options)
+        boundary: int | None = None
+        #: CPU seconds spent processing — process_time excludes both
+        #: blocking on the parent and preemption by sibling workers, so
+        #: it measures this shard's work division even when a
+        #: single-core machine time-slices the workers (the scaling
+        #: metric the benchmark reports)
+        busy = 0.0
+
+        def advance(target: int) -> None:
+            nonlocal boundary
+            if boundary is None:
+                boundary = target
+                shard.graph.push_watermark(target)
+                return
+            while boundary < target:
+                boundary += slide
+                shard.graph.push_watermark(boundary)
+
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "apply":
+                started = time.process_time()
+                _, target, runs = message
+                advance(target)
+                sources = shard.graph.sources
+                for label, src, dst, ts in runs:
+                    source = sources.get(label)
+                    if source is not None:
+                        source.push_columns(target, src, dst, ts)
+                busy += time.process_time() - started
+                conn.send(("outbox", outbox[:]))
+                outbox.clear()
+            elif command == "exchange":
+                started = time.process_time()
+                endpoints = shard.ctx.endpoints
+                for uid, payload in message[1]:
+                    endpoints[uid].receive_exchange(payload)
+                busy += time.process_time() - started
+                conn.send(("outbox", outbox[:]))
+                outbox.clear()
+            elif command == "advance":
+                started = time.process_time()
+                advance(message[1])
+                busy += time.process_time() - started
+                conn.send(("outbox", outbox[:]))
+                outbox.clear()
+            elif command == "delete":
+                started = time.process_time()
+                _, sgt, label = message
+                shard.graph.push(label, Event(sgt, DELETE))
+                busy += time.process_time() - started
+                conn.send(("outbox", outbox[:]))
+                outbox.clear()
+            elif command == "read":
+                sink = shard.sinks.get(message[1])
+                conn.send(("ok", list(sink.events) if sink is not None else []))
+            elif command == "count":
+                sink = shard.sinks.get(message[1])
+                counts = (
+                    (sink.insert_count, len(sink.events))
+                    if sink is not None
+                    else (0, 0)
+                )
+                conn.send(("ok", counts))
+            elif command == "clear":
+                sink = shard.sinks.get(message[1])
+                if sink is not None:
+                    sink.clear()
+                conn.send(("ok", None))
+            elif command == "state":
+                conn.send(("ok", shard.graph.state_size()))
+            elif command == "busy":
+                conn.send(("ok", busy))
+            elif command == "stop":
+                break
+            else:  # pragma: no cover - protocol error
+                conn.send(("error", f"unknown command {command!r}"))
+    except EOFError:  # pragma: no cover - parent died
+        pass
+    except Exception as exc:  # pragma: no cover - crash surface
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Merged read-surface helpers (used by the session's sharded handle)
+# ----------------------------------------------------------------------
+def merged_coverage(events: list[Event], interner) -> dict:
+    """Net validity cover per result key over a merged event stream
+    (the sharded equivalent of :meth:`SinkOp.coverage` — one shared
+    fold, see :func:`~repro.dataflow.graph.events_coverage`)."""
+    return events_coverage(
+        events, interner.decode_key if interner is not None else None
+    )

@@ -78,3 +78,42 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised when the dataflow executor encounters an inconsistent state."""
+
+
+class HorizonError(ExecutionError):
+    """Raised by ``valid_at(t)`` for instants the engine cannot answer
+    exactly yet.
+
+    ``t`` lies *ahead of the last performed window movement* but *before
+    the expiry horizon* (the instant by which everything ingested so far
+    has expired): answering would require window movements that have not
+    been performed.  Call ``engine.advance_to(t)`` first.  Instants at or
+    past the horizon are answered exactly (the empty set) on every
+    backend; instants at or behind the last performed movement are
+    answered exactly from retained state/history.
+
+    Subclasses :class:`ExecutionError`, so existing ``except
+    ExecutionError`` call sites keep working.
+    """
+
+
+class DecodeError(ReproError, KeyError):
+    """Raised when decoding a dense vertex id that was never interned.
+
+    Interned ids are engine-private: an id minted by one engine instance
+    means nothing to another.  Every Interner read surface
+    (``engine.decode``, result decoding) raises this — carrying the
+    offending id — instead of returning an arbitrary value or an
+    ``IndexError``.  Subclasses :class:`KeyError` because the Interner is
+    a (bijective) mapping and callers may reasonably catch that.
+    """
+
+    def __init__(self, ident: object):
+        self.ident = ident
+        super().__init__(
+            f"id {ident!r} was never interned by this engine "
+            "(decode only accepts ids minted by the same engine instance)"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]

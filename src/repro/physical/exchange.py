@@ -1,0 +1,154 @@
+"""Shard exchange operators: the shuffle edges of sharded execution.
+
+The sharded compiler (:func:`repro.physical.planner.compile_into` with a
+shard spec) splices these operators onto specific producer→consumer edges
+to re-partition derived streams between operators, exactly where a
+distributed dataflow would place a shuffle:
+
+* :class:`ShardBroadcastOp` — replicates a *partitioned* stream (each
+  delta lives on exactly one shard) so that every shard observes the
+  full stream.  Used in front of PATH operators, whose windowed
+  adjacency must hold the whole snapshot graph.
+* :class:`ShardRouteOp` — re-partitions a stream by its **result key**
+  ``(src, trg)``.  Used in front of the coalescing stage when its input
+  is partitioned by something else (a join key): coalescing is keyed
+  per result, so exactly one shard must own each key for duplicate
+  suppression to match serial execution bit for bit.
+* :class:`ShardPartitionFilterOp` — turns a *replicated* stream into a
+  partitioned one by keeping only the deltas whose ``src`` this shard
+  owns.  Used in front of sinks (so merged per-shard results are the
+  serial multiset, not N copies) and to align mixed UNION inputs.
+
+Exchange payloads are flat scalar tuples ``(src, trg, ts, exp, sign)``
+of interned ids — the columnar delta representation is what makes them
+cheap to ship across process boundaries.  Payload-carrying tuples never
+cross shards: materialized paths stay on the shard that derived them
+(path outputs are consumed via sinks or via join leaves, which drop
+payloads anyway).
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import DeltaBatch
+from repro.core.intervals import Interval
+from repro.core.partition import ShardContext, vertex_owner
+from repro.core.tuples import SGT, Label
+from repro.dataflow.graph import INSERT, Event, PhysicalOperator
+
+
+class _ExchangeOp(PhysicalOperator):
+    """Common machinery: label-typed reconstruction of remote deltas."""
+
+    def __init__(self, name: str, ctx: ShardContext, uid: int, label: Label):
+        super().__init__(name)
+        self.ctx = ctx
+        self.uid = uid
+        self.label = label
+        ctx.register(uid, self)
+
+    def receive_exchange(self, payload: tuple) -> None:
+        """Deliver one remote delta into this shard's local stream."""
+        src, trg, ts, exp, sign = payload
+        self.emit_sgt(SGT(src, trg, self.label, Interval(ts, exp)), sign)
+
+
+class ShardBroadcastOp(_ExchangeOp):
+    """Replicates a partitioned stream to every shard.
+
+    Local subscribers receive each delta directly; every peer shard
+    receives a scalar copy through the exchange and forwards it to *its*
+    local subscribers (remote deliveries are not re-broadcast).
+    """
+
+    def __init__(self, ctx: ShardContext, uid: int, label: Label):
+        super().__init__(f"shard-bcast[{label}]", ctx, uid, label)
+
+    def on_event(self, port: int, event: Event) -> None:
+        sgt = event.sgt
+        self.ctx.broadcast(
+            self.uid, (sgt.src, sgt.trg, sgt.interval.ts, sgt.interval.exp, event.sign)
+        )
+        self.emit(event)
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        broadcast = self.ctx.broadcast
+        uid = self.uid
+        cols = batch.columns
+        if cols is not None and batch.signs is None:
+            src, dst, ts, exp = cols.src, cols.dst, cols.ts, cols.exp
+            for i in range(len(src)):
+                broadcast(uid, (src[i], dst[i], ts[i], exp[i], INSERT))
+        else:
+            for sgt, sign in batch.events():
+                broadcast(
+                    uid, (sgt.src, sgt.trg, sgt.interval.ts, sgt.interval.exp, sign)
+                )
+        self.emit_batch(batch)
+
+
+class ShardRouteOp(_ExchangeOp):
+    """Re-partitions a stream by result key ``(src, trg)``.
+
+    A delta whose key this shard owns flows straight through; any other
+    delta is shipped to its owner (and suppressed locally), so each
+    result key is seen by exactly one shard's downstream consumer.
+    """
+
+    def __init__(self, ctx: ShardContext, uid: int, label: Label):
+        super().__init__(f"shard-route[{label}]", ctx, uid, label)
+
+    def _route(self, src, trg, ts: int, exp: int, sign: int) -> bool:
+        """True when the delta is local; False after shipping it."""
+        ctx = self.ctx
+        dest = ctx.owner_of_key((src, trg))
+        if dest == ctx.shard_id:
+            return True
+        ctx.send(dest, self.uid, (src, trg, ts, exp, sign))
+        return False
+
+    def on_event(self, port: int, event: Event) -> None:
+        sgt = event.sgt
+        if self._route(
+            sgt.src, sgt.trg, sgt.interval.ts, sgt.interval.exp, event.sign
+        ):
+            self.emit(event)
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        self._begin_batch()
+        try:
+            for sgt, sign in batch.events():
+                if self._route(
+                    sgt.src, sgt.trg, sgt.interval.ts, sgt.interval.exp, sign
+                ):
+                    self.emit_sgt(sgt, sign)
+        finally:
+            self._end_batch(batch.boundary)
+
+
+class ShardPartitionFilterOp(PhysicalOperator):
+    """Keeps the deltas of a replicated stream that this shard owns.
+
+    Ownership is by ``src`` (the same key PATH root-partitioning uses),
+    so across all shards each delta of the replicated stream survives on
+    exactly one — no exchange traffic, just a local drop.
+    """
+
+    def __init__(self, ctx: ShardContext, label: Label):
+        super().__init__(f"shard-filter[{label}]")
+        self.ctx = ctx
+        self.label = label
+
+    def on_event(self, port: int, event: Event) -> None:
+        if self.ctx.owns_vertex(event.sgt.src):
+            self.emit(event)
+
+    def on_batch(self, port: int, batch: DeltaBatch) -> None:
+        shard_id = self.ctx.shard_id
+        num = self.ctx.num_shards
+        self._begin_batch()
+        try:
+            for sgt, sign in batch.events():
+                if vertex_owner(sgt.src, num) == shard_id:
+                    self.emit_sgt(sgt, sign)
+        finally:
+            self._end_batch(batch.boundary)

@@ -262,6 +262,9 @@ class _JoinNode(_Node):
         self._tables = (_HashTable(), _HashTable())
         self.parent = None
         self.parent_side = 0
+        #: sharded execution: (ctx, exchange_uid, join_index, drop_left,
+        #: drop_right) — None when the operator runs unsharded
+        self._shard: tuple | None = None
 
     def on_binding(
         self, side: int, values: Values, interval: Interval, sign: int
@@ -282,6 +285,25 @@ class _JoinNode(_Node):
                 else tuple(values[i] for i in self._right_key)
             )
             other, own = self._tables
+        shard = self._shard
+        if shard is not None:
+            # Sharded execution: this join's state is hash-partitioned by
+            # its key.  A binding the local shard does not own is either
+            # dropped (leaf input over a *replicated* stream — the owner
+            # shard observes its own copy) or exchanged to the owner
+            # (join output / leaf over a partitioned stream — this shard
+            # holds the only copy).
+            ctx, uid, index, drop_left, drop_right = shard
+            dest = ctx.owner_of_key(key)
+            if dest != ctx.shard_id:
+                if drop_left if side == 0 else drop_right:
+                    return
+                ctx.send(
+                    dest,
+                    uid,
+                    (index, side, values, interval.ts, interval.exp, sign),
+                )
+                return
         if sign == INSERT:
             own.insert(key, values, interval)
         else:
@@ -351,6 +373,40 @@ class PatternOp(PhysicalOperator):
         self._root = root
         root.parent = _ResultAdapter(self, root.schema, src_var, trg_var, out_label)  # type: ignore[assignment]
         root.parent_side = 0
+
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+    def configure_shard(
+        self, ctx, uid: int, port_replicated: list[bool]
+    ) -> None:
+        """Partition the internal join tree across shards.
+
+        Every internal symmetric hash join stores and probes a binding
+        only on the shard owning the binding's join key.  How a
+        non-owned binding is handled depends on where it came from:
+
+        * a *leaf* over a **replicated** input stream (``port_replicated
+          [i]`` true): dropped — the owner shard sees its own copy;
+        * a *leaf* over a **partitioned** stream, or an inner join's
+          output (which exists on exactly one shard): exchanged to the
+          owner via the shard context.
+
+        ``uid`` registers this operator as the exchange endpoint; the
+        compiler assigns the same uid on every shard.
+        """
+        if not self._joins:
+            return  # single conjunct: no keys to partition
+        ctx.register(uid, self)
+        for index, join in enumerate(self._joins):
+            drop_left = port_replicated[0] if index == 0 else False
+            drop_right = port_replicated[index + 1]
+            join._shard = (ctx, uid, index, drop_left, drop_right)
+
+    def receive_exchange(self, payload: tuple) -> None:
+        """Deliver one exchanged binding into the owning join node."""
+        index, side, values, ts, exp, sign = payload
+        self._joins[index].on_binding(side, values, Interval(ts, exp), sign)
 
     def on_event(self, port: int, event: Event) -> None:
         try:

@@ -17,6 +17,11 @@ from repro.algebra.operators import Filter, Path, Pattern, Plan, Relabel, Union,
 from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
 from repro.errors import PlanError
 from repro.physical.coalesce_op import CoalesceOp
+from repro.physical.exchange import (
+    ShardBroadcastOp,
+    ShardPartitionFilterOp,
+    ShardRouteOp,
+)
 from repro.physical.filter import FilterOp
 from repro.physical.join import PatternOp
 from repro.physical.rpq_negative import NegativeTupleRpqOp
@@ -26,6 +31,28 @@ from repro.physical.wscan import WScanOp
 
 #: Available physical PATH implementations (Table 3 swaps these).
 PATH_IMPLS = ("spath", "negative")
+
+
+class ShardSpec:
+    """Compilation-time shard parameters (sharded execution only).
+
+    Carries the shard's routing :class:`~repro.core.partition.ShardContext`
+    plus a deterministic uid allocator for exchange endpoints.
+    Compilation is deterministic, so compiling the same plan sequence on
+    every shard — each with a ``ShardSpec`` starting from the same
+    ``next_uid`` — assigns identical uids to corresponding operators,
+    which is what lets shard ``i`` route a delta to "endpoint ``k`` on
+    shard ``j``" without any name exchange.
+    """
+
+    def __init__(self, ctx, next_uid: int = 0):
+        self.ctx = ctx
+        self.next_uid = next_uid
+
+    def allocate(self) -> int:
+        uid = self.next_uid
+        self.next_uid += 1
+        return uid
 
 
 @dataclass
@@ -65,6 +92,7 @@ def compile_into(
     path_impl: str = "spath",
     materialize_paths: bool = True,
     coalesce_intermediate: bool = True,
+    shard: ShardSpec | None = None,
 ) -> SinkOp:
     """Compile a plan into an existing dataflow, sharing cached sub-plans.
 
@@ -73,16 +101,29 @@ def compile_into(
     sub-expression — the multi-query sharing of
     :class:`repro.engine.multi.MultiQueryProcessor`.  Returns the
     query's private sink.
+
+    With a :class:`ShardSpec`, the compiled dataflow is one shard of a
+    partition-parallel deployment: PATH forests are partitioned by root,
+    PATTERN joins by join key, and exchange operators are spliced onto
+    the edges where derived streams must be re-partitioned or
+    replicated (see :mod:`repro.physical.exchange`).  A replicated
+    stream feeding the sink is filtered to this shard's partition, so
+    merging all shards' sinks yields exactly the serial result multiset.
     """
     if path_impl not in PATH_IMPLS:
         raise PlanError(
             f"unknown PATH implementation {path_impl!r}; expected one of {PATH_IMPLS}"
         )
     plan = fuse_relabels(plan)
-    options = _Options(path_impl, materialize_paths, coalesce_intermediate)
+    options = _Options(path_impl, materialize_paths, coalesce_intermediate, shard)
     root = _build(plan, graph, cache, options)
     sink = SinkOp()
     graph.add(sink)
+    if shard is not None and not _stream_partitioned(plan):
+        filt = ShardPartitionFilterOp(shard.ctx, plan.out_label)
+        graph.add(filt)
+        graph.connect(root, filt, 0)
+        root = filt
     graph.connect(root, sink, 0)
     return sink
 
@@ -175,6 +216,8 @@ def _stateful_input(
     child_op: PhysicalOperator,
     graph: DataflowGraph,
     cache: dict[Plan, PhysicalOperator],
+    options: "_Options",
+    rep: bool = False,
 ) -> PhysicalOperator:
     """Interpose the Section 5.1 set-semantics coalescing stage.
 
@@ -184,14 +227,38 @@ def _stateful_input(
     probe work, so a coalescing stage is inserted exactly on
     stateful→stateful edges.  Stateless consumers and the sink see the
     raw stream (coalescing there would be pure overhead).
+
+    Sharded: coalescing is keyed per result, so a *partitioned* input
+    stream (whose duplicates for one result key may live on several
+    shards) is first re-partitioned by result key through a
+    :class:`~repro.physical.exchange.ShardRouteOp` — each shard's
+    coalescer then sees exactly the serial duplicate stream for the keys
+    it owns.  A replicated input (``rep`` chains, i.e. PATH ports) feeds
+    a coalescer replicated on every shard instead.
     """
     producer = _strip_relabels(child_plan)
     if not isinstance(producer, (Pattern, Path)):
         return child_op
-    key = ("coalesce", child_plan)
+    shard = options.shard
+    key = (
+        ("coalesce", child_plan)
+        if shard is None
+        else ("coalesce", child_plan, rep)
+    )
     cached = cache.get(key)  # type: ignore[arg-type]
     if cached is not None:
         return cached
+    if shard is not None and not rep and _stream_partitioned(child_plan):
+        route_key = ("route", child_plan)
+        route = cache.get(route_key)  # type: ignore[arg-type]
+        if route is None:
+            route = ShardRouteOp(
+                shard.ctx, shard.allocate(), child_plan.out_label
+            )
+            graph.add(route)
+            graph.connect(child_op, route, 0)
+            cache[route_key] = route  # type: ignore[index]
+        child_op = route
     stage = CoalesceOp(child_plan.out_label)
     graph.add(stage)
     graph.connect(child_op, stage, 0)
@@ -210,6 +277,51 @@ class _Options:
     path_impl: str
     materialize_paths: bool
     coalesce_intermediate: bool
+    shard: ShardSpec | None = None
+
+
+def _stream_partitioned(plan: Plan) -> bool:
+    """Whether a (non-``rep``) compiled plan's output stream is
+    *partitioned* across shards — each delta produced on exactly one
+    shard — as opposed to *replicated* (full stream on every shard).
+
+    WSCAN streams are replicated (every shard windows every input
+    edge); a PATH partitions by tree root, a multi-conjunct PATTERN by
+    its final join key; stateless operators inherit (mixed UNIONs are
+    aligned to partitioned by the compiler).
+    """
+    if isinstance(plan, WScan):
+        return False
+    if isinstance(plan, (Filter, Relabel)):
+        return _stream_partitioned(plan.child)
+    if isinstance(plan, Union):
+        return _stream_partitioned(plan.left) or _stream_partitioned(plan.right)
+    if isinstance(plan, Pattern):
+        if len(plan.inputs) == 1:
+            return _stream_partitioned(plan.inputs[0].plan)
+        return True
+    if isinstance(plan, Path):
+        return True
+    raise PlanError(f"cannot compile plan node {plan!r}")
+
+
+def _shard_filter(
+    child_plan: Plan,
+    child_op: PhysicalOperator,
+    graph: DataflowGraph,
+    cache: dict,
+    shard: ShardSpec,
+) -> PhysicalOperator:
+    """Cached partition filter turning a replicated stream partitioned."""
+    key = ("pfilter", child_plan)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    filt = ShardPartitionFilterOp(shard.ctx, child_plan.out_label)
+    graph.add(filt)
+    graph.connect(child_op, filt, 0)
+    cache[key] = filt
+    return filt
 
 
 def _build(
@@ -217,10 +329,46 @@ def _build(
     graph: DataflowGraph,
     cache: dict[Plan, PhysicalOperator],
     options: "_Options",
+    rep: bool = False,
 ) -> PhysicalOperator:
-    cached = cache.get(plan)
+    """Compile one plan node (and, recursively, its inputs).
+
+    ``rep`` marks the *replication zone*: the subtree feeds a PATH
+    operator (directly or through stateless stages), whose windowed
+    adjacency needs the full stream on every shard.  Inside the zone,
+    PATH nodes compile unpartitioned (their rederivations then stay
+    shard-local, preserving serial emission order) and partitioned
+    PATTERN outputs are broadcast.  PATTERN inputs reset the zone: joins
+    are order-insensitive at the net level, so partitioned streams feed
+    them via key exchange instead of replication.  Unsharded compilation
+    ignores the flag entirely.
+    """
+    shard = options.shard
+    if shard is None:
+        key: object = plan
+        rep = False
+    elif isinstance(plan, WScan):
+        key = plan  # replicated either way: one instance serves both zones
+    else:
+        key = (plan, rep)
+    cached = cache.get(key)
     if cached is not None:
         return cached
+
+    if shard is not None and rep and isinstance(plan, Pattern):
+        if _stream_partitioned(plan):
+            # A partitioned producer inside the replication zone: build
+            # the bare operator (shared with non-zone consumers), then
+            # replicate its output through a broadcast exchange.
+            bare = _build(plan, graph, cache, options, rep=False)
+            op = ShardBroadcastOp(shard.ctx, shard.allocate(), plan.out_label)
+            graph.add(op)
+            graph.connect(bare, op, 0)
+            cache[key] = op
+            return op
+        op = _build(plan, graph, cache, options, rep=False)
+        cache[key] = op
+        return op
 
     if isinstance(plan, WScan):
         source = graph.add_source(plan.label)
@@ -228,19 +376,29 @@ def _build(
         graph.add(op)
         graph.connect(source, op, 0)
     elif isinstance(plan, Filter):
-        child = _build(plan.child, graph, cache, options)
+        child = _build(plan.child, graph, cache, options, rep)
         op = FilterOp(plan.predicate)
         graph.add(op)
         graph.connect(child, op, 0)
     elif isinstance(plan, Relabel):
-        child = _build(plan.child, graph, cache, options)
+        child = _build(plan.child, graph, cache, options, rep)
         # The degenerate single-input UNION: relabel, payloads preserved.
         op = UnionOp(plan.label)
         graph.add(op)
         graph.connect(child, op, 0)
     elif isinstance(plan, Union):
-        left = _build(plan.left, graph, cache, options)
-        right = _build(plan.right, graph, cache, options)
+        left = _build(plan.left, graph, cache, options, rep)
+        right = _build(plan.right, graph, cache, options, rep)
+        if shard is not None and not rep:
+            # Mixed input statuses would make the merged stream neither
+            # replicated nor partitioned; filter the replicated side to
+            # this shard's partition so the union is cleanly partitioned.
+            left_part = _stream_partitioned(plan.left)
+            right_part = _stream_partitioned(plan.right)
+            if left_part and not right_part:
+                right = _shard_filter(plan.right, right, graph, cache, shard)
+            elif right_part and not left_part:
+                left = _shard_filter(plan.left, left, graph, cache, shard)
         op = UnionOp(plan.label)
         graph.add(op)
         graph.connect(left, op, 0)
@@ -253,11 +411,17 @@ def _build(
             plan.label,
         )
         graph.add(op)
+        port_replicated: list[bool] = []
         for port, conjunct in enumerate(plan.inputs):
-            child = _build(conjunct.plan, graph, cache, options)
+            child = _build(conjunct.plan, graph, cache, options, rep=False)
             if options.coalesce_intermediate:
-                child = _stateful_input(conjunct.plan, child, graph, cache)
+                child = _stateful_input(
+                    conjunct.plan, child, graph, cache, options, rep=False
+                )
+            port_replicated.append(not _stream_partitioned(conjunct.plan))
             graph.connect(child, op, port)
+        if shard is not None:
+            op.configure_shard(shard.ctx, shard.allocate(), port_replicated)
     elif isinstance(plan, Path):
         labels = [label for label, _ in plan.inputs]
         if options.path_impl == "spath":
@@ -269,13 +433,17 @@ def _build(
                 labels, plan.regex, plan.label, options.materialize_paths
             )
         graph.add(op)
+        if shard is not None and not rep:
+            op.set_shard(shard.ctx)
         for port, (_, child_plan) in enumerate(plan.inputs):
-            child = _build(child_plan, graph, cache, options)
+            child = _build(child_plan, graph, cache, options, rep=True)
             if options.coalesce_intermediate:
-                child = _stateful_input(child_plan, child, graph, cache)
+                child = _stateful_input(
+                    child_plan, child, graph, cache, options, rep=True
+                )
             graph.connect(child, op, port)
     else:
         raise PlanError(f"cannot compile plan node {plan!r}")
 
-    cache[plan] = op
+    cache[key] = op
     return op

@@ -77,6 +77,14 @@ class NegativeTupleRpqOp(ColumnarPathIngest, PhysicalOperator):
         # window slides.
         self._node_expiry = TimingWheel()
         self._now = -1
+        #: sharded execution: when set, this operator maintains only the
+        #: spanning trees whose root vertex the shard owns (the adjacency
+        #: stays complete — traversals need the whole snapshot graph)
+        self.shard_ctx = None
+
+    def set_shard(self, ctx) -> None:
+        """Partition the Δ-tree forest by root vertex across shards."""
+        self.shard_ctx = ctx
 
     # ------------------------------------------------------------------
     # Event handling
@@ -141,9 +149,14 @@ class NegativeTupleRpqOp(ColumnarPathIngest, PhysicalOperator):
         start = self._start
         # Building the task list before expanding doubles as the
         # snapshot of the candidate trees (expansion mutates the index).
+        shard = self.shard_ctx
         tasks: list[tuple[object, int, int]] = []
         for s, t in transitions:
-            if s == start and u not in trees:
+            if (
+                s == start
+                and u not in trees
+                and (shard is None or shard.owns_vertex(u))
+            ):
                 index.ensure_tree(u)
             roots = inverted.get((u, s))
             if roots:

@@ -85,6 +85,14 @@ class SPathOp(ColumnarPathIngest, PhysicalOperator):
         # Expiry wheel over tree nodes; entries are (root_vertex, key).
         self._node_expiry = TimingWheel()
         self._now = -1
+        #: sharded execution: when set, this operator maintains only the
+        #: spanning trees whose root vertex the shard owns (the adjacency
+        #: stays complete — traversals need the whole snapshot graph)
+        self.shard_ctx = None
+
+    def set_shard(self, ctx) -> None:
+        """Partition the Δ-tree forest by root vertex across shards."""
+        self.shard_ctx = ctx
 
     # ------------------------------------------------------------------
     # Event handling
@@ -149,9 +157,14 @@ class SPathOp(ColumnarPathIngest, PhysicalOperator):
         start = self._start
         # Building the task list before linking doubles as the snapshot
         # of the candidate trees (linking mutates the index).
+        shard = self.shard_ctx
         tasks: list[tuple[object, int, int]] = []
         for s, t in transitions:
-            if s == start and u not in trees:
+            if (
+                s == start
+                and u not in trees
+                and (shard is None or shard.owns_vertex(u))
+            ):
                 index.ensure_tree(u)
             roots = inverted.get((u, s))
             if roots:

@@ -122,15 +122,22 @@ class TestReorderJoins:
         assert inner.inputs[0].plan.label == "rare"
 
     def test_runs_on_engine(self):
-        from repro.engine import StreamingGraphQueryProcessor
+        from repro.engine.session import StreamingGraphEngine
 
         sample = make_stream(9, 80, 6, ("common", "mid", "rare"), max_gap=1)
         original = self._triangle()
         reordered = reorder_joins(original, sample)
-        left = StreamingGraphQueryProcessor(original)
-        right = StreamingGraphQueryProcessor(reordered)
+        left_engine = StreamingGraphEngine()
+        right_engine = StreamingGraphEngine()
+        left = left_engine.register(original, name="q")
+        right = right_engine.register(reordered, name="q")
         for edge in sample:
-            left.push(edge)
-            right.push(edge)
+            left_engine.push(edge)
+            right_engine.push(edge)
+        # Perform the window movements up to the last probed instant:
+        # valid_at answers exactly at or behind the watermark and raises
+        # HorizonError for unperformed movements (same contract as dd).
+        left_engine.advance_to(99)
+        right_engine.advance_to(99)
         for t in range(0, 100, 9):
             assert left.valid_at(t) == right.valid_at(t), t

@@ -1,0 +1,72 @@
+"""Units for the hash-partitioning primitives and shard routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import ShardContext, key_owner, vertex_owner
+
+
+class TestOwnership:
+    def test_vertex_owner_dense_ints(self):
+        assert [vertex_owner(v, 4) for v in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_vertex_owner_covers_all_shards(self):
+        owners = {vertex_owner(v, 3) for v in range(100)}
+        assert owners == {0, 1, 2}
+
+    def test_single_component_key_matches_vertex_owner(self):
+        # Join ownership and vertex ownership agree when the key is one
+        # vertex — what keeps PATH root partitioning and single-variable
+        # join partitioning consistent.
+        for v in range(50):
+            assert key_owner((v,), 4) == vertex_owner(v, 4)
+
+    def test_wide_keys_are_deterministic_and_balanced(self):
+        owners = [key_owner((a, b), 4) for a in range(20) for b in range(20)]
+        assert set(owners) == {0, 1, 2, 3}
+        assert owners == [key_owner((a, b), 4) for a in range(20) for b in range(20)]
+
+    def test_non_int_vertices_route_by_hash(self):
+        assert 0 <= vertex_owner(("P", 42), 5) < 5
+
+
+class TestShardContext:
+    def test_shard_id_validated(self):
+        with pytest.raises(ValueError):
+            ShardContext(4, 4)
+        with pytest.raises(ValueError):
+            ShardContext(-1, 2)
+
+    def test_send_routes_to_registered_endpoint(self):
+        delivered = []
+
+        class Endpoint:
+            def receive_exchange(self, payload):
+                delivered.append(payload)
+
+        contexts = [ShardContext(i, 3) for i in range(3)]
+
+        def send(dest, uid, payload):
+            contexts[dest].endpoints[uid].receive_exchange(payload)
+
+        for ctx in contexts:
+            ctx.set_transport(send)
+        contexts[2].register(7, Endpoint())
+        contexts[0].send(2, 7, (1, 2, 3))
+        assert delivered == [(1, 2, 3)]
+
+    def test_broadcast_skips_self(self):
+        sent = []
+        ctx = ShardContext(1, 4)
+        ctx.set_transport(lambda dest, uid, payload: sent.append(dest))
+        ctx.broadcast(0, ())
+        assert sent == [0, 2, 3]
+
+    def test_unregister_endpoints_drops_pruned_operators(self):
+        ctx = ShardContext(0, 2)
+        a, b = object(), object()
+        ctx.register(1, a)
+        ctx.register(2, b)
+        ctx.unregister_endpoints({id(a)})
+        assert 1 not in ctx.endpoints and ctx.endpoints[2] is b

@@ -77,7 +77,7 @@ class TestReorder:
     def test_output_feeds_engine(self):
         """A shuffled stream, reordered, runs on the engine and matches
         the sorted-stream result."""
-        from repro.engine import StreamingGraphQueryProcessor
+        from repro.engine.session import StreamingGraphEngine
 
         rng = random.Random(3)
         edges = [SGE(rng.randrange(5), rng.randrange(5), "k", t)
@@ -94,16 +94,21 @@ class TestReorder:
         assert len(ordered) == len(edges)
         assert [x.t for x in ordered] == sorted(x.t for x in ordered)
 
-        left = StreamingGraphQueryProcessor.from_datalog(
-            "Answer(x,y) <- k+(x,y) as K.", SlidingWindow(20)
-        )
+        from repro.query.sgq import SGQ
+
+        query = SGQ.from_text("Answer(x,y) <- k+(x,y) as K.", SlidingWindow(20))
+        left_engine = StreamingGraphEngine()
+        left = left_engine.register(query, name="q")
         for edge in ordered:
-            left.push(edge)
-        right = StreamingGraphQueryProcessor.from_datalog(
-            "Answer(x,y) <- k+(x,y) as K.", SlidingWindow(20)
-        )
+            left_engine.push(edge)
+        right_engine = StreamingGraphEngine()
+        right = right_engine.register(query, name="q")
         for edge in sorted(edges, key=lambda x: x.t):
-            right.push(edge)
+            right_engine.push(edge)
+        # valid_at answers only performed window movements; probe up to
+        # the horizon after advancing both engines to the last instant.
+        left_engine.advance_to(79)
+        right_engine.advance_to(79)
         for t in range(0, 80, 5):
             assert left.valid_at(t) == right.valid_at(t)
 

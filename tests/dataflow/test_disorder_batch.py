@@ -20,7 +20,7 @@ from repro.core.windows import SlidingWindow
 from repro.dataflow.disorder import reorder
 from repro.dataflow.executor import Executor
 from repro.dataflow.graph import DataflowGraph, PhysicalOperator, SinkOp
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 from repro.errors import StreamOrderError
 
 WINDOW = SlidingWindow(size=40, slide=10)
@@ -133,12 +133,12 @@ class TestDisorderBufferComposition:
         ]
         shuffled = [in_order[i] for i in (1, 0, 3, 2, 4)]
 
-        reference = StreamingGraphQueryProcessor.from_datalog(query, window=window)
+        reference = SessionHarness.from_datalog(query, window=window)
         reference.run(in_order)
         expected = reference.coverage()
 
         for batch_size in (None, 1, 3):
-            processor = StreamingGraphQueryProcessor.from_datalog(
+            processor = SessionHarness.from_datalog(
                 query, window=window, batch_size=batch_size
             )
             processor.run(reorder(shuffled, lateness=10))

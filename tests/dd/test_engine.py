@@ -15,6 +15,12 @@ from repro.dd import DDEngine
 from repro.query.parser import parse_rq
 from tests.conftest import make_stream
 
+# This module deliberately exercises the deprecated facade shims; the
+# suite-wide filter that escalates those DeprecationWarnings to errors
+# (pyproject filterwarnings) is relaxed here.
+pytestmark = pytest.mark.filterwarnings("default::DeprecationWarning")
+
+
 PROGRAMS = {
     "tc": ("Answer(x,y) <- a+(x,y) as A.", ("a",)),
     "q2": (

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.tuples import SGE
 from repro.core.windows import SlidingWindow
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 
 QUERIES_UNDER_TEST = {
     "closure": "Answer(x, y) <- a+(x, y) as A.",
@@ -29,7 +29,7 @@ def scripted_run(seed: int, query: str, path_impl: str):
     """Interleave inserts and deletions; return (engine, survivors, τ)."""
     rng = random.Random(seed)
     window = SlidingWindow(25)
-    engine = StreamingGraphQueryProcessor.from_datalog(
+    engine = SessionHarness.from_datalog(
         query, window, path_impl=path_impl
     )
     live: list[SGE] = []
@@ -59,7 +59,7 @@ def test_deletions_match_rebuild(impl, query_name, seed):
     query = QUERIES_UNDER_TEST[query_name]
     engine, survivors, tau = scripted_run(seed, query, impl)
 
-    rebuilt = StreamingGraphQueryProcessor.from_datalog(
+    rebuilt = SessionHarness.from_datalog(
         query, SlidingWindow(25), path_impl=impl
     )
     for edge in survivors:

@@ -20,6 +20,12 @@ from repro.errors import StreamOrderError
 from repro.query.parser import parse_rq
 from repro.query.sgq import SGQ
 
+# This module deliberately exercises the deprecated facade shims; the
+# suite-wide filter that escalates those DeprecationWarnings to errors
+# (pyproject filterwarnings) is relaxed here.
+pytestmark = pytest.mark.filterwarnings("default::DeprecationWarning")
+
+
 W = SlidingWindow(20)
 REACH = "Answer(x, y) <- knows+(x, y) as K."
 

@@ -9,6 +9,12 @@ from repro.errors import ExecutionError, PlanError
 from repro.query.sgq import SGQ
 from tests.conftest import make_stream
 
+# This module deliberately exercises the deprecated facade shims; the
+# suite-wide filter that escalates those DeprecationWarnings to errors
+# (pyproject filterwarnings) is relaxed here.
+pytestmark = pytest.mark.filterwarnings("default::DeprecationWarning")
+
+
 W = SlidingWindow(20)
 
 REACH = "Answer(x, y) <- knows+(x, y) as K."
@@ -100,6 +106,7 @@ class TestCorrectness:
         multi.push(SGE(2, 3, "likes", 1))
         assert multi.valid_at("pairs", 1) == {(1, 3, "Answer")}
         multi.delete(SGE(1, 2, "knows", 0))
+        multi.advance_to(2)  # valid_at answers performed window movements
         assert multi.valid_at("reach", 2) == set()
         assert multi.valid_at("pairs", 2) == set()
 

@@ -8,7 +8,7 @@ implicitly.  ``clear_results()`` is the explicit drain-and-reset.
 
 from repro.core.tuples import SGE
 from repro.core.windows import SlidingWindow
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 
 QUERY = "Answer(x, y) <- knows+(x, y) as K."
 WINDOW = SlidingWindow(size=100, slide=10)
@@ -21,7 +21,7 @@ EDGES = [
 
 
 def _make():
-    return StreamingGraphQueryProcessor.from_datalog(QUERY, window=WINDOW)
+    return SessionHarness.from_datalog(QUERY, window=WINDOW)
 
 
 class TestResultsAreRepeatable:

@@ -20,6 +20,12 @@ from repro.engine import (
 from repro.workloads import QUERIES
 from tests.conftest import make_stream
 
+# This module deliberately exercises the deprecated facade shims; the
+# suite-wide filter that escalates those DeprecationWarnings to errors
+# (pyproject filterwarnings) is relaxed here.
+pytestmark = pytest.mark.filterwarnings("default::DeprecationWarning")
+
+
 WINDOW = SlidingWindow(16, 4)
 LABELS = {"a": "a", "b": "b", "c": "c"}
 TABLE2_QUERIES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")

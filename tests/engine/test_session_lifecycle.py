@@ -63,7 +63,13 @@ class TestUnregisterLive:
 
         expected = isolated_results(REACH, stream)
         assert reach.results() == expected.results()
-        for t in range(0, stream[-1].t + 25, 7):
+        # Probe past the stream end: perform the window movements first
+        # on both engines (valid_at raises HorizonError for unperformed
+        # movements below the expiry horizon, same contract as dd).
+        final_t = stream[-1].t + 25
+        engine.advance_to(final_t)
+        expected._engine.advance_to(final_t)
+        for t in range(0, final_t, 7):
             assert reach.valid_at(t) == expected.valid_at(t), t
         # The detached handle stays readable, frozen at detach time.
         assert pairs.results() == pairs_results_at_detach

@@ -1,0 +1,148 @@
+"""Live query lifecycle × columnar execution × sharded execution.
+
+The regression the satellite sweep pins: ``unregister`` followed by
+re-``register`` of the same query *mid-stream* — under the default
+columnar execution and under ``shards > 1`` (inline transport) — leaves
+both the surviving query and the re-registered handle bit-identical to a
+fresh engine fed the corresponding stream suffix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.windows import SlidingWindow
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.query.sgq import SGQ
+from tests.conftest import make_stream
+
+REACH = "Answer(x, y) <- knows+(x, y) as K."
+PAIRS = "Answer(x, z) <- knows(x, y), likes(y, z)."
+W = SlidingWindow(24, 6)
+
+
+def sgq(text):
+    return SGQ.from_text(text, W)
+
+
+def _fresh(text, stream, config):
+    engine = StreamingGraphEngine(config)
+    handle = engine.register(sgq(text), name="ref")
+    engine.push_many(stream)
+    return handle
+
+
+def _signature(handle):
+    return (
+        set(handle.results()),
+        {k: tuple(v) for k, v in handle.coverage().items()},
+    )
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        EngineConfig(execution="columnar"),
+        EngineConfig(shards=2),
+        EngineConfig(shards=3),
+    ],
+    ids=["columnar", "shards2", "shards3"],
+)
+class TestUnregisterReregisterMidStream:
+    def test_survivor_and_revived_match_fresh_engines(self, config):
+        stream = make_stream(7, 60, 5, ("knows", "likes"), max_gap=2)
+        half = len(stream) // 2
+        cut_t = stream[half - 1].t
+
+        engine = StreamingGraphEngine(config)
+        survivor = engine.register(sgq(REACH), name="reach")
+        doomed = engine.register(sgq(PAIRS), name="pairs")
+        for edge in stream[:half]:
+            engine.push(edge)
+        frozen = _signature(doomed)
+
+        doomed.unregister()
+        assert not doomed.is_live
+        revived = engine.register(sgq(PAIRS), name="pairs2")
+        for edge in stream[half:]:
+            engine.push(edge)
+
+        # The survivor saw the whole stream: bit-identical to a fresh
+        # engine fed everything.
+        expected_survivor = _fresh(REACH, stream, config)
+        assert _signature(survivor) == _signature(expected_survivor)
+
+        # The re-registered query starts from the retained shared window
+        # state (the knows/likes scans are still live through the
+        # survivor's plan cache? no — PAIRS shares no operators with
+        # REACH beyond the knows scan), so compare against a fresh
+        # engine fed only the suffix: with no shared stateful operators
+        # retaining PAIRS state, results must match the suffix run.
+        expected_revived = _fresh(PAIRS, stream[half:], config)
+        assert _signature(revived) == _signature(expected_revived)
+
+        # The detached handle stays readable, frozen at detach time.
+        assert _signature(doomed) == frozen
+
+    def test_unregister_then_identical_reregistration_recompiles(self, config):
+        stream = make_stream(5, 48, 5, ("knows",), max_gap=2)
+        half = len(stream) // 2
+        engine = StreamingGraphEngine(config)
+        first = engine.register(sgq(REACH), name="a")
+        for edge in stream[:half]:
+            engine.push(edge)
+        engine.unregister("a")
+        assert engine.operator_count() == 0
+        revived = engine.register(sgq(REACH), name="a2")
+        for edge in stream[half:]:
+            engine.push(edge)
+        assert engine.operator_count() > 0
+        expected = _fresh(REACH, stream[half:], config)
+        assert _signature(revived) == _signature(expected)
+        assert first.results() is not None  # old handle still readable
+
+
+@pytest.mark.parametrize(
+    "config",
+    [EngineConfig(execution="columnar"), EngineConfig(shards=2)],
+    ids=["columnar", "shards2"],
+)
+class TestFullPlanReShareBackfill:
+    def test_late_twin_backfills_results(self, config):
+        """Registering an identical plan mid-stream re-shares the whole
+        compiled dataflow and backfills the new sink from the richest
+        donor, so results() parity is immediate."""
+        stream = make_stream(6, 48, 5, ("knows",), max_gap=2)
+        half = len(stream) // 2
+        engine = StreamingGraphEngine(config)
+        original = engine.register(sgq(REACH), name="a")
+        for edge in stream[:half]:
+            engine.push(edge)
+        twin = engine.register(sgq(REACH), name="twin")
+        assert _signature(twin) == _signature(original)
+        for edge in stream[half:]:
+            engine.push(edge)
+        assert _signature(twin) == _signature(original)
+
+
+class TestShardedCallbacks:
+    def test_inline_callbacks_match_serial(self):
+        stream = make_stream(6, 48, 5, ("knows",), max_gap=2)
+
+        def run(config):
+            events = []
+            engine = StreamingGraphEngine(config)
+            engine.register(
+                sgq(REACH), name="q",
+                on_result=lambda e: events.append(
+                    (e.sgt.src, e.sgt.trg, e.sgt.label, e.sgt.interval, e.sign)
+                ),
+            )
+            engine.push_many(stream)
+            return events
+
+        serial = run(EngineConfig())
+        sharded = run(EngineConfig(shards=3))
+        # Push delivery decodes through the interner and fires exactly
+        # once per result event; the multiset matches serial delivery.
+        assert sorted(serial, key=repr) == sorted(sharded, key=repr)

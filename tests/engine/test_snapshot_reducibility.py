@@ -26,7 +26,7 @@ from repro.algebra.operators import (
 from repro.algebra.reference import evaluate_plan_at
 from repro.core.tuples import SGE
 from repro.core.windows import SlidingWindow
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 from tests.conftest import make_stream, streams_by_label
 
 W = SlidingWindow(15)
@@ -40,7 +40,7 @@ def check_reducibility(plan, edges, path_impl, instants=None):
     time passing even when no edges arrive, and the negative-tuple PATH
     performs its re-derivations exactly on those window movements.
     """
-    processor = StreamingGraphQueryProcessor(plan, path_impl)
+    processor = SessionHarness(plan, path_impl=path_impl)
     for edge in edges:
         processor.push(edge)
     streams = streams_by_label(edges)

@@ -5,14 +5,14 @@ import pytest
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, PathPayload
 from repro.core.windows import SlidingWindow
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 from repro.errors import PlanError
 from tests.conftest import PAPER_QUERY
 
 
 class TestTap:
     def test_tap_intermediate_label(self, paper_stream):
-        processor = StreamingGraphQueryProcessor.from_datalog(
+        processor = SessionHarness.from_datalog(
             PAPER_QUERY, SlidingWindow(24)
         )
         rl = processor.tap("RL")
@@ -25,7 +25,7 @@ class TestTap:
         assert coverage[("u", "v", "RL")] == [Interval(29, 31)]
 
     def test_tap_closure_paths(self, paper_stream):
-        processor = StreamingGraphQueryProcessor.from_datalog(
+        processor = SessionHarness.from_datalog(
             PAPER_QUERY, SlidingWindow(24)
         )
         rlp = processor.tap("RLP")
@@ -40,7 +40,7 @@ class TestTap:
         assert any(p.vertices == ("y", "u", "v") for p in paths)
 
     def test_tap_input_label(self):
-        processor = StreamingGraphQueryProcessor.from_datalog(
+        processor = SessionHarness.from_datalog(
             "Answer(x, z) <- a(x, y), b(y, z).", SlidingWindow(10)
         )
         a_tap = processor.tap("a")
@@ -49,14 +49,14 @@ class TestTap:
         assert a_tap.valid_at(0) == {(1, 2, "a")}
 
     def test_tap_unknown_label_raises(self):
-        processor = StreamingGraphQueryProcessor.from_datalog(
+        processor = SessionHarness.from_datalog(
             "Answer(x, y) <- a(x, y).", SlidingWindow(10)
         )
         with pytest.raises(PlanError, match="zzz"):
             processor.tap("zzz")
 
     def test_tap_collects_from_call_time(self, paper_stream):
-        processor = StreamingGraphQueryProcessor.from_datalog(
+        processor = SessionHarness.from_datalog(
             PAPER_QUERY, SlidingWindow(24)
         )
         for edge in paper_stream[:5]:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.tuples import SGE
 from repro.core.windows import DAY, HOUR, SlidingWindow
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 from repro.errors import ParseError
 from repro.gcore import parse_gcore
 from repro.query.datalog import Atom, ClosureAtom
@@ -87,7 +87,7 @@ class TestFigure7Translation:
 class TestEndToEnd:
     def test_figure6_on_paper_stream(self, paper_stream):
         ticks = FIG6.replace("24 h", "24 ticks").replace("1 h", "1 ticks")
-        processor = StreamingGraphQueryProcessor.from_gcore(ticks)
+        processor = SessionHarness.from_gcore(ticks)
         for edge in paper_stream:
             processor.push(edge)
         assert processor.valid_at(30) == {
@@ -99,13 +99,14 @@ class TestEndToEnd:
         }
 
     def test_figure7_windows_interact(self):
-        processor = StreamingGraphQueryProcessor.from_gcore(
+        processor = SessionHarness.from_gcore(
             FIG7.replace("24 hours", "24 ticks")
             .replace("30 d", "720 ticks")
             .replace("1 d", "24 ticks")
         )
         processor.push(SGE("carol", "hat", "purchase", 1))
         processor.push(SGE("alice", "carol", "follows", 3))
+        processor.advance_to(40)  # perform the probed window movements
         assert ("alice", "hat", "Answer") in processor.valid_at(10)
         # The follows edge expires after 24 ticks; the purchase survives.
         assert ("alice", "hat", "Answer") not in processor.valid_at(40)
@@ -124,14 +125,16 @@ class TestEndToEnd:
     def test_gcore_equals_datalog_formulation(self, paper_stream):
         from tests.conftest import PAPER_QUERY
 
-        gcore = StreamingGraphQueryProcessor.from_gcore(
+        gcore = SessionHarness.from_gcore(
             FIG6.replace("24 h", "24 ticks").replace("1 h", "1 ticks")
         )
-        datalog = StreamingGraphQueryProcessor.from_datalog(
+        datalog = SessionHarness.from_datalog(
             PAPER_QUERY, SlidingWindow(24)
         )
         for edge in paper_stream:
             gcore.push(edge)
             datalog.push(edge)
+        gcore.advance_to(59)  # perform the probed window movements
+        datalog.advance_to(59)
         for t in range(0, 60, 3):
             assert gcore.valid_at(t) == datalog.valid_at(t)

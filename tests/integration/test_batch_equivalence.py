@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.windows import SlidingWindow
 from repro.datasets import stackoverflow_stream
-from repro.engine import StreamingGraphQueryProcessor
+from tests.conftest import SessionHarness
 from repro.workloads import labels_for, q4_plan_space
 
 BATCH_SIZES = (1, 7, 64, 1024)
@@ -105,7 +105,7 @@ class TestExampleQueryEquivalence:
         window = SlidingWindow(size=100, slide=10)
 
         def make(batch_size):
-            return StreamingGraphQueryProcessor.from_datalog(
+            return SessionHarness.from_datalog(
                 QUICKSTART_QUERY, window=window, batch_size=batch_size
             )
 
@@ -118,7 +118,7 @@ class TestExampleQueryEquivalence:
         stream = _social_stream()
 
         def make(batch_size):
-            return StreamingGraphQueryProcessor.from_gcore(
+            return SessionHarness.from_gcore(
                 SOCIAL_GCORE, path_impl=path_impl, batch_size=batch_size
             )
 
@@ -132,7 +132,7 @@ class TestExampleQueryEquivalence:
         )
 
         def make(batch_size):
-            return StreamingGraphQueryProcessor.from_gcore(
+            return SessionHarness.from_gcore(
                 MULTI_STREAM_GCORE, batch_size=batch_size
             )
 
@@ -159,7 +159,7 @@ class TestExampleQueryEquivalence:
         query = "d(x, z) <- a(x, y), a(y, z). Answer(x, z) <- d+(x, z) as P."
 
         def make(batch_size):
-            return StreamingGraphQueryProcessor.from_datalog(
+            return SessionHarness.from_datalog(
                 query,
                 window=window,
                 path_impl=path_impl,
@@ -176,7 +176,7 @@ class TestExampleQueryEquivalence:
         stream = stackoverflow_stream(n_edges=1500, n_users=80, seed=7)
 
         def make(batch_size):
-            return StreamingGraphQueryProcessor(
+            return SessionHarness(
                 plan, path_impl="negative", batch_size=batch_size
             )
 

@@ -6,8 +6,9 @@ from repro.algebra.reference import evaluate_plan_at
 from repro.core.tuples import SGE
 from repro.core.windows import SlidingWindow
 from repro.dataflow.disorder import reorder
-from repro.dd import DDEngine
-from repro.engine import StreamingGraphQueryProcessor
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.query.sgq import SGQ
+from tests.conftest import SessionHarness
 from repro.query.parser import parse_rq
 from repro.workloads import QUERIES, labels_for
 from tests.conftest import PAPER_QUERY, make_stream, streams_by_label
@@ -27,14 +28,16 @@ class TestThreeFormulationsAgree:
 
     def test_agreement(self, paper_stream):
         processors = [
-            StreamingGraphQueryProcessor.from_datalog(
+            SessionHarness.from_datalog(
                 PAPER_QUERY, SlidingWindow(24)
             ),
-            StreamingGraphQueryProcessor.from_gcore(self.GCORE),
+            SessionHarness.from_gcore(self.GCORE),
         ]
         for edge in paper_stream:
             for processor in processors:
                 processor.push(edge)
+        for processor in processors:
+            processor.advance_to(59)  # perform the probed movements
         for t in range(0, 60):
             snapshots = [p.valid_at(t) for p in processors]
             assert snapshots[0] == snapshots[1], t
@@ -54,7 +57,7 @@ class TestWorkloadOnSyntheticDatasets:
         labels = labels_for(query_name, dataset)
         plan = QUERIES[query_name].plan(labels, scale.sliding_window())
 
-        processor = StreamingGraphQueryProcessor(plan)
+        processor = SessionHarness(plan)
         for edge in stream:
             processor.push(edge)
 
@@ -81,10 +84,13 @@ class TestEnginesAgreeOnWorkload:
         stream = _stream("so", scale)
         labels = labels_for(query_name, "so")
 
-        sga = StreamingGraphQueryProcessor(
+        sga = SessionHarness(
             QUERIES[query_name].plan(labels, window)
         )
-        dd = DDEngine(parse_rq(QUERIES[query_name].datalog(labels)), window)
+        dd_engine = StreamingGraphEngine(EngineConfig(backend="dd"))
+        dd = dd_engine.register(
+            SGQ(parse_rq(QUERIES[query_name].datalog(labels)), window)
+        )
 
         by_boundary: dict[int, list[SGE]] = {}
         for edge in stream:
@@ -117,13 +123,16 @@ class TestDisorderedIngestion:
 
         window = SlidingWindow(20)
         text = "Answer(x, y) <- a+(x, y) as A."
-        disordered = StreamingGraphQueryProcessor.from_datalog(text, window)
+        disordered = SessionHarness.from_datalog(text, window)
         for edge in reorder(shuffled, lateness=15):
             disordered.push(edge)
-        ordered = StreamingGraphQueryProcessor.from_datalog(text, window)
+        ordered = SessionHarness.from_datalog(text, window)
         for edge in edges:
             ordered.push(edge)
-        for t in range(0, edges[-1].t + 10, 7):
+        final_t = edges[-1].t + 10
+        disordered.advance_to(final_t)  # perform the probed movements
+        ordered.advance_to(final_t)
+        for t in range(0, final_t, 7):
             assert disordered.valid_at(t) == ordered.valid_at(t), t
 
 
@@ -140,12 +149,15 @@ class TestOptimizedPlansOnEngine:
         report = choose_plan(canonical, limit=8)
 
         edges = make_stream(23, 60, 6, ("a", "b", "c"), max_gap=2)
-        left = StreamingGraphQueryProcessor(canonical)
-        right = StreamingGraphQueryProcessor(report.best)
+        left = SessionHarness(canonical)
+        right = SessionHarness(report.best)
         for edge in edges:
             left.push(edge)
             right.push(edge)
-        for t in range(0, edges[-1].t + 10, 5):
+        final_t = edges[-1].t + 10
+        left.advance_to(final_t)  # perform the probed movements
+        right.advance_to(final_t)
+        for t in range(0, final_t, 5):
             left_pairs = {(u, v) for (u, v, _) in left.valid_at(t)}
             right_pairs = {(u, v) for (u, v, _) in right.valid_at(t)}
             assert left_pairs == right_pairs, t
@@ -156,7 +168,7 @@ class TestStateHygiene:
 
     @pytest.mark.parametrize("impl", ["spath", "negative"])
     def test_state_drains(self, impl):
-        processor = StreamingGraphQueryProcessor.from_datalog(
+        processor = SessionHarness.from_datalog(
             PAPER_QUERY, SlidingWindow(24), path_impl=impl
         )
         edges = make_stream(
@@ -170,12 +182,13 @@ class TestStateHygiene:
 
     def test_dd_state_drains(self):
         program = parse_rq(PAPER_QUERY)
-        engine = DDEngine(program, SlidingWindow(24, 8))
+        engine = StreamingGraphEngine(EngineConfig(backend="dd"))
+        handle = engine.register(SGQ(program, SlidingWindow(24, 8)))
         edges = make_stream(
             3, 120, 8, ("likes", "follows", "posts"), max_gap=2
         )
-        stats = engine.run(edges)
+        stats = engine.push_many(edges)
         assert stats.total_edges == 120
         for boundary in range(edges[-1].t, edges[-1].t + 60, 8):
-            engine.advance_epoch((boundary // 8) * 8, [])
+            handle.advance_epoch((boundary // 8) * 8, [])
         assert engine.state_size() == 0

@@ -120,10 +120,10 @@ class TestEndToEndOnEngine:
 
     @pytest.mark.parametrize("name", ["Q2", "Q4", "Q6"])
     def test_workload_runs(self, name):
-        from repro.engine import StreamingGraphQueryProcessor
+        from tests.conftest import SessionHarness
 
         plan = QUERIES[name].plan(ABC, W)
-        processor = StreamingGraphQueryProcessor(plan)
+        processor = SessionHarness(plan)
         edges = make_stream(5, 50, 5, ("a", "b", "c"), max_gap=2)
         for edge in edges:
             processor.push(edge)
