@@ -123,7 +123,9 @@ def _best(measure, repeat: int) -> dict:
     return best
 
 
-def record_table2(scale: Scale, repeat: int) -> list[dict]:
+def record_table2(
+    scale: Scale, repeat: int, execution: str = "auto"
+) -> list[dict]:
     rows: list[dict] = []
     window = scale.sliding_window()
     for dataset in DATASETS:
@@ -133,7 +135,12 @@ def record_table2(scale: Scale, repeat: int) -> list[dict]:
             rows.append(
                 _best(
                     lambda: _row(
-                        run_sga_bench(plan, stream, path_impl="negative"),
+                        run_sga_bench(
+                            plan,
+                            stream,
+                            path_impl="negative",
+                            execution=execution,
+                        ),
                         dataset,
                         query,
                     ),
@@ -152,7 +159,9 @@ def record_table2(scale: Scale, repeat: int) -> list[dict]:
     return rows
 
 
-def record_table3(scale: Scale, repeat: int) -> list[dict]:
+def record_table3(
+    scale: Scale, repeat: int, execution: str = "auto"
+) -> list[dict]:
     rows: list[dict] = []
     window = scale.sliding_window()
     for dataset in DATASETS:
@@ -163,7 +172,9 @@ def record_table3(scale: Scale, repeat: int) -> list[dict]:
                 rows.append(
                     _best(
                         lambda: _row(
-                            run_sga_bench(plan, stream, path_impl=impl),
+                            run_sga_bench(
+                                plan, stream, path_impl=impl, execution=execution
+                            ),
                             dataset,
                             query,
                         ),
@@ -299,6 +310,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--execution",
+        choices=("auto", "vector", "columnar", "rows"),
+        default="auto",
+        help=(
+            "SGA delta representation to benchmark (the entry note "
+            "records what was pinned); perf-PR before/after pairs should "
+            "pin the baseline and candidate explicitly, e.g. "
+            "--execution columnar --label pr4-columnar then "
+            "--execution vector --label pr6-vectorized"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="only validate the existing JSON files against the schema",
@@ -362,10 +385,15 @@ def main(argv: list[str] | None = None) -> int:
         _print_scaling(entry)
         return 0
     recorders = {"table2": record_table2, "table3": record_table3}
+    note = (
+        None
+        if args.execution == "auto"
+        else f"SGA rows recorded with execution={args.execution!r}"
+    )
     for table in tables:
         started = time.perf_counter()
-        rows = recorders[table](scale, args.repeat)
-        entry = make_entry(args.label, scale, rows)
+        rows = recorders[table](scale, args.repeat, args.execution)
+        entry = make_entry(args.label, scale, rows, note=note)
         doc = upsert_entry(paths[table], table, entry)
         print(
             f"\n== {table}: recorded {len(rows)} rows as {args.label!r} "

@@ -15,12 +15,14 @@ Examples::
     python scripts/profile_hotpaths.py                     # all queries, snb
     python scripts/profile_hotpaths.py --query Q3 --dataset so --top 40
     python scripts/profile_hotpaths.py --execution rows    # historical path
+    python scripts/profile_hotpaths.py --json              # machine-readable
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 from collections import defaultdict
@@ -94,7 +96,11 @@ def run_queries(queries, dataset: str, scale: Scale, execution: str, repeat: int
     return pstats.Stats(profile)
 
 
-def report_per_operator(stats: pstats.Stats, top: int) -> None:
+def collect_per_operator(
+    stats: pstats.Stats,
+) -> tuple[dict[str, float], dict[str, list], float]:
+    """Aggregate profile rows into (seconds-per-group, rows-per-group,
+    total-internal-seconds)."""
     by_group: dict[str, float] = defaultdict(float)
     rows_by_group: dict[str, list] = defaultdict(list)
     total = 0.0
@@ -109,6 +115,53 @@ def report_per_operator(stats: pstats.Stats, top: int) -> None:
         by_group[group] += tottime
         rows_by_group[group].append((tottime, ncalls, funcname, lineno))
         total += tottime
+    return by_group, rows_by_group, total
+
+
+def json_report(stats: pstats.Stats, args, top: int) -> dict:
+    """The ``--json`` payload: per-operator cumulative internal times,
+    each group's hottest functions, and the run configuration — stable
+    keys, floats in seconds, suitable for regression tooling to diff."""
+    by_group, rows_by_group, total = collect_per_operator(stats)
+    groups = []
+    for group, seconds in sorted(by_group.items(), key=lambda kv: -kv[1]):
+        hottest = [
+            {
+                "function": funcname,
+                "line": lineno,
+                "calls": ncalls,
+                "internal_s": round(tottime, 6),
+            }
+            for tottime, ncalls, funcname, lineno in sorted(
+                rows_by_group[group], reverse=True
+            )[:top]
+        ]
+        groups.append(
+            {
+                "operator": group,
+                "internal_s": round(seconds, 6),
+                "share": round(seconds / total, 6) if total else 0.0,
+                "hottest": hottest,
+            }
+        )
+    return {
+        "total_internal_s": round(total, 6),
+        "config": {
+            "query": args.query or "all",
+            "dataset": args.dataset,
+            "execution": args.execution,
+            "n_edges": args.n_edges,
+            "n_vertices": args.n_vertices,
+            "window": args.window,
+            "slide": args.slide,
+            "repeat": args.repeat,
+        },
+        "operators": groups,
+    }
+
+
+def report_per_operator(stats: pstats.Stats, top: int) -> None:
+    by_group, rows_by_group, total = collect_per_operator(stats)
 
     print(f"\n== internal time per operator group (total {total:.3f}s) ==")
     for group, seconds in sorted(by_group.items(), key=lambda kv: -kv[1]):
@@ -136,9 +189,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--top", type=int, default=25)
     parser.add_argument(
         "--execution",
-        choices=("columnar", "rows"),
-        default="columnar",
-        help="engine execution representation to profile",
+        choices=("auto", "vector", "columnar", "rows"),
+        default="auto",
+        help="engine execution representation to profile "
+        "(default: the engine's auto resolution — vector when numpy "
+        "is importable, columnar otherwise)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (per-operator cumulative internal "
+        "times + hottest functions) instead of the text report",
     )
     args = parser.parse_args(argv)
 
@@ -150,7 +211,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     queries = (args.query,) if args.query else QUERY_NAMES
     stats = run_queries(queries, args.dataset, scale, args.execution, args.repeat)
-    report_per_operator(stats, args.top)
+    if args.json:
+        json.dump(json_report(stats, args, args.top), sys.stdout, indent=2)
+        print()
+    else:
+        report_per_operator(stats, args.top)
     return 0
 
 

@@ -1,0 +1,74 @@
+"""Optional-numpy gate for the vector execution mode.
+
+numpy is an *optional extra* (``pip install repro[vector]``): every
+module that can run vectorized imports :data:`np` from here and guards
+the fast path on :data:`HAVE_NUMPY` (or, equivalently, ``np is not
+None``).  The engine itself must import and run without numpy — the
+``"vector"`` execution mode then degrades to ``"columnar"`` (see
+:class:`repro.engine.session.EngineConfig`).
+
+Two invariants this module exists to protect:
+
+* **No stray numpy imports.**  ``import numpy`` happens exactly once,
+  here, inside a ``try``.  Kernel modules never import numpy directly.
+* **No numpy scalars in row-land.**  ``np.int64`` is not ``int``, and
+  :meth:`repro.core.interning.Interner.value` deliberately rejects
+  non-``int`` identifiers (a dense id that arrives as a different type
+  is a bug, not a value to decode).  Every point where array-backed
+  columns are materialized back into per-row Python objects must pass
+  through :func:`as_list`, which converts an ndarray to a plain list of
+  Python ints in one C-level call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: The numpy module, or ``None`` when the extra is not installed.
+np = _np
+
+#: True iff numpy imported successfully.
+HAVE_NUMPY = _np is not None
+
+
+def require_numpy(context: str) -> None:
+    """Raise a clear error for an *explicit* vector request sans numpy."""
+    if _np is None:
+        raise ImportError(
+            f"{context} requires numpy, which is not installed; "
+            'install the optional extra (pip install "repro[vector]") '
+            'or use execution="columnar"'
+        )
+
+
+def is_array(column: Any) -> bool:
+    """True iff ``column`` is a numpy ndarray (False when no numpy)."""
+    return _np is not None and type(column) is _np.ndarray
+
+
+def as_list(column: Sequence[int]) -> list[int]:
+    """A plain ``list`` of Python ints for any column representation.
+
+    ndarray → ``tolist()`` (one C call, yields builtin ``int``); plain
+    lists pass through **unchanged** (zero copy — callers rely on this
+    for the columnar mode where columns already are lists).
+    """
+    if _np is not None and type(column) is _np.ndarray:
+        return column.tolist()
+    if type(column) is list:
+        return column
+    return list(column)
+
+
+def as_array(column: Sequence[int]):
+    """An int64 ndarray view/copy of ``column`` (numpy required)."""
+    if _np is None:  # pragma: no cover - callers gate on HAVE_NUMPY
+        require_numpy("as_array()")
+    if type(column) is _np.ndarray:
+        return column
+    return _np.asarray(column, dtype=_np.int64)

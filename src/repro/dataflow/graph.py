@@ -31,6 +31,7 @@ from repro.core.batch import DeltaBatch
 from repro.core.coalesce import coalesce_stream
 from repro.core.columns import ColumnBuilder
 from repro.core.intervals import Interval, net_cover
+from repro.core.nplib import as_list
 from repro.core.tuples import SGE, SGT, EdgePayload, Label, Vertex
 from repro.errors import ExecutionError
 
@@ -237,7 +238,12 @@ class PhysicalOperator:
         self.on_sge_batch(
             port,
             boundary,
-            [SGE(s, d, label, t) for s, d, t in zip(src, dst, ts)],
+            [
+                SGE(s, d, label, t)
+                # as_list: vector-mode arrays must materialize to plain
+                # ints before entering row-land (sges are row values).
+                for s, d, t in zip(as_list(src), as_list(dst), as_list(ts))
+            ],
         )
 
     def on_batch(self, port: int, batch: DeltaBatch) -> None:
@@ -404,7 +410,7 @@ class SourceOp(PhysicalOperator):
         to per-event pushes in per-tuple interleaving (the events carry
         the interned ids the columns hold).
         """
-        if not src:
+        if len(src) == 0:
             return
         downstream = self._downstream
         if len(downstream) == 1:
@@ -414,6 +420,9 @@ class SourceOp(PhysicalOperator):
         if not downstream:
             return
         label = self.label
+        # Fanout materializes rows: plain ints only (vector-mode arrays
+        # are converted in one C call per column).
+        src, dst, ts = as_list(src), as_list(dst), as_list(ts)
         for s, d, t in zip(src, dst, ts):
             event = Event(SGT(s, d, label, Interval(t, t + 1)))
             for consumer, port in downstream:

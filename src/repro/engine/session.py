@@ -53,6 +53,7 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -61,6 +62,7 @@ from repro.algebra.translate import sgq_to_sga
 from repro.core.batch import BatchScheduler, RunStats
 from repro.core.coalesce import coalesce_stream
 from repro.core.interning import Interner, intern_plan
+from repro.core.nplib import HAVE_NUMPY
 from repro.core.intervals import Interval
 from repro.core.tuples import SGE, SGT, Label, Vertex
 from repro.dataflow.executor import LATE_POLICIES, Executor
@@ -82,13 +84,18 @@ from repro.query.sgq import SGQ
 #: Engine implementations selectable behind the same handle API.
 BACKENDS = ("sga", "dd")
 
-#: Execution representations for the sga backend.  ``"columnar"`` (the
-#: default) interns vertices to dense ids at ingress and streams deltas
-#: as parallel scalar columns; ``"rows"`` is the historical object-graph
-#: path (per-tuple events, or row batches when ``batch_size`` is set) —
-#: kept selectable so golden tests can prove the two produce identical
-#: decoded results.
-EXECUTIONS = ("columnar", "rows")
+#: Execution representations for the sga backend.  ``"vector"`` (the
+#: default whenever numpy is importable) carries interned deltas as
+#: numpy int64 column arrays through vectorized operator kernels;
+#: ``"columnar"`` interns vertices to dense ids at ingress and streams
+#: deltas as parallel scalar *list* columns; ``"rows"`` is the
+#: historical object-graph path (per-tuple events, or row batches when
+#: ``batch_size`` is set).  The two non-default modes are kept
+#: selectable as golden references proving all three produce identical
+#: decoded results.  ``"auto"`` — the config default — resolves to
+#: ``"vector"`` when numpy is available and degrades to ``"columnar"``
+#: (with a single warning) when it is not.
+EXECUTIONS = ("vector", "columnar", "rows")
 
 #: Shard transports for ``shards > 1`` (see :mod:`repro.engine.sharded`):
 #: ``"inline"`` is the in-process deterministic scheduler (exact serial
@@ -103,6 +110,32 @@ SHARD_TRANSPORTS = ("inline", "process")
 PER_QUERY_OPTIONS = frozenset(
     {"path_impl", "materialize_paths", "coalesce_intermediate"}
 )
+
+#: One degrade warning per process (not one per EngineConfig).
+_warned_vector_degrade = False
+
+
+def _resolve_auto_execution() -> str:
+    """``"vector"`` when numpy is importable, else ``"columnar"``.
+
+    The degrade path warns exactly once per process: engines are
+    constructed freely in tests and benchmarks, and the actionable fact
+    — numpy missing, vector default unavailable — does not change
+    between constructions.
+    """
+    if HAVE_NUMPY:
+        return "vector"
+    global _warned_vector_degrade
+    if not _warned_vector_degrade:
+        _warned_vector_degrade = True
+        warnings.warn(
+            "numpy is not installed: execution='auto' degrades to "
+            "'columnar' (install the optional extra, pip install "
+            '"repro[vector]", for the vectorized default)',
+            RuntimeWarning,
+            stacklevel=4,
+        )
+    return "columnar"
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,10 +165,21 @@ class EngineConfig:
         ``"allow"`` / ``"drop"`` / ``"raise"`` for edges behind the
         current slide boundary.
     execution:
-        ``"columnar"`` (default: interned ids + column-at-a-time
-        operators; decoded transparently at every read surface) or
-        ``"rows"`` (the historical object-per-tuple path).  sga backend
-        only; the dd baseline ignores it.
+        ``"auto"`` (the default) resolves at construction time to
+        ``"vector"`` when numpy is importable, else to ``"columnar"``
+        (warning once per process).  ``"vector"`` carries interned
+        deltas as numpy int64 arrays through vectorized kernels and
+        *requires* numpy — an explicit request without it raises.
+        ``"columnar"`` is interned ids + column-at-a-time operators over
+        plain lists; ``"rows"`` the historical object-per-tuple path.
+        All three decode transparently at every read surface.  sga
+        backend only; the dd baseline ignores it.
+    columnar_min_run:
+        Minimum same-label ingress run length that flows as a columnar
+        batch (shorter runs dispatch per event, where batch overhead
+        does not amortize); applies to the columnar and vector
+        executions.  Default 8 (the measured break-even of the batch
+        fixed costs on the benchmark workloads).
     shards:
         Number of partition-parallel shard workers (default 1 = the
         unsharded engine, bit-identical to historical behavior).  With
@@ -143,8 +187,8 @@ class EngineConfig:
         of every registered plan — PATH forests by root vertex, PATTERN
         joins by join key — across that many shards behind the same
         handle API (see :mod:`repro.engine.sharded`).  Requires
-        ``backend="sga"`` and ``execution="columnar"`` (dense interned
-        ids are what shards exchange).
+        ``backend="sga"`` and an interned execution (``"columnar"`` or
+        ``"vector"`` — dense interned ids are what shards exchange).
     shard_transport:
         ``"inline"`` (default): all shards in this process, stepped
         deterministically — exact serial semantics, full live-lifecycle
@@ -159,7 +203,8 @@ class EngineConfig:
     coalesce_intermediate: bool = True
     batch_size: int | None = None
     late_policy: str = "allow"
-    execution: str = "columnar"
+    execution: str = "auto"
+    columnar_min_run: int = 8
     shards: int = 1
     shard_transport: str = "inline"
 
@@ -168,10 +213,29 @@ class EngineConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        if self.execution == "auto":
+            # Resolve the numpy-optional default once, at construction:
+            # downstream code only ever sees a concrete execution.
+            object.__setattr__(
+                self, "execution", _resolve_auto_execution()
+            )
+        elif self.execution == "vector" and not HAVE_NUMPY:
+            raise ValueError(
+                "execution='vector' requires numpy, which is not "
+                'installed; install the optional extra (pip install '
+                '"repro[vector]") or use execution="columnar"'
+            )
         if self.execution not in EXECUTIONS:
             raise ValueError(
                 f"unknown execution {self.execution!r}; "
-                f"expected one of {EXECUTIONS}"
+                f"expected one of {EXECUTIONS} (or 'auto')"
+            )
+        if not isinstance(self.columnar_min_run, int) or isinstance(
+            self.columnar_min_run, bool
+        ) or self.columnar_min_run < 1:
+            raise ValueError(
+                f"columnar_min_run must be an int >= 1, "
+                f"got {self.columnar_min_run!r}"
             )
         if not isinstance(self.shards, int) or self.shards < 1:
             raise ValueError(f"shards must be an int >= 1, got {self.shards!r}")
@@ -186,10 +250,11 @@ class EngineConfig:
                     "shards > 1 requires backend='sga' (the dd baseline "
                     "is single-threaded by design)"
                 )
-            if self.execution != "columnar":
+            if self.execution not in ("columnar", "vector"):
                 raise ValueError(
-                    "shards > 1 requires execution='columnar' (shards "
-                    "exchange interned columnar deltas)"
+                    "shards > 1 requires an interned execution "
+                    "('columnar' or 'vector'; shards exchange interned "
+                    "columnar deltas)"
                 )
         if self.path_impl not in PATH_IMPLS:
             raise PlanError(
@@ -729,13 +794,19 @@ class StreamingGraphEngine:
         self._graph = DataflowGraph()
         self._caches: dict[tuple, dict[Plan, PhysicalOperator]] = {}
         self._executor: Executor | None = None
-        #: vertex dictionary for columnar execution: ids flow inside the
-        #: dataflow, every read surface decodes through this table
+        #: vertex dictionary for interned execution (columnar or vector):
+        #: ids flow inside the dataflow, every read surface decodes
+        #: through this table
         self._interner: Interner | None = (
             Interner()
-            if config.backend == "sga" and config.execution == "columnar"
+            if config.backend == "sga"
+            and config.execution in ("columnar", "vector")
             else None
         )
+        #: taps observe raw intermediate event streams, whose order the
+        #: vector mode's label grouping would change; any tap therefore
+        #: pins ingress to segmented runs (see _refresh_vector_mode)
+        self._has_tap = False
         #: partition-parallel runtime (``shards > 1``); the session
         #: delegates every streaming and lifecycle call to it
         self._sharded: ShardedSgaRuntime | None = (
@@ -886,6 +957,7 @@ class StreamingGraphEngine:
         else:
             handle = self._register_dd(query, name, on_result, overrides)
         self._handles[name] = handle
+        self._refresh_vector_mode()
         return handle
 
     def unregister(self, name: str) -> None:
@@ -909,6 +981,7 @@ class StreamingGraphEngine:
             removed = self._graph.prune([handle._sink])
             for cache in self._caches.values():
                 evict_dead(cache, removed)
+        self._refresh_vector_mode()
 
     def _register_sga(
         self,
@@ -1145,6 +1218,8 @@ class StreamingGraphEngine:
                     sink.decode_eagerly = True
                 self._graph.add(sink)
                 self._graph.connect(op, sink, 0)
+                self._has_tap = True
+                self._refresh_vector_mode()
                 return sink
         raise PlanError(f"no operator produces label {label!r}")
 
@@ -1271,8 +1346,36 @@ class StreamingGraphEngine:
                 batch_size=self._config.batch_size,
                 late_policy=self._config.late_policy,
                 interner=self._interner,
+                columnar_min_run=self._config.columnar_min_run,
+                vector=self._config.execution == "vector",
             )
+            self._refresh_vector_mode()
         return self._executor
+
+    def _refresh_vector_mode(self) -> None:
+        """Recompute the vector executor's ingress-grouping decision.
+
+        The compile pipeline's analysis
+        (:func:`repro.ql.pipeline.vector_ingress_mode`) proves or
+        refutes that every registered plan is insensitive to
+        within-slide cross-label reordering; the executor groups each
+        slide per label only on proof.  Re-run on every register /
+        unregister / tap, so live lifecycle changes take effect from the
+        next slide on.
+        """
+        executor = self._executor
+        if executor is None or not executor.vector:
+            return
+        from repro.ql.pipeline import vector_ingress_mode
+
+        plans = [
+            (h.plan, h._options)
+            for h in self._handles.values()
+            if isinstance(h, SgaQueryHandle)
+        ]
+        executor.vector_grouped = (
+            not self._has_tap and vector_ingress_mode(plans) == "grouped"
+        )
 
     def _keep_late(self, edge: SGE, boundary: int) -> bool:
         """Apply the engine's late policy to a dd-backend edge.

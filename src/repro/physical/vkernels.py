@@ -1,0 +1,73 @@
+"""Shared helpers for the vector (numpy) operator kernels.
+
+The compile pipeline's kernel-selection pass
+(:func:`repro.ql.pipeline.kernel_choices`) and the kernels themselves
+both need the same question answered: *can this predicate run as a
+boolean mask over int64 columns?*  Under interned execution the answer
+is yes for every canonical :class:`~repro.algebra.operators.Predicate`
+— conditions are equality/inequality against constants, vertex
+constants are interned to dense ints by
+:func:`~repro.core.interning.intern_plan`, and label conditions are
+batch-constant (batches are label-constant along every dataflow edge),
+so they resolve to a scalar True/False per batch.
+
+:func:`compile_mask` turns a predicate into a closure evaluated once
+per batch.  The closure returns
+
+* ``True``  — every row passes (zero-copy pass-through),
+* ``False`` — no row passes (drop the batch),
+* a boolean ndarray — the per-row mask to select with.
+
+Kernels fall back to the row-wise loop when compilation declines
+(``None``), which keeps subclassed or exotic predicates correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra.operators import Predicate
+
+#: The compiled-mask result type (see module docstring).
+MaskFn = Callable
+
+
+def mask_compilable(predicate) -> bool:
+    """True iff :func:`compile_mask` will accept ``predicate``."""
+    if type(predicate) is not Predicate:
+        return False
+    return all(
+        attribute in ("src", "trg", "label") and op in ("==", "!=")
+        for attribute, op, value in predicate.conditions
+    )
+
+
+def compile_mask(predicate) -> MaskFn | None:
+    """A per-batch mask closure for ``predicate``, or ``None``.
+
+    The closure signature is ``mask(src, dst, label, np)`` where ``src``
+    / ``dst`` are int64 ndarrays, ``label`` is the batch's label and
+    ``np`` the numpy module (passed in so this module never imports
+    numpy itself — the closure only runs on array-backed batches, which
+    only exist when numpy does).
+    """
+    if not mask_compilable(predicate):
+        return None
+    conditions = predicate.conditions
+
+    def mask(src, dst, label, np):
+        out = None
+        for attribute, op, expected in conditions:
+            if attribute == "label":
+                matches = label == expected
+                if (op == "==") != matches:
+                    return False
+                continue
+            column = src if attribute == "src" else dst
+            current = column == expected if op == "==" else column != expected
+            out = current if out is None else out & current
+        if out is None:
+            return True
+        return out
+
+    return mask

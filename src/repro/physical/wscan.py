@@ -13,9 +13,11 @@ from repro.algebra.operators import Predicate
 from repro.core.batch import DeltaBatch
 from repro.core.columns import DeltaColumns
 from repro.core.intervals import Interval
+from repro.core.nplib import np
 from repro.core.tuples import SGT
 from repro.core.windows import SlidingWindow
 from repro.dataflow.graph import Event, PhysicalOperator
+from repro.physical.vkernels import compile_mask
 
 
 class WScanOp(PhysicalOperator):
@@ -37,6 +39,12 @@ class WScanOp(PhysicalOperator):
         self._beta = window.slide
         self._size = window.size
         self._degenerate = window.size < window.slide
+        #: compiled vector-mode prefilter mask (see physical.vkernels);
+        #: ``None`` either means "no prefilter" or "not compilable" —
+        #: the vector kernel falls back to the row loop for the latter
+        self._mask_fn = (
+            compile_mask(prefilter) if prefilter is not None else None
+        )
 
     def on_event(self, port: int, event: Event) -> None:
         sgt = event.sgt
@@ -107,6 +115,13 @@ class WScanOp(PhysicalOperator):
         adopted wholesale when no prefilter applies — the executor hands
         over ownership of freshly built lists.
         """
+        if np is not None and type(ts) is np.ndarray:
+            if self.prefilter is None or self._mask_fn is not None:
+                self._on_columns_vector(boundary, label, src, dst, ts)
+                return
+            # Non-compilable prefilter: fall back to the row loop below
+            # on plain ints (numpy scalars must not reach row-land).
+            src, dst, ts = src.tolist(), dst.tolist(), ts.tolist()
         window = self.window
         beta = window.slide
         size = window.size
@@ -153,6 +168,39 @@ class WScanOp(PhysicalOperator):
                     columns=DeltaColumns(
                         self.label, out_src, out_dst, out_ts, out_exp
                     ),
+                )
+            )
+
+    def _on_columns_vector(self, boundary, label, src, dst, ts) -> None:
+        """Whole-column windowing over int64 arrays (vector execution).
+
+        Definition 16 becomes three array ops (``exp = t - t % beta +
+        size``); the prefilter — when present — is the compiled boolean
+        mask, so selection is one fancy-index per column.  Rows stay as
+        arrays end to end: the emitted batch carries ndarray-backed
+        :class:`DeltaColumns` downstream.
+        """
+        exp = ts - ts % self._beta + self._size
+        if self._degenerate:
+            bad = exp <= ts
+            if bad.any():
+                # Same degenerate-configuration guard as interval_for,
+                # raised for the first offending timestamp.
+                self.window.interval_for(int(ts[int(bad.argmax())]))
+        if self.prefilter is not None:
+            keep = self._mask_fn(src, dst, label, np)
+            if keep is False:
+                return
+            if keep is not True:
+                src = src[keep]
+                dst = dst[keep]
+                ts = ts[keep]
+                exp = exp[keep]
+        if len(src):
+            self.emit_batch(
+                DeltaBatch(
+                    boundary,
+                    columns=DeltaColumns(self.label, src, dst, ts, exp),
                 )
             )
 
