@@ -1,0 +1,412 @@
+#!/usr/bin/env python
+"""Load-test the serving layer and check result parity, stdlib-only.
+
+Drives a running ``scripts/serve.py`` instance with many tenants, each
+registering the paper's notification query plus a high-fanout filter
+query, attaching hundreds of concurrent subscribers (an even mix of
+WebSocket and SSE), ingesting a randomized edge stream over HTTP, and
+then verifying the *parity invariant*: every subscriber of a query
+receives byte-for-byte the same numbered JSON event stream that an
+in-process :class:`~repro.engine.session.StreamingGraphEngine` with the
+same configuration produces for the same edges.
+
+Two shutdown modes close the streams:
+
+* default — the client ``DELETE``\\ s each query; subscribers receive
+  their backlog and a ``query unregistered`` end-of-stream notice;
+* ``--server-pid PID`` — the client sends SIGTERM mid-lingering and
+  asserts the graceful drain: every subscriber still receives its full
+  backlog plus a ``server draining`` notice, then a clean EOF.
+
+Exit status is 0 only if every request succeeded, every subscriber's
+stream matched the reference, and every stream ended cleanly.
+
+Usage::
+
+    python scripts/serve.py --port 8765 &
+    python scripts/load_client.py --port 8765 --tenants 4 --subscribers 200
+    python scripts/load_client.py --port 8765 --server-pid $! --edges 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import base64
+import json
+import os
+import random
+import signal
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.tuples import SGE  # noqa: E402
+from repro.engine.session import (  # noqa: E402
+    EngineConfig,
+    StreamingGraphEngine,
+)
+from repro.ql.query import Query  # noqa: E402
+from repro.serve.protocol import dumps, encode_event  # noqa: E402
+
+PAPER_QUERY = (
+    "RL(u1,u2) <- likes(u1,m1), follows+(u1,u2) as FP, posts(u2,m1). "
+    "Notify(u,m) <- RL+(u,v) as RLP, posts(v,m). "
+    "Answer(u,m) <- Notify(u,m)."
+)
+#: high-fanout companion: one result event per matching edge
+LIKES_QUERY = "Answer(u,m) <- likes(u,m)."
+LABELS = ("likes", "follows", "posts")
+WINDOW, SLIDE = 24, 1
+
+QUERIES = {
+    "paper": PAPER_QUERY,
+    "likes": LIKES_QUERY,
+}
+
+
+def make_stream(seed: int, n_edges: int, n_vertices: int) -> list[SGE]:
+    """The tests' randomized timestamp-ordered stream, reproduced here
+    so client and reference agree by construction."""
+    rng = random.Random(seed)
+    t = 0
+    edges = []
+    for _ in range(n_edges):
+        t += rng.randint(0, 2)
+        u = rng.randrange(n_vertices)
+        v = rng.randrange(n_vertices)
+        edges.append(SGE(u, v, rng.choice(LABELS), t))
+    return edges
+
+
+# -- minimal HTTP/WS/SSE client side ---------------------------------------
+
+
+async def http_call(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    data = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n"
+    )
+    writer.write(head.encode() + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except Exception:
+        pass
+    head_bytes, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(head_bytes.split(b" ")[1])
+    return status, json.loads(payload) if payload else None
+
+
+class Subscriber:
+    """One streaming subscription: collects events until end-of-stream."""
+
+    def __init__(self, host, port, tenant, query, transport):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.query = query
+        self.transport = transport  # "ws" | "sse"
+        self.events: list[str] = []
+        self.end_reason: str | None = None
+        self.clean_eof = False
+        self.ready = asyncio.Event()
+
+    async def run(self) -> None:
+        if self.transport == "ws":
+            await self._run_ws()
+        else:
+            await self._run_sse()
+
+    @property
+    def _path(self) -> str:
+        return f"/tenants/{self.tenant}/queries/{self.query}/subscribe"
+
+    async def _run_ws(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        key = base64.b64encode(os.urandom(16)).decode()
+        writer.write(
+            (
+                f"GET {self._path} HTTP/1.1\r\nHost: {self.host}\r\n"
+                "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n"
+            ).encode()
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        if b" 101 " not in head.split(b"\r\n")[0] + b" ":
+            raise RuntimeError(f"websocket upgrade refused: {head[:120]!r}")
+        first = True
+        while True:
+            frame = await self._ws_frame(reader)
+            if frame is None:
+                break
+            opcode, payload = frame
+            if opcode == 0x8:  # close
+                self.end_reason = payload[2:].decode() or "closed"
+                self.clean_eof = True
+                break
+            if opcode != 0x1:
+                continue
+            if first:
+                first = False
+                self.ready.set()
+                continue
+            self.events.append(payload.decode())
+        writer.close()
+
+    @staticmethod
+    async def _ws_frame(reader):
+        try:
+            head = await reader.readexactly(2)
+            n = head[1] & 0x7F
+            if n == 126:
+                n = int.from_bytes(await reader.readexactly(2), "big")
+            elif n == 127:
+                n = int.from_bytes(await reader.readexactly(8), "big")
+            payload = await reader.readexactly(n) if n else b""
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        return head[0] & 0x0F, payload
+
+    async def _run_sse(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        writer.write(
+            f"GET {self._path} HTTP/1.1\r\nHost: {self.host}\r\n\r\n".encode()
+        )
+        await writer.drain()
+        buf = b""
+        while True:
+            chunk = await reader.read(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n\n" in buf:
+                frame, _, buf = buf.partition(b"\n\n")
+                event, data = None, None
+                for line in frame.decode().splitlines():
+                    if line.startswith("event: "):
+                        event = line[len("event: ") :]
+                    elif line.startswith("data: "):
+                        data = line[len("data: ") :]
+                if event == "ready":
+                    self.ready.set()
+                elif event == "end":
+                    self.end_reason = json.loads(data)["reason"]
+                    self.clean_eof = True
+                    writer.close()
+                    return
+                elif data is not None:
+                    self.events.append(data)
+        writer.close()
+
+
+# -- the reference run -----------------------------------------------------
+
+
+def reference_streams(config: EngineConfig, edges: list[SGE]) -> dict:
+    """What every subscriber must see: one in-process engine, same
+    config, same queries, same edges, events encoded identically."""
+    engine = StreamingGraphEngine(config)
+    collected: dict[str, list[str]] = {}
+
+    def collector(qid: str):
+        seq = [0]
+        bucket = collected.setdefault(qid, [])
+
+        def cb(event):
+            seq[0] += 1
+            bucket.append(dumps(encode_event(seq[0], event)))
+
+        return cb
+
+    for qid, text in QUERIES.items():
+        engine.register(
+            Query.datalog(text, window=WINDOW, slide=SLIDE),
+            name=qid,
+            on_result=collector(qid),
+        )
+    engine.push_many(edges)
+    engine.close()
+    return collected
+
+
+# -- the drive -------------------------------------------------------------
+
+
+async def drive(args: argparse.Namespace) -> int:
+    host, port = args.host, args.port
+    config = EngineConfig(
+        backend=args.backend, shards=args.shards, execution=args.execution
+    )
+    tenants = [f"tenant{i}" for i in range(args.tenants)]
+    failures: list[str] = []
+
+    # register both queries on every tenant (block policy: parity needs
+    # every subscriber to see every event)
+    for tenant in tenants:
+        for qid, text in QUERIES.items():
+            status, body = await http_call(
+                host,
+                port,
+                "POST",
+                f"/tenants/{tenant}/queries",
+                {
+                    "query": text,
+                    "window": WINDOW,
+                    "slide": SLIDE,
+                    "name": qid,
+                    "policy": "block",
+                },
+            )
+            if status != 201:
+                failures.append(f"register {tenant}/{qid}: {status} {body}")
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+
+    # attach subscribers (round-robin tenants/queries, alternating WS/SSE)
+    subscribers: list[Subscriber] = []
+    qids = list(QUERIES)
+    for i in range(args.subscribers):
+        subscribers.append(
+            Subscriber(
+                host,
+                port,
+                tenants[i % len(tenants)],
+                qids[(i // len(tenants)) % len(qids)],
+                "ws" if i % 2 == 0 else "sse",
+            )
+        )
+    tasks = [asyncio.ensure_future(s.run()) for s in subscribers]
+    await asyncio.wait_for(
+        asyncio.gather(*(s.ready.wait() for s in subscribers)), timeout=60
+    )
+    n_ws = sum(1 for s in subscribers if s.transport == "ws")
+    print(
+        f"{len(subscribers)} subscribers ready "
+        f"({n_ws} ws, {len(subscribers) - n_ws} sse) "
+        f"across {len(tenants)} tenants"
+    )
+
+    # ingest the same stream into every tenant, in batches
+    edges = make_stream(args.seed, args.edges, args.vertices)
+    batch_size = args.batch
+    for start in range(0, len(edges), batch_size):
+        batch = [
+            {"src": e.src, "trg": e.trg, "label": e.label, "t": e.t}
+            for e in edges[start : start + batch_size]
+        ]
+        results = await asyncio.gather(
+            *(
+                http_call(
+                    host, port, "POST", f"/tenants/{t}/ingest", {"edges": batch}
+                )
+                for t in tenants
+            )
+        )
+        for tenant, (status, body) in zip(tenants, results):
+            if status != 200:
+                failures.append(f"ingest {tenant}: {status} {body}")
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print(f"ingested {len(edges)} edges into each of {len(tenants)} tenants")
+
+    status, metrics = await http_call(host, port, "GET", "/metrics")
+    if status == 200:
+        total = sum(
+            t["ingested_total"] for t in metrics["tenants"].values()
+        )
+        print(f"metrics: {total} edges ingested server-side")
+
+    # end the streams: SIGTERM drain or per-query unregister
+    if args.server_pid:
+        print(f"sending SIGTERM to pid {args.server_pid} (graceful drain)")
+        os.kill(args.server_pid, signal.SIGTERM)
+        expected_end = "server draining"
+    else:
+        for tenant in tenants:
+            for qid in QUERIES:
+                status, body = await http_call(
+                    host, port, "DELETE", f"/tenants/{tenant}/queries/{qid}"
+                )
+                if status != 200:
+                    failures.append(
+                        f"unregister {tenant}/{qid}: {status} {body}"
+                    )
+        expected_end = "query unregistered"
+    await asyncio.wait_for(asyncio.gather(*tasks), timeout=120)
+
+    # parity: every subscriber matches the in-process reference
+    reference = reference_streams(config, edges)
+    matched = 0
+    for sub in subscribers:
+        want = reference[sub.query]
+        tag = f"{sub.tenant}/{sub.query}[{sub.transport}]"
+        if not sub.clean_eof:
+            failures.append(f"{tag}: no clean end-of-stream")
+        elif sub.end_reason != expected_end:
+            failures.append(
+                f"{tag}: end reason {sub.end_reason!r} != {expected_end!r}"
+            )
+        if sub.events != want:
+            failures.append(
+                f"{tag}: stream mismatch "
+                f"({len(sub.events)} events vs {len(want)} expected)"
+            )
+        else:
+            matched += 1
+    per_query = {q: len(events) for q, events in reference.items()}
+    print(
+        f"parity: {matched}/{len(subscribers)} subscriber streams identical "
+        f"to the in-process reference {per_query}"
+    )
+    if failures:
+        for failure in failures[:20]:
+            print("FAIL:", failure)
+        print(f"{len(failures)} failure(s)")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--subscribers", type=int, default=200)
+    parser.add_argument("--edges", type=int, default=400)
+    parser.add_argument("--vertices", type=int, default=20)
+    parser.add_argument("--batch", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--server-pid",
+        type=int,
+        default=None,
+        help="SIGTERM this pid after ingest and expect a graceful drain",
+    )
+    engine = parser.add_argument_group(
+        "engine configuration (must match the server's)"
+    )
+    engine.add_argument("--backend", default="sga", choices=("sga", "dd"))
+    engine.add_argument("--shards", type=int, default=1)
+    engine.add_argument(
+        "--execution", default="auto", choices=("auto", "columnar", "vector")
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(drive(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Launch the multi-tenant streaming-query service.
+
+Runs :class:`repro.serve.app.GraphStreamServer` on the stdlib asyncio
+loop — no dependencies beyond the engine itself.  SIGTERM and SIGINT
+trigger a graceful drain: the listener closes, queued ingest finishes,
+every engine session is closed, and subscribers receive their full
+backlog plus an end-of-stream notice before the process exits 0.
+
+Usage::
+
+    python scripts/serve.py                      # 127.0.0.1:8765
+    python scripts/serve.py --port 0             # pick a free port
+    python scripts/serve.py --shards 2 --execution columnar
+    python scripts/serve.py --ingest-rate 50000  # quota: edges/second
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.engine.session import EngineConfig  # noqa: E402
+from repro.serve.app import GraphStreamServer  # noqa: E402
+from repro.serve.subscriptions import BACKPRESSURE_POLICIES  # noqa: E402
+from repro.serve.tenants import ServerLimits  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    limits = parser.add_argument_group("admission limits (per tenant)")
+    limits.add_argument("--max-tenants", type=int, default=64)
+    limits.add_argument("--max-queries", type=int, default=64)
+    limits.add_argument("--max-subscribers", type=int, default=1024)
+    limits.add_argument(
+        "--ingest-rate",
+        type=float,
+        default=None,
+        help="ingest quota in edges/second (default: unmetered)",
+    )
+    limits.add_argument("--ingest-burst", type=int, default=10_000)
+    limits.add_argument("--queue-maxsize", type=int, default=1024)
+    limits.add_argument(
+        "--policy",
+        default="block",
+        choices=BACKPRESSURE_POLICIES,
+        help="default subscriber backpressure policy",
+    )
+    engine = parser.add_argument_group("per-tenant engine configuration")
+    engine.add_argument("--backend", default="sga", choices=("sga", "dd"))
+    engine.add_argument("--shards", type=int, default=1)
+    engine.add_argument(
+        "--execution", default="auto", choices=("auto", "columnar", "vector")
+    )
+    return parser
+
+
+async def run(args: argparse.Namespace) -> int:
+    limits = ServerLimits(
+        max_tenants=args.max_tenants,
+        max_queries_per_tenant=args.max_queries,
+        max_subscribers_per_tenant=args.max_subscribers,
+        ingest_rate=args.ingest_rate,
+        ingest_burst=args.ingest_burst,
+        queue_maxsize=args.queue_maxsize,
+        default_policy=args.policy,
+    )
+    config = EngineConfig(
+        backend=args.backend, shards=args.shards, execution=args.execution
+    )
+    server = GraphStreamServer(
+        host=args.host, port=args.port, limits=limits, engine_config=config
+    )
+    await server.start()
+    print(f"serving on http://{args.host}:{server.port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("draining...", flush=True)
+    await server.shutdown()
+    print("drained; bye", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(run(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

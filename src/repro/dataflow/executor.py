@@ -43,6 +43,7 @@ windows of different lengths over different input streams (Example 4).
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from repro.core.batch import BatchScheduler, RunStats, SlideStats
@@ -142,6 +143,11 @@ class Executor:
         self.vector_grouped = True
         #: Late edges discarded under ``late_policy="drop"``.
         self.late_count = 0
+        #: Wall-clock time of the most recent window movement (None
+        #: before the first edge) — the observability hook behind
+        #: ``QueryHandle.stats()`` and the serving layer's watermark-lag
+        #: metric.  Written once per boundary movement, not per edge.
+        self.last_advance_at: float | None = None
         self._current_boundary: int | None = None
 
     @property
@@ -406,8 +412,11 @@ class Executor:
         """
         if self._current_boundary is None:
             self._current_boundary = boundary
+            self.last_advance_at = time.time()
             self.graph.push_watermark(boundary)
             return
+        if self._current_boundary < boundary:
+            self.last_advance_at = time.time()
         while self._current_boundary < boundary:
             self._current_boundary += self.slide
             self.graph.push_watermark(self._current_boundary)

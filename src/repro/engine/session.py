@@ -53,6 +53,8 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import math
+import threading
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -68,7 +70,11 @@ from repro.core.tuples import SGE, SGT, Label, Vertex
 from repro.dataflow.executor import LATE_POLICIES, Executor
 from repro.dataflow.graph import INSERT, DataflowGraph, PhysicalOperator, SinkOp
 from repro.dd.runtime import DDRuntime
-from repro.engine.sharded import ShardedSgaRuntime, merged_coverage
+from repro.engine.sharded import (
+    MergedTapSink,
+    ShardedSgaRuntime,
+    merged_coverage,
+)
 from repro.errors import ExecutionError, HorizonError, PlanError, StreamOrderError
 from repro.physical.planner import (
     PATH_IMPLS,
@@ -300,6 +306,17 @@ class QueryStats:
     #: relations + closures for dd.
     state_size: int
     live: bool
+    #: Raw result events delivered (inserts + retractions) — the
+    #: push-delivery volume a subscriber to this query observes.
+    events: int = 0
+    #: Last performed window movement (engine boundary for sga, this
+    #: query's epoch for dd); ``None`` before streaming starts.
+    watermark: int | None = None
+    #: Wall-clock time (``time.time()``) of the most recent window
+    #: movement; ``None`` before streaming starts.  ``time.time() -
+    #: last_advance_at`` is the watermark lag the serving layer's
+    #: ``/metrics`` endpoint reports.
+    last_advance_at: float | None = None
 
 
 class QueryHandle:
@@ -419,14 +436,18 @@ class SgaQueryHandle(QueryHandle):
 
     def stats(self) -> QueryStats:
         inserts = self._sink.insert_count
+        total = len(self._sink.events)
         return QueryStats(
             name=self.name,
             backend="sga",
             results=len(self._sink.results()),
             inserts=inserts,
-            retractions=len(self._sink.events) - inserts,
+            retractions=total - inserts,
             state_size=self._engine.state_size(),
             live=self._live,
+            events=total,
+            watermark=self._engine.watermark,
+            last_advance_at=self._engine.last_advance_at,
         )
 
     def explain(self, level: str = "logical") -> str:
@@ -536,6 +557,9 @@ class ShardedQueryHandle(QueryHandle):
             retractions=total - inserts,
             state_size=self._engine.state_size(),
             live=self._live,
+            events=total,
+            watermark=self._engine.watermark,
+            last_advance_at=self._engine.last_advance_at,
         )
 
     def explain(self, level: str = "logical") -> str:
@@ -574,6 +598,8 @@ class DDQueryHandle(QueryHandle):
         self._boundaries: list[int] = []
         self._answers: list[frozenset] = []
         self._last_answer: frozenset = frozenset()
+        #: wall-clock time of the most recent epoch movement
+        self._last_advance_at: float | None = None
 
     # Epoch bookkeeping ---------------------------------------------------
     def advance_epoch(self, boundary: int, inserts: list[SGE]) -> set:
@@ -596,6 +622,8 @@ class DDQueryHandle(QueryHandle):
                 self._record(step, self._runtime.advance_epoch(step, []))
                 step += slide
         answer = self._runtime.advance_epoch(boundary, inserts)
+        if current is None or boundary > current:
+            self._last_advance_at = time.time()
         self._record(boundary, answer)
         return answer
 
@@ -741,6 +769,9 @@ class DDQueryHandle(QueryHandle):
             retractions=retractions,
             state_size=self._runtime.state_size(),
             live=self._live,
+            events=inserts + retractions,
+            watermark=self._runtime.boundary,
+            last_advance_at=self._last_advance_at,
         )
 
     def explain(self, level: str = "logical") -> str:
@@ -790,6 +821,14 @@ class StreamingGraphEngine:
         self._config = config
         self._handles: dict[str, QueryHandle] = {}
         self._auto = 0
+        #: serializes lifecycle and streaming mutations (register /
+        #: unregister / push / push_many / advance_to / delete / tap /
+        #: close) so one session can be driven from several threads —
+        #: the serving layer's per-tenant workers and any direct
+        #: multi-threaded embedding.  Reentrant: an on_result callback
+        #: (fired under the lock, inside push_many) may itself call
+        #: register/unregister on the same thread.
+        self._lifecycle_lock = threading.RLock()
         # sga backend state
         self._graph = DataflowGraph()
         self._caches: dict[tuple, dict[Plan, PhysicalOperator]] = {}
@@ -873,6 +912,46 @@ class StreamingGraphEngine:
             return self._executor.late_count if self._executor else 0
         return len(self._dd_late_dropped)
 
+    @property
+    def watermark(self) -> int | None:
+        """The last performed window movement (``None`` before the
+        stream starts).  For the dd backend: the furthest epoch any
+        registered query has performed."""
+        if self._sharded is not None:
+            return self._sharded._boundary
+        if self._config.backend == "sga":
+            return (
+                self._executor.current_boundary
+                if self._executor is not None
+                else None
+            )
+        boundaries = [
+            h._runtime.boundary
+            for h in self._dd_handles()
+            if h._runtime.boundary is not None
+        ]
+        return max(boundaries) if boundaries else None
+
+    @property
+    def last_advance_at(self) -> float | None:
+        """Wall-clock time of the most recent window movement (``None``
+        before the stream starts) — ``time.time() - last_advance_at``
+        is the watermark lag the serving layer reports."""
+        if self._sharded is not None:
+            return self._sharded.last_advance_at
+        if self._config.backend == "sga":
+            return (
+                self._executor.last_advance_at
+                if self._executor is not None
+                else None
+            )
+        stamps = [
+            h._last_advance_at
+            for h in self._dd_handles()
+            if h._last_advance_at is not None
+        ]
+        return max(stamps) if stamps else None
+
     def handle(self, name: str) -> QueryHandle:
         """The handle of a live query by name."""
         try:
@@ -938,27 +1017,28 @@ class StreamingGraphEngine:
         See the module docstring for mid-stream registration semantics
         (operator re-sharing, watermark alignment, backfill rules).
         """
-        if name is None:
-            name = f"q{self._auto}"
-            self._auto += 1
-        if name in self._handles:
-            raise PlanError(f"query name {name!r} already registered")
-        if isinstance(query, Query):
-            overrides = {**query.options.overrides(), **overrides}
-        bad = set(overrides) - PER_QUERY_OPTIONS
-        if bad:
-            raise ValueError(
-                f"engine-wide config field(s) {sorted(bad)} cannot be "
-                f"overridden per query; per-query options are "
-                f"{sorted(PER_QUERY_OPTIONS)}"
-            )
-        if self._config.backend == "sga":
-            handle = self._register_sga(query, name, on_result, overrides)
-        else:
-            handle = self._register_dd(query, name, on_result, overrides)
-        self._handles[name] = handle
-        self._refresh_vector_mode()
-        return handle
+        with self._lifecycle_lock:
+            if name is None:
+                name = f"q{self._auto}"
+                self._auto += 1
+            if name in self._handles:
+                raise PlanError(f"query name {name!r} already registered")
+            if isinstance(query, Query):
+                overrides = {**query.options.overrides(), **overrides}
+            bad = set(overrides) - PER_QUERY_OPTIONS
+            if bad:
+                raise ValueError(
+                    f"engine-wide config field(s) {sorted(bad)} cannot be "
+                    f"overridden per query; per-query options are "
+                    f"{sorted(PER_QUERY_OPTIONS)}"
+                )
+            if self._config.backend == "sga":
+                handle = self._register_sga(query, name, on_result, overrides)
+            else:
+                handle = self._register_dd(query, name, on_result, overrides)
+            self._handles[name] = handle
+            self._refresh_vector_mode()
+            return handle
 
     def unregister(self, name: str) -> None:
         """Detach a query; works while the stream is live.
@@ -970,18 +1050,19 @@ class StreamingGraphEngine:
         are untouched.  The returned-earlier handle stays readable but
         receives no further results.
         """
-        handle = self._handles.get(name)
-        if handle is None:
-            raise PlanError(f"unknown query {name!r}")
-        if isinstance(handle, ShardedQueryHandle):
-            self._sharded.unregister(name)  # may refuse (process transport)
-        del self._handles[name]
-        handle._live = False
-        if isinstance(handle, SgaQueryHandle):
-            removed = self._graph.prune([handle._sink])
-            for cache in self._caches.values():
-                evict_dead(cache, removed)
-        self._refresh_vector_mode()
+        with self._lifecycle_lock:
+            handle = self._handles.get(name)
+            if handle is None:
+                raise PlanError(f"unknown query {name!r}")
+            if isinstance(handle, ShardedQueryHandle):
+                self._sharded.unregister(name)  # may refuse (process)
+            del self._handles[name]
+            handle._live = False
+            if isinstance(handle, SgaQueryHandle):
+                removed = self._graph.prune([handle._sink])
+                for cache in self._caches.values():
+                    evict_dead(cache, removed)
+            self._refresh_vector_mode()
 
     def _register_sga(
         self,
@@ -1103,14 +1184,15 @@ class StreamingGraphEngine:
     # ------------------------------------------------------------------
     def push(self, edge: SGE) -> None:
         """Insert one streaming graph edge (advances the window first)."""
-        if self._sharded is not None:
-            self._sharded.push(edge)
-            return
-        if self._config.backend == "sga":
-            self._ensure_executor().push_edge(edge)
-            return
-        for handle in self._require_dd_handles():
-            handle._ingest([edge])
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                self._sharded.push(edge)
+                return
+            if self._config.backend == "sga":
+                self._ensure_executor().push_edge(edge)
+                return
+            for handle in self._require_dd_handles():
+                handle._ingest([edge])
 
     def delete(self, edge: SGE) -> None:
         """Explicitly delete a previously inserted edge (negative tuple).
@@ -1122,21 +1204,23 @@ class StreamingGraphEngine:
             raise ExecutionError(
                 "explicit deletions are not supported by the dd backend"
             )
-        if self._sharded is not None:
-            self._sharded.delete(edge)
-            return
-        self._ensure_executor().delete_edge(edge)
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                self._sharded.delete(edge)
+                return
+            self._ensure_executor().delete_edge(edge)
 
     def advance_to(self, t: int) -> None:
         """Advance the window/epochs without inserting (stream silence)."""
-        if self._sharded is not None:
-            self._sharded.advance_to(t)
-            return
-        if self._config.backend == "sga":
-            self._ensure_executor().advance_to(t)
-            return
-        for handle in self._require_dd_handles():
-            handle._advance_to(t)
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                self._sharded.advance_to(t)
+                return
+            if self._config.backend == "sga":
+                self._ensure_executor().advance_to(t)
+                return
+            for handle in self._require_dd_handles():
+                handle._advance_to(t)
 
     def push_many(self, stream: Iterable[SGE]) -> RunStats:
         """Feed a whole timestamp-ordered stream through the shared
@@ -1144,20 +1228,27 @@ class StreamingGraphEngine:
         (optionally capped at ``batch_size``) and flushed through the
         engine in bulk, with no per-edge Python call overhead.  Returns
         per-slide timing statistics.
+
+        Streaming holds the engine's lifecycle lock for the whole run:
+        concurrent ``register`` / ``unregister`` calls from other
+        threads serialize against it — each observes the stream either
+        entirely before or entirely after its own splice point, exactly
+        as if the calls had been issued between ``push_many`` batches.
         """
-        if self._sharded is not None:
-            return self._sharded.push_many(stream)
-        if self._config.backend == "sga":
-            return self._ensure_executor().run(stream)
-        handles = self._require_dd_handles()
-        min_slide = min(h.window.slide for h in handles)
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                return self._sharded.push_many(stream)
+            if self._config.backend == "sga":
+                return self._ensure_executor().run(stream)
+            handles = self._require_dd_handles()
+            min_slide = min(h.window.slide for h in handles)
 
-        def apply(boundary: int, edges: list[SGE]) -> None:
-            for handle in handles:
-                handle._ingest(edges)
+            def apply(boundary: int, edges: list[SGE]) -> None:
+                for handle in handles:
+                    handle._ingest(edges)
 
-        scheduler = BatchScheduler(min_slide, self._config.batch_size)
-        return scheduler.run(stream, apply)
+            scheduler = BatchScheduler(min_slide, self._config.batch_size)
+            return scheduler.run(stream, apply)
 
     #: ``run`` is the familiar name from the legacy facades.
     run = push_many
@@ -1177,9 +1268,15 @@ class StreamingGraphEngine:
             with StreamingGraphEngine(EngineConfig(shards=4,
                     shard_transport="process")) as engine:
                 ...
+
+        Idempotent and thread-safe: a double (or concurrent) close is a
+        no-op, and a handle read racing the close gets either its result
+        or the poisoned :class:`ExecutionError` — the server drains
+        tenants concurrently with subscriber reads.
         """
-        if self._sharded is not None:
-            self._sharded.shutdown()
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                self._sharded.shutdown()
 
     def __enter__(self) -> "StreamingGraphEngine":
         return self
@@ -1190,7 +1287,7 @@ class StreamingGraphEngine:
     # ------------------------------------------------------------------
     # Shared-dataflow introspection (sga backend)
     # ------------------------------------------------------------------
-    def tap(self, label: Label) -> SinkOp:
+    def tap(self, label: Label) -> "SinkOp | MergedTapSink":
         """Attach a sink to the intermediate stream of a derived label.
 
         SGA is closed — every operator's output is a streaming graph —
@@ -1198,30 +1295,38 @@ class StreamingGraphEngine:
         returned sink collects the label's sgts from the moment of the
         call on.  A tap pins its producer: :meth:`unregister` never
         prunes operators a tap still observes.
+
+        Sharded sessions (inline transport) tap every shard's instance
+        of the producing operator and return a
+        :class:`~repro.engine.sharded.MergedTapSink` exposing the same
+        read surface, with events merged back into the global emission
+        order — the same event multiset (and results / coverage /
+        ``valid_at``) as the ``shards=1`` tap stream.
         """
         self._require_sga("tap")
-        if self._sharded is not None:
-            raise ExecutionError(
-                "tap requires shards=1 (intermediate streams are "
-                "partitioned across shard workers)"
-            )
-        for op in self._graph.operators:
-            produced = getattr(op, "out_label", None)
-            if produced is None:
-                produced = getattr(op, "label", None)
-            if produced == label and not isinstance(op, SinkOp):
-                sink = SinkOp(name=f"tap[{label}]")
-                if self._interner is not None:
-                    # Tap events are user-facing raw stream data: decode
-                    # on arrival so ``tap.events`` carries real vertices.
-                    sink.interner = self._interner
-                    sink.decode_eagerly = True
-                self._graph.add(sink)
-                self._graph.connect(op, sink, 0)
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                sink = self._sharded.tap(label, self._interner)
                 self._has_tap = True
-                self._refresh_vector_mode()
                 return sink
-        raise PlanError(f"no operator produces label {label!r}")
+            for op in self._graph.operators:
+                produced = getattr(op, "out_label", None)
+                if produced is None:
+                    produced = getattr(op, "label", None)
+                if produced == label and not isinstance(op, SinkOp):
+                    sink = SinkOp(name=f"tap[{label}]")
+                    if self._interner is not None:
+                        # Tap events are user-facing raw stream data:
+                        # decode on arrival so ``tap.events`` carries
+                        # real vertices.
+                        sink.interner = self._interner
+                        sink.decode_eagerly = True
+                    self._graph.add(sink)
+                    self._graph.connect(op, sink, 0)
+                    self._has_tap = True
+                    self._refresh_vector_mode()
+                    return sink
+            raise PlanError(f"no operator produces label {label!r}")
 
     def operator_count(self) -> int:
         """Operators in the shared dataflow (excluding sinks).
@@ -1260,12 +1365,17 @@ class StreamingGraphEngine:
 
         Sharded: summed over all shards — replicated state (windowed
         adjacencies, replication-zone operators) counts once per shard.
+
+        Takes the lifecycle lock: the walk iterates operator-internal
+        dicts, which a concurrent ``push_many`` resizes (``stats()``
+        from a reader thread must not crash mid-ingest).
         """
-        if self._sharded is not None:
-            return self._sharded.state_size()
-        if self._config.backend == "sga":
-            return self._graph.state_size()
-        return sum(h._runtime.state_size() for h in self._dd_handles())
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                return self._sharded.state_size()
+            if self._config.backend == "sga":
+                return self._graph.state_size()
+            return sum(h._runtime.state_size() for h in self._dd_handles())
 
     # ------------------------------------------------------------------
     # Internals

@@ -51,26 +51,43 @@ Two transports ship with the runtime:
 
 from __future__ import annotations
 
+import heapq
 import math
+import threading
+import time
 from typing import Callable, Iterable
 
 from repro.algebra.operators import Plan
 from repro.core.batch import BatchScheduler, RunStats
+from repro.core.coalesce import coalesce_stream
 from repro.core.intervals import Interval
 from repro.core.partition import ShardContext
 from repro.core.tuples import SGE, SGT
 from repro.dataflow.graph import (
     DELETE,
+    INSERT,
     DataflowGraph,
     Event,
     SinkOp,
+    SourceOp,
     events_coverage,
 )
-from repro.errors import ExecutionError, StreamOrderError
-from repro.physical.planner import ShardSpec, compile_into, evict_dead, plan_slide
+from repro.errors import ExecutionError, PlanError, StreamOrderError
+from repro.physical.exchange import (
+    ShardBroadcastOp,
+    ShardPartitionFilterOp,
+    ShardRouteOp,
+)
+from repro.physical.planner import (
+    ShardSpec,
+    _stream_partitioned,
+    compile_into,
+    evict_dead,
+    plan_slide,
+)
 from repro.physical.rpq_negative import NegativeTupleRpqOp
 
-__all__ = ["ShardedSgaRuntime"]
+__all__ = ["ShardedSgaRuntime", "MergedTapSink"]
 
 #: Worker → parent exchange message: (dest_shard, endpoint_uid, payload).
 OutboxMessage = tuple[int, int, tuple]
@@ -133,6 +150,21 @@ class ShardedSgaRuntime:
         self._boundary: int | None = None
         self._slide: int | None = None
         self.late_count = 0
+        #: wall-clock time of the most recent window movement (see
+        #: :attr:`repro.dataflow.executor.Executor.last_advance_at`)
+        self.last_advance_at: float | None = None
+        #: guards the close/fail transitions against reads racing them
+        #: (the serving layer drains tenants concurrently): `shutdown`
+        #: and `_fail` swap the worker pool out under this lock, and
+        #: every read snapshots the pool through it, so a racing read
+        #: gets either live workers or the poisoned ExecutionError —
+        #: never a half-torn-down pool.
+        self._state_lock = threading.Lock()
+        #: serializes whole request/response rounds on the worker pipes
+        #: (process transport): a read from one thread interleaving with
+        #: a streaming round (or another read) from a second thread
+        #: would cross-deliver the pipe responses.
+        self._io_lock = threading.RLock()
         # inline transport state
         self._shards: list[_Shard] | None = None
         self._callbacks: dict[str, Callable] = {}
@@ -180,9 +212,10 @@ class ShardedSgaRuntime:
     def state_size(self) -> int:
         if self.transport == "inline":
             return sum(s.graph.state_size() for s in self._shards)
-        if self._workers is None:
+        workers = self._workers_snapshot()
+        if workers is None:
             return 0
-        return sum(self._request(w, ("state",)) for w in self._workers)
+        return sum(self._request(w, ("state",)) for w in workers)
 
     def _require_inline(self, what: str) -> None:
         if self.transport != "inline":
@@ -294,8 +327,11 @@ class ShardedSgaRuntime:
         slide = self._slide
         if self._boundary is None:
             self._boundary = boundary
+            self.last_advance_at = time.time()
             self._step_watermark(boundary)
             return
+        if self._boundary < boundary:
+            self.last_advance_at = time.time()
         while self._boundary < boundary:
             self._boundary += slide
             self._step_watermark(self._boundary)
@@ -368,9 +404,10 @@ class ShardedSgaRuntime:
         )
         if self.transport == "process":
             self._ensure_workers()
-            for worker in self._workers:
-                worker[0].send(("delete", sgt, edge.label))
-            self._drain([self._recv_outbox(w) for w in self._workers])
+            with self._io_lock:
+                for worker in self._workers:
+                    worker[0].send(("delete", sgt, edge.label))
+                self._drain([self._recv_outbox(w) for w in self._workers])
             return
         for shard in self._shards:
             shard.graph.push(edge.label, Event(sgt, DELETE))
@@ -384,19 +421,22 @@ class ShardedSgaRuntime:
             current = self._boundary
             self._advance_boundary_only(boundary)
             if self._boundary != current:
-                for worker in self._workers:
-                    worker[0].send(("advance", self._boundary))
-                self._drain([self._recv_outbox(w) for w in self._workers])
+                with self._io_lock:
+                    for worker in self._workers:
+                        worker[0].send(("advance", self._boundary))
+                    self._drain([self._recv_outbox(w) for w in self._workers])
             return
         self._advance(boundary)
 
     def _advance_boundary_only(self, boundary: int) -> None:
         if self._boundary is None:
             self._boundary = boundary
+            self.last_advance_at = time.time()
         elif boundary > self._boundary:
             slide = self._slide
             steps = (boundary - self._boundary) // slide
             self._boundary += steps * slide
+            self.last_advance_at = time.time()
 
     def push_many(self, stream: Iterable[SGE]) -> RunStats:
         self._require_queries()
@@ -471,9 +511,17 @@ class ShardedSgaRuntime:
         are out of protocol sync mid-round), so the pool is unusable:
         terminate everything and poison subsequent calls with a clear
         ExecutionError instead of raw BrokenPipeError/EOFError surprises.
+
+        A pipe error raced by a concurrent :meth:`shutdown` is not a
+        worker failure — the close already owns the pool teardown, so
+        the existing poisoned close error is surfaced instead.
         """
-        workers, self._workers = self._workers, None
-        self._failed = reason
+        with self._state_lock:
+            existing = self._usability_error()
+            if existing is not None:
+                return existing
+            workers, self._workers = self._workers, None
+            self._failed = reason
         for conn, process in workers or ():
             try:
                 conn.close()
@@ -496,11 +544,12 @@ class ShardedSgaRuntime:
         return payload
 
     def _request(self, worker, message: tuple):
-        try:
-            worker[0].send(message)
-            kind, payload = worker[0].recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise self._fail(repr(exc)) from exc
+        with self._io_lock:
+            try:
+                worker[0].send(message)
+                kind, payload = worker[0].recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise self._fail(repr(exc)) from exc
         if kind == "error":
             raise self._fail(str(payload))
         return payload
@@ -554,9 +603,10 @@ class ShardedSgaRuntime:
             )
             i = j
         message = ("apply", boundary, runs)
-        for worker in self._workers:
-            worker[0].send(message)
-        self._drain([self._recv_outbox(w) for w in self._workers])
+        with self._io_lock:
+            for worker in self._workers:
+                worker[0].send(message)
+            self._drain([self._recv_outbox(w) for w in self._workers])
 
     # ------------------------------------------------------------------
     # Read surfaces (merged across shards)
@@ -577,6 +627,108 @@ class ShardedSgaRuntime:
             if name in shard.sinks
         ]
 
+    def tap(self, label: str, interner) -> "MergedTapSink":
+        """Attach a tap to a derived label's intermediate stream.
+
+        The sharded equivalent of the serial engine's ``tap()``: one
+        sink per shard on the shard-local instance of the producing
+        operator, merged back into the *global emission order* through a
+        shared arrival clock.  The merged stream carries exactly the
+        serial engine's event multiset (the ``shards=1`` golden tests
+        pin events, results, coverage and ``valid_at``); for replicated
+        streams the order is the serial order too, while partitioned
+        streams interleave per-root work shard-major within each push.
+
+        Partitioned streams (PATH/PATTERN outputs, routed coalescers)
+        emit each delta on exactly one shard, so the per-shard sinks
+        subscribe directly.  Replicated streams (WSCAN outputs, the
+        rep-zone chains feeding PATH adjacencies) would arrive N times;
+        those get a :class:`ShardPartitionFilterOp` in front of each
+        sink — the same owner-of-src dedup ``compile_into`` applies to
+        replicated result streams before query sinks.
+
+        Tap sinks pin their producers exactly like serial taps:
+        ``graph.prune`` keeps everything a retained sink still reaches.
+        """
+        if self.transport != "inline":
+            raise ExecutionError(
+                "tap requires shard_transport='inline' "
+                "(intermediate streams live inside the process workers)"
+            )
+        shards = self._shards
+        index: int | None = None
+        for i, op in enumerate(shards[0].graph.operators):
+            produced = getattr(op, "out_label", None)
+            if produced is None:
+                produced = getattr(op, "label", None)
+            if produced == label and not isinstance(op, SinkOp):
+                index = i
+                break
+        if index is None:
+            raise PlanError(f"no operator produces label {label!r}")
+        partitioned = self._op_partitioned(
+            shards[0], shards[0].graph.operators[index]
+        )
+        clock = [0]
+        parts: list[_TapShardSink] = []
+        for shard in shards:
+            # Compilation is deterministic, so the operator at the same
+            # position is the same logical node on every shard.
+            producer = shard.graph.operators[index]
+            sink = _TapShardSink(f"tap[{label}]", clock)
+            if interner is not None:
+                sink.interner = interner
+                sink.decode_eagerly = True
+            shard.graph.add(sink)
+            if partitioned:
+                shard.graph.connect(producer, sink, 0)
+            else:
+                filt = ShardPartitionFilterOp(shard.ctx, label)
+                shard.graph.add(filt)
+                shard.graph.connect(producer, filt, 0)
+                shard.graph.connect(filt, sink, 0)
+            parts.append(sink)
+        return MergedTapSink(f"tap[{label}]", parts)
+
+    def _op_partitioned(self, shard: _Shard, op) -> bool:
+        """Whether ``op``'s output stream is partitioned across shards
+        (each delta on exactly one shard) or replicated (every shard
+        emits a copy).
+
+        Exchange operators and sources declare their status by type;
+        compiled plan operators are reverse-looked-up in the shard's
+        compile caches, whose key forms encode the replication zone:
+        ``(plan, rep)`` / bare ``plan`` (WScan), ``("coalesce", plan,
+        rep)``, ``("route", plan)``, ``("pfilter", plan)``.
+        """
+        if isinstance(op, (ShardRouteOp, ShardPartitionFilterOp)):
+            return True
+        if isinstance(op, (ShardBroadcastOp, SourceOp)):
+            return False
+        for cache in shard.caches.values():
+            for key, cached in cache.items():
+                if cached is not op:
+                    continue
+                if not isinstance(key, tuple):
+                    # bare WScan key: one instance serves both zones,
+                    # output replicated (every shard windows the input)
+                    return _stream_partitioned(key)
+                if isinstance(key[0], str):
+                    if key[0] == "coalesce":
+                        return not key[2]
+                    return True  # "route" / "pfilter"
+                plan, rep = key
+                # A rep-zone instance may also be cached under
+                # (plan, False) — only when the stream is replicated
+                # either way, so rep=True is decisive.
+                if not rep:
+                    return _stream_partitioned(plan)
+                return False
+        raise ExecutionError(
+            f"cannot determine shard partitioning of {op!r}; "
+            "tap the query result through its handle instead"
+        )
+
     def events(self, name: str) -> list[Event]:
         """Every result event of a query, concatenated across shards.
 
@@ -594,25 +746,43 @@ class ShardedSgaRuntime:
                 if sink is not None:
                     out.extend(sink.events)
             return out
-        self._check_usable()
-        if self._workers is None:
+        workers = self._workers_snapshot()
+        if workers is None:
             return []
         out = []
-        for worker in self._workers:
+        for worker in workers:
             out.extend(self._request(worker, ("read", name)))
         return out
 
-    def _check_usable(self) -> None:
+    def _usability_error(self) -> ExecutionError | None:
         if self._failed is not None:
-            raise ExecutionError(
+            return ExecutionError(
                 f"shard workers failed earlier ({self._failed}); "
                 "create a fresh engine"
             )
         if self._closed:
-            raise ExecutionError(
+            return ExecutionError(
                 "the engine has been closed (shard workers stopped); "
                 "read results before close()"
             )
+        return None
+
+    def _check_usable(self) -> None:
+        error = self._usability_error()
+        if error is not None:
+            raise error
+
+    def _workers_snapshot(self) -> "list | None":
+        """The live worker pool (``None`` before streaming starts).
+
+        Snapshotted under the state lock: a read racing ``close()`` (the
+        serving layer drains tenants concurrently with subscriber reads)
+        observes either the live pool or the poisoned
+        :class:`ExecutionError` — never a half-torn-down pool.
+        """
+        with self._state_lock:
+            self._check_usable()
+            return self._workers
 
     def event_counts(self, name: str) -> tuple[int, int]:
         """(insert events, total events) across shards — counted inside
@@ -626,11 +796,11 @@ class ShardedSgaRuntime:
                     inserts += sink.insert_count
                     total += len(sink.events)
             return inserts, total
-        self._check_usable()
-        if self._workers is None:
+        workers = self._workers_snapshot()
+        if workers is None:
             return 0, 0
         inserts = total = 0
-        for worker in self._workers:
+        for worker in workers:
             i, n = self._request(worker, ("count", name))
             inserts += i
             total += n
@@ -649,7 +819,8 @@ class ShardedSgaRuntime:
                 "worker_busy_seconds requires shard_transport='process' "
                 "with a started stream"
             )
-        return [self._request(w, ("busy",)) for w in self._workers]
+        workers = self._workers_snapshot()
+        return [self._request(w, ("busy",)) for w in workers]
 
     def clear_results(self, name: str) -> None:
         if self.transport == "inline":
@@ -658,22 +829,34 @@ class ShardedSgaRuntime:
                 if sink is not None:
                     sink.clear()
             return
-        if self._workers is not None:
-            for worker in self._workers:
+        with self._state_lock:
+            workers = self._workers
+        if workers is not None:
+            for worker in workers:
                 self._request(worker, ("clear", name))
 
     def shutdown(self) -> None:
-        if self.transport == "process":
-            self._closed = True
-        if self._workers is not None:
-            for conn, process in self._workers:
-                try:
-                    conn.send(("stop",))
-                    conn.close()
-                except (BrokenPipeError, OSError):  # pragma: no cover
-                    pass
-                process.join(timeout=5)
-            self._workers = None
+        """Stop the worker pool.  Idempotent: a second (or concurrent)
+        close finds the pool already swapped out under the state lock
+        and returns without touching anything; reads racing the close
+        observe the poisoned :class:`ExecutionError` via
+        :meth:`_workers_snapshot`, never a half-closed pool."""
+        with self._state_lock:
+            if self.transport == "process":
+                self._closed = True
+            workers, self._workers = self._workers, None
+        if workers is not None:
+            # Let any in-flight request round complete before stopping
+            # the workers — reads that began before the close finish
+            # normally, later ones see the poisoned error above.
+            with self._io_lock:
+                for conn, process in workers:
+                    try:
+                        conn.send(("stop",))
+                        conn.close()
+                    except (BrokenPipeError, OSError):  # pragma: no cover
+                        pass
+                    process.join(timeout=5)
 
     def __del__(self):  # pragma: no cover - interpreter teardown
         try:
@@ -793,6 +976,107 @@ def _worker_main(conn, shard_id, num_shards, queries, slide):
 # ----------------------------------------------------------------------
 # Merged read-surface helpers (used by the session's sharded handle)
 # ----------------------------------------------------------------------
+class _TapShardSink(SinkOp):
+    """One shard's tap sink, stamping a *global* arrival sequence.
+
+    All of a tap's per-shard sinks share one ``clock`` (a one-element
+    list); the inline transport is single-threaded, so the stamp each
+    event gets is its position in the global execution order.  Merging
+    the per-shard streams by stamp restores that global order — the
+    serial tap stream's multiset always, and its exact sequence for
+    replicated streams (partitioned operators divide one push's work
+    across shards, so their within-push interleaving is shard-major).
+
+    Batches are unwrapped eagerly (taps are an observability surface,
+    not the hot path): the base class's deferred-batch read path would
+    lose per-event arrival positions.
+    """
+
+    def __init__(self, name: str, clock: list[int]):
+        super().__init__(name)
+        self._clock = clock
+        #: arrival stamp of ``events[i]``, strictly increasing per shard
+        self.seqs: list[int] = []
+
+    def on_event(self, port: int, event: Event) -> None:
+        self._clock[0] += 1
+        self.seqs.append(self._clock[0])
+        super().on_event(port, event)
+
+    def on_batch(self, port: int, batch) -> None:
+        signs = batch.signs
+        if signs is None:
+            for sgt in batch.sgts:
+                self.on_event(port, Event(sgt))
+        else:
+            for sgt, sign in zip(batch.sgts, signs):
+                self.on_event(port, Event(sgt, sign))
+
+    def clear(self) -> None:
+        super().clear()
+        self.seqs.clear()
+
+
+class MergedTapSink:
+    """Read facade over a sharded tap's per-shard sinks.
+
+    Mirrors the :class:`~repro.dataflow.graph.SinkOp` read surface
+    (``events`` / ``results`` / ``coverage`` / ``valid_at`` /
+    ``insert_count`` / ``set_callback`` / ``clear``) so callers are
+    oblivious to shard count.  ``events`` merges the per-shard streams
+    by their shared arrival stamps back into the global emission order
+    — the same event multiset as the ``shards=1`` tap stream.
+    """
+
+    def __init__(self, name: str, parts: list[_TapShardSink]):
+        self.name = name
+        self._parts = parts
+
+    @property
+    def events(self) -> list[Event]:
+        # Per-shard (seq, event) runs are each sorted by seq and seqs
+        # are globally unique, so a k-way heap merge restores the global
+        # emission order without ever comparing events.
+        return [
+            event
+            for _, event in heapq.merge(
+                *(zip(part.seqs, part.events) for part in self._parts)
+            )
+        ]
+
+    @property
+    def insert_count(self) -> int:
+        return sum(part.insert_count for part in self._parts)
+
+    def set_callback(self, callback) -> None:
+        """Push delivery: the per-shard sinks fire synchronously inside
+        the lockstep schedule, so callbacks arrive in exactly the global
+        emission order (no merge needed on the push path)."""
+        for part in self._parts:
+            part.set_callback(callback)
+
+    def results(self):
+        """Coalesced insert-side sgts across shards (set semantics —
+        same fold as :meth:`SinkOp.results`).  Tap events are decoded on
+        arrival, so no read-time decode pass is needed."""
+        inserts = (e.sgt for e in self.events if e.sign == INSERT)
+        return coalesce_stream(inserts)
+
+    def coverage(self) -> dict:
+        return events_coverage(self.events)
+
+    def valid_at(self, t: int) -> set:
+        return {
+            key
+            for key, intervals in self.coverage().items()
+            if any(iv.contains(t) for iv in intervals)
+        }
+
+    def clear(self) -> None:
+        for part in self._parts:
+            part.clear()
+
+
 def merged_coverage(events: list[Event], interner) -> dict:
     """Net validity cover per result key over a merged event stream
     (the sharded equivalent of :meth:`SinkOp.coverage` — one shared

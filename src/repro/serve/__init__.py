@@ -1,0 +1,23 @@
+"""The serving layer: an asyncio multi-tenant front-end over the engine.
+
+Stdlib-only (asyncio + sockets — no required dependencies): an HTTP +
+WebSocket/SSE server that fronts per-tenant
+:class:`~repro.engine.session.StreamingGraphEngine` sessions with query
+registration, batched edge ingestion, push-based result subscriptions,
+admission control, quotas, metrics and graceful drain.  See
+:mod:`repro.serve.app` for the endpoint surface and
+``scripts/serve.py`` for the launcher.
+"""
+
+from repro.serve.app import GraphStreamServer
+from repro.serve.subscriptions import BACKPRESSURE_POLICIES, SubscriberQueue
+from repro.serve.tenants import AdmissionError, ServerLimits, TenantManager
+
+__all__ = [
+    "GraphStreamServer",
+    "SubscriberQueue",
+    "BACKPRESSURE_POLICIES",
+    "ServerLimits",
+    "TenantManager",
+    "AdmissionError",
+]

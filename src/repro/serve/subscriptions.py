@@ -1,0 +1,151 @@
+"""Bounded per-subscriber delivery queues bridging engine → event loop.
+
+Result events are produced on a tenant's engine worker *thread* (the
+``on_result`` callbacks fire inside ``push_many``) and consumed by
+asyncio connection handlers.  :class:`SubscriberQueue` is that bridge:
+a bounded deque guarded by a ``threading.Condition`` on the producer
+side, with an ``asyncio.Event`` the consumer awaits, signaled through
+``loop.call_soon_threadsafe`` only on empty→non-empty transitions (one
+wakeup per drain cycle, not per event).
+
+Backpressure when a subscriber stops draining is a per-subscription
+choice among three policies:
+
+``"block"``
+    The producing worker thread waits for queue space — ingestion slows
+    to the slowest subscriber's pace, and **no subscriber ever misses an
+    event** (the policy the parity-checking load client uses).
+``"drop"``
+    The event is counted and discarded for this subscriber; delivery
+    resumes when the queue drains.  Ingestion never stalls.
+``"disconnect"``
+    The subscription is closed with a ``slow consumer`` reason; the
+    handler sends a final notice and hangs up.  Ingestion never stalls
+    and every *delivered* stream is gap-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+
+BACKPRESSURE_POLICIES = ("block", "drop", "disconnect")
+
+
+class SubscriberQueue:
+    """One subscriber's bounded event queue (thread → asyncio bridge)."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        maxsize: int = 1024,
+        policy: str = "block",
+    ):
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.policy = policy
+        self.maxsize = maxsize
+        self._loop = loop
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._event = asyncio.Event()
+        self._signaled = False
+        self.closed = False
+        #: why the queue closed (``None`` for a consumer-side close)
+        self.close_reason: str | None = None
+        #: events enqueued for this subscriber
+        self.delivered = 0
+        #: events discarded under the ``"drop"`` policy
+        self.dropped = 0
+
+    # -- producer side (engine worker thread) --------------------------
+    def offer(self, item: object) -> bool:
+        """Enqueue one event per the backpressure policy.
+
+        Returns False when the queue is (or just became) closed — the
+        fan-out loop then detaches this subscriber.  Called from the
+        tenant's engine worker thread.
+        """
+        with self._cond:
+            if self.closed:
+                return False
+            if len(self._items) >= self.maxsize:
+                if self.policy == "drop":
+                    self.dropped += 1
+                    return True
+                if self.policy == "disconnect":
+                    self._close_locked("slow consumer")
+                    return False
+                # "block": wait for the consumer to drain (or vanish)
+                while len(self._items) >= self.maxsize and not self.closed:
+                    self._cond.wait()
+                if self.closed:
+                    return False
+            self._items.append(item)
+            self.delivered += 1
+            self._wake_consumer_locked()
+            return True
+
+    def close(self, reason: str | None = None) -> None:
+        """Close the queue (idempotent; safe from any thread).
+
+        Already-enqueued events stay readable — :meth:`drain` returns
+        them before reporting the close — so a drain-time close loses
+        nothing that was delivered.
+        """
+        with self._cond:
+            if self.closed:
+                return
+            self._close_locked(reason)
+
+    def _close_locked(self, reason: str | None) -> None:
+        self.closed = True
+        self.close_reason = reason
+        self._cond.notify_all()  # release a blocked producer
+        self._wake_consumer_locked()
+
+    def _wake_consumer_locked(self) -> None:
+        if not self._signaled:
+            self._signaled = True
+            try:
+                self._loop.call_soon_threadsafe(self._event.set)
+            except RuntimeError:  # pragma: no cover - loop shut down
+                pass
+
+    # -- consumer side (asyncio handler) --------------------------------
+    @property
+    def depth(self) -> int:
+        """Current queue occupancy (for the metrics endpoint)."""
+        return len(self._items)
+
+    async def drain(self) -> list | None:
+        """Await and return every queued item; ``None`` once closed.
+
+        Returns the whole backlog in one batch (the handler writes it as
+        one socket flush).  After :meth:`close`, remaining items are
+        still returned first; the ``None`` terminator follows on the
+        next call.
+        """
+        while True:
+            await self._event.wait()
+            with self._cond:
+                items = list(self._items)
+                self._items.clear()
+                self._signaled = False
+                self._event.clear()
+                closed = self.closed
+                # a producer blocked on a full queue can resume now
+                self._cond.notify_all()
+            if closed:
+                # keep the event set so the call after the final batch
+                # (and any call after that) returns None immediately
+                self._event.set()
+                return items or None
+            if items:
+                return items

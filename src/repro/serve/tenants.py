@@ -1,0 +1,353 @@
+"""Per-tenant engine sessions, worker threads, fan-out and admission.
+
+Each tenant owns one :class:`~repro.engine.session.StreamingGraphEngine`
+built from the tenant's :class:`~repro.engine.session.EngineConfig`, and
+one **worker thread** that executes every engine call in submission
+order: ingestion stays timestamp-ordered, result callbacks fire off the
+event loop, and the asyncio handlers never block on engine work (they
+``await`` a future instead).
+
+Admission control is declarative (:class:`ServerLimits`): tenant count,
+queries per tenant, subscribers per tenant, and an ingest token bucket
+(edges/second with a burst allowance).  Violations raise
+:class:`AdmissionError`, which the HTTP layer maps to ``429 Too Many
+Requests`` with a ``Retry-After`` hint for rate limits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.serve.protocol import RegisterSpec, dumps, encode_event
+from repro.serve.subscriptions import BACKPRESSURE_POLICIES, SubscriberQueue
+
+
+class AdmissionError(Exception):
+    """An admission-control rejection (HTTP 429).
+
+    ``retry_after`` carries the token-bucket refill estimate in seconds
+    (``None`` for structural limits like query/subscriber counts, where
+    retrying without releasing something cannot succeed).
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class NotFoundError(Exception):
+    """Unknown tenant or query (HTTP 404)."""
+
+
+@dataclass(frozen=True)
+class ServerLimits:
+    """Admission-control knobs, applied uniformly per tenant."""
+
+    max_tenants: int = 64
+    max_queries_per_tenant: int = 64
+    max_subscribers_per_tenant: int = 1024
+    #: ingest quota in edges/second (``None`` = unmetered); enforced by
+    #: a token bucket with ``ingest_burst`` capacity
+    ingest_rate: float | None = None
+    ingest_burst: int = 10_000
+    #: subscriber queue bound (events) and default backpressure policy
+    queue_maxsize: int = 1024
+    default_policy: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.default_policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown default_policy {self.default_policy!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+
+
+class TokenBucket:
+    """The ingest-rate quota: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float | None, burst: int):
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_consume(self, n: int) -> float:
+        """Take ``n`` tokens; returns 0.0 on success, else the seconds
+        until the bucket will hold ``n`` (the ``Retry-After`` hint)."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._stamp) * self.rate,
+            )
+            self._stamp = now
+            if n <= self._tokens:
+                self._tokens -= n
+                return 0.0
+            return max((n - self._tokens) / self.rate, 0.001)
+
+
+class RateMeter:
+    """Sliding-window event rate (the ``/metrics`` ingest rate)."""
+
+    def __init__(self, horizon: float = 10.0):
+        self.horizon = horizon
+        self.total = 0
+        self._samples: list[tuple[float, int]] = []
+        self._lock = threading.Lock()
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self.total += n
+            self._samples.append((time.monotonic(), n))
+
+    def rate(self) -> float:
+        """Events/second over the trailing horizon."""
+        with self._lock:
+            cutoff = time.monotonic() - self.horizon
+            self._samples = [s for s in self._samples if s[0] >= cutoff]
+            return sum(n for _, n in self._samples) / self.horizon
+
+
+class QueryChannel:
+    """One registered query's push fan-out: seq numbering + subscribers.
+
+    ``deliver`` runs on the tenant's engine worker thread, inside
+    ``push_many``: it stamps the per-query sequence number, encodes the
+    event once, and offers the encoded message to every subscriber's
+    queue under its backpressure policy.  Every subscriber therefore
+    observes the same numbered stream — the property the load client's
+    parity check rests on.
+    """
+
+    def __init__(self, name: str, policy: str | None = None):
+        self.name = name
+        #: per-query default backpressure policy (register-time choice)
+        self.policy = policy
+        self.seq = 0
+        self._subscribers: list[SubscriberQueue] = []
+        self._lock = threading.Lock()
+
+    def deliver(self, event) -> None:
+        self.seq += 1
+        message = dumps(encode_event(self.seq, event))
+        with self._lock:
+            subscribers = list(self._subscribers)
+        stale = [sub for sub in subscribers if not sub.offer(message)]
+        if stale:
+            with self._lock:
+                for sub in stale:
+                    if sub in self._subscribers:
+                        self._subscribers.remove(sub)
+
+    def attach(self, sub: SubscriberQueue) -> None:
+        with self._lock:
+            self._subscribers.append(sub)
+
+    def detach(self, sub: SubscriberQueue) -> None:
+        with self._lock:
+            if sub in self._subscribers:
+                self._subscribers.remove(sub)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def queue_depths(self) -> list[int]:
+        with self._lock:
+            return [sub.depth for sub in self._subscribers]
+
+    def close_subscribers(self, reason: str | None) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+            self._subscribers.clear()
+        for sub in subscribers:
+            sub.close(reason)
+
+
+_STOP = object()
+
+
+class Tenant:
+    """One tenant: an engine session plus its single worker thread."""
+
+    def __init__(self, name: str, config: EngineConfig, limits: ServerLimits):
+        self.name = name
+        self.config = config
+        self.limits = limits
+        self.engine = StreamingGraphEngine(config)
+        self.channels: dict[str, QueryChannel] = {}
+        self.bucket = TokenBucket(limits.ingest_rate, limits.ingest_burst)
+        self.ingest_meter = RateMeter()
+        self._auto = itertools.count()
+        self._commands: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self.draining = False
+        self._drained = False
+        self._thread = threading.Thread(
+            target=self._worker, name=f"tenant-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- worker thread ---------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            fn, future = self._commands.get()
+            if fn is _STOP:
+                future.set_result(None)
+                break
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn())
+            except BaseException as exc:
+                future.set_exception(exc)
+
+    def submit(self, fn) -> concurrent.futures.Future:
+        """Queue one engine call for the worker thread (FIFO order)."""
+        if self.draining:
+            raise AdmissionError(f"tenant {self.name!r} is draining")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._commands.put((fn, future))
+        return future
+
+    async def call(self, fn):
+        """Run ``fn`` on the worker thread, awaiting its result."""
+        return await asyncio.wrap_future(self.submit(fn))
+
+    # -- engine-facing operations (run on the worker thread) -------------
+    def register(self, spec: RegisterSpec) -> str:
+        """Build + register the query; returns the query id.
+
+        Admission (query count, name collisions) is checked under the
+        tenant lock *before* the expensive parse/compile.
+        """
+        with self._lock:
+            if len(self.channels) >= self.limits.max_queries_per_tenant:
+                raise AdmissionError(
+                    f"tenant {self.name!r} is at its query limit "
+                    f"({self.limits.max_queries_per_tenant})"
+                )
+            qid = spec.name or f"q{next(self._auto)}"
+            if qid in self.channels:
+                raise AdmissionError(f"query {qid!r} already registered")
+            channel = QueryChannel(qid, spec.policy)
+            self.channels[qid] = channel
+        try:
+            query = spec.build_query()
+            self.engine.register(query, name=qid, on_result=channel.deliver)
+        except BaseException:
+            with self._lock:
+                self.channels.pop(qid, None)
+            raise
+        return qid
+
+    def unregister(self, qid: str) -> None:
+        with self._lock:
+            channel = self.channels.pop(qid, None)
+        if channel is None:
+            raise NotFoundError(f"unknown query {qid!r}")
+        self.engine.unregister(qid)
+        channel.close_subscribers("query unregistered")
+
+    def ingest(self, edges: list) -> dict:
+        stats = self.engine.push_many(edges)
+        self.ingest_meter.add(len(edges))
+        return {
+            "ingested": len(edges),
+            "watermark": self.engine.watermark,
+            "elapsed": stats.total_seconds,
+        }
+
+    def channel(self, qid: str) -> QueryChannel:
+        channel = self.channels.get(qid)
+        if channel is None:
+            raise NotFoundError(f"unknown query {qid!r}")
+        return channel
+
+    @property
+    def subscriber_count(self) -> int:
+        return sum(c.subscriber_count for c in self.channels.values())
+
+    def admit_subscriber(self) -> None:
+        if self.subscriber_count >= self.limits.max_subscribers_per_tenant:
+            raise AdmissionError(
+                f"tenant {self.name!r} is at its subscriber limit "
+                f"({self.limits.max_subscribers_per_tenant})"
+            )
+
+    # -- drain -----------------------------------------------------------
+    async def drain(self) -> None:
+        """Graceful shutdown: finish queued work, close, flush, stop.
+
+        Ordering matters for the no-lost-results guarantee: the stop
+        sentinel *follows* every already-queued ingest command, so all
+        in-flight results reach the subscriber queues before the queues
+        are closed — subscribers then read their remaining backlog and
+        see a clean end-of-stream.
+
+        Idempotent: a second drain (e.g. an explicit ``drain_all``
+        followed by the server's own shutdown) is a no-op — the stop
+        sentinel must not be re-queued once the worker has exited.
+        """
+        self.draining = True
+        if self._drained:
+            return
+        self._drained = True
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._commands.put((_STOP, future))
+        await asyncio.wrap_future(future)
+        self.engine.close()
+        for channel in self.channels.values():
+            channel.close_subscribers("server draining")
+        self._thread.join(timeout=10)
+
+
+class TenantManager:
+    """The tenant registry: lazy creation under admission control."""
+
+    def __init__(
+        self,
+        limits: ServerLimits | None = None,
+        engine_config: EngineConfig | None = None,
+    ):
+        self.limits = limits or ServerLimits()
+        self.engine_config = engine_config or EngineConfig()
+        self.tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+        self.draining = False
+
+    def get(self, name: str) -> Tenant:
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise NotFoundError(f"unknown tenant {name!r}")
+        return tenant
+
+    def get_or_create(self, name: str) -> Tenant:
+        with self._lock:
+            if self.draining:
+                raise AdmissionError("server is draining")
+            tenant = self.tenants.get(name)
+            if tenant is None:
+                if len(self.tenants) >= self.limits.max_tenants:
+                    raise AdmissionError(
+                        f"tenant limit reached ({self.limits.max_tenants})"
+                    )
+                tenant = Tenant(name, self.engine_config, self.limits)
+                self.tenants[name] = tenant
+            return tenant
+
+    async def drain_all(self) -> None:
+        self.draining = True
+        for tenant in list(self.tenants.values()):
+            await tenant.drain()

@@ -1,0 +1,193 @@
+"""SubscriberQueue: the thread → asyncio bridge and its backpressure."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.subscriptions import SubscriberQueue
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBasics:
+    def test_rejects_unknown_policy(self):
+        async def go():
+            with pytest.raises(ValueError, match="policy"):
+                SubscriberQueue(asyncio.get_running_loop(), policy="yolo")
+
+        run(go())
+
+    def test_rejects_nonpositive_maxsize(self):
+        async def go():
+            with pytest.raises(ValueError, match="maxsize"):
+                SubscriberQueue(asyncio.get_running_loop(), maxsize=0)
+
+        run(go())
+
+    def test_offer_then_drain(self):
+        async def go():
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            assert sub.offer("a")
+            assert sub.offer("b")
+            assert sub.depth == 2
+            assert await sub.drain() == ["a", "b"]
+            assert sub.depth == 0
+            assert sub.delivered == 2
+
+        run(go())
+
+    def test_offer_from_worker_thread_wakes_consumer(self):
+        async def go():
+            sub = SubscriberQueue(asyncio.get_running_loop())
+
+            def produce():
+                for i in range(100):
+                    assert sub.offer(i)
+                sub.close("done")
+
+            thread = threading.Thread(target=produce)
+            thread.start()
+            got = []
+            while True:
+                items = await asyncio.wait_for(sub.drain(), timeout=5)
+                if items is None:
+                    break
+                got.extend(items)
+            thread.join()
+            assert got == list(range(100))
+            assert sub.close_reason == "done"
+
+        run(go())
+
+
+class TestClose:
+    def test_close_is_idempotent_and_keeps_first_reason(self):
+        async def go():
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            sub.close("first")
+            sub.close("second")
+            assert sub.closed
+            assert sub.close_reason == "first"
+
+        run(go())
+
+    def test_offer_after_close_returns_false(self):
+        async def go():
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            sub.close()
+            assert not sub.offer("x")
+            assert sub.delivered == 0
+
+        run(go())
+
+    def test_backlog_flushes_before_none(self):
+        """A drain-time close loses nothing that was already delivered."""
+
+        async def go():
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            sub.offer("a")
+            sub.offer("b")
+            sub.close("bye")
+            assert await sub.drain() == ["a", "b"]
+            assert await sub.drain() is None
+            # and stays None (liveness: the event must remain set)
+            assert await asyncio.wait_for(sub.drain(), timeout=1) is None
+
+        run(go())
+
+    def test_drain_blocked_then_closed(self):
+        async def go():
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            task = asyncio.ensure_future(sub.drain())
+            await asyncio.sleep(0.01)
+            sub.close("gone")
+            assert await asyncio.wait_for(task, timeout=5) is None
+
+        run(go())
+
+
+class TestPolicies:
+    def test_drop_counts_and_recovers(self):
+        async def go():
+            sub = SubscriberQueue(
+                asyncio.get_running_loop(), maxsize=2, policy="drop"
+            )
+            assert sub.offer("a")
+            assert sub.offer("b")
+            assert sub.offer("c")  # dropped, not an error
+            assert sub.dropped == 1
+            assert await sub.drain() == ["a", "b"]
+            assert sub.offer("d")  # delivery resumes after the drain
+            assert await sub.drain() == ["d"]
+
+        run(go())
+
+    def test_disconnect_closes_with_slow_consumer(self):
+        async def go():
+            sub = SubscriberQueue(
+                asyncio.get_running_loop(), maxsize=1, policy="disconnect"
+            )
+            assert sub.offer("a")
+            assert not sub.offer("b")
+            assert sub.closed
+            assert sub.close_reason == "slow consumer"
+            # the delivered backlog is still readable
+            assert await sub.drain() == ["a"]
+            assert await sub.drain() is None
+
+        run(go())
+
+    def test_block_waits_for_consumer(self):
+        """A full 'block' queue stalls the producer until a drain."""
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            sub = SubscriberQueue(loop, maxsize=4, policy="block")
+            produced = []
+
+            def produce():
+                for i in range(64):
+                    if not sub.offer(i):
+                        return
+                    produced.append(i)
+                sub.close("done")
+
+            thread = threading.Thread(target=produce)
+            thread.start()
+            got = []
+            while True:
+                items = await asyncio.wait_for(sub.drain(), timeout=5)
+                if items is None:
+                    break
+                got.extend(items)
+                await asyncio.sleep(0)  # let the producer refill
+            thread.join()
+            assert got == list(range(64))  # nothing dropped, order kept
+
+        run(go())
+
+    def test_block_producer_released_by_close(self):
+        """Closing a full queue unblocks a stuck producer (drain path)."""
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            sub = SubscriberQueue(loop, maxsize=1, policy="block")
+            sub.offer("a")
+            outcome = []
+
+            def produce():
+                outcome.append(sub.offer("b"))
+
+            thread = threading.Thread(target=produce)
+            thread.start()
+            await asyncio.sleep(0.05)
+            assert thread.is_alive()  # blocked on the full queue
+            sub.close("drain")
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+            assert outcome == [False]
+
+        run(go())
