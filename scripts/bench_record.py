@@ -28,7 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -41,7 +43,12 @@ from repro.bench.harness import (  # noqa: E402
     run_sga_bench,
     run_sga_sharded_bench,
 )
+from repro.checkpoint import DirectoryCheckpointStore  # noqa: E402
 from repro.core.windows import HOUR  # noqa: E402
+from repro.engine.session import (  # noqa: E402
+    EngineConfig,
+    StreamingGraphEngine,
+)
 from repro.query.parser import parse_rq  # noqa: E402
 from repro.workloads import QUERIES, labels_for  # noqa: E402
 
@@ -71,6 +78,80 @@ SHARDED_NOTE = (
     "accounting is scheduler-independent.  shards=1 is the plain engine "
     "under the same CPU accounting."
 )
+
+
+CHECKPOINT_NOTE = (
+    "Durability cost curve: per query, an SGA engine ingests the SNB "
+    "stream, snapshots into a DirectoryCheckpointStore, and a fresh "
+    "engine restores from it.  'seconds' (== p99_latency_s) is the "
+    "snapshot or restore wall-clock; 'throughput' is stream edges / that "
+    "wall-clock, i.e. how many edges of ingest work one checkpoint "
+    "operation amortizes over."
+)
+
+
+def record_checkpoint(scale: Scale, repeat: int) -> list[dict]:
+    """Snapshot + restore wall-clock per query on the SNB stream."""
+    rows: list[dict] = []
+    window = scale.sliding_window()
+    stream = _stream("snb", scale)
+    for query in QUERY_NAMES:
+        plan = QUERIES[query].plan(labels_for(query, "snb"), window)
+        best: dict[str, dict] | None = None
+        for _ in range(repeat):
+            tmp = tempfile.mkdtemp(prefix="bench-ckpt-")
+            try:
+                store = DirectoryCheckpointStore(tmp)
+                engine = StreamingGraphEngine(EngineConfig(backend="sga"))
+                handle = engine.register(plan, name=query)
+                engine.push_many(stream)
+                started = time.perf_counter()
+                checkpoint_id = engine.checkpoint(store)
+                snapshot_s = time.perf_counter() - started
+                n_results = len(handle.results())
+                engine.close()
+                ckpt_dir = Path(tmp) / checkpoint_id
+                nbytes = sum(
+                    entry.stat().st_size for entry in ckpt_dir.iterdir()
+                )
+                started = time.perf_counter()
+                restored = StreamingGraphEngine.restore(store)
+                restore_s = time.perf_counter() - started
+                restored.close()
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+            sample = {
+                "snapshot": _checkpoint_row(
+                    query, "CKPT[snapshot]", snapshot_s, scale, n_results
+                ),
+                "restore": _checkpoint_row(
+                    query, "CKPT[restore]", restore_s, scale, n_results
+                ),
+            }
+            sample["snapshot"]["checkpoint_bytes"] = nbytes
+            if best is None or (
+                sample["snapshot"]["seconds"] + sample["restore"]["seconds"]
+                < best["snapshot"]["seconds"] + best["restore"]["seconds"]
+            ):
+                best = sample
+        assert best is not None
+        rows.extend([best["snapshot"], best["restore"]])
+    return rows
+
+
+def _checkpoint_row(
+    query: str, system: str, seconds: float, scale: Scale, n_results: int
+) -> dict:
+    return {
+        "dataset": "snb",
+        "query": query,
+        "system": system,
+        "throughput": round(scale.n_edges / seconds, 1) if seconds else 0.0,
+        "p99_latency_s": round(seconds, 6),
+        "edges": scale.n_edges,
+        "seconds": round(seconds, 6),
+        "results": n_results,
+    }
 
 
 def record_sharded(scale: Scale, repeat: int) -> list[dict]:
@@ -302,11 +383,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-dir", type=Path, default=REPO)
     parser.add_argument(
         "--table",
-        choices=("table2", "table3", "both", "sharded"),
+        choices=("table2", "table3", "both", "sharded", "checkpoint"),
         default="both",
         help=(
             "'sharded' records the shard-scaling curve (SGA on the SNB "
-            "stream at SHARDED_SCALE, shards 1/2/4) into BENCH_table2.json"
+            "stream at SHARDED_SCALE, shards 1/2/4) into BENCH_table2.json; "
+            "'checkpoint' records snapshot/restore wall-clock per query "
+            "into BENCH_checkpoint.json"
         ),
     )
     parser.add_argument(
@@ -332,6 +415,7 @@ def main(argv: list[str] | None = None) -> int:
     paths = {
         "table2": args.out_dir / "BENCH_table2.json",
         "table3": args.out_dir / "BENCH_table3.json",
+        "checkpoint": args.out_dir / "BENCH_checkpoint.json",
     }
     if args.table == "sharded":
         tables = ("table2",)
@@ -372,6 +456,18 @@ def main(argv: list[str] | None = None) -> int:
         window=args.window if args.window is not None else defaults.window,
         slide=args.slide if args.slide is not None else defaults.slide,
     )
+    if args.table == "checkpoint":
+        started = time.perf_counter()
+        rows = record_checkpoint(scale, args.repeat)
+        entry = make_entry(args.label, scale, rows, note=CHECKPOINT_NOTE)
+        doc = upsert_entry(paths["checkpoint"], "checkpoint", entry)
+        print(
+            f"\n== checkpoint: recorded {len(rows)} rows as {args.label!r} "
+            f"in {time.perf_counter() - started:.1f}s -> {paths['checkpoint']}"
+        )
+        print_trajectory(doc)
+        _print_checkpoint(entry)
+        return 0
     if args.table == "sharded":
         started = time.perf_counter()
         rows = record_sharded(scale, args.repeat)
@@ -401,6 +497,24 @@ def main(argv: list[str] | None = None) -> int:
         )
         print_trajectory(doc)
     return 0
+
+
+def _print_checkpoint(entry: dict) -> None:
+    """Per-query snapshot/restore wall-clock summary of one entry."""
+    by_query: dict[str, dict[str, dict]] = {}
+    for row in entry["rows"]:
+        phase = row["system"].removeprefix("CKPT[").removesuffix("]")
+        by_query.setdefault(row["query"], {})[phase] = row
+    print("\ncheckpoint cost (snb stream):")
+    for query, phases in by_query.items():
+        snap = phases.get("snapshot", {})
+        rest = phases.get("restore", {})
+        size = snap.get("checkpoint_bytes", 0)
+        print(
+            f"  {query}: snapshot {snap.get('seconds', 0.0) * 1e3:8.1f} ms"
+            f"  restore {rest.get('seconds', 0.0) * 1e3:8.1f} ms"
+            f"  ({size / 1024:.0f} KiB on disk)"
+        )
 
 
 def _print_scaling(entry: dict) -> None:

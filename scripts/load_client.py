@@ -26,6 +26,15 @@ Usage::
     python scripts/serve.py --port 8765 &
     python scripts/load_client.py --port 8765 --tenants 4 --subscribers 200
     python scripts/load_client.py --port 8765 --server-pid $! --edges 200
+
+Durability drill (checkpoint on SIGTERM, restore, resume)::
+
+    python scripts/serve.py --port 8765 --checkpoint-dir /tmp/ck &
+    python scripts/load_client.py --port 8765 --server-pid $! \\
+        --state-file /tmp/ck/state.json          # drains into a checkpoint
+    python scripts/serve.py --port 8765 --restore-from /tmp/ck &
+    python scripts/load_client.py --port 8765 --phase resume \\
+        --state-file /tmp/ck/state.json          # seqs must continue
 """
 
 from __future__ import annotations
@@ -67,11 +76,15 @@ QUERIES = {
 }
 
 
-def make_stream(seed: int, n_edges: int, n_vertices: int) -> list[SGE]:
+def make_stream(
+    seed: int, n_edges: int, n_vertices: int, start_t: int = 0
+) -> list[SGE]:
     """The tests' randomized timestamp-ordered stream, reproduced here
-    so client and reference agree by construction."""
+    so client and reference agree by construction.  ``start_t`` lets the
+    resume phase generate a suffix that continues the run phase's
+    timeline."""
     rng = random.Random(seed)
-    t = 0
+    t = start_t
     edges = []
     for _ in range(n_edges):
         t += rng.randint(0, 2)
@@ -107,13 +120,18 @@ async def http_call(host, port, method, path, body=None):
 class Subscriber:
     """One streaming subscription: collects events until end-of-stream."""
 
-    def __init__(self, host, port, tenant, query, transport):
+    def __init__(self, host, port, tenant, query, transport, last_seq=None):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.query = query
         self.transport = transport  # "ws" | "sse"
+        #: resume position: WS sends ``?last_seq=``, SSE sends the
+        #: standard ``Last-Event-ID`` header (exercising both paths)
+        self.last_seq = last_seq
         self.events: list[str] = []
+        #: ``id:`` lines observed on SSE frames (must mirror the seqs)
+        self.sse_ids: list[int] = []
         self.end_reason: str | None = None
         self.clean_eof = False
         self.ready = asyncio.Event()
@@ -131,9 +149,12 @@ class Subscriber:
     async def _run_ws(self) -> None:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         key = base64.b64encode(os.urandom(16)).decode()
+        path = self._path
+        if self.last_seq is not None:
+            path += f"?last_seq={self.last_seq}"
         writer.write(
             (
-                f"GET {self._path} HTTP/1.1\r\nHost: {self.host}\r\n"
+                f"GET {path} HTTP/1.1\r\nHost: {self.host}\r\n"
                 "Upgrade: websocket\r\nConnection: Upgrade\r\n"
                 f"Sec-WebSocket-Key: {key}\r\n"
                 "Sec-WebSocket-Version: 13\r\n\r\n"
@@ -178,9 +199,10 @@ class Subscriber:
 
     async def _run_sse(self) -> None:
         reader, writer = await asyncio.open_connection(self.host, self.port)
-        writer.write(
-            f"GET {self._path} HTTP/1.1\r\nHost: {self.host}\r\n\r\n".encode()
-        )
+        head = f"GET {self._path} HTTP/1.1\r\nHost: {self.host}\r\n"
+        if self.last_seq is not None:
+            head += f"Last-Event-ID: {self.last_seq}\r\n"
+        writer.write((head + "\r\n").encode())
         await writer.drain()
         buf = b""
         while True:
@@ -190,12 +212,14 @@ class Subscriber:
             buf += chunk
             while b"\n\n" in buf:
                 frame, _, buf = buf.partition(b"\n\n")
-                event, data = None, None
+                event, data, event_id = None, None, None
                 for line in frame.decode().splitlines():
                     if line.startswith("event: "):
                         event = line[len("event: ") :]
                     elif line.startswith("data: "):
                         data = line[len("data: ") :]
+                    elif line.startswith("id: "):
+                        event_id = int(line[len("id: ") :])
                 if event == "ready":
                     self.ready.set()
                 elif event == "end":
@@ -205,6 +229,8 @@ class Subscriber:
                     return
                 elif data is not None:
                     self.events.append(data)
+                    if event_id is not None:
+                        self.sse_ids.append(event_id)
         writer.close()
 
 
@@ -366,10 +392,154 @@ async def drive(args: argparse.Namespace) -> int:
             )
         else:
             matched += 1
+    for sub in subscribers:
+        if sub.transport == "sse" and sub.sse_ids:
+            seqs = [json.loads(e)["seq"] for e in sub.events]
+            if sub.sse_ids != seqs:
+                failures.append(
+                    f"{sub.tenant}/{sub.query}[sse]: SSE id: lines "
+                    "disagree with event seq numbers"
+                )
     per_query = {q: len(events) for q, events in reference.items()}
     print(
         f"parity: {matched}/{len(subscribers)} subscriber streams identical "
         f"to the in-process reference {per_query}"
+    )
+    if failures:
+        for failure in failures[:20]:
+            print("FAIL:", failure)
+        print(f"{len(failures)} failure(s)")
+        return 1
+    if args.state_file:
+        state = {
+            "seed": args.seed,
+            "edges": args.edges,
+            "vertices": args.vertices,
+            "tenants": args.tenants,
+            "last_t": max(e.t for e in edges) if edges else 0,
+            "last_seqs": {q: len(events) for q, events in reference.items()},
+        }
+        Path(args.state_file).write_text(json.dumps(state))
+        print(f"state saved to {args.state_file}")
+    print("OK")
+    return 0
+
+
+async def drive_resume(args: argparse.Namespace) -> int:
+    """Phase two of the durability drill: the server was checkpointed on
+    SIGTERM and relaunched with ``--restore-from``.  Reconnect every
+    subscription at its last-seen seq, ingest a stream *suffix*, and
+    require (a) sequence numbers that continue exactly where the run
+    phase stopped — no gaps, no restarts — and (b) byte parity with an
+    uninterrupted in-process engine fed prefix + suffix."""
+    host, port = args.host, args.port
+    config = EngineConfig(
+        backend=args.backend, shards=args.shards, execution=args.execution
+    )
+    state = json.loads(Path(args.state_file).read_text())
+    tenants = [f"tenant{i}" for i in range(state["tenants"])]
+    last_seqs = {q: int(n) for q, n in state["last_seqs"].items()}
+    prefix = make_stream(state["seed"], state["edges"], state["vertices"])
+    suffix = make_stream(
+        state["seed"] + 1, args.edges, state["vertices"], start_t=state["last_t"]
+    )
+    failures: list[str] = []
+
+    # the uninterrupted reference: prefix + suffix in one engine run
+    reference = reference_streams(config, prefix + suffix)
+    for qid, stop in last_seqs.items():
+        if len(reference[qid]) < stop:
+            print(
+                f"FAIL: reference for {qid!r} has {len(reference[qid])} "
+                f"events < recorded last seq {stop} (state file mismatch?)"
+            )
+            return 1
+
+    # reconnect: per tenant x query one WS (?last_seq=) and one SSE
+    # (Last-Event-ID), plus one SSE resuming a few events back to
+    # exercise ring replay across the restart
+    replay_back = args.replay_back
+    subscribers: list[tuple[Subscriber, int]] = []
+    for tenant in tenants:
+        for qid in QUERIES:
+            stop = last_seqs[qid]
+            back = max(stop - replay_back, 0)
+            subscribers.append(
+                (Subscriber(host, port, tenant, qid, "ws", stop), stop)
+            )
+            subscribers.append(
+                (Subscriber(host, port, tenant, qid, "sse", stop), stop)
+            )
+            subscribers.append(
+                (Subscriber(host, port, tenant, qid, "sse", back), back)
+            )
+    tasks = [asyncio.ensure_future(s.run()) for s, _ in subscribers]
+    await asyncio.wait_for(
+        asyncio.gather(*(s.ready.wait() for s, _ in subscribers)), timeout=60
+    )
+    print(
+        f"{len(subscribers)} subscriptions resumed across "
+        f"{len(tenants)} tenants"
+    )
+
+    # ingest the suffix into every tenant
+    for start in range(0, len(suffix), args.batch):
+        batch = [
+            {"src": e.src, "trg": e.trg, "label": e.label, "t": e.t}
+            for e in suffix[start : start + args.batch]
+        ]
+        results = await asyncio.gather(
+            *(
+                http_call(
+                    host, port, "POST", f"/tenants/{t}/ingest", {"edges": batch}
+                )
+                for t in tenants
+            )
+        )
+        for tenant, (status, body) in zip(tenants, results):
+            if status != 200:
+                failures.append(f"ingest {tenant}: {status} {body}")
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print(f"ingested {len(suffix)} suffix edges into each tenant")
+
+    for tenant in tenants:
+        for qid in QUERIES:
+            status, body = await http_call(
+                host, port, "DELETE", f"/tenants/{tenant}/queries/{qid}"
+            )
+            if status != 200:
+                failures.append(f"unregister {tenant}/{qid}: {status} {body}")
+    await asyncio.wait_for(asyncio.gather(*tasks), timeout=120)
+
+    matched = 0
+    for sub, resumed_at in subscribers:
+        tag = (
+            f"{sub.tenant}/{sub.query}[{sub.transport} from {resumed_at}]"
+        )
+        want = reference[sub.query][resumed_at:]
+        if not sub.clean_eof:
+            failures.append(f"{tag}: no clean end-of-stream")
+        seqs = [json.loads(e)["seq"] for e in sub.events]
+        expect_seqs = list(range(resumed_at + 1, resumed_at + 1 + len(want)))
+        if seqs != expect_seqs:
+            failures.append(
+                f"{tag}: seq numbers not continuous "
+                f"(got {seqs[:3]}..{seqs[-3:] if seqs else []}, "
+                f"expected {resumed_at + 1}..{resumed_at + len(want)})"
+            )
+        elif sub.events != want:
+            failures.append(
+                f"{tag}: stream mismatch ({len(sub.events)} events vs "
+                f"{len(want)} expected)"
+            )
+        else:
+            matched += 1
+    print(
+        f"resume parity: {matched}/{len(subscribers)} resumed streams "
+        "continuous and identical to the uninterrupted reference"
     )
     if failures:
         for failure in failures[:20]:
@@ -396,6 +566,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="SIGTERM this pid after ingest and expect a graceful drain",
     )
+    parser.add_argument(
+        "--phase",
+        default="run",
+        choices=("run", "resume"),
+        help="'run' drives a fresh server; 'resume' reconnects to a "
+        "--restore-from relaunch and verifies continuous seq numbers",
+    )
+    parser.add_argument(
+        "--state-file",
+        default=None,
+        help="run phase: record stream params + last seqs here; "
+        "resume phase: read them back (required for resume)",
+    )
+    parser.add_argument(
+        "--replay-back",
+        type=int,
+        default=5,
+        help="resume phase: how many events before the last seen seq "
+        "the ring-replay subscriber rewinds",
+    )
     engine = parser.add_argument_group(
         "engine configuration (must match the server's)"
     )
@@ -405,6 +595,10 @@ def main(argv: list[str] | None = None) -> int:
         "--execution", default="auto", choices=("auto", "columnar", "vector")
     )
     args = parser.parse_args(argv)
+    if args.phase == "resume":
+        if not args.state_file:
+            parser.error("--phase resume requires --state-file")
+        return asyncio.run(drive_resume(args))
     return asyncio.run(drive(args))
 
 

@@ -13,6 +13,15 @@ Usage::
     python scripts/serve.py --port 0             # pick a free port
     python scripts/serve.py --shards 2 --execution columnar
     python scripts/serve.py --ingest-rate 50000  # quota: edges/second
+
+Durability: ``--checkpoint-dir DIR`` snapshots every tenant into one
+atomic checkpoint during the SIGTERM drain; relaunching with
+``--restore-from DIR`` rebuilds every tenant — queries, operator state,
+watermarks and per-query sequence numbers — so subscribers reconnect
+with their last-seen seq and resume without gaps::
+
+    python scripts/serve.py --checkpoint-dir /var/lib/sgs   # then SIGTERM
+    python scripts/serve.py --restore-from /var/lib/sgs --checkpoint-dir /var/lib/sgs
 """
 
 from __future__ import annotations
@@ -26,10 +35,11 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.checkpoint import DirectoryCheckpointStore  # noqa: E402
 from repro.engine.session import EngineConfig  # noqa: E402
 from repro.serve.app import GraphStreamServer  # noqa: E402
 from repro.serve.subscriptions import BACKPRESSURE_POLICIES  # noqa: E402
-from repro.serve.tenants import ServerLimits  # noqa: E402
+from repro.serve.tenants import ServerLimits, TenantManager  # noqa: E402
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,11 +66,36 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKPRESSURE_POLICIES,
         help="default subscriber backpressure policy",
     )
+    limits.add_argument(
+        "--replay-buffer",
+        type=int,
+        default=1024,
+        help="per-query resume ring size in events (0 disables resume)",
+    )
     engine = parser.add_argument_group("per-tenant engine configuration")
     engine.add_argument("--backend", default="sga", choices=("sga", "dd"))
     engine.add_argument("--shards", type=int, default=1)
     engine.add_argument(
         "--execution", default="auto", choices=("auto", "columnar", "vector")
+    )
+    durability = parser.add_argument_group("durability")
+    durability.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint every tenant here during the SIGTERM drain",
+    )
+    durability.add_argument(
+        "--checkpoint-retain",
+        type=int,
+        default=3,
+        help="checkpoints kept before the oldest is garbage-collected",
+    )
+    durability.add_argument(
+        "--restore-from",
+        default=None,
+        metavar="DIR",
+        help="restore all tenants from the latest checkpoint in DIR "
+        "before serving (engine flags may change only shards)",
     )
     return parser
 
@@ -74,12 +109,28 @@ async def run(args: argparse.Namespace) -> int:
         ingest_burst=args.ingest_burst,
         queue_maxsize=args.queue_maxsize,
         default_policy=args.policy,
+        replay_buffer=args.replay_buffer,
     )
     config = EngineConfig(
         backend=args.backend, shards=args.shards, execution=args.execution
     )
+    manager = None
+    if args.restore_from:
+        restore_store = DirectoryCheckpointStore(args.restore_from)
+        manager = TenantManager.restore(
+            restore_store, limits=limits, engine_config=config
+        )
+        print(
+            f"restored {len(manager.tenants)} tenant(s) from "
+            f"{args.restore_from}",
+            flush=True,
+        )
     server = GraphStreamServer(
-        host=args.host, port=args.port, limits=limits, engine_config=config
+        host=args.host,
+        port=args.port,
+        limits=limits,
+        engine_config=config,
+        manager=manager,
     )
     await server.start()
     print(f"serving on http://{args.host}:{server.port}", flush=True)
@@ -90,7 +141,17 @@ async def run(args: argparse.Namespace) -> int:
         loop.add_signal_handler(sig, stop.set)
     await stop.wait()
     print("draining...", flush=True)
-    await server.shutdown()
+    checkpoint_store = None
+    if args.checkpoint_dir:
+        checkpoint_store = DirectoryCheckpointStore(
+            args.checkpoint_dir, retain=args.checkpoint_retain
+        )
+    checkpoint_id = await server.shutdown(checkpoint_store)
+    if checkpoint_id is not None:
+        print(
+            f"checkpointed to {args.checkpoint_dir}/{checkpoint_id}",
+            flush=True,
+        )
     print("drained; bye", flush=True)
     return 0
 

@@ -1,0 +1,33 @@
+"""Durability: checkpoint/restore of live engines, bit-identical resume.
+
+The subsystem snapshots a :class:`~repro.engine.session.StreamingGraphEngine`
+at a watermark boundary — every stateful operator's exact state,
+the vertex interner, the executor clock and the registered query set —
+and restores it into a fresh process such that replaying the stream
+suffix yields bit-identical results to the uninterrupted run.  See
+:mod:`repro.checkpoint.store` for the on-disk format and
+:mod:`repro.checkpoint.rebalance` for restore-with-a-different-shard-count.
+"""
+
+from repro.checkpoint.rebalance import rebalance_states
+from repro.checkpoint.store import (
+    FORMAT_VERSION,
+    CheckpointReader,
+    CheckpointStore,
+    CheckpointWriter,
+    DirectoryCheckpointStore,
+)
+from repro.checkpoint.topology import load_operator_states, operator_keys
+from repro.errors import CheckpointError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointReader",
+    "CheckpointStore",
+    "CheckpointWriter",
+    "DirectoryCheckpointStore",
+    "load_operator_states",
+    "operator_keys",
+    "rebalance_states",
+]

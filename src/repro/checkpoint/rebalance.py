@@ -1,0 +1,255 @@
+"""Offline shard rebalancing: re-partition checkpointed operator state.
+
+A checkpoint taken under ``shards=N`` can be restored under
+``shards=M`` (both >= 2): the sharded compile topology — exchange
+operator placement and uid allocation — does not depend on the shard
+count, so the per-shard dataflows are isomorphic and only the *state
+ownership* moves.  Each state kind re-partitions by the same key its
+operator routes on:
+
+* ``path`` — the Δ-forest is partitioned by tree-root vertex
+  (:func:`~repro.core.partition.vertex_owner`); trees are disjoint
+  across shards, so rebalancing merges all shards' forests and deals
+  them out under the new ownership.  The window adjacency is
+  *replicated* (traversals need the whole snapshot graph), so shard 0's
+  copy serves every new shard.
+* ``pattern`` — join tables are partitioned by the first-level probe
+  key (:func:`~repro.core.partition.key_owner`), which is exactly the
+  key ``on_binding`` routes exchanges by.
+* ``coalesce`` — partitioned instances own result keys routed by
+  ``(src, trg)``; replicated instances (PATH-side rep chains) copy
+  shard 0's state.
+* ``sink`` — result events concatenate onto new shard 0 (engine reads
+  merge all shards' sinks, so placement is free).
+
+Timing-wheel buckets merge old-shard-major; cross-shard drain order
+within one expiry instant is therefore not preserved, which is why
+rebalanced restores guarantee parity of result *sets*, coverage and
+``valid_at`` — the sharded engine's read surfaces — rather than
+bit-identical event interleavings (same-shard-count restores keep
+those too).
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import key_owner, vertex_owner
+from repro.errors import CheckpointError
+
+__all__ = ["rebalance_states"]
+
+
+def rebalance_states(states: list[dict], new_n: int) -> list[dict]:
+    """Re-partition per-shard operator-state maps to ``new_n`` shards.
+
+    ``states`` holds one ``{operator_key: blob}`` map per old shard (the
+    maps share an identical key set — the topologies are isomorphic).
+    Returns ``new_n`` such maps.
+    """
+    if not states:
+        raise CheckpointError("rebalance: no shard states to re-partition")
+    keys = set(states[0])
+    for i, shard_state in enumerate(states[1:], start=1):
+        if set(shard_state) != keys:
+            raise CheckpointError(
+                f"rebalance: shard {i} operator keys differ from shard 0 "
+                f"(mismatched topologies)"
+            )
+    out: list[dict] = [{} for _ in range(new_n)]
+    for key in keys:
+        olds = [shard_state[key] for shard_state in states]
+        kind = olds[0].get("kind")
+        handler = _HANDLERS.get(kind)
+        if handler is None:
+            raise CheckpointError(
+                f"rebalance: operator {key!r} has unsupported state kind "
+                f"{kind!r}"
+            )
+        for shard_id, blob in enumerate(handler(olds, new_n)):
+            out[shard_id][key] = blob
+    return out
+
+
+# ----------------------------------------------------------------------
+# Wheel merging
+# ----------------------------------------------------------------------
+def _partition_wheel(wheels: list[dict], new_n: int, owner_of) -> list[dict]:
+    """Merge per-shard wheel snapshots and deal entries to new owners.
+
+    Buckets merge old-shard-major (shard 0's entries first), preserving
+    each old shard's internal FIFO order.
+    """
+    now = max(wheel["now"] for wheel in wheels)
+    span = wheels[0]["span"]
+    outs = [
+        {"now": now, "span": span, "fine": {}, "coarse": {}}
+        for _ in range(new_n)
+    ]
+    for wheel in wheels:
+        for exp, items in wheel["fine"].items():
+            for item in items:
+                fine = outs[owner_of(item)]["fine"]
+                bucket = fine.get(exp)
+                if bucket is None:
+                    fine[exp] = [item]
+                else:
+                    bucket.append(item)
+        for slot, entries in wheel["coarse"].items():
+            for exp, item in entries:
+                coarse = outs[owner_of(item)]["coarse"]
+                bucket = coarse.get(slot)
+                if bucket is None:
+                    coarse[slot] = [(exp, item)]
+                else:
+                    bucket.append((exp, item))
+    return outs
+
+
+# ----------------------------------------------------------------------
+# Per-kind handlers
+# ----------------------------------------------------------------------
+def _rebalance_path(olds: list[dict], new_n: int) -> list[dict]:
+    if not olds[0].get("partitioned"):
+        # Replicated PATH (rep-chain placement): every shard holds the
+        # full forest; copy shard 0 everywhere.
+        return [olds[0]] * new_n
+
+    now = max(blob["now"] for blob in olds)
+    start_state = olds[0]["index"]["start_state"]
+    trees_by_owner: list[list] = [[] for _ in range(new_n)]
+    inverted_by_owner: list[list] = [[] for _ in range(new_n)]
+    for blob in olds:
+        for root_vertex, nodes in blob["index"]["trees"]:
+            trees_by_owner[vertex_owner(root_vertex, new_n)].append(
+                (root_vertex, nodes)
+            )
+        # Inverted-index entries map node keys to owning tree roots;
+        # each entry follows its roots (disjoint across old shards, so
+        # per-owner entries for the same node key merge by union).
+        for node_key, roots in blob["index"]["inverted"]:
+            grouped: dict[int, list] = {}
+            for root in roots:
+                grouped.setdefault(vertex_owner(root, new_n), []).append(root)
+            for owner, owned_roots in grouped.items():
+                inverted_by_owner[owner].append((node_key, owned_roots))
+
+    merged_inverted: list[list] = []
+    for entries in inverted_by_owner:
+        folded: dict = {}
+        for node_key, roots in entries:
+            folded.setdefault(node_key, []).extend(roots)
+        merged_inverted.append(list(folded.items()))
+
+    expiry = _partition_wheel(
+        [blob["node_expiry"] for blob in olds],
+        new_n,
+        lambda item: vertex_owner(item[0], new_n),
+    )
+    adjacency = olds[0]["adjacency"]
+    return [
+        {
+            "kind": "path",
+            "partitioned": True,
+            "now": now,
+            "index": {
+                "start_state": start_state,
+                "trees": trees_by_owner[shard_id],
+                "inverted": merged_inverted[shard_id],
+            },
+            "adjacency": adjacency,
+            "node_expiry": expiry[shard_id],
+        }
+        for shard_id in range(new_n)
+    ]
+
+
+def _rebalance_table(olds: list[dict], new_n: int) -> list[dict]:
+    """One join-side hash table: split first-level keys by ownership."""
+    tables: list[list] = [[] for _ in range(new_n)]
+    counts = [0] * new_n
+    for blob in olds:
+        for key, group in blob["table"]:
+            owner = key_owner(key, new_n)
+            tables[owner].append((key, group))
+            counts[owner] += sum(len(rows) for _, rows in group)
+    wheels = _partition_wheel(
+        [blob["wheel"] for blob in olds],
+        new_n,
+        lambda item: key_owner(item[2], new_n),
+    )
+    return [
+        {
+            "table": tables[shard_id],
+            "count": counts[shard_id],
+            "wheel": wheels[shard_id],
+        }
+        for shard_id in range(new_n)
+    ]
+
+
+def _rebalance_pattern(olds: list[dict], new_n: int) -> list[dict]:
+    if not olds[0].get("partitioned"):
+        return [olds[0]] * new_n
+    joins_count = len(olds[0]["joins"])
+    new_joins: list[list] = [[] for _ in range(new_n)]
+    for join_index in range(joins_count):
+        for side in (0, 1):
+            sides = _rebalance_table(
+                [blob["joins"][join_index][side] for blob in olds], new_n
+            )
+            for shard_id in range(new_n):
+                if side == 0:
+                    new_joins[shard_id].append([sides[shard_id]])
+                else:
+                    new_joins[shard_id][join_index].append(sides[shard_id])
+    return [
+        {"kind": "pattern", "partitioned": True, "joins": new_joins[shard_id]}
+        for shard_id in range(new_n)
+    ]
+
+
+def _rebalance_coalesce(olds: list[dict], new_n: int) -> list[dict]:
+    if not olds[0].get("partitioned"):
+        return [olds[0]] * new_n
+
+    def owner_of_result_key(key) -> int:
+        # Result keys are (src, trg, label); ShardRouteOp routes by the
+        # (src, trg) pair.
+        return key_owner((key[0], key[1]), new_n)
+
+    covers: list[list] = [[] for _ in range(new_n)]
+    droppeds: list[list] = [[] for _ in range(new_n)]
+    for blob in olds:
+        for key, intervals in blob["cover"]:
+            covers[owner_of_result_key(key)].append((key, intervals))
+        for key, entries in blob["dropped"]:
+            droppeds[owner_of_result_key(key)].append((key, entries))
+    wheels = _partition_wheel(
+        [blob["wheel"] for blob in olds], new_n, owner_of_result_key
+    )
+    return [
+        {
+            "kind": "coalesce",
+            "partitioned": True,
+            "cover": covers[shard_id],
+            "dropped": droppeds[shard_id],
+            "wheel": wheels[shard_id],
+        }
+        for shard_id in range(new_n)
+    ]
+
+
+def _rebalance_sink(olds: list[dict], new_n: int) -> list[dict]:
+    merged: list = []
+    for blob in olds:
+        merged.extend(blob["events"])
+    out = [{"kind": "sink", "events": merged}]
+    out.extend({"kind": "sink", "events": []} for _ in range(new_n - 1))
+    return out
+
+
+_HANDLERS = {
+    "path": _rebalance_path,
+    "pattern": _rebalance_pattern,
+    "coalesce": _rebalance_coalesce,
+    "sink": _rebalance_sink,
+}

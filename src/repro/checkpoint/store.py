@@ -1,0 +1,267 @@
+"""Durable checkpoint storage: versioned, atomic, self-verifying.
+
+A checkpoint is a directory holding a ``MANIFEST.json`` plus one pickle
+blob per state unit (engine metadata, per-shard operator state, serving
+channels).  The manifest records the format version and the sha256 +
+size of every blob, so a truncated or tampered blob is detected at read
+time — restore fails with a :class:`~repro.errors.CheckpointError`
+naming the offending blob instead of materializing a half-restored
+engine.
+
+Write protocol (:class:`DirectoryCheckpointStore`): blobs are staged in
+a hidden temp directory next to the store root and the whole checkpoint
+becomes visible with a single atomic ``os.replace`` — a crash mid-write
+leaves only an invisible staging directory, never a partial checkpoint.
+Checkpoint ids are monotonically increasing (``ckpt-000001``, ...), and
+a ``retain`` bound garbage-collects the oldest committed checkpoints
+past the ``K`` most recent ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointReader",
+    "CheckpointStore",
+    "CheckpointWriter",
+    "DirectoryCheckpointStore",
+]
+
+#: Bumped whenever the manifest or any blob schema changes shape.
+FORMAT_VERSION = 1
+
+_MANIFEST = "MANIFEST.json"
+_PREFIX = "ckpt-"
+
+
+def _blob_filename(name: str) -> str:
+    """Map a logical blob name to a flat on-disk filename.
+
+    Blob names are hierarchical (``tenants/alice/state-0``); the
+    directory layout stays flat so the atomic-rename commit covers one
+    directory.
+    """
+    return name.replace("/", "__") + ".pkl"
+
+
+class CheckpointWriter:
+    """One in-progress checkpoint: stage blobs, then commit atomically."""
+
+    def __init__(self, store: "DirectoryCheckpointStore", checkpoint_id: str, staging: str):
+        self._store = store
+        self.checkpoint_id = checkpoint_id
+        self._staging = staging
+        self._blobs: dict[str, dict] = {}
+        self._meta: dict = {}
+        self._done = False
+
+    def put(self, name: str, payload: object) -> None:
+        """Serialize ``payload`` as blob ``name`` (pickle protocol)."""
+        if self._done:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id} is already committed"
+            )
+        if name in self._blobs:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id}: duplicate blob {name!r}"
+            )
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        path = os.path.join(self._staging, _blob_filename(name))
+        with open(path, "wb") as handle:
+            handle.write(data)
+        self._blobs[name] = {
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "size": len(data),
+        }
+
+    def set_meta(self, **meta) -> None:
+        """Attach free-form metadata to the manifest (config echo, kind)."""
+        self._meta.update(meta)
+
+    def commit(self) -> str:
+        """Write the manifest and atomically publish the checkpoint."""
+        if self._done:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id} is already committed"
+            )
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "checkpoint_id": self.checkpoint_id,
+            "blobs": self._blobs,
+            "meta": self._meta,
+        }
+        manifest_path = os.path.join(self._staging, _MANIFEST)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        final = os.path.join(self._store.root, self.checkpoint_id)
+        os.replace(self._staging, final)
+        self._done = True
+        self._store._collect_garbage()
+        return self.checkpoint_id
+
+    def abort(self) -> None:
+        """Discard the staged checkpoint (idempotent)."""
+        if not self._done:
+            shutil.rmtree(self._staging, ignore_errors=True)
+            self._done = True
+
+
+class CheckpointReader:
+    """Verified read access to one committed checkpoint."""
+
+    def __init__(self, root: str, checkpoint_id: str):
+        self._root = root
+        self.checkpoint_id = checkpoint_id
+        path = os.path.join(root, _MANIFEST)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id}: missing {_MANIFEST}"
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id}: unparseable {_MANIFEST}: {exc}"
+            ) from exc
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id}: format version {version!r} "
+                f"is not supported (this build reads version {FORMAT_VERSION})"
+            )
+        blobs = manifest.get("blobs")
+        if not isinstance(blobs, dict):
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id}: manifest field 'blobs' is "
+                f"{type(blobs).__name__}, expected an object"
+            )
+        self.manifest = manifest
+        self.meta: dict = manifest.get("meta", {})
+
+    def blob_names(self) -> list[str]:
+        return sorted(self.manifest["blobs"])
+
+    def has(self, name: str) -> bool:
+        return name in self.manifest["blobs"]
+
+    def get(self, name: str) -> object:
+        """Load and verify blob ``name``.
+
+        The stored sha256 is checked before unpickling, so truncation or
+        bit-rot surfaces as a :class:`~repro.errors.CheckpointError`
+        naming the blob — never as an arbitrary unpickling failure (or
+        silently wrong state).
+        """
+        entry = self.manifest["blobs"].get(name)
+        if entry is None:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id}: no blob named {name!r}"
+            )
+        path = os.path.join(self._root, _blob_filename(name))
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id}: blob {name!r} file is missing"
+            ) from exc
+        if len(data) != entry["size"]:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id}: blob {name!r} is "
+                f"{len(data)} bytes, manifest says {entry['size']} (truncated?)"
+            )
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != entry["sha256"]:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id}: blob {name!r} fails its "
+                f"sha256 check (corrupted)"
+            )
+        try:
+            return pickle.loads(data)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id}: blob {name!r} does not "
+                f"unpickle: {exc!r}"
+            ) from exc
+
+
+class CheckpointStore:
+    """Abstract checkpoint storage; see :class:`DirectoryCheckpointStore`."""
+
+    def begin(self) -> CheckpointWriter:
+        raise NotImplementedError
+
+    def open(self, checkpoint_id: str | None = None) -> CheckpointReader:
+        raise NotImplementedError
+
+    def list(self) -> list[str]:
+        raise NotImplementedError
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """Checkpoints as subdirectories of ``path``, committed atomically.
+
+    ``retain`` keeps the most recent K committed checkpoints (None keeps
+    everything); collection runs after each successful commit, so the
+    newest checkpoint is always durable before an older one is removed.
+    """
+
+    def __init__(self, path: str, retain: int | None = None):
+        if retain is not None and retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.root = os.fspath(path)
+        self.retain = retain
+        os.makedirs(self.root, exist_ok=True)
+
+    def list(self) -> list[str]:
+        """Committed checkpoint ids, oldest first."""
+        out = []
+        for entry in os.listdir(self.root):
+            if entry.startswith(_PREFIX) and os.path.isdir(
+                os.path.join(self.root, entry)
+            ):
+                out.append(entry)
+        return sorted(out)
+
+    def begin(self) -> CheckpointWriter:
+        existing = self.list()
+        if existing:
+            last = int(existing[-1][len(_PREFIX):])
+        else:
+            last = 0
+        checkpoint_id = f"{_PREFIX}{last + 1:06d}"
+        staging = os.path.join(self.root, f".staging-{checkpoint_id}-{os.getpid()}")
+        shutil.rmtree(staging, ignore_errors=True)
+        os.makedirs(staging)
+        return CheckpointWriter(self, checkpoint_id, staging)
+
+    def open(self, checkpoint_id: str | None = None) -> CheckpointReader:
+        if checkpoint_id is None:
+            committed = self.list()
+            if not committed:
+                raise CheckpointError(f"no checkpoints in {self.root}")
+            checkpoint_id = committed[-1]
+        root = os.path.join(self.root, checkpoint_id)
+        if not os.path.isdir(root):
+            raise CheckpointError(
+                f"no checkpoint {checkpoint_id!r} in {self.root}"
+            )
+        return CheckpointReader(root, checkpoint_id)
+
+    def _collect_garbage(self) -> None:
+        if self.retain is None:
+            return
+        committed = self.list()
+        for stale in committed[: max(0, len(committed) - self.retain)]:
+            shutil.rmtree(os.path.join(self.root, stale), ignore_errors=True)

@@ -1,0 +1,105 @@
+"""Deterministic operator naming for checkpoint blobs.
+
+A checkpoint must match each state blob back to the operator instance
+that produced it in a *fresh* process.  Positional indexes into
+``DataflowGraph.operators`` are not stable — the list's order depends on
+the full register/unregister history (pruning removes entries), which a
+restore does not replay.  What *is* reproducible is the topology each
+registered query compiles to: re-registering the same plans in the same
+order against an empty engine yields isomorphic dataflows.
+
+So operators are keyed structurally: for each query, in registration
+order, walk upstream from its sink — depth-first, input ports in sorted
+order — and name each operator by the first query that reaches it plus
+its visit index within that walk (shared operators, e.g. a cached
+coalescer feeding two queries, are keyed once, under the first owner).
+The key embeds the operator's own name as a cross-check: a blob whose
+key says ``q1/3:coalesce[knows]`` can only load into an operator named
+``coalesce[knows]`` at that position.
+
+Shared by the serial engine, inline shards, and forked shard workers —
+all three must produce identical keys for identical query sets.
+"""
+
+from __future__ import annotations
+
+__all__ = ["load_operator_states", "operator_keys"]
+
+
+def operator_keys(named_sinks, graph) -> dict:
+    """``{key: operator}`` over every operator reachable from the given
+    query sinks.
+
+    ``named_sinks`` is an iterable of ``(query_name, sink_op)`` in query
+    registration order; ``graph`` is the :class:`DataflowGraph` holding
+    them (needed to invert the producer→consumer wiring).
+    """
+    producers: dict[int, dict[int, object]] = {}
+    for op in graph.operators:
+        for consumer, port in op._downstream:
+            producers.setdefault(id(consumer), {})[port] = op
+
+    out: dict[str, object] = {}
+    owned: set[int] = set()
+    for qname, sink in named_sinks:
+        index = 0
+        stack = [sink]
+        while stack:
+            op = stack.pop()
+            if id(op) not in owned:
+                owned.add(id(op))
+                out[f"{qname}/{index}:{op.name}"] = op
+                index += 1
+            # Children pushed in reverse port order so the walk visits
+            # ports ascending — the one traversal order both snapshot
+            # and restore reproduce.
+            ports = producers.get(id(op))
+            if ports:
+                for port in sorted(ports, reverse=True):
+                    child = ports[port]
+                    if id(child) not in owned:
+                        stack.append(child)
+        # NOTE: an operator pushed while unvisited may be popped after a
+        # different path already owned it; the `owned` check on pop (not
+        # on push alone) keeps indexes deterministic regardless.
+    return out
+
+
+def load_operator_states(keys: dict, blobs: dict) -> None:
+    """Apply a ``{key: blob}`` map onto the keyed operators.
+
+    All-or-nothing at the validation level: the stateful key set and the
+    blob key set must match exactly — a blob with no operator, or a
+    stateful operator with no blob, means the snapshot was taken against
+    a different query set (or is corrupted) and restore must not
+    proceed.  Any per-operator restore failure is re-raised as a
+    :class:`~repro.errors.CheckpointError` naming the operator key.
+    """
+    from repro.errors import CheckpointError
+
+    # A fresh operator snapshots to None iff it is stateless (the base
+    # hook); probing is cheap on empty state and keeps one source of
+    # truth for which operators checkpoint.
+    stateful = {
+        key: op for key, op in keys.items() if op.snapshot_state() is not None
+    }
+    missing = sorted(key for key in stateful if key not in blobs)
+    if missing:
+        raise CheckpointError(
+            f"snapshot has no state blob for operator(s) {missing}"
+        )
+    extra = sorted(key for key in blobs if key not in stateful)
+    if extra:
+        raise CheckpointError(
+            f"snapshot carries state for unknown operator(s) {extra} "
+            "(was it taken against a different query set?)"
+        )
+    for key, op in stateful.items():
+        try:
+            op.restore_state(blobs[key])
+        except CheckpointError as exc:
+            raise CheckpointError(f"operator {key}: {exc}") from exc
+        except Exception as exc:
+            raise CheckpointError(
+                f"operator {key}: restore failed: {exc!r}"
+            ) from exc

@@ -136,6 +136,68 @@ class TimingWheel:
                 else:
                     bucket.append(item)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self, encode=None) -> dict:
+        """Serializable snapshot of the wheel's exact bucket layout.
+
+        Per-bucket FIFO order is preserved verbatim: drain order after a
+        restore is bit-identical to the original wheel's, which the
+        negative-tuple PATH operator's rederivation emission order
+        depends on.  ``encode`` optionally maps each stored item to a
+        picklable stand-in (items may hold direct references into owner
+        state; see ``_HashTable``).
+        """
+        if encode is None:
+            fine = {exp: list(items) for exp, items in self.fine.items()}
+            coarse = {
+                slot: list(entries) for slot, entries in self._coarse.items()
+            }
+        else:
+            fine = {
+                exp: [encode(item) for item in items]
+                for exp, items in self.fine.items()
+            }
+            coarse = {
+                slot: [(exp, encode(item)) for exp, item in entries]
+                for slot, entries in self._coarse.items()
+            }
+        return {
+            "now": self._now,
+            "span": self._span,
+            "fine": fine,
+            "coarse": coarse,
+        }
+
+    def restore(self, state: dict, decode=None) -> None:
+        """Rebuild the exact bucket layout captured by :meth:`snapshot`.
+
+        The fine-exp heap is reconstructed by heapify; heap-internal
+        array order is irrelevant to drain order (exactly one heap entry
+        exists per distinct instant, so pops are fully ordered by
+        value).
+        """
+        self._now = state["now"]
+        self._span = state["span"]
+        if decode is None:
+            self.fine = {exp: list(items) for exp, items in state["fine"].items()}
+            self._coarse = {
+                slot: list(entries)
+                for slot, entries in state["coarse"].items()
+            }
+        else:
+            self.fine = {
+                exp: [decode(item) for item in items]
+                for exp, items in state["fine"].items()
+            }
+            self._coarse = {
+                slot: [(exp, decode(item)) for exp, item in entries]
+                for slot, entries in state["coarse"].items()
+            }
+        self._fine_exps = list(self.fine)
+        heapq.heapify(self._fine_exps)
+
     def next_due(self) -> int | None:
         """The earliest scheduled fine-level instant (``None`` if the
         wheel holds no near-term entries).  Cheap watermark guard."""

@@ -114,6 +114,19 @@ class Interner:
         return f"<Interner {len(self)} values>"
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> list:
+        """The dictionary in id order (the id map is derivable)."""
+        return list(self._values)
+
+    def restore_state(self, values: list) -> None:
+        """Rebuild the bijection; re-interning any captured value yields
+        exactly the id it had when the snapshot was taken."""
+        self._values = list(values)
+        self._ids = {value: ident for ident, value in enumerate(self._values)}
+
+    # ------------------------------------------------------------------
     # Decoding (result-sink surface)
     # ------------------------------------------------------------------
     def decode_sgt(self, sgt: SGT) -> SGT:

@@ -207,6 +207,35 @@ class Executor:
         self._advance(self._boundary(t))
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_clock(self) -> dict:
+        """The executor's event-time position (taken at a boundary with
+        no batch in flight)."""
+        return {
+            "boundary": self._current_boundary,
+            "late_count": self.late_count,
+        }
+
+    def restore_clock(self, state: dict) -> None:
+        """Re-announce the checkpointed watermark through the restored
+        topology.
+
+        Called *after* operator state is loaded: re-advancing at the
+        pre-snapshot boundary is a no-op for every stateful operator
+        (wheels already drained to the boundary, adjacency purged,
+        coalescer keys re-scheduled strictly beyond it), and the sweep
+        rebuilds each operator's watermark bookkeeping, which is not
+        checkpointed.
+        """
+        self.late_count = state["late_count"]
+        boundary = state["boundary"]
+        if boundary is not None:
+            self._current_boundary = boundary
+            self.graph.push_watermark(boundary)
+            self.graph.sync_watermarks()
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _apply_tuples(self, boundary: int, edges: list[SGE]) -> None:

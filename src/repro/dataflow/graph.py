@@ -32,7 +32,7 @@ from repro.core.coalesce import coalesce_stream
 from repro.core.columns import ColumnBuilder
 from repro.core.intervals import Interval, net_cover
 from repro.core.nplib import as_list
-from repro.core.tuples import SGE, SGT, EdgePayload, Label, Vertex
+from repro.core.tuples import SGE, SGT, EdgePayload, Label, PathPayload, Vertex
 from repro.errors import ExecutionError
 
 INSERT = 1
@@ -339,6 +339,30 @@ class PhysicalOperator:
         operators emit retractions and re-derivations).
         """
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict | None:
+        """Serializable operator state, or ``None`` for stateless
+        operators.  Stateful operators override this together with
+        :meth:`restore_state`; snapshots are only taken at a watermark
+        boundary with no batch in flight."""
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Load a state blob captured by :meth:`snapshot_state`."""
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            f"{self.name} is stateless but a state blob was provided"
+        )
+
+    def state_breakdown(self) -> dict | None:
+        """``{"rows": n, "bytes": estimate}`` for stateful operators
+        (``None`` for stateless ones).  Bytes are a structural estimate —
+        cheap enough for ``/metrics``, close enough to size checkpoints."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
 
@@ -566,6 +590,72 @@ class SinkOp(PhysicalOperator):
         self._events.clear()
         self._pending.clear()
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"kind": "sink", "events": encode_events(self.events)}
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "sink":
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                f"operator {self.name}: expected a sink state blob, got "
+                f"kind={state.get('kind')!r}"
+            )
+        self._pending = []
+        self._events = decode_events(state["events"])
+
+    def state_breakdown(self) -> dict:
+        rows = len(self.events)
+        return {"rows": rows, "bytes": rows * 120}
+
+
+def encode_events(events: list[Event]) -> list[tuple]:
+    """Sink events as plain tuples for checkpoint blobs.
+
+    Default (edge) payloads are reconstructed lazily by ``SGT.payload``,
+    so only materialized :class:`PathPayload` hops are captured.
+    """
+    rows = []
+    for event in events:
+        sgt = event.sgt
+        payload = sgt._payload
+        if payload is not None and payload.__class__ is PathPayload:
+            hops = tuple(
+                (hop.src, hop.trg, hop.label) for hop in payload.hops
+            )
+        else:
+            hops = None
+        rows.append(
+            (
+                sgt.src,
+                sgt.trg,
+                sgt.label,
+                sgt.interval.ts,
+                sgt.interval.exp,
+                hops,
+                event.sign,
+            )
+        )
+    return rows
+
+
+def decode_events(rows: list[tuple]) -> list[Event]:
+    """Rebuild :func:`encode_events` tuples into sink events."""
+    out = []
+    for src, trg, label, ts, exp, hops, sign in rows:
+        payload = (
+            PathPayload(
+                tuple(EdgePayload(h_src, h_trg, h_label) for h_src, h_trg, h_label in hops)
+            )
+            if hops is not None
+            else None
+        )
+        out.append(Event(SGT(src, trg, label, Interval(ts, exp), payload), sign))
+    return out
+
 
 def events_coverage(
     events: list[Event], decode: Callable[[tuple], tuple] | None = None
@@ -717,3 +807,22 @@ class DataflowGraph:
             if callable(size):
                 total += size()
         return total
+
+    def state_breakdown(self) -> dict[str, dict]:
+        """Per-operator ``{"rows", "bytes"}`` estimates for every
+        stateful operator, keyed on operator name (diagnostics surface;
+        exposed through engine ``stats()`` and the server's /metrics)."""
+        out: dict[str, dict] = {}
+        for op in self.operators:
+            breakdown = op.state_breakdown()
+            if breakdown is None:
+                continue
+            merged = out.get(op.name)
+            if merged is None:
+                out[op.name] = dict(breakdown)
+            else:
+                # Two instances may share a name (one per query); the
+                # metrics surface aggregates them.
+                merged["rows"] += breakdown["rows"]
+                merged["bytes"] += breakdown["bytes"]
+        return out

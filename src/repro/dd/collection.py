@@ -136,5 +136,24 @@ class WeightedRelation:
                 result.append(fact)
         return result
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Weights only: snapshots are taken between epochs (epoch diff
+        sets empty), and facts/endpoint indexes derive from weights."""
+        return {"weights": list(self._weights.items())}
+
+    def restore_state(self, state: dict) -> None:
+        self._weights = {tuple(fact): w for fact, w in state["weights"]}
+        self._facts = {fact for fact, w in self._weights.items() if w > 0}
+        self._by_src = defaultdict(set)
+        self._by_trg = defaultdict(set)
+        for fact in self._facts:
+            self._by_src[fact[0]].add(fact)
+            self._by_trg[fact[1]].add(fact)
+        self._epoch_plus = set()
+        self._epoch_minus = set()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WeightedRelation({self.name}, {len(self._facts)} facts)"

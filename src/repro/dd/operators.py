@@ -167,6 +167,29 @@ class IncrementalClosure:
         return len(self._tc)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Base graph + closure (endpoint indexes over ``_tc`` derive)."""
+        return {
+            "succ": [(v, list(targets)) for v, targets in self._succ.items()],
+            "tc": list(self._tc),
+            "rederivation_checks": self.rederivation_checks,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._succ = defaultdict(set)
+        for v, targets in state["succ"]:
+            self._succ[v] = set(targets)
+        self._tc = {tuple(pair) for pair in state["tc"]}
+        self._tc_succ = defaultdict(set)
+        self._tc_pred = defaultdict(set)
+        for src, trg in self._tc:
+            self._tc_succ[src].add(trg)
+            self._tc_pred[trg].add(src)
+        self.rederivation_checks = state["rederivation_checks"]
+
+    # ------------------------------------------------------------------
     # Epoch application
     # ------------------------------------------------------------------
     def apply_delta(self, delta: Iterable[tuple[Pair, int]]) -> list[tuple[Pair, int]]:

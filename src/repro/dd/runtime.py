@@ -211,3 +211,52 @@ class DDRuntime:
         total = sum(len(r) for r in self.relations.values())
         total += sum(len(c) for c in self.closures.values())
         return total
+
+    def state_breakdown(self) -> dict:
+        rows = self.state_size()
+        return {"rows": rows, "bytes": rows * 120}
+
+    # ------------------------------------------------------------------
+    # Checkpointing (between epochs: every relation's diff sets empty)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "dd",
+            "boundary": self._boundary,
+            "horizon": self._horizon,
+            "relations": {
+                name: relation.snapshot_state()
+                for name, relation in self.relations.items()
+            },
+            "closures": {
+                name: closure.snapshot_state()
+                for name, closure in self.closures.items()
+            },
+            "expiry": self._expiry.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.errors import CheckpointError
+
+        if state.get("kind") != "dd":
+            raise CheckpointError(
+                f"DD runtime: expected a dd state blob, got "
+                f"kind={state.get('kind')!r}"
+            )
+        for name, relation in self.relations.items():
+            if name not in state["relations"]:
+                raise CheckpointError(
+                    f"DD runtime: snapshot is missing relation {name!r}"
+                )
+            relation.restore_state(state["relations"][name])
+        for name, closure in self.closures.items():
+            if name not in state["closures"]:
+                raise CheckpointError(
+                    f"DD runtime: snapshot is missing closure {name!r}"
+                )
+            closure.restore_state(state["closures"][name])
+        wheel = TimingWheel()
+        wheel.restore(state["expiry"], decode=tuple)
+        self._expiry = wheel
+        self._boundary = state["boundary"]
+        self._horizon = state["horizon"]

@@ -61,6 +61,8 @@ from typing import Callable, Iterable
 
 from repro.algebra.operators import Plan, WScan
 from repro.algebra.translate import sgq_to_sga
+from repro.checkpoint.rebalance import rebalance_states
+from repro.checkpoint.topology import load_operator_states, operator_keys
 from repro.core.batch import BatchScheduler, RunStats
 from repro.core.coalesce import coalesce_stream
 from repro.core.interning import Interner, intern_plan
@@ -75,7 +77,13 @@ from repro.engine.sharded import (
     ShardedSgaRuntime,
     merged_coverage,
 )
-from repro.errors import ExecutionError, HorizonError, PlanError, StreamOrderError
+from repro.errors import (
+    CheckpointError,
+    ExecutionError,
+    HorizonError,
+    PlanError,
+    StreamOrderError,
+)
 from repro.physical.planner import (
     PATH_IMPLS,
     compile_into,
@@ -1377,6 +1385,301 @@ class StreamingGraphEngine:
                 return self._graph.state_size()
             return sum(h._runtime.state_size() for h in self._dd_handles())
 
+    def state_breakdown(self) -> dict[str, dict]:
+        """Per-operator ``{"rows": n, "bytes": estimate}`` across the
+        engine's stateful operators (sharded: aggregated over shards;
+        dd: one entry per query's runtime).  The diagnostics surface
+        behind the serving layer's ``/metrics`` state section.
+        """
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                return self._sharded.state_breakdown()
+            if self._config.backend == "sga":
+                return self._graph.state_breakdown()
+            return {
+                f"dd[{h.name}]": h._runtime.state_breakdown()
+                for h in self._dd_handles()
+            }
+
+    def set_result_callback(
+        self, name: str, on_result: Callable | None
+    ) -> None:
+        """Install (or clear, with ``None``) a live query's push-delivery
+        callback after registration.
+
+        Semantics match the ``on_result`` parameter of :meth:`register`
+        (decoded events for sga, Answer deltas for dd).  The serving
+        layer uses this to re-attach subscriptions to queries that were
+        re-registered by :meth:`restore`.
+        """
+        with self._lifecycle_lock:
+            handle = self._handles.get(name)
+            if handle is None:
+                raise PlanError(f"unknown query {name!r}")
+            if isinstance(handle, DDQueryHandle):
+                handle._callback = on_result
+                return
+            callback = on_result
+            if callback is not None and self._interner is not None:
+                callback = _decoding_callback(callback, self._interner)
+            if isinstance(handle, ShardedQueryHandle):
+                self._sharded.set_callback(name, callback)
+                return
+            assert isinstance(handle, SgaQueryHandle)
+            handle._sink.set_callback(callback)
+
+    # ------------------------------------------------------------------
+    # Durability: checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, store, **meta) -> str:
+        """Snapshot this session into ``store``; returns the checkpoint id.
+
+        The snapshot captures everything :meth:`restore` needs to rebuild
+        an engine whose suffix replay is bit-identical to never having
+        stopped: the full configuration, every registered query (plan +
+        per-query options, in registration order), the vertex interner,
+        the watermark clock, and each stateful operator's exact state
+        (per shard, when ``shards > 1``).  Accumulated result events are
+        included, so per-query sequence numbering continues seamlessly.
+
+        Checkpoints are consistent by construction: the engine's
+        lifecycle lock is held for the duration, so the snapshot sits on
+        a watermark boundary between flushes — no in-flight deltas exist
+        mid-lock.  Tap sinks are *not* checkpointed (they are
+        observability surfaces; re-attach them after restore).
+
+        Extra keyword arguments become manifest metadata (JSON values
+        only) — the serving layer stamps tenant information this way.
+        """
+        writer = store.begin()
+        try:
+            self.write_checkpoint(writer)
+            writer.set_meta(
+                kind="engine",
+                backend=self._config.backend,
+                shards=self._config.shards,
+                boundary=self.watermark,
+                queries=list(self._handles),
+                **meta,
+            )
+            return writer.commit()
+        except BaseException:
+            writer.abort()
+            raise
+
+    def write_checkpoint(self, writer, prefix: str = "") -> None:
+        """Write this engine's snapshot blobs into an open
+        :class:`~repro.checkpoint.store.CheckpointWriter`.
+
+        The serving layer checkpoints many tenants into one atomic
+        checkpoint by calling this with per-tenant prefixes
+        (``tenants/<name>/``); :meth:`checkpoint` is the
+        single-engine convenience over it.  Restore with
+        :meth:`restore_from_reader` and the same prefix.
+        """
+        with self._lifecycle_lock:
+            self._write_checkpoint(writer, prefix)
+
+    def _write_checkpoint(self, writer, prefix: str) -> None:
+        config = self._config
+        queries: list[tuple] = []
+        for name, handle in self._handles.items():
+            if isinstance(handle, DDQueryHandle):
+                queries.append(
+                    (
+                        name,
+                        "dd",
+                        handle.sgq,
+                        {
+                            "boundaries": list(handle._boundaries),
+                            "answers": list(handle._answers),
+                            "last_advance_at": handle._last_advance_at,
+                        },
+                    )
+                )
+            else:
+                queries.append((name, "sga", handle.plan, handle._options))
+        if self._sharded is not None:
+            boundary = self._sharded._boundary
+            late = self._sharded.late_count
+            states = self._sharded.snapshot_shards()
+        elif config.backend == "sga":
+            if self._executor is not None:
+                clock = self._executor.snapshot_clock()
+                boundary, late = clock["boundary"], clock["late_count"]
+            else:
+                boundary, late = None, 0
+            keys = operator_keys(
+                [(n, h._sink) for n, h in self._handles.items()], self._graph
+            )
+            state: dict = {}
+            for key, op in keys.items():
+                blob = op.snapshot_state()
+                if blob is not None:
+                    state[key] = blob
+            states = [state]
+        else:
+            boundary = self.watermark
+            late = len(self._dd_late_dropped)
+            states = [
+                {
+                    h.name: h._runtime.snapshot_state()
+                    for h in self._dd_handles()
+                }
+            ]
+        writer.put(
+            f"{prefix}engine",
+            {
+                "backend": config.backend,
+                "config": dataclasses.asdict(config),
+                "queries": queries,
+                "auto": self._auto,
+                "boundary": boundary,
+                "late_count": late,
+                "interner": (
+                    self._interner.snapshot_state()
+                    if self._interner is not None
+                    else None
+                ),
+                "dd_late_dropped": sorted(self._dd_late_dropped),
+            },
+        )
+        for shard_id, state in enumerate(states):
+            writer.put(f"{prefix}state-{shard_id}", state)
+
+    @classmethod
+    def restore(
+        cls,
+        store,
+        config: EngineConfig | None = None,
+        checkpoint_id: str | None = None,
+        **overrides: object,
+    ) -> "StreamingGraphEngine":
+        """Rebuild an engine from a checkpoint in ``store``.
+
+        Opens the latest checkpoint (or ``checkpoint_id``), re-registers
+        every query in its original order and loads each stateful
+        operator's snapshot, so replaying the stream suffix from the
+        checkpointed watermark yields bit-identical results to the
+        uninterrupted run.
+
+        ``config`` / ``overrides`` may differ from the stored
+        configuration **only** in ``shards`` and ``shard_transport``:
+        restoring ``shards=N`` state under ``shards=M`` (both >= 2)
+        re-partitions operator ownership offline
+        (:func:`repro.checkpoint.rebalance.rebalance_states`) — result
+        *sets*, coverage and ``valid_at`` are preserved exactly; raw
+        event interleavings only for same-count restores.  Any other
+        difference raises :class:`~repro.errors.CheckpointError`.
+
+        Failures are all-or-nothing at the API level: a corrupted blob,
+        a version mismatch or a topology mismatch raises a typed
+        :class:`~repro.errors.CheckpointError` naming the offending
+        piece, and no engine is returned — never a half-restored one.
+        """
+        reader = store.open(checkpoint_id)
+        return cls.restore_from_reader(reader, config=config, **overrides)
+
+    @classmethod
+    def restore_from_reader(
+        cls,
+        reader,
+        prefix: str = "",
+        config: EngineConfig | None = None,
+        **overrides: object,
+    ) -> "StreamingGraphEngine":
+        """:meth:`restore`, but from an already-open
+        :class:`~repro.checkpoint.store.CheckpointReader` and an optional
+        blob-name ``prefix`` — the counterpart of
+        :meth:`write_checkpoint` for multi-engine checkpoints."""
+        state = reader.get(f"{prefix}engine")
+        try:
+            stored = EngineConfig(**state["config"])
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {reader.checkpoint_id}: stored engine config "
+                f"does not validate: {exc}"
+            ) from exc
+        if config is None:
+            config = stored.with_overrides(**overrides) if overrides else stored
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        _check_restore_config(stored, config, reader.checkpoint_id)
+        engine = cls(config)
+        engine._restore_from(reader, state, stored.shards, prefix)
+        return engine
+
+    def _restore_from(
+        self, reader, state: dict, old_shards: int, prefix: str = ""
+    ) -> None:
+        checkpoint_id = reader.checkpoint_id
+        if self._interner is not None:
+            values = state.get("interner")
+            if values is None:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint_id}: blob '{prefix}engine' "
+                    "holds no interner table (field 'interner' is null)"
+                )
+            self._interner.restore_state(values)
+        for entry in state["queries"]:
+            name, kind = entry[0], entry[1]
+            if kind == "sga":
+                plan, options = entry[2], entry[3]
+                self.register(
+                    plan,
+                    name=name,
+                    path_impl=options[0],
+                    materialize_paths=options[1],
+                    coalesce_intermediate=options[2],
+                )
+            elif kind == "dd":
+                self.register(entry[2], name=name)
+            else:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint_id}: query {name!r} has "
+                    f"unknown kind {kind!r} in blob '{prefix}engine'"
+                )
+        blobs = [reader.get(f"{prefix}state-{i}") for i in range(old_shards)]
+        boundary = state["boundary"]
+        late = state["late_count"]
+        if self._config.backend == "dd":
+            table = blobs[0]
+            for entry in state["queries"]:
+                name, _, _, history = entry
+                handle = self._handles[name]
+                assert isinstance(handle, DDQueryHandle)
+                blob = table.get(name)
+                if blob is None:
+                    raise CheckpointError(
+                        f"checkpoint {checkpoint_id}: blob "
+                        f"'{prefix}state-0' holds no runtime state for "
+                        f"query {name!r}"
+                    )
+                handle._runtime.restore_state(blob)
+                handle._boundaries = list(history["boundaries"])
+                handle._answers = [frozenset(a) for a in history["answers"]]
+                handle._last_answer = (
+                    handle._answers[-1] if handle._answers else frozenset()
+                )
+                handle._last_advance_at = history["last_advance_at"]
+            self._dd_late_dropped = {
+                tuple(item) for item in state["dd_late_dropped"]
+            }
+        elif self._sharded is not None:
+            if len(blobs) != self._config.shards:
+                blobs = rebalance_states(blobs, self._config.shards)
+            self._sharded.restore_shards(blobs, boundary, late)
+        else:
+            keys = operator_keys(
+                [(n, h._sink) for n, h in self._handles.items()], self._graph
+            )
+            load_operator_states(keys, blobs[0])
+            if boundary is not None:
+                self._ensure_executor().restore_clock(
+                    {"boundary": boundary, "late_count": late}
+                )
+        self._auto = state["auto"]
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -1515,5 +1818,44 @@ def _decoding_callback(callback: Callable, interner: Interner) -> Callable:
         callback(interner.decode_event(event))
 
     return deliver
+
+
+def _check_restore_config(
+    stored: EngineConfig, requested: EngineConfig, checkpoint_id: str
+) -> None:
+    """Reject restore-time config drift (only the shard layout may move).
+
+    Operator state blobs are exact internal structures — restoring them
+    under a different path implementation, execution mode or coalescing
+    setting would attach state to operators that never produce it.  The
+    shard count/transport is the sanctioned exception: the per-shard
+    topologies are isomorphic across counts >= 2, so state re-partitions
+    (see :mod:`repro.checkpoint.rebalance`); serial and sharded compiles
+    differ structurally (exchange operators), so crossing the 1-shard
+    boundary is refused.
+    """
+    movable = {"shards", "shard_transport"}
+    stored_fields = dataclasses.asdict(stored)
+    requested_fields = dataclasses.asdict(requested)
+    drift = sorted(
+        name
+        for name, value in requested_fields.items()
+        if name not in movable and value != stored_fields[name]
+    )
+    if drift:
+        raise CheckpointError(
+            f"checkpoint {checkpoint_id} was taken under a different "
+            f"engine configuration (field(s) {drift} differ); only "
+            "'shards' and 'shard_transport' may change on restore"
+        )
+    if stored.shards != requested.shards and (
+        stored.shards < 2 or requested.shards < 2
+    ):
+        raise CheckpointError(
+            f"checkpoint {checkpoint_id}: cannot restore shards="
+            f"{stored.shards} state into shards={requested.shards} — "
+            "re-partitioned restore requires both shard counts >= 2 "
+            "(serial and sharded dataflows compile different topologies)"
+        )
 
 

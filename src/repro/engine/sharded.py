@@ -58,6 +58,7 @@ import time
 from typing import Callable, Iterable
 
 from repro.algebra.operators import Plan
+from repro.checkpoint.topology import load_operator_states, operator_keys
 from repro.core.batch import BatchScheduler, RunStats
 from repro.core.coalesce import coalesce_stream
 from repro.core.intervals import Interval
@@ -130,6 +131,22 @@ def _push_edge(shard: _Shard, label: str, src: int, dst: int, t: int) -> None:
     source = shard.graph.sources.get(label)
     if source is not None:
         source.push_scalar(src, dst, t)
+
+
+def _snapshot_shard_graph(sinks: dict, graph: DataflowGraph) -> dict:
+    """One shard's ``{operator_key: state_blob}`` map (stateful ops only).
+
+    ``sinks`` iterates in query registration order (both the inline
+    shards and the forked workers compile queries in that order), so the
+    structural keys match what a restoring engine recomputes.
+    """
+    keys = operator_keys(list(sinks.items()), graph)
+    out = {}
+    for key, op in keys.items():
+        blob = op.snapshot_state()
+        if blob is not None:
+            out[key] = blob
+    return out
 
 
 class ShardedSgaRuntime:
@@ -217,12 +234,103 @@ class ShardedSgaRuntime:
             return 0
         return sum(self._request(w, ("state",)) for w in workers)
 
+    def state_breakdown(self) -> dict:
+        """Per-operator ``{"rows", "bytes"}`` aggregated across shards."""
+        if self.transport == "inline":
+            parts = [s.graph.state_breakdown() for s in self._shards]
+        else:
+            workers = self._workers_snapshot()
+            if workers is None:
+                return {}
+            parts = [self._request(w, ("breakdown",)) for w in workers]
+        merged: dict[str, dict] = {}
+        for part in parts:
+            for name, item in part.items():
+                entry = merged.get(name)
+                if entry is None:
+                    merged[name] = dict(item)
+                else:
+                    entry["rows"] += item["rows"]
+                    entry["bytes"] += item["bytes"]
+        return merged
+
     def _require_inline(self, what: str) -> None:
         if self.transport != "inline":
             raise ExecutionError(
                 f"{what} requires shard_transport='inline' "
                 "(process workers hold their state out of process)"
             )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot_shards(self) -> list[dict]:
+        """Per-shard ``{operator_key: state_blob}`` maps, one per shard.
+
+        Keys come from :func:`repro.checkpoint.topology.operator_keys`
+        — the same structural walk a fresh engine reproduces, so the
+        blobs re-attach after restore regardless of any past
+        register/unregister history.  Under the process transport the
+        workers compute their own maps (operator graphs never cross the
+        pipe; state blobs are plain picklable structures).
+        """
+        if not self._queries:
+            return [{} for _ in range(self.num_shards)]
+        if self.transport == "inline":
+            return [_snapshot_shard_graph(s.sinks, s.graph) for s in self._shards]
+        self._ensure_workers()
+        with self._state_lock:
+            workers = list(self._workers or ())
+        return [self._request(w, ("snapshot",)) for w in workers]
+
+    def restore_shards(
+        self,
+        states: list[dict],
+        boundary: int | None,
+        late_count: int,
+    ) -> None:
+        """Load per-shard operator state into this (freshly compiled,
+        never-streamed) runtime, then pin the watermark clock at the
+        snapshot boundary.
+
+        Re-advancing at ``boundary`` after restore is a no-op everywhere
+        (wheels are drained through it, adjacencies purged, coalescer
+        keys re-scheduled strictly past it), so pushing the watermark
+        once re-establishes exactly the pre-snapshot clock state.
+        """
+        from repro.errors import CheckpointError
+
+        if len(states) != self.num_shards:
+            raise CheckpointError(
+                f"snapshot holds {len(states)} shard state maps, "
+                f"engine is configured with shards={self.num_shards}"
+            )
+        if self.started:
+            raise CheckpointError(
+                "restore_shards requires a fresh runtime (stream already started)"
+            )
+        self.late_count = late_count
+        if self.transport == "inline":
+            for shard, blobs in zip(self._shards, states):
+                keys = operator_keys(
+                    [(name, shard.sinks[name]) for name in self._queries],
+                    shard.graph,
+                )
+                load_operator_states(keys, blobs)
+            if boundary is not None:
+                self._boundary = boundary
+                for shard in self._shards:
+                    shard.graph.push_watermark(boundary)
+                    shard.graph.sync_watermarks()
+            return
+        self._ensure_workers()
+        self._boundary = boundary
+        with self._state_lock:
+            workers = list(self._workers or ())
+        for worker, blobs in zip(workers, states):
+            reply = self._request(worker, ("restore", blobs, boundary))
+            if reply is not None:
+                raise CheckpointError(reply)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -296,6 +404,19 @@ class ShardedSgaRuntime:
                 sink = shard.sinks[name]
                 for event in list(shard.sinks[donor].events):
                     sink.on_event(0, event)
+
+    def set_callback(self, name: str, callback: Callable | None) -> None:
+        """Install (or clear) a query's push-delivery callback on every
+        shard sink (inline transport only, like register-time callbacks)."""
+        self._require_inline("push-delivery callbacks")
+        if callback is None:
+            self._callbacks.pop(name, None)
+        else:
+            self._callbacks[name] = callback
+        for shard in self._shards:
+            sink = shard.sinks.get(name)
+            if sink is not None:
+                sink.set_callback(callback)
 
     def unregister(self, name: str) -> None:
         if name not in self._queries:
@@ -958,6 +1079,30 @@ def _worker_main(conn, shard_id, num_shards, queries, slide):
                 conn.send(("ok", None))
             elif command == "state":
                 conn.send(("ok", shard.graph.state_size()))
+            elif command == "breakdown":
+                conn.send(("ok", shard.graph.state_breakdown()))
+            elif command == "snapshot":
+                conn.send(("ok", _snapshot_shard_graph(shard.sinks, shard.graph)))
+            elif command == "restore":
+                # Replies ("ok", None) on success or ("ok", message) on a
+                # checkpoint mismatch — a typed failure the parent raises
+                # as CheckpointError without poisoning the protocol.
+                _, blobs, target = message
+                from repro.errors import CheckpointError
+
+                try:
+                    keys = operator_keys(
+                        list(shard.sinks.items()), shard.graph
+                    )
+                    load_operator_states(keys, blobs)
+                except CheckpointError as exc:
+                    conn.send(("ok", str(exc)))
+                else:
+                    if target is not None:
+                        boundary = target
+                        shard.graph.push_watermark(target)
+                        shard.graph.sync_watermarks()
+                    conn.send(("ok", None))
             elif command == "busy":
                 conn.send(("ok", busy))
             elif command == "stop":

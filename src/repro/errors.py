@@ -97,6 +97,15 @@ class HorizonError(ExecutionError):
     """
 
 
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, read, or restored.
+
+    Restore failures are *atomic*: the error names the offending blob or
+    manifest field and the partially built engine is discarded — a failed
+    restore never returns (or leaves behind) a half-restored engine.
+    """
+
+
 class DecodeError(ReproError, KeyError):
     """Raised when decoding a dense vertex id that was never interned.
 

@@ -48,6 +48,11 @@ class CoalesceOp(PhysicalOperator):
         #: keys to re-examine when the watermark reaches an expiry
         #: instant of one of their cover pieces / ledger entries
         self._wheel = TimingWheel()
+        #: sharded placement: ``True`` when this instance's keys are
+        #: routed by shard ownership (stamped by the planner; shard
+        #: rebalancing re-partitions partitioned instances and copies
+        #: replicated ones)
+        self.partitioned = False
 
     def on_event(self, port: int, event: Event) -> None:
         sgt = event.sgt
@@ -301,6 +306,60 @@ class CoalesceOp(PhysicalOperator):
 
     def state_size(self) -> int:
         return sum(len(ivs) for ivs in self._cover.values())
+
+    def state_breakdown(self) -> dict:
+        rows = self.state_size()
+        ledger = sum(len(c) for c in self._dropped.values())
+        return {"rows": rows + ledger, "bytes": (rows + ledger) * 144}
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "coalesce",
+            "partitioned": self.partitioned,
+            "cover": [
+                (key, [(iv.ts, iv.exp) for iv in ivs])
+                for key, ivs in self._cover.items()
+            ],
+            "dropped": [
+                (
+                    key,
+                    [
+                        ((iv.ts, iv.exp), count)
+                        for iv, count in ledger.items()
+                    ],
+                )
+                for key, ledger in self._dropped.items()
+            ],
+            "wheel": self._wheel.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "coalesce":
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                f"operator {self.name}: expected a coalesce state blob, "
+                f"got kind={state.get('kind')!r}"
+            )
+        self._cover = {
+            tuple(key): [Interval(ts, exp) for ts, exp in ivs]
+            for key, ivs in state["cover"]
+        }
+        self._dropped = {
+            tuple(key): Counter(
+                {
+                    Interval(ts, exp): count
+                    for (ts, exp), count in entries
+                }
+            )
+            for key, entries in state["dropped"]
+        }
+        wheel = TimingWheel()
+        wheel.restore(state["wheel"], decode=tuple)
+        self._wheel = wheel
 
 
 def _covered(ts: int, exp: int, intervals: list[Interval]) -> bool:

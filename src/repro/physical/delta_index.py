@@ -40,7 +40,13 @@ NodeKey = tuple[Vertex, int]
 
 class TreeNode:
     """A node of a spanning tree: the best path from the root to a
-    (vertex, state) pair."""
+    (vertex, state) pair.
+
+    ``children`` is an insertion-ordered dict used as a set: removal
+    and repair traversals iterate it, and restoring a checkpoint must
+    reproduce that iteration order exactly (a rebuilt ``set``'s order
+    depends on its hash-table history, which a restore cannot replay).
+    """
 
     __slots__ = ("ts", "exp", "parent", "via_label", "children")
 
@@ -55,7 +61,7 @@ class TreeNode:
         self.exp = exp
         self.parent = parent
         self.via_label = via_label
-        self.children: set[NodeKey] = set()
+        self.children: dict[NodeKey, None] = {}
 
 
 class SpanningTree:
@@ -88,7 +94,7 @@ class SpanningTree:
         parent = self.nodes[parent_key]
         node = TreeNode(ts, exp, parent_key, via_label)
         self.nodes[child_key] = node
-        parent.children.add(child_key)
+        parent.children[child_key] = None
         return node
 
     def reparent(
@@ -98,10 +104,10 @@ class SpanningTree:
         if node.parent is not None:
             old_parent = self.nodes.get(node.parent)
             if old_parent is not None:
-                old_parent.children.discard(child_key)
+                old_parent.children.pop(child_key, None)
         node.parent = new_parent_key
         node.via_label = via_label
-        self.nodes[new_parent_key].children.add(child_key)
+        self.nodes[new_parent_key].children[child_key] = None
 
     def remove_subtree(self, key: NodeKey) -> list[tuple[NodeKey, TreeNode]]:
         """Detach and remove ``key`` and all its descendants.
@@ -117,7 +123,7 @@ class SpanningTree:
         if root_node.parent is not None:
             parent = self.nodes.get(root_node.parent)
             if parent is not None:
-                parent.children.discard(key)
+                parent.children.pop(key, None)
         removed: list[tuple[NodeKey, TreeNode]] = []
         stack = [key]
         while stack:
@@ -155,7 +161,9 @@ class DeltaPathIndex:
     def __init__(self, start_state: int):
         self.start_state = start_state
         self.trees: dict[Vertex, SpanningTree] = {}
-        self._inverted: dict[NodeKey, set[Vertex]] = defaultdict(set)
+        # Insertion-ordered dict-as-set per key, for the same restore-
+        # determinism reason as ``TreeNode.children``.
+        self._inverted: dict[NodeKey, dict[Vertex, None]] = defaultdict(dict)
 
     def tree(self, root_vertex: Vertex) -> SpanningTree | None:
         return self.trees.get(root_vertex)
@@ -169,12 +177,12 @@ class DeltaPathIndex:
         return tree
 
     def register(self, root_vertex: Vertex, key: NodeKey) -> None:
-        self._inverted[key].add(root_vertex)
+        self._inverted[key][root_vertex] = None
 
     def unregister(self, root_vertex: Vertex, key: NodeKey) -> None:
         roots = self._inverted.get(key)
         if roots is not None:
-            roots.discard(root_vertex)
+            roots.pop(root_vertex, None)
             if not roots:
                 del self._inverted[key]
 
@@ -189,6 +197,53 @@ class DeltaPathIndex:
 
     def state_size(self) -> int:
         return sum(tree.size() for tree in self.trees.values())
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable forest: per tree, nodes in dict (insertion)
+        order with children captured in their own insertion order.
+
+        Both orders matter for bit-identical resume: subtree removal and
+        repair traverse ``children``, and ``roots_containing`` iterates
+        the inverted index's entries.  Because every container here is
+        an insertion-ordered dict, re-inserting the captured sequence
+        reproduces the live engine's iteration order exactly.
+        """
+        trees = []
+        for root_vertex, tree in self.trees.items():
+            nodes = [
+                (key, node.ts, node.exp, node.parent, node.via_label,
+                 list(node.children))
+                for key, node in tree.nodes.items()
+            ]
+            trees.append((root_vertex, nodes))
+        inverted = [
+            (key, list(roots)) for key, roots in self._inverted.items()
+        ]
+        return {
+            "start_state": self.start_state,
+            "trees": trees,
+            "inverted": inverted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.start_state = state["start_state"]
+        self.trees = {}
+        for root_vertex, nodes in state["trees"]:
+            tree = SpanningTree(root_vertex, self.start_state)
+            tree.nodes = {}
+            for key, ts, exp, parent, via_label, children in nodes:
+                node = TreeNode(ts, exp, parent, via_label)
+                node.children = dict.fromkeys(
+                    tuple(child) for child in children
+                )
+                tree.nodes[key] = node
+            self.trees[root_vertex] = tree
+        self._inverted = defaultdict(dict)
+        for key, roots in state["inverted"]:
+            self._inverted[tuple(key)] = dict.fromkeys(roots)
 
 
 class WindowAdjacency:
@@ -351,6 +406,50 @@ class WindowAdjacency:
 
     def __len__(self) -> int:
         return self._size
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable snapshot (both directions captured explicitly so
+        per-list interval order — which drives max-expiry tie-breaks —
+        survives verbatim)."""
+
+        def encode(index):
+            return [
+                (
+                    vertex,
+                    [
+                        (label, other, [(iv.ts, iv.exp) for iv in rows])
+                        for (label, other), rows in groups.items()
+                    ],
+                )
+                for vertex, groups in index.items()
+            ]
+
+        return {
+            "out": encode(self._out),
+            "in": encode(self._in),
+            "wheel": self._expiry.snapshot(),
+            "size": self._size,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        def decode(entries):
+            index: dict = defaultdict(dict)
+            for vertex, groups in entries:
+                group = index[vertex]
+                for label, other, rows in groups:
+                    group[(label, other)] = [
+                        Interval(ts, exp) for ts, exp in rows
+                    ]
+            return index
+
+        self._out = decode(state["out"])
+        self._in = decode(state["in"])
+        self._expiry = TimingWheel()
+        self._expiry.restore(state["wheel"])
+        self._size = state["size"]
 
 
 class ColumnarPathIngest:
@@ -572,7 +671,7 @@ def repair_nodes(
         if node.parent is not None:
             parent = tree.nodes.get(node.parent)
             if parent is not None:
-                parent.children.discard(key)
+                parent.children.pop(key, None)
         for child in list(node.children):
             child_node = tree.nodes.get(child)
             if child_node is not None and child_node.parent == key:

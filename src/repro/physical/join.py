@@ -25,7 +25,7 @@ from repro.core.expiry import TimingWheel
 from repro.core.intervals import Interval
 from repro.core.tuples import SGT, Label, Vertex
 from repro.dataflow.graph import INSERT, Event, PhysicalOperator
-from repro.errors import ExecutionError, PlanError
+from repro.errors import CheckpointError, ExecutionError, PlanError
 
 Schema = tuple[str, ...]
 Values = tuple[Vertex, ...]
@@ -162,6 +162,59 @@ class _HashTable:
 
     def __len__(self) -> int:
         return self._count
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable table + wheel layout.
+
+        Wheel entries hold direct references to rows lists; they are
+        encoded as ``(ts, exp, key, values)`` and re-resolved against the
+        rebuilt table on restore (an unresolvable entry was stale — its
+        binding had already been removed — and restores as a reference to
+        an empty placeholder list, which :meth:`purge` skips exactly like
+        the live stale entry).
+        """
+        table = [
+            (
+                key,
+                [
+                    (values, [(iv.ts, iv.exp) for iv in rows])
+                    for values, rows in group.items()
+                ],
+            )
+            for key, group in self._table.items()
+        ]
+        wheel = self._expiry.snapshot(
+            encode=lambda entry: (
+                entry[1].ts,
+                entry[1].exp,
+                entry[2],
+                entry[3],
+            )
+        )
+        return {"table": table, "count": self._count, "wheel": wheel}
+
+    def restore_state(self, state: dict) -> None:
+        self._table = defaultdict(dict)
+        for key, groups in state["table"]:
+            group = self._table[key]
+            for values, rows in groups:
+                group[values] = [Interval(ts, exp) for ts, exp in rows]
+        self._count = state["count"]
+        table = self._table
+
+        def decode(entry):
+            ts, exp, key, values = entry
+            group = table.get(key)
+            rows = group.get(values) if group is not None else None
+            if rows is None:
+                rows = []  # stale entry: purge's remove() skips it
+            return (rows, Interval(ts, exp), key, values)
+
+        self._expiry = TimingWheel()
+        self._expiry.restore(state["wheel"], decode=decode)
 
 
 class _Node:
@@ -607,6 +660,40 @@ class PatternOp(PhysicalOperator):
 
     def state_size(self) -> int:
         return sum(join.state_size() for join in self._joins)
+
+    def state_breakdown(self) -> dict:
+        rows = self.state_size()
+        # Estimate: one stored binding ≈ values tuple + Interval + dict /
+        # list slots + one wheel entry (4-tuple).
+        return {"rows": rows, "bytes": rows * 176}
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "pattern",
+            "partitioned": self._sharded,
+            "joins": [
+                [
+                    join._tables[0].snapshot_state(),
+                    join._tables[1].snapshot_state(),
+                ]
+                for join in self._joins
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        joins = state["joins"]
+        if state.get("kind") != "pattern" or len(joins) != len(self._joins):
+            raise CheckpointError(
+                f"{self.name}: blob does not match this operator "
+                f"(kind={state.get('kind')!r}, "
+                f"{len(joins)} joins for {len(self._joins)})"
+            )
+        for join, (left, right) in zip(self._joins, joins):
+            join._tables[0].restore_state(left)
+            join._tables[1].restore_state(right)
 
 
 class _ResultAdapter:

@@ -260,6 +260,10 @@ def _stateful_input(
             cache[route_key] = route  # type: ignore[index]
         child_op = route
     stage = CoalesceOp(child_plan.out_label)
+    if shard is not None and not rep:
+        # The coalescer owns result keys routed to this shard; shard
+        # rebalancing re-partitions its state instead of copying it.
+        stage.partitioned = True
     graph.add(stage)
     graph.connect(child_op, stage, 0)
     cache[key] = stage  # type: ignore[index]

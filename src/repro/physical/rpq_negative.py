@@ -403,3 +403,40 @@ class NegativeTupleRpqOp(ColumnarPathIngest, PhysicalOperator):
 
     def state_size(self) -> int:
         return self.index.state_size() + len(self.adjacency)
+
+    def state_breakdown(self) -> dict:
+        nodes = self.index.state_size()
+        edges = len(self.adjacency)
+        return {"rows": nodes + edges, "bytes": nodes * 200 + edges * 120}
+
+    # ------------------------------------------------------------------
+    # Checkpointing (same blob shape as SPathOp: both maintain the
+    # Δ-forest + window adjacency + node-expiry wheel, and restore is
+    # structure-for-structure, so the blobs are interchangeable across
+    # ``path_impl`` only in shape — never restored cross-impl because
+    # restore requires an identical engine config)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "path",
+            "partitioned": self.shard_ctx is not None,
+            "now": self._now,
+            "index": self.index.snapshot_state(),
+            "adjacency": self.adjacency.snapshot_state(),
+            "node_expiry": self._node_expiry.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "path":
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                f"operator {self.name}: expected a path state blob, got "
+                f"kind={state.get('kind')!r}"
+            )
+        self._now = state["now"]
+        self.index.restore_state(state["index"])
+        self.adjacency.restore_state(state["adjacency"])
+        wheel = TimingWheel()
+        wheel.restore(state["node_expiry"])
+        self._node_expiry = wheel

@@ -56,6 +56,7 @@ from repro.serve.subscriptions import BACKPRESSURE_POLICIES, SubscriberQueue
 from repro.serve.tenants import (
     AdmissionError,
     NotFoundError,
+    ResumeGapError,
     ServerLimits,
     Tenant,
     TenantManager,
@@ -80,10 +81,16 @@ class GraphStreamServer:
         port: int = 0,
         limits: ServerLimits | None = None,
         engine_config: EngineConfig | None = None,
+        manager: TenantManager | None = None,
     ):
         self.host = host
         self.port = port
-        self.manager = TenantManager(limits, engine_config)
+        #: a restore passes the rebuilt manager (``TenantManager.restore``)
+        self.manager = (
+            manager
+            if manager is not None
+            else TenantManager(limits, engine_config)
+        )
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         self.started_at: float | None = None
@@ -103,14 +110,22 @@ class GraphStreamServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def shutdown(self) -> None:
-        """Graceful drain; see the module docstring for the ordering."""
+    async def shutdown(self, checkpoint_store=None) -> str | None:
+        """Graceful drain; see the module docstring for the ordering.
+
+        With ``checkpoint_store``, every tenant is snapshotted into one
+        atomic checkpoint on the way down (see
+        :meth:`TenantManager.drain_all`); returns the checkpoint id, so
+        a relaunch with ``--restore-from`` resumes every query with
+        continuous sequence numbers.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.manager.drain_all()
+        checkpoint_id = await self.manager.drain_all(checkpoint_store)
         if self._connections:
             await asyncio.wait(list(self._connections), timeout=10)
+        return checkpoint_id
 
     # -- connection handling ---------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -195,7 +210,7 @@ class GraphStreamServer:
                 extra["Retry-After"] = f"{exc.retry_after:.3f}"
             body = dumps({"error": str(exc)}).encode()
             writer.write(http.response_with_headers(429, body, extra))
-        except (StreamOrderError, ExecutionError) as exc:
+        except (StreamOrderError, ExecutionError, ResumeGapError) as exc:
             writer.write(self._error(409, str(exc)))
         await writer.drain()
 
@@ -249,10 +264,24 @@ class GraphStreamServer:
             )
         except ValueError as exc:
             raise ProtocolError(str(exc)) from None
+        raw_last = request.query.get("last_seq")
+        if raw_last is None:
+            raw_last = request.headers.get("last-event-id")
+        last_seq = None
+        if raw_last is not None:
+            try:
+                last_seq = int(raw_last)
+            except ValueError:
+                raise ProtocolError(
+                    "resume position ('last_seq' param or Last-Event-ID "
+                    "header) must be an integer"
+                ) from None
+            if last_seq < 0:
+                raise ProtocolError("resume position must be >= 0")
         ready = dumps(
             {"tenant": tenant_name, "query": qid, "policy": policy}
         )
-        channel.attach(sub)
+        channel.attach(sub, last_seq)
         try:
             if request.wants_websocket():
                 await self._stream_websocket(
@@ -274,7 +303,9 @@ class GraphStreamServer:
                 items = await sub.drain()
                 if items is None:
                     break
-                writer.write(b"".join(http.ws_frame(i.encode()) for i in items))
+                writer.write(
+                    b"".join(http.ws_frame(m.encode()) for _, m in items)
+                )
                 await writer.drain()
             reason = sub.close_reason or "end of stream"
             writer.write(http.ws_close_frame(1000, reason))
@@ -300,7 +331,9 @@ class GraphStreamServer:
             items = await sub.drain()
             if items is None:
                 break
-            writer.write(b"".join(http.sse_event(i) for i in items))
+            writer.write(
+                b"".join(http.sse_event(m, event_id=s) for s, m in items)
+            )
             await writer.drain()
         reason = sub.close_reason or "end of stream"
         writer.write(http.sse_event(dumps({"reason": reason}), event="end"))
@@ -331,6 +364,7 @@ class GraphStreamServer:
                 "events_delivered": channel.seq,
                 "queue_depths": channel.queue_depths(),
             }
+        state = tenant.engine.state_breakdown()
         return {
             "queries": queries,
             "query_count": len(queries),
@@ -341,6 +375,9 @@ class GraphStreamServer:
             "watermark_lag_seconds": (
                 round(now - last, 3) if last is not None else None
             ),
+            "state": state,
+            "state_rows": sum(b["rows"] for b in state.values()),
+            "state_bytes": sum(b["bytes"] for b in state.values()),
         }
 
     # -- response helpers ------------------------------------------------

@@ -145,11 +145,19 @@ SSE_HEAD = (
 )
 
 
-def sse_event(data: str, event: str | None = None) -> bytes:
-    """One SSE frame; ``data`` must be newline-free (our JSON lines are)."""
+def sse_event(
+    data: str, event: str | None = None, event_id: int | str | None = None
+) -> bytes:
+    """One SSE frame; ``data`` must be newline-free (our JSON lines are).
+
+    ``event_id`` becomes the frame's ``id:`` line — browsers (and our
+    load client) echo the last one back as ``Last-Event-ID`` on
+    reconnect, which the subscribe endpoint uses to replay the gap.
+    """
+    head = f"id: {event_id}\n" if event_id is not None else ""
     if event is not None:
-        return f"event: {event}\ndata: {data}\n\n".encode()
-    return f"data: {data}\n\n".encode()
+        return f"{head}event: {event}\ndata: {data}\n\n".encode()
+    return f"{head}data: {data}\n\n".encode()
 
 
 # -- WebSocket -------------------------------------------------------------

@@ -92,6 +92,25 @@ class SubscriberQueue:
             self._wake_consumer_locked()
             return True
 
+    def preload(self, items: list) -> None:
+        """Seed the queue with replayed events before it is attached.
+
+        Resume replay happens on the event-loop thread *before* the
+        handler's drain loop starts, so it must not be subject to the
+        backpressure policy: a ``block`` producer would wait on a
+        consumer that cannot run yet (same thread), deadlocking the
+        loop.  The overshoot is bounded by the channel's replay ring,
+        not ``maxsize``.
+        """
+        with self._cond:
+            if self.closed:
+                return
+            for item in items:
+                self._items.append(item)
+                self.delivered += 1
+            if items:
+                self._wake_consumer_locked()
+
     def close(self, reason: str | None = None) -> None:
         """Close the queue (idempotent; safe from any thread).
 

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
-import itertools
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.errors import CheckpointError
 from repro.serve.protocol import RegisterSpec, dumps, encode_event
 from repro.serve.subscriptions import BACKPRESSURE_POLICIES, SubscriberQueue
 
@@ -46,6 +47,12 @@ class NotFoundError(Exception):
     """Unknown tenant or query (HTTP 404)."""
 
 
+class ResumeGapError(Exception):
+    """A resume request for a sequence number that has already left the
+    replay ring (HTTP 409): the gap cannot be filled, the client must
+    re-subscribe from live and reconcile on its own."""
+
+
 @dataclass(frozen=True)
 class ServerLimits:
     """Admission-control knobs, applied uniformly per tenant."""
@@ -60,12 +67,19 @@ class ServerLimits:
     #: subscriber queue bound (events) and default backpressure policy
     queue_maxsize: int = 1024
     default_policy: str = "block"
+    #: per-query replay ring size (events kept for resumable
+    #: subscriptions; 0 disables resume entirely)
+    replay_buffer: int = 1024
 
     def __post_init__(self) -> None:
         if self.default_policy not in BACKPRESSURE_POLICIES:
             raise ValueError(
                 f"unknown default_policy {self.default_policy!r}; "
                 f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        if self.replay_buffer < 0:
+            raise ValueError(
+                f"replay_buffer must be >= 0, got {self.replay_buffer}"
             )
 
 
@@ -124,34 +138,71 @@ class QueryChannel:
 
     ``deliver`` runs on the tenant's engine worker thread, inside
     ``push_many``: it stamps the per-query sequence number, encodes the
-    event once, and offers the encoded message to every subscriber's
+    event once, and offers ``(seq, message)`` to every subscriber's
     queue under its backpressure policy.  Every subscriber therefore
     observes the same numbered stream — the property the load client's
     parity check rests on.
+
+    The channel also keeps the last ``replay`` stamped messages in a
+    ring.  A reconnecting subscriber presents its last-seen seq and is
+    attached *atomically* with the replay of everything newer — the
+    stamping section of ``deliver`` and the replay+attach section of
+    ``attach`` serialize on the channel lock, so the resumed stream has
+    neither gaps nor duplicates.  A seq that already left the ring
+    raises :class:`ResumeGapError`.
     """
 
-    def __init__(self, name: str, policy: str | None = None):
+    def __init__(self, name: str, policy: str | None = None, replay: int = 1024):
         self.name = name
         #: per-query default backpressure policy (register-time choice)
         self.policy = policy
         self.seq = 0
+        self._ring: deque[tuple[int, str]] = deque(maxlen=max(replay, 0))
         self._subscribers: list[SubscriberQueue] = []
         self._lock = threading.Lock()
 
     def deliver(self, event) -> None:
-        self.seq += 1
-        message = dumps(encode_event(self.seq, event))
         with self._lock:
+            self.seq += 1
+            seq = self.seq
+            message = dumps(encode_event(seq, event))
+            if self._ring.maxlen:
+                self._ring.append((seq, message))
             subscribers = list(self._subscribers)
-        stale = [sub for sub in subscribers if not sub.offer(message)]
+        stale = [sub for sub in subscribers if not sub.offer((seq, message))]
         if stale:
             with self._lock:
                 for sub in stale:
                     if sub in self._subscribers:
                         self._subscribers.remove(sub)
 
-    def attach(self, sub: SubscriberQueue) -> None:
+    def attach(
+        self, sub: SubscriberQueue, last_seq: int | None = None
+    ) -> None:
+        """Attach a subscriber; with ``last_seq``, replay first.
+
+        ``last_seq`` is the highest seq the client has already seen;
+        every retained event past it is preloaded into the subscriber's
+        queue before attachment, under the same lock ``deliver`` stamps
+        under, so concurrent deliveries land exactly once — replayed or
+        live, never both, never neither.
+        """
         with self._lock:
+            if last_seq is not None and last_seq > self.seq:
+                raise ResumeGapError(
+                    f"cannot resume query {self.name!r} from seq "
+                    f"{last_seq}: the stream is at seq {self.seq} (was "
+                    "the server restored from an older checkpoint?)"
+                )
+            if last_seq is not None and last_seq < self.seq:
+                oldest = self._ring[0][0] if self._ring else self.seq + 1
+                if last_seq + 1 < oldest:
+                    raise ResumeGapError(
+                        f"cannot resume query {self.name!r} from seq "
+                        f"{last_seq}: events up to seq {oldest - 1} have "
+                        "left the replay buffer"
+                    )
+                sub.preload([item for item in self._ring if item[0] > last_seq])
             self._subscribers.append(sub)
 
     def detach(self, sub: SubscriberQueue) -> None:
@@ -174,6 +225,22 @@ class QueryChannel:
         for sub in subscribers:
             sub.close(reason)
 
+    # -- durability -----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Seq counter + replay ring, for the serve-layer checkpoint."""
+        with self._lock:
+            return {
+                "seq": self.seq,
+                "policy": self.policy,
+                "ring": list(self._ring),
+            }
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            self.seq = state["seq"]
+            for seq, message in state.get("ring", ()):
+                self._ring.append((int(seq), message))
+
 
 _STOP = object()
 
@@ -181,15 +248,23 @@ _STOP = object()
 class Tenant:
     """One tenant: an engine session plus its single worker thread."""
 
-    def __init__(self, name: str, config: EngineConfig, limits: ServerLimits):
+    def __init__(
+        self,
+        name: str,
+        config: EngineConfig,
+        limits: ServerLimits,
+        engine: StreamingGraphEngine | None = None,
+    ):
         self.name = name
         self.config = config
         self.limits = limits
-        self.engine = StreamingGraphEngine(config)
+        #: a restore passes the already-rebuilt engine; the normal path
+        #: starts an empty one
+        self.engine = engine if engine is not None else StreamingGraphEngine(config)
         self.channels: dict[str, QueryChannel] = {}
         self.bucket = TokenBucket(limits.ingest_rate, limits.ingest_burst)
         self.ingest_meter = RateMeter()
-        self._auto = itertools.count()
+        self._auto = 0
         self._commands: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self.draining = False
@@ -238,10 +313,15 @@ class Tenant:
                     f"tenant {self.name!r} is at its query limit "
                     f"({self.limits.max_queries_per_tenant})"
                 )
-            qid = spec.name or f"q{next(self._auto)}"
+            qid = spec.name
+            if qid is None:
+                qid = f"q{self._auto}"
+                self._auto += 1
             if qid in self.channels:
                 raise AdmissionError(f"query {qid!r} already registered")
-            channel = QueryChannel(qid, spec.policy)
+            channel = QueryChannel(
+                qid, spec.policy, replay=self.limits.replay_buffer
+            )
             self.channels[qid] = channel
         try:
             query = spec.build_query()
@@ -286,8 +366,8 @@ class Tenant:
                 f"({self.limits.max_subscribers_per_tenant})"
             )
 
-    # -- drain -----------------------------------------------------------
-    async def drain(self) -> None:
+    # -- drain / durability ----------------------------------------------
+    async def drain(self, checkpoint_writer=None) -> None:
         """Graceful shutdown: finish queued work, close, flush, stop.
 
         Ordering matters for the no-lost-results guarantee: the stop
@@ -295,6 +375,11 @@ class Tenant:
         in-flight results reach the subscriber queues before the queues
         are closed — subscribers then read their remaining backlog and
         see a clean end-of-stream.
+
+        With ``checkpoint_writer``, the tenant is snapshotted after the
+        worker has stopped (so the engine is quiescent) and before
+        ``engine.close()`` (process-transport shards must still be
+        alive to report their state).
 
         Idempotent: a second drain (e.g. an explicit ``drain_all``
         followed by the server's own shutdown) is a no-op — the stop
@@ -307,10 +392,77 @@ class Tenant:
         future: concurrent.futures.Future = concurrent.futures.Future()
         self._commands.put((_STOP, future))
         await asyncio.wrap_future(future)
+        if checkpoint_writer is not None:
+            self.checkpoint_into(checkpoint_writer)
         self.engine.close()
         for channel in self.channels.values():
             channel.close_subscribers("server draining")
         self._thread.join(timeout=10)
+
+    def checkpoint_into(self, writer) -> None:
+        """Write this tenant's blobs (engine + serve state) under
+        ``tenants/<name>/``.  The engine must be quiescent (worker
+        stopped or idle)."""
+        prefix = f"tenants/{self.name}/"
+        self.engine.write_checkpoint(writer, prefix=prefix)
+        writer.put(
+            prefix + "serve",
+            {
+                "auto": self._auto,
+                "queries": {
+                    qid: channel.snapshot_state()
+                    for qid, channel in self.channels.items()
+                },
+            },
+        )
+
+    @classmethod
+    def restored(
+        cls,
+        name: str,
+        reader,
+        limits: ServerLimits,
+        engine_config: EngineConfig | None = None,
+    ) -> "Tenant":
+        """Rebuild one tenant from a server checkpoint.
+
+        The engine is restored first (bit-identical state), then each
+        query's channel is re-created with its checkpointed seq counter
+        and replay ring and re-wired as the query's result callback —
+        so the resumed stream numbers continue exactly where the
+        snapshot left them.
+        """
+        prefix = f"tenants/{name}/"
+        engine = StreamingGraphEngine.restore_from_reader(
+            reader, prefix=prefix, config=engine_config
+        )
+        try:
+            serve_state = reader.get(prefix + "serve")
+            tenant = cls(name, engine.config, limits, engine=engine)
+        except BaseException:
+            engine.close()
+            raise
+        try:
+            tenant._auto = int(serve_state.get("auto", 0))
+            if set(serve_state["queries"]) != set(engine.query_names):
+                raise CheckpointError(
+                    f"checkpoint {reader.checkpoint_id}: blob "
+                    f"'{prefix}serve' lists queries "
+                    f"{sorted(serve_state['queries'])} but the restored "
+                    f"engine holds {sorted(engine.query_names)}"
+                )
+            for qid, qstate in serve_state["queries"].items():
+                channel = QueryChannel(
+                    qid, qstate.get("policy"), replay=limits.replay_buffer
+                )
+                channel.restore_state(qstate)
+                tenant.channels[qid] = channel
+                engine.set_result_callback(qid, channel.deliver)
+        except BaseException:
+            tenant.draining = True
+            engine.close()
+            raise
+        return tenant
 
 
 class TenantManager:
@@ -347,7 +499,65 @@ class TenantManager:
                 self.tenants[name] = tenant
             return tenant
 
-    async def drain_all(self) -> None:
+    async def drain_all(self, checkpoint_store=None) -> str | None:
+        """Drain every tenant; optionally checkpoint them on the way out.
+
+        With a ``checkpoint_store``, all tenants land in **one** atomic
+        checkpoint (blobs under ``tenants/<name>/``), committed only
+        after every tenant has quiesced and been written — a crash
+        mid-drain leaves the previous checkpoint intact.  Returns the
+        committed checkpoint id (``None`` when not checkpointing).
+        """
         self.draining = True
-        for tenant in list(self.tenants.values()):
-            await tenant.drain()
+        writer = None
+        if checkpoint_store is not None:
+            writer = checkpoint_store.begin()
+        try:
+            for tenant in list(self.tenants.values()):
+                await tenant.drain(writer)
+            if writer is not None:
+                writer.set_meta(kind="server", tenants=sorted(self.tenants))
+                return writer.commit()
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
+        return None
+
+    @classmethod
+    def restore(
+        cls,
+        store,
+        limits: ServerLimits | None = None,
+        engine_config: EngineConfig | None = None,
+        checkpoint_id: str | None = None,
+    ) -> "TenantManager":
+        """Rebuild every tenant from a server checkpoint in ``store``.
+
+        ``engine_config`` (e.g. built from the relaunch's CLI flags) is
+        applied to every restored engine and may differ from the stored
+        configuration only in ``shards`` / ``shard_transport`` — the
+        same rebalancing contract as
+        :meth:`StreamingGraphEngine.restore`.  ``None`` restores each
+        tenant under its stored configuration.
+        """
+        reader = store.open(checkpoint_id)
+        kind = reader.meta.get("kind")
+        if kind != "server":
+            raise CheckpointError(
+                f"checkpoint {reader.checkpoint_id} is not a server "
+                f"checkpoint (manifest kind is {kind!r}, expected "
+                "'server')"
+            )
+        manager = cls(limits, engine_config)
+        try:
+            for name in reader.meta.get("tenants", []):
+                manager.tenants[name] = Tenant.restored(
+                    name, reader, manager.limits, engine_config
+                )
+        except BaseException:
+            for tenant in manager.tenants.values():
+                tenant.draining = True
+                tenant.engine.close()
+            raise
+        return manager

@@ -1,0 +1,231 @@
+"""Checkpoint lifecycle edges: drift rejection, unregister, re-register.
+
+Beyond the straight-line snapshot/restore path (tests/checkpoint/
+test_restore_golden.py), the checkpoint subsystem has to behave at the
+lifecycle seams: a query unregistered before the snapshot must not
+reappear after restore, a restored engine must accept brand-new query
+registrations, restoring the same checkpoint twice must be idempotent,
+and any restore-time configuration drift beyond the sanctioned shard
+re-layout must be refused with a typed error before any state is
+attached.
+"""
+
+import pytest
+
+from repro.bench.experiments import Scale, _stream
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.core.windows import HOUR
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.errors import CheckpointError
+from repro.workloads import QUERIES, labels_for
+
+SCALE = Scale(n_edges=120, n_vertices=30, window=6 * HOUR, slide=HOUR)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return _stream("snb", SCALE)
+
+
+def _plan(query_name):
+    return QUERIES[query_name].plan(
+        labels_for(query_name, "snb"), SCALE.sliding_window()
+    )
+
+
+def _checkpoint_after(stream, cut, store, config=None, queries=("Q1",)):
+    engine = StreamingGraphEngine(config or EngineConfig(backend="sga"))
+    for name in queries:
+        engine.register(_plan(name), name=name)
+    engine.push_many(stream[:cut])
+    checkpoint_id = engine.checkpoint(store)
+    engine.close()
+    return checkpoint_id
+
+
+class TestConfigDrift:
+    def test_path_impl_drift_rejected(self, stream, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(stream, 60, store)
+        with pytest.raises(
+            CheckpointError, match=r"field\(s\) \['path_impl'\] differ"
+        ):
+            StreamingGraphEngine.restore(store, path_impl="negative")
+
+    def test_execution_drift_rejected(self, stream, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(
+            stream, 60, store, EngineConfig(backend="sga", execution="rows")
+        )
+        with pytest.raises(
+            CheckpointError, match=r"field\(s\) \['execution'\]"
+        ):
+            StreamingGraphEngine.restore(
+                store, config=EngineConfig(backend="sga", execution="columnar")
+            )
+
+    def test_serial_to_sharded_rejected(self, stream, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(stream, 60, store)
+        with pytest.raises(
+            CheckpointError, match="requires both shard counts >= 2"
+        ):
+            StreamingGraphEngine.restore(store, shards=2)
+
+    def test_sharded_to_serial_rejected(self, stream, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(
+            stream,
+            60,
+            store,
+            EngineConfig(backend="sga", shards=2, execution="columnar"),
+        )
+        with pytest.raises(
+            CheckpointError, match="requires both shard counts >= 2"
+        ):
+            StreamingGraphEngine.restore(store, shards=1)
+
+    def test_stored_config_is_the_default(self, stream, tmp_path):
+        """Restore with no config inherits the checkpoint's own config."""
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(
+            stream, 60, store, EngineConfig(backend="sga", execution="rows")
+        )
+        restored = StreamingGraphEngine.restore(store)
+        assert restored.config.execution == "rows"
+        restored.close()
+
+
+class TestUnregisterInteraction:
+    def test_unregistered_query_stays_gone(self, stream, tmp_path):
+        cut = len(stream) // 2
+        store = DirectoryCheckpointStore(str(tmp_path))
+
+        engine = StreamingGraphEngine(EngineConfig(backend="sga"))
+        engine.register(_plan("Q1"), name="Q1")
+        engine.register(_plan("Q5"), name="Q5")
+        engine.push_many(stream[:cut])
+        engine.unregister("Q5")
+        engine.checkpoint(store)
+        engine.close()
+
+        ref = StreamingGraphEngine(EngineConfig(backend="sga"))
+        ref_handle = ref.register(_plan("Q1"), name="Q1")
+        ref.push_many(stream[:cut])
+        ref.push_many(stream[cut:])
+
+        restored = StreamingGraphEngine.restore(store)
+        assert restored.query_names == ("Q1",)
+        restored.push_many(stream[cut:])
+        assert restored.handle("Q1").results() == ref_handle.results()
+        restored.close()
+        ref.close()
+
+    def test_register_new_query_after_restore(self, stream, tmp_path):
+        cut = len(stream) // 2
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(stream, cut, store)
+
+        restored = StreamingGraphEngine.restore(store)
+        fresh = restored.register(_plan("Q5"), name="Q5")
+        restored.push_many(stream[cut:])
+
+        # The late-registered query sees only the suffix, like a live
+        # registration at the same point would.
+        ref = StreamingGraphEngine(EngineConfig(backend="sga"))
+        ref_q1 = ref.register(_plan("Q1"), name="Q1")
+        ref.push_many(stream[:cut])
+        ref_q5 = ref.register(_plan("Q5"), name="Q5")
+        ref.push_many(stream[cut:])
+
+        assert restored.handle("Q1").results() == ref_q1.results()
+        assert fresh.results() == ref_q5.results()
+        restored.close()
+        ref.close()
+
+
+class TestDoubleRestore:
+    def test_restore_twice_is_idempotent(self, stream, tmp_path):
+        cut = len(stream) // 2
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(stream, cut, store)
+
+        first = StreamingGraphEngine.restore(store)
+        second = StreamingGraphEngine.restore(store)
+        first.push_many(stream[cut:])
+        second.push_many(stream[cut:])
+        assert first.handle("Q1").results() == second.handle("Q1").results()
+        assert (
+            first.handle("Q1").coverage() == second.handle("Q1").coverage()
+        )
+        first.close()
+        second.close()
+
+    def test_restored_engine_can_checkpoint_again(self, stream, tmp_path):
+        third = len(stream) // 3
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _checkpoint_after(stream, third, store)
+
+        mid = StreamingGraphEngine.restore(store)
+        mid.push_many(stream[third : 2 * third])
+        second_id = mid.checkpoint(store)
+        mid.close()
+
+        final = StreamingGraphEngine.restore(store, checkpoint_id=second_id)
+        final.push_many(stream[2 * third :])
+
+        ref = StreamingGraphEngine(EngineConfig(backend="sga"))
+        ref_handle = ref.register(_plan("Q1"), name="Q1")
+        ref.push_many(stream[:third])
+        ref.push_many(stream[third : 2 * third])
+        ref.push_many(stream[2 * third :])
+
+        assert final.handle("Q1").results() == ref_handle.results()
+        final.close()
+        ref.close()
+
+
+class TestStateBreakdown:
+    def test_breakdown_reports_rows_and_bytes(self, stream):
+        engine = StreamingGraphEngine(EngineConfig(backend="sga"))
+        engine.register(_plan("Q1"), name="Q1")
+        engine.push_many(stream)
+        breakdown = engine.state_breakdown()
+        assert breakdown, "stateful operators expected"
+        for name, entry in breakdown.items():
+            assert set(entry) >= {"rows", "bytes"}, name
+            assert entry["rows"] >= 0
+            assert entry["bytes"] >= 0
+        assert sum(e["rows"] for e in breakdown.values()) > 0
+        assert sum(e["bytes"] for e in breakdown.values()) > 0
+        engine.close()
+
+    def test_breakdown_survives_restore(self, stream, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        engine = StreamingGraphEngine(EngineConfig(backend="sga"))
+        engine.register(_plan("Q1"), name="Q1")
+        engine.push_many(stream)
+        before = engine.state_breakdown()
+        engine.checkpoint(store)
+        engine.close()
+        restored = StreamingGraphEngine.restore(store)
+        assert restored.state_breakdown() == before
+        restored.close()
+
+
+class TestCheckpointMeta:
+    def test_meta_records_boundary_and_queries(self, stream, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        engine = StreamingGraphEngine(EngineConfig(backend="sga"))
+        engine.register(_plan("Q1"), name="Q1")
+        engine.register(_plan("Q5"), name="Q5")
+        engine.push_many(stream)
+        engine.checkpoint(store, note="pre-deploy")
+        boundary = engine.watermark
+        engine.close()
+
+        meta = store.open().meta
+        assert meta["kind"] == "engine"
+        assert meta["boundary"] == boundary
+        assert sorted(meta["queries"]) == ["Q1", "Q5"]
+        assert meta["note"] == "pre-deploy"

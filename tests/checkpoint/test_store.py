@@ -1,0 +1,249 @@
+"""Checkpoint store unit tests: atomicity, retention, corruption.
+
+The store's contract is that a checkpoint is either fully committed and
+self-verifying or invisible: blobs stage in a hidden directory, a single
+``os.replace`` publishes the whole checkpoint, and every read re-checks
+size + sha256 before unpickling.  Corruption of any kind — truncated
+blob, flipped bytes, a tampered or unparseable manifest, a format
+version from a different build — must surface as a typed
+:class:`~repro.errors.CheckpointError` naming the offending blob or
+field, never as a half-restored engine or a raw unpickling crash.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.experiments import Scale, _stream
+from repro.checkpoint import (
+    FORMAT_VERSION,
+    DirectoryCheckpointStore,
+)
+from repro.core.windows import HOUR
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.errors import CheckpointError
+from repro.workloads import QUERIES, labels_for
+
+
+def _commit_one(store, **blobs):
+    writer = store.begin()
+    for name, payload in blobs.items():
+        writer.put(name, payload)
+    writer.set_meta(kind="test")
+    return writer.commit()
+
+
+class TestWriteReadRoundTrip:
+    def test_blobs_round_trip(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        writer = store.begin()
+        writer.put("engine", {"queries": ["q1"], "boundary": 42})
+        writer.put("tenants/alice/state-0", [(1, 2), (3, 4)])
+        writer.set_meta(kind="engine", shards=2)
+        checkpoint_id = writer.commit()
+
+        reader = store.open()
+        assert reader.checkpoint_id == checkpoint_id
+        assert reader.blob_names() == ["engine", "tenants/alice/state-0"]
+        assert reader.has("engine")
+        assert not reader.has("missing")
+        assert reader.get("engine") == {"queries": ["q1"], "boundary": 42}
+        assert reader.get("tenants/alice/state-0") == [(1, 2), (3, 4)]
+        assert reader.meta == {"kind": "engine", "shards": 2}
+
+    def test_hierarchical_names_stay_flat_on_disk(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        checkpoint_id = _commit_one(store, **{"tenants/bob/serve": 1})
+        entries = os.listdir(tmp_path / checkpoint_id)
+        assert "tenants__bob__serve.pkl" in entries
+        assert not (tmp_path / checkpoint_id / "tenants").exists()
+
+    def test_ids_are_monotonic(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        first = _commit_one(store, a=1)
+        second = _commit_one(store, a=2)
+        assert [first, second] == ["ckpt-000001", "ckpt-000002"]
+        assert store.list() == [first, second]
+        # A fresh store handle over the same directory continues the
+        # sequence instead of colliding.
+        third = _commit_one(DirectoryCheckpointStore(str(tmp_path)), a=3)
+        assert third == "ckpt-000003"
+
+    def test_open_picks_latest_by_default(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        _commit_one(store, a=1)
+        newest = _commit_one(store, a=2)
+        assert store.open().checkpoint_id == newest
+        assert store.open("ckpt-000001").get("a") == 1
+
+
+class TestWriterProtocol:
+    def test_duplicate_blob_rejected(self, tmp_path):
+        writer = DirectoryCheckpointStore(str(tmp_path)).begin()
+        writer.put("engine", 1)
+        with pytest.raises(CheckpointError, match="duplicate blob 'engine'"):
+            writer.put("engine", 2)
+
+    def test_put_after_commit_rejected(self, tmp_path):
+        writer = DirectoryCheckpointStore(str(tmp_path)).begin()
+        writer.put("engine", 1)
+        writer.commit()
+        with pytest.raises(CheckpointError, match="already committed"):
+            writer.put("late", 2)
+        with pytest.raises(CheckpointError, match="already committed"):
+            writer.commit()
+
+    def test_uncommitted_checkpoint_is_invisible(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        writer = store.begin()
+        writer.put("engine", {"big": list(range(1000))})
+        # Staged but not committed: nothing listable, nothing openable.
+        assert store.list() == []
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.open()
+        writer.commit()
+        assert store.list() == [writer.checkpoint_id]
+
+    def test_abort_discards_staging(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        writer = store.begin()
+        writer.put("engine", 1)
+        writer.abort()
+        writer.abort()  # idempotent
+        assert store.list() == []
+        assert os.listdir(tmp_path) == []
+
+    def test_abandoned_staging_never_pollutes_list(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        writer = store.begin()
+        writer.put("engine", 1)
+        # Simulate a crash: the writer is dropped without commit/abort.
+        del writer
+        assert store.list() == []
+        committed = _commit_one(store, a=1)
+        assert store.list() == [committed]
+
+
+class TestRetention:
+    def test_gc_keeps_last_k(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path), retain=2)
+        ids = [_commit_one(store, n=i) for i in range(5)]
+        assert store.list() == ids[-2:]
+        # The survivors are intact and readable.
+        assert store.open(ids[-1]).get("n") == 4
+        assert store.open(ids[-2]).get("n") == 3
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            store.open(ids[0])
+
+    def test_retain_none_keeps_everything(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        ids = [_commit_one(store, n=i) for i in range(4)]
+        assert store.list() == ids
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="retain"):
+            DirectoryCheckpointStore(str(tmp_path), retain=0)
+
+
+class TestCorruption:
+    """Every tampered artifact fails loudly, naming what is wrong."""
+
+    def _store_with_checkpoint(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        checkpoint_id = _commit_one(
+            store, **{"engine": {"x": 1}, "state-0": [1, 2, 3]}
+        )
+        return store, tmp_path / checkpoint_id
+
+    def test_truncated_blob_names_the_blob(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        blob = ckpt / "state-0.pkl"
+        blob.write_bytes(blob.read_bytes()[:-4])
+        reader = store.open()
+        assert reader.get("engine") == {"x": 1}  # untouched blob still reads
+        with pytest.raises(
+            CheckpointError, match=r"blob 'state-0'.*truncated"
+        ):
+            reader.get("state-0")
+
+    def test_flipped_bytes_fail_sha_check(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        blob = ckpt / "state-0.pkl"
+        data = bytearray(blob.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        blob.write_bytes(bytes(data))
+        with pytest.raises(
+            CheckpointError, match=r"blob 'state-0'.*sha256.*corrupted"
+        ):
+            store.open().get("state-0")
+
+    def test_missing_blob_file(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        os.unlink(ckpt / "state-0.pkl")
+        with pytest.raises(
+            CheckpointError, match=r"blob 'state-0' file is missing"
+        ):
+            store.open().get("state-0")
+
+    def test_unknown_blob_name(self, tmp_path):
+        store, _ = self._store_with_checkpoint(tmp_path)
+        with pytest.raises(
+            CheckpointError, match="no blob named 'nonexistent'"
+        ):
+            store.open().get("nonexistent")
+
+    def test_wrong_format_version(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        manifest = json.loads((ckpt / "MANIFEST.json").read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (ckpt / "MANIFEST.json").write_text(json.dumps(manifest))
+        with pytest.raises(
+            CheckpointError,
+            match=f"format version {FORMAT_VERSION + 1}.*not supported",
+        ):
+            store.open()
+
+    def test_unparseable_manifest(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        (ckpt / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="unparseable MANIFEST"):
+            store.open()
+
+    def test_missing_manifest(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        os.unlink(ckpt / "MANIFEST.json")
+        with pytest.raises(CheckpointError, match="missing MANIFEST"):
+            store.open()
+
+    def test_tampered_manifest_blobs_field(self, tmp_path):
+        store, ckpt = self._store_with_checkpoint(tmp_path)
+        manifest = json.loads((ckpt / "MANIFEST.json").read_text())
+        manifest["blobs"] = ["engine"]
+        (ckpt / "MANIFEST.json").write_text(json.dumps(manifest))
+        with pytest.raises(
+            CheckpointError, match="field 'blobs' is list, expected"
+        ):
+            store.open()
+
+
+class TestEngineNeverHalfRestores:
+    """A corrupted engine checkpoint must not materialize an engine."""
+
+    def test_truncated_state_blob_aborts_restore(self, tmp_path):
+        scale = Scale(n_edges=60, n_vertices=20, window=6 * HOUR, slide=HOUR)
+        stream = _stream("snb", scale)
+        plan = QUERIES["Q1"].plan(
+            labels_for("Q1", "snb"), scale.sliding_window()
+        )
+        store = DirectoryCheckpointStore(str(tmp_path))
+        engine = StreamingGraphEngine(EngineConfig(backend="sga"))
+        engine.register(plan, name="q")
+        engine.push_many(stream)
+        checkpoint_id = engine.checkpoint(store)
+        engine.close()
+
+        blob = tmp_path / checkpoint_id / "state-0.pkl"
+        blob.write_bytes(blob.read_bytes()[:-10])
+        with pytest.raises(CheckpointError, match=r"'state-0'"):
+            StreamingGraphEngine.restore(store)

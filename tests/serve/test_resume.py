@@ -1,0 +1,346 @@
+"""Resumable subscriptions and serve-layer checkpoint/restore.
+
+A disconnected subscriber reconnects with its last-seen sequence number
+(``?last_seq=`` on either transport, or the SSE ``Last-Event-ID``
+header) and receives every retained event past it before going live —
+no gaps, no duplicates.  A seq that already left the per-query replay
+ring is a hard 409, never a silent hole.  The same seq counters survive
+a drain-time server checkpoint: a restored server continues numbering
+exactly where the old process stopped, so clients resume across a
+process boundary the same way they resume across a dropped connection.
+"""
+
+import asyncio
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.ql.query import Query
+from repro.serve.app import GraphStreamServer
+from repro.serve.protocol import dumps, encode_event
+from repro.serve.subscriptions import SubscriberQueue
+from repro.serve.tenants import (
+    QueryChannel,
+    ResumeGapError,
+    ServerLimits,
+    TenantManager,
+)
+from tests.conftest import make_stream
+from tests.serve.test_server import (
+    LIKES,
+    SLIDE,
+    WINDOW,
+    SseStream,
+    call,
+    edge_dicts,
+    register,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def fake_event(n):
+    """A minimal result event for channel-level tests."""
+    interval = SimpleNamespace(ts=n, exp=n + WINDOW)
+    sgt = SimpleNamespace(
+        src=n, trg=n + 1, label="likes", interval=interval, payload=None
+    )
+    return SimpleNamespace(sign=1, sgt=sgt)
+
+
+def split_reference(text, prefix, suffix):
+    """Encoded event stream of an uninterrupted engine that ingests the
+    same two batches at the same cut as the server under test."""
+    engine = StreamingGraphEngine(EngineConfig())
+    got, seq = [], [0]
+
+    def cb(event):
+        seq[0] += 1
+        got.append(dumps(encode_event(seq[0], event)))
+
+    engine.register(
+        Query.datalog(text, window=WINDOW, slide=SLIDE), on_result=cb
+    )
+    engine.push_many(prefix)
+    n_prefix = len(got)
+    engine.push_many(suffix)
+    engine.close()
+    return got, n_prefix
+
+
+class TestChannelReplay:
+    def test_attach_with_last_seq_replays_tail(self):
+        async def go():
+            channel = QueryChannel("q", replay=16)
+            for n in range(6):
+                channel.deliver(fake_event(n))
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            channel.attach(sub, last_seq=2)
+            items = await sub.drain()
+            assert [seq for seq, _ in items] == [3, 4, 5, 6]
+            for seq, message in items:
+                assert json.loads(message)["seq"] == seq
+
+        run(go())
+
+    def test_attach_at_head_replays_nothing(self):
+        async def go():
+            channel = QueryChannel("q", replay=16)
+            for n in range(4):
+                channel.deliver(fake_event(n))
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            channel.attach(sub, last_seq=4)
+            assert sub.depth == 0
+            channel.deliver(fake_event(9))
+            assert [seq for seq, _ in await sub.drain()] == [5]
+
+        run(go())
+
+    def test_evicted_seq_raises_gap(self):
+        async def go():
+            channel = QueryChannel("q", replay=3)
+            for n in range(10):
+                channel.deliver(fake_event(n))
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            with pytest.raises(ResumeGapError, match="left the replay"):
+                channel.attach(sub, last_seq=2)
+            # The ring still serves resumes inside its horizon.
+            channel.attach(sub, last_seq=7)
+            assert [seq for seq, _ in await sub.drain()] == [8, 9, 10]
+
+        run(go())
+
+    def test_ahead_of_stream_raises_gap(self):
+        async def go():
+            channel = QueryChannel("q", replay=16)
+            channel.deliver(fake_event(0))
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            with pytest.raises(ResumeGapError, match="stream is at seq 1"):
+                channel.attach(sub, last_seq=5)
+
+        run(go())
+
+    def test_replay_disabled_only_resumes_at_head(self):
+        async def go():
+            channel = QueryChannel("q", replay=0)
+            for n in range(3):
+                channel.deliver(fake_event(n))
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            channel.attach(sub, last_seq=3)  # at head: fine
+            with pytest.raises(ResumeGapError):
+                channel.attach(sub, last_seq=2)
+
+        run(go())
+
+    def test_snapshot_restore_preserves_seq_and_ring(self):
+        async def go():
+            channel = QueryChannel("q", replay=8)
+            for n in range(5):
+                channel.deliver(fake_event(n))
+            state = channel.snapshot_state()
+
+            revived = QueryChannel("q", replay=8)
+            revived.restore_state(state)
+            assert revived.seq == 5
+            sub = SubscriberQueue(asyncio.get_running_loop())
+            revived.attach(sub, last_seq=1)
+            items = await sub.drain()
+            assert [seq for seq, _ in items] == [2, 3, 4, 5]
+            # Numbering continues, not restarts.
+            revived.deliver(fake_event(99))
+            assert [seq for seq, _ in await sub.drain()] == [6]
+
+        run(go())
+
+
+class TestServerResume:
+    def test_sse_resume_param_and_header(self):
+        async def go():
+            server = GraphStreamServer(port=0)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+            edges = make_stream(11, 60, 10, ("likes",), max_gap=2)
+            full = SseStream(p, "a", "q").start()
+            await full.ready.wait()
+            status, body, _ = await call(
+                p, "POST", "/tenants/a/ingest", {"edges": edge_dicts(edges)}
+            )
+            assert status == 200
+            await asyncio.sleep(0.1)
+            assert len(full.events) >= 4
+            k = len(full.events) // 2
+
+            for params in (f"?last_seq={k}", ""):
+                sse = SseStream(p, "a", "q", params=params)
+                if not params:  # header form
+                    sse.headers = {"Last-Event-ID": str(k)}
+                sse.start()
+                await sse.ready.wait()
+                await asyncio.sleep(0.1)
+                assert sse.events == full.events[k:], params or "header"
+
+            await server.shutdown()
+
+        run(go())
+
+    def test_evicted_resume_is_409(self):
+        async def go():
+            limits = ServerLimits(replay_buffer=2)
+            server = GraphStreamServer(port=0, limits=limits)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+            edges = make_stream(12, 60, 10, ("likes",), max_gap=2)
+            await call(
+                p, "POST", "/tenants/a/ingest", {"edges": edge_dicts(edges)}
+            )
+            status, body, _ = await call(
+                p, "GET", "/tenants/a/queries/q/subscribe?last_seq=1"
+            )
+            assert status == 409
+            assert "replay" in body["error"]
+            await server.shutdown()
+
+        run(go())
+
+    def test_bad_resume_position_is_400(self):
+        async def go():
+            server = GraphStreamServer(port=0)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+            for bad in ("nope", "-3"):
+                status, body, _ = await call(
+                    p, "GET", f"/tenants/a/queries/q/subscribe?last_seq={bad}"
+                )
+                assert status == 400, bad
+            await server.shutdown()
+
+        run(go())
+
+
+class TestServerCheckpointRestore:
+    def test_restore_continues_seq_numbering(self, tmp_path):
+        async def go():
+            store = DirectoryCheckpointStore(str(tmp_path))
+            edges = make_stream(13, 80, 10, ("likes",), max_gap=2)
+            cut = len(edges) // 2
+            prefix, suffix = edges[:cut], edges[cut:]
+            reference, n_prefix = split_reference(LIKES, prefix, suffix)
+
+            server = GraphStreamServer(port=0)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+            await call(
+                p, "POST", "/tenants/a/ingest", {"edges": edge_dicts(prefix)}
+            )
+            checkpoint_id = await server.shutdown(store)
+            assert checkpoint_id is not None
+            assert store.open(checkpoint_id).meta["kind"] == "server"
+
+            manager = TenantManager.restore(store)
+            revived = GraphStreamServer(port=0, manager=manager)
+            await revived.start()
+            p2 = revived.port
+
+            sse = SseStream(p2, "a", "q", params=f"?last_seq={n_prefix}")
+            sse.start()
+            await sse.ready.wait()
+            await call(
+                p2, "POST", "/tenants/a/ingest", {"edges": edge_dicts(suffix)}
+            )
+            await asyncio.sleep(0.15)
+            assert sse.events == reference[n_prefix:]
+            seqs = [json.loads(m)["seq"] for m in sse.events]
+            assert seqs == list(range(n_prefix + 1, n_prefix + 1 + len(seqs)))
+            await revived.shutdown()
+
+        run(go())
+
+    def test_restore_replays_ring_across_processes(self, tmp_path):
+        """A client a few events behind the checkpoint still resumes:
+        the replay ring itself is checkpointed."""
+
+        async def go():
+            store = DirectoryCheckpointStore(str(tmp_path))
+            edges = make_stream(14, 80, 10, ("likes",), max_gap=2)
+            cut = len(edges) // 2
+            prefix, suffix = edges[:cut], edges[cut:]
+            reference, n_prefix = split_reference(LIKES, prefix, suffix)
+            assert n_prefix >= 3, "need prefix events to rewind into"
+
+            server = GraphStreamServer(port=0)
+            await server.start()
+            await register(server.port, "a", "q")
+            await call(
+                server.port,
+                "POST",
+                "/tenants/a/ingest",
+                {"edges": edge_dicts(prefix)},
+            )
+            await server.shutdown(store)
+
+            revived = GraphStreamServer(
+                port=0, manager=TenantManager.restore(store)
+            )
+            await revived.start()
+            behind = n_prefix - 3
+            sse = SseStream(
+                revived.port, "a", "q", params=f"?last_seq={behind}"
+            )
+            sse.start()
+            await sse.ready.wait()
+            await call(
+                revived.port,
+                "POST",
+                "/tenants/a/ingest",
+                {"edges": edge_dicts(suffix)},
+            )
+            await asyncio.sleep(0.15)
+            assert sse.events == reference[behind:]
+            await revived.shutdown()
+
+        run(go())
+
+    def test_restored_tenant_auto_names_do_not_collide(self, tmp_path):
+        async def go():
+            store = DirectoryCheckpointStore(str(tmp_path))
+            server = GraphStreamServer(port=0)
+            await server.start()
+            p = server.port
+            # Two auto-named queries: q0, q1.
+            status, body, _ = await call(
+                p, "POST", "/tenants/a/queries",
+                {"query": LIKES, "window": WINDOW, "slide": SLIDE},
+            )
+            assert (status, body["query"]) == (201, "q0")
+            status, body, _ = await call(
+                p, "POST", "/tenants/a/queries",
+                {"query": LIKES, "window": WINDOW, "slide": SLIDE},
+            )
+            assert (status, body["query"]) == (201, "q1")
+            await server.shutdown(store)
+
+            revived = GraphStreamServer(
+                port=0, manager=TenantManager.restore(store)
+            )
+            await revived.start()
+            status, body, _ = await call(
+                revived.port, "POST", "/tenants/a/queries",
+                {"query": LIKES, "window": WINDOW, "slide": SLIDE},
+            )
+            assert (status, body["query"]) == (201, "q2")
+            status, body, _ = await call(revived.port, "GET", "/metrics")
+            tenant = body["tenants"]["a"]
+            assert tenant["query_count"] == 3
+            assert "state" in tenant and "state_bytes" in tenant
+            await revived.shutdown()
+
+        run(go())

@@ -42,9 +42,10 @@ async def call(port, method, path, body=None):
 
 
 class SseStream:
-    def __init__(self, port, tenant, query, params=""):
+    def __init__(self, port, tenant, query, params="", headers=None):
         self.port, self.tenant, self.query = port, tenant, query
         self.params = params
+        self.headers = dict(headers or {})
         self.events: list[str] = []
         self.end_reason = None
         self.ready = asyncio.Event()
@@ -60,7 +61,12 @@ class SseStream:
             f"/tenants/{self.tenant}/queries/{self.query}/subscribe"
             f"{self.params}"
         )
-        writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in self.headers.items()
+        )
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: t\r\n{extra}\r\n".encode()
+        )
         await writer.drain()
         buf = b""
         while True:
