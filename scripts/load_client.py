@@ -35,6 +35,25 @@ Durability drill (checkpoint on SIGTERM, restore, resume)::
     python scripts/serve.py --port 8765 --restore-from /tmp/ck &
     python scripts/load_client.py --port 8765 --phase resume \\
         --state-file /tmp/ck/state.json          # seqs must continue
+
+Crash drill (periodic checkpoints, SIGKILL — no drain — restore,
+reconnect with dedupe)::
+
+    python scripts/serve.py --port 8765 --checkpoint-dir /tmp/ck \\
+        --checkpoint-every-slides 4 &
+    python scripts/load_client.py --port 8765 --phase crash \\
+        --server-pid $! --state-file /tmp/ck/state.json
+    python scripts/serve.py --port 8765 --restore-from /tmp/ck \\
+        --checkpoint-dir /tmp/ck --checkpoint-every-slides 4 &
+    python scripts/load_client.py --port 8765 --phase crash-resume \\
+        --state-file /tmp/ck/state.json  # spliced stream: no gaps/dups
+
+The crash phase waits for a periodic checkpoint to land, then SIGKILLs
+the server mid-stream; because that checkpoint may trail what the
+subscribers already received, the resume phase reconnects with
+``?last_seq=R&ahead=wait`` so the re-driven suffix is deduplicated, and
+asserts the spliced pre-crash + post-restore stream is byte-identical
+to an uninterrupted run with continuous sequence numbers.
 """
 
 from __future__ import annotations
@@ -120,15 +139,21 @@ async def http_call(host, port, method, path, body=None):
 class Subscriber:
     """One streaming subscription: collects events until end-of-stream."""
 
-    def __init__(self, host, port, tenant, query, transport, last_seq=None):
+    def __init__(
+        self, host, port, tenant, query, transport, last_seq=None, ahead=None
+    ):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.query = query
         self.transport = transport  # "ws" | "sse"
         #: resume position: WS sends ``?last_seq=``, SSE sends the
-        #: standard ``Last-Event-ID`` header (exercising both paths)
+        #: standard ``Last-Event-ID`` header (exercising both paths) —
+        #: unless ``ahead`` is set, which forces query params on both
         self.last_seq = last_seq
+        #: crash-resume dedupe mode: ``"wait"`` skips replayed events
+        #: the client already saw (sent as ``&ahead=wait``)
+        self.ahead = ahead
         self.events: list[str] = []
         #: ``id:`` lines observed on SSE frames (must mirror the seqs)
         self.sse_ids: list[int] = []
@@ -152,6 +177,8 @@ class Subscriber:
         path = self._path
         if self.last_seq is not None:
             path += f"?last_seq={self.last_seq}"
+            if self.ahead:
+                path += f"&ahead={self.ahead}"
         writer.write(
             (
                 f"GET {path} HTTP/1.1\r\nHost: {self.host}\r\n"
@@ -199,14 +226,20 @@ class Subscriber:
 
     async def _run_sse(self) -> None:
         reader, writer = await asyncio.open_connection(self.host, self.port)
-        head = f"GET {self._path} HTTP/1.1\r\nHost: {self.host}\r\n"
-        if self.last_seq is not None:
+        path = self._path
+        if self.ahead and self.last_seq is not None:
+            path += f"?last_seq={self.last_seq}&ahead={self.ahead}"
+        head = f"GET {path} HTTP/1.1\r\nHost: {self.host}\r\n"
+        if self.last_seq is not None and not self.ahead:
             head += f"Last-Event-ID: {self.last_seq}\r\n"
         writer.write((head + "\r\n").encode())
         await writer.drain()
         buf = b""
         while True:
-            chunk = await reader.read(1 << 16)
+            try:
+                chunk = await reader.read(1 << 16)
+            except ConnectionError:
+                break  # SIGKILLed server: abrupt reset, not clean EOF
             if not chunk:
                 break
             buf += chunk
@@ -550,6 +583,292 @@ async def drive_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+async def drive_crash(args: argparse.Namespace) -> int:
+    """Phase one of the crash drill: drive a server that takes periodic
+    checkpoints, wait until at least one has landed, then SIGKILL the
+    server mid-stream — no drain, no final checkpoint.  Everything the
+    resume phase needs (stream params, per-query last-seen seqs, the
+    crash position) is recorded in the state file, and every event
+    received before the kill must be byte-identical to a prefix of the
+    in-process reference."""
+    host, port = args.host, args.port
+    config = EngineConfig(
+        backend=args.backend, shards=args.shards, execution=args.execution
+    )
+    tenants = [f"tenant{i}" for i in range(args.tenants)]
+    failures: list[str] = []
+
+    for tenant in tenants:
+        for qid, text in QUERIES.items():
+            status, body = await http_call(
+                host,
+                port,
+                "POST",
+                f"/tenants/{tenant}/queries",
+                {
+                    "query": text,
+                    "window": WINDOW,
+                    "slide": SLIDE,
+                    "name": qid,
+                    "policy": "block",
+                },
+            )
+            if status != 201:
+                failures.append(f"register {tenant}/{qid}: {status} {body}")
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+
+    # one WS + one SSE subscriber per tenant x query
+    subscribers: list[Subscriber] = []
+    for tenant in tenants:
+        for qid in QUERIES:
+            subscribers.append(Subscriber(host, port, tenant, qid, "ws"))
+            subscribers.append(Subscriber(host, port, tenant, qid, "sse"))
+    tasks = [asyncio.ensure_future(s.run()) for s in subscribers]
+    await asyncio.wait_for(
+        asyncio.gather(*(s.ready.wait() for s in subscribers)), timeout=60
+    )
+    print(f"{len(subscribers)} subscribers ready (pre-crash)")
+
+    # ingest only a prefix: the rest is the resume phase's to re-drive
+    edges = make_stream(args.seed, args.edges, args.vertices)
+    crash_at = (2 * len(edges)) // 3
+    for start in range(0, crash_at, args.batch):
+        batch = [
+            {"src": e.src, "trg": e.trg, "label": e.label, "t": e.t}
+            for e in edges[start : min(start + args.batch, crash_at)]
+        ]
+        results = await asyncio.gather(
+            *(
+                http_call(
+                    host, port, "POST", f"/tenants/{t}/ingest", {"edges": batch}
+                )
+                for t in tenants
+            )
+        )
+        for tenant, (status, body) in zip(tenants, results):
+            if status != 200:
+                failures.append(f"ingest {tenant}: {status} {body}")
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print(f"ingested {crash_at}/{len(edges)} edges (crash prefix)")
+
+    # a periodic checkpoint must land before the kill, or there is
+    # nothing to restore from
+    checkpoints = {}
+    for _ in range(100):
+        status, metrics = await http_call(host, port, "GET", "/metrics")
+        checkpoints = (metrics or {}).get("checkpoints") or {}
+        if status == 200 and checkpoints.get("count", 0) >= 1:
+            break
+        await asyncio.sleep(0.1)
+    else:
+        print(
+            "FAIL: no periodic checkpoint landed — is the server running "
+            "with --checkpoint-dir and --checkpoint-every-slides?"
+        )
+        return 1
+    if checkpoints.get("failures", 0):
+        print(f"FAIL: {checkpoints['failures']} periodic checkpoint failures")
+        return 1
+    await asyncio.sleep(0.3)  # let in-flight deliveries settle
+
+    print(
+        f"{checkpoints['count']} periodic checkpoint(s) on disk; "
+        f"SIGKILLing pid {args.server_pid} (no drain)"
+    )
+    os.kill(args.server_pid, signal.SIGKILL)
+    await asyncio.wait_for(
+        asyncio.gather(*tasks, return_exceptions=True), timeout=60
+    )
+
+    # pre-crash parity: received events are a reference prefix
+    reference = reference_streams(config, edges[:crash_at])
+    last_seqs: dict[str, dict[str, int]] = {t: {} for t in tenants}
+    matched = 0
+    for sub in subscribers:
+        want = reference[sub.query]
+        tag = f"{sub.tenant}/{sub.query}[{sub.transport}]"
+        if sub.events != want[: len(sub.events)]:
+            failures.append(
+                f"{tag}: pre-crash stream diverges from the reference prefix"
+            )
+        else:
+            matched += 1
+        seen = json.loads(sub.events[-1])["seq"] if sub.events else 0
+        record = last_seqs[sub.tenant]
+        record[sub.query] = max(record.get(sub.query, 0), seen)
+    total_seen = sum(sum(q.values()) for q in last_seqs.values())
+    if total_seen == 0:
+        failures.append("no subscriber received any event before the crash")
+    print(
+        f"pre-crash parity: {matched}/{len(subscribers)} streams are "
+        "reference prefixes"
+    )
+    if failures:
+        for failure in failures[:20]:
+            print("FAIL:", failure)
+        print(f"{len(failures)} failure(s)")
+        return 1
+    state = {
+        "seed": args.seed,
+        "edges": args.edges,
+        "vertices": args.vertices,
+        "tenants": args.tenants,
+        "crash_at": crash_at,
+        "last_seqs": last_seqs,
+    }
+    Path(args.state_file).write_text(json.dumps(state))
+    print(f"state saved to {args.state_file}")
+    print("OK")
+    return 0
+
+
+async def drive_crash_resume(args: argparse.Namespace) -> int:
+    """Phase two of the crash drill: the SIGKILLed server was relaunched
+    with ``--restore-from`` a *periodic* checkpoint that may trail what
+    the subscribers already received.  Reconnect every subscription with
+    ``?last_seq=R&ahead=wait`` (both transports) so the re-driven suffix
+    is deduplicated, re-ingest everything past the server's restored
+    position, and require the spliced pre-crash + post-restore stream to
+    be byte-identical to an uninterrupted run — no gaps, no duplicates,
+    continuous sequence numbers across the crash."""
+    host, port = args.host, args.port
+    config = EngineConfig(
+        backend=args.backend, shards=args.shards, execution=args.execution
+    )
+    state = json.loads(Path(args.state_file).read_text())
+    tenants = [f"tenant{i}" for i in range(state["tenants"])]
+    crash_at = int(state["crash_at"])
+    edges = make_stream(state["seed"], state["edges"], state["vertices"])
+    failures: list[str] = []
+
+    # the uninterrupted reference over the full stream
+    reference = reference_streams(config, edges)
+    for tenant in tenants:
+        for qid, stop in state["last_seqs"][tenant].items():
+            if len(reference[qid]) < stop:
+                print(
+                    f"FAIL: reference for {qid!r} has {len(reference[qid])} "
+                    f"events < recorded last seq {stop} (state mismatch?)"
+                )
+                return 1
+
+    # the restored server's ingest position bounds what to re-drive
+    status, metrics = await http_call(host, port, "GET", "/metrics")
+    if status != 200:
+        print(f"FAIL: /metrics on the restored server: {status}")
+        return 1
+    positions: dict[str, int] = {}
+    for tenant in tenants:
+        info = metrics["tenants"].get(tenant)
+        if info is None:
+            failures.append(f"tenant {tenant} missing after restore")
+            continue
+        ingested = int(info["ingested_total"])
+        if not 0 < ingested <= crash_at:
+            failures.append(
+                f"{tenant}: restored ingest position {ingested} outside "
+                f"(0, {crash_at}]"
+            )
+        positions[tenant] = ingested
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print(
+        "restored ingest positions: "
+        + ", ".join(f"{t}={positions[t]}" for t in tenants)
+    )
+
+    # reconnect ahead of the restored stream head, on both transports
+    subscribers: list[tuple[Subscriber, int]] = []
+    for tenant in tenants:
+        for qid in QUERIES:
+            stop = int(state["last_seqs"][tenant][qid])
+            for transport in ("ws", "sse"):
+                subscribers.append(
+                    (
+                        Subscriber(
+                            host, port, tenant, qid, transport,
+                            stop, ahead="wait",
+                        ),
+                        stop,
+                    )
+                )
+    tasks = [asyncio.ensure_future(s.run()) for s, _ in subscribers]
+    await asyncio.wait_for(
+        asyncio.gather(*(s.ready.wait() for s, _ in subscribers)), timeout=60
+    )
+    print(f"{len(subscribers)} subscriptions resumed with ahead=wait")
+
+    # re-drive everything past each tenant's restored position
+    for tenant in tenants:
+        suffix = edges[positions[tenant] :]
+        for start in range(0, len(suffix), args.batch):
+            batch = [
+                {"src": e.src, "trg": e.trg, "label": e.label, "t": e.t}
+                for e in suffix[start : start + args.batch]
+            ]
+            status, body = await http_call(
+                host, port, "POST", f"/tenants/{tenant}/ingest",
+                {"edges": batch},
+            )
+            if status != 200:
+                failures.append(f"ingest {tenant}: {status} {body}")
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print("re-drove the post-checkpoint suffix into every tenant")
+
+    for tenant in tenants:
+        for qid in QUERIES:
+            status, body = await http_call(
+                host, port, "DELETE", f"/tenants/{tenant}/queries/{qid}"
+            )
+            if status != 200:
+                failures.append(f"unregister {tenant}/{qid}: {status} {body}")
+    await asyncio.wait_for(asyncio.gather(*tasks), timeout=120)
+
+    matched = 0
+    for sub, stop in subscribers:
+        tag = f"{sub.tenant}/{sub.query}[{sub.transport} from {stop}]"
+        want = reference[sub.query][stop:]
+        if not sub.clean_eof:
+            failures.append(f"{tag}: no clean end-of-stream")
+        seqs = [json.loads(e)["seq"] for e in sub.events]
+        if seqs != list(range(stop + 1, stop + 1 + len(want))):
+            failures.append(
+                f"{tag}: seq numbers not continuous across the crash "
+                f"(got {seqs[:3]}..{seqs[-3:] if seqs else []}, "
+                f"expected {stop + 1}..{stop + len(want)})"
+            )
+        elif sub.events != want:
+            failures.append(
+                f"{tag}: stream mismatch ({len(sub.events)} events vs "
+                f"{len(want)} expected)"
+            )
+        else:
+            matched += 1
+    print(
+        f"crash-resume parity: {matched}/{len(subscribers)} spliced streams "
+        "gap-free, duplicate-free and identical to the uninterrupted "
+        "reference"
+    )
+    if failures:
+        for failure in failures[:20]:
+            print("FAIL:", failure)
+        print(f"{len(failures)} failure(s)")
+        return 1
+    print("OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--host", default="127.0.0.1")
@@ -569,15 +888,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--phase",
         default="run",
-        choices=("run", "resume"),
+        choices=("run", "resume", "crash", "crash-resume"),
         help="'run' drives a fresh server; 'resume' reconnects to a "
-        "--restore-from relaunch and verifies continuous seq numbers",
+        "--restore-from relaunch and verifies continuous seq numbers; "
+        "'crash' waits for a periodic checkpoint then SIGKILLs the "
+        "server (no drain); 'crash-resume' reconnects with ahead=wait "
+        "dedupe and verifies the spliced stream",
     )
     parser.add_argument(
         "--state-file",
         default=None,
-        help="run phase: record stream params + last seqs here; "
-        "resume phase: read them back (required for resume)",
+        help="run/crash phase: record stream params + last seqs here; "
+        "resume/crash-resume phase: read them back (required there)",
     )
     parser.add_argument(
         "--replay-back",
@@ -599,6 +921,16 @@ def main(argv: list[str] | None = None) -> int:
         if not args.state_file:
             parser.error("--phase resume requires --state-file")
         return asyncio.run(drive_resume(args))
+    if args.phase == "crash":
+        if not args.state_file:
+            parser.error("--phase crash requires --state-file")
+        if not args.server_pid:
+            parser.error("--phase crash requires --server-pid")
+        return asyncio.run(drive_crash(args))
+    if args.phase == "crash-resume":
+        if not args.state_file:
+            parser.error("--phase crash-resume requires --state-file")
+        return asyncio.run(drive_crash_resume(args))
     return asyncio.run(drive(args))
 
 

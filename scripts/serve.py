@@ -22,6 +22,17 @@ with their last-seen seq and resume without gaps::
 
     python scripts/serve.py --checkpoint-dir /var/lib/sgs   # then SIGTERM
     python scripts/serve.py --restore-from /var/lib/sgs --checkpoint-dir /var/lib/sgs
+
+Fault tolerance: add ``--checkpoint-every-slides N`` and/or
+``--checkpoint-every-seconds S`` to checkpoint *periodically* during
+normal operation (not just at drain), so even a SIGKILLed server
+restarts from a recent checkpoint; clients reconnect with
+``?last_seq=N&ahead=wait`` to dedupe the replayed suffix.  The same
+policy arms supervised auto-recovery on process-transport shards
+(``--shards N`` with the process transport)::
+
+    python scripts/serve.py --checkpoint-dir /var/lib/sgs \\
+        --checkpoint-every-slides 4
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.checkpoint import DirectoryCheckpointStore  # noqa: E402
 from repro.engine.session import EngineConfig  # noqa: E402
+from repro.fault import CheckpointPolicy  # noqa: E402
 from repro.serve.app import GraphStreamServer  # noqa: E402
 from repro.serve.subscriptions import BACKPRESSURE_POLICIES  # noqa: E402
 from repro.serve.tenants import ServerLimits, TenantManager  # noqa: E402
@@ -97,6 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore all tenants from the latest checkpoint in DIR "
         "before serving (engine flags may change only shards)",
     )
+    durability.add_argument(
+        "--checkpoint-every-slides",
+        type=int,
+        default=None,
+        metavar="N",
+        help="take a periodic checkpoint every N watermark slides "
+        "(requires --checkpoint-dir)",
+    )
+    durability.add_argument(
+        "--checkpoint-every-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="take a periodic checkpoint every S seconds of wall clock "
+        "(requires --checkpoint-dir)",
+    )
     return parser
 
 
@@ -111,19 +139,54 @@ async def run(args: argparse.Namespace) -> int:
         default_policy=args.policy,
         replay_buffer=args.replay_buffer,
     )
+    policy = None
+    if (
+        args.checkpoint_every_slides is not None
+        or args.checkpoint_every_seconds is not None
+    ):
+        if not args.checkpoint_dir:
+            print(
+                "error: --checkpoint-every-slides/--checkpoint-every-seconds "
+                "require --checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 2
+        policy = CheckpointPolicy(
+            every_slides=args.checkpoint_every_slides,
+            every_seconds=args.checkpoint_every_seconds,
+        )
     config = EngineConfig(
-        backend=args.backend, shards=args.shards, execution=args.execution
+        backend=args.backend,
+        shards=args.shards,
+        execution=args.execution,
+        checkpoint_policy=policy,
     )
+    checkpoint_store = None
+    if args.checkpoint_dir:
+        checkpoint_store = DirectoryCheckpointStore(
+            args.checkpoint_dir, retain=args.checkpoint_retain
+        )
     manager = None
     if args.restore_from:
         restore_store = DirectoryCheckpointStore(args.restore_from)
         manager = TenantManager.restore(
-            restore_store, limits=limits, engine_config=config
+            restore_store,
+            limits=limits,
+            engine_config=config,
+            checkpoint_store=checkpoint_store,
+            checkpoint_policy=policy,
         )
         print(
             f"restored {len(manager.tenants)} tenant(s) from "
             f"{args.restore_from}",
             flush=True,
+        )
+    elif checkpoint_store is not None and policy is not None:
+        manager = TenantManager(
+            limits,
+            config,
+            checkpoint_store=checkpoint_store,
+            checkpoint_policy=policy,
         )
     server = GraphStreamServer(
         host=args.host,
@@ -141,11 +204,6 @@ async def run(args: argparse.Namespace) -> int:
         loop.add_signal_handler(sig, stop.set)
     await stop.wait()
     print("draining...", flush=True)
-    checkpoint_store = None
-    if args.checkpoint_dir:
-        checkpoint_store = DirectoryCheckpointStore(
-            args.checkpoint_dir, retain=args.checkpoint_retain
-        )
     checkpoint_id = await server.shutdown(checkpoint_store)
     if checkpoint_id is not None:
         print(

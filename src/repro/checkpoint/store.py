@@ -62,6 +62,7 @@ class CheckpointWriter:
         self._blobs: dict[str, dict] = {}
         self._meta: dict = {}
         self._done = False
+        self._fault_plan = getattr(store, "fault_plan", None)
 
     def put(self, name: str, payload: object) -> None:
         """Serialize ``payload`` as blob ``name`` (pickle protocol)."""
@@ -99,15 +100,31 @@ class CheckpointWriter:
             "meta": self._meta,
         }
         manifest_path = os.path.join(self._staging, _MANIFEST)
-        with open(manifest_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        final = os.path.join(self._store.root, self.checkpoint_id)
-        os.replace(self._staging, final)
+        try:
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.flush()
+                self._fire("store.fsync", "fsync")
+                os.fsync(handle.fileno())
+            final = os.path.join(self._store.root, self.checkpoint_id)
+            self._fire("store.commit", "rename")
+            os.replace(self._staging, final)
+        except OSError as exc:
+            # The staged directory is discarded; every previously
+            # committed checkpoint is untouched (the atomic rename never
+            # happened), so the store stays at its last good state.
+            self.abort()
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_id} failed to commit: {exc}"
+            ) from exc
         self._done = True
         self._store._collect_garbage()
         return self.checkpoint_id
+
+    def _fire(self, site: str, step: str) -> None:
+        plan = self._fault_plan
+        if plan is not None and plan.fire(site) is not None:
+            raise OSError(f"injected {step} failure ({site})")
 
     def abort(self) -> None:
         """Discard the staged checkpoint (idempotent)."""
@@ -215,13 +232,24 @@ class DirectoryCheckpointStore(CheckpointStore):
     ``retain`` keeps the most recent K committed checkpoints (None keeps
     everything); collection runs after each successful commit, so the
     newest checkpoint is always durable before an older one is removed.
+
+    ``fault_plan`` threads a :class:`~repro.fault.plan.FaultPlan` into
+    the commit path: armed ``store.fsync`` / ``store.commit`` faults
+    fail the manifest fsync or the atomic rename, and the writer proves
+    the failure leaves the previous checkpoint intact.
     """
 
-    def __init__(self, path: str, retain: int | None = None):
+    def __init__(
+        self,
+        path: str,
+        retain: int | None = None,
+        fault_plan: object | None = None,
+    ):
         if retain is not None and retain < 1:
             raise ValueError(f"retain must be >= 1, got {retain}")
         self.root = os.fspath(path)
         self.retain = retain
+        self.fault_plan = fault_plan
         os.makedirs(self.root, exist_ok=True)
 
     def list(self) -> list[str]:

@@ -84,6 +84,7 @@ from repro.errors import (
     PlanError,
     StreamOrderError,
 )
+from repro.fault.policy import CheckpointPolicy
 from repro.physical.planner import (
     PATH_IMPLS,
     compile_into,
@@ -209,6 +210,18 @@ class EngineConfig:
         support, no parallel speedup.  ``"process"``: one OS process per
         shard for real multi-core throughput; queries must be registered
         before streaming starts and push callbacks are unsupported.
+    checkpoint_policy:
+        A :class:`~repro.fault.policy.CheckpointPolicy` (or the
+        equivalent dict) arming fault tolerance.  On the sharded
+        process transport it turns on *supervision*: crashed shard
+        workers are respawned, restored from a bounded in-memory
+        snapshot + replay log, and the recovered engine is
+        bit-identical to an uninterrupted run (retry budget and
+        backoff come from ``checkpoint_policy.retry``).  It is also the
+        default cadence for
+        :meth:`StreamingGraphEngine.enable_auto_checkpoint` and the
+        serve layer's periodic durable checkpoints.  ``None`` (default)
+        keeps the historical fail-fast behavior.
     """
 
     backend: str = "sga"
@@ -221,6 +234,7 @@ class EngineConfig:
     columnar_min_run: int = 8
     shards: int = 1
     shard_transport: str = "inline"
+    checkpoint_policy: "CheckpointPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -283,6 +297,21 @@ class EngineConfig:
             raise ValueError(
                 f"unknown late policy {self.late_policy!r}; "
                 f"expected one of {LATE_POLICIES}"
+            )
+        if isinstance(self.checkpoint_policy, dict):
+            # Checkpoint round trip: EngineConfig(**asdict(config))
+            # hands the nested policy back as a plain dict.
+            object.__setattr__(
+                self,
+                "checkpoint_policy",
+                CheckpointPolicy(**self.checkpoint_policy),
+            )
+        elif self.checkpoint_policy is not None and not isinstance(
+            self.checkpoint_policy, CheckpointPolicy
+        ):
+            raise ValueError(
+                "checkpoint_policy must be a CheckpointPolicy (or None), "
+                f"got {self.checkpoint_policy!r}"
             )
 
     def with_overrides(self, **overrides: object) -> "EngineConfig":
@@ -865,6 +894,16 @@ class StreamingGraphEngine:
         # query consults the late policy for the same edge in turn, so
         # the counter must dedupe across queries).
         self._dd_late_dropped: set[tuple] = set()
+        # periodic auto-checkpointing (enable_auto_checkpoint): armed
+        # with a store + policy, checked after every ingest/advance at
+        # the watermark boundary the operation just reached
+        self._auto_store = None
+        self._auto_policy: CheckpointPolicy | None = None
+        self._auto_boundary: int | None = None
+        self._auto_time = time.monotonic()
+        #: periodic checkpoints taken / last id (observability surface)
+        self.auto_checkpoint_count = 0
+        self.last_auto_checkpoint_id: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -1195,12 +1234,12 @@ class StreamingGraphEngine:
         with self._lifecycle_lock:
             if self._sharded is not None:
                 self._sharded.push(edge)
-                return
-            if self._config.backend == "sga":
+            elif self._config.backend == "sga":
                 self._ensure_executor().push_edge(edge)
-                return
-            for handle in self._require_dd_handles():
-                handle._ingest([edge])
+            else:
+                for handle in self._require_dd_handles():
+                    handle._ingest([edge])
+            self._maybe_auto_checkpoint()
 
     def delete(self, edge: SGE) -> None:
         """Explicitly delete a previously inserted edge (negative tuple).
@@ -1215,20 +1254,21 @@ class StreamingGraphEngine:
         with self._lifecycle_lock:
             if self._sharded is not None:
                 self._sharded.delete(edge)
-                return
-            self._ensure_executor().delete_edge(edge)
+            else:
+                self._ensure_executor().delete_edge(edge)
+            self._maybe_auto_checkpoint()
 
     def advance_to(self, t: int) -> None:
         """Advance the window/epochs without inserting (stream silence)."""
         with self._lifecycle_lock:
             if self._sharded is not None:
                 self._sharded.advance_to(t)
-                return
-            if self._config.backend == "sga":
+            elif self._config.backend == "sga":
                 self._ensure_executor().advance_to(t)
-                return
-            for handle in self._require_dd_handles():
-                handle._advance_to(t)
+            else:
+                for handle in self._require_dd_handles():
+                    handle._advance_to(t)
+            self._maybe_auto_checkpoint()
 
     def push_many(self, stream: Iterable[SGE]) -> RunStats:
         """Feed a whole timestamp-ordered stream through the shared
@@ -1245,18 +1285,21 @@ class StreamingGraphEngine:
         """
         with self._lifecycle_lock:
             if self._sharded is not None:
-                return self._sharded.push_many(stream)
-            if self._config.backend == "sga":
-                return self._ensure_executor().run(stream)
-            handles = self._require_dd_handles()
-            min_slide = min(h.window.slide for h in handles)
+                stats = self._sharded.push_many(stream)
+            elif self._config.backend == "sga":
+                stats = self._ensure_executor().run(stream)
+            else:
+                handles = self._require_dd_handles()
+                min_slide = min(h.window.slide for h in handles)
 
-            def apply(boundary: int, edges: list[SGE]) -> None:
-                for handle in handles:
-                    handle._ingest(edges)
+                def apply(boundary: int, edges: list[SGE]) -> None:
+                    for handle in handles:
+                        handle._ingest(edges)
 
-            scheduler = BatchScheduler(min_slide, self._config.batch_size)
-            return scheduler.run(stream, apply)
+                scheduler = BatchScheduler(min_slide, self._config.batch_size)
+                stats = scheduler.run(stream, apply)
+            self._maybe_auto_checkpoint()
+            return stats
 
     #: ``run`` is the familiar name from the legacy facades.
     run = push_many
@@ -1431,6 +1474,94 @@ class StreamingGraphEngine:
     # ------------------------------------------------------------------
     # Durability: checkpoint / restore
     # ------------------------------------------------------------------
+    def enable_auto_checkpoint(self, store, policy=None) -> None:
+        """Arm periodic background checkpointing into ``store``.
+
+        ``policy`` (default: ``config.checkpoint_policy``) decides the
+        cadence: after every ingest/advance the engine checks, at the
+        watermark boundary the operation just reached, whether
+        ``every_slides`` slides or ``every_seconds`` seconds have
+        elapsed since the last checkpoint and snapshots if so — the
+        engine is quiescent between flushes, so every periodic
+        checkpoint is as consistent as an explicit one.  A checkpoint
+        failure propagates out of the triggering ingest call (the
+        caller owns the store); the serve layer catches and counts
+        these instead.  Pass ``store=None`` to disarm.
+        """
+        with self._lifecycle_lock:
+            if store is None:
+                self._auto_store = None
+                self._auto_policy = None
+                return
+            policy = policy or self._config.checkpoint_policy
+            if policy is None:
+                raise ValueError(
+                    "no checkpoint cadence: pass a CheckpointPolicy or "
+                    "set EngineConfig.checkpoint_policy"
+                )
+            if not isinstance(policy, CheckpointPolicy):
+                raise ValueError(
+                    f"policy must be a CheckpointPolicy, got {policy!r}"
+                )
+            self._auto_store = store
+            self._auto_policy = policy
+            self._auto_boundary = self.watermark
+            self._auto_time = time.monotonic()
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Cadence check after a streaming mutation (lock held)."""
+        store = self._auto_store
+        if store is None:
+            return
+        policy = self._auto_policy
+        watermark = self.watermark
+        slides = 0
+        if watermark is not None:
+            if self._auto_boundary is None:
+                # First boundary observed becomes the cadence base.
+                self._auto_boundary = watermark
+            else:
+                slides = (watermark - self._auto_boundary) // self.slide
+        if not policy.due(
+            slides_since=slides,
+            seconds_since=time.monotonic() - self._auto_time,
+        ):
+            return
+        self.last_auto_checkpoint_id = self.checkpoint(store, trigger="policy")
+        self.auto_checkpoint_count += 1
+        self._auto_boundary = watermark
+        self._auto_time = time.monotonic()
+
+    def inject_faults(self, plan) -> None:
+        """Thread a :class:`~repro.fault.plan.FaultPlan` into the engine
+        (tests/chaos drills).  Worker-site faults ship to the sharded
+        process workers at spawn; arm the plan *before* streaming
+        starts.  Checkpoint-store faults are configured on the store
+        itself, serve-layer faults on the
+        :class:`~repro.serve.tenants.TenantManager`.
+        """
+        with self._lifecycle_lock:
+            if self._sharded is not None:
+                self._sharded.fault_plan = plan
+
+    def heartbeat(self, timeout: float = 5.0) -> list[bool]:
+        """Liveness of the engine's execution backends, one flag per
+        shard.  Serial engines (and inline shards) are in-process and
+        trivially alive; the sharded process transport pings every
+        worker — under supervision a dead worker is recovered before
+        this returns ``True`` for it, without supervision it poisons
+        the pool and raises (see
+        :meth:`~repro.engine.sharded.ShardedSgaRuntime.heartbeat`).
+        """
+        if self._sharded is not None:
+            return self._sharded.heartbeat(timeout)
+        return [True]
+
+    @property
+    def recoveries(self) -> int:
+        """Automatic worker recoveries performed (0 when unsupervised)."""
+        return self._sharded.recoveries if self._sharded is not None else 0
+
     def checkpoint(self, store, **meta) -> str:
         """Snapshot this session into ``store``; returns the checkpoint id.
 
@@ -1834,7 +1965,9 @@ def _check_restore_config(
     differ structurally (exchange operators), so crossing the 1-shard
     boundary is refused.
     """
-    movable = {"shards", "shard_transport"}
+    # checkpoint_policy shapes supervision/cadence, not operator state,
+    # so it may change freely between snapshot and restore.
+    movable = {"shards", "shard_transport", "checkpoint_policy"}
     stored_fields = dataclasses.asdict(stored)
     requested_fields = dataclasses.asdict(requested)
     drift = sorted(
@@ -1846,7 +1979,8 @@ def _check_restore_config(
         raise CheckpointError(
             f"checkpoint {checkpoint_id} was taken under a different "
             f"engine configuration (field(s) {drift} differ); only "
-            "'shards' and 'shard_transport' may change on restore"
+            "'shards', 'shard_transport' and 'checkpoint_policy' may "
+            "change on restore"
         )
     if stored.shards != requested.shards and (
         stored.shards < 2 or requested.shards < 2

@@ -73,7 +73,14 @@ from repro.dataflow.graph import (
     SourceOp,
     events_coverage,
 )
-from repro.errors import ExecutionError, PlanError, StreamOrderError
+from repro.errors import (
+    ExecutionError,
+    PlanError,
+    RecoveryError,
+    StreamOrderError,
+    WorkerCrashError,
+)
+from repro.fault.plan import FaultPlan, InjectedFault  # noqa: F401 (workers)
 from repro.physical.exchange import (
     ShardBroadcastOp,
     ShardPartitionFilterOp,
@@ -92,6 +99,39 @@ __all__ = ["ShardedSgaRuntime", "MergedTapSink"]
 
 #: Worker → parent exchange message: (dest_shard, endpoint_uid, payload).
 OutboxMessage = tuple[int, int, tuple]
+
+
+class _WorkerFailure(Exception):
+    """Internal signal: a worker crashed or its pipe broke.
+
+    Supervised runtimes route this into :meth:`ShardedSgaRuntime._recover`
+    instead of poisoning the pool; it never escapes the runtime — callers
+    see either a successful recovery, the typed
+    :class:`~repro.errors.WorkerCrashError` (unsupervised), or
+    :class:`~repro.errors.RecoveryError` (budget exhausted).
+    """
+
+    def __init__(self, error: WorkerCrashError):
+        super().__init__(str(error))
+        self.error = error
+
+
+def _crash_error(payload) -> WorkerCrashError:
+    """Build the typed crash error from a worker's error reply."""
+    if isinstance(payload, dict):
+        shard = payload.get("shard")
+        command = payload.get("command")
+        tb = payload.get("traceback")
+        message = (
+            f"shard {shard} worker crashed handling {command!r}: "
+            f"{payload.get('error', 'unknown error')}"
+        )
+        if tb:
+            message += f"\n--- worker traceback (shard {shard}) ---\n" + tb.rstrip()
+        return WorkerCrashError(
+            message, shard=shard, command=command, traceback_text=tb
+        )
+    return WorkerCrashError(f"shard worker failed: {payload}")
 
 
 class _Shard:
@@ -193,6 +233,26 @@ class ShardedSgaRuntime:
         self._workers: "list | None" = None
         self._failed: str | None = None
         self._closed = False
+        #: deterministic fault injection (tests): pickled into each
+        #: worker at spawn, so worker-site faults fire inside the child
+        self.fault_plan: FaultPlan | None = None
+        #: supervision is armed by a checkpoint policy on the process
+        #: transport: crashed workers are respawned, restored from the
+        #: latest in-memory snapshot, and the replay log re-driven
+        policy = getattr(config, "checkpoint_policy", None)
+        self._policy = policy
+        self._supervised = policy is not None and self.transport == "process"
+        self._generation = 0
+        #: successful automatic recoveries (observability surface)
+        self.recoveries = 0
+        #: shutdown join patience before terminate/kill escalation
+        self._join_timeout = 5.0
+        #: latest recovery snapshot: (boundary, late_count, shard states)
+        self._snapshot: "tuple | None" = None
+        self._snapshot_boundary: int | None = None
+        self._snapshot_time = time.monotonic()
+        #: engine-level commands since the snapshot, replayed on recovery
+        self._replay_log: list[tuple] = []
         if self.transport == "inline":
             self._shards = [
                 _Shard(i, self.num_shards) for i in range(self.num_shards)
@@ -229,20 +289,24 @@ class ShardedSgaRuntime:
     def state_size(self) -> int:
         if self.transport == "inline":
             return sum(s.graph.state_size() for s in self._shards)
-        workers = self._workers_snapshot()
-        if workers is None:
+        if self._workers_snapshot() is None:
             return 0
-        return sum(self._request(w, ("state",)) for w in workers)
+        return sum(
+            self._request_shard(shard, ("state",))
+            for shard in range(self.num_shards)
+        )
 
     def state_breakdown(self) -> dict:
         """Per-operator ``{"rows", "bytes"}`` aggregated across shards."""
         if self.transport == "inline":
             parts = [s.graph.state_breakdown() for s in self._shards]
         else:
-            workers = self._workers_snapshot()
-            if workers is None:
+            if self._workers_snapshot() is None:
                 return {}
-            parts = [self._request(w, ("breakdown",)) for w in workers]
+            parts = [
+                self._request_shard(shard, ("breakdown",))
+                for shard in range(self.num_shards)
+            ]
         merged: dict[str, dict] = {}
         for part in parts:
             for name, item in part.items():
@@ -279,9 +343,10 @@ class ShardedSgaRuntime:
         if self.transport == "inline":
             return [_snapshot_shard_graph(s.sinks, s.graph) for s in self._shards]
         self._ensure_workers()
-        with self._state_lock:
-            workers = list(self._workers or ())
-        return [self._request(w, ("snapshot",)) for w in workers]
+        return [
+            self._request_shard(shard, ("snapshot",))
+            for shard in range(self.num_shards)
+        ]
 
     def restore_shards(
         self,
@@ -325,12 +390,16 @@ class ShardedSgaRuntime:
             return
         self._ensure_workers()
         self._boundary = boundary
-        with self._state_lock:
-            workers = list(self._workers or ())
-        for worker, blobs in zip(workers, states):
-            reply = self._request(worker, ("restore", blobs, boundary))
+        for shard, blobs in enumerate(states):
+            reply = self._request_shard(shard, ("restore", blobs, boundary))
             if reply is not None:
                 raise CheckpointError(reply)
+        if self._supervised:
+            # The restored state is the recovery baseline: snapshot it
+            # in memory so a crash before the first cadence snapshot
+            # does not have to replay from the stream start.
+            with self._io_lock:
+                self._take_snapshot()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -524,11 +593,7 @@ class ShardedSgaRuntime:
             Interval(edge.t, edge.t + 1),
         )
         if self.transport == "process":
-            self._ensure_workers()
-            with self._io_lock:
-                for worker in self._workers:
-                    worker[0].send(("delete", sgt, edge.label))
-                self._drain([self._recv_outbox(w) for w in self._workers])
+            self._run_logged(("delete", sgt, edge.label))
             return
         for shard in self._shards:
             shard.graph.push(edge.label, Event(sgt, DELETE))
@@ -542,10 +607,7 @@ class ShardedSgaRuntime:
             current = self._boundary
             self._advance_boundary_only(boundary)
             if self._boundary != current:
-                with self._io_lock:
-                    for worker in self._workers:
-                        worker[0].send(("advance", self._boundary))
-                    self._drain([self._recv_outbox(w) for w in self._workers])
+                self._run_logged(("advance", self._boundary))
             return
         self._advance(boundary)
 
@@ -597,6 +659,9 @@ class ShardedSgaRuntime:
         self._check_usable()
         if self._workers is not None:
             return
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
         import multiprocessing as mp
 
         try:
@@ -607,7 +672,7 @@ class ShardedSgaRuntime:
             (name, plan, options)
             for name, (plan, options) in self._queries.items()
         ]
-        self._workers = []
+        workers = []
         for shard_id in range(self.num_shards):
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
@@ -618,14 +683,30 @@ class ShardedSgaRuntime:
                     self.num_shards,
                     queries,
                     self._slide,
+                    self.fault_plan,
+                    self._generation,
                 ),
                 daemon=True,
             )
             process.start()
             child_conn.close()
-            self._workers.append((parent_conn, process))
+            workers.append((parent_conn, process))
+        self._workers = workers
 
-    def _fail(self, reason: str) -> "ExecutionError":
+    def _terminate_pool(self, workers) -> None:
+        """Force-stop a pool (failure/recovery path — no protocol)."""
+        for conn, process in workers or ():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            process.terminate()
+            process.join(timeout=self._join_timeout)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join(timeout=self._join_timeout)
+
+    def _fail(self, reason) -> "ExecutionError":
         """Tear the worker pool down after a protocol/worker failure.
 
         A worker that raised has left its command loop (and its siblings
@@ -637,42 +718,57 @@ class ShardedSgaRuntime:
         worker failure — the close already owns the pool teardown, so
         the existing poisoned close error is surfaced instead.
         """
+        crash = (
+            reason
+            if isinstance(reason, WorkerCrashError)
+            else WorkerCrashError(f"shard worker failed: {reason}")
+        )
         with self._state_lock:
             existing = self._usability_error()
             if existing is not None:
                 return existing
             workers, self._workers = self._workers, None
-            self._failed = reason
-        for conn, process in workers or ():
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-            process.terminate()
-            process.join(timeout=5)
-        return ExecutionError(
-            f"shard worker failed: {reason}; the worker pool has been "
-            "shut down — create a fresh engine"
+            self._failed = crash.summary
+        self._terminate_pool(workers)
+        crash.args = (
+            f"{crash.args[0]}\nthe worker pool has been shut down — "
+            "create a fresh engine (or set EngineConfig.checkpoint_policy "
+            "to arm supervised auto-recovery)",
         )
+        return crash
 
-    def _recv_outbox(self, worker) -> list[OutboxMessage]:
+    def _worker_failure(self, error: WorkerCrashError) -> Exception:
+        """Route a worker crash: supervised pools get the internal
+        recovery signal, unsupervised pools tear down and poison."""
+        if self._supervised:
+            return _WorkerFailure(error)
+        return self._fail(error)
+
+    def _send(self, shard: int, message: tuple) -> None:
         try:
-            kind, payload = worker[0].recv()
-        except (EOFError, OSError) as exc:  # worker died mid-protocol
-            raise self._fail(repr(exc)) from exc
-        if kind == "error":
-            raise self._fail(str(payload))
-        return payload
+            self._workers[shard][0].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._worker_failure(
+                WorkerCrashError(
+                    f"shard {shard} worker pipe broke sending "
+                    f"{message[0]!r}: {exc!r}",
+                    shard=shard,
+                    command=message[0],
+                )
+            ) from exc
 
-    def _request(self, worker, message: tuple):
-        with self._io_lock:
-            try:
-                worker[0].send(message)
-                kind, payload = worker[0].recv()
-            except (EOFError, BrokenPipeError, OSError) as exc:
-                raise self._fail(repr(exc)) from exc
+    def _recv(self, shard: int):
+        try:
+            kind, payload = self._workers[shard][0].recv()
+        except (EOFError, OSError) as exc:  # worker died mid-protocol
+            raise self._worker_failure(
+                WorkerCrashError(
+                    f"shard {shard} worker pipe broke mid-protocol: {exc!r}",
+                    shard=shard,
+                )
+            ) from exc
         if kind == "error":
-            raise self._fail(str(payload))
+            raise self._worker_failure(_crash_error(payload))
         return payload
 
     def _drain(self, outboxes: list[list[OutboxMessage]]) -> None:
@@ -684,7 +780,6 @@ class ShardedSgaRuntime:
         sends (a routed binding joins, its result broadcasts, …); the
         dataflow is a DAG, so the rounds terminate.
         """
-        workers = self._workers
         pending: dict[int, list[tuple[int, tuple]]] = {}
         for outbox in outboxes:
             for dest, uid, payload in outbox:
@@ -694,10 +789,222 @@ class ShardedSgaRuntime:
             pending = {}
             dests = sorted(round_pending)
             for dest in dests:
-                workers[dest][0].send(("exchange", round_pending[dest]))
+                self._send(dest, ("exchange", round_pending[dest]))
             for dest in dests:
-                for to, uid, payload in self._recv_outbox(workers[dest]):
+                for to, uid, payload in self._recv(dest):
                     pending.setdefault(to, []).append((uid, payload))
+
+    def _execute_round(self, entry: tuple) -> None:
+        """Drive one logged engine-level command through the pool and
+        drain the resulting exchange rounds (io lock held by callers)."""
+        kind = entry[0]
+        if kind == "clear":
+            for shard in range(self.num_shards):
+                self._send(shard, ("clear", entry[1]))
+            for shard in range(self.num_shards):
+                self._recv(shard)
+            return
+        message = entry  # apply/advance/delete entries are wire messages
+        for shard in range(self.num_shards):
+            self._send(shard, message)
+        self._drain([self._recv(shard) for shard in range(self.num_shards)])
+
+    def _check_liveness(self) -> None:
+        """Cheap pre-round probe (supervised only): catch a worker that
+        died between rounds before half the pool has consumed the next
+        command."""
+        if not self._supervised:
+            return
+        for shard, (conn, process) in enumerate(self._workers):
+            if not process.is_alive():
+                raise _WorkerFailure(
+                    WorkerCrashError(
+                        f"shard {shard} worker died between commands "
+                        f"(exit code {process.exitcode})",
+                        shard=shard,
+                    )
+                )
+
+    def _run_logged(self, entry: tuple) -> None:
+        """Execute one mutating command, logging it for recovery *first*
+        so a crash mid-round is replayed, never retried ad hoc."""
+        with self._io_lock:
+            self._ensure_workers()
+            if self._supervised:
+                self._replay_log.append(entry)
+                try:
+                    self._check_liveness()
+                    self._execute_round(entry)
+                    self._maybe_snapshot()
+                except _WorkerFailure as failure:
+                    self._recover(failure)
+                return
+            self._execute_round(entry)
+
+    def _recover(self, failure: _WorkerFailure) -> None:
+        """Supervised recovery: tear the pool down, respawn a new
+        generation, restore the latest in-memory snapshot, and re-drive
+        the replay log — the recovered workers end bit-identical to an
+        uninterrupted run.  Exponential backoff between attempts; budget
+        exhaustion poisons the pool and raises
+        :class:`~repro.errors.RecoveryError`.
+        """
+        retry = self._policy.retry
+        last = failure.error
+        for attempt in range(1, retry.max_restarts + 1):
+            delay = retry.delay(attempt)
+            if delay:
+                time.sleep(delay)
+            self._generation += 1
+            with self._state_lock:
+                if self._usability_error() is not None:
+                    break  # a concurrent close/fail owns the teardown
+                workers, self._workers = self._workers, None
+            self._terminate_pool(workers)
+            try:
+                self._spawn_workers()
+                self._restore_snapshot()
+                for entry in self._replay_log:
+                    self._execute_round(entry)
+            except _WorkerFailure as again:
+                last = again.error
+                continue
+            self.recoveries += 1
+            return
+        error = RecoveryError(
+            f"shard worker recovery failed after {retry.max_restarts} "
+            f"attempt(s); last failure: {last.summary}"
+        )
+        with self._state_lock:
+            existing = self._usability_error()
+            workers, self._workers = self._workers, None
+            if existing is None:
+                self._failed = str(error)
+        self._terminate_pool(workers)
+        raise error from last
+
+    def _restore_snapshot(self) -> None:
+        """Load the in-memory snapshot into freshly spawned workers.
+
+        With no snapshot yet the fresh workers start from scratch and
+        the replay log (which then reaches back to the stream start)
+        rebuilds everything.
+        """
+        snap = self._snapshot
+        if snap is None:
+            return
+        boundary, late_count, states = snap
+        self.late_count = late_count
+        from repro.errors import CheckpointError
+
+        for shard, blobs in enumerate(states):
+            self._send(shard, ("restore", blobs, boundary))
+        for shard in range(self.num_shards):
+            reply = self._recv(shard)
+            if reply is not None:  # pragma: no cover - topology drift
+                raise CheckpointError(reply)
+
+    def _take_snapshot(self) -> None:
+        """Refresh the in-memory recovery snapshot and clear the log."""
+        for shard in range(self.num_shards):
+            self._send(shard, ("snapshot",))
+        states = [self._recv(shard) for shard in range(self.num_shards)]
+        self._snapshot = (self._boundary, self.late_count, states)
+        self._snapshot_boundary = self._boundary
+        self._snapshot_time = time.monotonic()
+        self._replay_log.clear()
+
+    def _maybe_snapshot(self) -> None:
+        """Snapshot when the policy cadence has elapsed, or
+        unconditionally when the replay log hits its bound."""
+        policy = self._policy
+        boundary = self._boundary
+        if len(self._replay_log) < policy.replay_bound:
+            slides = 0
+            if boundary is not None:
+                if self._snapshot_boundary is None:
+                    # First boundary observed becomes the cadence base.
+                    self._snapshot_boundary = boundary
+                else:
+                    slide = self._slide or 1
+                    slides = (boundary - self._snapshot_boundary) // slide
+            if not policy.due(
+                slides_since=slides,
+                seconds_since=time.monotonic() - self._snapshot_time,
+            ):
+                return
+        self._take_snapshot()
+
+    def _request_shard(self, shard: int, message: tuple):
+        """One request/response against a shard (read-style commands).
+
+        Reads carry no state transition, so under supervision a crash
+        mid-read recovers the pool and simply retries the read against
+        the restored worker; retries are bounded by the same budget.
+        """
+        with self._io_lock:
+            attempts = 0
+            while True:
+                with self._state_lock:
+                    self._check_usable()
+                    if self._workers is None:
+                        raise ExecutionError(
+                            "worker pool is not running (stream not started)"
+                        )
+                try:
+                    self._send(shard, message)
+                    return self._recv(shard)
+                except _WorkerFailure as failure:
+                    attempts += 1
+                    if attempts > self._policy.retry.max_restarts:
+                        raise self._fail(failure.error) from failure
+                    self._recover(failure)
+
+    def heartbeat(self, timeout: float = 5.0) -> list[bool]:
+        """Liveness probe: ping every worker and wait for the echo.
+
+        Returns one boolean per shard.  A dead or wedged worker is a
+        real failure (its pipe protocol is desynced): supervised pools
+        recover it in place — so a ``True`` may mean "was dead, now
+        respawned and restored" — while unsupervised pools poison and
+        raise, exactly like any other crash.  Inline transports (and
+        not-yet-started pools) are trivially alive.
+        """
+        if self.transport != "process":
+            return [True] * self.num_shards
+        with self._io_lock:
+            with self._state_lock:
+                self._check_usable()
+                if self._workers is None:
+                    return [True] * self.num_shards
+            out = []
+            for shard in range(self.num_shards):
+                conn, process = self._workers[shard]
+                healthy = process.is_alive()
+                if healthy:
+                    try:
+                        self._send(shard, ("ping",))
+                        if conn.poll(timeout):
+                            self._recv(shard)
+                        else:
+                            healthy = False
+                    except _WorkerFailure:
+                        healthy = False
+                if healthy:
+                    out.append(True)
+                    continue
+                failure = _WorkerFailure(
+                    WorkerCrashError(
+                        f"shard {shard} worker failed its liveness probe",
+                        shard=shard,
+                        command="ping",
+                    )
+                )
+                if not self._supervised:
+                    raise self._fail(failure.error)
+                self._recover(failure)  # raises RecoveryError past budget
+                out.append(True)
+            return out
 
     def _apply_process(self, boundary: int, edges: list[SGE]) -> None:
         """Process transport: intern the slide once, ship columnar runs
@@ -723,11 +1030,7 @@ class ShardedSgaRuntime:
                 )
             )
             i = j
-        message = ("apply", boundary, runs)
-        with self._io_lock:
-            for worker in self._workers:
-                worker[0].send(message)
-            self._drain([self._recv_outbox(w) for w in self._workers])
+        self._run_logged(("apply", boundary, runs))
 
     # ------------------------------------------------------------------
     # Read surfaces (merged across shards)
@@ -867,12 +1170,11 @@ class ShardedSgaRuntime:
                 if sink is not None:
                     out.extend(sink.events)
             return out
-        workers = self._workers_snapshot()
-        if workers is None:
+        if self._workers_snapshot() is None:
             return []
         out = []
-        for worker in workers:
-            out.extend(self._request(worker, ("read", name)))
+        for shard in range(self.num_shards):
+            out.extend(self._request_shard(shard, ("read", name)))
         return out
 
     def _usability_error(self) -> ExecutionError | None:
@@ -917,12 +1219,11 @@ class ShardedSgaRuntime:
                     inserts += sink.insert_count
                     total += len(sink.events)
             return inserts, total
-        workers = self._workers_snapshot()
-        if workers is None:
+        if self._workers_snapshot() is None:
             return 0, 0
         inserts = total = 0
-        for worker in workers:
-            i, n = self._request(worker, ("count", name))
+        for shard in range(self.num_shards):
+            i, n = self._request_shard(shard, ("count", name))
             inserts += i
             total += n
         return inserts, total
@@ -940,8 +1241,11 @@ class ShardedSgaRuntime:
                 "worker_busy_seconds requires shard_transport='process' "
                 "with a started stream"
             )
-        workers = self._workers_snapshot()
-        return [self._request(w, ("busy",)) for w in workers]
+        self._workers_snapshot()
+        return [
+            self._request_shard(shard, ("busy",))
+            for shard in range(self.num_shards)
+        ]
 
     def clear_results(self, name: str) -> None:
         if self.transport == "inline":
@@ -951,10 +1255,9 @@ class ShardedSgaRuntime:
                     sink.clear()
             return
         with self._state_lock:
-            workers = self._workers
-        if workers is not None:
-            for worker in workers:
-                self._request(worker, ("clear", name))
+            started = self._workers is not None
+        if started:
+            self._run_logged(("clear", name))
 
     def shutdown(self) -> None:
         """Stop the worker pool.  Idempotent: a second (or concurrent)
@@ -974,10 +1277,21 @@ class ShardedSgaRuntime:
                 for conn, process in workers:
                     try:
                         conn.send(("stop",))
-                        conn.close()
                     except (BrokenPipeError, OSError):  # pragma: no cover
                         pass
-                    process.join(timeout=5)
+                    process.join(timeout=self._join_timeout)
+                    if process.is_alive():
+                        # A wedged worker must not hang close(): escalate
+                        # SIGTERM, then SIGKILL if it ignores that too.
+                        process.terminate()
+                        process.join(timeout=self._join_timeout)
+                        if process.is_alive():
+                            process.kill()
+                            process.join(timeout=self._join_timeout)
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
 
     def __del__(self):  # pragma: no cover - interpreter teardown
         try:
@@ -989,16 +1303,28 @@ class ShardedSgaRuntime:
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(conn, shard_id, num_shards, queries, slide):
+def _worker_main(
+    conn, shard_id, num_shards, queries, slide, fault_plan=None, generation=0
+):
     """One shard worker: compile, then serve the parent's command loop.
 
     Compilation happens inside the worker from the (picklable, already
     interned) logical plans — operator graphs never cross the process
     boundary.  Exchange endpoints get the same uids as every other
     shard because compilation is deterministic.
-    """
-    import time
 
+    ``fault_plan`` is this worker's private copy of the parent's
+    :class:`~repro.fault.plan.FaultPlan` (counters restart per
+    incarnation); ``generation`` stamps which incarnation of the pool
+    this is, so injected crashes can be gated to generation 0 and the
+    respawned worker survives.
+    """
+    import os
+    import signal as _signal
+    import time
+    import traceback
+
+    current_command: "str | None" = None
     try:
         shard = _Shard(shard_id, num_shards)
         outbox: list[OutboxMessage] = []
@@ -1028,6 +1354,33 @@ def _worker_main(conn, shard_id, num_shards, queries, slide):
         while True:
             message = conn.recv()
             command = message[0]
+            current_command = command
+            if fault_plan is not None:
+                action = fault_plan.fire(
+                    "worker.command",
+                    shard=shard_id,
+                    command=command,
+                    generation=generation,
+                )
+                if action == "kill":
+                    # A true hard crash: no cleanup, no goodbye.
+                    os.kill(os.getpid(), _signal.SIGKILL)
+                elif action == "tear":
+                    # Tear the pipe mid-message: declare a 64-byte
+                    # length-prefixed reply, deliver 4 bytes, die — the
+                    # parent's recv sees EOF inside a partial message.
+                    try:
+                        os.write(conn.fileno(), b"\x00\x00\x00\x40torn")
+                    finally:
+                        os._exit(1)
+                elif action == "hang":
+                    # Wedge the worker (drills shutdown escalation).
+                    time.sleep(3600)
+                elif action == "raise":
+                    raise InjectedFault(
+                        f"injected fault in shard {shard_id} "
+                        f"(command {command!r}, generation {generation})"
+                    )
             if command == "apply":
                 started = time.process_time()
                 _, target, runs = message
@@ -1105,15 +1458,29 @@ def _worker_main(conn, shard_id, num_shards, queries, slide):
                     conn.send(("ok", None))
             elif command == "busy":
                 conn.send(("ok", busy))
+            elif command == "ping":
+                conn.send(
+                    ("ok", {"shard": shard_id, "generation": generation})
+                )
             elif command == "stop":
                 break
             else:  # pragma: no cover - protocol error
                 conn.send(("error", f"unknown command {command!r}"))
     except EOFError:  # pragma: no cover - parent died
         pass
-    except Exception as exc:  # pragma: no cover - crash surface
+    except Exception as exc:  # crash surface: ship full context home
         try:
-            conn.send(("error", repr(exc)))
+            conn.send(
+                (
+                    "error",
+                    {
+                        "shard": shard_id,
+                        "command": current_command,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
         except Exception:
             pass
 

@@ -97,6 +97,56 @@ class HorizonError(ExecutionError):
     """
 
 
+class WorkerCrashError(ExecutionError):
+    """Raised when a shard worker process crashes or its pipe breaks.
+
+    Names the shard, the command that was in flight, and (when the
+    worker managed to report before dying) the worker-side traceback
+    text.  Under a supervised runtime (``EngineConfig.checkpoint_policy``
+    set on the process transport) crashes are recovered automatically
+    and this error only surfaces through :class:`RecoveryError` once the
+    retry budget is exhausted; unsupervised pools raise it directly and
+    poison the engine.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        command: str | None = None,
+        traceback_text: str | None = None,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.command = command
+        self.traceback_text = traceback_text
+
+    @property
+    def summary(self) -> str:
+        """First line of the message (sans any appended traceback)."""
+        return str(self.args[0]).splitlines()[0]
+
+
+class RecoveryError(ExecutionError):
+    """Raised when supervised worker recovery exhausts its retry budget.
+
+    Carries the final :class:`WorkerCrashError` as ``__cause__``; the
+    worker pool is torn down and the engine poisoned exactly like an
+    unsupervised failure.
+    """
+
+
+class ServeError(ReproError):
+    """Raised by the serving layer for infrastructure failures.
+
+    Distinct from admission/validation errors: a ``ServeError`` means a
+    server-side component (a tenant worker thread, a quarantined query
+    channel) is broken, not that the request was bad.  Mapped to HTTP
+    503 by the server.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written, read, or restored.
 

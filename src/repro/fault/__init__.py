@@ -1,0 +1,33 @@
+"""Supervision and deterministic fault injection.
+
+Three pieces make the engine and serve layer survive crashes with
+provably identical output:
+
+* :class:`~repro.fault.policy.CheckpointPolicy` — when to snapshot
+  (``every_slides`` / ``every_seconds``) and how to retry recovery
+  (:class:`~repro.fault.policy.RetryPolicy`).  Set it on
+  :class:`~repro.engine.session.EngineConfig` to arm supervised
+  auto-recovery on the sharded process transport, pass it to
+  ``engine.enable_auto_checkpoint()`` or ``scripts/serve.py`` for
+  periodic durable checkpoints.
+* Supervision itself lives where the workers live —
+  :mod:`repro.engine.sharded` (process pool) and
+  :mod:`repro.serve.tenants` (tenant worker threads).
+* :class:`~repro.fault.plan.FaultPlan` — a deterministic fault-injection
+  harness that kills a shard worker on the Nth command, tears a pipe
+  mid-message, fails an fsync/rename inside the checkpoint store, or
+  raises inside a query callback at a chosen event count, so every
+  recovery path is drilled by tests rather than hoped-for.
+"""
+
+from repro.fault.plan import FAULT_ACTIONS, FAULT_SITES, FaultPlan, InjectedFault
+from repro.fault.policy import CheckpointPolicy, RetryPolicy
+
+__all__ = [
+    "CheckpointPolicy",
+    "RetryPolicy",
+    "FaultPlan",
+    "InjectedFault",
+    "FAULT_SITES",
+    "FAULT_ACTIONS",
+]

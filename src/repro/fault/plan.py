@@ -1,0 +1,304 @@
+"""Deterministic fault injection.
+
+A :class:`FaultPlan` is a list of *armed* faults, each bound to an
+injection **site** (a named probe point compiled into the process
+transport, the checkpoint store, and the serve layer) and an **action**
+(what happens when it fires).  Sites count their occurrences, so "kill
+shard 1's worker on its 3rd command" is deterministic and replayable —
+every recovery path gets drilled by tests instead of hoped-for.
+
+Sites::
+
+    worker.command   each command a shard worker dequeues
+                     (ctx: shard, command, generation)
+    store.fsync      the manifest fsync inside CheckpointWriter.commit
+    store.commit     the atomic rename inside CheckpointWriter.commit
+    callback         each result event delivered to a query callback
+                     (ctx: tenant, query)
+    tenant.loop      each command a tenant worker thread dequeues
+                     (ctx: tenant)
+    serve.ingest     each ingest batch accepted by a tenant
+                     (ctx: tenant)
+
+Actions: ``raise`` (an :class:`InjectedFault`), ``kill`` (SIGKILL the
+worker process), ``tear`` (write half a length-prefixed pipe message,
+then die), ``hang`` (sleep forever — drills shutdown escalation).
+Only ``worker.command`` understands ``kill``/``tear``/``hang``; every
+other site raises.
+
+Plans are picklable (they ship to forked shard workers); each process
+holds its own occurrence counters.  Worker-site faults default to
+``generation=0`` — the pool's first incarnation — so an injected crash
+does not re-fire inside the respawned worker and recovery can be
+observed.  Pass ``every_generation=True`` to keep crashing respawns
+(retry-budget drills).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+FAULT_SITES = (
+    "worker.command",
+    "store.fsync",
+    "store.commit",
+    "callback",
+    "tenant.loop",
+    "serve.ingest",
+)
+
+FAULT_ACTIONS = ("raise", "kill", "tear", "hang")
+
+#: Actions that only make sense inside a worker process.
+_WORKER_ONLY = ("kill", "tear", "hang")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` action throws at its site."""
+
+
+@dataclass
+class _Armed:
+    site: str
+    action: str
+    at: int
+    match: dict = field(default_factory=dict)
+    repeat: bool = False
+    count: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A deterministic, threadable set of armed faults.
+
+    Arm methods chain (each returns ``self``) so a drill reads as one
+    expression::
+
+        plan = FaultPlan().kill_worker(shard=1, at_command=7)
+        config = EngineConfig(shards=2, shard_transport="process",
+                              checkpoint_policy=CheckpointPolicy(every_slides=4))
+        engine = StreamingGraphEngine(config)
+        engine.inject_faults(plan)
+    """
+
+    def __init__(self) -> None:
+        self._armed: list[_Armed] = []
+        self._lock = threading.Lock()
+
+    # -- pickling (plans ship into forked shard workers) ---------------
+    def __getstate__(self) -> dict:
+        return {"armed": self._armed}
+
+    def __setstate__(self, state: dict) -> None:
+        self._armed = state["armed"]
+        self._lock = threading.Lock()
+
+    # -- arming --------------------------------------------------------
+    def arm(
+        self,
+        site: str,
+        action: str = "raise",
+        *,
+        at: int = 1,
+        repeat: bool = False,
+        **match: object,
+    ) -> "FaultPlan":
+        """Arm ``action`` at ``site`` on its ``at``-th matching occurrence.
+
+        ``match`` keys filter on the site's context (``shard=1``,
+        ``command="apply"``, ``query="q2"``, ...); a value of ``None``
+        matches anything.  With ``repeat=True`` the fault keeps firing
+        on every occurrence from the ``at``-th on.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r} (one of {FAULT_SITES})")
+        if action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {action!r} (one of {FAULT_ACTIONS})"
+            )
+        if action in _WORKER_ONLY and site != "worker.command":
+            raise ValueError(f"action {action!r} only applies to worker.command")
+        if at < 1:
+            raise ValueError("at must be >= 1 (occurrences are 1-based)")
+        cleaned = {k: v for k, v in match.items() if v is not None}
+        with self._lock:
+            self._armed.append(
+                _Armed(site=site, action=action, at=at, match=cleaned, repeat=repeat)
+            )
+        return self
+
+    def _arm_worker(
+        self,
+        action: str,
+        *,
+        shard: int | None,
+        at_command: int,
+        command: str | None,
+        every_generation: bool,
+    ) -> "FaultPlan":
+        match: dict[str, object] = {"shard": shard, "command": command}
+        if not every_generation:
+            match["generation"] = 0
+        return self.arm(
+            "worker.command",
+            action,
+            at=at_command,
+            repeat=every_generation,
+            **match,
+        )
+
+    def kill_worker(
+        self,
+        *,
+        shard: int | None = None,
+        at_command: int = 1,
+        command: str | None = None,
+        every_generation: bool = False,
+    ) -> "FaultPlan":
+        """SIGKILL the worker on its Nth command (generation 0 only,
+        unless ``every_generation`` — which also re-fires on respawns,
+        for retry-budget drills)."""
+        return self._arm_worker(
+            "kill",
+            shard=shard,
+            at_command=at_command,
+            command=command,
+            every_generation=every_generation,
+        )
+
+    def tear_pipe(
+        self,
+        *,
+        shard: int | None = None,
+        at_command: int = 1,
+        command: str | None = None,
+        every_generation: bool = False,
+    ) -> "FaultPlan":
+        """Write half a length-prefixed reply, then die mid-message."""
+        return self._arm_worker(
+            "tear",
+            shard=shard,
+            at_command=at_command,
+            command=command,
+            every_generation=every_generation,
+        )
+
+    def crash_worker(
+        self,
+        *,
+        shard: int | None = None,
+        at_command: int = 1,
+        command: str | None = None,
+        every_generation: bool = False,
+    ) -> "FaultPlan":
+        """Raise :class:`InjectedFault` inside the worker command loop."""
+        return self._arm_worker(
+            "raise",
+            shard=shard,
+            at_command=at_command,
+            command=command,
+            every_generation=every_generation,
+        )
+
+    def hang_worker(
+        self,
+        *,
+        shard: int | None = None,
+        at_command: int = 1,
+        command: str | None = None,
+    ) -> "FaultPlan":
+        """Wedge the worker (sleep forever) — drills shutdown escalation."""
+        return self._arm_worker(
+            "hang",
+            shard=shard,
+            at_command=at_command,
+            command=command,
+            every_generation=False,
+        )
+
+    def fail_fsync(self, *, at: int = 1) -> "FaultPlan":
+        """Fail the manifest fsync inside ``CheckpointWriter.commit``."""
+        return self.arm("store.fsync", "raise", at=at)
+
+    def fail_commit(self, *, at: int = 1) -> "FaultPlan":
+        """Fail the atomic rename inside ``CheckpointWriter.commit``."""
+        return self.arm("store.commit", "raise", at=at)
+
+    def raise_in_callback(
+        self,
+        *,
+        tenant: str | None = None,
+        query: str | None = None,
+        at_event: int = 1,
+    ) -> "FaultPlan":
+        """Raise inside a query result callback at a chosen event count."""
+        return self.arm(
+            "callback", "raise", at=at_event, tenant=tenant, query=query
+        )
+
+    def crash_tenant_loop(
+        self,
+        *,
+        tenant: str | None = None,
+        at_command: int = 1,
+        repeat: bool = False,
+    ) -> "FaultPlan":
+        """Crash the tenant worker thread's command loop."""
+        return self.arm(
+            "tenant.loop", "raise", at=at_command, repeat=repeat, tenant=tenant
+        )
+
+    def fail_ingest(
+        self, *, tenant: str | None = None, at: int = 1
+    ) -> "FaultPlan":
+        """Raise inside the serve-layer ingest path."""
+        return self.arm("serve.ingest", "raise", at=at, tenant=tenant)
+
+    # -- firing --------------------------------------------------------
+    def fire(self, site: str, **ctx: object) -> str | None:
+        """Record one occurrence of ``site``; return the action now due.
+
+        Every armed fault whose ``match`` agrees with ``ctx`` counts the
+        occurrence; the first one whose count reaches ``at`` (or has
+        passed it, with ``repeat``) fires and returns its action string.
+        Returns ``None`` when nothing is due — callers do nothing.
+        """
+        with self._lock:
+            for spec in self._armed:
+                if spec.site != site:
+                    continue
+                if any(ctx.get(k) != v for k, v in spec.match.items()):
+                    continue
+                spec.count += 1
+                if spec.count == spec.at or (spec.repeat and spec.count > spec.at):
+                    spec.fired += 1
+                    return spec.action
+        return None
+
+    def fired(self, site: str | None = None) -> int:
+        """Total times faults have fired (optionally at one site).
+
+        Counts are per-process: faults fired inside a forked worker are
+        not visible on the parent's copy of the plan.
+        """
+        with self._lock:
+            return sum(
+                spec.fired
+                for spec in self._armed
+                if site is None or spec.site == site
+            )
+
+    def occurrences(self, site: str) -> int:
+        """Occurrences counted at ``site`` in this process (max over
+        armed specs, since each spec counts only its own matches)."""
+        with self._lock:
+            counts = [s.count for s in self._armed if s.site == site]
+            return max(counts, default=0)
+
+    def __repr__(self) -> str:
+        armed = ", ".join(
+            f"{s.site}:{s.action}@{s.at}{'+' if s.repeat else ''}"
+            for s in self._armed
+        )
+        return f"FaultPlan([{armed}])"

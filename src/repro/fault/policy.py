@@ -1,0 +1,89 @@
+"""Checkpoint cadence and recovery-retry policies.
+
+Both are frozen dataclasses so they can ride inside
+:class:`~repro.engine.session.EngineConfig` and round-trip through a
+checkpoint manifest (``dataclasses.asdict`` on the way out, dict
+coercion in ``__post_init__`` on the way back in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How supervised recovery retries after a worker crash.
+
+    ``max_restarts`` bounds the respawn attempts per failure;
+    ``delay(attempt)`` is the exponential backoff before each attempt
+    (the first attempt is immediate).
+    """
+
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before restart ``attempt`` (1-based)."""
+        if attempt <= 1:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        return min(raw, self.backoff_max)
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointPolicy:
+    """When to take a checkpoint, and how to recover from one.
+
+    ``every_slides`` counts watermark slides since the last snapshot,
+    ``every_seconds`` counts wall-clock time; at least one must be set
+    and whichever fires first wins.  ``replay_bound`` caps the
+    in-memory replay log the supervised shard runtime keeps between
+    snapshots (a forced snapshot is taken when the log reaches the
+    bound, regardless of cadence).  ``retry`` governs recovery
+    attempts after a worker crash.
+    """
+
+    every_slides: int | None = None
+    every_seconds: float | None = None
+    replay_bound: int = 256
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.every_slides is None and self.every_seconds is None:
+            raise ValueError(
+                "CheckpointPolicy needs every_slides and/or every_seconds"
+            )
+        if self.every_slides is not None and self.every_slides < 1:
+            raise ValueError("every_slides must be >= 1")
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise ValueError("every_seconds must be > 0")
+        if self.replay_bound < 1:
+            raise ValueError("replay_bound must be >= 1")
+        # Checkpoint round trip: EngineConfig(**asdict(config)) hands the
+        # nested policy back as a plain dict.
+        if isinstance(self.retry, dict):
+            object.__setattr__(self, "retry", RetryPolicy(**self.retry))
+        elif not isinstance(self.retry, RetryPolicy):
+            raise ValueError("retry must be a RetryPolicy")
+
+    def due(self, *, slides_since: int, seconds_since: float) -> bool:
+        """True when either cadence trigger has elapsed."""
+        if self.every_slides is not None and slides_since >= self.every_slides:
+            return True
+        if (
+            self.every_seconds is not None
+            and seconds_since >= self.every_seconds
+        ):
+            return True
+        return False

@@ -43,6 +43,7 @@ from repro.errors import (
     ParseError,
     PlanError,
     QueryValidationError,
+    ServeError,
     StreamOrderError,
 )
 from repro.serve import http
@@ -210,6 +211,10 @@ class GraphStreamServer:
                 extra["Retry-After"] = f"{exc.retry_after:.3f}"
             body = dumps({"error": str(exc)}).encode()
             writer.write(http.response_with_headers(429, body, extra))
+        except ServeError as exc:
+            # A dead tenant worker or quarantined query: the service is
+            # degraded for this target, not misused by the client.
+            writer.write(self._error(503, str(exc)))
         except (StreamOrderError, ExecutionError, ResumeGapError) as exc:
             writer.write(self._error(409, str(exc)))
         await writer.drain()
@@ -242,6 +247,7 @@ class GraphStreamServer:
             )
         result = await tenant.call(lambda: tenant.ingest(edges))
         writer.write(self._json(200, result))
+        await self.manager.maybe_checkpoint()
 
     async def _subscribe(self, tenant_name, qid, request, reader, writer):
         tenant = self.manager.get(tenant_name)
@@ -278,10 +284,16 @@ class GraphStreamServer:
                 ) from None
             if last_seq < 0:
                 raise ProtocolError("resume position must be >= 0")
+        ahead = request.query.get("ahead", "error")
+        if ahead not in ("error", "wait"):
+            raise ProtocolError(
+                f"query param 'ahead' must be 'error' or 'wait', "
+                f"got {ahead!r}"
+            )
         ready = dumps(
             {"tenant": tenant_name, "query": qid, "policy": policy}
         )
-        channel.attach(sub, last_seq)
+        channel.attach(sub, last_seq, ahead=ahead)
         try:
             if request.wants_websocket():
                 await self._stream_websocket(
@@ -352,6 +364,12 @@ class GraphStreamServer:
             "draining": self.manager.draining,
             "tenant_count": len(tenants),
             "tenants": tenants,
+            "checkpoints": {
+                "count": self.manager.checkpoint_count,
+                "failures": self.manager.checkpoint_failures,
+                "last_id": self.manager.last_checkpoint_id,
+                "last_at": self.manager.last_checkpoint_at,
+            },
         }
 
     @staticmethod
@@ -363,12 +381,15 @@ class GraphStreamServer:
                 "subscribers": channel.subscriber_count,
                 "events_delivered": channel.seq,
                 "queue_depths": channel.queue_depths(),
+                "quarantined": channel.quarantined,
             }
         state = tenant.engine.state_breakdown()
         return {
             "queries": queries,
             "query_count": len(queries),
             "subscriber_count": tenant.subscriber_count,
+            "worker_restarts": tenant.worker_restarts,
+            "engine_recoveries": tenant.engine.recoveries,
             "ingested_total": tenant.ingest_meter.total,
             "ingest_rate": round(tenant.ingest_meter.rate(), 3),
             "watermark": tenant.engine.watermark,

@@ -12,6 +12,18 @@ queries per tenant, subscribers per tenant, and an ingest token bucket
 (edges/second with a burst allowance).  Violations raise
 :class:`AdmissionError`, which the HTTP layer maps to ``429 Too Many
 Requests`` with a ``Retry-After`` hint for rate limits.
+
+Fault tolerance: the tenant worker thread is supervised — a crash of
+the command loop restarts it in place (bounded by
+``ServerLimits.max_worker_restarts``), failing only the in-flight
+future with a typed :class:`~repro.errors.ServeError`; once the budget
+is spent the tenant is marked dead and every submit fails fast.  A
+query callback that raises is *quarantined*: its channel stops
+delivering, its subscribers are closed with a typed notice, and the
+rest of the tenant keeps streaming.  :class:`TenantManager` can also
+take periodic durable checkpoints on a
+:class:`~repro.fault.policy.CheckpointPolicy` cadence, which is what
+a crashed server restarts from.
 """
 
 from __future__ import annotations
@@ -25,7 +37,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.engine.session import EngineConfig, StreamingGraphEngine
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ServeError
+from repro.fault.plan import FaultPlan, InjectedFault
 from repro.serve.protocol import RegisterSpec, dumps, encode_event
 from repro.serve.subscriptions import BACKPRESSURE_POLICIES, SubscriberQueue
 
@@ -70,6 +83,9 @@ class ServerLimits:
     #: per-query replay ring size (events kept for resumable
     #: subscriptions; 0 disables resume entirely)
     replay_buffer: int = 1024
+    #: how many times a crashed tenant worker thread is restarted in
+    #: place before the tenant is declared dead
+    max_worker_restarts: int = 3
 
     def __post_init__(self) -> None:
         if self.default_policy not in BACKPRESSURE_POLICIES:
@@ -80,6 +96,11 @@ class ServerLimits:
         if self.replay_buffer < 0:
             raise ValueError(
                 f"replay_buffer must be >= 0, got {self.replay_buffer}"
+            )
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, "
+                f"got {self.max_worker_restarts}"
             )
 
 
@@ -157,8 +178,15 @@ class QueryChannel:
         #: per-query default backpressure policy (register-time choice)
         self.policy = policy
         self.seq = 0
+        #: set when this query's callback raised: delivery stops, new
+        #: subscribers are rejected, the rest of the tenant keeps going
+        self.quarantined = False
+        self.quarantine_reason: str | None = None
         self._ring: deque[tuple[int, str]] = deque(maxlen=max(replay, 0))
         self._subscribers: list[SubscriberQueue] = []
+        #: ahead-resume dedupe: subscriber -> highest seq it has already
+        #: seen; events at or below it are skipped (not re-delivered)
+        self._skip: dict[SubscriberQueue, int] = {}
         self._lock = threading.Lock()
 
     def deliver(self, event) -> None:
@@ -168,16 +196,29 @@ class QueryChannel:
             message = dumps(encode_event(seq, event))
             if self._ring.maxlen:
                 self._ring.append((seq, message))
-            subscribers = list(self._subscribers)
+            subscribers = []
+            for sub in self._subscribers:
+                threshold = self._skip.get(sub)
+                if threshold is not None:
+                    if seq <= threshold:
+                        # The client saw this event before the restart
+                        # (an ahead resume): dedupe, don't re-deliver.
+                        continue
+                    del self._skip[sub]
+                subscribers.append(sub)
         stale = [sub for sub in subscribers if not sub.offer((seq, message))]
         if stale:
             with self._lock:
                 for sub in stale:
                     if sub in self._subscribers:
                         self._subscribers.remove(sub)
+                    self._skip.pop(sub, None)
 
     def attach(
-        self, sub: SubscriberQueue, last_seq: int | None = None
+        self,
+        sub: SubscriberQueue,
+        last_seq: int | None = None,
+        ahead: str = "error",
     ) -> None:
         """Attach a subscriber; with ``last_seq``, replay first.
 
@@ -186,15 +227,29 @@ class QueryChannel:
         queue before attachment, under the same lock ``deliver`` stamps
         under, so concurrent deliveries land exactly once — replayed or
         live, never both, never neither.
+
+        ``ahead`` governs a ``last_seq`` beyond the stream head — the
+        signature of a server restored from a checkpoint older than the
+        client's position.  ``"error"`` raises :class:`ResumeGapError`;
+        ``"wait"`` attaches with a dedupe threshold instead, so the
+        replayed events the client already consumed are skipped and the
+        stream resumes exactly at ``last_seq + 1`` with no duplicates.
         """
         with self._lock:
-            if last_seq is not None and last_seq > self.seq:
-                raise ResumeGapError(
-                    f"cannot resume query {self.name!r} from seq "
-                    f"{last_seq}: the stream is at seq {self.seq} (was "
-                    "the server restored from an older checkpoint?)"
+            if self.quarantined:
+                raise ServeError(
+                    f"query {self.name!r} is quarantined: "
+                    f"{self.quarantine_reason}"
                 )
-            if last_seq is not None and last_seq < self.seq:
+            if last_seq is not None and last_seq > self.seq:
+                if ahead != "wait":
+                    raise ResumeGapError(
+                        f"cannot resume query {self.name!r} from seq "
+                        f"{last_seq}: the stream is at seq {self.seq} (was "
+                        "the server restored from an older checkpoint?)"
+                    )
+                self._skip[sub] = last_seq
+            elif last_seq is not None and last_seq < self.seq:
                 oldest = self._ring[0][0] if self._ring else self.seq + 1
                 if last_seq + 1 < oldest:
                     raise ResumeGapError(
@@ -209,6 +264,7 @@ class QueryChannel:
         with self._lock:
             if sub in self._subscribers:
                 self._subscribers.remove(sub)
+            self._skip.pop(sub, None)
 
     @property
     def subscriber_count(self) -> int:
@@ -233,11 +289,15 @@ class QueryChannel:
                 "seq": self.seq,
                 "policy": self.policy,
                 "ring": list(self._ring),
+                "quarantined": self.quarantined,
+                "quarantine_reason": self.quarantine_reason,
             }
 
     def restore_state(self, state: dict) -> None:
         with self._lock:
             self.seq = state["seq"]
+            self.quarantined = bool(state.get("quarantined", False))
+            self.quarantine_reason = state.get("quarantine_reason")
             for seq, message in state.get("ring", ()):
                 self._ring.append((int(seq), message))
 
@@ -246,7 +306,16 @@ _STOP = object()
 
 
 class Tenant:
-    """One tenant: an engine session plus its single worker thread."""
+    """One tenant: an engine session plus its single worker thread.
+
+    The worker thread is **supervised**: if the command loop itself
+    crashes (drilled via the ``tenant.loop`` fault site), the in-flight
+    future fails with a typed :class:`~repro.errors.ServeError` and the
+    loop restarts in place, preserving FIFO order for everything still
+    queued.  ``ServerLimits.max_worker_restarts`` bounds the budget;
+    once spent, the tenant is dead: pending and future submissions fail
+    fast instead of hanging.
+    """
 
     def __init__(
         self,
@@ -254,6 +323,7 @@ class Tenant:
         config: EngineConfig,
         limits: ServerLimits,
         engine: StreamingGraphEngine | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.name = name
         self.config = config
@@ -261,6 +331,9 @@ class Tenant:
         #: a restore passes the already-rebuilt engine; the normal path
         #: starts an empty one
         self.engine = engine if engine is not None else StreamingGraphEngine(config)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            self.engine.inject_faults(fault_plan)
         self.channels: dict[str, QueryChannel] = {}
         self.bucket = TokenBucket(limits.ingest_rate, limits.ingest_burst)
         self.ingest_meter = RateMeter()
@@ -269,6 +342,9 @@ class Tenant:
         self._lock = threading.Lock()
         self.draining = False
         self._drained = False
+        self.worker_restarts = 0
+        self._worker_dead = False
+        self._current: concurrent.futures.Future | None = None
         self._thread = threading.Thread(
             target=self._worker, name=f"tenant-{name}", daemon=True
         )
@@ -276,24 +352,102 @@ class Tenant:
 
     # -- worker thread ---------------------------------------------------
     def _worker(self) -> None:
+        """Supervisor: run the command loop, restart it if it crashes."""
+        while True:
+            try:
+                self._worker_loop()
+                return  # clean stop via the _STOP sentinel
+            except BaseException as exc:
+                error = ServeError(
+                    f"tenant {self.name!r} worker crashed: {exc!r}"
+                )
+                current, self._current = self._current, None
+                if current is not None and not current.done():
+                    current.set_exception(error)
+                self.worker_restarts += 1
+                if self.worker_restarts > self.limits.max_worker_restarts:
+                    self._worker_dead = True
+                    self._fail_pending(
+                        ServeError(
+                            f"tenant {self.name!r} worker is dead after "
+                            f"{self.worker_restarts - 1} restart(s); "
+                            f"last crash: {exc!r}"
+                        )
+                    )
+                    print(
+                        f"serve: tenant {self.name!r} worker exhausted its "
+                        f"restart budget "
+                        f"({self.limits.max_worker_restarts}): {exc!r}"
+                    )
+                    return
+                print(
+                    f"serve: tenant {self.name!r} worker restarted in place "
+                    f"({self.worker_restarts}/"
+                    f"{self.limits.max_worker_restarts}): {exc!r}"
+                )
+                time.sleep(min(0.05 * 2 ** (self.worker_restarts - 1), 1.0))
+
+    def _worker_loop(self) -> None:
         while True:
             fn, future = self._commands.get()
             if fn is _STOP:
                 future.set_result(None)
-                break
+                return
             if not future.set_running_or_notify_cancel():
                 continue
+            self._current = future
+            plan = self.fault_plan
+            if (
+                plan is not None
+                and plan.fire("tenant.loop", tenant=self.name) is not None
+            ):
+                raise InjectedFault(
+                    f"injected tenant.loop fault (tenant {self.name!r})"
+                )
             try:
                 future.set_result(fn())
             except BaseException as exc:
                 future.set_exception(exc)
+            finally:
+                self._current = None
+
+    def _fail_pending(self, error: ServeError) -> None:
+        """Drain the command queue, failing every waiter fast (a dead
+        worker must never leave a future hanging)."""
+        while True:
+            try:
+                fn, future = self._commands.get_nowait()
+            except queue.Empty:
+                return
+            if future.done():
+                continue
+            if fn is _STOP:
+                future.set_result(None)
+            else:
+                future.set_exception(error)
 
     def submit(self, fn) -> concurrent.futures.Future:
-        """Queue one engine call for the worker thread (FIFO order)."""
+        """Queue one engine call for the worker thread (FIFO order).
+
+        Liveness-guarded: a dead worker (restart budget spent) raises
+        :class:`~repro.errors.ServeError` immediately instead of
+        queueing work no thread will ever run.
+        """
         if self.draining:
             raise AdmissionError(f"tenant {self.name!r} is draining")
+        if self._worker_dead or not self._thread.is_alive():
+            raise ServeError(
+                f"tenant {self.name!r} worker is dead "
+                "(restart budget exhausted)"
+            )
         future: concurrent.futures.Future = concurrent.futures.Future()
         self._commands.put((fn, future))
+        if self._worker_dead:
+            # The worker died between the check and the put; make sure
+            # this future fails instead of waiting forever.
+            self._fail_pending(
+                ServeError(f"tenant {self.name!r} worker is dead")
+            )
         return future
 
     async def call(self, fn):
@@ -325,12 +479,47 @@ class Tenant:
             self.channels[qid] = channel
         try:
             query = spec.build_query()
-            self.engine.register(query, name=qid, on_result=channel.deliver)
+            self.engine.register(
+                query, name=qid, on_result=self._guarded_deliver(qid, channel)
+            )
         except BaseException:
             with self._lock:
                 self.channels.pop(qid, None)
             raise
         return qid
+
+    def _guarded_deliver(self, qid: str, channel: QueryChannel):
+        """Wrap ``channel.deliver`` so a raising callback quarantines
+        the one query instead of killing the whole tenant session."""
+
+        def deliver(event) -> None:
+            if channel.quarantined:
+                return
+            try:
+                plan = self.fault_plan
+                if (
+                    plan is not None
+                    and plan.fire("callback", tenant=self.name, query=qid)
+                    is not None
+                ):
+                    raise InjectedFault(
+                        f"injected callback fault (tenant {self.name!r}, "
+                        f"query {qid!r})"
+                    )
+                channel.deliver(event)
+            except BaseException as exc:
+                self._quarantine(qid, channel, exc)
+
+        return deliver
+
+    def _quarantine(
+        self, qid: str, channel: QueryChannel, exc: BaseException
+    ) -> None:
+        reason = f"query callback failed: {exc!r}"
+        channel.quarantined = True
+        channel.quarantine_reason = reason
+        channel.close_subscribers(f"query {qid!r} quarantined: {reason}")
+        print(f"serve: tenant {self.name!r} quarantined query {qid!r}: {exc!r}")
 
     def unregister(self, qid: str) -> None:
         with self._lock:
@@ -341,6 +530,14 @@ class Tenant:
         channel.close_subscribers("query unregistered")
 
     def ingest(self, edges: list) -> dict:
+        plan = self.fault_plan
+        if (
+            plan is not None
+            and plan.fire("serve.ingest", tenant=self.name) is not None
+        ):
+            raise InjectedFault(
+                f"injected ingest fault (tenant {self.name!r})"
+            )
         stats = self.engine.push_many(edges)
         self.ingest_meter.add(len(edges))
         return {
@@ -389,9 +586,12 @@ class Tenant:
         if self._drained:
             return
         self._drained = True
-        future: concurrent.futures.Future = concurrent.futures.Future()
-        self._commands.put((_STOP, future))
-        await asyncio.wrap_future(future)
+        if not self._worker_dead:
+            future: concurrent.futures.Future = concurrent.futures.Future()
+            self._commands.put((_STOP, future))
+            # A worker that dies with the sentinel queued resolves it
+            # from _fail_pending, so this await cannot hang.
+            await asyncio.wrap_future(future)
         if checkpoint_writer is not None:
             self.checkpoint_into(checkpoint_writer)
         self.engine.close()
@@ -409,6 +609,7 @@ class Tenant:
             prefix + "serve",
             {
                 "auto": self._auto,
+                "ingested_total": self.ingest_meter.total,
                 "queries": {
                     qid: channel.snapshot_state()
                     for qid, channel in self.channels.items()
@@ -423,6 +624,7 @@ class Tenant:
         reader,
         limits: ServerLimits,
         engine_config: EngineConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> "Tenant":
         """Rebuild one tenant from a server checkpoint.
 
@@ -438,12 +640,18 @@ class Tenant:
         )
         try:
             serve_state = reader.get(prefix + "serve")
-            tenant = cls(name, engine.config, limits, engine=engine)
+            tenant = cls(
+                name, engine.config, limits, engine=engine,
+                fault_plan=fault_plan,
+            )
         except BaseException:
             engine.close()
             raise
         try:
             tenant._auto = int(serve_state.get("auto", 0))
+            tenant.ingest_meter.total = int(
+                serve_state.get("ingested_total", 0)
+            )
             if set(serve_state["queries"]) != set(engine.query_names):
                 raise CheckpointError(
                     f"checkpoint {reader.checkpoint_id}: blob "
@@ -457,7 +665,9 @@ class Tenant:
                 )
                 channel.restore_state(qstate)
                 tenant.channels[qid] = channel
-                engine.set_result_callback(qid, channel.deliver)
+                engine.set_result_callback(
+                    qid, tenant._guarded_deliver(qid, channel)
+                )
         except BaseException:
             tenant.draining = True
             engine.close()
@@ -466,18 +676,43 @@ class Tenant:
 
 
 class TenantManager:
-    """The tenant registry: lazy creation under admission control."""
+    """The tenant registry: lazy creation under admission control.
+
+    With a ``checkpoint_store`` + ``checkpoint_policy``, the manager
+    also takes **periodic** durable checkpoints: the server calls
+    :meth:`maybe_checkpoint` after each ingest acknowledgement, and
+    when the policy's slide or wall-clock cadence has elapsed every
+    tenant is snapshotted into one atomic checkpoint — the state a
+    SIGKILLed server restarts from with ``--restore-from``.  A
+    ``fault_plan`` threads deterministic faults into every tenant (and
+    their engines) plus the store's commit path.
+    """
 
     def __init__(
         self,
         limits: ServerLimits | None = None,
         engine_config: EngineConfig | None = None,
+        checkpoint_store=None,
+        checkpoint_policy=None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.limits = limits or ServerLimits()
         self.engine_config = engine_config or EngineConfig()
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_policy = checkpoint_policy
+        self.fault_plan = fault_plan
         self.tenants: dict[str, Tenant] = {}
         self._lock = threading.Lock()
         self.draining = False
+        self.checkpoint_count = 0
+        self.checkpoint_failures = 0
+        self.last_checkpoint_id: str | None = None
+        self.last_checkpoint_at: float | None = None
+        self._ckpt_lock = asyncio.Lock()
+        #: per-tenant watermark at the last checkpoint (or its first
+        #: observation) — the slide-cadence baseline
+        self._ckpt_marks: dict[str, int] = {}
+        self._ckpt_time = time.monotonic()
 
     def get(self, name: str) -> Tenant:
         tenant = self.tenants.get(name)
@@ -495,9 +730,82 @@ class TenantManager:
                     raise AdmissionError(
                         f"tenant limit reached ({self.limits.max_tenants})"
                     )
-                tenant = Tenant(name, self.engine_config, self.limits)
+                tenant = Tenant(
+                    name, self.engine_config, self.limits,
+                    fault_plan=self.fault_plan,
+                )
                 self.tenants[name] = tenant
             return tenant
+
+    # -- periodic checkpointing ------------------------------------------
+    async def maybe_checkpoint(self) -> str | None:
+        """Take a periodic checkpoint if the policy cadence has elapsed.
+
+        Called by the server after each ingest acknowledgement; cheap
+        when nothing is due.  Non-reentrant: a checkpoint already in
+        flight (another ingest racing this one) makes this a no-op
+        rather than stacking writers.  Failures are counted and logged,
+        never raised — a broken store must not fail ingest.
+        """
+        if (
+            self.checkpoint_store is None
+            or self.checkpoint_policy is None
+            or self.draining
+        ):
+            return None
+        if self._ckpt_lock.locked():
+            return None
+        async with self._ckpt_lock:
+            if not self._checkpoint_due():
+                return None
+            return await self._checkpoint_now()
+
+    def _checkpoint_due(self) -> bool:
+        slides = 0
+        for name, tenant in list(self.tenants.items()):
+            watermark = tenant.engine.watermark
+            if watermark is None:
+                continue
+            base = self._ckpt_marks.get(name)
+            if base is None:
+                # First watermark observation becomes the baseline; the
+                # cadence counts slides from here.
+                self._ckpt_marks[name] = watermark
+                continue
+            slides = max(slides, (watermark - base) // tenant.engine.slide)
+        return self.checkpoint_policy.due(
+            slides_since=slides,
+            seconds_since=time.monotonic() - self._ckpt_time,
+        )
+
+    async def _checkpoint_now(self) -> str | None:
+        writer = self.checkpoint_store.begin()
+        try:
+            for tenant in list(self.tenants.values()):
+                # Runs on the tenant's worker thread, so the engine is
+                # between commands (quiescent) while it is snapshotted.
+                await tenant.call(
+                    lambda t=tenant: t.checkpoint_into(writer)
+                )
+            writer.set_meta(
+                kind="server", tenants=sorted(self.tenants), trigger="policy"
+            )
+            checkpoint_id = writer.commit()
+        except Exception as exc:
+            writer.abort()
+            self.checkpoint_failures += 1
+            print(f"serve: periodic checkpoint failed: {exc}")
+            return None
+        self.checkpoint_count += 1
+        self.last_checkpoint_id = checkpoint_id
+        self.last_checkpoint_at = time.time()
+        self._ckpt_time = time.monotonic()
+        for name, tenant in list(self.tenants.items()):
+            watermark = tenant.engine.watermark
+            if watermark is not None:
+                self._ckpt_marks[name] = watermark
+        print(f"serve: periodic checkpoint {checkpoint_id}")
+        return checkpoint_id
 
     async def drain_all(self, checkpoint_store=None) -> str | None:
         """Drain every tenant; optionally checkpoint them on the way out.
@@ -531,6 +839,9 @@ class TenantManager:
         limits: ServerLimits | None = None,
         engine_config: EngineConfig | None = None,
         checkpoint_id: str | None = None,
+        checkpoint_store=None,
+        checkpoint_policy=None,
+        fault_plan: FaultPlan | None = None,
     ) -> "TenantManager":
         """Rebuild every tenant from a server checkpoint in ``store``.
 
@@ -540,6 +851,11 @@ class TenantManager:
         same rebalancing contract as
         :meth:`StreamingGraphEngine.restore`.  ``None`` restores each
         tenant under its stored configuration.
+
+        ``checkpoint_store`` / ``checkpoint_policy`` re-arm periodic
+        checkpointing on the restored manager (typically the same store
+        the restore came from), so a relaunched server keeps taking
+        checkpoints.
         """
         reader = store.open(checkpoint_id)
         kind = reader.meta.get("kind")
@@ -549,11 +865,18 @@ class TenantManager:
                 f"checkpoint (manifest kind is {kind!r}, expected "
                 "'server')"
             )
-        manager = cls(limits, engine_config)
+        manager = cls(
+            limits,
+            engine_config,
+            checkpoint_store=checkpoint_store,
+            checkpoint_policy=checkpoint_policy,
+            fault_plan=fault_plan,
+        )
         try:
             for name in reader.meta.get("tenants", []):
                 manager.tenants[name] = Tenant.restored(
-                    name, reader, manager.limits, engine_config
+                    name, reader, manager.limits, engine_config,
+                    fault_plan=fault_plan,
                 )
         except BaseException:
             for tenant in manager.tenants.values():

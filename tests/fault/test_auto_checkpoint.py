@@ -1,0 +1,117 @@
+"""Engine-level periodic checkpointing (`enable_auto_checkpoint`).
+
+The in-process counterpart of the server's periodic checkpoints: once
+armed with a store and a :class:`CheckpointPolicy`, the engine
+snapshots itself at watermark-slide cadence as ingest calls complete —
+call-boundary granularity — and each auto checkpoint is a full restore
+point.
+"""
+
+import pytest
+
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.core import SGE
+from repro.core.windows import SlidingWindow
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.fault import CheckpointPolicy
+from repro.query.sgq import SGQ
+
+WINDOW, SLIDE = 24, 4
+
+
+def _query():
+    return SGQ.from_text(
+        "Answer(x, y) <- k+(x, y) as K.", SlidingWindow(WINDOW, SLIDE)
+    )
+
+
+def _edges(n):
+    return [SGE(i, i + 1, "k", i * 2) for i in range(n)]
+
+
+class TestAutoCheckpoint:
+    def test_cadence_over_chunked_ingest(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        engine = StreamingGraphEngine(EngineConfig())
+        engine.register(_query(), name="q")
+        engine.enable_auto_checkpoint(
+            store, CheckpointPolicy(every_slides=2)
+        )
+        edges = _edges(40)  # t spans 0..78 -> ~20 slides
+        for i in range(0, len(edges), 4):
+            engine.push_many(edges[i : i + 4])
+        assert engine.auto_checkpoint_count >= 4
+        assert engine.last_auto_checkpoint_id in store.list()
+        watermark = engine.watermark
+        engine.close()
+
+        restored = StreamingGraphEngine.restore(store)
+        # The last auto checkpoint is at most one cadence behind.
+        assert restored.watermark >= watermark - 2 * SLIDE
+        assert restored.handle("q").results()
+        restored.close()
+
+    def test_policy_defaults_from_config(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        config = EngineConfig(
+            checkpoint_policy=CheckpointPolicy(every_slides=1)
+        )
+        engine = StreamingGraphEngine(config)
+        engine.register(_query(), name="q")
+        engine.enable_auto_checkpoint(store)  # policy from the config
+        for i in range(0, 16, 4):
+            engine.push_many(_edges(16)[i : i + 4])
+        assert engine.auto_checkpoint_count >= 1
+        engine.close()
+
+    def test_enable_requires_a_policy(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        engine = StreamingGraphEngine(EngineConfig())
+        with pytest.raises(ValueError):
+            engine.enable_auto_checkpoint(store)
+        engine.close()
+
+    def test_disarm_stops_checkpointing(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        engine = StreamingGraphEngine(EngineConfig())
+        engine.register(_query(), name="q")
+        engine.enable_auto_checkpoint(store, CheckpointPolicy(every_slides=1))
+        edges = _edges(40)
+        for i in range(0, 20, 4):
+            engine.push_many(edges[i : i + 4])
+        taken = engine.auto_checkpoint_count
+        assert taken >= 1
+        engine.enable_auto_checkpoint(None)
+        for i in range(20, 40, 4):
+            engine.push_many(edges[i : i + 4])
+        assert engine.auto_checkpoint_count == taken
+        engine.close()
+
+
+class TestPolicyConfigRoundTrip:
+    def test_checkpoint_policy_round_trips_through_restore(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path))
+        policy = CheckpointPolicy(every_slides=3, every_seconds=60.0)
+        engine = StreamingGraphEngine(
+            EngineConfig(checkpoint_policy=policy)
+        )
+        engine.register(_query(), name="q")
+        engine.push_many(_edges(12))
+        engine.checkpoint(store)
+        engine.close()
+
+        restored = StreamingGraphEngine.restore(store)
+        assert restored.config.checkpoint_policy == policy
+        restored.close()
+
+    def test_config_coerces_policy_dicts(self):
+        config = EngineConfig(
+            checkpoint_policy={"every_slides": 2, "replay_bound": 64}
+        )
+        assert isinstance(config.checkpoint_policy, CheckpointPolicy)
+        assert config.checkpoint_policy.every_slides == 2
+        assert config.checkpoint_policy.replay_bound == 64
+
+    def test_config_rejects_other_types(self):
+        with pytest.raises(ValueError):
+            EngineConfig(checkpoint_policy=42)

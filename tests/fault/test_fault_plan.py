@@ -1,0 +1,146 @@
+"""FaultPlan semantics: arming, matching, counting, firing, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.fault import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    CheckpointPolicy,
+    FaultPlan,
+    RetryPolicy,
+)
+
+
+class TestArming:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan().arm("worker.commnad")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultPlan().arm("worker.command", "explode")
+
+    def test_worker_only_actions_rejected_elsewhere(self):
+        for action in ("kill", "tear", "hang"):
+            with pytest.raises(ValueError, match="only applies"):
+                FaultPlan().arm("store.fsync", action)
+
+    def test_at_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultPlan().arm("callback", at=0)
+
+    def test_arm_methods_chain(self):
+        plan = (
+            FaultPlan()
+            .kill_worker(shard=1, at_command=3)
+            .fail_fsync()
+            .raise_in_callback(query="q2")
+        )
+        assert len(plan._armed) == 3
+
+    def test_site_and_action_registries_cover_arm_helpers(self):
+        assert set(FAULT_ACTIONS) == {"raise", "kill", "tear", "hang"}
+        assert "worker.command" in FAULT_SITES
+        assert "serve.ingest" in FAULT_SITES
+
+
+class TestFiring:
+    def test_fires_on_nth_matching_occurrence_only(self):
+        plan = FaultPlan().arm("callback", at=3)
+        assert plan.fire("callback") is None
+        assert plan.fire("callback") is None
+        assert plan.fire("callback") == "raise"
+        assert plan.fire("callback") is None
+        assert plan.fired("callback") == 1
+
+    def test_repeat_fires_from_nth_onward(self):
+        plan = FaultPlan().arm("callback", at=2, repeat=True)
+        fires = [plan.fire("callback") for _ in range(4)]
+        assert fires == [None, "raise", "raise", "raise"]
+
+    def test_match_filters_on_context(self):
+        plan = FaultPlan().kill_worker(shard=1, at_command=2)
+        # Shard 0 occurrences never count toward shard 1's fault.
+        for _ in range(5):
+            assert plan.fire("worker.command", shard=0, generation=0) is None
+        assert plan.fire("worker.command", shard=1, generation=0) is None
+        assert plan.fire("worker.command", shard=1, generation=0) == "kill"
+
+    def test_none_match_values_match_anything(self):
+        plan = FaultPlan().raise_in_callback(tenant=None, query=None)
+        assert plan.fire("callback", tenant="t", query="q") == "raise"
+
+    def test_worker_faults_gate_on_generation_zero(self):
+        plan = FaultPlan().kill_worker(at_command=1)
+        # The respawned worker (generation 1) never re-fires the fault.
+        assert plan.fire("worker.command", shard=0, generation=1) is None
+        assert plan.fire("worker.command", shard=0, generation=0) == "kill"
+
+    def test_every_generation_ignores_generation(self):
+        plan = FaultPlan().kill_worker(at_command=1, every_generation=True)
+        assert plan.fire("worker.command", shard=0, generation=3) == "kill"
+        assert plan.fire("worker.command", shard=0, generation=4) == "kill"
+
+    def test_occurrences_counts_per_site(self):
+        plan = FaultPlan().arm("serve.ingest", at=10)
+        for _ in range(4):
+            plan.fire("serve.ingest")
+        assert plan.occurrences("serve.ingest") == 4
+        assert plan.occurrences("callback") == 0
+
+
+class TestPickling:
+    def test_round_trip_preserves_armed_faults(self):
+        plan = FaultPlan().tear_pipe(shard=1, at_command=7)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fire("worker.command", shard=0, generation=0) is None
+        for _ in range(6):
+            assert clone.fire("worker.command", shard=1, generation=0) is None
+        assert clone.fire("worker.command", shard=1, generation=0) == "tear"
+
+    def test_counters_are_per_copy(self):
+        plan = FaultPlan().arm("callback", at=1)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert plan.fire("callback") == "raise"
+        # The clone's counter did not advance with the original's.
+        assert clone.fire("callback") == "raise"
+
+
+class TestPolicies:
+    def test_checkpoint_policy_needs_a_cadence(self):
+        with pytest.raises(ValueError, match="every_slides and/or"):
+            CheckpointPolicy()
+
+    def test_cadence_bounds(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_slides=0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_seconds=0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_slides=2, replay_bound=0)
+
+    def test_due_fires_on_either_trigger(self):
+        policy = CheckpointPolicy(every_slides=4, every_seconds=30.0)
+        assert not policy.due(slides_since=3, seconds_since=1.0)
+        assert policy.due(slides_since=4, seconds_since=1.0)
+        assert policy.due(slides_since=0, seconds_since=31.0)
+
+    def test_retry_coerces_from_dict(self):
+        policy = CheckpointPolicy(
+            every_slides=2, retry={"max_restarts": 5}
+        )
+        assert isinstance(policy.retry, RetryPolicy)
+        assert policy.retry.max_restarts == 5
+
+    def test_retry_backoff_is_exponential_and_capped(self):
+        retry = RetryPolicy(
+            max_restarts=6, backoff_base=0.1, backoff_factor=2.0,
+            backoff_max=0.3,
+        )
+        assert retry.delay(1) == 0.0
+        assert retry.delay(2) == pytest.approx(0.1)
+        assert retry.delay(3) == pytest.approx(0.2)
+        assert retry.delay(4) == pytest.approx(0.3)
+        assert retry.delay(6) == pytest.approx(0.3)

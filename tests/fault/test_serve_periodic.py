@@ -1,0 +1,182 @@
+"""Periodic server checkpoints + crash-resume through the serve layer.
+
+The server-level recovery drill: a server taking policy-cadence
+checkpoints is abandoned mid-stream (the SIGKILL stand-in — no drain,
+no final checkpoint), a fresh server restores from the latest periodic
+checkpoint, the client re-drives the post-checkpoint edge suffix and
+reconnects with ``?last_seq=N&ahead=wait`` — and observes exactly the
+uninterrupted event stream: no gaps, no duplicates, sequence numbers
+continuous across the crash.
+"""
+
+import asyncio
+import json
+
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.fault import CheckpointPolicy
+from repro.ql.query import Query
+from repro.serve.app import GraphStreamServer
+from repro.serve.protocol import dumps, encode_event
+from repro.serve.tenants import ServerLimits, TenantManager
+from tests.conftest import make_stream
+from tests.serve.test_server import (
+    LIKES,
+    SLIDE,
+    WINDOW,
+    SseStream,
+    call,
+    edge_dicts,
+    register,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _reference(batches):
+    """Encoded event stream of an uninterrupted engine ingesting the
+    same batches."""
+    engine = StreamingGraphEngine(EngineConfig())
+    got, seq = [], [0]
+
+    def cb(event):
+        seq[0] += 1
+        got.append(dumps(encode_event(seq[0], event)))
+
+    engine.register(
+        Query.datalog(LIKES, window=WINDOW, slide=SLIDE), on_result=cb
+    )
+    for batch in batches:
+        engine.push_many(batch)
+    engine.close()
+    return got
+
+
+class TestPeriodicCheckpoints:
+    def test_policy_cadence_checkpoints_during_ingest(self, tmp_path):
+        async def go():
+            store = DirectoryCheckpointStore(str(tmp_path))
+            manager = TenantManager(
+                ServerLimits(),
+                EngineConfig(),
+                checkpoint_store=store,
+                checkpoint_policy=CheckpointPolicy(every_slides=4),
+            )
+            server = GraphStreamServer(port=0, manager=manager)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+            edges = make_stream(31, 48, 10, ("likes",), max_gap=2)
+            for i in range(0, len(edges), 8):
+                await call(
+                    p,
+                    "POST",
+                    "/tenants/a/ingest",
+                    {"edges": edge_dicts(edges[i : i + 8])},
+                )
+            status, metrics, _ = await call(p, "GET", "/metrics")
+            assert status == 200
+            assert metrics["checkpoints"]["count"] >= 2
+            assert metrics["checkpoints"]["failures"] == 0
+            assert metrics["checkpoints"]["last_id"] in store.list()
+            # The periodic checkpoint is a normal server checkpoint.
+            reader = store.open(metrics["checkpoints"]["last_id"])
+            assert reader.meta["kind"] == "server"
+            assert reader.meta["trigger"] == "policy"
+            await server.shutdown()
+
+        run(go())
+
+    def test_crash_resume_from_periodic_checkpoint(self, tmp_path):
+        async def go():
+            store = DirectoryCheckpointStore(str(tmp_path))
+            manager = TenantManager(
+                ServerLimits(),
+                EngineConfig(),
+                checkpoint_store=store,
+                checkpoint_policy=CheckpointPolicy(every_slides=4),
+            )
+            server = GraphStreamServer(port=0, manager=manager)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+
+            edges = make_stream(32, 60, 10, ("likes",), max_gap=2)
+            crash_at = (2 * len(edges)) // 3
+            pre_batches = [
+                edges[i : i + 8] for i in range(0, crash_at, 8)
+            ]
+
+            sse1 = SseStream(p, "a", "q").start()
+            await sse1.ready.wait()
+            for batch in pre_batches:
+                await call(
+                    p, "POST", "/tenants/a/ingest",
+                    {"edges": edge_dicts(batch)},
+                )
+            await asyncio.sleep(0.15)
+            status, metrics, _ = await call(p, "GET", "/metrics")
+            assert metrics["checkpoints"]["count"] >= 1
+            seen = len(sse1.events)  # the client's resume position
+            assert seen > 0
+            # Crash: the server is abandoned — no drain, no final
+            # checkpoint.  Only the periodic checkpoint survives.
+
+            restored = TenantManager.restore(
+                store,
+                checkpoint_store=store,
+                checkpoint_policy=CheckpointPolicy(every_slides=4),
+            )
+            revived = GraphStreamServer(port=0, manager=restored)
+            await revived.start()
+            p2 = revived.port
+            status, metrics2, _ = await call(p2, "GET", "/metrics")
+            ingested = metrics2["tenants"]["a"]["ingested_total"]
+            assert 0 < ingested <= crash_at
+
+            # Reconnect ahead of the restored stream head: the client
+            # has seen more events than the checkpoint retained.
+            sse2 = SseStream(
+                p2, "a", "q", params=f"?last_seq={seen}&ahead=wait"
+            ).start()
+            await sse2.ready.wait()
+            # Re-drive everything past the checkpoint, plus new edges.
+            await call(
+                p2,
+                "POST",
+                "/tenants/a/ingest",
+                {"edges": edge_dicts(edges[ingested:])},
+            )
+            await asyncio.sleep(0.2)
+
+            reference = _reference(pre_batches + [edges[crash_at:]])
+            combined = sse1.events + sse2.events
+            assert combined == reference
+            seqs = [json.loads(m)["seq"] for m in combined]
+            assert seqs == list(range(1, len(reference) + 1))
+            await revived.shutdown()
+            await server.shutdown()  # cleanup of the "crashed" server
+
+        run(go())
+
+    def test_ahead_requires_wait_or_error(self, tmp_path):
+        async def go():
+            server = GraphStreamServer(port=0)
+            await server.start()
+            p = server.port
+            await register(p, "a", "q")
+            status, body, _ = await call(
+                p, "GET", "/tenants/a/queries/q/subscribe?ahead=maybe"
+            )
+            assert status == 400
+            assert "ahead" in body["error"]
+            # Default stays strict: resuming past the head is a 409.
+            status, body, _ = await call(
+                p, "GET", "/tenants/a/queries/q/subscribe?last_seq=99"
+            )
+            assert status == 409
+            await server.shutdown()
+
+        run(go())

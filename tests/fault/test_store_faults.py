@@ -1,0 +1,79 @@
+"""Checkpoint-store fault injection: fsync and rename failures.
+
+The atomicity contract under fault: a commit that fails at the
+manifest fsync or the atomic rename leaves the store exactly as it
+was — every previously committed checkpoint intact and readable, no
+partial checkpoint visible, staging cleaned up — and surfaces as a
+typed :class:`~repro.errors.CheckpointError`.
+"""
+
+import os
+
+import pytest
+
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.errors import CheckpointError
+from repro.fault import FaultPlan
+
+
+def _commit_one(store, payload):
+    writer = store.begin()
+    writer.put("state", payload)
+    writer.set_meta(kind="engine")
+    return writer.commit()
+
+
+class TestStoreFaults:
+    @pytest.mark.parametrize("site", ["fsync", "commit"])
+    def test_failed_commit_leaves_previous_checkpoint_intact(
+        self, tmp_path, site
+    ):
+        plan = (
+            FaultPlan().fail_fsync(at=1)
+            if site == "fsync"
+            else FaultPlan().fail_commit(at=1)
+        )
+        # A good checkpoint first, with no faults armed yet.
+        store = DirectoryCheckpointStore(str(tmp_path), fault_plan=None)
+        first = _commit_one(store, {"epoch": 1})
+
+        store.fault_plan = plan
+        writer = store.begin()
+        writer.put("state", {"epoch": 2})
+        writer.set_meta(kind="engine")
+        with pytest.raises(CheckpointError, match="failed to commit"):
+            writer.commit()
+
+        # Only the first checkpoint is visible; it still verifies.
+        assert store.list() == [first]
+        assert store.open().get("state") == {"epoch": 1}
+        # The staging directory was removed.
+        assert [
+            entry
+            for entry in os.listdir(str(tmp_path))
+            if entry.startswith(".staging")
+        ] == []
+
+    def test_commit_succeeds_once_fault_is_spent(self, tmp_path):
+        plan = FaultPlan().fail_commit(at=1)
+        store = DirectoryCheckpointStore(str(tmp_path), fault_plan=plan)
+        writer = store.begin()
+        writer.put("state", {"epoch": 1})
+        with pytest.raises(CheckpointError):
+            writer.commit()
+        # The next attempt (fault consumed) commits normally.
+        second = _commit_one(store, {"epoch": 2})
+        assert store.list() == [second]
+        assert store.open(second).get("state") == {"epoch": 2}
+
+    def test_failed_writer_is_spent(self, tmp_path):
+        plan = FaultPlan().fail_fsync(at=1)
+        store = DirectoryCheckpointStore(str(tmp_path), fault_plan=plan)
+        writer = store.begin()
+        writer.put("state", {})
+        with pytest.raises(CheckpointError):
+            writer.commit()
+        # The writer aborted itself; a retry on the same writer is a
+        # clear error, not a silent half-commit.
+        with pytest.raises(CheckpointError, match="already committed"):
+            writer.commit()

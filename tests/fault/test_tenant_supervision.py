@@ -1,0 +1,160 @@
+"""Tenant worker-thread supervision and query quarantine.
+
+The serve-layer half of fault tolerance: a crashed tenant command loop
+restarts in place (bounded budget, typed failures, FIFO preserved), a
+raising query callback quarantines that one query while the rest of
+the tenant keeps streaming, and the ingest fault site surfaces as a
+normal failed request rather than a wedged worker.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.core import SGE
+from repro.engine.session import EngineConfig
+from repro.errors import ServeError
+from repro.fault import FaultPlan
+from repro.serve.protocol import RegisterSpec
+from repro.serve.subscriptions import SubscriberQueue
+from repro.serve.tenants import AdmissionError, ServerLimits, TenantManager
+
+HOUR = 3600
+WINDOW = 6 * HOUR
+
+
+def _spec(name):
+    return RegisterSpec(text="knows", window=WINDOW, slide=HOUR, name=name)
+
+
+def _edge(i):
+    return SGE(i, i + 1, "knows", i * HOUR)
+
+
+def _manager(fault_plan=None, **limit_overrides):
+    limits = ServerLimits(**limit_overrides)
+    return TenantManager(limits, EngineConfig(), fault_plan=fault_plan)
+
+
+class TestWorkerSupervision:
+    def test_loop_crash_restarts_in_place(self):
+        async def scenario():
+            plan = FaultPlan().crash_tenant_loop(tenant="t", at_command=3)
+            manager = _manager(plan)
+            tenant = manager.get_or_create("t")
+            await tenant.call(lambda: tenant.register(_spec("q")))
+            await tenant.call(lambda: tenant.ingest([_edge(0)]))
+            # The third command hits the injected crash: only it fails.
+            with pytest.raises(ServeError, match="worker crashed"):
+                await tenant.call(lambda: tenant.ingest([_edge(1)]))
+            # The restarted loop serves the next command normally.
+            result = await tenant.call(lambda: tenant.ingest([_edge(2)]))
+            assert result["ingested"] == 1
+            assert tenant.worker_restarts == 1
+            await manager.drain_all()
+
+        asyncio.run(scenario())
+
+    def test_budget_exhaustion_fails_fast(self):
+        async def scenario():
+            plan = FaultPlan().crash_tenant_loop(
+                tenant="t", at_command=1, repeat=True
+            )
+            manager = _manager(plan, max_worker_restarts=2)
+            tenant = manager.get_or_create("t")
+            for _ in range(3):
+                with pytest.raises(ServeError):
+                    await tenant.call(lambda: tenant.ingest([_edge(0)]))
+            assert tenant.worker_restarts == 3  # 2 in budget + the fatal one
+            # Dead tenant: submit raises immediately, nothing queues.
+            with pytest.raises(ServeError, match="dead"):
+                tenant.submit(lambda: None)
+            # Drain still completes (nothing to hand a dead worker).
+            await manager.drain_all()
+
+        asyncio.run(scenario())
+
+    def test_draining_still_wins_over_liveness(self):
+        async def scenario():
+            manager = _manager()
+            tenant = manager.get_or_create("t")
+            await manager.drain_all()
+            with pytest.raises(AdmissionError, match="draining"):
+                tenant.submit(lambda: None)
+
+        asyncio.run(scenario())
+
+
+class TestQuarantine:
+    def test_failing_callback_quarantines_one_query(self):
+        async def scenario():
+            plan = FaultPlan().raise_in_callback(
+                tenant="t", query="bad", at_event=2
+            )
+            manager = _manager(plan)
+            tenant = manager.get_or_create("t")
+            await tenant.call(lambda: tenant.register(_spec("bad")))
+            await tenant.call(lambda: tenant.register(_spec("good")))
+            loop = asyncio.get_running_loop()
+            sub = SubscriberQueue(loop, maxsize=64, policy="block")
+            tenant.channels["bad"].attach(sub)
+            for i in range(6):
+                await tenant.call(lambda e=[_edge(i)]: tenant.ingest(e))
+            bad, good = tenant.channels["bad"], tenant.channels["good"]
+            assert bad.quarantined
+            assert "InjectedFault" in bad.quarantine_reason
+            # The sibling query kept delivering; the tenant never
+            # crashed.
+            assert not good.quarantined
+            assert good.seq == 6
+            assert tenant.worker_restarts == 0
+            # Existing subscribers got a typed close, new ones are
+            # refused.
+            assert "quarantined" in sub.close_reason
+            with pytest.raises(ServeError, match="quarantined"):
+                bad.attach(SubscriberQueue(loop, maxsize=8, policy="block"))
+            await manager.drain_all()
+
+        asyncio.run(scenario())
+
+    def test_quarantine_survives_checkpoint_restore(self, tmp_path):
+        async def scenario():
+            plan = FaultPlan().raise_in_callback(
+                tenant="t", query="bad", at_event=1
+            )
+            manager = _manager(plan)
+            tenant = manager.get_or_create("t")
+            await tenant.call(lambda: tenant.register(_spec("bad")))
+            for i in range(3):
+                await tenant.call(lambda e=[_edge(i)]: tenant.ingest(e))
+            assert tenant.channels["bad"].quarantined
+            store = DirectoryCheckpointStore(str(tmp_path))
+            await manager.drain_all(store)
+
+            restored = TenantManager.restore(store)
+            channel = restored.get("t").channels["bad"]
+            assert channel.quarantined
+            assert "InjectedFault" in channel.quarantine_reason
+            await restored.drain_all()
+
+        asyncio.run(scenario())
+
+
+class TestIngestFault:
+    def test_ingest_fault_fails_the_request_not_the_worker(self):
+        async def scenario():
+            plan = FaultPlan().fail_ingest(tenant="t", at=2)
+            manager = _manager(plan)
+            tenant = manager.get_or_create("t")
+            await tenant.call(lambda: tenant.register(_spec("q")))
+            await tenant.call(lambda: tenant.ingest([_edge(0)]))
+            with pytest.raises(Exception, match="injected ingest fault"):
+                await tenant.call(lambda: tenant.ingest([_edge(1)]))
+            # The worker thread survived: the next ingest succeeds.
+            result = await tenant.call(lambda: tenant.ingest([_edge(2)]))
+            assert result["ingested"] == 1
+            assert tenant.worker_restarts == 0
+            await manager.drain_all()
+
+        asyncio.run(scenario())

@@ -1,0 +1,217 @@
+"""Supervised shard-worker recovery under injected faults.
+
+The contract: with a ``checkpoint_policy`` on the process transport, a
+crashed shard worker (SIGKILL, torn pipe, or an exception inside the
+command loop) is respawned, restored from the latest in-memory
+snapshot, and the post-snapshot replay log is re-driven — so the
+engine's results, coverage and ``valid_at`` surfaces are **identical**
+to a run that never crashed.  Without a policy the crash surfaces as a
+typed :class:`~repro.errors.WorkerCrashError` naming the shard and the
+in-flight command, and the pool is poisoned.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.bench.experiments import Scale, _stream
+from repro.core.windows import HOUR
+from repro.engine.session import EngineConfig, StreamingGraphEngine
+from repro.errors import ExecutionError, RecoveryError, WorkerCrashError
+from repro.fault import CheckpointPolicy, FaultPlan, RetryPolicy
+from repro.workloads import QUERIES, labels_for
+
+SCALE = Scale(n_edges=240, n_vertices=40, window=6 * HOUR, slide=HOUR)
+
+#: fast recovery backoff so budget-exhaustion drills stay quick
+FAST_RETRY = RetryPolicy(max_restarts=3, backoff_base=0.01, backoff_max=0.05)
+
+
+def _supervised_config(**overrides) -> EngineConfig:
+    policy = overrides.pop(
+        "checkpoint_policy",
+        CheckpointPolicy(every_slides=4, retry=FAST_RETRY),
+    )
+    return EngineConfig(
+        shards=2,
+        shard_transport="process",
+        checkpoint_policy=policy,
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return _stream("snb", SCALE)
+
+
+def _plan(query_name="Q1"):
+    return QUERIES[query_name].plan(
+        labels_for(query_name, "snb"), SCALE.sliding_window()
+    )
+
+
+def _epoch_instants(stream):
+    slide = SCALE.sliding_window().slide
+    boundaries = sorted({(e.t // slide) * slide for e in stream})
+    return [b + slide - 1 for b in boundaries]
+
+
+def _surfaces(handle, stream):
+    # Process-transport engines have no push callbacks; the raw event
+    # stream is read back from the workers instead.
+    return {
+        "events": handle._events(),
+        "results": handle.results(),
+        "coverage": {k: tuple(v) for k, v in handle.coverage().items()},
+        "valid_at": [handle.valid_at(t) for t in _epoch_instants(stream)],
+    }
+
+
+def _run(config, stream, fault_plan=None):
+    engine = StreamingGraphEngine(config)
+    if fault_plan is not None:
+        engine.inject_faults(fault_plan)
+    handle = engine.register(_plan(), name="q")
+    engine.push_many(stream)
+    surfaces = _surfaces(handle, stream)
+    recoveries = engine.recoveries
+    engine.close()
+    return surfaces, recoveries
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    return _run(_supervised_config(), stream)
+
+
+class TestSupervisedRecovery:
+    @pytest.mark.parametrize("fault", ["kill", "tear", "raise"])
+    def test_crashed_worker_recovers_bit_identical(
+        self, stream, reference, fault
+    ):
+        plan = FaultPlan()
+        if fault == "kill":
+            plan.kill_worker(shard=1, at_command=5)
+        elif fault == "tear":
+            plan.tear_pipe(shard=1, at_command=5)
+        else:
+            plan.crash_worker(shard=1, at_command=5)
+        surfaces, recoveries = _run(
+            _supervised_config(), stream, fault_plan=plan
+        )
+        ref_surfaces, _ = reference
+        assert recoveries >= 1
+        assert surfaces == ref_surfaces
+
+    def test_crash_late_in_stream_replays_from_snapshot(
+        self, stream, reference
+    ):
+        # By command 15 (near the end of this stream's ~14 slides, past
+        # the every-4-slides cadence) at least one snapshot has been
+        # taken, so this recovery exercises restore + replay-log
+        # re-drive, not a full from-scratch replay.
+        plan = FaultPlan().kill_worker(shard=0, at_command=15)
+        surfaces, recoveries = _run(
+            _supervised_config(), stream, fault_plan=plan
+        )
+        ref_surfaces, _ = reference
+        assert recoveries == 1
+        assert surfaces == ref_surfaces
+
+    def test_retry_budget_exhaustion_raises_recovery_error(self, stream):
+        plan = FaultPlan().kill_worker(at_command=3, every_generation=True)
+        retry = RetryPolicy(max_restarts=2, backoff_base=0.01, backoff_max=0.02)
+        config = _supervised_config(
+            checkpoint_policy=CheckpointPolicy(every_slides=4, retry=retry)
+        )
+        engine = StreamingGraphEngine(config)
+        engine.inject_faults(plan)
+        engine.register(_plan(), name="q")
+        with pytest.raises(RecoveryError, match="after 2 attempt"):
+            engine.push_many(stream)
+        # The pool is poisoned: every later call fails fast and typed.
+        with pytest.raises(ExecutionError):
+            engine.push_many(stream)
+        engine.close()
+
+    def test_heartbeat_recovers_externally_killed_worker(
+        self, stream, reference
+    ):
+        cut = len(stream) // 2
+        engine = StreamingGraphEngine(_supervised_config())
+        handle = engine.register(_plan(), name="q")
+        engine.push_many(stream[:cut])
+        victim = engine._sharded._workers[1][1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        assert engine.heartbeat(timeout=2.0) == [True, True]
+        assert engine.recoveries == 1
+        engine.push_many(stream[cut:])
+        surfaces = _surfaces(handle, stream)
+        engine.close()
+        ref_surfaces, _ = reference
+        assert surfaces == ref_surfaces
+
+    def test_read_path_recovers_after_external_kill(self, stream):
+        engine = StreamingGraphEngine(_supervised_config())
+        engine.register(_plan(), name="q")
+        engine.push_many(stream)
+        before = engine.state_breakdown()
+        victim = engine._sharded._workers[0][1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        # The read request notices the dead worker and recovers inline.
+        assert engine.state_breakdown() == before
+        assert engine.recoveries == 1
+        engine.close()
+
+
+class TestUnsupervisedCrashSurface:
+    def test_crash_is_typed_with_shard_and_command(self, stream):
+        config = EngineConfig(shards=2, shard_transport="process")
+        engine = StreamingGraphEngine(config)
+        engine.inject_faults(FaultPlan().crash_worker(shard=1, at_command=4))
+        engine.register(_plan(), name="q")
+        with pytest.raises(WorkerCrashError) as excinfo:
+            engine.push_many(stream)
+        crash = excinfo.value
+        assert crash.shard == 1
+        assert crash.command == "apply"
+        assert "InjectedFault" in (crash.traceback_text or "")
+        assert "worker traceback" in str(crash)
+        # Poisoned: the pool is gone, later calls fail typed and fast.
+        with pytest.raises(ExecutionError, match="fresh engine"):
+            engine.push_many(stream)
+        engine.close()
+
+    def test_kill_is_typed_without_supervision(self, stream):
+        config = EngineConfig(shards=2, shard_transport="process")
+        engine = StreamingGraphEngine(config)
+        engine.inject_faults(FaultPlan().kill_worker(shard=0, at_command=4))
+        engine.register(_plan(), name="q")
+        with pytest.raises(WorkerCrashError):
+            engine.push_many(stream)
+        engine.close()
+
+
+class TestShutdownEscalation:
+    def test_hung_worker_is_terminated_then_killed(self, stream):
+        engine = StreamingGraphEngine(_supervised_config())
+        engine.inject_faults(FaultPlan().hang_worker(shard=1, command="stop"))
+        engine.register(_plan(), name="q")
+        engine.push_many(stream[:40])
+        runtime = engine._sharded
+        runtime._join_timeout = 0.3
+        workers = [process for _, process in runtime._workers]
+        start = time.monotonic()
+        engine.close()
+        # Escalation: stop -> join timeout -> terminate -> kill; the
+        # wedged worker cannot stall shutdown longer than a few grace
+        # periods.
+        assert time.monotonic() - start < 5.0
+        for process in workers:
+            process.join(timeout=5)
+            assert not process.is_alive()
