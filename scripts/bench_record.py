@@ -205,7 +205,10 @@ def _best(measure, repeat: int) -> dict:
 
 
 def record_table2(
-    scale: Scale, repeat: int, execution: str = "auto"
+    scale: Scale,
+    repeat: int,
+    execution: str = "auto",
+    state_layout: str = "auto",
 ) -> list[dict]:
     rows: list[dict] = []
     window = scale.sliding_window()
@@ -221,6 +224,7 @@ def record_table2(
                             stream,
                             path_impl="negative",
                             execution=execution,
+                            state_layout=state_layout,
                         ),
                         dataset,
                         query,
@@ -241,7 +245,10 @@ def record_table2(
 
 
 def record_table3(
-    scale: Scale, repeat: int, execution: str = "auto"
+    scale: Scale,
+    repeat: int,
+    execution: str = "auto",
+    state_layout: str = "auto",
 ) -> list[dict]:
     rows: list[dict] = []
     window = scale.sliding_window()
@@ -254,7 +261,11 @@ def record_table3(
                     _best(
                         lambda: _row(
                             run_sga_bench(
-                                plan, stream, path_impl=impl, execution=execution
+                                plan,
+                                stream,
+                                path_impl=impl,
+                                execution=execution,
+                                state_layout=state_layout,
                             ),
                             dataset,
                             query,
@@ -405,6 +416,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--state-layout",
+        choices=("auto", "objects", "arrays"),
+        default="auto",
+        help=(
+            "operator state layout for the SGA rows ('auto' keeps the "
+            "engine's pairing: struct-of-arrays under vector execution); "
+            "before/after pairs isolating the layout pin it, e.g. "
+            "--execution vector --state-layout objects --label "
+            "pr6-vectorized then --state-layout arrays --label "
+            "pr10-state-arrays"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="only validate the existing JSON files against the schema",
@@ -481,14 +505,17 @@ def main(argv: list[str] | None = None) -> int:
         _print_scaling(entry)
         return 0
     recorders = {"table2": record_table2, "table3": record_table3}
-    note = (
-        None
-        if args.execution == "auto"
-        else f"SGA rows recorded with execution={args.execution!r}"
-    )
+    pinned = []
+    if args.execution != "auto":
+        pinned.append(f"execution={args.execution!r}")
+    if args.state_layout != "auto":
+        pinned.append(f"state_layout={args.state_layout!r}")
+    note = f"SGA rows recorded with {', '.join(pinned)}" if pinned else None
     for table in tables:
         started = time.perf_counter()
-        rows = recorders[table](scale, args.repeat, args.execution)
+        rows = recorders[table](
+            scale, args.repeat, args.execution, args.state_layout
+        )
         entry = make_entry(args.label, scale, rows, note=note)
         doc = upsert_entry(paths[table], table, entry)
         print(

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI gate over the window-maintenance counters (batched rederivation).
+
+Every PATH operator counts its boundary maintenance
+(:func:`repro.physical.state_arrays.new_maintenance_counters`):
+``rederive_trees`` is the number of (boundary, tree) pairs with at least
+one expired node, ``rederive_passes`` the number of repair traversals
+actually run.  The batched-maintenance invariant is **one grouped repair
+per affected tree per boundary** — ``rederive_passes <= rederive_trees``
+— and a regression to per-expired-node rederivation shows up as passes
+exceeding trees, which no wall-clock smoke test at CI scale can catch.
+
+This script runs the Table 1 queries over a small stream under both
+state layouts and fails if any operator breaks the invariant, if a
+layout diverges from the other one's counters (both layouts must do the
+same maintenance work), or if the stream never exercised expiry at all
+(a silent gate is no gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.experiments import Scale, _stream  # noqa: E402
+from repro.core.windows import HOUR  # noqa: E402
+from repro.engine.session import EngineConfig, StreamingGraphEngine  # noqa: E402
+from repro.physical.state_arrays import apply_state_layout  # noqa: E402
+from repro.workloads import QUERIES, labels_for  # noqa: E402
+
+QUERY_NAMES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7")
+LAYOUTS = ("objects", "arrays")
+
+
+def collect(dataset: str, scale: Scale, layout: str) -> dict[str, dict]:
+    """Per-query summed maintenance counters after one full run."""
+    stream = _stream(dataset, scale)
+    window = scale.sliding_window()
+    out: dict[str, dict] = {}
+    for name in QUERY_NAMES:
+        plan = QUERIES[name].plan(labels_for(name, dataset), window)
+        engine = StreamingGraphEngine(
+            EngineConfig(
+                backend="sga",
+                path_impl="negative",
+                materialize_paths=False,
+                execution="vector",
+            )
+        )
+        engine.register(plan, name=name)
+        apply_state_layout(engine._graph.operators, layout)
+        engine.push_many(stream)
+        totals: dict[str, int] = {}
+        for op in engine._graph.operators:
+            counters = getattr(op, "maintenance_counters", None)
+            if counters is None:
+                continue
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        out[name] = totals
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", choices=("so", "snb"), default="snb")
+    parser.add_argument("--n-edges", type=int, default=400)
+    parser.add_argument("--n-vertices", type=int, default=40)
+    parser.add_argument("--window", type=int, default=8 * HOUR)
+    parser.add_argument("--slide", type=int, default=HOUR)
+    args = parser.parse_args(argv)
+
+    scale = Scale(
+        n_edges=args.n_edges,
+        n_vertices=args.n_vertices,
+        window=args.window,
+        slide=args.slide,
+    )
+    per_layout = {
+        layout: collect(args.dataset, scale, layout) for layout in LAYOUTS
+    }
+    failures: list[str] = []
+    exercised = 0
+    for layout, queries in per_layout.items():
+        for query, totals in queries.items():
+            trees = totals.get("rederive_trees", 0)
+            passes = totals.get("rederive_passes", 0)
+            exercised += totals.get("expired_nodes", 0)
+            if passes > trees:
+                failures.append(
+                    f"{layout}/{query}: {passes} rederivation passes > "
+                    f"{trees} affected trees (per-node rederivation "
+                    "regression)"
+                )
+            print(
+                f"{layout:>7} {query}: boundaries={totals.get('boundaries', 0)} "
+                f"expired_nodes={totals.get('expired_nodes', 0)} "
+                f"rederive_trees={trees} rederive_passes={passes}"
+            )
+    for query in QUERY_NAMES:
+        if per_layout["objects"][query] != per_layout["arrays"][query]:
+            failures.append(
+                f"{query}: layouts disagree on maintenance work — "
+                f"objects={per_layout['objects'][query]} "
+                f"arrays={per_layout['arrays'][query]}"
+            )
+    if not exercised:
+        failures.append(
+            "no nodes expired anywhere: the stream/window never exercised "
+            "the maintenance path (gate would be vacuous)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("maintenance-counter gate: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,8 @@ OPERATOR_GROUPS = {
     "physical/filter": "filter",
     "physical/union": "union",
     "physical/delta_index": "delta-index",
+    "physical/state_arrays": "state-arrays",
+    "core/inthash": "int64-table",
     "core/expiry": "timing-wheel",
     "core/interning": "interning",
     "core/columns": "columns",
@@ -71,7 +73,81 @@ def group_of(filename: str) -> str:
     return "repro/other"
 
 
-def run_queries(queries, dataset: str, scale: Scale, execution: str, repeat: int):
+#: State-machinery buckets: which share of the run is window/state
+#: maintenance rather than per-event compute.  Classified by function
+#: name (with a filename guard for the generic names), so both state
+#: layouts land in the same buckets and layout changes show up as bucket
+#: shares moving.
+_PROBE_FUNCS = {
+    "insert",
+    "remove",
+    "probe_group",
+    "probe",
+    "get",
+    "put",
+    "get_many",
+    "put_many",
+    "_pack_key",
+    "_rehash",
+}
+_DRAIN_FUNCS = {"advance", "drain_epochs", "schedule", "next_due"}
+
+
+def state_bucket_of(filename: str, funcname: str) -> str | None:
+    """``"repair"`` / ``"probe"`` / ``"rederive"`` / ``"drain"`` or None.
+
+    * repair   — the Dijkstra-style max-expiry repair traversals
+    * rederive — boundary maintenance driving those repairs (on_advance
+      and the per-tree re-derivation wrappers)
+    * probe    — hash-table state access (join tables, int64 table)
+    * drain    — expiry bookkeeping (timing wheel, purges)
+    """
+    normalized = filename.replace("\\", "/")
+    if "/repro/" not in normalized:
+        return None
+    if "repair" in funcname or funcname == "push_candidates":
+        return "repair"
+    if "rederive" in funcname or "on_advance" in funcname:
+        return "rederive"
+    if "purge" in funcname or "_expire" in funcname or "_schedule" in funcname:
+        return "drain"
+    if "core/expiry" in normalized and funcname in _DRAIN_FUNCS:
+        return "drain"
+    if (
+        "physical/join" in normalized or "core/inthash" in normalized
+    ) and funcname in _PROBE_FUNCS:
+        return "probe"
+    return None
+
+
+def collect_state_machinery(stats: pstats.Stats) -> dict[str, dict]:
+    """Seconds and call counts per state-machinery bucket."""
+    buckets: dict[str, dict] = {
+        name: {"internal_s": 0.0, "calls": 0}
+        for name in ("repair", "probe", "rederive", "drain")
+    }
+    for (filename, _lineno, funcname), (
+        _cc,
+        ncalls,
+        tottime,
+        _cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        bucket = state_bucket_of(filename, funcname)
+        if bucket is not None:
+            buckets[bucket]["internal_s"] += tottime
+            buckets[bucket]["calls"] += ncalls
+    return buckets
+
+
+def run_queries(
+    queries,
+    dataset: str,
+    scale: Scale,
+    execution: str,
+    repeat: int,
+    state_layout: str = "auto",
+):
     stream = _stream(dataset, scale)
     window = scale.sliding_window()
     plans = {
@@ -91,6 +167,10 @@ def run_queries(queries, dataset: str, scale: Scale, execution: str, repeat: int
                 )
             )
             engine.register(plan, name=name)
+            if state_layout != "auto":
+                from repro.physical.state_arrays import apply_state_layout
+
+                apply_state_layout(engine._graph.operators, state_layout)
             engine.push_many(stream)
     profile.disable()
     return pstats.Stats(profile)
@@ -144,12 +224,23 @@ def json_report(stats: pstats.Stats, args, top: int) -> dict:
                 "hottest": hottest,
             }
         )
+    machinery = collect_state_machinery(stats)
+    state = {
+        bucket: {
+            "internal_s": round(row["internal_s"], 6),
+            "share": round(row["internal_s"] / total, 6) if total else 0.0,
+            "calls": row["calls"],
+        }
+        for bucket, row in machinery.items()
+    }
     return {
         "total_internal_s": round(total, 6),
+        "state_machinery": state,
         "config": {
             "query": args.query or "all",
             "dataset": args.dataset,
             "execution": args.execution,
+            "state_layout": args.state_layout,
             "n_edges": args.n_edges,
             "n_vertices": args.n_vertices,
             "window": args.window,
@@ -172,6 +263,18 @@ def report_per_operator(stats: pstats.Stats, top: int) -> None:
             print(
                 f"      {tottime:7.3f}s  {ncalls:>8}x  {funcname} (:{lineno})"
             )
+
+    machinery = collect_state_machinery(stats)
+    print("\n== state machinery ==")
+    for bucket, row in sorted(
+        machinery.items(), key=lambda kv: -kv[1]["internal_s"]
+    ):
+        seconds = row["internal_s"]
+        share = seconds / total if total else 0.0
+        print(
+            f"  {bucket:<10} {seconds:7.3f}s  ({share:5.1%})  "
+            f"{row['calls']:>9} calls"
+        )
 
     print(f"\n== global top {top} by internal time ==")
     stats.sort_stats("tottime").print_stats(top)
@@ -196,6 +299,14 @@ def main(argv: list[str] | None = None) -> int:
         "is importable, columnar otherwise)",
     )
     parser.add_argument(
+        "--state-layout",
+        choices=("auto", "objects", "arrays"),
+        default="auto",
+        help="operator state layout to profile ('auto' keeps the "
+        "engine's pairing — struct-of-arrays under vector execution); "
+        "profile both to compare the state-machinery bucket shares",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit one JSON document (per-operator cumulative internal "
@@ -210,7 +321,14 @@ def main(argv: list[str] | None = None) -> int:
         slide=args.slide,
     )
     queries = (args.query,) if args.query else QUERY_NAMES
-    stats = run_queries(queries, args.dataset, scale, args.execution, args.repeat)
+    stats = run_queries(
+        queries,
+        args.dataset,
+        scale,
+        args.execution,
+        args.repeat,
+        args.state_layout,
+    )
     if args.json:
         json.dump(json_report(stats, args, args.top), sys.stdout, indent=2)
         print()

@@ -114,6 +114,33 @@ class TimingWheel:
             drained.extend(fine.pop(heapq.heappop(exps)))
         return drained
 
+    def drain_epochs(self, t: int) -> list:
+        """Bulk epoch drain: every due bucket at once, grouped by instant.
+
+        Returns ``[(exp, items), ...]`` for each distinct expiry instant
+        ``exp <= t`` in nondecreasing order; ``items`` is the bucket's
+        own FIFO list, handed over without copying (ownership transfers
+        to the caller).  Flattening the groups reproduces
+        :meth:`advance` exactly — this is the batched-maintenance entry
+        point: one call hands an operator *all* expiries for a window
+        boundary, so it can group repair work per epoch (or per tree)
+        instead of discovering expiries one item at a time.
+        """
+        if t > self._now:
+            self._now = t
+            if self._coarse:
+                self._cascade(t)
+        exps = self._fine_exps
+        if not exps or exps[0] > t:
+            return []
+        fine = self.fine
+        heappop = heapq.heappop
+        epochs: list = []
+        while exps and exps[0] <= t:
+            exp = heappop(exps)
+            epochs.append((exp, fine.pop(exp)))
+        return epochs
+
     def _cascade(self, t: int) -> None:
         """Move coarse buckets entering the fine horizon down a level.
 

@@ -1,0 +1,256 @@
+"""Int64 open-addressing hash table for interned-key operator state.
+
+Under interned execution every hot key is a dense non-negative ``int64``
+(vertex ids from :mod:`repro.core.interning`, or a few of them packed
+into one word).  Dict-of-tuple state pays a tuple allocation plus a
+tuple hash per operation on such keys; this module provides the
+arrangement-style alternative: a flat open-addressing table mapping
+``int64 → int`` with the key and value columns stored as parallel
+arrays — numpy ``int64`` ndarrays when the vector extra is installed,
+plain Python lists otherwise (gated through :mod:`repro.core.nplib`,
+same policy as every other kernel).
+
+Design notes:
+
+* **Fibonacci hashing** (multiply by the 64-bit golden-ratio constant,
+  take the top bits) spreads the dense, low-entropy interned ids across
+  the table; probing is linear with wraparound.
+* **Deletions** leave tombstones; a rehash (growth or same-size sweep)
+  drops them.  Load factor including tombstones is kept under 2/3.
+* **Scalar ops** (:meth:`get` / :meth:`put` / :meth:`delete`) are plain
+  Python loops — on single keys a CPython ``dict`` is unbeatable, and
+  the point of this table is not to race it one key at a time.  The
+  win is the **batched ops**: :meth:`get_many` probes a whole key
+  column with vectorized array arithmetic (one multiply/shift/gather
+  per probe round for the entire batch), which is what the batched
+  insert-and-probe join kernel and bulk state rebuilds consume.
+* Iteration order over :meth:`items` is table order, **not** insertion
+  order — nothing order-sensitive (snapshots, drain paths) may iterate
+  this table; owners keep their own insertion-ordered sidecars.
+
+Keys must be non-negative (``-1`` / ``-2`` are the internal
+empty/tombstone sentinels); values are arbitrary ints ≥ 0 with ``-1``
+reserved as the caller-visible "missing" default.
+"""
+
+from __future__ import annotations
+
+from repro.core.nplib import HAVE_NUMPY, np
+
+__all__ = ["Int64Table", "pack2", "pack3", "PACK_LIMIT"]
+
+_MASK64 = (1 << 64) - 1
+#: 2**64 / golden ratio, the classic Fibonacci-hashing multiplier.
+_PHI = 0x9E3779B97F4A7C15
+_EMPTY = -1
+_TOMBSTONE = -2
+
+#: Component bound for :func:`pack2` / :func:`pack3` (21 bits each):
+#: three packed components stay below 2**63.
+PACK_LIMIT = 1 << 21
+
+
+def pack2(a: int, b: int) -> int:
+    """Two interned ids as one int64 key (components < :data:`PACK_LIMIT`)."""
+    return (a << 21) | b
+
+
+def pack3(a: int, b: int, c: int) -> int:
+    """Three interned ids as one int64 key (components < :data:`PACK_LIMIT`)."""
+    return (a << 42) | (b << 21) | c
+
+
+class Int64Table:
+    """Open-addressing map ``int64 → int`` over parallel key/value columns.
+
+    ``backend`` is ``"auto"`` (numpy when available), ``"numpy"`` or
+    ``"python"`` — the python backend runs the identical algorithm over
+    plain lists, so the property tests exercise the same probe sequences
+    on both.
+    """
+
+    __slots__ = ("_keys", "_vals", "_cap", "_shift", "_size", "_used", "_numpy")
+
+    def __init__(self, capacity: int = 16, backend: str = "auto"):
+        if backend == "auto":
+            use_numpy = HAVE_NUMPY
+        elif backend == "numpy":
+            if not HAVE_NUMPY:
+                raise ImportError("Int64Table(backend='numpy') requires numpy")
+            use_numpy = True
+        elif backend == "python":
+            use_numpy = False
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self._numpy = use_numpy
+        cap = 8
+        while cap < capacity:
+            cap <<= 1
+        self._alloc(cap)
+
+    def _alloc(self, cap: int) -> None:
+        self._cap = cap
+        self._shift = 64 - cap.bit_length() + 1  # cap = 2**k → shift 64-k
+        self._size = 0  # live entries
+        self._used = 0  # live + tombstones
+        if self._numpy:
+            self._keys = np.full(cap, _EMPTY, dtype=np.int64)
+            self._vals = np.zeros(cap, dtype=np.int64)
+        else:
+            self._keys = [_EMPTY] * cap
+            self._vals = [0] * cap
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) != -1
+
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+    def get(self, key: int, default: int = -1) -> int:
+        """The value stored under ``key`` (``default`` when absent)."""
+        keys = self._keys
+        mask = self._cap - 1
+        idx = ((key * _PHI) & _MASK64) >> self._shift
+        while True:
+            stored = keys[idx]
+            if stored == key:
+                return int(self._vals[idx])
+            if stored == _EMPTY:
+                return default
+            idx = (idx + 1) & mask
+
+    def put(self, key: int, value: int) -> None:
+        """Insert ``key → value`` (overwrites an existing entry)."""
+        if key < 0:
+            raise ValueError(f"Int64Table keys must be non-negative, got {key}")
+        if (self._used + 1) * 3 >= self._cap * 2:
+            self._rehash()
+        keys = self._keys
+        mask = self._cap - 1
+        idx = ((key * _PHI) & _MASK64) >> self._shift
+        grave = -1
+        while True:
+            stored = keys[idx]
+            if stored == key:
+                self._vals[idx] = value
+                return
+            if stored == _EMPTY:
+                if grave >= 0:
+                    idx = grave  # reuse the tombstone slot
+                else:
+                    self._used += 1
+                keys[idx] = key
+                self._vals[idx] = value
+                self._size += 1
+                return
+            if stored == _TOMBSTONE and grave < 0:
+                grave = idx
+            idx = (idx + 1) & mask
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; ``False`` when it was absent."""
+        keys = self._keys
+        mask = self._cap - 1
+        idx = ((key * _PHI) & _MASK64) >> self._shift
+        while True:
+            stored = keys[idx]
+            if stored == key:
+                keys[idx] = _TOMBSTONE
+                self._size -= 1
+                return True
+            if stored == _EMPTY:
+                return False
+            idx = (idx + 1) & mask
+
+    def _rehash(self) -> None:
+        """Grow (or sweep tombstones) into a fresh table."""
+        old_keys, old_vals = self._keys, self._vals
+        old_cap = self._cap
+        # Grow only when live entries justify it; a tombstone-heavy
+        # table rehashes at the same capacity.
+        cap = old_cap * 2 if (self._size + 1) * 3 >= old_cap * 2 else old_cap
+        self._alloc(cap)
+        keys = self._keys
+        vals = self._vals
+        mask = cap - 1
+        shift = self._shift
+        size = 0
+        for i in range(old_cap):
+            key = old_keys[i]
+            if key < 0:
+                continue
+            key = int(key)
+            idx = ((key * _PHI) & _MASK64) >> shift
+            while keys[idx] != _EMPTY:
+                idx = (idx + 1) & mask
+            keys[idx] = key
+            vals[idx] = old_vals[i]
+            size += 1
+        self._size = size
+        self._used = size
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+    def get_many(self, keys):
+        """Values for a whole key column (``-1`` where absent).
+
+        Numpy backend: vectorized probing — every unresolved key
+        advances one linear-probe step per round, with one hash /
+        gather / compare over the entire batch per round.  Python
+        backend (or list input): scalar fallback loop.  Returns an
+        ``int64`` ndarray (numpy backend with array input) or a list.
+        """
+        if self._numpy and np is not None and not isinstance(keys, list):
+            probe = np.asarray(keys, dtype=np.int64)
+            n = probe.shape[0]
+            out = np.full(n, -1, dtype=np.int64)
+            if n == 0:
+                return out
+            mask_cap = np.uint64(self._cap - 1)
+            idx = (
+                (probe.astype(np.uint64) * np.uint64(_PHI))
+                >> np.uint64(self._shift)
+            ).astype(np.int64)
+            pending = np.arange(n)
+            table_keys = self._keys
+            table_vals = self._vals
+            while pending.shape[0]:
+                slots = idx[pending]
+                stored = table_keys[slots]
+                wanted = probe[pending]
+                hit = stored == wanted
+                if hit.any():
+                    rows = pending[hit]
+                    out[rows] = table_vals[slots[hit]]
+                # Keys neither found nor provably absent probe onward.
+                unresolved = ~hit & (stored != _EMPTY)
+                pending = pending[unresolved]
+                if pending.shape[0]:
+                    idx[pending] = (
+                        (idx[pending] + 1).astype(np.uint64) & mask_cap
+                    ).astype(np.int64)
+            return out
+        get = self.get
+        return [get(int(key)) for key in keys]
+
+    def put_many(self, keys, values) -> None:
+        """Bulk insert/overwrite (scalar loop — insertion order is
+        semantically relevant for duplicate keys, so batches are not
+        reordered)."""
+        put = self.put
+        for key, value in zip(keys, values):
+            put(int(key), int(value))
+
+    def items(self):
+        """Live ``(key, value)`` pairs in *table* order (diagnostics /
+        tests only — not insertion order; see module docstring)."""
+        keys = self._keys
+        vals = self._vals
+        for i in range(self._cap):
+            key = keys[i]
+            if key >= 0:
+                yield int(key), int(vals[i])

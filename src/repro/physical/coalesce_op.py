@@ -267,15 +267,19 @@ class CoalesceOp(PhysicalOperator):
             self._cover[key] = cover(existing + [Interval(ts, exp)])
 
     def on_advance(self, t: int) -> None:
-        fired = self._wheel.advance(t)
-        if not fired:
+        # Bulk epoch drain: one wheel call hands over every due bucket;
+        # a key scheduled at several due instants is examined once.
+        epochs = self._wheel.drain_epochs(t)
+        if not epochs:
             return
         seen: set[tuple] = set()
-        for key in fired:
-            if key in seen:
-                continue
-            seen.add(key)
-            self._expire_key(key, t)
+        expire = self._expire_key
+        for _, fired in epochs:
+            for key in fired:
+                if key in seen:
+                    continue
+                seen.add(key)
+                expire(key, t)
 
     def _expire_key(self, key: tuple, t: int) -> None:
         """Drop this key's pieces/ledger entries with ``exp <= t``;

@@ -502,6 +502,23 @@ class ColumnarPathIngest:
                 else:
                     self._delete(src[i], dst[i], label, Interval(ts[i], exp[i]))
 
+    def _consume_columns_arr(self, cols, signs, label: Label) -> None:
+        """Arrays-layout variant of :meth:`_consume_columns`: validity
+        travels as two scalars straight into the array adjacency — no
+        Interval is allocated per ingested edge.  Installed as the
+        instance's ``_consume_columns`` by ``configure_state_layout``."""
+        src, dst, ts, exp = cols.row_lists()
+        if signs is None:
+            insert = self._insert_arr
+            for i in range(len(src)):
+                insert(src[i], dst[i], label, ts[i], exp[i])
+        else:
+            for i in range(len(src)):
+                if signs[i] == INSERT:
+                    self._insert_arr(src[i], dst[i], label, ts[i], exp[i])
+                else:
+                    self._delete_arr(src[i], dst[i], label, ts[i], exp[i])
+
     def _schedule_expiry(self, root, key: NodeKey, exp: int) -> None:
         wheel = self._node_expiry
         bucket = wheel.fine.get(exp)

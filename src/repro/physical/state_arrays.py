@@ -1,0 +1,731 @@
+"""Array-backed operator state: struct-of-arrays Δ-forest + flat-scalar
+window adjacency (the ``state_layout="arrays"`` kernels).
+
+PR 6 vectorized the *per-row* path and measured ~1×: profiling showed the
+cost lives in per-object state machinery — one ``TreeNode`` / ``Interval``
+heap object per unit of state, attribute loads in every traversal step,
+and expiry handled one node at a time.  This module restructures the hot
+state the way differential-dataflow arrangements do:
+
+* :class:`ArraySpanningTree` stores the spanning forest as parallel
+  columns (``ts`` / ``exp`` / ``parent`` / ``via`` / ``children``)
+  indexed by a slot number, with an insertion-ordered ``slots`` dict
+  mapping node keys to slots.  Traversals read plain ``int`` list cells
+  instead of dereferencing per-node objects; freed slots are recycled
+  through a free list.
+* :class:`ArrayAdjacency` keeps the windowed snapshot graph's interval
+  multisets as flat ``[ts0, exp0, ts1, exp1, ...]`` int lists — no
+  :class:`~repro.core.intervals.Interval` allocation per stored edge,
+  and the max-expiry scans inside Expand/repair read two ints per
+  candidate instead of two attributes.  Purging consumes the timing
+  wheel's bulk :meth:`~repro.core.expiry.TimingWheel.drain_epochs`.
+* :func:`repair_nodes_arrays` is the Dijkstra-style max-expiry
+  re-derivation over the array forest — same candidate ordering, same
+  settle/guard logic as :func:`repro.physical.delta_index.repair_nodes`,
+  so the two layouts produce bit-identical repairs.
+
+**Parity contract.**  The array layout must be observationally identical
+to the object layout (``execution="rows"``/``"columnar"`` keep the old
+structures precisely as golden references):
+
+* every container that a traversal iterates keeps the object layout's
+  iteration order — adjacency groups stay keyed by ``(label, vertex)``
+  pairs in first-insertion order (a label-major regrouping would change
+  Expand's discovery order, and the expand-only operator keeps the
+  *first* derivation found), and the forest's ``slots`` /
+  ``children`` dicts are insertion-ordered exactly like
+  ``SpanningTree.nodes`` / ``TreeNode.children``;
+* ``snapshot_state`` produces the *same blob shape* as the object
+  structures, so a pre-arrays checkpoint restores into the array layout
+  (and vice versa) without a migration step — slot numbers are never
+  serialized, only key-ordered node sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Callable
+
+from repro.core.expiry import TimingWheel
+from repro.core.intervals import FOREVER, Interval
+from repro.core.tuples import EdgePayload, Label, PathPayload, Vertex
+from repro.errors import ExecutionError
+from repro.regex.dfa import DFA
+
+NodeKey = tuple[Vertex, int]
+
+__all__ = [
+    "ArrayAdjacency",
+    "ArraySpanningTree",
+    "ArrayPathIndex",
+    "repair_nodes_arrays",
+    "apply_state_layout",
+    "new_maintenance_counters",
+    "STATE_LAYOUTS",
+]
+
+#: The two supported layouts: ``"objects"`` is the historical
+#: object-per-node representation (golden reference), ``"arrays"`` this
+#: module's struct-of-arrays representation.
+STATE_LAYOUTS = ("objects", "arrays")
+
+
+def new_maintenance_counters() -> dict:
+    """Window-maintenance counters kept by both PATH operators.
+
+    Pure counts (never timings) so CI can gate on them deterministically:
+    the batched-maintenance invariant is ``rederive_passes ==
+    rederive_trees`` — one grouped repair per affected tree per window
+    boundary — with ``expired_nodes`` recording how many per-node repairs
+    the grouping replaced.  S-PATH's direct approach runs no boundary
+    repairs, so its ``rederive_*`` counters stay zero by construction.
+    """
+    return {
+        "boundaries": 0,  # advances that found at least one expired node
+        "drained_entries": 0,  # wheel entries drained (incl. stale)
+        "expired_nodes": 0,  # distinct nodes confirmed expired
+        "rederive_trees": 0,  # trees with >= 1 expired node
+        "rederive_passes": 0,  # repair traversals actually run
+    }
+
+
+def apply_state_layout(operators, layout: str) -> int:
+    """Switch every layout-aware operator in ``operators`` to ``layout``.
+
+    Called by the engine right after compiling a dataflow (and by each
+    shard after compiling its copy).  Operators without a
+    ``configure_state_layout`` hook are untouched; already-configured
+    operators are skipped (dataflow graphs share operators across
+    queries, so a second registration revisits configured nodes).
+    Returns the number of operators switched.
+    """
+    if layout not in STATE_LAYOUTS:
+        raise ExecutionError(f"unknown state layout {layout!r}")
+    switched = 0
+    for op in operators:
+        configure = getattr(op, "configure_state_layout", None)
+        if configure is not None and configure(layout):
+            switched += 1
+    return switched
+
+
+class ArrayAdjacency:
+    """Windowed snapshot graph with flat-scalar interval storage.
+
+    Drop-in replacement for
+    :class:`~repro.physical.delta_index.WindowAdjacency` on the array
+    hot path: groups stay keyed by ``(label, other_vertex)`` pairs in
+    first-insertion order (traversal-order parity — see module
+    docstring), but each group's interval multiset is one flat
+    ``[ts0, exp0, ts1, exp1, ...]`` int list, appended to in arrival
+    order.  The hot entry points take scalar ``ts`` / ``exp`` — no
+    Interval is allocated per stored edge.
+    """
+
+    __slots__ = ("_out", "_in", "_expiry", "_size")
+
+    def __init__(self) -> None:
+        self._out: dict[Vertex, dict[tuple[Label, Vertex], list[int]]] = (
+            defaultdict(dict)
+        )
+        self._in: dict[Vertex, dict[tuple[Label, Vertex], list[int]]] = (
+            defaultdict(dict)
+        )
+        self._expiry = TimingWheel()
+        self._size = 0
+
+    def add(self, u: Vertex, v: Vertex, label: Label, ts: int, exp: int) -> None:
+        out_group = self._out[u]
+        out_key = (label, v)
+        rows = out_group.get(out_key)
+        if rows is None:
+            out_group[out_key] = rows = []
+        rows.append(ts)
+        rows.append(exp)
+        in_group = self._in[v]
+        in_key = (label, u)
+        rows = in_group.get(in_key)
+        if rows is None:
+            in_group[in_key] = rows = []
+        rows.append(ts)
+        rows.append(exp)
+        self._size += 1
+        wheel = self._expiry
+        bucket = wheel.fine.get(exp)
+        if bucket is not None:
+            bucket.append((u, label, v))
+        else:
+            wheel.schedule(exp, (u, label, v))
+
+    def remove(self, u: Vertex, v: Vertex, label: Label, ts: int, exp: int) -> bool:
+        """Remove one occurrence of the exact ``[ts, exp)``; False if absent."""
+        out_rows = self._out.get(u, {}).get((label, v))
+        if not out_rows:
+            return False
+        found = -1
+        for i in range(0, len(out_rows), 2):
+            if out_rows[i] == ts and out_rows[i + 1] == exp:
+                found = i
+                break
+        if found < 0:
+            return False
+        del out_rows[found : found + 2]
+        if not out_rows:
+            del self._out[u][(label, v)]
+        in_rows = self._in[v][(label, u)]
+        for i in range(0, len(in_rows), 2):
+            if in_rows[i] == ts and in_rows[i + 1] == exp:
+                del in_rows[i : i + 2]
+                break
+        if not in_rows:
+            del self._in[v][(label, u)]
+        self._size -= 1
+        return True
+
+    def out_group(self, u: Vertex) -> "dict[tuple[Label, Vertex], list[int]] | None":
+        """Raw ``(label, v) -> flat ts/exp pairs`` out-group (hot-path view)."""
+        return self._out.get(u)
+
+    def in_group(self, v: Vertex) -> "dict[tuple[Label, Vertex], list[int]] | None":
+        """Raw ``(label, u) -> flat ts/exp pairs`` in-group (hot-path view)."""
+        return self._in.get(v)
+
+    def out_edges(self, u: Vertex, now: int) -> list[tuple[Label, Vertex, Interval]]:
+        """Edges leaving ``u`` valid at ``now`` (max-expiry per edge);
+        diagnostic/compat surface — hot loops scan groups inline."""
+        group = self._out.get(u)
+        result: list[tuple[Label, Vertex, Interval]] = []
+        if not group:
+            return result
+        for (label, v), rows in group.items():
+            best_ts = -1
+            best_exp = now
+            for i in range(0, len(rows), 2):
+                exp = rows[i + 1]
+                if exp > best_exp and rows[i] <= now:
+                    best_ts = rows[i]
+                    best_exp = exp
+            if best_ts >= 0:
+                result.append((label, v, Interval(best_ts, best_exp)))
+        return result
+
+    def purge(self, t: int) -> None:
+        """Drop every stored pair with ``exp <= t``, one bulk epoch drain.
+
+        Work is proportional to what expired; the per-epoch grouping from
+        :meth:`~repro.core.expiry.TimingWheel.drain_epochs` lets the
+        dedup set stay scoped to the drained entries exactly like the
+        object layout's ``set(drained)``.
+        """
+        epochs = self._expiry.drain_epochs(t)
+        if not epochs:
+            return
+        seen: set = set()
+        out = self._out
+        inn = self._in
+        for _, items in epochs:
+            for entry in items:
+                if entry in seen:
+                    continue
+                seen.add(entry)
+                u, label, v = entry
+                out_rows = out.get(u, {}).get((label, v))
+                if not out_rows:
+                    continue
+                kept: list[int] = []
+                for i in range(0, len(out_rows), 2):
+                    if out_rows[i + 1] > t:
+                        kept.append(out_rows[i])
+                        kept.append(out_rows[i + 1])
+                dropped = (len(out_rows) - len(kept)) // 2
+                if dropped == 0:
+                    continue
+                self._size -= dropped
+                if kept:
+                    out[u][(label, v)] = kept
+                    inn[v][(label, u)] = kept[:]
+                else:
+                    del out[u][(label, v)]
+                    del inn[v][(label, u)]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Checkpointing — same blob shape as WindowAdjacency
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        def encode(index):
+            return [
+                (
+                    vertex,
+                    [
+                        (
+                            label,
+                            other,
+                            [
+                                (rows[i], rows[i + 1])
+                                for i in range(0, len(rows), 2)
+                            ],
+                        )
+                        for (label, other), rows in groups.items()
+                    ],
+                )
+                for vertex, groups in index.items()
+            ]
+
+        return {
+            "out": encode(self._out),
+            "in": encode(self._in),
+            "wheel": self._expiry.snapshot(),
+            "size": self._size,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        def decode(entries):
+            index: dict = defaultdict(dict)
+            for vertex, groups in entries:
+                group = index[vertex]
+                for label, other, rows in groups:
+                    flat: list[int] = []
+                    for ts, exp in rows:
+                        flat.append(ts)
+                        flat.append(exp)
+                    group[(label, other)] = flat
+            return index
+
+        self._out = decode(state["out"])
+        self._in = decode(state["in"])
+        self._expiry = TimingWheel()
+        self._expiry.restore(state["wheel"])
+        self._size = state["size"]
+
+
+class ArraySpanningTree:
+    """Spanning tree ``T_x`` as struct-of-arrays columns.
+
+    ``slots`` maps node keys to slot numbers in insertion order (the
+    analogue of ``SpanningTree.nodes``); the parallel ``ts`` / ``exp`` /
+    ``parent`` / ``via`` / ``children`` columns hold the node fields at
+    that slot.  Freed slots go on a free list and are recycled — slot
+    numbers are internal and never serialized, so recycling cannot leak
+    into checkpoint blobs or iteration order.
+    """
+
+    __slots__ = (
+        "root_vertex",
+        "root",
+        "slots",
+        "ts",
+        "exp",
+        "parent",
+        "via",
+        "children",
+        "_free",
+    )
+
+    def __init__(self, root_vertex: Vertex, start_state: int):
+        self.root_vertex = root_vertex
+        self.root: NodeKey = (root_vertex, start_state)
+        # Slot 0 is the root: a zero-length path, always valid.
+        self.slots: dict[NodeKey, int] = {self.root: 0}
+        self.ts: list[int] = [0]
+        self.exp: list[int] = [FOREVER]
+        self.parent: list[NodeKey | None] = [None]
+        self.via: list[Label | None] = [None]
+        self.children: list[dict[NodeKey, None]] = [{}]
+        self._free: list[int] = []
+
+    def __contains__(self, key: NodeKey) -> bool:
+        return key in self.slots
+
+    def add_child(
+        self,
+        parent_key: NodeKey,
+        child_key: NodeKey,
+        ts: int,
+        exp: int,
+        via_label: Label,
+    ) -> int:
+        slots = self.slots
+        if child_key in slots:
+            raise ExecutionError(f"node {child_key} already in tree {self.root}")
+        pslot = slots[parent_key]
+        free = self._free
+        if free:
+            slot = free.pop()
+            self.ts[slot] = ts
+            self.exp[slot] = exp
+            self.parent[slot] = parent_key
+            self.via[slot] = via_label
+            self.children[slot] = {}
+        else:
+            slot = len(self.ts)
+            self.ts.append(ts)
+            self.exp.append(exp)
+            self.parent.append(parent_key)
+            self.via.append(via_label)
+            self.children.append({})
+        slots[child_key] = slot
+        self.children[pslot][child_key] = None
+        return slot
+
+    def reparent(
+        self, child_key: NodeKey, new_parent_key: NodeKey, via_label: Label
+    ) -> None:
+        slots = self.slots
+        slot = slots[child_key]
+        old_parent = self.parent[slot]
+        if old_parent is not None:
+            old_pslot = slots.get(old_parent)
+            if old_pslot is not None:
+                self.children[old_pslot].pop(child_key, None)
+        self.parent[slot] = new_parent_key
+        self.via[slot] = via_label
+        self.children[slots[new_parent_key]][child_key] = None
+
+    def remove_subtree(self, key: NodeKey) -> list[NodeKey]:
+        """Detach and remove ``key`` and all its descendants; returns the
+        removed keys (callers unregister them from the inverted index)."""
+        slots = self.slots
+        slot = slots.get(key)
+        if slot is None:
+            return []
+        if key == self.root:
+            raise ExecutionError("cannot remove the root of a spanning tree")
+        parent_key = self.parent[slot]
+        if parent_key is not None:
+            pslot = slots.get(parent_key)
+            if pslot is not None:
+                self.children[pslot].pop(key, None)
+        removed: list[NodeKey] = []
+        free = self._free
+        children = self.children
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            cur_slot = slots.pop(current, None)
+            if cur_slot is None:
+                continue
+            removed.append(current)
+            stack.extend(children[cur_slot])
+            children[cur_slot] = {}  # drop key references from the column
+            free.append(cur_slot)
+        return removed
+
+    def reset(self, root_vertex: Vertex) -> None:
+        """Re-root a *trivial* (size-1) tree for pooled reuse — O(1).
+
+        Only slot 0 is live in a trivial tree and slot 0 is never
+        recycled (the root is unremovable), so its columns still hold
+        the root sentinels; the free list and column capacity are kept,
+        which is the point of pooling.
+        """
+        self.root_vertex = root_vertex
+        self.root = (root_vertex, self.root[1])
+        self.slots.clear()
+        self.slots[self.root] = 0
+        self.children[0].clear()
+
+    def path_to(self, key: NodeKey) -> PathPayload:
+        """Materialize the path from the root to ``key`` (parent walk)."""
+        hops: list[EdgePayload] = []
+        slots = self.slots
+        parent_col = self.parent
+        via_col = self.via
+        current = key
+        while True:
+            slot = slots[current]
+            parent_key = parent_col[slot]
+            if parent_key is None:
+                break
+            via_label = via_col[slot]
+            assert via_label is not None
+            hops.append(EdgePayload(parent_key[0], current[0], via_label))
+            current = parent_key
+        hops.reverse()
+        return PathPayload(tuple(hops))
+
+    def size(self) -> int:
+        return len(self.slots)
+
+
+class ArrayPathIndex:
+    """Array-forest counterpart of
+    :class:`~repro.physical.delta_index.DeltaPathIndex` (same inverted
+    index, same checkpoint blob shape)."""
+
+    #: dropped trivial trees kept for reuse — tree churn (drop on the
+    #: last expiry, re-create on the next edge) otherwise re-allocates
+    #: five columns per tree; capped so pooled column capacity cannot
+    #: grow without bound
+    _POOL_MAX = 32
+
+    def __init__(self, start_state: int):
+        self.start_state = start_state
+        self.trees: dict[Vertex, ArraySpanningTree] = {}
+        self._inverted: dict[NodeKey, dict[Vertex, None]] = defaultdict(dict)
+        self._pool: list[ArraySpanningTree] = []
+
+    def tree(self, root_vertex: Vertex) -> ArraySpanningTree | None:
+        return self.trees.get(root_vertex)
+
+    def ensure_tree(self, root_vertex: Vertex) -> ArraySpanningTree:
+        tree = self.trees.get(root_vertex)
+        if tree is None:
+            pool = self._pool
+            if pool:
+                tree = pool.pop()
+                tree.reset(root_vertex)
+            else:
+                tree = ArraySpanningTree(root_vertex, self.start_state)
+            self.trees[root_vertex] = tree
+            self.register(root_vertex, tree.root)
+        return tree
+
+    def register(self, root_vertex: Vertex, key: NodeKey) -> None:
+        self._inverted[key][root_vertex] = None
+
+    def unregister(self, root_vertex: Vertex, key: NodeKey) -> None:
+        roots = self._inverted.get(key)
+        if roots is not None:
+            roots.pop(root_vertex, None)
+            if not roots:
+                del self._inverted[key]
+
+    def roots_containing(self, key: NodeKey) -> tuple[Vertex, ...]:
+        return tuple(self._inverted.get(key, ()))
+
+    def drop_tree_if_trivial(self, root_vertex: Vertex) -> None:
+        tree = self.trees.get(root_vertex)
+        if tree is not None and len(tree.slots) == 1:
+            self.unregister(root_vertex, tree.root)
+            del self.trees[root_vertex]
+            if len(self._pool) < self._POOL_MAX:
+                self._pool.append(tree)
+
+    def state_size(self) -> int:
+        return sum(len(tree.slots) for tree in self.trees.values())
+
+    # ------------------------------------------------------------------
+    # Checkpointing — same blob shape as DeltaPathIndex
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        trees = []
+        for root_vertex, tree in self.trees.items():
+            ts_col = tree.ts
+            exp_col = tree.exp
+            parent_col = tree.parent
+            via_col = tree.via
+            children_col = tree.children
+            nodes = [
+                (
+                    key,
+                    ts_col[slot],
+                    exp_col[slot],
+                    parent_col[slot],
+                    via_col[slot],
+                    list(children_col[slot]),
+                )
+                for key, slot in tree.slots.items()
+            ]
+            trees.append((root_vertex, nodes))
+        inverted = [
+            (key, list(roots)) for key, roots in self._inverted.items()
+        ]
+        return {
+            "start_state": self.start_state,
+            "trees": trees,
+            "inverted": inverted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.start_state = state["start_state"]
+        self.trees = {}
+        self._pool = []
+        for root_vertex, nodes in state["trees"]:
+            tree = ArraySpanningTree(root_vertex, self.start_state)
+            tree.slots = {}
+            tree.ts = []
+            tree.exp = []
+            tree.parent = []
+            tree.via = []
+            tree.children = []
+            for key, ts, exp, parent, via_label, children in nodes:
+                slot = len(tree.ts)
+                tree.slots[tuple(key)] = slot
+                tree.ts.append(ts)
+                tree.exp.append(exp)
+                tree.parent.append(tuple(parent) if parent is not None else None)
+                tree.via.append(via_label)
+                tree.children.append(
+                    dict.fromkeys(tuple(child) for child in children)
+                )
+            self.trees[root_vertex] = tree
+        self._inverted = defaultdict(dict)
+        for key, roots in state["inverted"]:
+            self._inverted[tuple(key)] = dict.fromkeys(roots)
+
+
+def repair_nodes_arrays(
+    tree: ArraySpanningTree,
+    marked: set[NodeKey],
+    adjacency: ArrayAdjacency,
+    dfa: DFA,
+    reverse: dict[tuple[Label, int], list[int]],
+    now: int,
+    on_fix: Callable[[NodeKey, int], None],
+    on_remove: Callable[[NodeKey, int], None],
+) -> None:
+    """Max-expiry re-derivation over the array forest.
+
+    Structurally identical to
+    :func:`repro.physical.delta_index.repair_nodes` — same candidate
+    heap ordering ``(-exp, ts, child, parent, label)``, same settled-set
+    and best-pushed-expiry guards, same final removal sweep — with node
+    fields read from the tree's columns instead of ``TreeNode``
+    attributes and intervals scanned as flat scalar pairs.  ``on_fix`` /
+    ``on_remove`` receive ``(key, slot)``.
+    """
+    if not marked:
+        return
+
+    heap: list[tuple[int, int, NodeKey, NodeKey, Label]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    slots = tree.slots
+    slots_get = slots.get
+    ts_col = tree.ts
+    exp_col = tree.exp
+    parent_col = tree.parent
+    children_col = tree.children
+    reverse_get = reverse.get
+    in_group = adjacency.in_group
+    out_group = adjacency.out_group
+    root = tree.root
+    settled: set[NodeKey] = set()
+    best_exp: dict[NodeKey, int] = {}
+
+    def push_candidates(child_key: NodeKey) -> None:
+        vertex, state = child_key
+        group = in_group(vertex)
+        if not group:
+            return
+        for (label, prev_vertex), rows in group.items():
+            states = reverse_get((label, state))
+            if not states:
+                continue
+            # Best (max-expiry) pair valid at `now`, inline over scalars.
+            found_ts = -1
+            found_exp = now
+            for i in range(0, len(rows), 2):
+                exp = rows[i + 1]
+                if exp > found_exp and rows[i] <= now:
+                    found_ts = rows[i]
+                    found_exp = exp
+            if found_ts < 0:
+                continue
+            for prev_state in states:
+                parent_key = (prev_vertex, prev_state)
+                if parent_key in marked or parent_key == child_key:
+                    continue
+                pslot = slots_get(parent_key)
+                if pslot is None:
+                    continue
+                parent_exp = exp_col[pslot]
+                if parent_exp <= now and parent_key != root:
+                    continue
+                exp = parent_exp
+                if found_exp < exp:
+                    exp = found_exp
+                if exp > now:
+                    recorded = best_exp.get(child_key, now)
+                    if exp < recorded:
+                        continue  # a better candidate is already queued
+                    best_exp[child_key] = exp
+                    parent_ts = ts_col[pslot]
+                    ts = parent_ts if parent_ts >= found_ts else found_ts
+                    heappush(heap, (-exp, ts, child_key, parent_key, label))
+
+    for key in marked:
+        push_candidates(key)
+
+    dfa_delta = dfa.delta
+    while heap:
+        neg_exp, ts, child_key, parent_key, label = heappop(heap)
+        if child_key in settled or child_key not in marked:
+            continue  # already fixed by a better candidate
+        if parent_key not in slots or parent_key in marked:
+            continue
+        exp = -neg_exp
+        slot = slots[child_key]
+        tree.reparent(child_key, parent_key, label)
+        ts_col[slot] = ts
+        exp_col[slot] = exp
+        marked.discard(child_key)
+        settled.add(child_key)
+        on_fix(child_key, slot)
+        # Relax: the fixed node may now be the best parent for marked
+        # neighbours downstream.
+        vertex, state = child_key
+        group = out_group(vertex)
+        if not group:
+            continue
+        for (out_label, next_vertex), rows in group.items():
+            next_state = dfa_delta(state, out_label)
+            if next_state is None:
+                continue
+            next_key = (next_vertex, next_state)
+            if next_key in settled or next_key not in marked:
+                continue
+            found_ts = -1
+            found_exp = now
+            for i in range(0, len(rows), 2):
+                candidate_exp = rows[i + 1]
+                if candidate_exp > found_exp and rows[i] <= now:
+                    found_ts = rows[i]
+                    found_exp = candidate_exp
+            if found_ts < 0:
+                continue
+            next_exp = exp
+            if found_exp < next_exp:
+                next_exp = found_exp
+            if next_exp > now:
+                recorded = best_exp.get(next_key, now)
+                if next_exp < recorded:
+                    continue  # a better candidate is already queued
+                best_exp[next_key] = next_exp
+                heappush(
+                    heap,
+                    (
+                        -next_exp,
+                        ts if ts >= found_ts else found_ts,
+                        next_key,
+                        child_key,
+                        out_label,
+                    ),
+                )
+
+    free = tree._free
+    for key in list(marked):
+        slot = slots.get(key)
+        if slot is None:
+            marked.discard(key)
+            continue
+        on_remove(key, slot)
+        # Children were either fixed (reparented away) or are themselves
+        # marked; remove just this node.
+        parent_key = parent_col[slot]
+        if parent_key is not None:
+            pslot = slots.get(parent_key)
+            if pslot is not None:
+                children_col[pslot].pop(key, None)
+        for child in list(children_col[slot]):
+            child_slot = slots.get(child)
+            if child_slot is not None and parent_col[child_slot] == key:
+                parent_col[child_slot] = None
+        children_col[slot] = {}
+        del slots[key]
+        free.append(slot)
+        marked.discard(key)

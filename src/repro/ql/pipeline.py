@@ -360,17 +360,26 @@ def kernel_choices(
                 j._left_single is not None and j._right_single is not None
                 for j in op._joins
             ):
-                tag = "join.single-key-batch"
+                tag = "join.single-key-batch+packed-int64"
             else:
-                tag = "join.multi-key-batch"
+                tag = "join.multi-key-batch+packed-int64"
         elif isinstance(op, UnionOp):
             tag = "union.rows" if execution == "rows" else "union.zero-copy"
         elif isinstance(op, CoalesceOp):
             tag = f"coalesce.{execution}" if not vector else "coalesce.batch"
         elif isinstance(op, (SPathOp, NegativeTupleRpqOp)):
-            # PATH expansion is order-sensitive: the vector mode keeps
-            # the arrival-order row loop and converts columns at entry.
-            tag = "path.row-ingest" if execution != "rows" else "path.rows"
+            # PATH expansion is order-sensitive: every mode keeps the
+            # arrival-order row loop.  Vector mode additionally runs the
+            # struct-of-arrays state (slotted trees, flat-pair
+            # adjacency) with window maintenance batched per boundary.
+            if vector:
+                tag = (
+                    "path.state-arrays+batched-rederive"
+                    if isinstance(op, NegativeTupleRpqOp)
+                    else "path.state-arrays+batched-drain"
+                )
+            else:
+                tag = "path.row-ingest" if execution != "rows" else "path.rows"
         else:
             continue
         choices[id(op)] = tag
@@ -435,9 +444,12 @@ def explain_kernels(
             if mode == "grouped"
             else "same-label runs (order-strict plan)"
         )
-        header = f"execution: vector · ingress: {mode} ({detail})"
+        header = (
+            f"execution: vector · ingress: {mode} ({detail})"
+            " · state: arrays"
+        )
     else:
-        header = f"execution: {execution}"
+        header = f"execution: {execution} · state: objects"
     tree = explain_physical(physical, kernel_choices(physical, execution))
     return f"{header}\n{tree}"
 

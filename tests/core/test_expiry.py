@@ -1,6 +1,8 @@
 """Unit tests for the hierarchical timing wheel."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.expiry import TimingWheel
 
@@ -86,6 +88,102 @@ class TestHierarchy:
     def test_invalid_span(self):
         with pytest.raises(ValueError, match="span"):
             TimingWheel(span=0)
+
+
+class TestDrainEpochs:
+    def test_groups_by_expiry_instant(self):
+        wheel = TimingWheel()
+        wheel.schedule(10, "a")
+        wheel.schedule(20, "b")
+        wheel.schedule(10, "c")
+        assert wheel.drain_epochs(20) == [(10, ["a", "c"]), (20, ["b"])]
+        assert not wheel
+
+    def test_empty_drain(self):
+        wheel = TimingWheel()
+        assert wheel.drain_epochs(100) == []
+        wheel.schedule(200, "x")
+        assert wheel.drain_epochs(150) == []
+        assert len(wheel) == 1
+
+    def test_exclusive_boundary(self):
+        wheel = TimingWheel()
+        wheel.schedule(10, "at")
+        wheel.schedule(11, "after")
+        assert wheel.drain_epochs(10) == [(10, ["at"])]
+        assert wheel.drain_epochs(11) == [(11, ["after"])]
+
+    def test_cascades_coarse_entries(self):
+        wheel = TimingWheel(span=8)
+        wheel.schedule(5, "near")
+        wheel.schedule(1000, "far")
+        assert wheel.drain_epochs(1000) == [(5, ["near"]), (1000, ["far"])]
+
+    def test_flatten_matches_advance(self):
+        entries = [(30, "c"), (10, "a"), (20, "b"), (10, "a2")]
+        reference = TimingWheel()
+        bulk = TimingWheel()
+        for exp, item in entries:
+            reference.schedule(exp, item)
+            bulk.schedule(exp, item)
+        flat = [
+            item for _, items in bulk.drain_epochs(25) for item in items
+        ]
+        assert flat == reference.advance(25)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=400),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=40,
+        ),
+        st.lists(st.integers(min_value=0, max_value=500), max_size=8),
+        st.sampled_from([4, 8, 16, 64]),
+    )
+    def test_property_drain_equals_advance(self, entries, advances, span):
+        """Flattening drain_epochs reproduces advance exactly, under any
+        interleaving of schedules and watermark jumps (including jumps
+        far past the fine horizon, forcing coarse cascades)."""
+        reference = TimingWheel(span=span)
+        bulk = TimingWheel(span=span)
+        script = [("schedule", e) for e in entries] + [
+            ("advance", t) for t in advances
+        ]
+        # Deterministic interleave: alternate schedule/advance streams.
+        script.sort(key=lambda step: hash(step) % 7)
+        for kind, payload in script:
+            if kind == "schedule":
+                exp, item = payload
+                reference.schedule(exp, item)
+                bulk.schedule(exp, item)
+            else:
+                expected = reference.advance(payload)
+                epochs = bulk.drain_epochs(payload)
+                flat = [item for _, items in epochs for item in items]
+                assert flat == expected
+                # Epochs are grouped by instant, ascending, within bound.
+                exps = [exp for exp, _ in epochs]
+                assert exps == sorted(exps)
+                assert all(exp <= payload for exp in exps)
+                assert len(set(exps)) == len(exps)
+        assert len(reference) == len(bulk)
+
+    def test_large_jump_cascade_grouping(self):
+        # A jump spanning several coarse buckets must still come out
+        # grouped per instant, in ascending order.
+        wheel = TimingWheel(span=4)
+        for exp in (3, 97, 5, 97, 41, 12, 3):
+            wheel.schedule(exp, exp)
+        epochs = wheel.drain_epochs(100)
+        assert epochs == [
+            (3, [3, 3]),
+            (5, [5]),
+            (12, [12]),
+            (41, [41]),
+            (97, [97, 97]),
+        ]
 
 
 class TestAccounting:

@@ -1,0 +1,177 @@
+"""Unit and property tests for the int64 open-addressing hash table.
+
+The python backend runs the identical probe algorithm over plain lists,
+so every test parametrizes over both backends (numpy skipped when the
+vector extra is absent) and checks them against a CPython ``dict``
+reference model.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.inthash import PACK_LIMIT, Int64Table, pack2, pack3
+from repro.core.nplib import HAVE_NUMPY
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestScalarOps:
+    def test_put_get_roundtrip(self, backend):
+        table = Int64Table(backend=backend)
+        table.put(7, 100)
+        table.put(0, 5)
+        assert table.get(7) == 100
+        assert table.get(0) == 5
+        assert table.get(99) == -1
+        assert table.get(99, default=-7) == -7
+        assert len(table) == 2
+
+    def test_overwrite(self, backend):
+        table = Int64Table(backend=backend)
+        table.put(3, 1)
+        table.put(3, 2)
+        assert table.get(3) == 2
+        assert len(table) == 1
+
+    def test_delete_and_tombstone_reuse(self, backend):
+        table = Int64Table(backend=backend)
+        table.put(3, 1)
+        assert table.delete(3)
+        assert not table.delete(3)
+        assert table.get(3) == -1
+        assert len(table) == 0
+        # Reinsert lands in the tombstone slot without growing `used`.
+        table.put(3, 9)
+        assert table.get(3) == 9
+
+    def test_contains(self, backend):
+        table = Int64Table(backend=backend)
+        table.put(11, 0)
+        assert 11 in table
+        assert 12 not in table
+
+    def test_negative_key_rejected(self, backend):
+        table = Int64Table(backend=backend)
+        with pytest.raises(ValueError, match="non-negative"):
+            table.put(-1, 0)
+
+    def test_growth_past_load_factor(self, backend):
+        table = Int64Table(capacity=8, backend=backend)
+        for key in range(200):
+            table.put(key, key * 2)
+        assert len(table) == 200
+        for key in range(200):
+            assert table.get(key) == key * 2
+
+    def test_tombstone_heavy_sweep(self, backend):
+        # Repeated insert/delete cycles at one size must not wedge the
+        # table (the same-size rehash sweeps tombstones out).
+        table = Int64Table(capacity=8, backend=backend)
+        for round_num in range(50):
+            key = round_num * 3
+            table.put(key, round_num)
+            assert table.delete(key)
+        assert len(table) == 0
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            Int64Table(backend="gpu")
+
+
+class TestBatchedOps:
+    def test_get_many_list_input(self, backend):
+        table = Int64Table(backend=backend)
+        table.put_many([1, 5, 9], [10, 50, 90])
+        assert list(table.get_many([5, 2, 9, 1])) == [50, -1, 90, 10]
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_get_many_array_input(self):
+        import numpy as np
+
+        table = Int64Table(backend="numpy")
+        table.put_many(range(100), range(100, 200))
+        probe = np.array([3, 300, 99, 0], dtype=np.int64)
+        out = table.get_many(probe)
+        assert out.dtype == np.int64
+        assert out.tolist() == [103, -1, 199, 100]
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_get_many_empty_array(self):
+        import numpy as np
+
+        table = Int64Table(backend="numpy")
+        assert table.get_many(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_put_many_duplicate_keys_last_wins(self, backend):
+        table = Int64Table(backend=backend)
+        table.put_many([4, 4, 4], [1, 2, 3])
+        assert table.get(4) == 3
+        assert len(table) == 1
+
+    def test_items_are_live_entries(self, backend):
+        table = Int64Table(backend=backend)
+        table.put(1, 10)
+        table.put(2, 20)
+        table.delete(1)
+        assert dict(table.items()) == {2: 20}
+
+
+class TestPacking:
+    def test_pack2_distinct(self):
+        seen = set()
+        for a in (0, 1, 7, PACK_LIMIT - 1):
+            for b in (0, 1, 7, PACK_LIMIT - 1):
+                seen.add(pack2(a, b))
+        assert len(seen) == 16
+
+    def test_pack3_distinct_and_bounded(self):
+        top = pack3(PACK_LIMIT - 1, PACK_LIMIT - 1, PACK_LIMIT - 1)
+        assert top < (1 << 63)
+        assert pack3(1, 2, 3) != pack3(3, 2, 1)
+
+    def test_pack_roundtrip(self):
+        key = pack3(5, 6, 7)
+        assert key >> 42 == 5
+        assert (key >> 21) & (PACK_LIMIT - 1) == 6
+        assert key & (PACK_LIMIT - 1) == 7
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=1_000_000),
+    ),
+    max_size=200,
+)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(script=ops)
+def test_property_matches_dict_reference(backend_name, script):
+    """Random insert/probe/delete against a dict model: identical
+    observable behaviour on both backends, through growth and
+    tombstone sweeps (tiny initial capacity forces both)."""
+    table = Int64Table(capacity=8, backend=backend_name)
+    model: dict = {}
+    for op, key, value in script:
+        if op == "put":
+            table.put(key, value)
+            model[key] = value
+        elif op == "get":
+            assert table.get(key) == model.get(key, -1)
+        else:
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(table) == len(model)
+    assert dict(table.items()) == model
+    probe = sorted(set(k for _, k, _ in script)) + [10_000]
+    assert list(table.get_many(probe)) == [
+        model.get(k, -1) for k in probe
+    ]

@@ -1,0 +1,438 @@
+"""Unit and parity tests for the struct-of-arrays operator state
+(``state_layout="arrays"``).
+
+The arrays layout must be observationally identical to the object layout
+it replaces — same emissions in the same order, same checkpoint blob
+shapes — so most tests here drive both layouts side by side and compare
+bit for bit.
+"""
+
+import random
+
+import pytest
+
+from repro.core.intervals import FOREVER, Interval
+from repro.core.tuples import SGT
+from repro.dataflow.graph import DataflowGraph, Event, SinkOp
+from repro.errors import ExecutionError
+from repro.physical.delta_index import DeltaPathIndex, WindowAdjacency
+from repro.physical.rpq_negative import NegativeTupleRpqOp
+from repro.physical.spath import SPathOp
+from repro.physical.state_arrays import (
+    STATE_LAYOUTS,
+    ArrayAdjacency,
+    ArrayPathIndex,
+    ArraySpanningTree,
+    apply_state_layout,
+    new_maintenance_counters,
+)
+
+
+def wire(op):
+    graph = DataflowGraph()
+    graph.add(op)
+    sink = SinkOp()
+    graph.add(sink)
+    graph.connect(op, sink, 0)
+    return sink
+
+
+def push(op, src, trg, ts, exp, port=0):
+    op.on_event(port, Event(SGT(src, trg, op.labels[port], Interval(ts, exp))))
+
+
+FIGURE9_EDGES = [
+    ("x", "z", 23, 31),
+    ("z", "u", 24, 32),
+    ("x", "y", 25, 35),
+    ("y", "w", 26, 33),
+    ("z", "t", 27, 40),
+    ("y", "u", 28, 37),
+    ("u", "v", 29, 41),
+    ("u", "s", 30, 38),
+    ("w", "v", 30, 39),
+]
+
+
+class TestArrayAdjacency:
+    def test_add_and_out_edges(self):
+        adj = ArrayAdjacency()
+        adj.add("u", "v", "l", 2, 9)
+        adj.add("u", "v", "l", 3, 12)
+        assert len(adj) == 2
+        assert adj.out_edges("u", 5) == [("l", "v", Interval(3, 12))]
+        assert adj.out_edges("w", 5) == []
+
+    def test_group_views_are_flat_pairs(self):
+        adj = ArrayAdjacency()
+        adj.add("u", "v", "a", 1, 5)
+        adj.add("u", "w", "b", 2, 6)
+        group = adj.out_group("u")
+        assert list(group) == [("a", "v"), ("b", "w")]  # insertion order
+        assert group[("a", "v")] == [1, 5]
+        assert adj.in_group("w")[("b", "u")] == [2, 6]
+
+    def test_remove_exact_occurrence(self):
+        adj = ArrayAdjacency()
+        adj.add("u", "v", "l", 2, 9)
+        adj.add("u", "v", "l", 2, 9)
+        assert adj.remove("u", "v", "l", 2, 9)
+        assert len(adj) == 1
+        assert adj.remove("u", "v", "l", 2, 9)
+        assert not adj.remove("u", "v", "l", 2, 9)
+        assert adj.out_group("u") in (None, {})
+        assert len(adj) == 0
+
+    def test_purge_drops_expired_pairs(self):
+        adj = ArrayAdjacency()
+        adj.add("u", "v", "l", 0, 10)
+        adj.add("u", "v", "l", 5, 20)
+        adj.add("a", "b", "l", 1, 10)
+        adj.purge(10)
+        assert len(adj) == 1
+        assert adj.out_group("a") in (None, {})
+        assert adj.out_group("u")[("l", "v")] == [5, 20]
+        # In-index stays consistent with the out-index after the rebuild.
+        assert adj.in_group("v")[("l", "u")] == [5, 20]
+
+    def test_snapshot_blob_matches_object_layout(self):
+        edges = [("u", "v", "a", 0, 9), ("u", "w", "b", 2, 7), ("v", "u", "a", 3, 8)]
+        obj = WindowAdjacency()
+        arr = ArrayAdjacency()
+        for u, v, label, ts, exp in edges:
+            obj.add(u, v, label, Interval(ts, exp))
+            arr.add(u, v, label, ts, exp)
+        obj_blob = obj.snapshot_state()
+        arr_blob = arr.snapshot_state()
+        assert arr_blob["out"] == obj_blob["out"]
+        assert arr_blob["in"] == obj_blob["in"]
+        assert arr_blob["size"] == obj_blob["size"]
+
+    def test_cross_layout_restore(self):
+        obj = WindowAdjacency()
+        obj.add("u", "v", "l", Interval(1, 9))
+        obj.add("u", "w", "l", Interval(2, 30))
+        arr = ArrayAdjacency()
+        arr.restore_state(obj.snapshot_state())
+        assert len(arr) == 2
+        assert arr.out_edges("u", 5) == [
+            ("l", "v", Interval(1, 9)),
+            ("l", "w", Interval(2, 30)),
+        ]
+        arr.purge(9)  # the restored wheel still drives expiry
+        assert len(arr) == 1
+
+
+class TestArraySpanningTree:
+    def test_root_never_expires(self):
+        tree = ArraySpanningTree("x", 0)
+        slot = tree.slots[("x", 0)]
+        assert tree.exp[slot] == FOREVER
+        assert tree.parent[slot] is None
+
+    def test_add_child_links_both_ways(self):
+        tree = ArraySpanningTree("x", 0)
+        slot = tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        assert ("y", 1) in tree
+        assert ("y", 1) in tree.children[tree.slots[("x", 0)]]
+        assert tree.parent[slot] == ("x", 0)
+        assert (tree.ts[slot], tree.exp[slot]) == (2, 9)
+
+    def test_duplicate_child_rejected(self):
+        tree = ArraySpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        with pytest.raises(ExecutionError):
+            tree.add_child(("x", 0), ("y", 1), 3, 10, "l")
+
+    def test_reparent_moves_children_sets(self):
+        tree = ArraySpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        zslot = tree.add_child(("x", 0), ("z", 1), 2, 9, "l")
+        tree.reparent(("z", 1), ("y", 1), "m")
+        assert ("z", 1) not in tree.children[tree.slots[("x", 0)]]
+        assert ("z", 1) in tree.children[tree.slots[("y", 1)]]
+        assert tree.via[zslot] == "m"
+
+    def test_remove_subtree_returns_keys_and_recycles_slots(self):
+        tree = ArraySpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "l")
+        tree.add_child(("y", 1), ("z", 1), 3, 9, "l")
+        removed = tree.remove_subtree(("y", 1))
+        assert set(removed) == {("y", 1), ("z", 1)}
+        assert tree.size() == 1
+        # The freed slots are reused before the columns grow.
+        cols_before = len(tree.ts)
+        tree.add_child(("x", 0), ("w", 1), 4, 9, "l")
+        assert len(tree.ts) == cols_before
+
+    def test_cannot_remove_root(self):
+        tree = ArraySpanningTree("x", 0)
+        with pytest.raises(ExecutionError):
+            tree.remove_subtree(("x", 0))
+
+    def test_path_to_walks_parents(self):
+        tree = ArraySpanningTree("x", 0)
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "a")
+        tree.add_child(("y", 1), ("z", 2), 3, 9, "b")
+        path = tree.path_to(("z", 2))
+        assert path.vertices == ("x", "y", "z")
+        assert path.label_sequence() == ("a", "b")
+
+
+class TestArrayPathIndex:
+    def test_ensure_tree_registers_root(self):
+        index = ArrayPathIndex(0)
+        tree = index.ensure_tree("x")
+        assert index.roots_containing(("x", 0)) == ("x",)
+        assert index.ensure_tree("x") is tree
+
+    def test_drop_trivial_tree(self):
+        index = ArrayPathIndex(0)
+        index.ensure_tree("x")
+        index.drop_tree_if_trivial("x")
+        assert index.tree("x") is None
+        tree = index.ensure_tree("y")
+        tree.add_child(("y", 0), ("z", 1), 0, 5, "l")
+        index.drop_tree_if_trivial("y")
+        assert index.tree("y") is tree
+
+    def test_snapshot_blob_matches_object_layout(self):
+        def build(index, tree_cls=None):
+            tree = index.ensure_tree("x")
+            tree.add_child(("x", 0), ("y", 1), 2, 9, "a")
+            tree.add_child(("y", 1), ("z", 1), 3, 8, "b")
+            index.register("x", ("y", 1))
+            index.register("x", ("z", 1))
+
+        obj = DeltaPathIndex(0)
+        arr = ArrayPathIndex(0)
+        build(obj)
+        build(arr)
+        assert arr.snapshot_state() == obj.snapshot_state()
+
+    def test_cross_layout_restore_after_slot_recycling(self):
+        # A tree whose slots were shuffled by removals must serialize in
+        # key order (slot numbers never leak into the blob).
+        arr = ArrayPathIndex(0)
+        tree = arr.ensure_tree("x")
+        tree.add_child(("x", 0), ("y", 1), 2, 9, "a")
+        tree.add_child(("x", 0), ("w", 1), 2, 9, "a")
+        tree.remove_subtree(("y", 1))
+        tree.add_child(("w", 1), ("v", 2), 3, 9, "b")  # reuses y's slot
+        blob = arr.snapshot_state()
+        obj = DeltaPathIndex(0)
+        obj.restore_state(blob)
+        assert list(obj.tree("x").nodes) == [("x", 0), ("w", 1), ("v", 2)]
+        back = ArrayPathIndex(0)
+        back.restore_state(obj.snapshot_state())
+        assert back.snapshot_state() == blob
+
+
+def _random_edges(seed, n=60, vertices=8, labels=("RL",), horizon=40):
+    rng = random.Random(seed)
+    edges = []
+    t = 0
+    for _ in range(n):
+        t += rng.randint(0, 2)
+        src = rng.randrange(vertices)
+        trg = rng.randrange(vertices)
+        if src == trg:
+            continue
+        edges.append(
+            (src, trg, rng.choice(labels), t, t + rng.randint(1, horizon))
+        )
+    return edges
+
+
+def _drive(op, edges, boundaries):
+    sink = wire(op)
+    script = sorted(
+        [("edge", e[3], e) for e in edges]
+        + [("advance", b, None) for b in boundaries],
+        key=lambda step: (step[1], step[0] == "advance"),
+    )
+    for kind, t, payload in script:
+        if kind == "edge":
+            src, trg, label, ts, exp = payload
+            push(op, src, trg, ts, exp)
+        else:
+            op.on_advance(t)
+    return sink
+
+
+@pytest.mark.parametrize("op_cls", [NegativeTupleRpqOp, SPathOp])
+@pytest.mark.parametrize("seed", [1, 7, 23, 91])
+def test_layout_parity_random_streams(op_cls, seed):
+    """Objects vs arrays over the same random stream with window
+    boundaries interleaved: identical emissions, in identical order."""
+    edges = _random_edges(seed)
+    horizon = max(e[4] for e in edges) + 1
+    boundaries = list(range(5, horizon + 5, 5))
+    obj_op = op_cls(["RL"], "RL+", "P")
+    obj_sink = _drive(obj_op, edges, boundaries)
+    arr_op = op_cls(["RL"], "RL+", "P")
+    assert arr_op.configure_state_layout("arrays")
+    arr_sink = _drive(arr_op, edges, boundaries)
+    assert [
+        (e.sgt, e.sign) for e in arr_sink.events
+    ] == [(e.sgt, e.sign) for e in obj_sink.events]
+    assert arr_op.state_size() == obj_op.state_size()
+
+
+@pytest.mark.parametrize("op_cls", [NegativeTupleRpqOp, SPathOp])
+def test_layout_parity_figure9(op_cls):
+    obj_op = op_cls(["RL"], "RL+", "P")
+    obj_sink = wire(obj_op)
+    arr_op = op_cls(["RL"], "RL+", "P")
+    assert arr_op.configure_state_layout("arrays")
+    arr_sink = wire(arr_op)
+    for src, trg, ts, exp in FIGURE9_EDGES:
+        push(obj_op, src, trg, ts, exp)
+        push(arr_op, src, trg, ts, exp)
+    for t in (31, 33, 35, 41):
+        obj_op.on_advance(t)
+        arr_op.on_advance(t)
+    assert [(e.sgt, e.sign) for e in arr_sink.events] == [
+        (e.sgt, e.sign) for e in obj_sink.events
+    ]
+    for t in range(23, 45):
+        assert arr_sink.valid_at(t) == obj_sink.valid_at(t), t
+
+
+class TestLayoutSwitching:
+    def test_switch_and_back_on_empty_op(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        assert op.state_layout == "objects"
+        assert op.configure_state_layout("arrays")
+        assert isinstance(op.index, ArrayPathIndex)
+        assert isinstance(op.adjacency, ArrayAdjacency)
+        assert not op.configure_state_layout("arrays")  # idempotent
+        assert op.configure_state_layout("objects")
+        assert isinstance(op.index, DeltaPathIndex)
+
+    def test_refuses_live_state(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        wire(op)
+        push(op, 1, 2, 0, 10)
+        with pytest.raises(ExecutionError, match="live state"):
+            op.configure_state_layout("arrays")
+
+    def test_unknown_layout_rejected(self):
+        op = NegativeTupleRpqOp(["l"], "l+", "P")
+        with pytest.raises(ExecutionError, match="layout"):
+            op.configure_state_layout("rows")
+        with pytest.raises(ExecutionError, match="layout"):
+            apply_state_layout([op], "rows")
+
+    def test_apply_state_layout_counts_switches(self):
+        ops = [
+            NegativeTupleRpqOp(["l"], "l+", "P"),
+            SPathOp(["l"], "l+", "Q"),
+            object(),  # no hook: untouched
+        ]
+        assert apply_state_layout(ops, "arrays") == 2
+        assert apply_state_layout(ops, "arrays") == 0  # already configured
+
+
+class TestMaintenanceCounters:
+    def test_fresh_counters_are_zero(self):
+        counters = new_maintenance_counters()
+        assert set(counters) == {
+            "boundaries",
+            "drained_entries",
+            "expired_nodes",
+            "rederive_trees",
+            "rederive_passes",
+        }
+        assert all(v == 0 for v in counters.values())
+
+    @pytest.mark.parametrize("layout", STATE_LAYOUTS)
+    def test_one_repair_pass_per_tree_per_boundary(self, layout):
+        """The batched-maintenance gate: at a window boundary the
+        rederivation count is bounded by the number of *affected trees*,
+        never the number of expired nodes."""
+        op = NegativeTupleRpqOp(["RL"], "RL+", "P")
+        if layout == "arrays":
+            assert op.configure_state_layout(layout)
+        wire(op)
+        for src, trg, ts, exp in FIGURE9_EDGES:
+            push(op, src, trg, ts, exp)
+        op.on_advance(31)  # expires the z-subtree: several nodes, 1 tree
+        counters = op.maintenance_counters
+        assert counters["boundaries"] == 1
+        assert counters["expired_nodes"] >= 2
+        assert counters["rederive_trees"] == 1
+        assert counters["rederive_passes"] == counters["rederive_trees"]
+        assert counters["rederive_passes"] < counters["expired_nodes"]
+
+    @pytest.mark.parametrize("layout", STATE_LAYOUTS)
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_invariant_over_random_streams(self, layout, seed):
+        op = NegativeTupleRpqOp(["RL"], "RL+", "P")
+        if layout == "arrays":
+            assert op.configure_state_layout(layout)
+        edges = _random_edges(seed)
+        horizon = max(e[4] for e in edges) + 1
+        _drive(op, edges, list(range(5, horizon + 5, 5)))
+        counters = op.maintenance_counters
+        assert counters["rederive_passes"] == counters["rederive_trees"]
+        assert counters["rederive_trees"] <= counters["expired_nodes"]
+
+    def test_spath_runs_no_boundary_repairs(self):
+        op = SPathOp(["RL"], "RL+", "P")
+        assert op.configure_state_layout("arrays")
+        wire(op)
+        for src, trg, ts, exp in FIGURE9_EDGES:
+            push(op, src, trg, ts, exp)
+        op.on_advance(31)
+        counters = op.maintenance_counters
+        assert counters["boundaries"] == 1
+        assert counters["rederive_passes"] == 0
+
+
+class TestCrossLayoutCheckpoints:
+    @pytest.mark.parametrize("op_cls", [NegativeTupleRpqOp, SPathOp])
+    def test_object_blob_restores_into_arrays(self, op_cls):
+        """A pre-arrays (object layout) operator snapshot restores into
+        the arrays layout; the restored operator then behaves
+        identically to the uninterrupted object run."""
+        donor = op_cls(["RL"], "RL+", "P")
+        donor_sink = wire(donor)
+        reference = op_cls(["RL"], "RL+", "P")
+        reference_sink = wire(reference)
+        for src, trg, ts, exp in FIGURE9_EDGES[:6]:
+            push(donor, src, trg, ts, exp)
+            push(reference, src, trg, ts, exp)
+        blob = donor.snapshot_state()
+
+        restored = op_cls(["RL"], "RL+", "P")
+        assert restored.configure_state_layout("arrays")
+        restored_sink = wire(restored)
+        restored.restore_state(blob)
+        assert isinstance(restored.index, ArrayPathIndex)
+        assert restored.state_size() == reference.state_size()
+
+        for src, trg, ts, exp in FIGURE9_EDGES[6:]:
+            push(reference, src, trg, ts, exp)
+            push(restored, src, trg, ts, exp)
+        for t in (31, 35, 41):
+            reference.on_advance(t)
+            restored.on_advance(t)
+        suffix = len(reference_sink.events) - len(restored_sink.events)
+        assert [(e.sgt, e.sign) for e in restored_sink.events] == [
+            (e.sgt, e.sign) for e in reference_sink.events[suffix:]
+        ]
+
+    @pytest.mark.parametrize("op_cls", [NegativeTupleRpqOp, SPathOp])
+    def test_arrays_snapshot_equals_object_snapshot(self, op_cls):
+        obj_op = op_cls(["RL"], "RL+", "P")
+        wire(obj_op)
+        arr_op = op_cls(["RL"], "RL+", "P")
+        assert arr_op.configure_state_layout("arrays")
+        wire(arr_op)
+        for src, trg, ts, exp in FIGURE9_EDGES:
+            push(obj_op, src, trg, ts, exp)
+            push(arr_op, src, trg, ts, exp)
+        obj_op.on_advance(31)
+        arr_op.on_advance(31)
+        assert arr_op.snapshot_state() == obj_op.snapshot_state()
